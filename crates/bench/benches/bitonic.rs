@@ -1,0 +1,57 @@
+//! Wall-clock Theorem E.1 bench: recursive cache-agnostic bitonic vs the
+//! naive flat evaluation, on the real pool (the cache effect shows up as
+//! time here; the model-level Q separation is in `ablations`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fj::Pool;
+use metrics::Tracked;
+use sortnet::{bitonic_sort_flat_par, oddeven_sort, sort_slice_rec};
+
+fn key64(x: &u64) -> u128 {
+    *x as u128
+}
+
+fn scrambled(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 13).collect()
+}
+
+fn bench_bitonic(cr: &mut Criterion) {
+    let pool = Pool::with_default_threads();
+    let mut g = cr.benchmark_group("bitonic");
+    g.sample_size(10);
+
+    for &n in &[1usize << 14, 1 << 17] {
+        let data = scrambled(n);
+        g.bench_with_input(BenchmarkId::new("recursive", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                pool.run(|c| sort_slice_rec(c, &mut v, &key64, true));
+                v
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("flat", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                pool.run(|c| {
+                    let mut t = Tracked::new(c, &mut v);
+                    bitonic_sort_flat_par(c, &mut t, &key64, true);
+                });
+                v
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("oddeven", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                pool.run(|c| {
+                    let mut t = Tracked::new(c, &mut v);
+                    oddeven_sort(c, &mut t, &key64);
+                });
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitonic);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Wall-clock PRAM simulation benches (Table 2 "PRAM" rows): direct
+//! executor vs the Theorem 4.1 oblivious simulation, plus batched accesses
+//! through the Theorem 4.2 tree-ORAM substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fj::Pool;
+use obliv_core::Engine;
+use pram::{run_direct, run_oblivious_sb, HistogramProgram, MaxProgram, Opram, OramConfig};
+
+fn bench_pram(cr: &mut Criterion) {
+    let pool = Pool::with_default_threads();
+    let mut g = cr.benchmark_group("pram");
+    g.sample_size(10);
+
+    let p = 256usize;
+    let vals: Vec<u64> = (0..p as u64).map(|i| i % 16).collect();
+
+    let hist = HistogramProgram::new(p, 16);
+    g.bench_function("direct_histogram_p256", |b| {
+        b.iter(|| pool.run(|c| run_direct(c, &hist, &vals)))
+    });
+    g.bench_function("oblivious_histogram_p256", |b| {
+        b.iter(|| pool.run(|c| run_oblivious_sb(c, &hist, &vals, Engine::BitonicRec)))
+    });
+
+    let maxp = MaxProgram::new(p);
+    g.bench_function("oblivious_max_p256", |b| {
+        b.iter(|| pool.run(|c| run_oblivious_sb(c, &maxp, &vals, Engine::BitonicRec)))
+    });
+
+    g.bench_function("opram_batch32_s4096", |b| {
+        b.iter(|| {
+            pool.run(|c| {
+                let mut o = Opram::new(4096, OramConfig::default(), Engine::BitonicRec, 7);
+                let reqs: Vec<(u64, Option<u64>)> =
+                    (0..32u64).map(|i| ((i * 37) % 4096, Some(i))).collect();
+                o.access_batch(c, &reqs)
+            })
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pram);
+criterion_main!(benches);

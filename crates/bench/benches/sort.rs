@@ -1,0 +1,76 @@
+//! Wall-clock sorting benches (Table 1 "Sort" row, real execution on the
+//! work-stealing pool): oblivious practical sort vs the insecure REC-SORT
+//! baseline vs parallel mergesort vs std.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fj::Pool;
+use obliv_core::{
+    composite_key, oblivious_sort_u64, par_merge_sort, rec_sort_items, with_retries, Engine,
+    Item, OSortParams,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn scrambled(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 11).collect()
+}
+
+fn bench_sorts(cr: &mut Criterion) {
+    let pool = Pool::with_default_threads();
+    let mut g = cr.benchmark_group("sort");
+    g.sample_size(10);
+
+    for &n in &[1usize << 14, 1 << 16] {
+        let data = scrambled(n);
+
+        g.bench_with_input(BenchmarkId::new("oblivious_practical", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                pool.run(|c| oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 42));
+                v
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("insecure_rec_sort", n), &n, |b, _| {
+            b.iter(|| {
+                let mut items: Vec<Item<u64>> = data
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &k)| Item::new(composite_key(k, i as u64), k))
+                    .collect();
+                items.shuffle(&mut StdRng::seed_from_u64(1));
+                pool.run(|c| {
+                    with_retries(16, |a| {
+                        let mut copy = items.clone();
+                        rec_sort_items(c, &mut copy, Engine::BitonicRec, 16, 5 + a as u64)?;
+                        items = copy;
+                        Ok(())
+                    })
+                });
+                items
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("insecure_par_merge", n), &n, |b, _| {
+            b.iter(|| {
+                let mut items: Vec<Item<u64>> =
+                    data.iter().map(|&k| Item::new(k as u128, k)).collect();
+                pool.run(|c| par_merge_sort(c, &mut items));
+                items
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("std_sort_unstable", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                v.sort_unstable();
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sorts);
+criterion_main!(benches);

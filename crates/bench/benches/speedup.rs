@@ -1,0 +1,37 @@
+//! `E5`: work-stealing speedup. Blumofe–Leiserson predicts runtime
+//! `O(W/P + T∞)`; the oblivious sort has `T∞ ≪ W`, so wall-clock should
+//! fall near-linearly with the worker count until memory bandwidth binds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fj::Pool;
+use obliv_core::{oblivious_sort_u64, OSortParams};
+
+fn bench_speedup(cr: &mut Criterion) {
+    let mut g = cr.benchmark_group("speedup");
+    g.sample_size(10);
+    let n = 1usize << 15;
+    let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let max_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(2);
+
+    let mut threads = vec![1usize];
+    let mut t = 2;
+    while t <= max_threads {
+        threads.push(t);
+        t *= 2;
+    }
+
+    for &p in &threads {
+        let pool = Pool::new(p);
+        g.bench_with_input(BenchmarkId::new("oblivious_sort_32k", p), &p, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                pool.run(|c| oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 42));
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Shared harness for the table/figure generators and Criterion benches.
+//!
+//! Every generator measures the model quantities the paper's tables are
+//! stated in — work `W`, span `T∞`, cache misses `Q(M,B)` — through the
+//! metering executor, prints one row per (task, algorithm, n), and reports
+//! normalized columns so the asymptotic *shape* (the reproduction target)
+//! is visible at a glance: `W / (n·log n)`, `T∞ / log² n`, and
+//! `Q / ((n/B)·log_M n)`.
+
+use metrics::{measure, CacheConfig, CostReport, MeterCtx, TraceMode};
+
+/// One measured table row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    pub task: &'static str,
+    pub algo: &'static str,
+    pub n: usize,
+    pub rep: CostReport,
+}
+
+/// Measure a workload under the default cache geometry, trace off.
+pub fn meter<F: FnOnce(&MeterCtx)>(f: F) -> CostReport {
+    measure(CacheConfig::default(), TraceMode::Off, f).1
+}
+
+/// Measure under an explicit cache geometry.
+pub fn meter_with<F: FnOnce(&MeterCtx)>(cfg: CacheConfig, f: F) -> CostReport {
+    measure(cfg, TraceMode::Off, f).1
+}
+
+pub fn lg(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// `log_M n` with the row's cache size (≥ 1).
+fn log_m(n: usize, m_words: u64) -> f64 {
+    (lg(n) / (m_words.max(2) as f64).log2()).max(1.0)
+}
+
+/// The optimal sorting cache bound `(n/B)·log_M n` (≥ 1).
+pub fn q_sort_bound(n: usize, rep: &CostReport) -> f64 {
+    ((n as f64 / rep.b_words as f64) * log_m(n, rep.m_words)).max(1.0)
+}
+
+pub fn header() {
+    println!(
+        "{:<10} {:<28} {:>9} {:>14} {:>10} {:>12} {:>9} {:>9} {:>9}",
+        "task", "algorithm", "n", "work", "span", "Q(M,B)", "W/nlogn", "T/log^2", "Q/Qsort"
+    );
+    println!("{}", "-".repeat(118));
+}
+
+pub fn print_row(r: &Row) {
+    let n = r.n.max(2) as f64;
+    let nlogn = n * lg(r.n);
+    let log2sq = lg(r.n) * lg(r.n);
+    println!(
+        "{:<10} {:<28} {:>9} {:>14} {:>10} {:>12} {:>9.2} {:>9.1} {:>9.2}",
+        r.task,
+        r.algo,
+        r.n,
+        r.rep.work,
+        r.rep.span,
+        r.rep.cache_misses,
+        r.rep.work as f64 / nlogn,
+        r.rep.span as f64 / log2sq,
+        r.rep.cache_misses as f64 / q_sort_bound(r.n, &r.rep),
+    );
+}
+
+/// Default sweep, doubled twice at the top with `--full`.
+pub fn sweep_from_args(default: &[usize]) -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--full") {
+        let mut v = default.to_vec();
+        if let Some(&top) = v.last() {
+            v.push(top * 2);
+            v.push(top * 4);
+        }
+        v
+    } else {
+        default.to_vec()
+    }
+}
+
+/// Least-squares growth exponent of `y` against `x` on log-log axes —
+/// a quick check that a measured curve scales like the claimed bound.
+pub fn growth_exponent(points: &[(usize, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(_, y)| y > 0.0)
+        .map(|&(x, y)| ((x as f64).ln(), y.ln()))
+        .collect();
+    let k = pts.len() as f64;
+    if pts.len() < 2 {
+        return 0.0;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (k * sxy - sx * sy) / (k * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_exponent_recovers_slope() {
+        let pts: Vec<(usize, f64)> = (1..=6)
+            .map(|k| {
+                let n = 1usize << (10 + k);
+                (n, (n as f64).powf(1.5))
+            })
+            .collect();
+        let g = growth_exponent(&pts);
+        assert!((g - 1.5).abs() < 0.01, "got {g}");
+    }
+
+    #[test]
+    fn meter_runs_workloads() {
+        use fj::Ctx as _;
+        let rep = meter(|c| {
+            fj::par_for(c, 0, 100, 1, &|c, _| c.work(1));
+        });
+        assert!(rep.work >= 100);
+    }
+}

@@ -1,0 +1,291 @@
+//! Oblivious bin placement (§C.1).
+//!
+//! Functionality: given an array of `nbins · Z` slots in which every real
+//! element wants to go to bin `g = (label >> shift) & (nbins-1)`, and the
+//! promise that no bin is wanted by more than `Z` elements, move every real
+//! element into its bin and pad each bin to exactly `Z` slots with fillers.
+//! Output is the concatenation of the `nbins` bins, in place.
+//!
+//! The algorithm is Chan–Shi's: append `Z` *temp* placeholders per bin,
+//! sort by (group, real-before-temp), compute each element's offset within
+//! its group via oblivious propagation, tag offsets `≥ Z` as *excess*, sort
+//! again moving excess/filler to the end, truncate, and convert surviving
+//! temps to fillers. Every step is an oblivious sort, a fixed-pattern scan,
+//! or a parallel map — the access pattern depends only on `(nbins, Z)`.
+//!
+//! A real element tagged excess means the §C.1 promise was violated (bin
+//! overflow); we finish the pass (keeping the trace fixed) and report
+//! [`OblivError::BinOverflow`] so the caller can retry with fresh labels.
+
+use crate::engine::Engine;
+use crate::error::{OblivError, Result};
+use crate::scan::{seg_propagate, Schedule, Seg};
+use crate::slot::{flags, Slot, Val};
+use fj::{grain_for, par_for, Ctx};
+use metrics::Tracked;
+
+/// Sort key: (group ‖ class) with fillers last. Class orders real < temp
+/// within a group.
+#[inline]
+fn key_group_class<V: Val>(s: &Slot<V>, shift: u32, nbins: u64) -> u128 {
+    if s.is_real() {
+        let g = (s.label >> shift) & (nbins - 1);
+        (g as u128) << 1
+    } else if s.is_temp() {
+        ((s.label as u128) << 1) | 1
+    } else {
+        u128::MAX
+    }
+}
+
+/// Group id for offset computation; fillers get the past-the-end group.
+#[inline]
+fn group_of<V: Val>(s: &Slot<V>, shift: u32, nbins: u64) -> u64 {
+    if s.is_real() {
+        (s.label >> shift) & (nbins - 1)
+    } else if s.is_temp() {
+        s.label
+    } else {
+        nbins
+    }
+}
+
+/// Second sort key: surviving slots by (group, real-before-temp) so each
+/// output bin has its reals packed in front; excess and fillers last.
+#[inline]
+fn key_final<V: Val>(s: &Slot<V>, shift: u32, nbins: u64) -> u128 {
+    if s.is_excess() {
+        u128::MAX - 1
+    } else if s.is_filler() {
+        u128::MAX
+    } else {
+        ((group_of(s, shift, nbins) as u128) << 1) | s.is_temp() as u128
+    }
+}
+
+/// Oblivious bin placement over `io` (whose length must be `nbins · zcap`,
+/// with `nbins` and `zcap` powers of two).
+pub fn bin_place<C: Ctx, V: Val>(
+    c: &C,
+    io: &mut Tracked<'_, Slot<V>>,
+    nbins: usize,
+    zcap: usize,
+    shift: u32,
+    engine: Engine,
+) -> Result<()> {
+    let n_io = io.len();
+    assert_eq!(n_io, nbins * zcap, "bin placement shape mismatch");
+    assert!(nbins.is_power_of_two() && zcap.is_power_of_two());
+    let nb64 = nbins as u64;
+
+    // Step 1: working array = input ++ Z temps per bin.
+    let mut w_store = vec![Slot::<V>::filler(); 2 * n_io];
+    let mut w = Tracked::new(c, &mut w_store);
+    {
+        let wr = w.as_raw();
+        let ir = io.as_raw();
+        par_for(c, 0, n_io, grain_for(c), &|c, i| unsafe {
+            wr.set(c, i, ir.get(c, i));
+        });
+        par_for(c, 0, n_io, grain_for(c), &|c, i| unsafe {
+            wr.set(c, n_io + i, Slot::temp((i / zcap) as u64));
+        });
+    }
+
+    // Step 2: sort by (group, real-before-temp), fillers last.
+    set_keys(c, &mut w, &|s| key_group_class(s, shift, nb64));
+    engine.sort_slots(c, &mut w);
+
+    // Step 3: offset within group via propagation of the leftmost index,
+    // then tag offsets ≥ Z as excess. Overflow iff a *real* slot is excess.
+    let mut seg_store = vec![Seg::new(false, 0u64); 2 * n_io];
+    let mut seg = Tracked::new(c, &mut seg_store);
+    {
+        let sr = seg.as_raw();
+        let wr = w.as_raw();
+        par_for(c, 0, 2 * n_io, grain_for(c), &|c, i| unsafe {
+            let g = group_of(&wr.get(c, i), shift, nb64);
+            let head = if i == 0 {
+                true
+            } else {
+                g != group_of(&wr.get(c, i - 1), shift, nb64)
+            };
+            sr.set(c, i, Seg::new(head, i as u64));
+        });
+    }
+    seg_propagate(c, &mut seg, Schedule::Tree);
+    let overflow = {
+        let sr = seg.as_raw();
+        let wr = w.as_raw();
+        fj::par_reduce(
+            c,
+            0,
+            2 * n_io,
+            grain_for(c),
+            &|c, i| unsafe {
+                let start = sr.get(c, i).v;
+                let mut s = wr.get(c, i);
+                let excess = (i as u64 - start) >= zcap as u64;
+                // Branch-free flag update keeps the write unconditional.
+                s.flags |= flags::EXCESS * excess as u8;
+                wr.set(c, i, s);
+                s.is_real() && excess
+            },
+            &|a, b| a | b,
+        )
+        .unwrap_or(false)
+    };
+
+    // Step 4: sort surviving slots by group; excess and fillers to the end.
+    set_keys(c, &mut w, &|s| key_final(s, shift, nb64));
+    engine.sort_slots(c, &mut w);
+
+    // Steps 5–6: truncate to nbins·Z, convert temps to fillers, clear tags.
+    {
+        let wr = w.as_raw();
+        let ir = io.as_raw();
+        par_for(c, 0, n_io, grain_for(c), &|c, i| unsafe {
+            let s = wr.get(c, i);
+            let keep_real = s.is_real() && !s.is_excess();
+            let out = if keep_real {
+                Slot { sk: 0, ..s }
+            } else {
+                Slot::filler()
+            };
+            ir.set(c, i, out);
+        });
+    }
+
+    if overflow {
+        Err(OblivError::BinOverflow)
+    } else {
+        Ok(())
+    }
+}
+
+/// Recompute every slot's scratch sort key with `f` (parallel map).
+pub(crate) fn set_keys<C: Ctx, V: Val>(
+    c: &C,
+    t: &mut Tracked<'_, Slot<V>>,
+    f: &(impl Fn(&Slot<V>) -> u128 + Sync),
+) {
+    let tr = t.as_raw();
+    par_for(c, 0, tr.len(), grain_for(c), &|c, i| unsafe {
+        let mut s = tr.get(c, i);
+        s.sk = f(&s);
+        tr.set(c, i, s);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::Item;
+    use fj::SeqCtx;
+    use metrics::{measure, CacheConfig, TraceMode};
+
+    /// Build an input of `nbins` bins of `zcap` slots with the given
+    /// (bin-choice, value) pairs packed from the front.
+    fn input(nbins: usize, zcap: usize, elems: &[(u64, u64)]) -> Vec<Slot<u64>> {
+        let mut v = vec![Slot::<u64>::filler(); nbins * zcap];
+        assert!(elems.len() <= v.len());
+        for (i, &(g, val)) in elems.iter().enumerate() {
+            v[i] = Slot::real(Item::new(val as u128, val), g);
+        }
+        v
+    }
+
+    fn run(nbins: usize, zcap: usize, elems: &[(u64, u64)]) -> Result<Vec<Slot<u64>>> {
+        let c = SeqCtx::new();
+        let mut v = input(nbins, zcap, elems);
+        let mut t = Tracked::new(&c, &mut v);
+        bin_place(&c, &mut t, nbins, zcap, 0, Engine::BitonicRec)?;
+        Ok(v)
+    }
+
+    #[test]
+    fn places_elements_into_their_bins() {
+        let elems: Vec<(u64, u64)> = vec![(3, 30), (1, 10), (0, 100), (1, 11), (2, 20), (0, 101)];
+        let out = run(4, 4, &elems).unwrap();
+        for b in 0..4u64 {
+            let bin = &out[(b as usize) * 4..(b as usize + 1) * 4];
+            let got: Vec<u64> = bin.iter().filter(|s| s.is_real()).map(|s| s.item.val).collect();
+            let mut expect: Vec<u64> =
+                elems.iter().filter(|&&(g, _)| g == b).map(|&(_, v)| v).collect();
+            expect.sort_unstable();
+            let mut got_sorted = got.clone();
+            got_sorted.sort_unstable();
+            assert_eq!(got_sorted, expect, "bin {b}");
+            // Reals are packed before fillers.
+            let first_filler = bin.iter().position(|s| !s.is_real()).unwrap_or(4);
+            assert!(bin[first_filler..].iter().all(|s| s.is_filler()));
+        }
+    }
+
+    #[test]
+    fn full_bins_are_accepted() {
+        let elems: Vec<(u64, u64)> = (0..8).map(|i| (i % 2, i)).collect(); // 4 per bin
+        let out = run(2, 4, &elems).unwrap();
+        assert_eq!(out.iter().filter(|s| s.is_real()).count(), 8);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        // 5 elements want bin 0 but Z = 4.
+        let elems: Vec<(u64, u64)> = (0..5).map(|v| (0, v)).collect();
+        assert_eq!(run(2, 4, &elems).unwrap_err(), OblivError::BinOverflow);
+    }
+
+    #[test]
+    fn no_temps_survive() {
+        let out = run(4, 4, &[(0, 1), (3, 2)]).unwrap();
+        assert!(out.iter().all(|s| !s.is_temp() && !s.is_excess()));
+        assert_eq!(out.iter().filter(|s| s.is_real()).count(), 2);
+    }
+
+    #[test]
+    fn respects_shift() {
+        let c = SeqCtx::new();
+        // Labels 0b10 and 0b00; with shift=1 groups are 1 and 0.
+        let mut v = input(2, 4, &[]);
+        v[0] = Slot::real(Item::new(1, 1u64), 0b10);
+        v[1] = Slot::real(Item::new(2, 2u64), 0b00);
+        let mut t = Tracked::new(&c, &mut v);
+        bin_place(&c, &mut t, 2, 4, 1, Engine::BitonicRec).unwrap();
+        assert!(v[0..4].iter().any(|s| s.is_real() && s.item.val == 2));
+        assert!(v[4..8].iter().any(|s| s.is_real() && s.item.val == 1));
+    }
+
+    #[test]
+    fn trace_is_input_independent() {
+        let run_trace = |elems: Vec<(u64, u64)>| {
+            let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+                let mut v = input(8, 8, &elems);
+                let mut t = Tracked::new(c, &mut v);
+                let _ = bin_place(c, &mut t, 8, 8, 0, Engine::BitonicRec);
+            });
+            (rep.trace_hash, rep.trace_len)
+        };
+        let a = run_trace((0..32).map(|i| (i % 8, i)).collect());
+        let b = run_trace((0..32).map(|i| (7 - i % 8, i * 3)).collect());
+        let empty = run_trace(vec![]);
+        assert_eq!(a, b);
+        assert_eq!(a, empty, "even load pattern must not alter the trace");
+    }
+
+    #[test]
+    fn overflowing_and_ok_inputs_have_identical_traces() {
+        // Overflow detection must not branch the access pattern.
+        let run_trace = |elems: Vec<(u64, u64)>| {
+            let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+                let mut v = input(4, 4, &elems);
+                let mut t = Tracked::new(c, &mut v);
+                let _ = bin_place(c, &mut t, 4, 4, 0, Engine::BitonicRec);
+            });
+            (rep.trace_hash, rep.trace_len)
+        };
+        let ok = run_trace((0..8).map(|i| (i % 4, i)).collect());
+        let over = run_trace((0..8).map(|i| (0, i)).collect());
+        assert_eq!(ok, over);
+    }
+}

@@ -1,0 +1,106 @@
+//! Oblivious (stable) tight compaction via sorting.
+//!
+//! Moves all marked elements to the front, preserving order, without
+//! revealing *which* positions were marked — only how many (the output
+//! length, which is the functionality's public output). The paper notes
+//! optimal-work compaction exists [AKL+20b]; sorting-based compaction is
+//! what its own pool-cleanup steps use ("this can be accomplished through
+//! oblivious sorting"), and it meets the sorting bound.
+
+use crate::binplace::set_keys;
+use crate::engine::Engine;
+use crate::slot::{Item, Slot, Val};
+use fj::Ctx;
+use metrics::Tracked;
+
+/// Stable oblivious compaction: returns the values flagged `true`, in
+/// input order. The access pattern depends only on `flagged.len()`.
+pub fn oblivious_compact<C: Ctx, V: Val>(
+    c: &C,
+    flagged: &[(bool, V)],
+    engine: Engine,
+) -> Vec<V> {
+    let n = flagged.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = n.next_power_of_two();
+    let mut slots: Vec<Slot<V>> = flagged
+        .iter()
+        .enumerate()
+        .map(|(i, &(keep, v))| {
+            let mut s = Slot::real(Item::new(i as u128, v), keep as u64);
+            // Kept elements sort by position; dropped ones sink to the end.
+            s.sk = if keep { i as u128 } else { u128::MAX };
+            s
+        })
+        .collect();
+    slots.resize(m, Slot { sk: u128::MAX, ..Slot::filler() });
+
+    let mut t = Tracked::new(c, &mut slots);
+    set_keys(c, &mut t, &|s: &Slot<V>| s.sk.max(if s.is_filler() { u128::MAX } else { 0 }));
+    engine.sort_slots(c, &mut t);
+
+    // Fixed-pattern count, then reveal exactly the kept prefix.
+    let mut kept = 0usize;
+    for i in 0..m {
+        let s = t.get(c, i);
+        c.work(1);
+        kept += (s.is_real() && s.label == 1) as usize;
+    }
+    (0..kept).map(|i| t.get(c, i).item.val).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj::SeqCtx;
+    use metrics::{measure, CacheConfig, TraceMode};
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_marked_in_order() {
+        let c = SeqCtx::new();
+        let input: Vec<(bool, u64)> =
+            vec![(true, 1), (false, 2), (true, 3), (true, 4), (false, 5), (true, 6)];
+        assert_eq!(oblivious_compact(&c, &input, Engine::BitonicRec), vec![1, 3, 4, 6]);
+    }
+
+    #[test]
+    fn all_dropped_and_all_kept() {
+        let c = SeqCtx::new();
+        let none: Vec<(bool, u64)> = (0..10).map(|i| (false, i)).collect();
+        assert!(oblivious_compact(&c, &none, Engine::BitonicRec).is_empty());
+        let all: Vec<(bool, u64)> = (0..10).map(|i| (true, i)).collect();
+        assert_eq!(oblivious_compact(&c, &all, Engine::BitonicRec), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trace_independent_of_flags_up_to_count() {
+        // Two inputs with the SAME number of kept elements but different
+        // positions must produce identical traces.
+        let run = |flags: Vec<bool>| {
+            let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+                let input: Vec<(bool, u64)> =
+                    flags.iter().enumerate().map(|(i, &f)| (f, i as u64)).collect();
+                oblivious_compact(c, &input, Engine::BitonicRec);
+            });
+            (rep.trace_hash, rep.trace_len)
+        };
+        let a = run((0..64).map(|i| i % 2 == 0).collect());
+        let b = run((0..64).map(|i| i < 32).collect());
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_filter(flags in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let c = SeqCtx::new();
+            let input: Vec<(bool, u64)> =
+                flags.iter().enumerate().map(|(i, &f)| (f, i as u64)).collect();
+            let expect: Vec<u64> =
+                input.iter().filter(|&&(f, _)| f).map(|&(_, v)| v).collect();
+            prop_assert_eq!(oblivious_compact(&c, &input, Engine::BitonicRec), expect);
+        }
+    }
+}

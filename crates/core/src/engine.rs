@@ -1,0 +1,93 @@
+//! The small-sort engine: which oblivious network sorts the
+//! poly-log-sized subproblems.
+//!
+//! The paper's theory variant invokes the AKS network here; its practical
+//! variant (§3.4) uses bitonic sort, paying a `log log n` work factor. We
+//! offer both trade-offs (see DESIGN.md §4 for the AKS substitution):
+//!
+//! * [`Engine::BitonicRec`] — the cache-agnostic recursive bitonic sort of
+//!   §E.1 (the paper's practical choice, and our default);
+//! * [`Engine::BitonicFlat`] — naive layer-parallel bitonic (strawman);
+//! * [`Engine::OddEven`] — Batcher's odd-even mergesort;
+//! * [`Engine::Shellsort`] — Goodrich's randomized Shellsort with
+//!   `O(n log n)` comparisons, the honest stand-in for AKS.
+
+use crate::slot::{sk_of, Slot, Val};
+use fj::Ctx;
+use metrics::Tracked;
+use sortnet::{bitonic_sort_flat_par, bitonic_sort_rec, oddeven_sort, randomized_shellsort};
+
+/// Selects the data-oblivious network used for small sorts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Engine {
+    /// Cache-agnostic recursive bitonic (§E.1) — the practical default.
+    #[default]
+    BitonicRec,
+    /// Layer-by-layer parallel bitonic — the naive baseline.
+    BitonicFlat,
+    /// Batcher's odd-even mergesort.
+    OddEven,
+    /// Randomized Shellsort with the given public coin seed (AKS stand-in,
+    /// `O(n log n)` comparisons).
+    Shellsort { seed: u64 },
+}
+
+
+impl Engine {
+    /// Sort `t` ascending by the slots' scratch key `sk`. Length must be a
+    /// power of two (callers pad with fillers whose `sk` is `u128::MAX`).
+    pub fn sort_slots<C: Ctx, V: Val>(&self, c: &C, t: &mut Tracked<'_, Slot<V>>) {
+        match *self {
+            Engine::BitonicRec => {
+                let mut scratch = vec![Slot::<V>::filler(); t.len()];
+                let mut tmp = Tracked::new(c, &mut scratch);
+                bitonic_sort_rec(c, t, &mut tmp, &sk_of, true);
+            }
+            Engine::BitonicFlat => bitonic_sort_flat_par(c, t, &sk_of, true),
+            Engine::OddEven => oddeven_sort(c, t, &sk_of),
+            Engine::Shellsort { seed } => {
+                // Mix in the length so different call sites draw different
+                // coins while staying deterministic per (seed, n).
+                randomized_shellsort(c, t, &sk_of, seed ^ (t.len() as u64).wrapping_mul(0x9E37));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::Item;
+    use fj::SeqCtx;
+
+    fn slots_with_keys(keys: &[u64]) -> Vec<Slot<u64>> {
+        keys.iter()
+            .map(|&k| {
+                let mut s = Slot::real(Item::new(k as u128, k), 0);
+                s.sk = k as u128;
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_engines_sort_by_sk() {
+        let c = SeqCtx::new();
+        let keys: Vec<u64> = (0..128u64).map(|i| i.wrapping_mul(2654435761) % 251).collect();
+        let mut expect: Vec<u64> = keys.clone();
+        expect.sort_unstable();
+        for engine in [
+            Engine::BitonicRec,
+            Engine::BitonicFlat,
+            Engine::OddEven,
+            Engine::Shellsort { seed: 11 },
+        ] {
+            let mut slots = slots_with_keys(&keys);
+            let mut t = Tracked::new(&c, &mut slots);
+            engine.sort_slots(&c, &mut t);
+            let got: Vec<u64> = slots.iter().map(|s| s.sk as u64).collect();
+            assert_eq!(got, expect, "engine {engine:?}");
+        }
+    }
+}

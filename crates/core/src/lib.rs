@@ -1,0 +1,51 @@
+//! # obliv-core — the paper's primary contribution
+//!
+//! Data-oblivious algorithms for the binary fork-join model
+//! (Ramachandran & Shi, SPAA 2021), cache-agnostically:
+//!
+//! * [`binplace`] — oblivious bin placement (§C.1);
+//! * [`meta_orba`] / [`rec_orba`] — oblivious random bin assignment, flat
+//!   meta-algorithm (§C.2) and the recursive cache-agnostic schedule
+//!   (§3.2, §D.1, Lemma 3.1);
+//! * [`orp`] — oblivious random permutation (§C.3, §D.2);
+//! * [`rec_sort`] — REC-SORT, the pivot-routed butterfly sorter for
+//!   randomly permuted inputs (§E.2);
+//! * [`osort`] — the full oblivious sorting pipelines, practical (§3.4)
+//!   and theory (§3.3) variants (Theorem 3.2);
+//! * [`scan`] — prefix scans plus oblivious aggregation and propagation
+//!   (§F), with the paper's `O(log n)`-span schedule and the naive
+//!   `O(log² n)` baseline (Table 2);
+//! * [`sendrecv`] — oblivious send-receive / routing (§F);
+//! * [`compact`] — sorting-based oblivious tight compaction;
+//! * [`baseline`] — insecure parallel mergesort (SPMS substitute).
+//!
+//! See DESIGN.md at the workspace root for the substitution ledger
+//! (AKS → bitonic/randomized Shellsort, SPMS → REC-SORT/mergesort).
+
+pub mod baseline;
+pub mod binplace;
+pub mod compact;
+pub mod engine;
+pub mod error;
+pub mod meta_orba;
+pub mod orp;
+pub mod osort;
+pub mod rec_orba;
+pub mod rec_sort;
+pub mod scan;
+pub mod sendrecv;
+pub mod slot;
+
+pub use baseline::par_merge_sort;
+pub use binplace::bin_place;
+pub use compact::oblivious_compact;
+pub use engine::Engine;
+pub use error::{with_retries, OblivError, Result};
+pub use meta_orba::meta_orba;
+pub use orp::{orp, orp_once};
+pub use osort::{oblivious_sort, oblivious_sort_u64, FinalSorter, OSortParams, SortOutcome};
+pub use rec_orba::{bins_for, rec_orba, BinLayout, OrbaParams};
+pub use rec_sort::rec_sort_items;
+pub use scan::{prefix_sum, scan, seg_propagate, seg_sum_right, Schedule, Seg};
+pub use sendrecv::send_receive;
+pub use slot::{composite_key, flags, Item, Slot, Val};

@@ -1,0 +1,422 @@
+//! REC-SORT (§E.2): a conceptually simple, cache-agnostic binary fork-join
+//! sorter for *randomly permuted* inputs — the paper's practical
+//! replacement for SPMS as the final phase of oblivious sorting.
+//!
+//! Structure: identical to REC-ORBA's recursive butterfly, but an element's
+//! destination bin at each level is determined by a sorted array of
+//! *pivots* (approximate `Θ(n/Z)`-quantiles drawn from a random sample)
+//! instead of random label bits. Bins have a fixed capacity with constant
+//! slack over the expected load; the §E.2 Chernoff argument shows overflow
+//! is negligible when the input order is random and keys are distinct
+//! (callers guarantee distinctness with composite tiebreak keys). Overflow
+//! is detected and surfaces as [`OblivError::PivotOverflow`]; callers retry
+//! with fresh sample coins.
+//!
+//! REC-SORT need not be data-oblivious (the input permutation already
+//! decorrelates its trace from the data), which is why base cases may
+//! binary-search and reveal loads.
+
+use crate::engine::Engine;
+use crate::error::{OblivError, Result};
+use crate::slot::{Item, Slot, Val};
+use fj::{grain_for, par_for, Ctx};
+use metrics::{RawTracked, Tracked};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sortnet::{par_rows2, transpose};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Inputs at or below this size skip the butterfly and use one padded
+/// bitonic sort.
+const SMALL: usize = 2048;
+
+/// Filler slot that sorts after every real key.
+fn filler_hi<V: Val>() -> Slot<V> {
+    Slot { sk: u128::MAX, ..Slot::filler() }
+}
+
+/// A window into the global pivot array: the boundary between this
+/// subproblem's bins `t-1` and `t` is `pivots[r0 + t·stride − 1]`.
+#[derive(Clone, Copy)]
+struct PivotView {
+    r0: usize,
+    stride: usize,
+}
+
+impl PivotView {
+    /// Key of boundary `t` (1 ≤ t < nbins); out-of-range ⇒ +∞.
+    fn boundary<C: Ctx>(&self, c: &C, pivots: &RawTracked<u128>, t: usize) -> u128 {
+        let idx = self.r0 + t * self.stride - 1;
+        if idx < pivots.len() {
+            // SAFETY: pivots are read-only during the butterfly.
+            unsafe { pivots.get(c, idx) }
+        } else {
+            u128::MAX
+        }
+    }
+}
+
+/// Sort `items` ascending by key. Keys should be distinct (use
+/// [`crate::slot::composite_key`]); `items` should be in random order for
+/// the performance (and overflow) guarantees, per §E.2.
+pub fn rec_sort_items<C: Ctx, V: Val>(
+    c: &C,
+    items: &mut [Item<V>],
+    engine: Engine,
+    gamma: usize,
+    seed: u64,
+) -> Result<()> {
+    let n = items.len();
+    if n <= SMALL {
+        return sort_small(c, items, engine);
+    }
+    let lg = (usize::BITS - n.leading_zeros()) as usize;
+
+    // --- Pivot selection (§E.2): Bernoulli(1/log n) sample, sorted with
+    // bitonic; every (log² n)-th sample becomes a pivot.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample: Vec<Item<V>> = items.iter().filter(|_| rng.gen_range(0..lg) == 0).copied().collect();
+    let mut sorted_sample = sample;
+    sort_small(c, &mut sorted_sample, engine)?;
+    let stride = lg * lg;
+    let pivot_keys: Vec<u128> =
+        sorted_sample.iter().skip(stride - 1).step_by(stride).map(|it| it.key).collect();
+
+    let regions = pivot_keys.len() + 1;
+    let nbins = regions.next_power_of_two();
+    let chunk = n.div_ceil(nbins);
+    let cap = (4 * chunk).next_power_of_two().max(16);
+
+    let mut pivots_store = vec![u128::MAX; (nbins - 1).max(1)];
+    pivots_store[..pivot_keys.len()].copy_from_slice(&pivot_keys);
+
+    // --- Build the bin layout: β bins of `cap`, input chunked across bins.
+    let mut slots = vec![filler_hi::<V>(); nbins * cap];
+    {
+        let mut t = Tracked::new(c, &mut slots);
+        let tr = t.as_raw();
+        par_for(c, 0, n, grain_for(c), &|c, i| {
+            let (b, off) = (i / chunk, i % chunk);
+            let mut s = Slot::real(items[i], 0);
+            s.sk = items[i].key;
+            // SAFETY: (b, off) pairs are distinct.
+            unsafe { tr.set(c, b * cap + off, s) };
+        });
+    }
+
+    // --- Butterfly.
+    let overflow = AtomicBool::new(false);
+    {
+        let mut pivots_t = Tracked::new(c, &mut pivots_store);
+        let pv = pivots_t.as_raw();
+        let mut t = Tracked::new(c, &mut slots);
+        let mut scratch_store = vec![filler_hi::<V>(); t.len()];
+        let mut scratch = Tracked::new(c, &mut scratch_store);
+        rec(
+            c,
+            t.borrow_mut(),
+            scratch.borrow_mut(),
+            nbins,
+            cap,
+            PivotView { r0: 0, stride: 1 },
+            &pv,
+            engine,
+            gamma,
+            &overflow,
+        );
+    }
+    if overflow.load(Ordering::Relaxed) {
+        return Err(OblivError::PivotOverflow);
+    }
+
+    // --- Read out: bins are sorted with reals packed in front. Per-bin
+    // loads + a prefix sum keep the span logarithmic.
+    {
+        let mut t = Tracked::new(c, &mut slots);
+        let tr = t.as_raw();
+        let mut loads: Vec<u64> = metrics::par_collect(c, nbins, &|c, b| {
+            (0..cap)
+                .map(|i| {
+                    // SAFETY: read-only phase.
+                    u64::from(unsafe { tr.get(c, b * cap + i) }.is_real())
+                })
+                .sum()
+        });
+        let mut off_t = Tracked::new(c, &mut loads);
+        crate::scan::prefix_sum(c, &mut off_t, false, crate::scan::Schedule::Tree);
+        let offsets: Vec<u64> = off_t.raw().to_vec();
+        let mut out_t = Tracked::new(c, items);
+        let or = out_t.as_raw();
+        par_for(c, 0, nbins, grain_for(c), &|c, b| {
+            let mut at = offsets[b] as usize;
+            for i in 0..cap {
+                // SAFETY: bins write disjoint output ranges.
+                let s = unsafe { tr.get(c, b * cap + i) };
+                if s.is_real() {
+                    unsafe { or.set(c, at, s.item) };
+                    at += 1;
+                }
+            }
+        });
+    }
+    Ok(())
+}
+
+/// Padded bitonic sort for small instances (and the pivot sample).
+fn sort_small<C: Ctx, V: Val>(c: &C, items: &mut [Item<V>], engine: Engine) -> Result<()> {
+    let n = items.len();
+    if n <= 1 {
+        return Ok(());
+    }
+    let m = n.next_power_of_two();
+    let mut slots = vec![filler_hi::<V>(); m];
+    {
+        let mut t = Tracked::new(c, &mut slots);
+        let tr = t.as_raw();
+        let items_ref: &[Item<V>] = items;
+        par_for(c, 0, n, grain_for(c), &|c, i| {
+            // SAFETY: disjoint writes per i.
+            unsafe { tr.set(c, i, Slot { sk: items_ref[i].key, ..Slot::real(items_ref[i], 0) }) };
+        });
+        engine.sort_slots(c, &mut t);
+        let tr = t.as_raw();
+        let mut out_t = Tracked::new(c, items);
+        let or = out_t.as_raw();
+        par_for(c, 0, n, grain_for(c), &|c, i| unsafe {
+            // SAFETY: disjoint per-index slots.
+            let s = tr.get(c, i);
+            debug_assert!(s.is_real());
+            or.set(c, i, s.item);
+        });
+    }
+    Ok(())
+}
+
+/// Recursive butterfly over bins; see REC-ORBA for the schedule. `slots`
+/// holds the result on return.
+#[allow(clippy::too_many_arguments)]
+fn rec<C: Ctx, V: Val>(
+    c: &C,
+    mut slots: Tracked<'_, Slot<V>>,
+    mut scratch: Tracked<'_, Slot<V>>,
+    nbins: usize,
+    cap: usize,
+    view: PivotView,
+    pivots: &RawTracked<u128>,
+    engine: Engine,
+    gamma: usize,
+    overflow: &AtomicBool,
+) {
+    if nbins <= gamma {
+        base_case(c, &mut slots, &mut scratch, nbins, cap, view, pivots, engine, overflow);
+        return;
+    }
+    let k = nbins.trailing_zeros();
+    let k1 = k.div_ceil(2);
+    let b1 = 1usize << k1; // partitions (stage 1), fine bins per row (stage 2)
+    let b2 = nbins >> k1; // bins per partition (stage 1 output), rows (stage 2)
+
+    // Stage 1: route within each partition by the coarse boundaries
+    // (every b1-th of this subproblem's pivots).
+    par_rows2(c, slots.borrow_mut(), scratch.borrow_mut(), b1, b2 * cap, 0, &|c, _, s, tmp| {
+        rec(
+            c,
+            s,
+            tmp,
+            b2,
+            cap,
+            PivotView { r0: view.r0, stride: view.stride * b1 },
+            pivots,
+            engine,
+            gamma,
+            overflow,
+        );
+    });
+
+    transpose(c, &mut slots, &mut scratch, b1, b2, cap);
+
+    // Stage 2: row q covers this subproblem's regions
+    // [q·b1·stride, (q+1)·b1·stride); refine by the fine boundaries.
+    par_rows2(c, scratch.borrow_mut(), slots.borrow_mut(), b2, b1 * cap, 0, &|c, q, s, tmp| {
+        rec(
+            c,
+            s,
+            tmp,
+            b1,
+            cap,
+            PivotView { r0: view.r0 + q * b1 * view.stride, stride: view.stride },
+            pivots,
+            engine,
+            gamma,
+            overflow,
+        );
+    });
+
+    // Copy the result back into `slots`.
+    let sr = scratch.as_raw();
+    let dr = slots.as_raw();
+    par_for(c, 0, nbins, grain_for(c), &|c, b| unsafe {
+        // SAFETY: disjoint cap-slot chunks per b.
+        dr.copy_from(c, &sr, b * cap, b * cap, cap);
+    });
+}
+
+/// Base case: sort the whole group, then split the sorted run into bins at
+/// the pivot boundaries (binary searches — the input permutation makes this
+/// safe to do non-obliviously).
+#[allow(clippy::too_many_arguments)]
+fn base_case<C: Ctx, V: Val>(
+    c: &C,
+    slots: &mut Tracked<'_, Slot<V>>,
+    scratch: &mut Tracked<'_, Slot<V>>,
+    nbins: usize,
+    cap: usize,
+    view: PivotView,
+    pivots: &RawTracked<u128>,
+    engine: Engine,
+    overflow: &AtomicBool,
+) {
+    engine.sort_slots(c, slots);
+    // Count reals: first index whose slot is a filler (sk = MAX sorts last;
+    // real keys are < MAX by construction).
+    let total = {
+        let mut lo = 0;
+        let mut hi = slots.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if slots.get(c, mid).is_real() {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+    // Boundary positions via binary search (upper bound of each pivot key).
+    let mut pos = vec![0usize; nbins + 1];
+    pos[nbins] = total;
+    for t in 1..nbins {
+        let key = view.boundary(c, pivots, t);
+        let mut lo = 0;
+        let mut hi = total;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if slots.get(c, mid).sk <= key {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        pos[t] = lo;
+    }
+    // Distribute the sorted segments into fixed-capacity bins in scratch.
+    {
+        let sr = slots.as_raw();
+        let dr = scratch.as_raw();
+        let pos = &pos;
+        par_for(c, 0, nbins, grain_for(c), &|c, b| {
+            let (lo, hi) = (pos[b], pos[b + 1]);
+            let load = hi - lo;
+            if load > cap {
+                overflow.store(true, Ordering::Relaxed);
+            }
+            let take = load.min(cap);
+            // SAFETY: bins write disjoint cap-chunks of scratch.
+            unsafe {
+                dr.copy_from(c, &sr, lo, b * cap, take);
+                for i in take..cap {
+                    dr.set(c, b * cap + i, filler_hi::<V>());
+                }
+            }
+        });
+    }
+    // Copy back.
+    let sr = scratch.as_raw();
+    let dr = slots.as_raw();
+    par_for(c, 0, nbins, grain_for(c), &|c, b| unsafe {
+        // SAFETY: disjoint chunks.
+        dr.copy_from(c, &sr, b * cap, b * cap, cap);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::with_retries;
+    use crate::slot::composite_key;
+    use fj::{Pool, SeqCtx};
+    use rand::seq::SliceRandom;
+
+    fn shuffled_items(n: usize, seed: u64) -> Vec<Item<u64>> {
+        let mut v: Vec<Item<u64>> =
+            (0..n as u64).map(|i| Item::new(composite_key(i.wrapping_mul(2654435761) % (n as u64), i), i)).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(seed));
+        v
+    }
+
+    fn assert_sorted<V: Val>(items: &[Item<V>]) {
+        assert!(items.windows(2).all(|w| w[0].key <= w[1].key), "not sorted");
+    }
+
+    #[test]
+    fn sorts_small_inputs() {
+        let c = SeqCtx::new();
+        for n in [0usize, 1, 2, 17, 100, 1000, 2048] {
+            let mut items = shuffled_items(n, 3);
+            rec_sort_items(&c, &mut items, Engine::BitonicRec, 16, 5).unwrap();
+            assert_sorted(&items);
+            assert_eq!(items.len(), n);
+        }
+    }
+
+    #[test]
+    fn sorts_large_input_through_butterfly() {
+        let c = SeqCtx::new();
+        let n = 40_000;
+        let mut items = shuffled_items(n, 11);
+        let (_, attempts) = with_retries(16, |a| {
+            let mut copy = items.clone();
+            rec_sort_items(&c, &mut copy, Engine::BitonicRec, 16, 100 + a as u64)?;
+            items = copy;
+            Ok(())
+        });
+        assert!(attempts <= 3, "needed {attempts} attempts");
+        assert_sorted(&items);
+        let mut vals: Vec<u64> = items.iter().map(|i| i.val).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_rec_sort() {
+        let pool = Pool::new(4);
+        let n = 30_000;
+        let mut items = shuffled_items(n, 23);
+        pool.run(|c| {
+            with_retries(16, |a| {
+                let mut copy = items.clone();
+                rec_sort_items(c, &mut copy, Engine::BitonicRec, 16, 7 + a as u64)?;
+                items = copy;
+                Ok(())
+            })
+        });
+        assert_sorted(&items);
+    }
+
+    #[test]
+    fn handles_duplicate_primary_keys_with_tiebreaks() {
+        let c = SeqCtx::new();
+        let n = 20_000usize;
+        // Only 4 distinct primary keys; composite keys stay distinct.
+        let mut items: Vec<Item<u64>> =
+            (0..n as u64).map(|i| Item::new(composite_key(i % 4, i), i)).collect();
+        items.shuffle(&mut StdRng::seed_from_u64(9));
+        let (_, _) = with_retries(16, |a| {
+            let mut copy = items.clone();
+            rec_sort_items(&c, &mut copy, Engine::BitonicRec, 16, 55 + a as u64)?;
+            items = copy;
+            Ok(())
+        });
+        assert_sorted(&items);
+    }
+}

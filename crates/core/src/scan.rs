@@ -1,0 +1,480 @@
+//! Scans: prefix sums, segmented propagation and aggregation (§F).
+//!
+//! The paper realizes oblivious *aggregation* and *propagation* in a sorted
+//! array with segmented prefix/suffix scans: `O(n)` work, `O(n/B)` cache
+//! complexity, and `O(log n)` span in the binary fork-join model — a
+//! `log n`-factor span improvement over the prior best, which forked `n`
+//! threads per PRAM step of the doubling algorithm (Table 2 rows "Aggr" and
+//! "Prop"). Both schedules are implemented here:
+//!
+//! * [`Schedule::Tree`] — recursive reduce/distribute tree: each tree node
+//!   is a constant-work fork, so the span is `O(log n)` (ours);
+//! * [`Schedule::Levels`] — the Blelloch up/down sweeps evaluated level by
+//!   level with a parallel loop (and its fork tree) per level:
+//!   `Σ_d O(log(n/2^d)) = O(log² n)` span (prior best).
+//!
+//! Scans are trivially data-oblivious: the access pattern depends only on
+//! `n`.
+
+use crate::slot::Val;
+use fj::{grain_for, par_for, Ctx};
+use metrics::Tracked;
+
+/// Which parallel schedule evaluates the scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Recursive tree, span `O(log n)` — the paper's construction.
+    Tree,
+    /// Level-by-level sweeps, span `O(log² n)` — the naive baseline.
+    Levels,
+}
+
+/// Generic scan with an associative `combine` and two-sided identity `id`
+/// (identity is only ever combined on the right of live data, so a
+/// right-identity suffices — see [`seg_propagate`]).
+///
+/// * `inclusive` — include the element itself in its result;
+/// * `reverse` — scan right-to-left (suffix scan).
+///
+/// Work `O(n)`, cache `O(n/B)`, span per [`Schedule`].
+pub fn scan<C, S, OP>(
+    c: &C,
+    data: &mut Tracked<'_, S>,
+    id: S,
+    combine: &OP,
+    inclusive: bool,
+    reverse: bool,
+    sched: Schedule,
+) where
+    C: Ctx,
+    S: Val,
+    OP: Fn(S, S) -> S + Sync,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let m = n.next_power_of_two();
+
+    // Gather leaves (logical order: reversed for suffix scans) into a
+    // padded scratch tree of size 2m; leaves live at [m, 2m).
+    let mut tree_store = vec![id; 2 * m];
+    let mut tree = Tracked::new(c, &mut tree_store);
+    {
+        let tr = tree.as_raw();
+        let dr = data.as_raw();
+        par_for(c, 0, n, grain_for(c), &|c, j| {
+            let src = if reverse { n - 1 - j } else { j };
+            // SAFETY: leaf m+j written once; data[src] only read.
+            unsafe { tr.set(c, m + j, dr.get(c, src)) };
+        });
+    }
+
+    match sched {
+        Schedule::Tree => {
+            let tr = tree.as_raw();
+            // SAFETY: `up` writes each internal node once (its owner task);
+            // `down` writes each data element once via the bijective
+            // logical-index map.
+            up(c, &tr, combine, 1, m);
+            let dr = data.as_raw();
+            down(c, &tr, &dr, combine, 1, m, n, id, inclusive, reverse);
+        }
+        Schedule::Levels => {
+            levels_scan(c, &mut tree, data, id, combine, inclusive, reverse, m, n);
+        }
+    }
+}
+
+fn up<C, S, OP>(c: &C, tree: &metrics::RawTracked<S>, combine: &OP, node: usize, m: usize)
+where
+    C: Ctx,
+    S: Val,
+    OP: Fn(S, S) -> S + Sync,
+{
+    if node >= m {
+        return;
+    }
+    c.join(
+        |c| up(c, tree, combine, 2 * node, m),
+        |c| up(c, tree, combine, 2 * node + 1, m),
+    );
+    // SAFETY: children finished; this node written only here.
+    unsafe {
+        let l = tree.get(c, 2 * node);
+        let r = tree.get(c, 2 * node + 1);
+        c.work(1);
+        tree.set(c, node, combine(l, r));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn down<C, S, OP>(
+    c: &C,
+    tree: &metrics::RawTracked<S>,
+    data: &metrics::RawTracked<S>,
+    combine: &OP,
+    node: usize,
+    m: usize,
+    n: usize,
+    acc: S,
+    inclusive: bool,
+    reverse: bool,
+) where
+    C: Ctx,
+    S: Val,
+    OP: Fn(S, S) -> S + Sync,
+{
+    if node >= m {
+        let j = node - m;
+        if j < n {
+            let dst = if reverse { n - 1 - j } else { j };
+            // SAFETY: each logical leaf maps to a unique data slot.
+            unsafe {
+                let out = if inclusive {
+                    let leaf = tree.get(c, node);
+                    c.work(1);
+                    combine(acc, leaf)
+                } else {
+                    acc
+                };
+                data.set(c, dst, out);
+            }
+        }
+        return;
+    }
+    // Prune empty subtrees (all-padding) to keep work at O(n).
+    let leaves_lo = node_first_leaf(node, m);
+    if leaves_lo >= n {
+        return;
+    }
+    // SAFETY: left child's subtotal was finalized during `up`.
+    let left_total = unsafe { tree.get(c, 2 * node) };
+    c.work(1);
+    let right_acc = combine(acc, left_total);
+    c.join(
+        |c| down(c, tree, data, combine, 2 * node, m, n, acc, inclusive, reverse),
+        |c| down(c, tree, data, combine, 2 * node + 1, m, n, right_acc, inclusive, reverse),
+    );
+}
+
+/// Index of the first leaf (relative to the leaf row) under `node`.
+fn node_first_leaf(mut node: usize, m: usize) -> usize {
+    while node < m {
+        node *= 2;
+    }
+    node - m
+}
+
+#[allow(clippy::too_many_arguments)]
+fn levels_scan<C, S, OP>(
+    c: &C,
+    tree: &mut Tracked<'_, S>,
+    data: &mut Tracked<'_, S>,
+    id: S,
+    combine: &OP,
+    inclusive: bool,
+    reverse: bool,
+    m: usize,
+    n: usize,
+) where
+    C: Ctx,
+    S: Val,
+    OP: Fn(S, S) -> S + Sync,
+{
+    // Work on the leaf row [m, 2m) of the scratch; keep original leaves for
+    // the inclusive fix-up.
+    let mut orig_store = vec![id; if inclusive { m } else { 0 }];
+    let mut orig = Tracked::new(c, &mut orig_store);
+    if inclusive {
+        let or = orig.as_raw();
+        let tr = tree.as_raw();
+        par_for(c, 0, m, grain_for(c), &|c, j| unsafe {
+            or.set(c, j, tr.get(c, m + j));
+        });
+    }
+
+    let tr = tree.as_raw();
+    // Up-sweep.
+    let mut offset = 1;
+    while offset < m {
+        let step = offset * 2;
+        par_for(c, 0, m / step, grain_for(c), &|c, i| {
+            let idx = m + i * step;
+            // SAFETY: disjoint `idx` ranges per i.
+            unsafe {
+                let a = tr.get(c, idx + offset - 1);
+                let b = tr.get(c, idx + step - 1);
+                c.work(1);
+                tr.set(c, idx + step - 1, combine(a, b));
+            }
+        });
+        offset = step;
+    }
+    // Down-sweep (exclusive).
+    // SAFETY: single write to the root slot.
+    unsafe { tr.set(c, 2 * m - 1, id) };
+    let mut offset = m / 2;
+    while offset >= 1 {
+        let step = offset * 2;
+        par_for(c, 0, m / step, grain_for(c), &|c, i| {
+            let idx = m + i * step;
+            // SAFETY: disjoint `idx` ranges per i.
+            unsafe {
+                let t = tr.get(c, idx + offset - 1);
+                let top = tr.get(c, idx + step - 1);
+                c.work(1);
+                tr.set(c, idx + offset - 1, top);
+                // `top` is the prefix arriving from the parent and `t` the
+                // left subtotal: parent-prefix first (combine need not be
+                // commutative — segmented scans are not).
+                tr.set(c, idx + step - 1, combine(top, t));
+            }
+        });
+        offset /= 2;
+    }
+    // Write back (with inclusive fix-up).
+    let dr = data.as_raw();
+    let or = orig.as_raw();
+    par_for(c, 0, n, grain_for(c), &|c, j| {
+        let dst = if reverse { n - 1 - j } else { j };
+        // SAFETY: bijective logical-index map.
+        unsafe {
+            let ex = tr.get(c, m + j);
+            let out = if inclusive {
+                c.work(1);
+                combine(ex, or.get(c, j))
+            } else {
+                ex
+            };
+            dr.set(c, dst, out);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Concrete scans
+// ---------------------------------------------------------------------------
+
+/// In-place prefix sum over `u64` (wrapping).
+pub fn prefix_sum<C: Ctx>(c: &C, t: &mut Tracked<'_, u64>, inclusive: bool, sched: Schedule) {
+    scan(c, t, 0u64, &|a, b| a.wrapping_add(b), inclusive, false, sched);
+}
+
+// ---------------------------------------------------------------------------
+// Segmented scans: propagation and aggregation (§F)
+// ---------------------------------------------------------------------------
+
+/// A segmented-scan element: `head` marks the first element of its segment
+/// *in scan direction*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Seg<V> {
+    pub head: bool,
+    pub v: V,
+}
+
+impl<V> Seg<V> {
+    pub fn new(head: bool, v: V) -> Self {
+        Seg { head, v }
+    }
+}
+
+fn seg_combine<V: Val, OP: Fn(V, V) -> V + Sync>(op: &OP) -> impl Fn(Seg<V>, Seg<V>) -> Seg<V> + Sync + '_ {
+    move |a, b| {
+        if b.head {
+            b
+        } else {
+            Seg { head: a.head || b.head, v: op(a.v, b.v) }
+        }
+    }
+}
+
+/// Oblivious **propagation** (§F): every element learns the value held by
+/// its segment's head (the group representative). Requires `t[0].head`
+/// (the first element always starts a segment — true for every use in this
+/// workspace).
+///
+/// `O(n)` work, `O(n/B)` cache, span `O(log n)` with [`Schedule::Tree`].
+pub fn seg_propagate<C: Ctx, V: Val>(c: &C, t: &mut Tracked<'_, Seg<V>>, sched: Schedule) {
+    debug_assert!(t.is_empty() || t.get(c, 0).head, "element 0 must head a segment");
+    // Left projection is associative and right-identity for any id value,
+    // which is all `scan` requires (identity only pads on the right).
+    scan(c, t, Seg::new(false, V::default()), &seg_combine(&|a, _b| a), true, false, sched);
+}
+
+/// Oblivious **aggregation** (§F): every element learns the sum of the
+/// values of its own group at its position and to its right. Heads must
+/// mark each segment's *last* element (the first in right-to-left scan
+/// order).
+pub fn seg_sum_right<C: Ctx>(c: &C, t: &mut Tracked<'_, Seg<u64>>, sched: Schedule) {
+    scan(
+        c,
+        t,
+        Seg::new(false, 0u64),
+        &seg_combine(&|a: u64, b: u64| a.wrapping_add(b)),
+        true,
+        true,
+        sched,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj::SeqCtx;
+    use metrics::{measure, CacheConfig, TraceMode};
+    use proptest::prelude::*;
+
+    #[test]
+    fn prefix_sum_inclusive_and_exclusive() {
+        let c = SeqCtx::new();
+        for sched in [Schedule::Tree, Schedule::Levels] {
+            let mut v: Vec<u64> = (1..=10).collect();
+            let mut t = Tracked::new(&c, &mut v);
+            prefix_sum(&c, &mut t, true, sched);
+            assert_eq!(v, vec![1, 3, 6, 10, 15, 21, 28, 36, 45, 55], "{sched:?}");
+
+            let mut v: Vec<u64> = (1..=10).collect();
+            let mut t = Tracked::new(&c, &mut v);
+            prefix_sum(&c, &mut t, false, sched);
+            assert_eq!(v, vec![0, 1, 3, 6, 10, 15, 21, 28, 36, 45], "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn suffix_scan_reverses() {
+        let c = SeqCtx::new();
+        for sched in [Schedule::Tree, Schedule::Levels] {
+            let mut v: Vec<u64> = vec![1, 2, 3, 4, 5];
+            let mut t = Tracked::new(&c, &mut v);
+            scan(&c, &mut t, 0u64, &|a, b| a + b, true, true, sched);
+            assert_eq!(v, vec![15, 14, 12, 9, 5], "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn propagate_carries_head_values() {
+        let c = SeqCtx::new();
+        for sched in [Schedule::Tree, Schedule::Levels] {
+            // Segments: [10, _, _], [20, _], [30, _, _, _]
+            let mut v = vec![
+                Seg::new(true, 10u64),
+                Seg::new(false, 0),
+                Seg::new(false, 0),
+                Seg::new(true, 20),
+                Seg::new(false, 0),
+                Seg::new(true, 30),
+                Seg::new(false, 0),
+                Seg::new(false, 0),
+            ];
+            let mut t = Tracked::new(&c, &mut v);
+            seg_propagate(&c, &mut t, sched);
+            let got: Vec<u64> = v.iter().map(|s| s.v).collect();
+            assert_eq!(got, vec![10, 10, 10, 20, 20, 30, 30, 30], "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_suffix_within_group() {
+        let c = SeqCtx::new();
+        for sched in [Schedule::Tree, Schedule::Levels] {
+            // Two groups of values: [1,2,3 | 4,5]; heads mark group *ends*.
+            let mut v = vec![
+                Seg::new(false, 1u64),
+                Seg::new(false, 2),
+                Seg::new(true, 3),
+                Seg::new(false, 4),
+                Seg::new(true, 5),
+            ];
+            let mut t = Tracked::new(&c, &mut v);
+            seg_sum_right(&c, &mut t, sched);
+            let got: Vec<u64> = v.iter().map(|s| s.v).collect();
+            assert_eq!(got, vec![6, 5, 3, 9, 5], "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn tree_schedule_has_log_span_levels_has_log_squared() {
+        let n = 1 << 14;
+        let run = |sched| {
+            let (_, rep) = measure(CacheConfig::default(), TraceMode::Off, |c| {
+                let mut v = vec![1u64; n];
+                let mut t = Tracked::new(c, &mut v);
+                prefix_sum(c, &mut t, true, sched);
+            });
+            rep
+        };
+        let tree = run(Schedule::Tree);
+        let levels = run(Schedule::Levels);
+        let lg = (n as f64).log2();
+        // Tree: O(log n) with small constants; Levels: Θ(log² n)-ish.
+        assert!(
+            (tree.span as f64) < 20.0 * lg,
+            "tree span {} not O(log n) (log n = {lg})",
+            tree.span
+        );
+        assert!(
+            (levels.span as f64) > 2.0 * lg * lg / 2.0,
+            "levels span {} unexpectedly small",
+            levels.span
+        );
+        assert!(tree.span * 3 < levels.span, "tree {} vs levels {}", tree.span, levels.span);
+        // Both schedules are work-efficient.
+        assert!(tree.work < 30 * n as u64);
+        assert!(levels.work < 30 * n as u64);
+    }
+
+    #[test]
+    fn scan_trace_is_input_independent() {
+        let run = |vals: Vec<u64>| {
+            let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+                let mut v = vals.clone();
+                let mut t = Tracked::new(c, &mut v);
+                prefix_sum(c, &mut t, true, Schedule::Tree);
+            });
+            (rep.trace_hash, rep.trace_len)
+        };
+        assert_eq!(run((0..1000).collect()), run(vec![7; 1000]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_prefix_sum_matches_reference(v in proptest::collection::vec(any::<u32>(), 1..200)) {
+            let v: Vec<u64> = v.into_iter().map(u64::from).collect();
+            let mut expect = Vec::with_capacity(v.len());
+            let mut acc = 0u64;
+            for &x in &v {
+                acc += x;
+                expect.push(acc);
+            }
+            for sched in [Schedule::Tree, Schedule::Levels] {
+                let c = SeqCtx::new();
+                let mut got = v.clone();
+                let mut t = Tracked::new(&c, &mut got);
+                prefix_sum(&c, &mut t, true, sched);
+                prop_assert_eq!(&got, &expect);
+            }
+        }
+
+        #[test]
+        fn prop_propagate_matches_reference(
+            heads in proptest::collection::vec(any::<bool>(), 1..150),
+            vals in proptest::collection::vec(any::<u64>(), 150),
+        ) {
+            let n = heads.len();
+            let mut segs: Vec<Seg<u64>> = (0..n).map(|i| Seg::new(heads[i] || i == 0, vals[i])).collect();
+            let mut expect = vec![0u64; n];
+            let mut cur = 0;
+            for i in 0..n {
+                if segs[i].head { cur = segs[i].v; }
+                expect[i] = cur;
+            }
+            let c = SeqCtx::new();
+            let mut t = Tracked::new(&c, &mut segs);
+            seg_propagate(&c, &mut t, Schedule::Tree);
+            let got: Vec<u64> = segs.iter().map(|s| s.v).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Oblivious send-receive (§F) — "oblivious routing" elsewhere in the
+//! literature.
+//!
+//! `n` senders hold `(key, value)` with distinct keys; `n'` receivers each
+//! request a key and must learn the matching value, or `⊥` if absent.
+//! Realized with O(1) oblivious sorts plus one oblivious propagation
+//! (Chan–Shi): concatenate senders and receivers, sort by (key,
+//! sender-first), propagate each key-run's head (which is the sender if one
+//! exists), let receivers compare the propagated key against their own, and
+//! sort receivers back to input order. All steps are networks/scans, so the
+//! access pattern depends only on `(n, n')`.
+
+use crate::binplace::set_keys;
+use crate::engine::Engine;
+use crate::scan::{seg_propagate, Schedule, Seg};
+use crate::slot::{Item, Slot, Val};
+use fj::{grain_for, par_for, Ctx};
+use metrics::Tracked;
+
+/// Record carried through the routing network.
+#[derive(Clone, Copy, Debug, Default)]
+struct Route<V> {
+    key: u64,
+    val: V,
+    /// Receiver's input position (senders: undefined).
+    idx: u64,
+    /// 0 = sender, 1 = receiver.
+    tag: u8,
+    /// Receiver result flag.
+    found: bool,
+}
+
+/// Value propagated along each key-run.
+#[derive(Clone, Copy, Debug, Default)]
+struct Head<V> {
+    key: u64,
+    is_sender: bool,
+    val: V,
+}
+
+/// Oblivious send-receive: `out[j] = Some(value of the sender with key
+/// dests[j])`, or `None` if no such sender. Sender keys must be distinct.
+///
+/// With the network engines this costs one/two `O(m log² m)` sorts on
+/// `m = |sources| + |dests|`; plugged into the full oblivious sort it meets
+/// the paper's `O(m log m)`-work sorting bound (Table 2 row "S-R").
+pub fn send_receive<C: Ctx, V: Val>(
+    c: &C,
+    sources: &[(u64, V)],
+    dests: &[u64],
+    engine: Engine,
+    sched: Schedule,
+) -> Vec<Option<V>> {
+    let total = sources.len() + dests.len();
+    if dests.is_empty() {
+        return Vec::new();
+    }
+    let m = total.next_power_of_two();
+
+    // Build the combined slot array (fillers pad to a power of two).
+    let mut slots: Vec<Slot<Route<V>>> = Vec::with_capacity(m);
+    for &(k, v) in sources {
+        let r = Route { key: k, val: v, idx: 0, tag: 0, found: false };
+        slots.push(Slot::real(Item::new(0, r), k));
+    }
+    for (j, &k) in dests.iter().enumerate() {
+        let r = Route { key: k, val: V::default(), idx: j as u64, tag: 1, found: false };
+        slots.push(Slot::real(Item::new(0, r), k));
+    }
+    slots.resize(m, Slot::filler());
+
+    let mut t = Tracked::new(c, &mut slots);
+
+    // Sort by (key, sender-before-receiver); fillers last.
+    set_keys(c, &mut t, &|s: &Slot<Route<V>>| {
+        if s.is_real() {
+            ((s.item.val.key as u128) << 1) | s.item.val.tag as u128
+        } else {
+            u128::MAX
+        }
+    });
+    engine.sort_slots(c, &mut t);
+
+    // Propagate each key-run's head to the whole run.
+    let mut seg_store = vec![Seg::<Head<V>>::default(); m];
+    let mut seg = Tracked::new(c, &mut seg_store);
+    {
+        let sr = seg.as_raw();
+        let tr = t.as_raw();
+        par_for(c, 0, m, grain_for(c), &|c, i| unsafe {
+            let s = tr.get(c, i);
+            let head = if i == 0 {
+                true
+            } else {
+                let prev = tr.get(c, i - 1);
+                c.work(1);
+                prev.is_filler() != s.is_filler() || prev.item.val.key != s.item.val.key
+            };
+            let h = Head {
+                key: s.item.val.key,
+                is_sender: s.is_real() && s.item.val.tag == 0,
+                val: s.item.val.val,
+            };
+            sr.set(c, i, Seg::new(head, h));
+        });
+    }
+    seg_propagate(c, &mut seg, sched);
+
+    // Receivers compare the propagated head against their own key.
+    {
+        let sr = seg.as_raw();
+        let tr = t.as_raw();
+        par_for(c, 0, m, grain_for(c), &|c, i| unsafe {
+            let mut s = tr.get(c, i);
+            let h = sr.get(c, i).v;
+            let hit = s.is_real() && s.item.val.tag == 1 && h.is_sender && h.key == s.item.val.key;
+            // Unconditional writes keep the pattern fixed.
+            s.item.val.found = hit;
+            s.item.val.val = if hit { h.val } else { s.item.val.val };
+            tr.set(c, i, s);
+        });
+    }
+
+    // Sort receivers back to input order; everything else to the end.
+    set_keys(c, &mut t, &|s: &Slot<Route<V>>| {
+        if s.is_real() && s.item.val.tag == 1 {
+            s.item.val.idx as u128
+        } else {
+            u128::MAX
+        }
+    });
+    engine.sort_slots(c, &mut t);
+
+    // Parallel readout (keeps the span at O(log n)).
+    let tr = t.as_raw();
+    metrics::par_collect(c, dests.len(), &|c, j| {
+        // SAFETY: read-only phase.
+        let s = unsafe { tr.get(c, j) };
+        debug_assert_eq!(s.item.val.idx as usize, j);
+        if s.item.val.found {
+            OptSlot { some: true, v: s.item.val.val }
+        } else {
+            OptSlot::default()
+        }
+    })
+    .into_iter()
+    .map(|o| o.some.then_some(o.v))
+    .collect()
+}
+
+/// `Option<V>` flattened to a `Copy + Default` pair for parallel collection.
+#[derive(Clone, Copy, Default)]
+struct OptSlot<V> {
+    some: bool,
+    v: V,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj::{Pool, SeqCtx};
+    use metrics::{measure, CacheConfig, TraceMode};
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn run_sr(sources: &[(u64, u64)], dests: &[u64]) -> Vec<Option<u64>> {
+        let c = SeqCtx::new();
+        send_receive(&c, sources, dests, Engine::BitonicRec, Schedule::Tree)
+    }
+
+    #[test]
+    fn routes_values_to_receivers() {
+        let sources = vec![(10, 100u64), (20, 200), (30, 300)];
+        let dests = vec![20, 10, 99, 30, 20];
+        assert_eq!(run_sr(&sources, &dests), vec![Some(200), Some(100), None, Some(300), Some(200)]);
+    }
+
+    #[test]
+    fn one_sender_many_receivers() {
+        let sources = vec![(5, 55u64)];
+        let dests = vec![5; 20];
+        assert_eq!(run_sr(&sources, &dests), vec![Some(55); 20]);
+    }
+
+    #[test]
+    fn empty_sources_yield_all_bottom() {
+        assert_eq!(run_sr(&[], &[1, 2, 3]), vec![None, None, None]);
+    }
+
+    #[test]
+    fn empty_dests_yield_empty() {
+        assert_eq!(run_sr(&[(1, 2)], &[]), vec![]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = Pool::new(4);
+        let sources: Vec<(u64, u64)> = (0..500).map(|i| (i * 3, i)).collect();
+        let dests: Vec<u64> = (0..800).map(|j| (j * 7) % 1600).collect();
+        let seq = run_sr(&sources, &dests);
+        let par = pool.run(|c| send_receive(c, &sources, &dests, Engine::BitonicRec, Schedule::Tree));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn trace_is_input_independent() {
+        let run = |sources: Vec<(u64, u64)>, dests: Vec<u64>| {
+            let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+                send_receive(c, &sources, &dests, Engine::BitonicRec, Schedule::Tree);
+            });
+            (rep.trace_hash, rep.trace_len)
+        };
+        let a = run((0..100).map(|i| (i, i)).collect(), (0..50).collect());
+        let b = run((0..100).map(|i| (i * 97, i + 4)).collect(), (0..50).map(|j| j * 13).collect());
+        assert_eq!(a, b, "send-receive must not leak keys through its trace");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_matches_hashmap_semantics(
+            src_keys in proptest::collection::hash_set(0u64..500, 0..40),
+            dests in proptest::collection::vec(0u64..500, 0..60),
+        ) {
+            let sources: Vec<(u64, u64)> =
+                src_keys.iter().map(|&k| (k, k.wrapping_mul(31))).collect();
+            let map: HashMap<u64, u64> = sources.iter().copied().collect();
+            let got = run_sr(&sources, &dests);
+            let expect: Vec<Option<u64>> = dests.iter().map(|k| map.get(k).copied()).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

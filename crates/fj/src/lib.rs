@@ -1,0 +1,28 @@
+//! # fj — a binary fork-join runtime
+//!
+//! This crate is the computation-model substrate for the reproduction of
+//! *Data Oblivious Algorithms for Multicores* (Ramachandran & Shi,
+//! SPAA 2021). The paper's algorithms are stated in the **binary fork-join
+//! model** (§2.1, §A.2): parallelism is expressed exclusively through paired
+//! binary `fork`/`join` operations, and the scheduler is randomized work
+//! stealing in the style of Blumofe–Leiserson.
+//!
+//! The crate provides:
+//!
+//! * [`Ctx`] — the execution-context trait every algorithm in the workspace
+//!   is written against (fork-join plus cost-accounting hooks);
+//! * [`SeqCtx`] — sequential executor;
+//! * [`Pool`] — a work-stealing thread pool (Chase–Lev deques via
+//!   `crossbeam`, LIFO owner side, randomized victim selection);
+//! * [`par`] — parallel loop/reduce helpers that expand into balanced
+//!   binary fork trees.
+
+mod ctx;
+pub mod par;
+mod pool;
+mod seq;
+
+pub use ctx::{counters, grain_for, Access, BufId, Ctx, DEFAULT_GRAIN};
+pub use par::{par_chunks_mut, par_for, par_reduce};
+pub use pool::Pool;
+pub use seq::SeqCtx;

@@ -1,0 +1,567 @@
+//! Work-stealing thread pool implementing the binary fork-join model.
+//!
+//! The design follows the classic Cilk/rayon architecture the paper's model
+//! assumes (§A.2, [BL99]): each worker owns a LIFO deque of jobs; `join`
+//! pushes the second task, runs the first inline, and then either pops the
+//! second task back (the common, allocation-free fast path) or *steals other
+//! work* while waiting for a thief to finish it. Idle workers steal from
+//! victims in random order, which is exactly the randomized work-stealing
+//! scheduler whose `O(W/P + T∞)` execution-time bound the paper cites.
+//!
+//! # Safety
+//!
+//! Jobs are type-erased pointers into the stack frame of the `join` (or
+//! `run`) call that created them ([`StackJob`]). This is sound because the
+//! creating frame never returns before the job has executed: `join` loops
+//! until the job's latch is set (even when the first closure panics), and
+//! `run` blocks on a mutex-based latch. Results travel through an
+//! `UnsafeCell` guarded by the latch's release/acquire pair.
+
+use crate::ctx::Ctx;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+use std::cell::{Cell, UnsafeCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+// --------------------------------------------------------------------------
+// Latches
+// --------------------------------------------------------------------------
+
+/// A one-shot flag set by the executor of a job and probed by its owner.
+struct SpinLatch {
+    set: AtomicBool,
+}
+
+impl SpinLatch {
+    fn new() -> Self {
+        SpinLatch { set: AtomicBool::new(false) }
+    }
+
+    #[inline]
+    fn probe(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn set(&self) {
+        self.set.store(true, Ordering::Release);
+    }
+}
+
+/// A blocking latch for threads that are not pool workers.
+struct LockLatch {
+    m: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl LockLatch {
+    fn new() -> Self {
+        LockLatch { m: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn set(&self) {
+        let mut done = self.m.lock();
+        *done = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.m.lock();
+        while !*done {
+            self.cv.wait(&mut done);
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Jobs
+// --------------------------------------------------------------------------
+
+/// Type-erased pointer to a job living on some `join`/`run` stack frame.
+#[derive(Clone, Copy)]
+struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: a JobRef is only ever executed once, and the frame it points to
+// outlives the execution (see module docs).
+unsafe impl Send for JobRef {}
+
+enum JobLatch {
+    Spin(SpinLatch),
+    Lock(LockLatch),
+}
+
+impl JobLatch {
+    fn set(&self) {
+        match self {
+            JobLatch::Spin(l) => l.set(),
+            JobLatch::Lock(l) => l.set(),
+        }
+    }
+
+    fn as_spin(&self) -> &SpinLatch {
+        match self {
+            JobLatch::Spin(l) => l,
+            JobLatch::Lock(_) => unreachable!("spin latch expected"),
+        }
+    }
+
+    fn as_lock(&self) -> &LockLatch {
+        match self {
+            JobLatch::Lock(l) => l,
+            JobLatch::Spin(_) => unreachable!("lock latch expected"),
+        }
+    }
+}
+
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<thread::Result<R>>>,
+    latch: JobLatch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R,
+{
+    fn new(f: F, latch: JobLatch) -> Self {
+        StackJob {
+            f: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            latch,
+        }
+    }
+
+    /// SAFETY: caller must guarantee the job is executed at most once and
+    /// that `self` outlives the execution.
+    unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef {
+            data: self as *const Self as *const (),
+            exec: Self::execute,
+        }
+    }
+
+    unsafe fn execute(data: *const ()) {
+        let this = &*(data as *const Self);
+        let f = (*this.f.get()).take().expect("job executed twice");
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        *this.result.get() = Some(result);
+        this.latch.set();
+    }
+
+    /// SAFETY: only call after the latch has been set (or after executing
+    /// the job on the current thread).
+    unsafe fn take_result(&self) -> R {
+        match (*self.result.get()).take().expect("job result missing") {
+            Ok(r) => r,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Sleep machinery
+// --------------------------------------------------------------------------
+
+struct Sleep {
+    mutex: Mutex<()>,
+    cv: Condvar,
+    idlers: AtomicUsize,
+}
+
+impl Sleep {
+    fn new() -> Self {
+        Sleep { mutex: Mutex::new(()), cv: Condvar::new(), idlers: AtomicUsize::new(0) }
+    }
+
+    /// Block until `has_work` might be true again. `has_work` is re-checked
+    /// under the lock so a concurrent `notify` cannot be lost; a timeout
+    /// bounds the damage of any missed edge case.
+    fn sleep(&self, has_work: impl Fn() -> bool) {
+        self.idlers.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut guard = self.mutex.lock();
+            if !has_work() {
+                self.cv.wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+        self.idlers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn notify(&self) {
+        if self.idlers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.mutex.lock();
+            self.cv.notify_all();
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Registry and workers
+// --------------------------------------------------------------------------
+
+struct Registry {
+    injector: Injector<JobRef>,
+    stealers: Vec<Stealer<JobRef>>,
+    sleep: Sleep,
+    terminate: AtomicBool,
+    nthreads: usize,
+}
+
+struct WorkerThread {
+    deque: Deque<JobRef>,
+    index: usize,
+    registry: *const Registry,
+    rng: Cell<u64>,
+}
+
+thread_local! {
+    static WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
+}
+
+impl WorkerThread {
+    #[inline]
+    fn current() -> *const WorkerThread {
+        WORKER.with(|w| w.get())
+    }
+
+    fn next_rand(&self) -> u64 {
+        // xorshift64*: cheap, good-enough victim selection.
+        let mut x = self.rng.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng.set(x);
+        x
+    }
+
+    fn registry(&self) -> &Registry {
+        // SAFETY: the registry outlives every worker (workers are joined in
+        // Pool::drop while the Arc is still alive).
+        unsafe { &*self.registry }
+    }
+
+    /// Steal one job: first from the global injector, then from victims in
+    /// random order.
+    fn steal(&self) -> Option<JobRef> {
+        let reg = self.registry();
+        loop {
+            match reg.injector.steal_batch_and_pop(&self.deque) {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        let n = reg.stealers.len();
+        let start = (self.next_rand() as usize) % n.max(1);
+        for i in 0..n {
+            let victim = (start + i) % n;
+            if victim == self.index {
+                continue;
+            }
+            loop {
+                match reg.stealers[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    fn find_work(&self) -> Option<JobRef> {
+        self.deque.pop().or_else(|| self.steal())
+    }
+}
+
+fn worker_main(registry: Arc<Registry>, index: usize, deque: Deque<JobRef>) {
+    let wt = WorkerThread {
+        deque,
+        index,
+        registry: Arc::as_ptr(&registry),
+        rng: Cell::new(0x9E37_79B9_7F4A_7C15 ^ ((index as u64 + 1) << 17)),
+    };
+    WORKER.with(|w| w.set(&wt as *const WorkerThread));
+
+    while !registry.terminate.load(Ordering::Acquire) {
+        if let Some(job) = wt.find_work() {
+            unsafe { (job.exec)(job.data) };
+        } else {
+            let reg = &*registry;
+            reg.sleep.sleep(|| {
+                reg.terminate.load(Ordering::Acquire)
+                    || !reg.injector.is_empty()
+                    || reg.stealers.iter().enumerate().any(|(i, s)| i != index && !s.is_empty())
+            });
+        }
+    }
+
+    WORKER.with(|w| w.set(std::ptr::null()));
+}
+
+// --------------------------------------------------------------------------
+// Pool
+// --------------------------------------------------------------------------
+
+/// A binary fork-join thread pool with randomized work stealing.
+///
+/// `Pool` implements [`Ctx`], so any algorithm written against the context
+/// abstraction runs in parallel by passing `&pool`:
+///
+/// ```
+/// use fj::{Ctx, Pool};
+///
+/// let pool = Pool::new(4);
+/// let (a, b) = pool.join(|_| 1 + 1, |_| 2 + 2);
+/// assert_eq!((a, b), (2, 4));
+/// ```
+pub struct Pool {
+    registry: Arc<Registry>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Spawn a pool with `nthreads` workers (at least 1).
+    pub fn new(nthreads: usize) -> Self {
+        let nthreads = nthreads.max(1);
+        let deques: Vec<Deque<JobRef>> = (0..nthreads).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let registry = Arc::new(Registry {
+            injector: Injector::new(),
+            stealers,
+            sleep: Sleep::new(),
+            terminate: AtomicBool::new(false),
+            nthreads,
+        });
+        let handles = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let reg = Arc::clone(&registry);
+                thread::Builder::new()
+                    .name(format!("fj-worker-{i}"))
+                    .spawn(move || worker_main(reg, i, d))
+                    .expect("failed to spawn fj worker")
+            })
+            .collect();
+        Pool { registry, handles: Mutex::new(handles) }
+    }
+
+    /// A pool sized to the machine (`available_parallelism`).
+    pub fn with_default_threads() -> Self {
+        let n = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Pool::new(n)
+    }
+
+    /// Process-wide shared pool, created on first use.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(Pool::with_default_threads)
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.registry.nthreads
+    }
+
+    #[inline]
+    fn current_worker(&self) -> Option<&WorkerThread> {
+        let wt = WorkerThread::current();
+        if wt.is_null() {
+            return None;
+        }
+        // SAFETY: non-null worker pointers are valid for the thread's life.
+        let wt = unsafe { &*wt };
+        (std::ptr::eq(wt.registry, Arc::as_ptr(&self.registry))).then_some(wt)
+    }
+
+    /// Run `f` on a pool worker, blocking the calling thread until done.
+    /// If already on a worker of this pool, runs inline.
+    pub fn run<R: Send>(&self, f: impl FnOnce(&Pool) -> R + Send) -> R {
+        if self.current_worker().is_some() {
+            return f(self);
+        }
+        let job = StackJob::new(|| f(self), JobLatch::Lock(LockLatch::new()));
+        // SAFETY: we block on the latch below, so the job outlives execution
+        // and is executed exactly once.
+        let job_ref = unsafe { job.as_job_ref() };
+        self.registry.injector.push(job_ref);
+        self.registry.sleep.notify();
+        job.latch.as_lock().wait();
+        unsafe { job.take_result() }
+    }
+
+    fn join_worker<RA, RB>(
+        &self,
+        wt: &WorkerThread,
+        a: impl FnOnce(&Self) -> RA + Send,
+        b: impl FnOnce(&Self) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let job_b = StackJob::new(|| b(self), JobLatch::Spin(SpinLatch::new()));
+        // SAFETY: this frame does not return before job_b has run (the wait
+        // loop below runs even when `a` panics), and job_b runs once: either
+        // popped back by us or stolen, never both (deque semantics).
+        let job_ref = unsafe { job_b.as_job_ref() };
+        wt.deque.push(job_ref);
+        self.registry.sleep.notify();
+
+        let ra = panic::catch_unwind(AssertUnwindSafe(|| a(self)));
+
+        // Retrieve b: pop it back, or steal other work while a thief runs it.
+        let latch = job_b.latch.as_spin();
+        while !latch.probe() {
+            if let Some(job) = wt.deque.pop() {
+                // With LIFO semantics this is either our own b or a job some
+                // nested computation left behind; executing it inline is
+                // always correct.
+                unsafe { (job.exec)(job.data) };
+                if std::ptr::eq(job.data, job_ref.data) {
+                    break;
+                }
+            } else if let Some(job) = wt.steal() {
+                unsafe { (job.exec)(job.data) };
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+
+        let rb = unsafe { job_b.take_result() };
+        match ra {
+            Ok(ra) => (ra, rb),
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl Ctx for Pool {
+    fn join<RA, RB>(
+        &self,
+        a: impl FnOnce(&Self) -> RA + Send,
+        b: impl FnOnce(&Self) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        match self.current_worker() {
+            Some(wt) => self.join_worker(wt, a, b),
+            // Calls from outside the pool enter it first; the nested join
+            // then lands on a worker and takes the parallel path.
+            None => self.run(move |p| p.join_worker(p.current_worker().unwrap(), a, b)),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.registry.terminate.store(true, Ordering::Release);
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for h in handles {
+            // Workers wake at least every millisecond, observe `terminate`,
+            // and exit.
+            self.registry.sleep.notify();
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::par_for;
+    use std::sync::atomic::AtomicU64;
+
+    fn fib(c: &Pool, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        if n < 12 {
+            return fib_seq(n);
+        }
+        let (a, b) = c.join(|c| fib(c, n - 1), |c| fib(c, n - 2));
+        a + b
+    }
+
+    fn fib_seq(n: u64) -> u64 {
+        if n < 2 { n } else { fib_seq(n - 1) + fib_seq(n - 2) }
+    }
+
+    #[test]
+    fn join_from_external_thread() {
+        let pool = Pool::new(4);
+        let (a, b) = pool.join(|_| 21, |_| 2);
+        assert_eq!(a * b, 42);
+    }
+
+    #[test]
+    fn nested_parallel_fib() {
+        let pool = Pool::new(4);
+        assert_eq!(fib(&pool, 24), fib_seq(24));
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = Pool::new(1);
+        assert_eq!(fib(&pool, 18), fib_seq(18));
+    }
+
+    #[test]
+    fn par_for_covers_every_index_once() {
+        let pool = Pool::new(8);
+        let n = 100_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|p| {
+            par_for(p, 0, n, 64, &|_, i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_returns_value() {
+        let pool = Pool::new(2);
+        let v = pool.run(|_| vec![1, 2, 3]);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panic_in_first_closure_propagates_after_b_completes() {
+        let pool = Pool::new(4);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.join(
+                |_| panic!("boom-a"),
+                |_| std::thread::sleep(Duration::from_millis(5)),
+            )
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn panic_in_second_closure_propagates() {
+        let pool = Pool::new(4);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|_| 1, |_| -> i32 { panic!("boom-b") })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn many_pools_spawn_and_drop() {
+        for _ in 0..8 {
+            let pool = Pool::new(2);
+            assert_eq!(pool.join(|_| 1, |_| 2), (1, 2));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Trivial sequential executor.
+
+use crate::ctx::Ctx;
+
+/// Runs every fork-join program sequentially (`a` then `b`) with no
+/// accounting at all. This is the executor of choice for unit tests and for
+/// measuring single-thread wall-clock baselines.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct SeqCtx;
+
+impl SeqCtx {
+    pub fn new() -> Self {
+        SeqCtx
+    }
+}
+
+impl Ctx for SeqCtx {
+    #[inline]
+    fn join<RA, RB>(
+        &self,
+        a: impl FnOnce(&Self) -> RA + Send,
+        b: impl FnOnce(&Self) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        (a(self), b(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_runs_both_closures_in_order() {
+        let c = SeqCtx::new();
+        let (a, b) = c.join(|_| 1u32, |_| "two");
+        assert_eq!(a, 1);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_joins() {
+        let c = SeqCtx::new();
+        let ((a, b), (x, y)) = c.join(
+            |c| c.join(|_| 1, |_| 2),
+            |c| c.join(|_| 3, |_| 4),
+        );
+        assert_eq!([a, b, x, y], [1, 2, 3, 4]);
+    }
+}

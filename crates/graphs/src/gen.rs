@@ -1,0 +1,230 @@
+//! Workload generators for the §5 applications and the Table 1 benches.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A random linked list over `0..n` as a successor array; the terminal
+/// node points to itself. Returns `(succ, order)` where `order[k]` is the
+/// k-th node from the head.
+pub fn random_list(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(n >= 1);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut succ = vec![0usize; n];
+    for w in order.windows(2) {
+        succ[w[0]] = w[1];
+    }
+    succ[order[n - 1]] = order[n - 1];
+    (succ, order)
+}
+
+/// A uniformly random recursive tree on `n` vertices: vertex `i ≥ 1`
+/// attaches to a random earlier vertex. Returns the undirected edge list.
+pub fn random_tree(n: usize, seed: u64) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (1..n).map(|i| (rng.gen_range(0..i), i)).collect()
+}
+
+/// A random multigraph with `m` edges on `n` vertices (no self-loops).
+pub fn random_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let u = rng.gen_range(0..n);
+            let mut v = rng.gen_range(0..n - 1);
+            if v >= u {
+                v += 1;
+            }
+            (u, v)
+        })
+        .collect()
+}
+
+/// A random weighted graph with distinct weights (unique MSF).
+pub fn random_weighted_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize, u64)> {
+    let edges = random_graph(n, m, seed);
+    let mut weights: Vec<u64> = (0..m as u64).collect();
+    weights.shuffle(&mut StdRng::seed_from_u64(seed ^ 0xABCD));
+    edges.into_iter().zip(weights).map(|((u, v), w)| (u, v, w)).collect()
+}
+
+/// A node of a binary expression tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExprNode {
+    /// Leaf with a value.
+    Leaf(u64),
+    /// Internal node: (op, left child, right child). `op` 0 = add, 1 = mul
+    /// (wrapping arithmetic).
+    Op(u8, usize, usize),
+}
+
+/// A rooted binary expression tree in array form; `root` is the root index.
+#[derive(Clone, Debug)]
+pub struct ExprTree {
+    pub nodes: Vec<ExprNode>,
+    pub root: usize,
+}
+
+impl ExprTree {
+    /// Direct iterative evaluation (the correctness oracle).
+    pub fn eval(&self) -> u64 {
+        // Post-order with an explicit stack.
+        let mut val = vec![0u64; self.nodes.len()];
+        let mut stack = vec![(self.root, false)];
+        while let Some((u, ready)) = stack.pop() {
+            match self.nodes[u] {
+                ExprNode::Leaf(v) => val[u] = v,
+                ExprNode::Op(op, l, r) => {
+                    if ready {
+                        val[u] = if op == 0 {
+                            val[l].wrapping_add(val[r])
+                        } else {
+                            val[l].wrapping_mul(val[r])
+                        };
+                    } else {
+                        stack.push((u, true));
+                        stack.push((l, false));
+                        stack.push((r, false));
+                    }
+                }
+            }
+        }
+        val[self.root]
+    }
+
+    /// Number of leaves.
+    pub fn leaves(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, ExprNode::Leaf(_))).count()
+    }
+}
+
+/// A random full binary expression tree with `leaves` leaves.
+pub fn random_expr_tree(leaves: usize, seed: u64) -> ExprTree {
+    assert!(leaves >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<ExprNode> = Vec::with_capacity(2 * leaves - 1);
+    // Build bottom-up: keep a worklist of subtree roots, repeatedly join
+    // two random ones.
+    let mut roots: Vec<usize> = (0..leaves)
+        .map(|_| {
+            nodes.push(ExprNode::Leaf(rng.gen_range(0..1 << 20)));
+            nodes.len() - 1
+        })
+        .collect();
+    while roots.len() > 1 {
+        let i = rng.gen_range(0..roots.len());
+        let a = roots.swap_remove(i);
+        let j = rng.gen_range(0..roots.len());
+        let b = roots.swap_remove(j);
+        nodes.push(ExprNode::Op(rng.gen_range(0..2), a, b));
+        roots.push(nodes.len() - 1);
+    }
+    ExprTree { root: roots[0], nodes }
+}
+
+/// Union-find (path halving + union by size) — the oracle for CC and MSF.
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+    }
+
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Returns true if the union merged two components.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+}
+
+/// Kruskal's MSF total weight (oracle).
+pub fn kruskal_msf_weight(n: usize, edges: &[(usize, usize, u64)]) -> u64 {
+    let mut sorted: Vec<_> = edges.to_vec();
+    sorted.sort_unstable_by_key(|&(_, _, w)| w);
+    let mut uf = UnionFind::new(n);
+    let mut total = 0;
+    for &(u, v, w) in &sorted {
+        if uf.union(u, v) {
+            total += w;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_list_is_a_single_chain() {
+        let (succ, order) = random_list(100, 5);
+        let mut cur = order[0];
+        for &expected in &order {
+            assert_eq!(cur, expected);
+            cur = succ[cur];
+        }
+        assert_eq!(succ[order[99]], order[99], "terminal self-loop");
+    }
+
+    #[test]
+    fn random_tree_is_connected_acyclic() {
+        let n = 200;
+        let edges = random_tree(n, 9);
+        assert_eq!(edges.len(), n - 1);
+        let mut uf = UnionFind::new(n);
+        for &(u, v) in &edges {
+            assert!(uf.union(u, v), "cycle detected at ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn expr_tree_eval_small() {
+        // (2 + 3) * 4
+        let t = ExprTree {
+            nodes: vec![
+                ExprNode::Leaf(2),
+                ExprNode::Leaf(3),
+                ExprNode::Leaf(4),
+                ExprNode::Op(0, 0, 1),
+                ExprNode::Op(1, 3, 2),
+            ],
+            root: 4,
+        };
+        assert_eq!(t.eval(), 20);
+    }
+
+    #[test]
+    fn random_expr_tree_has_right_shape() {
+        let t = random_expr_tree(64, 3);
+        assert_eq!(t.leaves(), 64);
+        assert_eq!(t.nodes.len(), 127);
+        let _ = t.eval();
+    }
+
+    #[test]
+    fn kruskal_on_triangle() {
+        let w = kruskal_msf_weight(3, &[(0, 1, 5), (1, 2, 3), (0, 2, 4)]);
+        assert_eq!(w, 7);
+    }
+}

@@ -1,0 +1,270 @@
+//! Minimum spanning forest (§5.3, Table 1 row "MSF†") — oblivious Borůvka.
+//!
+//! A fixed budget of `⌈log₂ n⌉` Borůvka rounds (component count at least
+//! halves per round, so the budget is always sufficient — and being fixed,
+//! it keeps the trace data-independent). Each round:
+//!
+//! 1. flatten the hook forest with `⌈log₂ n⌉` pointer-doubling steps
+//!    (send-receive each);
+//! 2. fetch both endpoints' component labels (send-receive);
+//! 3. every cross edge proposes itself to both components; one oblivious
+//!    sort by `(component, weight, edge-id)` finds each component's
+//!    minimum incident edge (ties broken by edge id — the same rule the
+//!    Kruskal oracle uses);
+//! 4. hook each component onto its chosen edge's other endpoint, then
+//!    break the 2-cycles mutual hooks create (smaller label becomes root);
+//! 5. deduplicate the chosen edges (sort by edge id) and add them to the
+//!    forest.
+//!
+//! Per round `O(sort(n + m))` — total `O(log n · sort(m))`, the Table 1
+//! shape `O(m log² n)` work / `Õ(log² n)` span (modulo the practical
+//! engine's extra log, as everywhere).
+
+use fj::Ctx;
+use metrics::Tracked;
+use obliv_core::scan::Schedule;
+use obliv_core::slot::{Item, Slot};
+use obliv_core::{send_receive, Engine};
+
+const DUMMY: u64 = u64::MAX;
+
+/// Result of the oblivious MSF computation.
+#[derive(Clone, Debug)]
+pub struct MsfResult {
+    /// Total weight of the forest.
+    pub total_weight: u64,
+    /// Per input edge: is it in the forest?
+    pub in_forest: Vec<bool>,
+    /// Final component label per vertex.
+    pub components: Vec<u64>,
+}
+
+/// Oblivious Borůvka MSF over `(u, v, w)` edges.
+pub fn msf<C: Ctx>(
+    c: &C,
+    n: usize,
+    edges: &[(usize, usize, u64)],
+    engine: Engine,
+) -> MsfResult {
+    let m = edges.len();
+    let lg = (usize::BITS - n.max(2).leading_zeros()) as usize;
+    let mut d: Vec<u64> = (0..n as u64).collect();
+    let mut in_forest = vec![false; m];
+    let mut total_weight = 0u64;
+    let all_v: Vec<u64> = (0..n as u64).collect();
+
+    for _round in 0..lg {
+        // 1. Flatten.
+        for _ in 0..lg {
+            let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
+            d = send_receive(c, &sources, &d, engine, Schedule::Tree)
+                .into_iter()
+                .map(|o| o.expect("label in range"))
+                .collect();
+        }
+
+        // 2. Endpoint components.
+        let comp_sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
+        let ends: Vec<u64> = edges.iter().flat_map(|&(u, v, _)| [u as u64, v as u64]).collect();
+        let end_comp = send_receive(c, &comp_sources, &ends, engine, Schedule::Tree);
+
+        // 3. Per-component minimum incident edge: both half-edges propose.
+        let mut proposals: Vec<Slot<(u64, u64, u64, u64)>> = Vec::with_capacity(2 * m);
+        for e in 0..m {
+            let (cu, cv) = (
+                end_comp[2 * e].expect("endpoint"),
+                end_comp[2 * e + 1].expect("endpoint"),
+            );
+            let w = edges[e].2;
+            for &(mine, other) in &[(cu, cv), (cv, cu)] {
+                let cross = cu != cv;
+                let comp = if cross { mine } else { DUMMY };
+                let mut s = Slot::real(Item::new(0, (comp, e as u64, other, w)), 0);
+                // (component ‖ weight ‖ edge id); weights and ids < 2^40.
+                s.sk = ((comp as u128) << 72) | ((w as u128) << 32) | e as u128;
+                proposals.push(s);
+            }
+        }
+        c.charge_par(2 * m as u64);
+        let p2 = (2 * m).next_power_of_two().max(1);
+        proposals.resize(p2, Slot { sk: u128::MAX, ..Slot::filler() });
+        {
+            let mut t = Tracked::new(c, &mut proposals);
+            engine.sort_slots(c, &mut t);
+        }
+
+        // Winners: head of each component run.
+        let winners: Vec<(u64, (u64, u64))> = (0..2 * m.max(1))
+            .map(|i| {
+                if i >= proposals.len() {
+                    return (DUMMY - 1, (0, 0));
+                }
+                let s = proposals[i];
+                let head = i == 0 || proposals[i - 1].item.val.0 != s.item.val.0;
+                if s.is_real() && head && s.item.val.0 != DUMMY {
+                    (s.item.val.0, (s.item.val.1, s.item.val.2)) // comp -> (eid, other)
+                } else {
+                    (DUMMY - 1 - i as u64, (0, 0)) // distinct dummies
+                }
+            })
+            .collect();
+        c.charge_par(2 * m.max(1) as u64);
+
+        // 4. Hook each winning component onto the other endpoint.
+        let hook_sources: Vec<(u64, u64)> = winners.iter().map(|&(comp, (_, other))| (comp, other)).collect();
+        let hooks = send_receive(c, &hook_sources, &all_v, engine, Schedule::Tree);
+        {
+            let mut dt = Tracked::new(c, &mut d);
+            let dr = dt.as_raw();
+            let hooks_ref = &hooks;
+            fj::par_for(c, 0, n, fj::grain_for(c), &|c, v| unsafe {
+                // SAFETY: per-vertex slots.
+                let cur = dr.get(c, v);
+                dr.set(c, v, hooks_ref[v].unwrap_or(cur));
+            });
+        }
+        // Break 2-cycles: if D[D[v]] == v, the smaller id becomes root.
+        let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
+        let dd = send_receive(c, &sources, &d, engine, Schedule::Tree);
+        {
+            let mut dt = Tracked::new(c, &mut d);
+            let dr = dt.as_raw();
+            let dd_ref = &dd;
+            fj::par_for(c, 0, n, fj::grain_for(c), &|c, v| unsafe {
+                // SAFETY: per-vertex slots.
+                let cur = dr.get(c, v);
+                let ddv = dd_ref[v].expect("label in range");
+                let two_cycle = ddv == v as u64 && cur != v as u64;
+                let fix = two_cycle && (v as u64) < cur;
+                dr.set(c, v, if fix { v as u64 } else { cur });
+            });
+        }
+
+        // 5. Deduplicate chosen edges (oblivious sort by edge id) and route
+        // the selection flags back to the edges with send-receive, so the
+        // forest bookkeeping never indexes memory by a secret edge id.
+        let mut chosen: Vec<Slot<u64>> = winners
+            .iter()
+            .map(|&(comp, (eid, _))| {
+                let real = comp < DUMMY - (2 * m.max(1)) as u64; // non-dummy winner
+                let mut s = Slot::real(Item::new(0, eid), real as u64);
+                s.sk = if real { eid as u128 } else { u128::MAX - 1 };
+                s
+            })
+            .collect();
+        chosen.resize(p2, Slot { sk: u128::MAX, ..Slot::filler() });
+        {
+            let mut t = Tracked::new(c, &mut chosen);
+            engine.sort_slots(c, &mut t);
+        }
+        let flag_sources: Vec<(u64, u64)> = (0..chosen.len())
+            .map(|i| {
+                let s = chosen[i];
+                let real = s.is_real() && s.label == 1;
+                let head = i == 0 || chosen[i - 1].item.val != s.item.val
+                    || !(chosen[i - 1].is_real() && chosen[i - 1].label == 1);
+                if real && head {
+                    (s.item.val, 1)
+                } else {
+                    ((1u64 << 48) + i as u64, 0) // distinct dummy keys
+                }
+            })
+            .collect();
+        c.charge_par(chosen.len() as u64);
+        let edge_ids: Vec<u64> = (0..m as u64).collect();
+        let flags = send_receive(c, &flag_sources, &edge_ids, engine, Schedule::Tree);
+        for e in 0..m {
+            let newly = flags[e].is_some() && !in_forest[e];
+            in_forest[e] |= newly;
+            total_weight += edges[e].2 * newly as u64;
+        }
+        c.charge_par(m as u64); // flag merge + weight reduction
+    }
+
+    // Final flatten for clean component labels.
+    for _ in 0..lg {
+        let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
+        d = send_receive(c, &sources, &d, engine, Schedule::Tree)
+            .into_iter()
+            .map(|o| o.expect("label in range"))
+            .collect();
+    }
+    MsfResult { total_weight, in_forest, components: d }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{kruskal_msf_weight, random_weighted_graph, UnionFind};
+    use fj::{Pool, SeqCtx};
+
+    fn check(n: usize, edges: &[(usize, usize, u64)]) {
+        let c = SeqCtx::new();
+        let res = msf(&c, n, edges, Engine::BitonicRec);
+        assert_eq!(res.total_weight, kruskal_msf_weight(n, edges), "weight mismatch");
+        // Selected edges must form a forest spanning each component.
+        let mut uf = UnionFind::new(n);
+        let mut count = 0;
+        for (e, &(u, v, _)) in edges.iter().enumerate() {
+            if res.in_forest[e] {
+                assert!(uf.union(u, v), "cycle in claimed forest at edge {e}");
+                count += 1;
+            }
+        }
+        let mut uf2 = UnionFind::new(n);
+        let mut comps = n;
+        for &(u, v, _) in edges {
+            if uf2.union(u, v) {
+                comps -= 1;
+            }
+        }
+        assert_eq!(count, n - comps, "forest edge count");
+    }
+
+    #[test]
+    fn triangle() {
+        check(3, &[(0, 1, 5), (1, 2, 3), (0, 2, 4)]);
+    }
+
+    #[test]
+    fn random_graphs() {
+        for (n, m, seed) in [(16usize, 30usize, 1u64), (40, 80, 2), (64, 64, 3), (30, 15, 4)] {
+            let edges = random_weighted_graph(n, m, seed);
+            check(n, &edges);
+        }
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        // Two separate triangles.
+        let edges = vec![
+            (0usize, 1usize, 1u64),
+            (1, 2, 2),
+            (0, 2, 3),
+            (3, 4, 4),
+            (4, 5, 5),
+            (3, 5, 6),
+        ];
+        check(6, &edges);
+    }
+
+    #[test]
+    fn path_graph_takes_all_edges() {
+        let n = 32;
+        let edges: Vec<(usize, usize, u64)> =
+            (0..n - 1).map(|i| (i, i + 1, (i * 7 % 13) as u64 + 1)).collect();
+        let c = SeqCtx::new();
+        let res = msf(&c, n, &edges, Engine::BitonicRec);
+        assert!(res.in_forest.iter().all(|&b| b), "every path edge is in the MSF");
+    }
+
+    #[test]
+    fn parallel_matches() {
+        let pool = Pool::new(4);
+        let edges = random_weighted_graph(50, 100, 9);
+        let seq = msf(&SeqCtx::new(), 50, &edges, Engine::BitonicRec);
+        let par = pool.run(|c| msf(c, 50, &edges, Engine::BitonicRec));
+        assert_eq!(seq.total_weight, par.total_weight);
+        assert_eq!(seq.in_forest, par.in_forest);
+    }
+}

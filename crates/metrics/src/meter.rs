@@ -1,0 +1,263 @@
+//! The metering executor: exact work/span accounting plus cache and trace
+//! simulation.
+
+use crate::cache::{CacheConfig, CacheSim};
+use crate::report::CostReport;
+use crate::trace::{TraceEvent, TraceMode, TraceRec};
+use fj::{Access, BufId, Ctx};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cost charged to each fork and to each join (one unit apiece), matching
+/// the paper's convention that forks/joins are constant-cost DAG nodes.
+const FORK_COST: u64 = 1;
+const JOIN_COST: u64 = 1;
+
+/// Semantic counters on top of raw work, used by the constant-factor
+/// experiments (§E: "each use of bitonic sort contributing a constant
+/// factor of 1/2 to the bounds for the comparisons made").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Comparator evaluations (compare-exchange gates).
+    Comparisons,
+    /// Element moves (copies between memory slots).
+    Moves,
+    /// Invocations of a complete sorting subroutine.
+    Sorts,
+    /// Randomized retries (ORBA overflow, label collision, …).
+    Retries,
+}
+
+const NCOUNTERS: usize = 4;
+
+struct Inner {
+    cache: CacheSim,
+    trace: TraceRec,
+    next_addr: u64,
+}
+
+/// Sequential instrumented executor implementing [`fj::Ctx`].
+///
+/// * **Work** — every `work(n)` adds `n`; forks and joins add 1 each.
+/// * **Span** — computed exactly through the fork-join recursion:
+///   `span(join(a, b)) = max(span(a), span(b))` plus fork/join costs. The
+///   executor runs `a` then `b` sequentially but tracks the depth counter
+///   as if they ran in parallel.
+/// * **Cache** — every `touch` feeds an LRU ideal-cache simulation of the
+///   *sequential* execution order, which is the `Q` the paper's bounds are
+///   stated for (the parallel overhead term `O((M/B)·P·T∞)` is scheduling
+///   theory, not a property of the algorithm).
+/// * **Trace** — the adversary's view per Definition 1.
+pub struct MeterCtx {
+    work: AtomicU64,
+    depth: AtomicU64,
+    counters: [AtomicU64; NCOUNTERS],
+    inner: Mutex<Inner>,
+}
+
+impl MeterCtx {
+    pub fn new(cfg: CacheConfig, mode: TraceMode) -> Self {
+        MeterCtx {
+            work: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            counters: Default::default(),
+            inner: Mutex::new(Inner {
+                cache: CacheSim::new(cfg),
+                trace: TraceRec::new(mode),
+                next_addr: 0,
+            }),
+        }
+    }
+
+    /// Metering context with default cache geometry and hashed tracing.
+    pub fn default_hashed() -> Self {
+        MeterCtx::new(CacheConfig::default(), TraceMode::Hash)
+    }
+
+    /// Bump a semantic counter.
+    #[inline]
+    pub fn count(&self, which: Counter, n: u64) {
+        self.counters[which as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn counter(&self, which: Counter) -> u64 {
+        self.counters[which as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all accumulated costs.
+    pub fn report(&self) -> CostReport {
+        let inner = self.inner.lock();
+        CostReport {
+            work: self.work.load(Ordering::Relaxed),
+            span: self.depth.load(Ordering::Relaxed),
+            cache_accesses: inner.cache.accesses(),
+            cache_misses: inner.cache.misses(),
+            comparisons: self.counter(Counter::Comparisons),
+            moves: self.counter(Counter::Moves),
+            sorts: self.counter(Counter::Sorts),
+            retries: self.counter(Counter::Retries),
+            trace_hash: inner.trace.hash(),
+            trace_len: inner.trace.count(),
+            m_words: inner.cache.config().m_words,
+            b_words: inner.cache.config().b_words,
+        }
+    }
+
+    /// Full trace events (empty unless constructed with `TraceMode::Full`).
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().trace.take_events()
+    }
+}
+
+impl Ctx for MeterCtx {
+    fn join<RA, RB>(
+        &self,
+        a: impl FnOnce(&Self) -> RA + Send,
+        b: impl FnOnce(&Self) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        self.work.fetch_add(FORK_COST + JOIN_COST, Ordering::Relaxed);
+        let d0 = self.depth.load(Ordering::Relaxed) + FORK_COST;
+        self.depth.store(d0, Ordering::Relaxed);
+        let ra = a(self);
+        let da = self.depth.load(Ordering::Relaxed);
+        self.depth.store(d0, Ordering::Relaxed);
+        let rb = b(self);
+        let db = self.depth.load(Ordering::Relaxed);
+        self.depth.store(da.max(db) + JOIN_COST, Ordering::Relaxed);
+        (ra, rb)
+    }
+
+    #[inline]
+    fn work(&self, n: u64) {
+        self.work.fetch_add(n, Ordering::Relaxed);
+        self.depth.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn touch(&self, buf: BufId, off: u64, len: u64, kind: Access) {
+        let mut inner = self.inner.lock();
+        let addr = buf.0 + off;
+        inner.cache.access_range(addr, len);
+        inner.trace.record(addr, len, matches!(kind, Access::Write) as u8);
+    }
+
+    #[inline]
+    fn count(&self, counter: usize, n: u64) {
+        if counter < NCOUNTERS {
+            self.counters[counter].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    fn charge_par(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.work.fetch_add(n, Ordering::Relaxed);
+        // Balanced fork tree over n leaves: 2 units per level of forks and
+        // joins, one unit of leaf work.
+        let depth = 2 * (64 - n.leading_zeros() as u64) + 1;
+        self.depth.fetch_add(depth, Ordering::Relaxed);
+    }
+
+    fn register(&self, len: u64) -> BufId {
+        let mut inner = self.inner.lock();
+        let b = inner.cache.config().b_words;
+        // Block-align each buffer so buffers never share a cache line and
+        // addresses are reproducible across runs.
+        let base = inner.next_addr.next_multiple_of(b);
+        inner.next_addr = base + len.max(1);
+        BufId(base)
+    }
+
+    #[inline]
+    fn is_metered(&self) -> bool {
+        true
+    }
+}
+
+/// Run `f` under a fresh meter and return its result plus the cost report.
+pub fn measure<R>(
+    cfg: CacheConfig,
+    mode: TraceMode,
+    f: impl FnOnce(&MeterCtx) -> R,
+) -> (R, CostReport) {
+    let ctx = MeterCtx::new(cfg, mode);
+    let r = f(&ctx);
+    let report = ctx.report();
+    (r, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj::par_for;
+
+    #[test]
+    fn span_of_balanced_tree_is_logarithmic() {
+        let n = 1024;
+        let (_, rep) = measure(CacheConfig::default(), TraceMode::Off, |c| {
+            par_for(c, 0, n, 1, &|c, _| c.work(1));
+        });
+        assert_eq!(rep.work, n as u64 + 2 * (n as u64 - 1)); // leaves + forks/joins
+        // Depth: 10 levels of fork+join (2 each) plus one leaf op.
+        assert!(rep.span <= 2 * 10 + 1 + 10, "span {} too large", rep.span);
+        assert!(rep.span >= 10, "span {} too small", rep.span);
+    }
+
+    #[test]
+    fn sequential_work_adds_to_span() {
+        let (_, rep) = measure(CacheConfig::default(), TraceMode::Off, |c| {
+            for _ in 0..100 {
+                c.work(1);
+            }
+        });
+        assert_eq!(rep.work, 100);
+        assert_eq!(rep.span, 100);
+    }
+
+    #[test]
+    fn join_takes_max_of_branches() {
+        let (_, rep) = measure(CacheConfig::default(), TraceMode::Off, |c| {
+            c.join(|c| c.work(100), |c| c.work(5));
+        });
+        assert_eq!(rep.work, 107);
+        assert_eq!(rep.span, 102);
+    }
+
+    #[test]
+    fn buffers_do_not_share_blocks() {
+        let ctx = MeterCtx::new(CacheConfig::new(256, 16), TraceMode::Off);
+        let a = ctx.register(10);
+        let b = ctx.register(10);
+        assert_ne!(a.0 / 16, (b.0 + 9) / 16);
+        assert_eq!(a.0 % 16, 0);
+        assert_eq!(b.0 % 16, 0);
+    }
+
+    #[test]
+    fn touch_feeds_cache_and_trace() {
+        let ctx = MeterCtx::new(CacheConfig::new(256, 16), TraceMode::Hash);
+        let buf = ctx.register(64);
+        ctx.touch(buf, 0, 1, Access::Read);
+        ctx.touch(buf, 0, 1, Access::Read);
+        let rep = ctx.report();
+        assert_eq!(rep.cache_accesses, 2);
+        assert_eq!(rep.cache_misses, 1);
+        assert_eq!(rep.trace_len, 2);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let ctx = MeterCtx::default_hashed();
+        ctx.count(Counter::Comparisons, 3);
+        ctx.count(Counter::Comparisons, 4);
+        ctx.count(Counter::Retries, 1);
+        assert_eq!(ctx.counter(Counter::Comparisons), 7);
+        assert_eq!(ctx.counter(Counter::Retries), 1);
+    }
+}

@@ -1,0 +1,437 @@
+//! Tracked memory: slices whose every access is visible to the context.
+//!
+//! All data the paper's adversary can observe accesses to lives in
+//! [`Tracked`] buffers. Element accesses report `(buffer, offset, length,
+//! kind)` through [`fj::Ctx::touch`]; on the metering executor this drives
+//! the cache simulator and the adversary trace, on parallel/sequential
+//! executors it compiles to nothing.
+//!
+//! Each element occupies `ceil(size_of::<T>() / 8)` words of the logical
+//! address space so fat records (e.g. the oblivious-sort `Slot`) consume a
+//! realistic number of cache lines.
+
+use fj::{Access, BufId, Ctx};
+
+/// Number of 8-byte words one `T` occupies in the logical address space.
+pub const fn words_per<T>() -> u64 {
+    let bytes = std::mem::size_of::<T>();
+    let w = bytes.div_ceil(8);
+    if w == 0 {
+        1
+    } else {
+        w as u64
+    }
+}
+
+/// A mutable slice registered with an execution context.
+pub struct Tracked<'a, T> {
+    data: &'a mut [T],
+    buf: BufId,
+    off: u64,
+    wpe: u64,
+}
+
+impl<'a, T: Copy> Tracked<'a, T> {
+    /// Register `data` as a fresh logical buffer.
+    pub fn new<C: Ctx>(c: &C, data: &'a mut [T]) -> Self {
+        let wpe = words_per::<T>();
+        let buf = c.register(data.len() as u64 * wpe);
+        Tracked { data, buf, off: 0, wpe }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read element `i`, reporting the access.
+    #[inline]
+    pub fn get<C: Ctx>(&self, c: &C, i: usize) -> T {
+        c.touch(self.buf, self.off + i as u64 * self.wpe, self.wpe, Access::Read);
+        c.work(1);
+        self.data[i]
+    }
+
+    /// Write element `i`, reporting the access.
+    #[inline]
+    pub fn set<C: Ctx>(&mut self, c: &C, i: usize, v: T) {
+        c.touch(self.buf, self.off + i as u64 * self.wpe, self.wpe, Access::Write);
+        c.work(1);
+        self.data[i] = v;
+    }
+
+    /// Reborrow as a shorter-lived tracked slice (same buffer identity).
+    #[inline]
+    pub fn borrow_mut(&mut self) -> Tracked<'_, T> {
+        Tracked { data: self.data, buf: self.buf, off: self.off, wpe: self.wpe }
+    }
+
+    /// Split into two disjoint tracked slices at `mid`.
+    #[inline]
+    pub fn split_at_mut(&mut self, mid: usize) -> (Tracked<'_, T>, Tracked<'_, T>) {
+        let (lo, hi) = self.data.split_at_mut(mid);
+        (
+            Tracked { data: lo, buf: self.buf, off: self.off, wpe: self.wpe },
+            Tracked {
+                data: hi,
+                buf: self.buf,
+                off: self.off + mid as u64 * self.wpe,
+                wpe: self.wpe,
+            },
+        )
+    }
+
+    /// Tracked view of `lo..hi`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> Tracked<'_, T> {
+        Tracked {
+            data: &mut self.data[lo..hi],
+            buf: self.buf,
+            off: self.off + lo as u64 * self.wpe,
+            wpe: self.wpe,
+        }
+    }
+
+    /// Split into `k` equal chunks (length must be divisible by `k`) —
+    /// convenience for bin-structured arrays.
+    pub fn chunks_exact_mut(&mut self, chunk: usize) -> Vec<Tracked<'_, T>> {
+        assert!(chunk > 0 && self.data.len().is_multiple_of(chunk));
+        let buf = self.buf;
+        let off = self.off;
+        let wpe = self.wpe;
+        self.data
+            .chunks_exact_mut(chunk)
+            .enumerate()
+            .map(|(i, data)| Tracked { data, buf, off: off + (i * chunk) as u64 * wpe, wpe })
+            .collect()
+    }
+
+    /// Untracked escape hatch: callers must `touch_all` (or otherwise
+    /// account) if they use this on a metered run.
+    #[inline]
+    pub fn raw(&self) -> &[T] {
+        self.data
+    }
+
+    /// Untracked mutable escape hatch; see [`Tracked::raw`].
+    #[inline]
+    pub fn raw_mut(&mut self) -> &mut [T] {
+        self.data
+    }
+
+    /// Report one access covering the whole slice (bulk sequential pass).
+    pub fn touch_all<C: Ctx>(&self, c: &C, kind: Access) {
+        c.touch(self.buf, self.off, self.data.len() as u64 * self.wpe, kind);
+    }
+
+    /// Copy `len` elements from `src[src_i..]` to `self[dst_i..]`, with
+    /// per-element accounting (used by matrix transposition and bin moves).
+    pub fn copy_from<C: Ctx>(
+        &mut self,
+        c: &C,
+        src: &Tracked<'_, T>,
+        src_i: usize,
+        dst_i: usize,
+        len: usize,
+    ) {
+        if len == 0 {
+            return;
+        }
+        c.touch(src.buf, src.off + src_i as u64 * src.wpe, len as u64 * src.wpe, Access::Read);
+        c.touch(self.buf, self.off + dst_i as u64 * self.wpe, len as u64 * self.wpe, Access::Write);
+        c.work(len as u64);
+        self.data[dst_i..dst_i + len].copy_from_slice(&src.data[src_i..src_i + len]);
+    }
+}
+
+impl<T: Copy> Tracked<'_, T> {
+    /// Buffer identity (for manual `touch` accounting).
+    #[inline]
+    pub fn buf(&self) -> BufId {
+        self.buf
+    }
+
+    /// Word offset of element 0 within the buffer.
+    #[inline]
+    pub fn off(&self) -> u64 {
+        self.off
+    }
+
+    /// Words per element.
+    #[inline]
+    pub fn wpe(&self) -> u64 {
+        self.wpe
+    }
+
+    /// Raw-pointer view for parallel algorithms whose write sets are
+    /// provably disjoint but not expressible as slice splits (matrix
+    /// transposition, butterfly layers). See [`RawTracked`].
+    #[inline]
+    pub fn as_raw(&mut self) -> RawTracked<T> {
+        RawTracked {
+            ptr: self.data.as_mut_ptr(),
+            len: self.data.len(),
+            buf: self.buf,
+            off: self.off,
+            wpe: self.wpe,
+        }
+    }
+}
+
+/// Unsafe parallel view of a [`Tracked`] slice.
+///
+/// Some binary fork-join algorithms (butterfly layers, matrix transposes)
+/// partition their index set in ways Rust's slice splitting cannot express.
+/// `RawTracked` carries the tracking metadata alongside a raw pointer; the
+/// caller promises that concurrent tasks access disjoint index sets.
+#[derive(Clone, Copy)]
+pub struct RawTracked<T> {
+    ptr: *mut T,
+    len: usize,
+    buf: BufId,
+    off: u64,
+    wpe: u64,
+}
+
+// SAFETY: disjointness of concurrent access is the caller's obligation per
+// the get/set safety contracts.
+unsafe impl<T: Send> Send for RawTracked<T> {}
+unsafe impl<T: Send> Sync for RawTracked<T> {}
+
+impl<T: Copy> RawTracked<T> {
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read element `i`.
+    ///
+    /// # Safety
+    /// No concurrent task may be writing element `i`.
+    #[inline]
+    pub unsafe fn get<C: Ctx>(&self, c: &C, i: usize) -> T {
+        debug_assert!(i < self.len);
+        c.touch(self.buf, self.off + i as u64 * self.wpe, self.wpe, Access::Read);
+        c.work(1);
+        *self.ptr.add(i)
+    }
+
+    /// Write element `i`.
+    ///
+    /// # Safety
+    /// No concurrent task may be accessing element `i`.
+    #[inline]
+    pub unsafe fn set<C: Ctx>(&self, c: &C, i: usize, v: T) {
+        debug_assert!(i < self.len);
+        c.touch(self.buf, self.off + i as u64 * self.wpe, self.wpe, Access::Write);
+        c.work(1);
+        *self.ptr.add(i) = v;
+    }
+
+    /// Copy `len` contiguous elements from `src[src_i..]` into
+    /// `self[dst_i..]`.
+    ///
+    /// # Safety
+    /// The ranges must be in bounds; no concurrent task may overlap them.
+    pub unsafe fn copy_from<C: Ctx>(
+        &self,
+        c: &C,
+        src: &RawTracked<T>,
+        src_i: usize,
+        dst_i: usize,
+        len: usize,
+    ) {
+        if len == 0 {
+            return;
+        }
+        debug_assert!(src_i + len <= src.len && dst_i + len <= self.len);
+        c.touch(src.buf, src.off + src_i as u64 * src.wpe, len as u64 * src.wpe, Access::Read);
+        c.touch(self.buf, self.off + dst_i as u64 * self.wpe, len as u64 * self.wpe, Access::Write);
+        c.work(len as u64);
+        std::ptr::copy_nonoverlapping(src.ptr.add(src_i), self.ptr.add(dst_i), len);
+    }
+}
+
+/// Build a `len`-element vector in parallel, one tracked write per element
+/// (`O(len)` work, `O(log len)` span plus the cost of `f`). The workhorse
+/// for the reveal/readout phases whose span would otherwise be linear.
+pub fn par_collect<C, T, F>(c: &C, len: usize, f: &F) -> Vec<T>
+where
+    C: Ctx,
+    T: Copy + Default + Send,
+    F: Fn(&C, usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); len];
+    {
+        let mut t = Tracked::new(c, &mut out);
+        let r = t.as_raw();
+        fj::par_for(c, 0, len, fj::grain_for(c), &|c, i| {
+            // SAFETY: each index written exactly once.
+            unsafe { r.set(c, i, f(c, i)) };
+        });
+    }
+    out
+}
+
+/// Run `f(ctx, chunk_index, chunk)` over the `len/chunk` equal chunks of a
+/// tracked slice, forking in a balanced binary tree (length must divide
+/// evenly). The tracked analogue of [`fj::par_chunks_mut`].
+pub fn par_tracked_chunks<C, T, F>(c: &C, t: Tracked<'_, T>, chunk: usize, f: &F)
+where
+    C: Ctx,
+    T: Copy + Send,
+    F: Fn(&C, usize, Tracked<'_, T>) + Sync,
+{
+    assert!(chunk > 0 && t.len().is_multiple_of(chunk), "chunk must divide length");
+    let count = t.len() / chunk;
+    if count == 0 {
+        return;
+    }
+    go(c, t, chunk, 0, count, f);
+
+    fn go<C, T, F>(c: &C, mut t: Tracked<'_, T>, chunk: usize, first: usize, count: usize, f: &F)
+    where
+        C: Ctx,
+        T: Copy + Send,
+        F: Fn(&C, usize, Tracked<'_, T>) + Sync,
+    {
+        if count == 1 {
+            f(c, first, t);
+            return;
+        }
+        let left = count / 2;
+        let (lo, hi) = t.split_at_mut(left * chunk);
+        c.join(
+            move |c| go(c, lo, chunk, first, left, f),
+            move |c| go(c, hi, chunk, first + left, count - left, f),
+        );
+    }
+}
+
+// SAFETY: Tracked is a &mut slice plus plain-old-data bookkeeping.
+unsafe impl<T: Send> Send for Tracked<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::meter::measure;
+    use crate::trace::TraceMode;
+    use fj::SeqCtx;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let c = SeqCtx::new();
+        let mut v = vec![0u64; 8];
+        let mut t = Tracked::new(&c, &mut v);
+        t.set(&c, 3, 42);
+        assert_eq!(t.get(&c, 3), 42);
+    }
+
+    #[test]
+    fn split_preserves_offsets() {
+        let (_, rep) = measure(CacheConfig::new(1 << 10, 16), TraceMode::Full, |c| {
+            let mut v = vec![0u64; 64];
+            let mut t = Tracked::new(c, &mut v);
+            let (mut lo, mut hi) = t.split_at_mut(32);
+            lo.set(c, 0, 1);
+            hi.set(c, 0, 2);
+        });
+        // Two writes, 32 words apart => different blocks (B = 16 words).
+        assert_eq!(rep.cache_misses, 2);
+    }
+
+    #[test]
+    fn fat_elements_occupy_multiple_words() {
+        #[derive(Clone, Copy)]
+        #[allow(dead_code)]
+        struct Fat([u64; 4]);
+        assert_eq!(words_per::<Fat>(), 4);
+        assert_eq!(words_per::<u8>(), 1);
+        assert_eq!(words_per::<u128>(), 2);
+    }
+
+    #[test]
+    fn copy_from_moves_data() {
+        let c = SeqCtx::new();
+        let mut a = vec![1u64, 2, 3, 4];
+        let mut b = vec![0u64; 4];
+        let ta = Tracked::new(&c, &mut a);
+        let mut tb = Tracked::new(&c, &mut b);
+        tb.copy_from(&c, &ta, 1, 0, 3);
+        assert_eq!(b, vec![2, 3, 4, 0]);
+    }
+
+    #[test]
+    fn chunks_exact_mut_partitions() {
+        let c = SeqCtx::new();
+        let mut v: Vec<u64> = (0..12).collect();
+        let mut t = Tracked::new(&c, &mut v);
+        let mut chunks = t.chunks_exact_mut(4);
+        assert_eq!(chunks.len(), 3);
+        for (k, ch) in chunks.iter_mut().enumerate() {
+            assert_eq!(ch.get(&c, 0), 4 * k as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod helper_tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::meter::measure;
+    use crate::trace::TraceMode;
+    use fj::SeqCtx;
+
+    #[test]
+    fn par_collect_builds_in_order() {
+        let c = SeqCtx::new();
+        let v = par_collect(&c, 100, &|_, i| i as u64 * 3);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 * 3));
+    }
+
+    #[test]
+    fn par_collect_has_log_span() {
+        let (_, rep) = measure(CacheConfig::default(), TraceMode::Off, |c| {
+            par_collect(c, 1 << 12, &|_, i| i as u64);
+        });
+        assert!(rep.span < 100, "span {} should be O(log n)", rep.span);
+        assert!(rep.work >= 1 << 12);
+    }
+
+    #[test]
+    fn charge_par_adds_work_but_log_depth() {
+        use fj::Ctx;
+        let (_, rep) = measure(CacheConfig::default(), TraceMode::Off, |c| {
+            c.charge_par(1_000_000);
+        });
+        assert_eq!(rep.work, 1_000_000);
+        assert!(rep.span <= 2 * 20 + 1 + 2, "span {}", rep.span);
+    }
+
+    #[test]
+    fn par_tracked_chunks_visits_each_chunk_once() {
+        let c = SeqCtx::new();
+        let mut v = vec![0u64; 64];
+        let t = Tracked::new(&c, &mut v);
+        par_tracked_chunks(&c, t, 8, &|c, idx, mut chunk| {
+            for i in 0..chunk.len() {
+                chunk.set(c, i, idx as u64);
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 8) as u64);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Direct (insecure) CRCW PRAM executor: the correctness oracle.
+//!
+//! Reads are performed with plain indexed access — the access pattern leaks
+//! every address, which is precisely what the oblivious simulations
+//! ([`crate::obliv_sb`]) exist to prevent. Reads of one step run as a
+//! parallel loop (this is also the classic "fork n threads per PRAM step"
+//! baseline of Fact B.1); conflict resolution uses the reference priority
+//! rule.
+
+use crate::model::{resolve_priority, Program, WriteReq};
+use fj::{grain_for, par_for, Ctx};
+use metrics::Tracked;
+
+/// Execute `prog` against memory initialized from `mem_init` (padded with
+/// zeros to `prog.space()`); returns the final memory.
+pub fn run_direct<C: Ctx, P: Program>(c: &C, prog: &P, mem_init: &[u64]) -> Vec<u64> {
+    let p = prog.nprocs();
+    let s = prog.space();
+    assert!(mem_init.len() <= s);
+    let mut mem = vec![0u64; s];
+    mem[..mem_init.len()].copy_from_slice(mem_init);
+
+    let mut states = vec![P::State::default(); p];
+    let mut fetched: Vec<Option<u64>> = vec![None; p];
+    let mut writes: Vec<Option<WriteReq>> = vec![None; p];
+
+    for t in 0..prog.steps() {
+        // Read phase (concurrent reads are free on a CRCW PRAM).
+        {
+            let mut mem_t = Tracked::new(c, &mut mem);
+            let mr = mem_t.as_raw();
+            let mut f_t = Tracked::new(c, &mut fetched);
+            let fr = f_t.as_raw();
+            let states_ref = &states;
+            par_for(c, 0, p, grain_for(c), &|c, pid| {
+                let got = prog
+                    .read_addr(t, pid, &states_ref[pid])
+                    // SAFETY: read-only on mem; fetched[pid] unique per pid.
+                    .map(|a| unsafe { mr.get(c, a) });
+                unsafe { fr.set(c, pid, got) };
+            });
+        }
+        // Compute phase.
+        {
+            let mut w_t = Tracked::new(c, &mut writes);
+            let wr = w_t.as_raw();
+            let mut st_t = Tracked::new(c, &mut states);
+            let sr = st_t.as_raw();
+            let fetched_ref = &fetched;
+            par_for(c, 0, p, grain_for(c), &|c, pid| unsafe {
+                // SAFETY: per-pid slots are disjoint.
+                let mut st = sr.get(c, pid);
+                let w = prog.compute(t, pid, &mut st, fetched_ref[pid]);
+                sr.set(c, pid, st);
+                wr.set(c, pid, w);
+            });
+        }
+        // Write phase (reference priority semantics).
+        resolve_priority(&writes, &mut mem);
+        c.work(p as u64);
+    }
+    mem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progs::{HistogramProgram, MaxProgram};
+    use fj::{Pool, SeqCtx};
+
+    #[test]
+    fn max_program_finds_maximum() {
+        let c = SeqCtx::new();
+        let vals: Vec<u64> = vec![3, 99, 12, 7, 54, 23, 8, 41];
+        let prog = MaxProgram::new(vals.len());
+        let mem = run_direct(&c, &prog, &vals);
+        assert_eq!(mem[0], 99);
+    }
+
+    #[test]
+    fn histogram_counts_with_priority() {
+        let c = SeqCtx::new();
+        let vals: Vec<u64> = vec![0, 1, 1, 2, 2, 2, 3, 0];
+        let prog = HistogramProgram::new(vals.len(), 4);
+        let mem = run_direct(&c, &prog, &vals);
+        // Each bucket holds the lowest pid that voted for it.
+        assert_eq!(&mem[8..12], &[0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = Pool::new(4);
+        let vals: Vec<u64> = (0..256).map(|i| (i * 2654435761u64) % 10_000).collect();
+        let prog = MaxProgram::new(vals.len());
+        let seq = run_direct(&SeqCtx::new(), &prog, &vals);
+        let par = pool.run(|c| run_direct(c, &prog, &vals));
+        assert_eq!(seq[0], par[0]);
+        assert_eq!(seq[0], *vals.iter().max().unwrap());
+    }
+}

@@ -1,0 +1,77 @@
+//! The CRCW PRAM machine model (§4).
+//!
+//! A program runs `p` processors against a shared memory of `s` words for a
+//! fixed number of steps. Each step decomposes — exactly as the paper's
+//! simulation does — into a *read* phase (every processor may request one
+//! address), a *local compute* phase, and a *write* phase (every processor
+//! may emit one write). Write conflicts resolve by **priority**: the lowest
+//! processor id wins (the strongest classic CRCW rule; arbitrary/common are
+//! special cases).
+//!
+//! The step count must be data-independent (programs declare it up front);
+//! this is what makes the oblivious simulation's trace a function of
+//! `(p, s, steps)` alone.
+
+use obliv_core::Val;
+
+/// A write emitted by a processor during the write phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WriteReq {
+    pub addr: usize,
+    pub val: u64,
+}
+
+/// A CRCW PRAM program in read/compute/write normal form.
+pub trait Program: Sync {
+    /// Per-processor register state.
+    type State: Val;
+
+    /// Number of processors `p`.
+    fn nprocs(&self) -> usize;
+
+    /// Shared-memory size `s` (in words).
+    fn space(&self) -> usize;
+
+    /// Fixed number of PRAM steps (data-independent).
+    fn steps(&self) -> usize;
+
+    /// Read phase of step `t`: the address processor `pid` wants, if any.
+    fn read_addr(&self, t: usize, pid: usize, state: &Self::State) -> Option<usize>;
+
+    /// Compute phase of step `t`: update local state with the fetched word
+    /// and optionally emit a write.
+    fn compute(
+        &self,
+        t: usize,
+        pid: usize,
+        state: &mut Self::State,
+        fetched: Option<u64>,
+    ) -> Option<WriteReq>;
+}
+
+/// Resolve a batch of optional writes under the priority rule (lowest pid
+/// wins) — the reference semantics used by tests and the direct executor.
+pub fn resolve_priority(writes: &[Option<WriteReq>], mem: &mut [u64]) {
+    // Applying in descending pid order makes the lowest pid land last.
+    for w in writes.iter().rev().flatten() {
+        mem[w.addr] = w.val;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_rule_lowest_pid_wins() {
+        let mut mem = vec![0u64; 4];
+        let writes = vec![
+            Some(WriteReq { addr: 1, val: 10 }), // pid 0
+            Some(WriteReq { addr: 1, val: 20 }), // pid 1
+            None,
+            Some(WriteReq { addr: 2, val: 30 }), // pid 3
+        ];
+        resolve_priority(&writes, &mut mem);
+        assert_eq!(mem, vec![0, 10, 30, 0]);
+    }
+}

@@ -1,0 +1,519 @@
+//! Batched recursive tree ORAM — the large-space simulation substrate of
+//! Theorem 4.2.
+//!
+//! Structural skeleton of Chan–Chung–Shi's Circuit OPRAM [CCS17] as the
+//! paper uses it (see DESIGN.md §4 for the documented simplifications):
+//!
+//! * a binary **bucket tree** per recursion level, stored in a
+//!   [`TreeLayout`] (vEB by default — §4.2's cache modification);
+//! * **recursion levels of position maps** with χ = 2 compression: map
+//!   level k packs the leaves of two level-(k−1) addresses per entry, down
+//!   to a constant-size top map that is scanned in full (fixed pattern);
+//! * **fixed-capacity stash** with deterministic reverse-lexicographic
+//!   eviction of two paths per access (overflow is monitored, not proven);
+//! * **batched accesses**: conflict resolution by oblivious sort, one tree
+//!   walk per distinct address, results broadcast back with oblivious
+//!   send-receive — the fetch/route structure of [CCS17]'s per-step
+//!   simulation.
+//!
+//! Path choices are fresh uniform leaves independent of the address
+//! sequence (the classic tree-ORAM argument); bucket and stash scans are
+//! fixed-size, so the trace for a fixed `(s, #accesses, seed)` depends on
+//! the *coins*, not on the stored values.
+
+use crate::veb::{tree_nodes, TreeLayout};
+use fj::Ctx;
+use metrics::Tracked;
+use obliv_core::scan::Schedule;
+use obliv_core::slot::{composite_key, Item, Slot};
+use obliv_core::{send_receive, Engine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One storage slot in a bucket, the stash, or a gathered path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OramSlot {
+    pub full: bool,
+    pub addr: u64,
+    pub leaf: u64,
+    pub val: u64,
+}
+
+/// Tuning for the tree ORAM.
+#[derive(Clone, Copy, Debug)]
+pub struct OramConfig {
+    /// Slots per bucket (classic Path-ORAM uses 4-5).
+    pub bucket: usize,
+    /// Stash capacity (fixed; scans always cover all of it).
+    pub stash: usize,
+    /// Tree layout — `Veb` is the §4.2 cache-efficient choice.
+    pub layout: TreeLayout,
+}
+
+impl Default for OramConfig {
+    fn default() -> Self {
+        OramConfig { bucket: 5, stash: 96, layout: TreeLayout::Veb }
+    }
+}
+
+/// A single-level bucket tree with a fixed stash.
+pub struct TreeOram {
+    height: usize,
+    bucket: usize,
+    layout: TreeLayout,
+    store: Vec<OramSlot>,
+    stash: Vec<OramSlot>,
+    evict_ctr: u64,
+    /// Peak stash occupancy observed (monitoring, §4.2 simplification).
+    pub max_stash: usize,
+}
+
+impl TreeOram {
+    /// A tree with at least `capacity` leaves-worth of room.
+    pub fn new(capacity: usize, cfg: OramConfig) -> Self {
+        // Leaves ≈ capacity/bucket, height = log2(leaves) + 1; min height 1.
+        let leaves = (capacity.div_ceil(cfg.bucket)).next_power_of_two().max(1);
+        let height = leaves.trailing_zeros() as usize + 1;
+        TreeOram {
+            height,
+            bucket: cfg.bucket,
+            layout: cfg.layout,
+            store: vec![OramSlot::default(); tree_nodes(height) * cfg.bucket],
+            stash: vec![OramSlot::default(); cfg.stash],
+            evict_ctr: 0,
+            max_stash: 0,
+        }
+    }
+
+    /// Number of leaves (valid leaf labels are `0..leaves`).
+    pub fn leaves(&self) -> u64 {
+        1u64 << (self.height - 1)
+    }
+
+    #[allow(dead_code)]
+    fn bucket_base(&self, depth: usize, idx: usize) -> usize {
+        self.layout.pos(self.height, depth, idx) * self.bucket
+    }
+
+    /// Read-and-remove `addr` along the path to `leaf`, then reinsert it
+    /// with `new_leaf` and value `new_val(old)`; returns the old value
+    /// (0 if absent). All scans are fixed-size.
+    pub fn access<C: Ctx>(
+        &mut self,
+        c: &C,
+        addr: u64,
+        leaf: u64,
+        new_leaf: u64,
+        new_val: impl FnOnce(Option<u64>) -> u64,
+    ) -> Option<u64> {
+        let height = self.height;
+        let bucket = self.bucket;
+        let mut found: Option<u64> = None;
+
+        // Scan the path buckets (read + conditional blind, fixed pattern).
+        {
+            let mut st = Tracked::new(c, &mut self.store);
+            for d in 0..height {
+                let idx = (leaf >> (height - 1 - d)) as usize;
+                let base = self.layout.pos(height, d, idx) * bucket;
+                for k in 0..bucket {
+                    let mut sl = st.get(c, base + k);
+                    let hit = sl.full && sl.addr == addr;
+                    if hit {
+                        found = Some(sl.val);
+                    }
+                    sl.full &= !hit;
+                    st.set(c, base + k, sl); // unconditional write-back
+                }
+            }
+        }
+        // Scan the whole stash.
+        {
+            let mut st = Tracked::new(c, &mut self.stash);
+            for k in 0..st.len() {
+                let mut sl = st.get(c, k);
+                let hit = sl.full && sl.addr == addr;
+                if hit {
+                    found = Some(sl.val);
+                }
+                sl.full &= !hit;
+                st.set(c, k, sl);
+            }
+        }
+
+        // Reinsert into the stash with the fresh leaf.
+        let fresh = OramSlot { full: true, addr, leaf: new_leaf, val: new_val(found) };
+        self.stash_insert(c, fresh);
+
+        // Deterministic reverse-lexicographic eviction of two paths.
+        for _ in 0..2 {
+            let path = reverse_bits(self.evict_ctr, (height - 1) as u32) % self.leaves();
+            self.evict_ctr += 1;
+            self.evict_path(c, path);
+        }
+        let occupied = self.stash.iter().filter(|s| s.full).count();
+        self.max_stash = self.max_stash.max(occupied);
+        found
+    }
+
+    fn stash_insert<C: Ctx>(&mut self, c: &C, slot: OramSlot) {
+        let mut st = Tracked::new(c, &mut self.stash);
+        let mut placed = false;
+        for k in 0..st.len() {
+            let cur = st.get(c, k);
+            let take = !placed && !cur.full;
+            // Unconditional write keeps the pattern fixed.
+            st.set(c, k, if take { slot } else { cur });
+            placed |= take;
+        }
+        assert!(placed, "ORAM stash overflow (capacity {})", st.len());
+    }
+
+    /// Greedy write-back along the path to `leaf`: gather path ∪ stash,
+    /// then refill buckets deepest-first with elements whose leaf shares
+    /// the required prefix; leftovers return to the stash.
+    fn evict_path<C: Ctx>(&mut self, c: &C, leaf: u64) {
+        let height = self.height;
+        let bucket = self.bucket;
+        let mut pool: Vec<OramSlot> = Vec::with_capacity(height * bucket + self.stash.len());
+
+        {
+            let mut st = Tracked::new(c, &mut self.store);
+            for d in 0..height {
+                let idx = (leaf >> (height - 1 - d)) as usize;
+                let base = self.layout.pos(height, d, idx) * bucket;
+                for k in 0..bucket {
+                    let sl = st.get(c, base + k);
+                    pool.push(sl);
+                    st.set(c, base + k, OramSlot::default());
+                }
+            }
+        }
+        {
+            let mut st = Tracked::new(c, &mut self.stash);
+            for k in 0..st.len() {
+                pool.push(st.get(c, k));
+                st.set(c, k, OramSlot::default());
+            }
+        }
+
+        // Deepest-first placement.
+        let mut used = vec![false; pool.len()];
+        {
+            let mut st = Tracked::new(c, &mut self.store);
+            for d in (0..height).rev() {
+                let idx = (leaf >> (height - 1 - d)) as usize;
+                let base = self.layout.pos(height, d, idx) * bucket;
+                let mut filled = 0;
+                for (i, sl) in pool.iter().enumerate() {
+                    if filled == bucket {
+                        break;
+                    }
+                    if used[i] || !sl.full {
+                        continue;
+                    }
+                    // Slot may live at depth d iff its leaf shares the top
+                    // d+1-bit prefix with the eviction path.
+                    let shift = height - 1 - d;
+                    if (sl.leaf >> shift) == (leaf >> shift) {
+                        st.set(c, base + filled, *sl);
+                        used[i] = true;
+                        filled += 1;
+                    }
+                }
+                c.work(pool.len() as u64);
+            }
+        }
+        // Leftovers to the stash.
+        let mut st = Tracked::new(c, &mut self.stash);
+        let mut at = 0;
+        for (i, sl) in pool.iter().enumerate() {
+            if !used[i] && sl.full {
+                assert!(at < st.len(), "ORAM stash overflow during eviction");
+                st.set(c, at, *sl);
+                at += 1;
+            }
+        }
+    }
+}
+
+fn reverse_bits(x: u64, bits: u32) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    x.reverse_bits() >> (64 - bits)
+}
+
+// ---------------------------------------------------------------------------
+// Recursive OPRAM
+// ---------------------------------------------------------------------------
+
+/// Address space at or below this size is kept in a flat, fully scanned
+/// top-level position map.
+const TOP_THRESHOLD: usize = 64;
+
+/// Recursive position-map ORAM over `s` addresses with batched access.
+pub struct Opram {
+    s: usize,
+    data: TreeOram,
+    /// maps[k] stores, at its address `j`, the packed leaves of level-k−1
+    /// addresses `2j` and `2j+1` (level 0 = data tree).
+    maps: Vec<TreeOram>,
+    /// Flat top map: leaf of `maps.last()`'s address `j` (or of the data
+    /// tree when there are no maps).
+    top: Vec<u64>,
+    rng: StdRng,
+    engine: Engine,
+}
+
+fn pack(lo: u32, hi: u32) -> u64 {
+    (lo as u64) | ((hi as u64) << 32)
+}
+
+fn unpack(v: u64, bit: u64) -> u32 {
+    (v >> (32 * bit)) as u32
+}
+
+fn set_half(v: u64, bit: u64, leaf: u32) -> u64 {
+    let mask = 0xFFFF_FFFFu64 << (32 * bit);
+    (v & !mask) | ((leaf as u64) << (32 * bit))
+}
+
+impl Opram {
+    pub fn new(s: usize, cfg: OramConfig, engine: Engine, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = TreeOram::new(s.max(1), cfg);
+        let mut maps = Vec::new();
+        let mut space = s.max(1).div_ceil(2);
+        while space > TOP_THRESHOLD {
+            maps.push(TreeOram::new(space, cfg));
+            space = space.div_ceil(2);
+        }
+        // The flat top covers the addresses of the deepest structure built.
+        let covered: &TreeOram = maps.last().unwrap_or(&data);
+        let top_len = if maps.is_empty() { s.max(1) } else { space * 2 };
+        let top: Vec<u64> = (0..top_len).map(|_| rng.gen_range(0..covered.leaves())).collect();
+        Opram { s, data, maps, top, rng, engine }
+    }
+
+    /// Peak stash occupancy across all levels (monitoring).
+    pub fn max_stash(&self) -> usize {
+        self.maps
+            .iter()
+            .map(|t| t.max_stash)
+            .chain(std::iter::once(self.data.max_stash))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Single oblivious access: returns the previous value of `addr`;
+    /// `write` installs a new value.
+    pub fn access<C: Ctx>(&mut self, c: &C, addr: u64, write: Option<u64>) -> u64 {
+        assert!((addr as usize) < self.s);
+        let levels = self.maps.len();
+
+        // Top map: fixed full scan, fetching + remapping the deepest level.
+        let top_addr = (addr >> levels) as usize;
+        let covered_leaves =
+            self.maps.last().map(|t| t.leaves()).unwrap_or_else(|| self.data.leaves());
+        let new_top_leaf = self.rng.gen_range(0..covered_leaves);
+        let mut leaf = 0u64;
+        {
+            let mut t = Tracked::new(c, &mut self.top);
+            for j in 0..t.len() {
+                let cur = t.get(c, j);
+                let hit = j == top_addr;
+                if hit {
+                    leaf = cur;
+                }
+                t.set(c, j, if hit { new_top_leaf } else { cur });
+            }
+        }
+        let mut incoming_new_leaf = new_top_leaf;
+
+        // Walk the map levels from coarsest (deepest index) to finest.
+        for k in (0..levels).rev() {
+            let map_addr = addr >> (k + 1);
+            let child_leaves = if k == 0 {
+                self.data.leaves()
+            } else {
+                self.maps[k - 1].leaves()
+            };
+            let new_child_leaf = self.rng.gen_range(0..child_leaves) as u32;
+            let bit = (addr >> k) & 1;
+            let mut fetched_child_leaf = 0u32;
+            let tree = &mut self.maps[k];
+            tree.access(c, map_addr, leaf, incoming_new_leaf, |old| {
+                let entry = old.unwrap_or_else(|| pack(0, 0));
+                fetched_child_leaf = unpack(entry, bit);
+                set_half(entry, bit, new_child_leaf)
+            });
+            leaf = fetched_child_leaf as u64;
+            incoming_new_leaf = new_child_leaf as u64;
+        }
+
+        // Data tree.
+        let mut old_val = 0u64;
+        self.data.access(c, addr, leaf, incoming_new_leaf, |old| {
+            old_val = old.unwrap_or(0);
+            write.unwrap_or(old_val)
+        });
+        old_val
+    }
+
+    /// Batched access (the per-PRAM-step fetch of [CCS17]): conflict
+    /// resolution by oblivious sort, one walk per distinct address, results
+    /// broadcast with oblivious send-receive. `reqs[j] = (addr, write)`;
+    /// returns the pre-step value of each request's address.
+    pub fn access_batch<C: Ctx>(&mut self, c: &C, reqs: &[(u64, Option<u64>)]) -> Vec<u64> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        // Conflict resolution: sort by (addr, index); head of each run is
+        // the representative (priority: earliest request's write wins).
+        let m = reqs.len().next_power_of_two();
+        let mut slots: Vec<Slot<(u64, u64, bool)>> = reqs
+            .iter()
+            .enumerate()
+            .map(|(j, &(a, w))| {
+                let mut sl = Slot::real(Item::new(0, (a, w.unwrap_or(0), w.is_some())), 0);
+                sl.sk = composite_key(a, j as u64);
+                sl
+            })
+            .collect();
+        slots.resize(m, Slot { sk: u128::MAX, ..Slot::filler() });
+        {
+            let mut t = Tracked::new(c, &mut slots);
+            self.engine.sort_slots(c, &mut t);
+        }
+        let mut winners: Vec<(u64, Option<u64>)> = Vec::new();
+        for i in 0..m {
+            let sl = slots[i];
+            c.work(1);
+            if !sl.is_real() {
+                continue;
+            }
+            let head = i == 0 || !slots[i - 1].is_real() || slots[i - 1].item.val.0 != sl.item.val.0;
+            if head {
+                let (a, w, has_w) = sl.item.val;
+                winners.push((a, has_w.then_some(w)));
+            }
+        }
+
+        // Serve distinct addresses (sequential tree walks, as in [CCS17]'s
+        // level-sequential fetch phase).
+        let mut fetched: Vec<(u64, u64)> = Vec::with_capacity(winners.len());
+        for &(a, w) in &winners {
+            let v = self.access(c, a, w);
+            fetched.push((a, v));
+        }
+
+        // Broadcast results to every request via oblivious send-receive.
+        let dests: Vec<u64> = reqs.iter().map(|&(a, _)| a).collect();
+        send_receive(c, &fetched, &dests, self.engine, Schedule::Tree)
+            .into_iter()
+            .map(|o| o.expect("every request address was served"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj::SeqCtx;
+    use metrics::{measure, CacheConfig, TraceMode};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn single_tree_roundtrip() {
+        let c = SeqCtx::new();
+        let mut t = TreeOram::new(64, OramConfig::default());
+        let leaves = t.leaves();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pos: HashMap<u64, u64> = HashMap::new();
+        for a in 0..32u64 {
+            let leaf = rng.gen_range(0..leaves);
+            let stored_at = pos.get(&a).copied().unwrap_or(0);
+            let _ = t.access(&c, a, stored_at, leaf, |_| a * 10);
+            pos.insert(a, leaf);
+        }
+        for a in 0..32u64 {
+            let leaf = rng.gen_range(0..leaves);
+            let got = t.access(&c, a, pos[&a], leaf, |old| old.unwrap_or(0));
+            pos.insert(a, leaf);
+            assert_eq!(got, Some(a * 10), "addr {a}");
+        }
+    }
+
+    #[test]
+    fn opram_matches_hashmap_reference() {
+        let c = SeqCtx::new();
+        let s = 500usize;
+        let mut o = Opram::new(s, OramConfig::default(), Engine::BitonicRec, 42);
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for step in 0..400 {
+            let addr = rng.gen_range(0..s as u64);
+            if rng.gen_bool(0.5) {
+                let v = step as u64 * 3 + 1;
+                o.access(&c, addr, Some(v));
+                reference.insert(addr, v);
+            } else {
+                let got = o.access(&c, addr, None);
+                assert_eq!(got, reference.get(&addr).copied().unwrap_or(0), "addr {addr}");
+            }
+        }
+        assert!(o.max_stash() < 90, "stash peaked at {}", o.max_stash());
+    }
+
+    #[test]
+    fn batched_access_serves_duplicates_and_priority() {
+        let c = SeqCtx::new();
+        let mut o = Opram::new(100, OramConfig::default(), Engine::BitonicRec, 3);
+        o.access_batch(&c, &[(5, Some(50)), (6, Some(60))]);
+        // Duplicate reads of 5; a write to 6 from a later request than a
+        // read: the read still sees the pre-step... the first request wins
+        // conflict resolution, so the batch observes 6 = 60 and writes 61.
+        let got = o.access_batch(&c, &[(5, None), (6, Some(61)), (5, None), (6, None)]);
+        assert_eq!(got, vec![50, 60, 50, 60]);
+        let after = o.access_batch(&c, &[(6, None)]);
+        assert_eq!(after, vec![61]);
+    }
+
+    #[test]
+    fn trace_independent_of_stored_values() {
+        // Same address sequence, different values ⇒ identical traces.
+        let addr_seq: Vec<u64> = (0..40).map(|i| (i * 13) % 64).collect();
+        let run = |scale: u64| {
+            let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+                let mut o = Opram::new(64, OramConfig::default(), Engine::BitonicRec, 9);
+                for (i, &a) in addr_seq.iter().enumerate() {
+                    let w = (i % 2 == 0).then_some(scale * (i as u64 + 1));
+                    o.access(c, a, w);
+                }
+            });
+            (rep.trace_hash, rep.trace_len)
+        };
+        assert_eq!(run(1), run(1_000_003));
+    }
+
+    #[test]
+    fn veb_layout_reduces_path_misses() {
+        // Same workload, tiny cache: vEB must miss less than level order.
+        let workload = |layout: TreeLayout| {
+            let (_, rep) = measure(CacheConfig::new(256, 8), TraceMode::Off, |c| {
+                let cfg = OramConfig { layout, ..OramConfig::default() };
+                let mut o = Opram::new(2048, cfg, Engine::BitonicRec, 11);
+                for i in 0..64u64 {
+                    o.access(c, (i * 37) % 2048, Some(i));
+                }
+            });
+            rep.cache_misses
+        };
+        let veb = workload(TreeLayout::Veb);
+        let lvl = workload(TreeLayout::Level);
+        assert!(veb < lvl, "vEB misses {veb} should undercut level-order {lvl}");
+    }
+}

@@ -1,0 +1,169 @@
+//! Demo CRCW PRAM programs used by tests and the Table 2 benches.
+
+use crate::model::{Program, WriteReq};
+
+/// Parallel maximum by doubling: step `t` has processor `i` read
+/// `mem[i + 2^t]` and keep the max at `mem[i]`. After `⌈log₂ p⌉` steps,
+/// `mem[0]` holds the maximum. Addresses are data-independent, but the
+/// *values* written depend on the data — which is exactly what an oblivious
+/// simulation must (and does) hide from the value-dependent write targets
+/// of other programs.
+pub struct MaxProgram {
+    n: usize,
+    steps: usize,
+}
+
+impl MaxProgram {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        let steps = (usize::BITS - (n - 1).max(1).leading_zeros()) as usize;
+        MaxProgram { n, steps: steps.max(1) }
+    }
+}
+
+/// State: (my current max, fetched partner value valid).
+impl Program for MaxProgram {
+    type State = u64;
+
+    fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    fn space(&self) -> usize {
+        self.n
+    }
+
+    fn steps(&self) -> usize {
+        2 * self.steps
+    }
+
+    fn read_addr(&self, t: usize, pid: usize, _state: &u64) -> Option<usize> {
+        // Even sub-steps read own cell; odd sub-steps read the partner.
+        if t.is_multiple_of(2) {
+            Some(pid)
+        } else {
+            let d = 1usize << (t / 2);
+            (pid + d < self.n).then_some(pid + d)
+        }
+    }
+
+    fn compute(&self, t: usize, pid: usize, state: &mut u64, fetched: Option<u64>) -> Option<WriteReq> {
+        if t.is_multiple_of(2) {
+            *state = fetched.unwrap_or(0);
+            None
+        } else {
+            let partner = fetched.unwrap_or(0);
+            let m = (*state).max(partner);
+            *state = m;
+            Some(WriteReq { addr: pid, val: m })
+        }
+    }
+}
+
+/// Concurrent-write histogram: processor `i` reads `mem[i]` (its value `v`)
+/// and writes its own pid into bucket `n + (v mod k)`. Conflicts exercise
+/// the priority rule: each bucket ends up holding the lowest pid that
+/// voted for it. Write addresses are **data-dependent**, so a non-oblivious
+/// execution leaks the values — the adversarial scenario of §1.
+pub struct HistogramProgram {
+    n: usize,
+    k: usize,
+}
+
+impl HistogramProgram {
+    pub fn new(n: usize, k: usize) -> Self {
+        HistogramProgram { n, k }
+    }
+}
+
+impl Program for HistogramProgram {
+    type State = u64;
+
+    fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    fn space(&self) -> usize {
+        self.n + self.k
+    }
+
+    fn steps(&self) -> usize {
+        1
+    }
+
+    fn read_addr(&self, _t: usize, pid: usize, _state: &u64) -> Option<usize> {
+        Some(pid)
+    }
+
+    fn compute(&self, _t: usize, pid: usize, _state: &mut u64, fetched: Option<u64>) -> Option<WriteReq> {
+        let v = fetched.unwrap_or(0) as usize % self.k;
+        Some(WriteReq { addr: self.n + v, val: pid as u64 })
+    }
+}
+
+/// Pointer jumping over a successor array: `steps` rounds of
+/// `S[i] ← S[S[i]]`, the inner loop of PRAM list ranking. Read addresses
+/// are data-dependent (the list topology).
+pub struct PointerJumpProgram {
+    n: usize,
+    rounds: usize,
+}
+
+impl PointerJumpProgram {
+    pub fn new(n: usize) -> Self {
+        let rounds = (usize::BITS - n.max(2).leading_zeros()) as usize;
+        PointerJumpProgram { n, rounds }
+    }
+}
+
+impl Program for PointerJumpProgram {
+    type State = u64;
+
+    fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    fn space(&self) -> usize {
+        self.n
+    }
+
+    fn steps(&self) -> usize {
+        2 * self.rounds
+    }
+
+    fn read_addr(&self, t: usize, pid: usize, state: &u64) -> Option<usize> {
+        if t.is_multiple_of(2) {
+            Some(pid) // fetch S[i]
+        } else {
+            Some(*state as usize % self.n) // fetch S[S[i]]
+        }
+    }
+
+    fn compute(&self, t: usize, pid: usize, state: &mut u64, fetched: Option<u64>) -> Option<WriteReq> {
+        if t.is_multiple_of(2) {
+            *state = fetched.unwrap_or(0);
+            None
+        } else {
+            let succ2 = fetched.unwrap_or(0);
+            // Terminal nodes (self loops encoded as S[i] = i) stay put.
+            Some(WriteReq { addr: pid, val: succ2 })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::run_direct;
+    use fj::SeqCtx;
+
+    #[test]
+    fn pointer_jumping_collapses_list() {
+        let c = SeqCtx::new();
+        // List 0 -> 1 -> 2 -> 3 -> 4 -> 4 (4 is terminal).
+        let succ: Vec<u64> = vec![1, 2, 3, 4, 4];
+        let prog = PointerJumpProgram::new(succ.len());
+        let mem = run_direct(&c, &prog, &succ);
+        assert!(mem.iter().all(|&s| s == 4), "all nodes reach the terminal: {mem:?}");
+    }
+}

@@ -1,0 +1,124 @@
+//! van Emde Boas (vEB) tree layout.
+//!
+//! §4.2's first cache-complexity modification: "store all the ORAM trees …
+//! in an Emde Boas layout. In this way, accessing a tree path of length
+//! `O(log s)` incurs only `O(log_B s)` cache misses." The layout stores a
+//! complete binary tree by recursively splitting its height: the top half
+//! first, then each bottom subtree contiguously — so any root-to-leaf path
+//! crosses only `O(log_B n)` blocks instead of the `O(log n)` of the
+//! classic level-order (heap) layout. The `E4.veb` bench measures exactly
+//! this contrast.
+
+/// How a complete binary tree of nodes is mapped into a flat array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeLayout {
+    /// Classic heap order: node `(d, i)` at `2^d − 1 + i`.
+    Level,
+    /// van Emde Boas recursive order.
+    Veb,
+}
+
+impl TreeLayout {
+    /// Array position of the node at `depth` (root = 0), index `idx` within
+    /// its level, in a complete tree with `height` levels.
+    pub fn pos(&self, height: usize, depth: usize, idx: usize) -> usize {
+        debug_assert!(depth < height && idx < (1usize << depth));
+        match self {
+            TreeLayout::Level => (1usize << depth) - 1 + idx,
+            TreeLayout::Veb => veb_pos(height, depth, idx),
+        }
+    }
+}
+
+/// Nodes in a complete binary tree with `h` levels.
+#[inline]
+pub fn tree_nodes(h: usize) -> usize {
+    (1usize << h) - 1
+}
+
+fn veb_pos(height: usize, depth: usize, idx: usize) -> usize {
+    if height == 1 {
+        debug_assert_eq!(depth, 0);
+        return 0;
+    }
+    let top_h = height / 2;
+    let bot_h = height - top_h;
+    if depth < top_h {
+        return veb_pos(top_h, depth, idx);
+    }
+    // Bottom subtrees hang off the 2^top_h nodes of level top_h.
+    let sub = idx >> (depth - top_h);
+    let within = idx & ((1usize << (depth - top_h)) - 1);
+    tree_nodes(top_h) + sub * tree_nodes(bot_h) + veb_pos(bot_h, depth - top_h, within)
+}
+
+/// Number of distinct `b`-sized blocks a root-to-leaf path to `leaf`
+/// touches under `layout` (analysis helper for the E4 bench).
+pub fn path_blocks(layout: TreeLayout, height: usize, leaf: usize, b: usize) -> usize {
+    let mut blocks: Vec<usize> = (0..height)
+        .map(|d| layout.pos(height, d, leaf >> (height - 1 - d)) / b)
+        .collect();
+    blocks.sort_unstable();
+    blocks.dedup();
+    blocks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn veb_is_a_bijection() {
+        for h in 1..=12 {
+            let mut seen = HashSet::new();
+            for d in 0..h {
+                for i in 0..(1usize << d) {
+                    let p = TreeLayout::Veb.pos(h, d, i);
+                    assert!(p < tree_nodes(h), "h={h} d={d} i={i} -> {p}");
+                    assert!(seen.insert(p), "duplicate position {p} (h={h})");
+                }
+            }
+            assert_eq!(seen.len(), tree_nodes(h));
+        }
+    }
+
+    #[test]
+    fn level_layout_is_heap_order() {
+        assert_eq!(TreeLayout::Level.pos(4, 0, 0), 0);
+        assert_eq!(TreeLayout::Level.pos(4, 2, 3), 6);
+        assert_eq!(TreeLayout::Level.pos(4, 3, 0), 7);
+    }
+
+    #[test]
+    fn veb_small_tree_matches_hand_layout() {
+        // Height 3 (7 nodes): top = height 1 (root), bottoms = height 2.
+        // Order: root, then subtree of (1,0) = [(1,0),(2,0),(2,1)], then
+        // subtree of (1,1).
+        let l = TreeLayout::Veb;
+        assert_eq!(l.pos(3, 0, 0), 0);
+        assert_eq!(l.pos(3, 1, 0), 1);
+        assert_eq!(l.pos(3, 2, 0), 2);
+        assert_eq!(l.pos(3, 2, 1), 3);
+        assert_eq!(l.pos(3, 1, 1), 4);
+        assert_eq!(l.pos(3, 2, 2), 5);
+        assert_eq!(l.pos(3, 2, 3), 6);
+    }
+
+    #[test]
+    fn veb_paths_touch_fewer_blocks_than_level_order() {
+        let h = 16; // 65535 nodes
+        let b = 64;
+        let leaves = 1usize << (h - 1);
+        let sample: Vec<usize> = (0..64).map(|i| i * (leaves / 64)).collect();
+        let veb: usize = sample.iter().map(|&l| path_blocks(TreeLayout::Veb, h, l, b)).sum();
+        let lvl: usize = sample.iter().map(|&l| path_blocks(TreeLayout::Level, h, l, b)).sum();
+        assert!(
+            2 * veb < lvl,
+            "vEB path blocks {veb} should be well under level-order {lvl}"
+        );
+        // And asymptotically: ~ log_B n blocks per path (≈ h/log2(b) + O(1)).
+        let per_path = veb as f64 / sample.len() as f64;
+        assert!(per_path <= (h as f64 / (b as f64).log2()).ceil() + 2.0, "{per_path}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Batcher's bitonic sorting network [Bat68]: sequential evaluation and the
+//! *naive* fork-join parallelization.
+//!
+//! The naive variant forks and joins the comparators of each of the
+//! `O(log² n)` layers in a binary tree, giving span `O(log³ n)` and cache
+//! complexity `O((n/B)·log² n)` — exactly the strawman §E.1 improves on
+//! with the recursive implementation in [`crate::bitonic_rec`]. We keep it
+//! both as the correctness oracle and as the "prior best" baseline for the
+//! `E1.bitonic` experiment.
+
+use crate::cx::{cex, cex_raw, KeyFn};
+use fj::{counters, par_for, Ctx, DEFAULT_GRAIN};
+use metrics::Tracked;
+
+/// Sequential bitonic sort of a power-of-two-length slice.
+pub fn bitonic_sort_seq<C: Ctx, T: Copy>(
+    c: &C,
+    t: &mut Tracked<'_, T>,
+    key: &impl KeyFn<T>,
+    up: bool,
+) {
+    let n = t.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "bitonic sort requires power-of-two length, got {n}");
+    c.count(counters::SORTS, 1);
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    let dir = ((i & k) == 0) == up;
+                    cex(c, t, key, i, l, dir);
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+/// Sequential bitonic *merge*: sorts a bitonic input (ascending then
+/// descending half, or any rotation thereof) of power-of-two length.
+pub fn bitonic_merge_seq<C: Ctx, T: Copy>(
+    c: &C,
+    t: &mut Tracked<'_, T>,
+    key: &impl KeyFn<T>,
+    up: bool,
+) {
+    let m = t.len();
+    if m <= 1 {
+        return;
+    }
+    assert!(m.is_power_of_two());
+    let mut d = m / 2;
+    while d >= 1 {
+        for i in 0..m {
+            if i & d == 0 {
+                cex(c, t, key, i, i + d, up);
+            }
+        }
+        d /= 2;
+    }
+}
+
+/// Naive parallel bitonic sort: every layer is a parallel loop over its
+/// `n/2` comparators with a barrier (the joins) between layers.
+pub fn bitonic_sort_flat_par<C: Ctx, T: Copy + Send>(
+    c: &C,
+    t: &mut Tracked<'_, T>,
+    key: &impl KeyFn<T>,
+    up: bool,
+) {
+    let n = t.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two());
+    c.count(counters::SORTS, 1);
+    let raw = t.as_raw();
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j >= 1 {
+            par_for(c, 0, n / 2, DEFAULT_GRAIN, &|c, p| {
+                // Comparator p of this layer: indices share all bits except
+                // bit j; disjoint across p, so raw access is safe.
+                let lo = ((p & !(j - 1)) << 1) | (p & (j - 1));
+                let dir = ((lo & k) == 0) == up;
+                // SAFETY: distinct p yield disjoint {lo, lo+j} pairs.
+                unsafe { cex_raw(c, &raw, key, lo, lo + j, dir) };
+            });
+            j /= 2;
+        }
+        k *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj::{Pool, SeqCtx};
+    use proptest::prelude::*;
+
+    fn key64(x: &u64) -> u128 {
+        *x as u128
+    }
+
+    #[test]
+    fn sorts_random_input() {
+        let c = SeqCtx::new();
+        let mut v: Vec<u64> = (0..256).map(|i| (i * 2654435761u64) % 1000).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let mut t = Tracked::new(&c, &mut v);
+        bitonic_sort_seq(&c, &mut t, &key64, true);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_descending() {
+        let c = SeqCtx::new();
+        let mut v: Vec<u64> = (0..64).collect();
+        let mut t = Tracked::new(&c, &mut v);
+        bitonic_sort_seq(&c, &mut t, &key64, false);
+        let mut expect: Vec<u64> = (0..64).collect();
+        expect.reverse();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn zero_one_principle_exhaustive_n8() {
+        // By the 0-1 principle, a network sorting all 2^8 bit vectors sorts
+        // everything.
+        let c = SeqCtx::new();
+        for mask in 0u32..256 {
+            let mut v: Vec<u64> = (0..8).map(|i| (mask >> i) & 1).map(u64::from).collect();
+            let ones = v.iter().sum::<u64>() as usize;
+            let mut t = Tracked::new(&c, &mut v);
+            bitonic_sort_seq(&c, &mut t, &key64, true);
+            assert!(v[..8 - ones].iter().all(|&x| x == 0));
+            assert!(v[8 - ones..].iter().all(|&x| x == 1));
+        }
+    }
+
+    #[test]
+    fn merge_sorts_bitonic_input() {
+        let c = SeqCtx::new();
+        let mut v: Vec<u64> = (0..32).chain((0..32).rev()).collect();
+        let mut t = Tracked::new(&c, &mut v);
+        bitonic_merge_seq(&c, &mut t, &key64, true);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn flat_parallel_matches_sequential() {
+        let pool = Pool::new(4);
+        let mut v: Vec<u64> = (0..1024).map(|i| (i * 40503) % 4096).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        pool.run(|p| {
+            let mut t = Tracked::new(p, &mut v);
+            bitonic_sort_flat_par(p, &mut t, &key64, true, );
+        });
+        assert_eq!(v, expect);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sorts_any_input(v in proptest::collection::vec(any::<u64>(), 1..=9)) {
+            // Pad to the next power of two with MAX sentinels.
+            let n = v.len().next_power_of_two();
+            let mut padded = v.clone();
+            padded.resize(n, u64::MAX);
+            let c = SeqCtx::new();
+            let mut t = Tracked::new(&c, &mut padded);
+            bitonic_sort_seq(&c, &mut t, &key64, true);
+            let mut expect = v;
+            expect.sort_unstable();
+            prop_assert_eq!(&padded[..expect.len()], &expect[..]);
+        }
+    }
+}

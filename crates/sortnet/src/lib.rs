@@ -1,0 +1,33 @@
+//! # sortnet — data-oblivious sorting networks for binary fork-join
+//!
+//! Comparator networks are data-oblivious by construction: the sequence of
+//! compared addresses is fixed in advance. This crate supplies every
+//! network the paper's constructions need:
+//!
+//! * [`bitonic`] — Batcher's bitonic network, sequential and naively
+//!   parallelized (the strawman with `O(log³ n)` span);
+//! * [`bitonic_rec`] — the paper's cache-agnostic recursive bitonic sort
+//!   (§E.1, Theorem E.1): span `O(log² n · log log n)`, cache complexity
+//!   `O((n/B)·log_M n·log(n/M))`;
+//! * [`oddeven`] — Batcher's odd-even mergesort (alternative engine);
+//! * [`shellsort`] — Goodrich's randomized Shellsort, the `O(n log n)`-
+//!   comparison stand-in for the AKS network (see DESIGN.md §4);
+//! * [`network`] — explicit layered networks, used to regenerate Figure 1;
+//! * [`transpose`] — cache-agnostic parallel matrix transposition, the
+//!   shared skeleton of every recursive butterfly in the workspace.
+
+pub mod bitonic;
+pub mod bitonic_rec;
+pub mod cx;
+pub mod network;
+pub mod oddeven;
+pub mod shellsort;
+pub mod transpose;
+
+pub use bitonic::{bitonic_merge_seq, bitonic_sort_flat_par, bitonic_sort_seq};
+pub use bitonic_rec::{bitonic_merge_rec, bitonic_sort_rec, par_rows2, sort_slice_rec};
+pub use cx::{cex, cex_raw, select_u128, select_u64, KeyFn};
+pub use network::{Comparator, Network};
+pub use oddeven::oddeven_sort;
+pub use shellsort::randomized_shellsort;
+pub use transpose::transpose;

@@ -1,0 +1,266 @@
+//! Explicit comparator-network representation.
+//!
+//! Used to regenerate **Figure 1** of the paper (the 16-input bitonic
+//! sorting network) and to machine-check structural properties: layer
+//! counts, comparator counts, and the 0-1 principle.
+
+/// A comparator `(min_to, max_to)`: after evaluation the smaller element is
+/// at wire `min_to` and the larger at `max_to`. Descending comparators are
+/// expressed by `min_to > max_to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Comparator {
+    pub min_to: u32,
+    pub max_to: u32,
+}
+
+impl Comparator {
+    pub fn lo(&self) -> usize {
+        self.min_to.min(self.max_to) as usize
+    }
+
+    pub fn hi(&self) -> usize {
+        self.min_to.max(self.max_to) as usize
+    }
+
+    /// True if the arrow points to the larger wire index (ascending).
+    pub fn ascending(&self) -> bool {
+        self.max_to > self.min_to
+    }
+}
+
+/// A layered comparator network on `n` wires. Comparators within a layer
+/// are wire-disjoint and can evaluate in parallel.
+#[derive(Clone, Debug)]
+pub struct Network {
+    pub n: usize,
+    pub layers: Vec<Vec<Comparator>>,
+}
+
+impl Network {
+    /// The bitonic sorting network for `n` wires (power of two), layer by
+    /// layer — the object Figure 1 draws for `n = 16`.
+    pub fn bitonic(n: usize) -> Network {
+        assert!(n.is_power_of_two() && n >= 2);
+        let mut layers = Vec::new();
+        let mut k = 2;
+        while k <= n {
+            let mut j = k / 2;
+            while j >= 1 {
+                let mut layer = Vec::with_capacity(n / 2);
+                for i in 0..n {
+                    let l = i ^ j;
+                    if l > i {
+                        let asc = (i & k) == 0;
+                        layer.push(if asc {
+                            Comparator { min_to: i as u32, max_to: l as u32 }
+                        } else {
+                            Comparator { min_to: l as u32, max_to: i as u32 }
+                        });
+                    }
+                }
+                layers.push(layer);
+                j /= 2;
+            }
+            k *= 2;
+        }
+        Network { n, layers }
+    }
+
+    /// Batcher's odd-even mergesort network (power-of-two `n`), flattened
+    /// into greedy wire-disjoint layers.
+    pub fn oddeven(n: usize) -> Network {
+        assert!(n.is_power_of_two() && n >= 2);
+        let mut seq: Vec<Comparator> = Vec::new();
+        sort(&mut seq, 0, n);
+        return Network { n, layers: layerize(n, seq) };
+
+        fn sort(out: &mut Vec<Comparator>, lo: usize, n: usize) {
+            if n <= 1 {
+                return;
+            }
+            let m = n / 2;
+            sort(out, lo, m);
+            sort(out, lo + m, m);
+            merge(out, lo, n, 1);
+        }
+
+        fn merge(out: &mut Vec<Comparator>, lo: usize, n: usize, r: usize) {
+            let step = r * 2;
+            if step < n {
+                merge(out, lo, n, step);
+                merge(out, lo + r, n, step);
+                let mut i = lo + r;
+                while i + r < lo + n {
+                    out.push(Comparator { min_to: i as u32, max_to: (i + r) as u32 });
+                    i += step;
+                }
+            } else {
+                out.push(Comparator { min_to: lo as u32, max_to: (lo + r) as u32 });
+            }
+        }
+
+        fn layerize(n: usize, seq: Vec<Comparator>) -> Vec<Vec<Comparator>> {
+            // Greedy ASAP layering respecting wire dependencies.
+            let mut depth = vec![0usize; n];
+            let mut layers: Vec<Vec<Comparator>> = Vec::new();
+            for c in seq {
+                let d = depth[c.lo()].max(depth[c.hi()]);
+                if layers.len() <= d {
+                    layers.resize_with(d + 1, Vec::new);
+                }
+                layers[d].push(c);
+                depth[c.lo()] = d + 1;
+                depth[c.hi()] = d + 1;
+            }
+            layers
+        }
+    }
+
+    /// Total comparator count.
+    pub fn size(&self) -> usize {
+        self.layers.iter().map(Vec::len).sum()
+    }
+
+    /// Depth (number of layers).
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Evaluate the network on a value vector.
+    pub fn apply<T: Ord + Copy>(&self, v: &mut [T]) {
+        assert_eq!(v.len(), self.n);
+        for layer in &self.layers {
+            for c in layer {
+                let (lo, hi) = (c.min_to as usize, c.max_to as usize);
+                let (a, b) = (v[lo], v[hi]);
+                v[lo] = a.min(b);
+                v[hi] = a.max(b);
+            }
+        }
+    }
+
+    /// Exhaustive 0-1-principle check (exponential in `n`; keep `n ≤ 20`).
+    pub fn is_sorting_network(&self) -> bool {
+        assert!(self.n <= 20, "0-1 check is exponential; n too large");
+        let mut v = vec![0u8; self.n];
+        for mask in 0u32..(1u32 << self.n) {
+            for (i, slot) in v.iter_mut().enumerate() {
+                *slot = ((mask >> i) & 1) as u8;
+            }
+            self.apply(&mut v);
+            if v.windows(2).any(|w| w[0] > w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// ASCII rendering in the style of the paper's Figure 1: one row per
+    /// wire, comparators drawn as vertical arrows, one column per layer.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let cols: Vec<&Vec<Comparator>> = self.layers.iter().collect();
+        // Each layer may need several sub-columns if comparators overlap
+        // visually; place greedily.
+        let mut grid: Vec<Vec<(usize, usize, bool)>> = Vec::new(); // (lo, hi, asc)
+        for layer in &cols {
+            let mut subcols: Vec<Vec<(usize, usize, bool)>> = vec![Vec::new()];
+            for cmp in layer.iter() {
+                let (lo, hi, asc) = (cmp.lo(), cmp.hi(), cmp.ascending());
+                let mut placed = false;
+                for sc in subcols.iter_mut() {
+                    if sc.iter().all(|&(l, h, _)| hi < l || lo > h) {
+                        sc.push((lo, hi, asc));
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    subcols.push(vec![(lo, hi, asc)]);
+                }
+            }
+            grid.extend(subcols);
+        }
+        for wire in 0..self.n {
+            let mut line = format!("{wire:>2} ─");
+            for col in &grid {
+                let mut ch = "──";
+                for &(lo, hi, asc) in col {
+                    if wire == lo {
+                        ch = if asc { "─┬" } else { "─▲" };
+                    } else if wire == hi {
+                        ch = if asc { "─▼" } else { "─┴" };
+                    } else if wire > lo && wire < hi {
+                        ch = "─│";
+                    }
+                }
+                line.push_str(ch);
+                line.push('─');
+            }
+            line.push('─');
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitonic_16_matches_figure_1_structure() {
+        let net = Network::bitonic(16);
+        // log2(16) phases of 1..4 layers: 1+2+3+4 = 10 layers,
+        // n/2 comparators each.
+        assert_eq!(net.depth(), 10);
+        assert_eq!(net.size(), 10 * 8);
+        assert!(net.layers.iter().all(|l| l.len() == 8));
+    }
+
+    #[test]
+    fn bitonic_is_a_sorting_network_up_to_16() {
+        for n in [2usize, 4, 8, 16] {
+            assert!(Network::bitonic(n).is_sorting_network(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn oddeven_is_a_sorting_network_up_to_16() {
+        for n in [2usize, 4, 8, 16] {
+            assert!(Network::oddeven(n).is_sorting_network(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn oddeven_has_fewer_comparators_than_bitonic() {
+        let b = Network::bitonic(16).size();
+        let o = Network::oddeven(16).size();
+        assert!(o < b, "odd-even {o} should beat bitonic {b}");
+    }
+
+    #[test]
+    fn apply_sorts_values() {
+        let net = Network::bitonic(8);
+        let mut v = [5u32, 1, 7, 3, 2, 8, 6, 4];
+        net.apply(&mut v);
+        assert_eq!(v, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn render_has_one_row_per_wire() {
+        let s = Network::bitonic(16).render_ascii();
+        assert_eq!(s.lines().count(), 16);
+    }
+
+    #[test]
+    fn comparator_orientation() {
+        let asc = Comparator { min_to: 2, max_to: 5 };
+        assert!(asc.ascending());
+        assert_eq!((asc.lo(), asc.hi()), (2, 5));
+        let desc = Comparator { min_to: 5, max_to: 2 };
+        assert!(!desc.ascending());
+        assert_eq!((desc.lo(), desc.hi()), (2, 5));
+    }
+}

@@ -1,0 +1,176 @@
+//! Cache-agnostic parallel matrix transposition.
+//!
+//! Matrix transposition is the glue of the paper's recursive butterfly
+//! implementations: REC-ORBA, REC-SORT and the recursive bitonic merge all
+//! interleave recursive phases with transposes of (bins-as-cells) matrices
+//! (§D.1, §E.1.2). The recursive halving layout below gives the standard
+//! cache-agnostic bound `O(RC·chunk/B)` misses and `O(log(RC))` span.
+//!
+//! Cells are `chunk` consecutive elements (a whole bin when transposing bin
+//! matrices, a single element for bitonic merges).
+
+use fj::Ctx;
+use metrics::{RawTracked, Tracked};
+
+/// Tile edge below which we transpose with plain loops.
+const TILE: usize = 8;
+
+/// Transpose the `rows × cols` matrix of `chunk`-element cells stored
+/// row-major in `src` into `dst` (which becomes `cols × rows`, row-major).
+pub fn transpose<C: Ctx, T: Copy + Send>(
+    c: &C,
+    src: &mut Tracked<'_, T>,
+    dst: &mut Tracked<'_, T>,
+    rows: usize,
+    cols: usize,
+    chunk: usize,
+) {
+    assert_eq!(src.len(), rows * cols * chunk, "src shape mismatch");
+    assert_eq!(dst.len(), rows * cols * chunk, "dst shape mismatch");
+    let s = src.as_raw();
+    let d = dst.as_raw();
+    // SAFETY: rec splits the (row, col) rectangle into disjoint quadrants;
+    // the map (r, c) -> (c, r) is injective, so concurrent tasks write
+    // disjoint dst cells and read disjoint src cells.
+    rec(c, &s, &d, 0, rows, 0, cols, rows, cols, chunk);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec<C: Ctx, T: Copy + Send>(
+    c: &C,
+    src: &RawTracked<T>,
+    dst: &RawTracked<T>,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+    rows: usize,
+    cols: usize,
+    chunk: usize,
+) {
+    let dr = r1 - r0;
+    let dc = c1 - c0;
+    if dr <= TILE && dc <= TILE {
+        for r in r0..r1 {
+            for col in c0..c1 {
+                // SAFETY: in-bounds by construction; disjointness per above.
+                unsafe {
+                    dst.copy_from(c, src, (r * cols + col) * chunk, (col * rows + r) * chunk, chunk);
+                }
+            }
+        }
+        return;
+    }
+    if dr >= dc {
+        let rm = r0 + dr / 2;
+        c.join(
+            |c| rec(c, src, dst, r0, rm, c0, c1, rows, cols, chunk),
+            |c| rec(c, src, dst, rm, r1, c0, c1, rows, cols, chunk),
+        );
+    } else {
+        let cm = c0 + dc / 2;
+        c.join(
+            |c| rec(c, src, dst, r0, r1, c0, cm, rows, cols, chunk),
+            |c| rec(c, src, dst, r0, r1, cm, c1, rows, cols, chunk),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj::{Pool, SeqCtx};
+    use metrics::{measure, CacheConfig, TraceMode};
+
+    fn check_transpose(rows: usize, cols: usize, chunk: usize) {
+        let c = SeqCtx::new();
+        let n = rows * cols * chunk;
+        let mut src: Vec<u64> = (0..n as u64).collect();
+        let mut dst = vec![0u64; n];
+        let mut ts = Tracked::new(&c, &mut src);
+        let mut td = Tracked::new(&c, &mut dst);
+        transpose(&c, &mut ts, &mut td, rows, cols, chunk);
+        for r in 0..rows {
+            for col in 0..cols {
+                for k in 0..chunk {
+                    assert_eq!(
+                        dst[(col * rows + r) * chunk + k],
+                        ((r * cols + col) * chunk + k) as u64,
+                        "cell ({r},{col}) element {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn square_elementwise() {
+        check_transpose(16, 16, 1);
+    }
+
+    #[test]
+    fn rectangular_chunked() {
+        check_transpose(8, 32, 4);
+        check_transpose(32, 8, 3);
+        check_transpose(1, 64, 2);
+        check_transpose(64, 1, 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = Pool::new(4);
+        let n = 64 * 32;
+        let mut src: Vec<u64> = (0..n as u64).collect();
+        let mut expect = vec![0u64; n];
+        for r in 0..64 {
+            for col in 0..32 {
+                expect[col * 64 + r] = src[r * 32 + col];
+            }
+        }
+        let mut dst = vec![0u64; n];
+        pool.run(|p| {
+            let mut ts = Tracked::new(p, &mut src);
+            let mut td = Tracked::new(p, &mut dst);
+            transpose(p, &mut ts, &mut td, 64, 32, 1);
+        });
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn transpose_is_scan_bound_in_cache() {
+        // A cache-agnostic transpose of n cells must incur O(n·chunk/B)
+        // misses when M = Ω(B²); allow a small constant slack.
+        let (_, rep) = measure(CacheConfig::new(1 << 12, 16), TraceMode::Off, |c| {
+            let n = 64 * 64;
+            let mut src = vec![0u64; n];
+            let mut dst = vec![0u64; n];
+            let mut ts = Tracked::new(c, &mut src);
+            let mut td = Tracked::new(c, &mut dst);
+            transpose(c, &mut ts, &mut td, 64, 64, 1);
+        });
+        let n_words = (64 * 64 * 2) as u64; // src + dst
+        let scan = n_words / 16;
+        assert!(
+            rep.cache_misses <= 4 * scan,
+            "transpose misses {} exceed 4x scan bound {}",
+            rep.cache_misses,
+            scan
+        );
+    }
+
+    #[test]
+    fn transpose_span_is_logarithmic() {
+        let (_, rep) = measure(CacheConfig::default(), TraceMode::Off, |c| {
+            let n = 64 * 64;
+            let mut src = vec![0u64; n];
+            let mut dst = vec![0u64; n];
+            let mut ts = Tracked::new(c, &mut src);
+            let mut td = Tracked::new(c, &mut dst);
+            transpose(c, &mut ts, &mut td, 64, 64, 1);
+        });
+        // 4096 cells: span should be O(log n) fork depth + O(TILE²) leaf,
+        // far below the O(n) a sequential transpose would show.
+        assert!(rep.span < 400, "span {} not logarithmic", rep.span);
+        assert!(rep.work >= 4096);
+    }
+}

@@ -1,0 +1,59 @@
+//! The §5 application suite on one random graph/tree family: oblivious
+//! connected components, minimum spanning forest, list ranking, rooted-tree
+//! statistics, and tree contraction.
+//!
+//! ```sh
+//! cargo run --release --example graph_suite
+//! ```
+
+use dob::prelude::*;
+use graphs::{
+    kruskal_msf_weight, random_expr_tree, random_graph, random_list, random_tree,
+    random_weighted_graph,
+};
+use obliv_core::Engine;
+
+fn main() {
+    let pool = Pool::with_default_threads();
+
+    // Connected components on a sparse random graph.
+    let n = 512;
+    let edges = random_graph(n, n + n / 2, 42);
+    let labels = pool.run(|c| connected_components(c, n, &edges, Engine::BitonicRec));
+    let comps: std::collections::HashSet<u64> = labels.iter().copied().collect();
+    println!("CC: {} vertices, {} edges -> {} components", n, edges.len(), comps.len());
+
+    // Minimum spanning forest on a weighted graph.
+    let wedges = random_weighted_graph(n, 3 * n, 7);
+    let result = pool.run(|c| msf(c, n, &wedges, Engine::BitonicRec));
+    let oracle = kruskal_msf_weight(n, &wedges);
+    println!(
+        "MSF: total weight {} (Kruskal oracle {}), {} forest edges",
+        result.total_weight,
+        oracle,
+        result.in_forest.iter().filter(|&&b| b).count()
+    );
+    assert_eq!(result.total_weight, oracle);
+
+    // List ranking.
+    let (succ, _) = random_list(2048, 3);
+    let ranks = pool.run(|c| list_rank_oblivious_unit(c, &succ, 5));
+    println!("LR: 2048-node list ranked; head has rank {}", ranks.iter().max().unwrap());
+
+    // Rooted-tree statistics via Euler tour.
+    let tn = 256;
+    let tree = random_tree(tn, 9);
+    let stats = pool.run(|c| rooted_tree_stats(c, tn, &tree, 0, Engine::BitonicRec, 4));
+    println!(
+        "ET-tree: {} nodes, height {} (max depth), root subtree size {}",
+        tn,
+        stats.depth.iter().max().unwrap(),
+        stats.subtree[0]
+    );
+
+    // Tree contraction: evaluate a random arithmetic expression.
+    let expr = random_expr_tree(128, 11);
+    let value = pool.run(|c| contract_eval(c, &expr, Engine::BitonicRec, 13));
+    println!("TC: expression over 128 leaves evaluates to {value} (oracle {})", expr.eval());
+    assert_eq!(value, expr.eval());
+}

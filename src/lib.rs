@@ -1,0 +1,37 @@
+//! # dob — Data Oblivious Algorithms for Multicores
+//!
+//! Facade crate for the reproduction of Ramachandran & Shi,
+//! *Data Oblivious Algorithms for Multicores* (SPAA 2021). Re-exports the
+//! workspace's public API; see the README for the architecture and
+//! DESIGN.md for the paper-to-module map.
+//!
+//! ```
+//! use dob::prelude::*;
+//!
+//! let pool = Pool::new(2);
+//! let mut data: Vec<u64> = (0..2000).rev().collect();
+//! pool.run(|c| oblivious_sort_u64(c, &mut data, OSortParams::practical(2000), 42));
+//! assert!(data.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+
+pub use fj;
+pub use graphs;
+pub use metrics;
+pub use obliv_core;
+pub use pram;
+pub use sortnet;
+
+/// The commonly used names, one `use` away.
+pub mod prelude {
+    pub use fj::{par_for, Ctx, Pool, SeqCtx};
+    pub use graphs::{
+        connected_components, contract_eval, list_rank_oblivious_unit, msf, rooted_tree_stats,
+    };
+    pub use metrics::{measure, CacheConfig, CostReport, MeterCtx, TraceMode, Tracked};
+    pub use obliv_core::{
+        oblivious_sort, oblivious_sort_u64, orp, send_receive, Engine, Item, OSortParams,
+        OrbaParams,
+    };
+    pub use pram::{run_direct, run_oblivious_sb, Opram, OramConfig};
+    pub use sortnet::{sort_slice_rec, Network};
+}

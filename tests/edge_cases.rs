@@ -1,0 +1,226 @@
+//! Edge cases and failure injection across the whole stack: degenerate
+//! sizes, adversarial inputs, parameter extremes, and the retry machinery.
+
+use dob::prelude::*;
+use graphs::{random_tree, rooted_tree_stats, tree_stats_dfs};
+use obliv_core::{orp_once, Engine, Item, OblivError};
+
+// ---------------------------------------------------------------------------
+// Degenerate sizes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sort_handles_degenerate_sizes() {
+    let c = SeqCtx::new();
+    for n in [0usize, 1, 2, 3] {
+        let mut v: Vec<u64> = (0..n as u64).rev().collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        oblivious_sort_u64(&c, &mut v, OSortParams::practical(n.max(1)), 1);
+        assert_eq!(v, expect, "n = {n}");
+    }
+}
+
+#[test]
+fn sort_all_equal_keys_is_stable() {
+    let c = SeqCtx::new();
+    let n = 700;
+    let mut data: Vec<(u64, u64)> = (0..n).map(|i| (42, i)).collect();
+    oblivious_sort(&c, &mut data, OSortParams::practical(n as usize), 9);
+    let vals: Vec<u64> = data.iter().map(|&(_, v)| v).collect();
+    assert_eq!(vals, (0..n).collect::<Vec<_>>(), "stability on ties");
+}
+
+#[test]
+fn sort_extreme_values() {
+    let c = SeqCtx::new();
+    let mut v = vec![u64::MAX, 0, u64::MAX - 1, 1, u64::MAX / 2];
+    oblivious_sort_u64(&c, &mut v, OSortParams::practical(5), 3);
+    assert_eq!(v, vec![0, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX]);
+}
+
+#[test]
+fn send_receive_duplicate_requests_and_missing_keys() {
+    let c = SeqCtx::new();
+    let sources = vec![(5u64, 50u64)];
+    let dests = vec![5u64; 100];
+    let got = send_receive(
+        &c,
+        &sources,
+        &dests,
+        Engine::BitonicRec,
+        obliv_core::Schedule::Tree,
+    );
+    assert!(got.iter().all(|&o| o == Some(50)));
+    let none = send_receive(
+        &c,
+        &sources,
+        &vec![999u64; 10],
+        Engine::BitonicRec,
+        obliv_core::Schedule::Tree,
+    );
+    assert!(none.iter().all(|o| o.is_none()));
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection: forced bin overflow surfaces as a clean retryable error
+// ---------------------------------------------------------------------------
+
+#[test]
+fn orp_with_hostile_parameters_fails_cleanly_or_succeeds() {
+    let c = SeqCtx::new();
+    // Z far below log² n: overflow is likely, never a panic, and success
+    // still yields a correct permutation.
+    let items: Vec<Item<u64>> = (0..512u64).map(|i| Item::new(i as u128, i)).collect();
+    let hostile = OrbaParams { z: 16, gamma: 4, engine: Engine::BitonicRec };
+    let mut overflows = 0;
+    let mut successes = 0;
+    for seed in 0..20 {
+        match orp_once(&c, &items, hostile, seed) {
+            Ok(out) => {
+                successes += 1;
+                let mut vals: Vec<u64> = out.iter().map(|i| i.val).collect();
+                vals.sort_unstable();
+                assert_eq!(vals, (0..512).collect::<Vec<_>>());
+            }
+            Err(OblivError::BinOverflow) => overflows += 1,
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
+    }
+    assert_eq!(overflows + successes, 20);
+}
+
+#[test]
+fn all_engines_drive_the_full_pipeline() {
+    let c = SeqCtx::new();
+    let n = 600usize;
+    for engine in [Engine::BitonicRec, Engine::OddEven, Engine::Shellsort { seed: 3 }] {
+        let mut v: Vec<u64> =
+            (0..n as u64).map(|i| i.wrapping_mul(2654435761) % 5000).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let params = OSortParams {
+            orba: OrbaParams::for_n(n).with_engine(engine),
+            final_sorter: obliv_core::FinalSorter::RecSort,
+        };
+        oblivious_sort_u64(&c, &mut v, params, 11);
+        assert_eq!(v, expect, "engine {engine:?}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial graph/tree structures
+// ---------------------------------------------------------------------------
+
+#[test]
+fn caterpillar_and_broom_trees() {
+    let c = SeqCtx::new();
+    // Caterpillar: a path with a leaf hanging off every spine vertex.
+    let spine = 20usize;
+    let mut edges = Vec::new();
+    for i in 0..spine - 1 {
+        edges.push((i, i + 1));
+    }
+    for i in 0..spine {
+        edges.push((i, spine + i));
+    }
+    let n = 2 * spine;
+    let got = rooted_tree_stats(&c, n, &edges, 0, Engine::BitonicRec, 5);
+    let expect = tree_stats_dfs(n, &edges, 0);
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn deep_path_tree_stats() {
+    let c = SeqCtx::new();
+    let n = 128;
+    let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    // Root in the middle: two long branches.
+    let got = rooted_tree_stats(&c, n, &edges, n / 2, Engine::BitonicRec, 7);
+    let expect = tree_stats_dfs(n, &edges, n / 2);
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn star_graph_cc_and_parallel_edges() {
+    let c = SeqCtx::new();
+    let n = 40;
+    // Star with duplicated (parallel) edges and a detached clique.
+    let mut edges: Vec<(usize, usize)> = (1..20).map(|v| (0, v)).collect();
+    edges.extend((1..20).map(|v| (0, v))); // duplicates
+    for u in 20..30 {
+        for v in u + 1..30 {
+            edges.push((u, v));
+        }
+    }
+    let labels = connected_components(&c, n, &edges, Engine::BitonicRec);
+    assert!(labels[..20].iter().all(|&l| l == 0));
+    assert!(labels[20..30].iter().all(|&l| l == 20));
+    for v in 30..40 {
+        assert_eq!(labels[v], v as u64, "isolated vertex {v}");
+    }
+}
+
+#[test]
+fn msf_with_duplicate_weights_is_still_a_valid_msf() {
+    let c = SeqCtx::new();
+    let n = 24usize;
+    // Complete-ish graph where many weights collide; tie-broken by edge id
+    // identically in the oracle and the oblivious algorithm.
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            if (u + v) % 3 != 0 {
+                edges.push((u, v, ((u * v) % 5) as u64));
+            }
+        }
+    }
+    let res = msf(&c, n, &edges, Engine::BitonicRec);
+    assert_eq!(res.total_weight, graphs::kruskal_msf_weight(n, &edges));
+}
+
+#[test]
+fn random_tree_stats_across_many_roots() {
+    let c = SeqCtx::new();
+    let n = 60;
+    let edges = random_tree(n, 17);
+    for root in [0usize, 7, 31, 59] {
+        let got = rooted_tree_stats(&c, n, &edges, root, Engine::BitonicRec, 3);
+        let expect = tree_stats_dfs(n, &edges, root);
+        assert_eq!(got, expect, "root {root}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache-model sanity across parameter extremes
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cache_misses_monotone_in_block_size_for_scans() {
+    // Scanning is Θ(n/B): larger B, fewer misses.
+    let scan_q = |b: u64| {
+        let (_, rep) = measure(CacheConfig::new(1 << 12, b), TraceMode::Off, |c| {
+            let mut v = vec![0u64; 1 << 14];
+            let mut t = Tracked::new(c, &mut v);
+            for i in 0..t.len() {
+                t.set(c, i, i as u64);
+            }
+        });
+        rep.cache_misses
+    };
+    let q8 = scan_q(8);
+    let q32 = scan_q(32);
+    assert!(q32 * 3 < q8, "B=32 misses {q32} should be ~4x below B=8 misses {q8}");
+}
+
+#[test]
+fn tiny_cache_still_sound() {
+    // M = B (single block): every new block is a miss; algorithm must
+    // still be correct.
+    let (_, rep) = measure(CacheConfig::new(16, 16), TraceMode::Off, |c| {
+        let mut v: Vec<u64> = (0..512).rev().collect();
+        oblivious_sort_u64(c, &mut v, OSortParams::practical(512), 3);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    });
+    assert!(rep.cache_misses > 0);
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the full stacks (runtime → metering →
+//! networks → oblivious core → PRAM → applications) exercised end to end.
+
+use dob::prelude::*;
+use graphs::{kruskal_msf_weight, random_graph, random_tree, random_weighted_graph, UnionFind};
+use obliv_core::Engine;
+use pram::HistogramProgram;
+
+#[test]
+fn oblivious_sort_on_real_pool_at_scale() {
+    let n = 50_000usize;
+    let pool = Pool::new(4);
+    let mut v: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let mut expect = v.clone();
+    expect.sort_unstable();
+    pool.run(|c| oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 42));
+    assert_eq!(v, expect);
+}
+
+#[test]
+fn sort_span_is_polylog_while_work_is_quasilinear() {
+    // The central "parallelism for free" claim, measured on the model.
+    // Constants are large (each comparator contributes ~5 depth units and
+    // sequential base cases ~400), so the robust check is the *growth
+    // shape*: doubling n must multiply work by ≈2 but span by far less
+    // (polylog growth: (13/12)² ≈ 1.17; linear span would double).
+    let span_work = |n: usize| {
+        let (_, rep) = measure(CacheConfig::default(), TraceMode::Off, |c| {
+            let mut v: Vec<u64> = (0..n as u64).rev().collect();
+            oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 1);
+        });
+        (rep.span as f64, rep.work as f64, rep.parallelism())
+    };
+    let (s1, w1, p1) = span_work(1 << 12);
+    let (s2, w2, p2) = span_work(1 << 13);
+    assert!(w1 > (4096.0) * 12.0, "work at least n log n");
+    assert!(w2 / w1 > 1.8, "work should roughly double: {w1} -> {w2}");
+    assert!(s2 / s1 < 1.6, "span must grow polylog, not linearly: {s1} -> {s2}");
+    assert!(p1 > 50.0 && p2 > 50.0, "parallelism {p1:.0}, {p2:.0}");
+    // Generous absolute cap: span within a constant of log³ n.
+    let lg = 12.0f64;
+    assert!(s1 < 60.0 * lg.powi(3), "span {s1} exceeds 60·log³ n");
+}
+
+#[test]
+fn full_graph_pipeline_against_oracles() {
+    let pool = Pool::new(4);
+    let n = 200;
+    let edges = random_graph(n, 300, 5);
+
+    // CC against union-find.
+    let labels = pool.run(|c| connected_components(c, n, &edges, Engine::BitonicRec));
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in &edges {
+        uf.union(u, v);
+    }
+    for u in 0..n {
+        for v in 0..n {
+            let same_label = labels[u] == labels[v];
+            let same_comp = uf.find(u) == uf.find(v);
+            assert_eq!(same_label, same_comp, "({u},{v})");
+        }
+    }
+
+    // MSF against Kruskal.
+    let wedges = random_weighted_graph(n, 400, 6);
+    let res = pool.run(|c| msf(c, n, &wedges, Engine::BitonicRec));
+    assert_eq!(res.total_weight, kruskal_msf_weight(n, &wedges));
+}
+
+#[test]
+fn euler_tour_stats_compose_with_list_ranking() {
+    let pool = Pool::new(4);
+    let n = 100;
+    let edges = random_tree(n, 8);
+    let stats = pool.run(|c| rooted_tree_stats(c, n, &edges, 3, Engine::BitonicRec, 7));
+    let expect = graphs::tree_stats_dfs(n, &edges, 3);
+    assert_eq!(stats.parent, expect.parent);
+    assert_eq!(stats.depth, expect.depth);
+    assert_eq!(stats.subtree, expect.subtree);
+    // Depth consistency: parent depth + 1.
+    for v in 0..n {
+        if v != 3 {
+            assert_eq!(stats.depth[v], stats.depth[stats.parent[v]] + 1);
+        }
+    }
+}
+
+#[test]
+fn pram_simulation_feeds_oblivious_sort() {
+    // Compose two subsystems: histogram counts computed obliviously on the
+    // PRAM simulator, then obliviously sorted.
+    let c = SeqCtx::new();
+    let p = 64;
+    let vals: Vec<u64> = (0..p as u64).map(|i| i % 4).collect();
+    let prog = HistogramProgram::new(p, 4);
+    let mem = run_oblivious_sb(&c, &prog, &vals, Engine::BitonicRec);
+    let mut buckets: Vec<u64> = mem[p..p + 4].to_vec();
+    oblivious_sort_u64(&c, &mut buckets, OSortParams::practical(4), 3);
+    assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn send_receive_roundtrip_through_orp() {
+    // Permute records obliviously, then route them home by key.
+    let c = SeqCtx::new();
+    let n = 500usize;
+    let items: Vec<obliv_core::Item<u64>> =
+        (0..n as u64).map(|i| obliv_core::Item::new(i as u128, i * 3)).collect();
+    let (permuted, _) = orp(&c, &items, OrbaParams::for_n(n), 9);
+    let sources: Vec<(u64, u64)> =
+        permuted.iter().map(|it| (it.key as u64, it.val)).collect();
+    let dests: Vec<u64> = (0..n as u64).collect();
+    let routed = send_receive(
+        &c,
+        &sources,
+        &dests,
+        Engine::BitonicRec,
+        obliv_core::Schedule::Tree,
+    );
+    for (i, v) in routed.into_iter().enumerate() {
+        assert_eq!(v, Some(i as u64 * 3));
+    }
+}
+
+#[test]
+fn cache_scaling_behaves_like_the_model() {
+    // Q decreases as M grows (more cache, fewer misses), at fixed B.
+    let n = 1 << 12;
+    let q_at = |m: u64| {
+        let (_, rep) = measure(CacheConfig::new(m, 16), TraceMode::Off, |c| {
+            let mut v: Vec<u64> = (0..n as u64).rev().collect();
+            oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 4);
+        });
+        rep.cache_misses
+    };
+    let small = q_at(1 << 10);
+    let big = q_at(1 << 16);
+    assert!(big < small, "Q(M=2^16) = {big} should be below Q(M=2^10) = {small}");
+}
