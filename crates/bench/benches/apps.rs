@@ -3,9 +3,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use fj::Pool;
 use graphs::{
-    connected_components, connected_components_insecure, contract_eval,
-    list_rank_insecure_unit, list_rank_oblivious_unit, msf, random_expr_tree, random_graph,
-    random_list, random_tree, random_weighted_graph, rooted_tree_stats,
+    connected_components, connected_components_insecure, contract_eval, list_rank_insecure_unit,
+    list_rank_oblivious_unit, msf, random_expr_tree, random_graph, random_list, random_tree,
+    random_weighted_graph, rooted_tree_stats,
 };
 use obliv_core::Engine;
 

@@ -12,7 +12,9 @@ fn key64(x: &u64) -> u128 {
 }
 
 fn scrambled(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 13).collect()
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 13)
+        .collect()
 }
 
 fn bench_bitonic(cr: &mut Criterion) {

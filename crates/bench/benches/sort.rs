@@ -5,15 +5,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fj::Pool;
 use obliv_core::{
-    composite_key, oblivious_sort_u64, par_merge_sort, rec_sort_items, with_retries, Engine,
-    Item, OSortParams,
+    composite_key, oblivious_sort_u64, par_merge_sort, rec_sort_items, with_retries, Engine, Item,
+    OSortParams,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn scrambled(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 11).collect()
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 11)
+        .collect()
 }
 
 fn bench_sorts(cr: &mut Criterion) {

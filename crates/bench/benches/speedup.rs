@@ -10,8 +10,12 @@ fn bench_speedup(cr: &mut Criterion) {
     let mut g = cr.benchmark_group("speedup");
     g.sample_size(10);
     let n = 1usize << 15;
-    let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
-    let max_threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(2);
+    let data: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
+    let max_threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(2);
 
     let mut threads = vec![1usize];
     let mut t = 2;

@@ -17,7 +17,9 @@ use pram::{Opram, OramConfig, TreeLayout};
 use sortnet::{bitonic_sort_flat_par, sort_slice_rec};
 
 fn scrambled(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 17).collect()
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 17)
+        .collect()
 }
 
 fn key64(x: &u64) -> u128 {
@@ -33,13 +35,23 @@ fn main() {
             let mut v = scrambled(n);
             sort_slice_rec(c, &mut v, &key64, true);
         });
-        print_row(&Row { task: "E1", algo: "bitonic recursive (ours)", n, rep });
+        print_row(&Row {
+            task: "E1",
+            algo: "bitonic recursive (ours)",
+            n,
+            rep,
+        });
         let rep = meter_with(cfg, |c| {
             let mut v = scrambled(n);
             let mut t = Tracked::new(c, &mut v);
             bitonic_sort_flat_par(c, &mut t, &key64, true);
         });
-        print_row(&Row { task: "E1", algo: "bitonic flat (naive)", n, rep });
+        print_row(&Row {
+            task: "E1",
+            algo: "bitonic flat (naive)",
+            n,
+            rep,
+        });
     }
     println!("(same comparator count; recursive wins on span and on Q — Thm E.1)\n");
 
@@ -51,16 +63,29 @@ fn main() {
         let rep = meter(|c| {
             let _ = with_retries(64, |a| rec_orba(c, &items, p, 77 + a as u64));
         });
-        print_row(&Row { task: "E2", algo: "REC-ORBA (paper params)", n, rep });
+        print_row(&Row {
+            task: "E2",
+            algo: "REC-ORBA (paper params)",
+            n,
+            rep,
+        });
     }
     // Load concentration & overflow frequency at paper vs aggressive Z.
     let n = 1 << 12;
     let items: Vec<Item<u64>> = (0..n as u64).map(|i| Item::new(i as u128, i)).collect();
-    for (label, z) in [("paper Z=log^2 n", 0usize), ("aggressive Z=16", 16), ("hostile Z=8", 8)] {
+    for (label, z) in [
+        ("paper Z=log^2 n", 0usize),
+        ("aggressive Z=16", 16),
+        ("hostile Z=8", 8),
+    ] {
         let p = if z == 0 {
             OrbaParams::for_n(n)
         } else {
-            OrbaParams { z, gamma: 8, engine: Engine::BitonicRec }
+            OrbaParams {
+                z,
+                gamma: 8,
+                engine: Engine::BitonicRec,
+            }
         };
         let trials = 40;
         let mut overflows = 0;
@@ -88,7 +113,10 @@ fn main() {
         let leaves = 1usize << (h - 1);
         let sample: Vec<usize> = (0..64).map(|i| i * (leaves / 64)).collect();
         let avg = |layout| {
-            sample.iter().map(|&l| pram::path_blocks(layout, h, l, 8)).sum::<usize>() as f64
+            sample
+                .iter()
+                .map(|&l| pram::path_blocks(layout, h, l, 8))
+                .sum::<usize>() as f64
                 / sample.len() as f64
         };
         println!(
@@ -103,7 +131,10 @@ fn main() {
     for s in sweep_from_args(&[1 << 10, 1 << 12]) {
         for (label, layout) in [("vEB", TreeLayout::Veb), ("level", TreeLayout::Level)] {
             let rep = meter_with(CacheConfig::new(512, 8), |c| {
-                let cfg = OramConfig { layout, ..OramConfig::default() };
+                let cfg = OramConfig {
+                    layout,
+                    ..OramConfig::default()
+                };
                 let mut o = Opram::new(s, cfg, Engine::BitonicRec, 11);
                 for i in 0..48u64 {
                     o.access(c, (i * 37) % s as u64, Some(i));
@@ -129,7 +160,12 @@ fn main() {
                 oblivious_sort_u64(c, &mut v, params, 5);
             });
             let cmp_per = rep.comparisons as f64 / (n as f64 * lg(n));
-            print_row(&Row { task: "E6", algo, n, rep });
+            print_row(&Row {
+                task: "E6",
+                algo,
+                n,
+                rep,
+            });
             println!("    -> comparisons / (n log n) = {cmp_per:.2}");
         }
     }

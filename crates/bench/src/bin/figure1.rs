@@ -10,11 +10,18 @@ fn main() {
     println!("== Figure 1: bitonic sorting network, n = 16 ==\n");
     println!("{}", net.render_ascii());
     println!("wires:        {}", net.n);
-    println!("layers:       {} (= 1 + 2 + 3 + 4 bitonic-merge stages)", net.depth());
+    println!(
+        "layers:       {} (= 1 + 2 + 3 + 4 bitonic-merge stages)",
+        net.depth()
+    );
     println!("comparators:  {} (= n/2 per layer)", net.size());
     println!(
         "sorting net:  {} (exhaustive 0-1 principle over 2^16 inputs)",
-        if net.is_sorting_network() { "verified" } else { "FAILED" }
+        if net.is_sorting_network() {
+            "verified"
+        } else {
+            "FAILED"
+        }
     );
 
     let oe = Network::oddeven(16);
@@ -23,6 +30,10 @@ fn main() {
     println!("comparators:  {}", oe.size());
     println!(
         "sorting net:  {}",
-        if oe.is_sorting_network() { "verified" } else { "FAILED" }
+        if oe.is_sorting_network() {
+            "verified"
+        } else {
+            "FAILED"
+        }
     );
 }

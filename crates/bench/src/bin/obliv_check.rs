@@ -74,8 +74,7 @@ fn main() {
         .iter()
         .map(|v| {
             trace(|c| {
-                let items: Vec<Item<u64>> =
-                    v.iter().map(|&x| Item::new(x as u128, x)).collect();
+                let items: Vec<Item<u64>> = v.iter().map(|&x| Item::new(x as u128, x)).collect();
                 let _ = orp_once(c, &items, OrbaParams::for_n(n), 1234);
             })
         })
@@ -87,8 +86,11 @@ fn main() {
         .iter()
         .map(|v| {
             trace(|c| {
-                let mut segs: Vec<Seg<u64>> =
-                    v.iter().enumerate().map(|(i, &x)| Seg::new(i % 4 == 0, x)).collect();
+                let mut segs: Vec<Seg<u64>> = v
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| Seg::new(i % 4 == 0, x))
+                    .collect();
                 let mut tr = metrics::Tracked::new(c, &mut segs);
                 seg_propagate(c, &mut tr, Schedule::Tree);
             })
@@ -101,8 +103,11 @@ fn main() {
         .iter()
         .map(|v| {
             trace(|c| {
-                let sources: Vec<(u64, u64)> =
-                    v.iter().enumerate().map(|(i, &x)| (i as u64 * 3 + x % 2, x)).collect();
+                let sources: Vec<(u64, u64)> = v
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| (i as u64 * 3 + x % 2, x))
+                    .collect();
                 let dests: Vec<u64> = v.iter().map(|&x| x % 600).collect();
                 send_receive(c, &sources, &dests, Engine::BitonicRec, Schedule::Tree);
             })
@@ -143,7 +148,11 @@ fn main() {
 
     println!(
         "\n{}",
-        if all_ok { "all oblivious routines passed trace equality" } else { "FAILURES detected" }
+        if all_ok {
+            "all oblivious routines passed trace equality"
+        } else {
+            "FAILURES detected"
+        }
     );
     std::process::exit(if all_ok { 0 } else { 1 });
 }

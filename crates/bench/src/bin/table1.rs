@@ -20,7 +20,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 fn scrambled(n: usize) -> Vec<u64> {
-    (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 17).collect()
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 17)
+        .collect()
 }
 
 fn main() {
@@ -35,7 +37,12 @@ fn main() {
             let mut v = scrambled(n);
             oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 42);
         });
-        print_row(&Row { task: "sort", algo: "ours: oblivious practical", n, rep });
+        print_row(&Row {
+            task: "sort",
+            algo: "ours: oblivious practical",
+            n,
+            rep,
+        });
         ours.push((n, rep.work as f64));
 
         let rep = meter(|c| {
@@ -54,7 +61,12 @@ fn main() {
                 Ok(())
             });
         });
-        print_row(&Row { task: "sort", algo: "insecure: rec-sort", n, rep });
+        print_row(&Row {
+            task: "sort",
+            algo: "insecure: rec-sort",
+            n,
+            rep,
+        });
     }
     shapes.push(("sort work", ours));
 
@@ -65,12 +77,22 @@ fn main() {
         let rep = meter(|c| {
             list_rank_oblivious_unit(c, &succ, 7);
         });
-        print_row(&Row { task: "LR", algo: "ours: oblivious", n, rep });
+        print_row(&Row {
+            task: "LR",
+            algo: "ours: oblivious",
+            n,
+            rep,
+        });
         ours.push((n, rep.work as f64));
         let rep = meter(|c| {
             list_rank_insecure_unit(c, &succ);
         });
-        print_row(&Row { task: "LR", algo: "insecure: pointer jumping", n, rep });
+        print_row(&Row {
+            task: "LR",
+            algo: "insecure: pointer jumping",
+            n,
+            rep,
+        });
     }
     shapes.push(("LR work", ours));
 
@@ -80,13 +102,23 @@ fn main() {
         let rep = meter(|c| {
             rooted_tree_stats(c, n, &edges, 0, Engine::BitonicRec, 5);
         });
-        print_row(&Row { task: "ET-Tree", algo: "ours: oblivious", n, rep });
+        print_row(&Row {
+            task: "ET-Tree",
+            algo: "ours: oblivious",
+            n,
+            rep,
+        });
         let (succ, _) = random_list(2 * (n - 1), 4);
         let rep = meter(|c| {
             // The insecure bound is dominated by list ranking the tour.
             list_rank_insecure_unit(c, &succ);
         });
-        print_row(&Row { task: "ET-Tree", algo: "insecure: LR on tour", n, rep });
+        print_row(&Row {
+            task: "ET-Tree",
+            algo: "insecure: LR on tour",
+            n,
+            rep,
+        });
     }
 
     // ---- Tree contraction -----------------------------------------------
@@ -96,13 +128,23 @@ fn main() {
         let rep = meter(|c| {
             contract_eval(c, &t, Engine::BitonicRec, 11);
         });
-        print_row(&Row { task: "TC", algo: "ours: oblivious shunt", n, rep });
+        print_row(&Row {
+            task: "TC",
+            algo: "ours: oblivious shunt",
+            n,
+            rep,
+        });
         let rep = meter(|c| {
             // Prior-best schedule: the same contraction driven by the naive
             // flat network (the per-PRAM-step forking strawman).
             contract_eval(c, &t, Engine::BitonicFlat, 11);
         });
-        print_row(&Row { task: "TC", algo: "naive: flat-network shunt", n, rep });
+        print_row(&Row {
+            task: "TC",
+            algo: "naive: flat-network shunt",
+            n,
+            rep,
+        });
     }
 
     // ---- Connected components -------------------------------------------
@@ -112,11 +154,21 @@ fn main() {
         let rep = meter(|c| {
             connected_components(c, n, &edges, Engine::BitonicRec);
         });
-        print_row(&Row { task: "CC", algo: "ours: oblivious SV-style", n: m, rep });
+        print_row(&Row {
+            task: "CC",
+            algo: "ours: oblivious SV-style",
+            n: m,
+            rep,
+        });
         let rep = meter(|c| {
             connected_components_insecure(c, n, &edges);
         });
-        print_row(&Row { task: "CC", algo: "insecure: direct SV-style", n: m, rep });
+        print_row(&Row {
+            task: "CC",
+            algo: "insecure: direct SV-style",
+            n: m,
+            rep,
+        });
     }
 
     // ---- Minimum spanning forest ----------------------------------------
@@ -126,13 +178,20 @@ fn main() {
         let rep = meter(|c| {
             msf(c, n, &edges, Engine::BitonicRec);
         });
-        print_row(&Row { task: "MSF", algo: "ours: oblivious Boruvka", n: m, rep });
+        print_row(&Row {
+            task: "MSF",
+            algo: "ours: oblivious Boruvka",
+            n: m,
+            rep,
+        });
     }
 
     println!("\n== growth exponents (expect ≈1 for W = Θ(n·polylog)) ==");
     for (name, pts) in shapes {
-        let norm: Vec<(usize, f64)> =
-            pts.iter().map(|&(n, w)| (n, w / (n as f64 * lg(n)))).collect();
+        let norm: Vec<(usize, f64)> = pts
+            .iter()
+            .map(|&(n, w)| (n, w / (n as f64 * lg(n))))
+            .collect();
         println!(
             "{name}: raw {:+.2}, normalized by n·log n {:+.2} (≈0 ⇒ matches n·log n up to log-factors)",
             growth_exponent(&pts),

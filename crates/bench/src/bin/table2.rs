@@ -26,12 +26,18 @@ fn main() {
             ("prior: level-by-level", Schedule::Levels),
         ] {
             let rep = meter(|c| {
-                let mut v: Vec<Seg<u64>> =
-                    (0..n).map(|i| Seg::new(i % 8 == 7, (i % 5) as u64)).collect();
+                let mut v: Vec<Seg<u64>> = (0..n)
+                    .map(|i| Seg::new(i % 8 == 7, (i % 5) as u64))
+                    .collect();
                 let mut t = Tracked::new(c, &mut v);
                 seg_sum_right(c, &mut t, sched);
             });
-            print_row(&Row { task: "Aggr", algo, n, rep });
+            print_row(&Row {
+                task: "Aggr",
+                algo,
+                n,
+                rep,
+            });
         }
     }
 
@@ -42,12 +48,16 @@ fn main() {
             ("prior: level-by-level", Schedule::Levels),
         ] {
             let rep = meter(|c| {
-                let mut v: Vec<Seg<u64>> =
-                    (0..n).map(|i| Seg::new(i % 8 == 0, i as u64)).collect();
+                let mut v: Vec<Seg<u64>> = (0..n).map(|i| Seg::new(i % 8 == 0, i as u64)).collect();
                 let mut t = Tracked::new(c, &mut v);
                 seg_propagate(c, &mut t, sched);
             });
-            print_row(&Row { task: "Prop", algo, n, rep });
+            print_row(&Row {
+                task: "Prop",
+                algo,
+                n,
+                rep,
+            });
         }
     }
 
@@ -56,13 +66,26 @@ fn main() {
         let sources: Vec<(u64, u64)> = (0..n as u64).map(|i| (i * 3, i)).collect();
         let dests: Vec<u64> = (0..n as u64).map(|j| (j * 7) % (3 * n as u64)).collect();
         for (algo, engine, sched) in [
-            ("ours: cache-agnostic nets", Engine::BitonicRec, Schedule::Tree),
-            ("prior: flat nets + forks", Engine::BitonicFlat, Schedule::Levels),
+            (
+                "ours: cache-agnostic nets",
+                Engine::BitonicRec,
+                Schedule::Tree,
+            ),
+            (
+                "prior: flat nets + forks",
+                Engine::BitonicFlat,
+                Schedule::Levels,
+            ),
         ] {
             let rep = meter(|c| {
                 send_receive(c, &sources, &dests, engine, sched);
             });
-            print_row(&Row { task: "S-R", algo, n: 2 * n, rep });
+            print_row(&Row {
+                task: "S-R",
+                algo,
+                n: 2 * n,
+                rep,
+            });
         }
     }
 
@@ -79,7 +102,12 @@ fn main() {
             let rep = meter(|c| {
                 run_oblivious_sb(c, &prog, &vals, engine);
             });
-            print_row(&Row { task: "PRAM", algo, n: p, rep });
+            print_row(&Row {
+                task: "PRAM",
+                algo,
+                n: p,
+                rep,
+            });
         }
     }
 
@@ -107,8 +135,15 @@ fn main() {
                 (0..p as u64).map(|i| ((i * 37) % s as u64, None)).collect();
             o.access_batch(c, &reqs);
         });
-        let winner = if op.work < sb.work { "opram" } else { "space-bounded" };
-        println!("{:<10} {:>9} {:>14} {:>14} {:>10}", s, p, sb.work, op.work, winner);
+        let winner = if op.work < sb.work {
+            "opram"
+        } else {
+            "space-bounded"
+        };
+        println!(
+            "{:<10} {:>9} {:>14} {:>14} {:>10}",
+            s, p, sb.work, op.work, winner
+        );
     }
     println!("\n(expected: space-bounded wins at small s, opram wins once s ≫ p —");
     println!(" the Table 2 'PRAM' rows' two regimes; opram setup cost excluded in paper,");

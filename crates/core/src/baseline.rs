@@ -152,7 +152,9 @@ mod tests {
     fn sorts_various_sizes() {
         let c = SeqCtx::new();
         for n in [0usize, 1, 2, 63, 64, 65, 1000, 10_000] {
-            let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(48271) % 65537).collect();
+            let keys: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(48271) % 65537)
+                .collect();
             let mut items = items_from(&keys);
             par_merge_sort(&c, &mut items);
             assert!(items.windows(2).all(|w| w[0].key <= w[1].key), "n = {n}");
@@ -177,7 +179,11 @@ mod tests {
             par_merge_sort(c, &mut items);
         });
         let nlogn = (n as f64) * (n as f64).log2();
-        assert!((rep.comparisons as f64) < 3.0 * nlogn, "comparisons {}", rep.comparisons);
+        assert!(
+            (rep.comparisons as f64) < 3.0 * nlogn,
+            "comparisons {}",
+            rep.comparisons
+        );
         assert!((rep.work as f64) < 40.0 * nlogn, "work {}", rep.work);
     }
 

@@ -209,9 +209,16 @@ mod tests {
         let out = run(4, 4, &elems).unwrap();
         for b in 0..4u64 {
             let bin = &out[(b as usize) * 4..(b as usize + 1) * 4];
-            let got: Vec<u64> = bin.iter().filter(|s| s.is_real()).map(|s| s.item.val).collect();
-            let mut expect: Vec<u64> =
-                elems.iter().filter(|&&(g, _)| g == b).map(|&(_, v)| v).collect();
+            let got: Vec<u64> = bin
+                .iter()
+                .filter(|s| s.is_real())
+                .map(|s| s.item.val)
+                .collect();
+            let mut expect: Vec<u64> = elems
+                .iter()
+                .filter(|&&(g, _)| g == b)
+                .map(|&(_, v)| v)
+                .collect();
             expect.sort_unstable();
             let mut got_sorted = got.clone();
             got_sorted.sort_unstable();
@@ -254,6 +261,77 @@ mod tests {
         bin_place(&c, &mut t, 2, 4, 1, Engine::BitonicRec).unwrap();
         assert!(v[0..4].iter().any(|s| s.is_real() && s.item.val == 2));
         assert!(v[4..8].iter().any(|s| s.is_real() && s.item.val == 1));
+    }
+
+    #[test]
+    fn degenerate_inputs_empty_one_and_two_elements() {
+        // n = 0 real elements: all fillers in, all fillers out.
+        let out = run(4, 4, &[]).unwrap();
+        assert!(out.iter().all(|s| s.is_filler()));
+        // n = 1.
+        let out = run(4, 4, &[(2, 99)]).unwrap();
+        let reals: Vec<(usize, u64)> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_real())
+            .map(|(i, s)| (i / 4, s.item.val))
+            .collect();
+        assert_eq!(reals, vec![(2, 99)], "single element lands in bin 2");
+        // n = 2 colliding on one bin.
+        let out = run(2, 4, &[(1, 5), (1, 6)]).unwrap();
+        let mut in_bin1: Vec<u64> = out[4..8]
+            .iter()
+            .filter(|s| s.is_real())
+            .map(|s| s.item.val)
+            .collect();
+        in_bin1.sort_unstable();
+        assert_eq!(in_bin1, vec![5, 6]);
+        assert!(out[0..4].iter().all(|s| s.is_filler()));
+    }
+
+    #[test]
+    fn large_instance_preserves_multiset_per_bin() {
+        // 1000 elements (non-power-of-two count) into 16 bins of 64: round-
+        // robin labels load each bin with 62-63 ≤ Z elements.
+        let elems: Vec<(u64, u64)> = (0..1000).map(|v| (v % 16, v)).collect();
+        let out = run(16, 64, &elems).unwrap();
+        let mut seen: Vec<u64> = Vec::new();
+        for (b, bin) in out.chunks(64).enumerate() {
+            let reals: Vec<u64> = bin
+                .iter()
+                .filter(|s| s.is_real())
+                .map(|s| s.item.val)
+                .collect();
+            // Everything in bin b wanted bin b.
+            assert!(reals.iter().all(|&v| v % 16 == b as u64), "bin {b}");
+            // Reals are packed in front of the fillers.
+            let first_filler = bin.iter().position(|s| !s.is_real()).unwrap_or(64);
+            assert!(
+                bin[first_filler..].iter().all(|s| s.is_filler()),
+                "bin {b} packing"
+            );
+            seen.extend(reals);
+        }
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            (0..1000).collect::<Vec<u64>>(),
+            "no element lost or duplicated"
+        );
+    }
+
+    #[test]
+    fn output_length_is_always_nbins_times_z() {
+        for (nbins, zcap, elems) in [(1usize, 16usize, 10u64), (2, 8, 9), (8, 8, 40)] {
+            let elems: Vec<(u64, u64)> = (0..elems).map(|v| (v % nbins as u64, v)).collect();
+            let out = run(nbins, zcap, &elems).unwrap();
+            assert_eq!(out.len(), nbins * zcap);
+            assert_eq!(
+                out.iter().filter(|s| s.is_real()).count(),
+                elems.len(),
+                "nbins={nbins} zcap={zcap}"
+            );
+        }
     }
 
     #[test]

@@ -15,11 +15,7 @@ use metrics::Tracked;
 
 /// Stable oblivious compaction: returns the values flagged `true`, in
 /// input order. The access pattern depends only on `flagged.len()`.
-pub fn oblivious_compact<C: Ctx, V: Val>(
-    c: &C,
-    flagged: &[(bool, V)],
-    engine: Engine,
-) -> Vec<V> {
+pub fn oblivious_compact<C: Ctx, V: Val>(c: &C, flagged: &[(bool, V)], engine: Engine) -> Vec<V> {
     let n = flagged.len();
     if n == 0 {
         return Vec::new();
@@ -35,10 +31,18 @@ pub fn oblivious_compact<C: Ctx, V: Val>(
             s
         })
         .collect();
-    slots.resize(m, Slot { sk: u128::MAX, ..Slot::filler() });
+    slots.resize(
+        m,
+        Slot {
+            sk: u128::MAX,
+            ..Slot::filler()
+        },
+    );
 
     let mut t = Tracked::new(c, &mut slots);
-    set_keys(c, &mut t, &|s: &Slot<V>| s.sk.max(if s.is_filler() { u128::MAX } else { 0 }));
+    set_keys(c, &mut t, &|s: &Slot<V>| {
+        s.sk.max(if s.is_filler() { u128::MAX } else { 0 })
+    });
     engine.sort_slots(c, &mut t);
 
     // Fixed-pattern count, then reveal exactly the kept prefix.
@@ -61,9 +65,18 @@ mod tests {
     #[test]
     fn keeps_marked_in_order() {
         let c = SeqCtx::new();
-        let input: Vec<(bool, u64)> =
-            vec![(true, 1), (false, 2), (true, 3), (true, 4), (false, 5), (true, 6)];
-        assert_eq!(oblivious_compact(&c, &input, Engine::BitonicRec), vec![1, 3, 4, 6]);
+        let input: Vec<(bool, u64)> = vec![
+            (true, 1),
+            (false, 2),
+            (true, 3),
+            (true, 4),
+            (false, 5),
+            (true, 6),
+        ];
+        assert_eq!(
+            oblivious_compact(&c, &input, Engine::BitonicRec),
+            vec![1, 3, 4, 6]
+        );
     }
 
     #[test]
@@ -72,7 +85,10 @@ mod tests {
         let none: Vec<(bool, u64)> = (0..10).map(|i| (false, i)).collect();
         assert!(oblivious_compact(&c, &none, Engine::BitonicRec).is_empty());
         let all: Vec<(bool, u64)> = (0..10).map(|i| (true, i)).collect();
-        assert_eq!(oblivious_compact(&c, &all, Engine::BitonicRec), (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            oblivious_compact(&c, &all, Engine::BitonicRec),
+            (0..10).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -81,8 +97,11 @@ mod tests {
         // positions must produce identical traces.
         let run = |flags: Vec<bool>| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
-                let input: Vec<(bool, u64)> =
-                    flags.iter().enumerate().map(|(i, &f)| (f, i as u64)).collect();
+                let input: Vec<(bool, u64)> = flags
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &f)| (f, i as u64))
+                    .collect();
                 oblivious_compact(c, &input, Engine::BitonicRec);
             });
             (rep.trace_hash, rep.trace_len)
@@ -90,6 +109,60 @@ mod tests {
         let a = run((0..64).map(|i| i % 2 == 0).collect());
         let b = run((0..64).map(|i| i < 32).collect());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compact_degenerate_sizes() {
+        let c = SeqCtx::new();
+        // n = 0.
+        assert!(oblivious_compact::<_, u64>(&c, &[], Engine::BitonicRec).is_empty());
+        // n = 1, both flag values.
+        assert_eq!(
+            oblivious_compact(&c, &[(true, 7u64)], Engine::BitonicRec),
+            vec![7]
+        );
+        assert!(oblivious_compact(&c, &[(false, 7u64)], Engine::BitonicRec).is_empty());
+        // n = 2, every flag pattern.
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let input = vec![(a, 1u64), (b, 2u64)];
+            let expect: Vec<u64> = input.iter().filter(|&&(f, _)| f).map(|&(_, v)| v).collect();
+            assert_eq!(
+                oblivious_compact(&c, &input, Engine::BitonicRec),
+                expect,
+                "flags ({a}, {b})"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_n_1000_preserves_multiset_and_order() {
+        // 1000 is not a power of two, so the sort pads to 1024 fillers.
+        let c = SeqCtx::new();
+        let input: Vec<(bool, u64)> = (0..1000u64)
+            .map(|i| (i % 3 == 0, i.wrapping_mul(2654435761)))
+            .collect();
+        let got = oblivious_compact(&c, &input, Engine::BitonicRec);
+        let expect: Vec<u64> = input.iter().filter(|&&(f, _)| f).map(|&(_, v)| v).collect();
+        assert_eq!(got, expect, "kept values in input order");
+        // Multiset check against the input (order-insensitive).
+        let mut got_sorted = got;
+        let mut expect_sorted = expect;
+        got_sorted.sort_unstable();
+        expect_sorted.sort_unstable();
+        assert_eq!(got_sorted, expect_sorted);
+    }
+
+    #[test]
+    fn compact_output_is_sorted_when_keys_are_positions() {
+        // Sorted-oracle check: kept elements carry their input index, so the
+        // compacted output must be strictly increasing.
+        let c = SeqCtx::new();
+        for n in [2usize, 37, 1000] {
+            let input: Vec<(bool, u64)> = (0..n as u64).map(|i| (i % 2 == 1, i)).collect();
+            let got = oblivious_compact(&c, &input, Engine::BitonicRec);
+            assert!(got.windows(2).all(|w| w[0] < w[1]), "n = {n}: {got:?}");
+            assert_eq!(got.len(), n / 2, "n = {n}");
+        }
     }
 
     proptest! {

@@ -18,8 +18,7 @@ use metrics::Tracked;
 use sortnet::{bitonic_sort_flat_par, bitonic_sort_rec, oddeven_sort, randomized_shellsort};
 
 /// Selects the data-oblivious network used for small sorts.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Engine {
     /// Cache-agnostic recursive bitonic (§E.1) — the practical default.
     #[default]
@@ -32,7 +31,6 @@ pub enum Engine {
     /// `O(n log n)` comparisons).
     Shellsort { seed: u64 },
 }
-
 
 impl Engine {
     /// Sort `t` ascending by the slots' scratch key `sk`. Length must be a
@@ -74,7 +72,9 @@ mod tests {
     #[test]
     fn all_engines_sort_by_sk() {
         let c = SeqCtx::new();
-        let keys: Vec<u64> = (0..128u64).map(|i| i.wrapping_mul(2654435761) % 251).collect();
+        let keys: Vec<u64> = (0..128u64)
+            .map(|i| i.wrapping_mul(2654435761) % 251)
+            .collect();
         let mut expect: Vec<u64> = keys.clone();
         expect.sort_unstable();
         for engine in [

@@ -28,7 +28,9 @@ impl fmt::Display for OblivError {
         match self {
             OblivError::BinOverflow => write!(f, "ORBA bin overflow (retry with fresh labels)"),
             OblivError::LabelCollision => write!(f, "random permutation label collision"),
-            OblivError::PivotOverflow => write!(f, "REC-SORT bin overflow (retry with fresh pivots)"),
+            OblivError::PivotOverflow => {
+                write!(f, "REC-SORT bin overflow (retry with fresh pivots)")
+            }
         }
     }
 }

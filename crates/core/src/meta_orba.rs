@@ -59,7 +59,11 @@ pub fn meta_orba<C: Ctx, V: Val>(
     if overflow.load(Ordering::Relaxed) {
         return Err(OblivError::BinOverflow);
     }
-    Ok(BinLayout { slots, nbins, z: p.z })
+    Ok(BinLayout {
+        slots,
+        nbins,
+        z: p.z,
+    })
 }
 
 /// One butterfly level: bins that agree on every index bit outside
@@ -123,7 +127,11 @@ mod tests {
     #[test]
     fn routes_every_element_to_its_label_bin() {
         let c = SeqCtx::new();
-        let p = OrbaParams { z: 16, gamma: 4, engine: Engine::BitonicRec };
+        let p = OrbaParams {
+            z: 16,
+            gamma: 4,
+            engine: Engine::BitonicRec,
+        };
         let its = items(120);
         let (layout, _) = with_retries(64, |a| meta_orba(&c, &its, p, 10 + a as u64));
         for (b, bin) in layout.slots.chunks(layout.z).enumerate() {
@@ -139,7 +147,11 @@ mod tests {
     fn meta_and_rec_orba_agree_on_bin_contents() {
         // Same seed ⇒ same labels ⇒ identical bin contents (as multisets).
         let c = SeqCtx::new();
-        let p = OrbaParams { z: 16, gamma: 4, engine: Engine::BitonicRec };
+        let p = OrbaParams {
+            z: 16,
+            gamma: 4,
+            engine: Engine::BitonicRec,
+        };
         let its = items(90);
         for seed in [3u64, 17, 2024] {
             let m = meta_orba(&c, &its, p, seed);
@@ -174,7 +186,11 @@ mod tests {
     fn non_uniform_gamma_levels() {
         // β = 32 bins with γ = 8: levels consume 3 + 2 bits.
         let c = SeqCtx::new();
-        let p = OrbaParams { z: 16, gamma: 8, engine: Engine::BitonicRec };
+        let p = OrbaParams {
+            z: 16,
+            gamma: 8,
+            engine: Engine::BitonicRec,
+        };
         let its = items(200);
         let (layout, _) = with_retries(64, |a| meta_orba(&c, &its, p, 5 + a as u64));
         assert_eq!(layout.nbins, 32);

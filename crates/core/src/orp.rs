@@ -45,7 +45,11 @@ pub fn orp_once<C: Ctx, V: Val>(
         let tr = t.as_raw();
         par_for(c, 0, tr.len(), grain_for(c), &|c, i| unsafe {
             let mut s = tr.get(c, i);
-            let lbl = if s.is_real() { perm_labels[i] } else { u64::MAX };
+            let lbl = if s.is_real() {
+                perm_labels[i]
+            } else {
+                u64::MAX
+            };
             s.label = lbl;
             tr.set(c, i, s);
         });
@@ -151,7 +155,11 @@ mod tests {
     use std::collections::HashMap;
 
     fn small_params() -> OrbaParams {
-        OrbaParams { z: 16, gamma: 4, engine: Engine::BitonicRec }
+        OrbaParams {
+            z: 16,
+            gamma: 4,
+            engine: Engine::BitonicRec,
+        }
     }
 
     fn items(n: usize) -> Vec<Item<u64>> {

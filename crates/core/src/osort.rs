@@ -45,7 +45,10 @@ pub struct OSortParams {
 impl OSortParams {
     /// The practical variant (§3.4) for inputs of size `n`.
     pub fn practical(n: usize) -> Self {
-        OSortParams { orba: OrbaParams::for_n(n), final_sorter: FinalSorter::RecSort }
+        OSortParams {
+            orba: OrbaParams::for_n(n),
+            final_sorter: FinalSorter::RecSort,
+        }
     }
 
     /// The theory variant (§3.3) with the AKS → randomized-Shellsort and
@@ -115,11 +118,19 @@ pub fn oblivious_sort<C: Ctx, V: Val>(
     for (out, it) in data.iter_mut().zip(permuted.iter()) {
         *out = it.val;
     }
-    SortOutcome { orp_attempts, sort_attempts }
+    SortOutcome {
+        orp_attempts,
+        sort_attempts,
+    }
 }
 
 /// Convenience: obliviously sort plain `u64` keys.
-pub fn oblivious_sort_u64<C: Ctx>(c: &C, keys: &mut [u64], p: OSortParams, seed: u64) -> SortOutcome {
+pub fn oblivious_sort_u64<C: Ctx>(
+    c: &C,
+    keys: &mut [u64],
+    p: OSortParams,
+    seed: u64,
+) -> SortOutcome {
     let mut data: Vec<(u64, ())> = keys.iter().map(|&k| (k, ())).collect();
     let outcome = oblivious_sort(c, &mut data, p, seed);
     for (k, (nk, ())) in keys.iter_mut().zip(data.iter()) {
@@ -136,7 +147,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn scrambled(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 20).collect()
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 20)
+            .collect()
     }
 
     #[test]
@@ -168,7 +181,9 @@ mod tests {
         let n = 2000usize;
         let mut data: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 8, i)).collect();
         oblivious_sort(&c, &mut data, OSortParams::practical(n), 3);
-        assert!(data.windows(2).all(|w| w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1)));
+        assert!(data
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1)));
     }
 
     #[test]

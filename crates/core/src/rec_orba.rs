@@ -107,12 +107,25 @@ pub fn rec_orba<C: Ctx, V: Val>(
         let mut scratch_store = vec![Slot::<V>::filler(); t.len()];
         let mut scratch = Tracked::new(c, &mut scratch_store);
         let overflow = AtomicBool::new(false);
-        rec(c, t.borrow_mut(), scratch.borrow_mut(), nbins, p.z, 0, &p, &overflow);
+        rec(
+            c,
+            t.borrow_mut(),
+            scratch.borrow_mut(),
+            nbins,
+            p.z,
+            0,
+            &p,
+            &overflow,
+        );
         if overflow.load(Ordering::Relaxed) {
             return Err(OblivError::BinOverflow);
         }
     }
-    Ok(BinLayout { slots, nbins, z: p.z })
+    Ok(BinLayout {
+        slots,
+        nbins,
+        z: p.z,
+    })
 }
 
 /// Initial layout: β bins of Z slots, each bin holding Z/2 input positions
@@ -173,18 +186,34 @@ fn rec<C: Ctx, V: Val>(
 
     // Stage 1: each of the β₁ partitions (β₂ consecutive bins) routes its
     // elements by the high window bits.
-    par_rows2(c, slots.borrow_mut(), scratch.borrow_mut(), b1, b2 * z, 0, &|c, _, s, tmp| {
-        rec(c, s, tmp, b2, z, shift + k1, p, overflow);
-    });
+    par_rows2(
+        c,
+        slots.borrow_mut(),
+        scratch.borrow_mut(),
+        b1,
+        b2 * z,
+        0,
+        &|c, _, s, tmp| {
+            rec(c, s, tmp, b2, z, shift + k1, p, overflow);
+        },
+    );
 
     // Transpose the β₁ × β₂ matrix of bins so the β₂ bins that agree on the
     // high window become contiguous.
     transpose(c, &mut slots, &mut scratch, b1, b2, z);
 
     // Stage 2: each of the β₂ rows (β₁ bins) routes by the low window bits.
-    par_rows2(c, scratch.borrow_mut(), slots.borrow_mut(), b2, b1 * z, 0, &|c, _, s, tmp| {
-        rec(c, s, tmp, b1, z, shift, p, overflow);
-    });
+    par_rows2(
+        c,
+        scratch.borrow_mut(),
+        slots.borrow_mut(),
+        b2,
+        b1 * z,
+        0,
+        &|c, _, s, tmp| {
+            rec(c, s, tmp, b1, z, shift, p, overflow);
+        },
+    );
 
     // Result currently lives in `scratch`; copy back (scan-bound).
     {
@@ -209,7 +238,11 @@ mod tests {
     }
 
     fn small_params() -> OrbaParams {
-        OrbaParams { z: 16, gamma: 4, engine: Engine::BitonicRec }
+        OrbaParams {
+            z: 16,
+            gamma: 4,
+            engine: Engine::BitonicRec,
+        }
     }
 
     fn orba_retrying(n: usize, p: OrbaParams, seed: u64) -> BinLayout<u64> {
@@ -284,8 +317,7 @@ mod tests {
         let p = small_params();
         let run = |vals: Vec<u64>| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
-                let its: Vec<Item<u64>> =
-                    vals.iter().map(|&v| Item::new(v as u128, v)).collect();
+                let its: Vec<Item<u64>> = vals.iter().map(|&v| Item::new(v as u128, v)).collect();
                 let _ = rec_orba(c, &its, p, 1234);
             });
             (rep.trace_hash, rep.trace_len)

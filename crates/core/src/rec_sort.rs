@@ -32,7 +32,10 @@ const SMALL: usize = 2048;
 
 /// Filler slot that sorts after every real key.
 fn filler_hi<V: Val>() -> Slot<V> {
-    Slot { sk: u128::MAX, ..Slot::filler() }
+    Slot {
+        sk: u128::MAX,
+        ..Slot::filler()
+    }
 }
 
 /// A window into the global pivot array: the boundary between this
@@ -75,12 +78,20 @@ pub fn rec_sort_items<C: Ctx, V: Val>(
     // --- Pivot selection (§E.2): Bernoulli(1/log n) sample, sorted with
     // bitonic; every (log² n)-th sample becomes a pivot.
     let mut rng = StdRng::seed_from_u64(seed);
-    let sample: Vec<Item<V>> = items.iter().filter(|_| rng.gen_range(0..lg) == 0).copied().collect();
+    let sample: Vec<Item<V>> = items
+        .iter()
+        .filter(|_| rng.gen_range(0..lg) == 0)
+        .copied()
+        .collect();
     let mut sorted_sample = sample;
     sort_small(c, &mut sorted_sample, engine)?;
     let stride = lg * lg;
-    let pivot_keys: Vec<u128> =
-        sorted_sample.iter().skip(stride - 1).step_by(stride).map(|it| it.key).collect();
+    let pivot_keys: Vec<u128> = sorted_sample
+        .iter()
+        .skip(stride - 1)
+        .step_by(stride)
+        .map(|it| it.key)
+        .collect();
 
     let regions = pivot_keys.len() + 1;
     let nbins = regions.next_power_of_two();
@@ -176,7 +187,16 @@ fn sort_small<C: Ctx, V: Val>(c: &C, items: &mut [Item<V>], engine: Engine) -> R
         let items_ref: &[Item<V>] = items;
         par_for(c, 0, n, grain_for(c), &|c, i| {
             // SAFETY: disjoint writes per i.
-            unsafe { tr.set(c, i, Slot { sk: items_ref[i].key, ..Slot::real(items_ref[i], 0) }) };
+            unsafe {
+                tr.set(
+                    c,
+                    i,
+                    Slot {
+                        sk: items_ref[i].key,
+                        ..Slot::real(items_ref[i], 0)
+                    },
+                )
+            };
         });
         engine.sort_slots(c, &mut t);
         let tr = t.as_raw();
@@ -208,7 +228,17 @@ fn rec<C: Ctx, V: Val>(
     overflow: &AtomicBool,
 ) {
     if nbins <= gamma {
-        base_case(c, &mut slots, &mut scratch, nbins, cap, view, pivots, engine, overflow);
+        base_case(
+            c,
+            &mut slots,
+            &mut scratch,
+            nbins,
+            cap,
+            view,
+            pivots,
+            engine,
+            overflow,
+        );
         return;
     }
     let k = nbins.trailing_zeros();
@@ -218,39 +248,61 @@ fn rec<C: Ctx, V: Val>(
 
     // Stage 1: route within each partition by the coarse boundaries
     // (every b1-th of this subproblem's pivots).
-    par_rows2(c, slots.borrow_mut(), scratch.borrow_mut(), b1, b2 * cap, 0, &|c, _, s, tmp| {
-        rec(
-            c,
-            s,
-            tmp,
-            b2,
-            cap,
-            PivotView { r0: view.r0, stride: view.stride * b1 },
-            pivots,
-            engine,
-            gamma,
-            overflow,
-        );
-    });
+    par_rows2(
+        c,
+        slots.borrow_mut(),
+        scratch.borrow_mut(),
+        b1,
+        b2 * cap,
+        0,
+        &|c, _, s, tmp| {
+            rec(
+                c,
+                s,
+                tmp,
+                b2,
+                cap,
+                PivotView {
+                    r0: view.r0,
+                    stride: view.stride * b1,
+                },
+                pivots,
+                engine,
+                gamma,
+                overflow,
+            );
+        },
+    );
 
     transpose(c, &mut slots, &mut scratch, b1, b2, cap);
 
     // Stage 2: row q covers this subproblem's regions
     // [q·b1·stride, (q+1)·b1·stride); refine by the fine boundaries.
-    par_rows2(c, scratch.borrow_mut(), slots.borrow_mut(), b2, b1 * cap, 0, &|c, q, s, tmp| {
-        rec(
-            c,
-            s,
-            tmp,
-            b1,
-            cap,
-            PivotView { r0: view.r0 + q * b1 * view.stride, stride: view.stride },
-            pivots,
-            engine,
-            gamma,
-            overflow,
-        );
-    });
+    par_rows2(
+        c,
+        scratch.borrow_mut(),
+        slots.borrow_mut(),
+        b2,
+        b1 * cap,
+        0,
+        &|c, q, s, tmp| {
+            rec(
+                c,
+                s,
+                tmp,
+                b1,
+                cap,
+                PivotView {
+                    r0: view.r0 + q * b1 * view.stride,
+                    stride: view.stride,
+                },
+                pivots,
+                engine,
+                gamma,
+                overflow,
+            );
+        },
+    );
 
     // Copy the result back into `slots`.
     let sr = scratch.as_raw();
@@ -295,7 +347,7 @@ fn base_case<C: Ctx, V: Val>(
     // Boundary positions via binary search (upper bound of each pivot key).
     let mut pos = vec![0usize; nbins + 1];
     pos[nbins] = total;
-    for t in 1..nbins {
+    for (t, p) in pos.iter_mut().enumerate().take(nbins).skip(1) {
         let key = view.boundary(c, pivots, t);
         let mut lo = 0;
         let mut hi = total;
@@ -307,7 +359,7 @@ fn base_case<C: Ctx, V: Val>(
                 hi = mid;
             }
         }
-        pos[t] = lo;
+        *p = lo;
     }
     // Distribute the sorted segments into fixed-capacity bins in scratch.
     {
@@ -348,8 +400,9 @@ mod tests {
     use rand::seq::SliceRandom;
 
     fn shuffled_items(n: usize, seed: u64) -> Vec<Item<u64>> {
-        let mut v: Vec<Item<u64>> =
-            (0..n as u64).map(|i| Item::new(composite_key(i.wrapping_mul(2654435761) % (n as u64), i), i)).collect();
+        let mut v: Vec<Item<u64>> = (0..n as u64)
+            .map(|i| Item::new(composite_key(i.wrapping_mul(2654435761) % (n as u64), i), i))
+            .collect();
         v.shuffle(&mut StdRng::seed_from_u64(seed));
         v
     }
@@ -408,8 +461,9 @@ mod tests {
         let c = SeqCtx::new();
         let n = 20_000usize;
         // Only 4 distinct primary keys; composite keys stay distinct.
-        let mut items: Vec<Item<u64>> =
-            (0..n as u64).map(|i| Item::new(composite_key(i % 4, i), i)).collect();
+        let mut items: Vec<Item<u64>> = (0..n as u64)
+            .map(|i| Item::new(composite_key(i % 4, i), i))
+            .collect();
         items.shuffle(&mut StdRng::seed_from_u64(9));
         let (_, _) = with_retries(16, |a| {
             let mut copy = items.clone();

@@ -153,8 +153,34 @@ fn down<C, S, OP>(
     c.work(1);
     let right_acc = combine(acc, left_total);
     c.join(
-        |c| down(c, tree, data, combine, 2 * node, m, n, acc, inclusive, reverse),
-        |c| down(c, tree, data, combine, 2 * node + 1, m, n, right_acc, inclusive, reverse),
+        |c| {
+            down(
+                c,
+                tree,
+                data,
+                combine,
+                2 * node,
+                m,
+                n,
+                acc,
+                inclusive,
+                reverse,
+            )
+        },
+        |c| {
+            down(
+                c,
+                tree,
+                data,
+                combine,
+                2 * node + 1,
+                m,
+                n,
+                right_acc,
+                inclusive,
+                reverse,
+            )
+        },
     );
 }
 
@@ -258,7 +284,15 @@ fn levels_scan<C, S, OP>(
 
 /// In-place prefix sum over `u64` (wrapping).
 pub fn prefix_sum<C: Ctx>(c: &C, t: &mut Tracked<'_, u64>, inclusive: bool, sched: Schedule) {
-    scan(c, t, 0u64, &|a, b| a.wrapping_add(b), inclusive, false, sched);
+    scan(
+        c,
+        t,
+        0u64,
+        &|a, b| a.wrapping_add(b),
+        inclusive,
+        false,
+        sched,
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -279,12 +313,17 @@ impl<V> Seg<V> {
     }
 }
 
-fn seg_combine<V: Val, OP: Fn(V, V) -> V + Sync>(op: &OP) -> impl Fn(Seg<V>, Seg<V>) -> Seg<V> + Sync + '_ {
+fn seg_combine<V: Val, OP: Fn(V, V) -> V + Sync>(
+    op: &OP,
+) -> impl Fn(Seg<V>, Seg<V>) -> Seg<V> + Sync + '_ {
     move |a, b| {
         if b.head {
             b
         } else {
-            Seg { head: a.head || b.head, v: op(a.v, b.v) }
+            Seg {
+                head: a.head || b.head,
+                v: op(a.v, b.v),
+            }
         }
     }
 }
@@ -296,10 +335,21 @@ fn seg_combine<V: Val, OP: Fn(V, V) -> V + Sync>(op: &OP) -> impl Fn(Seg<V>, Seg
 ///
 /// `O(n)` work, `O(n/B)` cache, span `O(log n)` with [`Schedule::Tree`].
 pub fn seg_propagate<C: Ctx, V: Val>(c: &C, t: &mut Tracked<'_, Seg<V>>, sched: Schedule) {
-    debug_assert!(t.is_empty() || t.get(c, 0).head, "element 0 must head a segment");
+    debug_assert!(
+        t.is_empty() || t.get(c, 0).head,
+        "element 0 must head a segment"
+    );
     // Left projection is associative and right-identity for any id value,
     // which is all `scan` requires (identity only pads on the right).
-    scan(c, t, Seg::new(false, V::default()), &seg_combine(&|a, _b| a), true, false, sched);
+    scan(
+        c,
+        t,
+        Seg::new(false, V::default()),
+        &seg_combine(&|a, _b| a),
+        true,
+        false,
+        sched,
+    );
 }
 
 /// Oblivious **aggregation** (§F): every element learns the sum of the
@@ -418,7 +468,12 @@ mod tests {
             "levels span {} unexpectedly small",
             levels.span
         );
-        assert!(tree.span * 3 < levels.span, "tree {} vs levels {}", tree.span, levels.span);
+        assert!(
+            tree.span * 3 < levels.span,
+            "tree {} vs levels {}",
+            tree.span,
+            levels.span
+        );
         // Both schedules are work-efficient.
         assert!(tree.work < 30 * n as u64);
         assert!(levels.work < 30 * n as u64);
@@ -435,6 +490,103 @@ mod tests {
             (rep.trace_hash, rep.trace_len)
         };
         assert_eq!(run((0..1000).collect()), run(vec![7; 1000]));
+    }
+
+    fn prefix_reference(v: &[u64], inclusive: bool) -> Vec<u64> {
+        let mut acc = 0u64;
+        v.iter()
+            .map(|&x| {
+                if inclusive {
+                    acc = acc.wrapping_add(x);
+                    acc
+                } else {
+                    let before = acc;
+                    acc = acc.wrapping_add(x);
+                    before
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prefix_sum_degenerate_sizes() {
+        let c = SeqCtx::new();
+        for sched in [Schedule::Tree, Schedule::Levels] {
+            for n in [0usize, 1, 2] {
+                for inclusive in [true, false] {
+                    let mut v: Vec<u64> = (10..10 + n as u64).collect();
+                    let expect = prefix_reference(&v, inclusive);
+                    let mut t = Tracked::new(&c, &mut v);
+                    prefix_sum(&c, &mut t, inclusive, sched);
+                    assert_eq!(v, expect, "n = {n}, inclusive = {inclusive}, {sched:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sum_n_1000_non_power_of_two_matches_reference() {
+        // 1000 forces a padded scratch tree (next_power_of_two = 1024) with
+        // a partial last level — the shape both schedules must prune.
+        let c = SeqCtx::new();
+        let input: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 997)
+            .collect();
+        for sched in [Schedule::Tree, Schedule::Levels] {
+            for inclusive in [true, false] {
+                let mut v = input.clone();
+                let expect = prefix_reference(&v, inclusive);
+                let mut t = Tracked::new(&c, &mut v);
+                prefix_sum(&c, &mut t, inclusive, sched);
+                assert_eq!(v, expect, "inclusive = {inclusive}, {sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn seg_propagate_degenerate_and_odd_sizes() {
+        let c = SeqCtx::new();
+        for sched in [Schedule::Tree, Schedule::Levels] {
+            for n in [1usize, 2, 7, 1000] {
+                // Segment heads every 3rd element (element 0 always heads).
+                let mut v: Vec<Seg<u64>> = (0..n)
+                    .map(|i| Seg::new(i % 3 == 0, (i * 7) as u64))
+                    .collect();
+                let mut expect = vec![0u64; n];
+                let mut cur = 0;
+                for i in 0..n {
+                    if v[i].head {
+                        cur = v[i].v;
+                    }
+                    expect[i] = cur;
+                }
+                let mut t = Tracked::new(&c, &mut v);
+                seg_propagate(&c, &mut t, sched);
+                let got: Vec<u64> = v.iter().map(|s| s.v).collect();
+                assert_eq!(got, expect, "n = {n}, {sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_preserves_total_sum_at_odd_sizes() {
+        // Multiset-style invariant: the last inclusive prefix equals the
+        // total, independent of the (non-power-of-two) length.
+        let c = SeqCtx::new();
+        for n in [3usize, 5, 100, 1000] {
+            let input: Vec<u64> = (1..=n as u64).collect();
+            let total: u64 = input.iter().sum();
+            for sched in [Schedule::Tree, Schedule::Levels] {
+                let mut v = input.clone();
+                let mut t = Tracked::new(&c, &mut v);
+                prefix_sum(&c, &mut t, true, sched);
+                assert_eq!(v[n - 1], total, "n = {n}, {sched:?}");
+                assert!(
+                    v.windows(2).all(|w| w[0] <= w[1]),
+                    "monotone prefix, n = {n}"
+                );
+            }
+        }
     }
 
     proptest! {

@@ -60,11 +60,23 @@ pub fn send_receive<C: Ctx, V: Val>(
     // Build the combined slot array (fillers pad to a power of two).
     let mut slots: Vec<Slot<Route<V>>> = Vec::with_capacity(m);
     for &(k, v) in sources {
-        let r = Route { key: k, val: v, idx: 0, tag: 0, found: false };
+        let r = Route {
+            key: k,
+            val: v,
+            idx: 0,
+            tag: 0,
+            found: false,
+        };
         slots.push(Slot::real(Item::new(0, r), k));
     }
     for (j, &k) in dests.iter().enumerate() {
-        let r = Route { key: k, val: V::default(), idx: j as u64, tag: 1, found: false };
+        let r = Route {
+            key: k,
+            val: V::default(),
+            idx: j as u64,
+            tag: 1,
+            found: false,
+        };
         slots.push(Slot::real(Item::new(0, r), k));
     }
     slots.resize(m, Slot::filler());
@@ -138,7 +150,10 @@ pub fn send_receive<C: Ctx, V: Val>(
         let s = unsafe { tr.get(c, j) };
         debug_assert_eq!(s.item.val.idx as usize, j);
         if s.item.val.found {
-            OptSlot { some: true, v: s.item.val.val }
+            OptSlot {
+                some: true,
+                v: s.item.val.val,
+            }
         } else {
             OptSlot::default()
         }
@@ -172,7 +187,10 @@ mod tests {
     fn routes_values_to_receivers() {
         let sources = vec![(10, 100u64), (20, 200), (30, 300)];
         let dests = vec![20, 10, 99, 30, 20];
-        assert_eq!(run_sr(&sources, &dests), vec![Some(200), Some(100), None, Some(300), Some(200)]);
+        assert_eq!(
+            run_sr(&sources, &dests),
+            vec![Some(200), Some(100), None, Some(300), Some(200)]
+        );
     }
 
     #[test]
@@ -198,7 +216,8 @@ mod tests {
         let sources: Vec<(u64, u64)> = (0..500).map(|i| (i * 3, i)).collect();
         let dests: Vec<u64> = (0..800).map(|j| (j * 7) % 1600).collect();
         let seq = run_sr(&sources, &dests);
-        let par = pool.run(|c| send_receive(c, &sources, &dests, Engine::BitonicRec, Schedule::Tree));
+        let par =
+            pool.run(|c| send_receive(c, &sources, &dests, Engine::BitonicRec, Schedule::Tree));
         assert_eq!(seq, par);
     }
 
@@ -211,7 +230,10 @@ mod tests {
             (rep.trace_hash, rep.trace_len)
         };
         let a = run((0..100).map(|i| (i, i)).collect(), (0..50).collect());
-        let b = run((0..100).map(|i| (i * 97, i + 4)).collect(), (0..50).map(|j| j * 13).collect());
+        let b = run(
+            (0..100).map(|i| (i * 97, i + 4)).collect(),
+            (0..50).map(|j| j * 13).collect(),
+        );
         assert_eq!(a, b, "send-receive must not leak keys through its trace");
     }
 

@@ -60,13 +60,23 @@ impl<V: Val> Slot<V> {
     /// A real slot carrying `item` with routing label `label`.
     #[inline]
     pub fn real(item: Item<V>, label: u64) -> Self {
-        Slot { sk: 0, label, flags: flags::REAL, item }
+        Slot {
+            sk: 0,
+            label,
+            flags: flags::REAL,
+            item,
+        }
     }
 
     /// A temp placeholder for group `g` (§C.1 step 1).
     #[inline]
     pub fn temp(g: u64) -> Self {
-        Slot { sk: 0, label: g, flags: flags::TEMP, item: Item::default() }
+        Slot {
+            sk: 0,
+            label: g,
+            flags: flags::TEMP,
+            item: Item::default(),
+        }
     }
 
     #[inline]

@@ -23,7 +23,10 @@ where
         }
     } else {
         let mid = lo + (hi - lo) / 2;
-        c.join(|c| par_for(c, lo, mid, grain, f), |c| par_for(c, mid, hi, grain, f));
+        c.join(
+            |c| par_for(c, lo, mid, grain, f),
+            |c| par_for(c, mid, hi, grain, f),
+        );
     }
 }
 
@@ -152,7 +155,7 @@ mod chunk_tests {
                 *x = idx as u32 + 1;
             }
         });
-        assert!(v.iter().all(|&x| x >= 1 && x <= 7));
+        assert!(v.iter().all(|&x| (1..=7).contains(&x)));
         // Balanced: chunk sizes differ by at most 1.
         let mut counts = [0usize; 8];
         for &x in &v {

@@ -38,7 +38,9 @@ struct SpinLatch {
 
 impl SpinLatch {
     fn new() -> Self {
-        SpinLatch { set: AtomicBool::new(false) }
+        SpinLatch {
+            set: AtomicBool::new(false),
+        }
     }
 
     #[inline]
@@ -60,7 +62,10 @@ struct LockLatch {
 
 impl LockLatch {
     fn new() -> Self {
-        LockLatch { m: Mutex::new(false), cv: Condvar::new() }
+        LockLatch {
+            m: Mutex::new(false),
+            cv: Condvar::new(),
+        }
     }
 
     fn set(&self) {
@@ -177,7 +182,11 @@ struct Sleep {
 
 impl Sleep {
     fn new() -> Self {
-        Sleep { mutex: Mutex::new(()), cv: Condvar::new(), idlers: AtomicUsize::new(0) }
+        Sleep {
+            mutex: Mutex::new(()),
+            cv: Condvar::new(),
+            idlers: AtomicUsize::new(0),
+        }
     }
 
     /// Block until `has_work` might be true again. `has_work` is re-checked
@@ -298,7 +307,11 @@ fn worker_main(registry: Arc<Registry>, index: usize, deque: Deque<JobRef>) {
             reg.sleep.sleep(|| {
                 reg.terminate.load(Ordering::Acquire)
                     || !reg.injector.is_empty()
-                    || reg.stealers.iter().enumerate().any(|(i, s)| i != index && !s.is_empty())
+                    || reg
+                        .stealers
+                        .iter()
+                        .enumerate()
+                        .any(|(i, s)| i != index && !s.is_empty())
             });
         }
     }
@@ -351,12 +364,17 @@ impl Pool {
                     .expect("failed to spawn fj worker")
             })
             .collect();
-        Pool { registry, handles: Mutex::new(handles) }
+        Pool {
+            registry,
+            handles: Mutex::new(handles),
+        }
     }
 
     /// A pool sized to the machine (`available_parallelism`).
     pub fn with_default_threads() -> Self {
-        let n = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let n = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Pool::new(n)
     }
 
@@ -494,7 +512,11 @@ mod tests {
     }
 
     fn fib_seq(n: u64) -> u64 {
-        if n < 2 { n } else { fib_seq(n - 1) + fib_seq(n - 2) }
+        if n < 2 {
+            n
+        } else {
+            fib_seq(n - 1) + fib_seq(n - 2)
+        }
     }
 
     #[test]

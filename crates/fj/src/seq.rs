@@ -44,10 +44,7 @@ mod tests {
     #[test]
     fn nested_joins() {
         let c = SeqCtx::new();
-        let ((a, b), (x, y)) = c.join(
-            |c| c.join(|_| 1, |_| 2),
-            |c| c.join(|_| 3, |_| 4),
-        );
+        let ((a, b), (x, y)) = c.join(|c| c.join(|_| 1, |_| 2), |c| c.join(|_| 3, |_| 4));
         assert_eq!([a, b, x, y], [1, 2, 3, 4]);
     }
 }

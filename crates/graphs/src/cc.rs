@@ -55,8 +55,10 @@ pub fn connected_components<C: Ctx>(
 
         // Endpoint grand-labels for every edge.
         let rr_sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, rr[v])).collect();
-        let ends: Vec<u64> =
-            edges.iter().flat_map(|&(u, v)| [u as u64, v as u64]).collect();
+        let ends: Vec<u64> = edges
+            .iter()
+            .flat_map(|&(u, v)| [u as u64, v as u64])
+            .collect();
         let end_rr = send_receive(c, &rr_sources, &ends, engine, Schedule::Tree);
 
         // Hook proposals: target = larger grand-label, value = smaller.
@@ -106,11 +108,7 @@ pub fn connected_components<C: Ctx>(
 
 /// Keep, for every distinct target, the minimum proposed value. Output has
 /// one entry per input (fixed size); losers are blinded to dummies.
-fn min_per_target<C: Ctx>(
-    c: &C,
-    proposals: &[(u64, u64)],
-    engine: Engine,
-) -> Vec<(u64, u64)> {
+fn min_per_target<C: Ctx>(c: &C, proposals: &[(u64, u64)], engine: Engine) -> Vec<(u64, u64)> {
     let m = proposals.len().next_power_of_two().max(1);
     let mut slots: Vec<Slot<(u64, u64)>> = proposals
         .iter()
@@ -120,7 +118,13 @@ fn min_per_target<C: Ctx>(
             s
         })
         .collect();
-    slots.resize(m, Slot { sk: u128::MAX, ..Slot::filler() });
+    slots.resize(
+        m,
+        Slot {
+            sk: u128::MAX,
+            ..Slot::filler()
+        },
+    );
     {
         let mut t = Tracked::new(c, &mut slots);
         engine.sort_slots(c, &mut t);
@@ -195,15 +199,26 @@ mod tests {
         let c = SeqCtx::new();
         let n = 64;
         let path: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
-        assert_eq!(connected_components(&c, n, &path, Engine::BitonicRec), vec![0u64; n]);
+        assert_eq!(
+            connected_components(&c, n, &path, Engine::BitonicRec),
+            vec![0u64; n]
+        );
         let cycle: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
-        assert_eq!(connected_components(&c, n, &cycle, Engine::BitonicRec), vec![0u64; n]);
+        assert_eq!(
+            connected_components(&c, n, &cycle, Engine::BitonicRec),
+            vec![0u64; n]
+        );
     }
 
     #[test]
     fn matches_union_find_on_random_graphs() {
         let c = SeqCtx::new();
-        for (n, m, seed) in [(20usize, 12usize, 1u64), (50, 40, 2), (100, 160, 3), (64, 20, 4)] {
+        for (n, m, seed) in [
+            (20usize, 12usize, 1u64),
+            (50, 40, 2),
+            (100, 160, 3),
+            (64, 20, 4),
+        ] {
             let edges = random_graph(n, m, seed);
             let got = connected_components(&c, n, &edges, Engine::BitonicRec);
             assert_eq!(got, oracle_labels(n, &edges), "n={n} m={m} seed={seed}");

@@ -112,7 +112,13 @@ pub fn contract_eval<C: Ctx>(c: &C, tree: &ExprTree, engine: Engine, seed: u64) 
     let mut round = 0u64;
     while leaves > 1 {
         for side in [0u8, 1] {
-            rake_substep(c, &mut nodes, side, engine, seed ^ (round << 8 | side as u64));
+            rake_substep(
+                c,
+                &mut nodes,
+                side,
+                engine,
+                seed ^ (round << 8 | side as u64),
+            );
         }
         // Relabel the surviving (even-labelled) leaves and compact to the
         // public size 2⌊L/2⌋ − 1.
@@ -128,7 +134,10 @@ pub fn contract_eval<C: Ctx>(c: &C, tree: &ExprTree, engine: Engine, seed: u64) 
         round += 1;
     }
 
-    let last = nodes.iter().find(|r| r.alive).expect("one live node remains");
+    let last = nodes
+        .iter()
+        .find(|r| r.alive)
+        .expect("one live node remains");
     debug_assert!(last.is_leaf);
     last.a.wrapping_mul(last.val).wrapping_add(last.b)
 }
@@ -140,8 +149,16 @@ fn rake_substep<C: Ctx>(c: &C, nodes: &mut [CNode], side: u8, engine: Engine, _s
 
     // Fetch parent records.
     let recs: Vec<(u64, CNode)> = nodes.iter().map(|r| (r.id, *r)).collect();
-    let parent_q: Vec<u64> =
-        nodes.iter().map(|r| if r.parent == NONE { DUMMY + r.id } else { r.parent }).collect();
+    let parent_q: Vec<u64> = nodes
+        .iter()
+        .map(|r| {
+            if r.parent == NONE {
+                DUMMY + r.id
+            } else {
+                r.parent
+            }
+        })
+        .collect();
     let parents = send_receive(c, &recs, &parent_q, engine, Schedule::Tree);
 
     // Decide rakes and emit the three update channels (dummies keep every
@@ -203,7 +220,10 @@ fn rake_substep<C: Ctx>(c: &C, nodes: &mut [CNode], side: u8, engine: Engine, _s
             let (na, nb) = if op == 0 {
                 (nodes[i].a, nodes[i].b.wrapping_add(c_val))
             } else {
-                (c_val.wrapping_mul(nodes[i].a), c_val.wrapping_mul(nodes[i].b))
+                (
+                    c_val.wrapping_mul(nodes[i].a),
+                    c_val.wrapping_mul(nodes[i].b),
+                )
             };
             nodes[i].a = pa.wrapping_mul(na);
             nodes[i].b = pa.wrapping_mul(nb).wrapping_add(pb);
@@ -237,7 +257,13 @@ fn compact_nodes<C: Ctx>(c: &C, nodes: &mut Vec<CNode>, target: usize, engine: E
             s
         })
         .collect();
-    slots.resize(m, Slot { sk: u128::MAX, ..Slot::filler() });
+    slots.resize(
+        m,
+        Slot {
+            sk: u128::MAX,
+            ..Slot::filler()
+        },
+    );
     {
         let mut t = Tracked::new(c, &mut slots);
         engine.sort_slots(c, &mut t);
@@ -257,7 +283,11 @@ fn assign_leaf_labels<C: Ctx>(c: &C, nodes: &mut [CNode], engine: Engine, seed: 
     for r in nodes.iter() {
         let v = r.id as usize;
         // down(v): enter v from its parent.
-        succ[2 * v] = if r.is_leaf { 2 * v + 1 } else { 2 * (r.left as usize) };
+        succ[2 * v] = if r.is_leaf {
+            2 * v + 1
+        } else {
+            2 * (r.left as usize)
+        };
         // up(v): leave v toward its parent.
         succ[2 * v + 1] = if r.parent == NONE {
             2 * v + 1 // terminal: the tour ends when the root closes
@@ -278,8 +308,16 @@ fn assign_leaf_labels<C: Ctx>(c: &C, nodes: &mut [CNode], engine: Engine, seed: 
     // Fix-up: successors of left-children's up-arcs need the sibling id —
     // one oblivious send-receive (sources: parent id -> right child id).
     let sib_sources: Vec<(u64, u64)> = nodes.iter().map(|r| (r.id, r.right)).collect();
-    let sib_q: Vec<u64> =
-        nodes.iter().map(|r| if r.parent == NONE { DUMMY + r.id } else { r.parent }).collect();
+    let sib_q: Vec<u64> = nodes
+        .iter()
+        .map(|r| {
+            if r.parent == NONE {
+                DUMMY + r.id
+            } else {
+                r.parent
+            }
+        })
+        .collect();
     let sib_res = send_receive(c, &sib_sources, &sib_q, engine, Schedule::Tree);
     for (i, r) in nodes.iter().enumerate() {
         let v = r.id as usize;
@@ -292,7 +330,10 @@ fn assign_leaf_labels<C: Ctx>(c: &C, nodes: &mut [CNode], engine: Engine, seed: 
     // Rank the tour; smaller rank = later in the tour.
     let params = OrbaParams::for_n(l);
     let rank = list_rank_oblivious(c, &succ, &vec![1u64; l], params, engine, seed);
-    let pos: Vec<u64> = rank.iter().map(|&r| (l as u64 - 1).wrapping_sub(r)).collect();
+    let pos: Vec<u64> = rank
+        .iter()
+        .map(|&r| (l as u64 - 1).wrapping_sub(r))
+        .collect();
 
     // Leaves sorted by entry position get labels 1..L; route back by id.
     let m = n.next_power_of_two();
@@ -300,17 +341,31 @@ fn assign_leaf_labels<C: Ctx>(c: &C, nodes: &mut [CNode], engine: Engine, seed: 
         .iter()
         .map(|r| {
             let mut s = Slot::real(Item::new(0, r.id), 0);
-            s.sk = if r.is_leaf { pos[2 * r.id as usize] as u128 } else { u128::MAX - 1 };
+            s.sk = if r.is_leaf {
+                pos[2 * r.id as usize] as u128
+            } else {
+                u128::MAX - 1
+            };
             s
         })
         .collect();
-    slots.resize(m, Slot { sk: u128::MAX, ..Slot::filler() });
+    slots.resize(
+        m,
+        Slot {
+            sk: u128::MAX,
+            ..Slot::filler()
+        },
+    );
     {
         let mut t = Tracked::new(c, &mut slots);
         engine.sort_slots(c, &mut t);
     }
-    let label_sources: Vec<(u64, u64)> =
-        slots.iter().take(n).enumerate().map(|(k, s)| (s.item.val, k as u64 + 1)).collect();
+    let label_sources: Vec<(u64, u64)> = slots
+        .iter()
+        .take(n)
+        .enumerate()
+        .map(|(k, s)| (s.item.val, k as u64 + 1))
+        .collect();
     let ids: Vec<u64> = nodes.iter().map(|r| r.id).collect();
     let labels = send_receive(c, &label_sources, &ids, engine, Schedule::Tree);
     let leaf_count = nodes.iter().filter(|r| r.is_leaf).count() as u64;
@@ -346,7 +401,10 @@ mod tests {
         };
         assert_eq!(contract_eval(&c, &t, Engine::BitonicRec, 1), 20);
         // Single leaf.
-        let single = ExprTree { nodes: vec![ExprNode::Leaf(7)], root: 0 };
+        let single = ExprTree {
+            nodes: vec![ExprNode::Leaf(7)],
+            root: 0,
+        };
         assert_eq!(contract_eval(&c, &single, Engine::BitonicRec, 1), 7);
     }
 
@@ -384,7 +442,11 @@ mod tests {
         };
         let t1 = random_expr_tree(32, 100);
         let t2 = random_expr_tree(32, 200);
-        assert_eq!(run(&t1, 77).1, run(&t2, 77).1, "trace length leaked the shape");
+        assert_eq!(
+            run(&t1, 77).1,
+            run(&t2, 77).1,
+            "trace length leaked the shape"
+        );
         assert_eq!(run(&t1, 77), run(&t1, 77), "trace not deterministic");
         // Same shape, different leaf values: traces must be identical.
         let mut t3 = t1.clone();
@@ -393,6 +455,10 @@ mod tests {
                 *v = v.wrapping_mul(31).wrapping_add(17);
             }
         }
-        assert_eq!(run(&t1, 77), run(&t3, 77), "leaf values leaked into the trace");
+        assert_eq!(
+            run(&t1, 77),
+            run(&t3, 77),
+            "leaf values leaked into the trace"
+        );
     }
 }

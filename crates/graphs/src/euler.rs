@@ -48,7 +48,13 @@ pub fn euler_tour<C: Ctx>(c: &C, edges: &[(usize, usize)], engine: Engine) -> Eu
             s
         })
         .collect();
-    slots.resize(m, Slot { sk: u128::MAX, ..Slot::filler() });
+    slots.resize(
+        m,
+        Slot {
+            sk: u128::MAX,
+            ..Slot::filler()
+        },
+    );
     {
         let mut t = Tracked::new(c, &mut slots);
         engine.sort_slots(c, &mut t);
@@ -83,8 +89,10 @@ pub fn euler_tour<C: Ctx>(c: &C, edges: &[(usize, usize)], engine: Engine) -> Eu
     let sources: Vec<(u64, u64)> = (0..l)
         .map(|i| (arc_key(arcs[i].0 as usize, arcs[i].1 as usize), adj_succ[i]))
         .collect();
-    let dests: Vec<u64> =
-        arcs.iter().map(|&(u, v)| arc_key(v as usize, u as usize)).collect();
+    let dests: Vec<u64> = arcs
+        .iter()
+        .map(|&(u, v)| arc_key(v as usize, u as usize))
+        .collect();
     let succ = send_receive(c, &sources, &dests, engine, Schedule::Tree)
         .into_iter()
         .map(|o| o.expect("reverse arc exists in a tree") as usize)
@@ -132,25 +140,43 @@ pub fn rooted_tree_stats<C: Ctx>(
         }
     }
     c.charge_par(l as u64); // min-index reduction
+
     // Break the circle: the arc whose successor is `start` becomes the
     // terminal (fixed-pattern pass).
-    let succ_list: Vec<usize> =
-        tour.succ.iter().map(|&s| if s == start { usize::MAX } else { s }).collect();
-    let succ_list: Vec<usize> =
-        succ_list.iter().enumerate().map(|(i, &s)| if s == usize::MAX { i } else { s }).collect();
+    let succ_list: Vec<usize> = tour
+        .succ
+        .iter()
+        .map(|&s| if s == start { usize::MAX } else { s })
+        .collect();
+    let succ_list: Vec<usize> = succ_list
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| if s == usize::MAX { i } else { s })
+        .collect();
     c.charge_par(2 * l as u64);
 
     // Tour positions from an (unweighted) oblivious list ranking.
     let unit = vec![1u64; l];
     let rank = list_rank_oblivious(c, &succ_list, &unit, params, engine, seed);
-    let pos: Vec<u64> = rank.iter().map(|&r| (l as u64 - 1).wrapping_sub(r)).collect();
+    let pos: Vec<u64> = rank
+        .iter()
+        .map(|&r| (l as u64 - 1).wrapping_sub(r))
+        .collect();
 
     // Position of each reverse arc (send-receive keyed by arc id).
     let pos_sources: Vec<(u64, u64)> = (0..l)
-        .map(|i| (arc_key(tour.arcs[i].0 as usize, tour.arcs[i].1 as usize), pos[i]))
+        .map(|i| {
+            (
+                arc_key(tour.arcs[i].0 as usize, tour.arcs[i].1 as usize),
+                pos[i],
+            )
+        })
         .collect();
-    let rev_dests: Vec<u64> =
-        tour.arcs.iter().map(|&(u, v)| arc_key(v as usize, u as usize)).collect();
+    let rev_dests: Vec<u64> = tour
+        .arcs
+        .iter()
+        .map(|&(u, v)| arc_key(v as usize, u as usize))
+        .collect();
     let rev_pos: Vec<u64> = send_receive(c, &pos_sources, &rev_dests, engine, Schedule::Tree)
         .into_iter()
         .map(|o| o.expect("reverse arc"))
@@ -161,8 +187,10 @@ pub fn rooted_tree_stats<C: Ctx>(
 
     // Weighted rankings: depth uses +1/−1, preorder counts advances,
     // postorder counts retreats.
-    let w_depth: Vec<u64> =
-        advance.iter().map(|&a| if a { 1u64 } else { 1u64.wrapping_neg() }).collect();
+    let w_depth: Vec<u64> = advance
+        .iter()
+        .map(|&a| if a { 1u64 } else { 1u64.wrapping_neg() })
+        .collect();
     let w_pre: Vec<u64> = advance.iter().map(|&a| a as u64).collect();
     let w_post: Vec<u64> = advance.iter().map(|&a| !a as u64).collect();
     let r_depth = list_rank_oblivious(c, &succ_list, &w_depth, params, engine, seed ^ 1);
@@ -172,10 +200,16 @@ pub fn rooted_tree_stats<C: Ctx>(
     // Per-arc prefix-inclusive values (totals minus strict suffixes; the
     // terminal arc is a retreat, so the +1/−1 total needs its weight back).
     let n_adv = (n - 1) as u64;
-    let depth_at = |i: usize| 0u64.wrapping_sub(r_depth[i]).wrapping_add(w_depth[i]).wrapping_add(1);
+    let depth_at = |i: usize| {
+        0u64.wrapping_sub(r_depth[i])
+            .wrapping_add(w_depth[i])
+            .wrapping_add(1)
+    };
     let pre_at = |i: usize| n_adv - r_pre[i] + w_pre[i];
     // 1-based retreat count inclusive, shifted to 0-based postorder.
-    let post_at = |i: usize| n_adv - r_post[i] + w_post[i] - 2;
+    // Wrapping like depth_at: for advance arcs the expression underflows,
+    // but those values travel under dummy keys and are never delivered.
+    let post_at = |i: usize| (n_adv - r_post[i] + w_post[i]).wrapping_sub(2);
 
     // Scatter per-vertex results: each advance arc (u → v) describes v.
     let mut parent = vec![root; n];
@@ -191,14 +225,22 @@ pub fn rooted_tree_stats<C: Ctx>(
         .map(|i| {
             let (u, v) = tour.arcs[i];
             // Non-advance arcs use a dummy key (> any vertex id).
-            let key = if advance[i] { v as u64 } else { (1u64 << 32) + i as u64 };
+            let key = if advance[i] {
+                v as u64
+            } else {
+                (1u64 << 32) + i as u64
+            };
             let size = rev_pos[i].wrapping_sub(pos[i]).div_ceil(2);
             (key, (u as u64, depth_at(i), pre_at(i), size))
         })
         .collect();
     let post_sources: Vec<(u64, u64)> = (0..l)
         .map(|i| {
-            let key = if advance[i] { (1u64 << 32) + i as u64 } else { tour.arcs[i].0 as u64 };
+            let key = if advance[i] {
+                (1u64 << 32) + i as u64
+            } else {
+                tour.arcs[i].0 as u64
+            };
             (key, post_at(i))
         })
         .collect();
@@ -220,7 +262,13 @@ pub fn rooted_tree_stats<C: Ctx>(
     }
     c.charge_par(2 * n as u64);
 
-    TreeStats { parent, depth, preorder, postorder, subtree }
+    TreeStats {
+        parent,
+        depth,
+        preorder,
+        postorder,
+        subtree,
+    }
 }
 
 /// Sequential DFS oracle for the same statistics.

@@ -47,7 +47,11 @@ pub fn random_weighted_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize
     let edges = random_graph(n, m, seed);
     let mut weights: Vec<u64> = (0..m as u64).collect();
     weights.shuffle(&mut StdRng::seed_from_u64(seed ^ 0xABCD));
-    edges.into_iter().zip(weights).map(|((u, v), w)| (u, v, w)).collect()
+    edges
+        .into_iter()
+        .zip(weights)
+        .map(|((u, v), w)| (u, v, w))
+        .collect()
 }
 
 /// A node of a binary expression tree.
@@ -96,7 +100,10 @@ impl ExprTree {
 
     /// Number of leaves.
     pub fn leaves(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, ExprNode::Leaf(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, ExprNode::Leaf(_)))
+            .count()
     }
 }
 
@@ -121,7 +128,10 @@ pub fn random_expr_tree(leaves: usize, seed: u64) -> ExprTree {
         nodes.push(ExprNode::Op(rng.gen_range(0..2), a, b));
         roots.push(nodes.len() - 1);
     }
-    ExprTree { root: roots[0], nodes }
+    ExprTree {
+        root: roots[0],
+        nodes,
+    }
 }
 
 /// Union-find (path halving + union by size) — the oracle for CC and MSF.
@@ -132,7 +142,10 @@ pub struct UnionFind {
 
 impl UnionFind {
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     pub fn find(&mut self, mut x: usize) -> usize {

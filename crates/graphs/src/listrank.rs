@@ -26,7 +26,9 @@ pub fn list_rank_insecure<C: Ctx>(c: &C, succ: &[usize], weight: &[u64]) -> Vec<
     let n = succ.len();
     assert_eq!(weight.len(), n);
     let mut s: Vec<u64> = succ.iter().map(|&x| x as u64).collect();
-    let mut r: Vec<u64> = (0..n).map(|i| if succ[i] == i { 0 } else { weight[i] }).collect();
+    let mut r: Vec<u64> = (0..n)
+        .map(|i| if succ[i] == i { 0 } else { weight[i] })
+        .collect();
     let rounds = (usize::BITS - n.max(2).leading_zeros()) as usize;
     let mut s2 = vec![0u64; n];
     let mut r2 = vec![0u64; n];
@@ -85,15 +87,25 @@ pub fn list_rank_oblivious<C: Ctx>(
     // 1. Obliviously randomly permute the entries.
     let items: Vec<Item<Entry>> = (0..n)
         .map(|i| {
-            Item::new(i as u128, Entry { orig: i as u64, succ: succ[i] as u64, weight: weight[i] })
+            Item::new(
+                i as u128,
+                Entry {
+                    orig: i as u64,
+                    succ: succ[i] as u64,
+                    weight: weight[i],
+                },
+            )
         })
         .collect();
     let (permuted, _) = orp(c, &items, params, seed);
 
     // 2. Each entry learns its successor's permuted position via oblivious
     //    send-receive (sources: original id -> permuted position).
-    let sources: Vec<(u64, u64)> =
-        permuted.iter().enumerate().map(|(j, it)| (it.val.orig, j as u64)).collect();
+    let sources: Vec<(u64, u64)> = permuted
+        .iter()
+        .enumerate()
+        .map(|(j, it)| (it.val.orig, j as u64))
+        .collect();
     let dests: Vec<u64> = permuted.iter().map(|it| it.val.succ).collect();
     let succ_pos = send_receive(c, &sources, &dests, engine, Schedule::Tree);
 
@@ -115,8 +127,9 @@ pub fn list_rank_oblivious<C: Ctx>(
     let perm_rank = list_rank_insecure(c, &perm_succ, &perm_weight);
 
     // 4. Route the answers back to original positions.
-    let back_sources: Vec<(u64, u64)> =
-        (0..n).map(|j| (permuted[j].val.orig, perm_rank[j])).collect();
+    let back_sources: Vec<(u64, u64)> = (0..n)
+        .map(|j| (permuted[j].val.orig, perm_rank[j]))
+        .collect();
     let back_dests: Vec<u64> = (0..n as u64).collect();
     send_receive(c, &back_sources, &back_dests, engine, Schedule::Tree)
         .into_iter()
@@ -127,7 +140,14 @@ pub fn list_rank_oblivious<C: Ctx>(
 /// Unit-weight oblivious wrapper.
 pub fn list_rank_oblivious_unit<C: Ctx>(c: &C, succ: &[usize], seed: u64) -> Vec<u64> {
     let params = OrbaParams::for_n(succ.len().max(2));
-    list_rank_oblivious(c, succ, &vec![1u64; succ.len()], params, Engine::BitonicRec, seed)
+    list_rank_oblivious(
+        c,
+        succ,
+        &vec![1u64; succ.len()],
+        params,
+        Engine::BitonicRec,
+        seed,
+    )
 }
 
 #[cfg(test)]
@@ -192,9 +212,12 @@ mod tests {
         for k in (0..63).rev() {
             suffix[k] = suffix[k + 1] + weight[order[k]];
         }
-        let expect: Vec<u64> = (0..64).map(|i| suffix[pos[i]].min(suffix[pos[i]])).collect();
-        let expect: Vec<u64> =
-            (0..64).map(|i| if pos[i] == 63 { 0 } else { expect[i] }).collect();
+        let expect: Vec<u64> = (0..64)
+            .map(|i| suffix[pos[i]].min(suffix[pos[i]]))
+            .collect();
+        let expect: Vec<u64> = (0..64)
+            .map(|i| if pos[i] == 63 { 0 } else { expect[i] })
+            .collect();
         assert_eq!(got, expect);
     }
 

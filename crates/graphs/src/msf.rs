@@ -40,12 +40,7 @@ pub struct MsfResult {
 }
 
 /// Oblivious Borůvka MSF over `(u, v, w)` edges.
-pub fn msf<C: Ctx>(
-    c: &C,
-    n: usize,
-    edges: &[(usize, usize, u64)],
-    engine: Engine,
-) -> MsfResult {
+pub fn msf<C: Ctx>(c: &C, n: usize, edges: &[(usize, usize, u64)], engine: Engine) -> MsfResult {
     let m = edges.len();
     let lg = (usize::BITS - n.max(2).leading_zeros()) as usize;
     let mut d: Vec<u64> = (0..n as u64).collect();
@@ -65,7 +60,10 @@ pub fn msf<C: Ctx>(
 
         // 2. Endpoint components.
         let comp_sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-        let ends: Vec<u64> = edges.iter().flat_map(|&(u, v, _)| [u as u64, v as u64]).collect();
+        let ends: Vec<u64> = edges
+            .iter()
+            .flat_map(|&(u, v, _)| [u as u64, v as u64])
+            .collect();
         let end_comp = send_receive(c, &comp_sources, &ends, engine, Schedule::Tree);
 
         // 3. Per-component minimum incident edge: both half-edges propose.
@@ -87,7 +85,13 @@ pub fn msf<C: Ctx>(
         }
         c.charge_par(2 * m as u64);
         let p2 = (2 * m).next_power_of_two().max(1);
-        proposals.resize(p2, Slot { sk: u128::MAX, ..Slot::filler() });
+        proposals.resize(
+            p2,
+            Slot {
+                sk: u128::MAX,
+                ..Slot::filler()
+            },
+        );
         {
             let mut t = Tracked::new(c, &mut proposals);
             engine.sort_slots(c, &mut t);
@@ -111,7 +115,10 @@ pub fn msf<C: Ctx>(
         c.charge_par(2 * m.max(1) as u64);
 
         // 4. Hook each winning component onto the other endpoint.
-        let hook_sources: Vec<(u64, u64)> = winners.iter().map(|&(comp, (_, other))| (comp, other)).collect();
+        let hook_sources: Vec<(u64, u64)> = winners
+            .iter()
+            .map(|&(comp, (_, other))| (comp, other))
+            .collect();
         let hooks = send_receive(c, &hook_sources, &all_v, engine, Schedule::Tree);
         {
             let mut dt = Tracked::new(c, &mut d);
@@ -152,7 +159,13 @@ pub fn msf<C: Ctx>(
                 s
             })
             .collect();
-        chosen.resize(p2, Slot { sk: u128::MAX, ..Slot::filler() });
+        chosen.resize(
+            p2,
+            Slot {
+                sk: u128::MAX,
+                ..Slot::filler()
+            },
+        );
         {
             let mut t = Tracked::new(c, &mut chosen);
             engine.sort_slots(c, &mut t);
@@ -161,7 +174,8 @@ pub fn msf<C: Ctx>(
             .map(|i| {
                 let s = chosen[i];
                 let real = s.is_real() && s.label == 1;
-                let head = i == 0 || chosen[i - 1].item.val != s.item.val
+                let head = i == 0
+                    || chosen[i - 1].item.val != s.item.val
                     || !(chosen[i - 1].is_real() && chosen[i - 1].label == 1);
                 if real && head {
                     (s.item.val, 1)
@@ -189,7 +203,11 @@ pub fn msf<C: Ctx>(
             .map(|o| o.expect("label in range"))
             .collect();
     }
-    MsfResult { total_weight, in_forest, components: d }
+    MsfResult {
+        total_weight,
+        in_forest,
+        components: d,
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +219,11 @@ mod tests {
     fn check(n: usize, edges: &[(usize, usize, u64)]) {
         let c = SeqCtx::new();
         let res = msf(&c, n, edges, Engine::BitonicRec);
-        assert_eq!(res.total_weight, kruskal_msf_weight(n, edges), "weight mismatch");
+        assert_eq!(
+            res.total_weight,
+            kruskal_msf_weight(n, edges),
+            "weight mismatch"
+        );
         // Selected edges must form a forest spanning each component.
         let mut uf = UnionFind::new(n);
         let mut count = 0;
@@ -228,7 +250,12 @@ mod tests {
 
     #[test]
     fn random_graphs() {
-        for (n, m, seed) in [(16usize, 30usize, 1u64), (40, 80, 2), (64, 64, 3), (30, 15, 4)] {
+        for (n, m, seed) in [
+            (16usize, 30usize, 1u64),
+            (40, 80, 2),
+            (64, 64, 3),
+            (30, 15, 4),
+        ] {
             let edges = random_weighted_graph(n, m, seed);
             check(n, &edges);
         }
@@ -251,11 +278,15 @@ mod tests {
     #[test]
     fn path_graph_takes_all_edges() {
         let n = 32;
-        let edges: Vec<(usize, usize, u64)> =
-            (0..n - 1).map(|i| (i, i + 1, (i * 7 % 13) as u64 + 1)).collect();
+        let edges: Vec<(usize, usize, u64)> = (0..n - 1)
+            .map(|i| (i, i + 1, (i * 7 % 13) as u64 + 1))
+            .collect();
         let c = SeqCtx::new();
         let res = msf(&c, n, &edges, Engine::BitonicRec);
-        assert!(res.in_forest.iter().all(|&b| b), "every path edge is in the MSF");
+        assert!(
+            res.in_forest.iter().all(|&b| b),
+            "every path edge is in the MSF"
+        );
     }
 
     #[test]

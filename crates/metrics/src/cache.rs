@@ -25,7 +25,10 @@ impl Default for CacheConfig {
     fn default() -> Self {
         // M = 2^14 words (128 KiB of 8-byte words), B = 16 words (128 B).
         // M/B² = 64, comfortably tall.
-        CacheConfig { m_words: 1 << 14, b_words: 16 }
+        CacheConfig {
+            m_words: 1 << 14,
+            b_words: 16,
+        }
     }
 }
 
@@ -113,7 +116,11 @@ impl CacheSim {
         self.misses += 1;
         let idx = if self.nodes.len() < self.capacity {
             let idx = self.nodes.len() as u32;
-            self.nodes.push(Node { prev: NIL, next: NIL, block });
+            self.nodes.push(Node {
+                prev: NIL,
+                next: NIL,
+                block,
+            });
             idx
         } else {
             // Evict the least recently used block and reuse its node.
@@ -188,6 +195,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes_under_lru() {
         let mut c = CacheSim::new(CacheConfig::new(256, 16)); // 16 blocks
+
         // 17 blocks in round-robin: LRU evicts exactly the next one needed.
         for _ in 0..3 {
             for blk in 0..17u64 {

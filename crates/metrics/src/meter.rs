@@ -119,7 +119,8 @@ impl Ctx for MeterCtx {
         RA: Send,
         RB: Send,
     {
-        self.work.fetch_add(FORK_COST + JOIN_COST, Ordering::Relaxed);
+        self.work
+            .fetch_add(FORK_COST + JOIN_COST, Ordering::Relaxed);
         let d0 = self.depth.load(Ordering::Relaxed) + FORK_COST;
         self.depth.store(d0, Ordering::Relaxed);
         let ra = a(self);
@@ -142,7 +143,9 @@ impl Ctx for MeterCtx {
         let mut inner = self.inner.lock();
         let addr = buf.0 + off;
         inner.cache.access_range(addr, len);
-        inner.trace.record(addr, len, matches!(kind, Access::Write) as u8);
+        inner
+            .trace
+            .record(addr, len, matches!(kind, Access::Write) as u8);
     }
 
     #[inline]
@@ -204,6 +207,7 @@ mod tests {
             par_for(c, 0, n, 1, &|c, _| c.work(1));
         });
         assert_eq!(rep.work, n as u64 + 2 * (n as u64 - 1)); // leaves + forks/joins
+
         // Depth: 10 levels of fork+join (2 each) plus one leaf op.
         assert!(rep.span <= 2 * 10 + 1 + 10, "span {} too large", rep.span);
         assert!(rep.span >= 10, "span {} too small", rep.span);

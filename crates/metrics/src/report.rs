@@ -78,7 +78,11 @@ mod tests {
 
     #[test]
     fn parallelism_is_work_over_span() {
-        let r = CostReport { work: 1000, span: 10, ..Default::default() };
+        let r = CostReport {
+            work: 1000,
+            span: 10,
+            ..Default::default()
+        };
         assert!((r.parallelism() - 100.0).abs() < 1e-9);
     }
 

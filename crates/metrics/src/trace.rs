@@ -51,7 +51,12 @@ pub struct TraceRec {
 
 impl TraceRec {
     pub fn new(mode: TraceMode) -> Self {
-        TraceRec { mode, hash: FNV_OFFSET, count: 0, events: Vec::new() }
+        TraceRec {
+            mode,
+            hash: FNV_OFFSET,
+            count: 0,
+            events: Vec::new(),
+        }
     }
 
     #[inline]
@@ -63,7 +68,11 @@ impl TraceRec {
         self.hash = fnv_step(self.hash, addr);
         self.hash = fnv_step(self.hash, (len << 1) | kind as u64);
         if self.mode == TraceMode::Full {
-            self.events.push(TraceEvent { addr, len: len as u32, kind });
+            self.events.push(TraceEvent {
+                addr,
+                len: len as u32,
+                kind,
+            });
         }
     }
 
@@ -126,7 +135,14 @@ mod tests {
     fn full_mode_keeps_events() {
         let mut t = TraceRec::new(TraceMode::Full);
         t.record(3, 2, 1);
-        assert_eq!(t.events(), &[TraceEvent { addr: 3, len: 2, kind: 1 }]);
+        assert_eq!(
+            t.events(),
+            &[TraceEvent {
+                addr: 3,
+                len: 2,
+                kind: 1
+            }]
+        );
     }
 
     #[test]

@@ -36,7 +36,12 @@ impl<'a, T: Copy> Tracked<'a, T> {
     pub fn new<C: Ctx>(c: &C, data: &'a mut [T]) -> Self {
         let wpe = words_per::<T>();
         let buf = c.register(data.len() as u64 * wpe);
-        Tracked { data, buf, off: 0, wpe }
+        Tracked {
+            data,
+            buf,
+            off: 0,
+            wpe,
+        }
     }
 
     #[inline]
@@ -52,7 +57,12 @@ impl<'a, T: Copy> Tracked<'a, T> {
     /// Read element `i`, reporting the access.
     #[inline]
     pub fn get<C: Ctx>(&self, c: &C, i: usize) -> T {
-        c.touch(self.buf, self.off + i as u64 * self.wpe, self.wpe, Access::Read);
+        c.touch(
+            self.buf,
+            self.off + i as u64 * self.wpe,
+            self.wpe,
+            Access::Read,
+        );
         c.work(1);
         self.data[i]
     }
@@ -60,7 +70,12 @@ impl<'a, T: Copy> Tracked<'a, T> {
     /// Write element `i`, reporting the access.
     #[inline]
     pub fn set<C: Ctx>(&mut self, c: &C, i: usize, v: T) {
-        c.touch(self.buf, self.off + i as u64 * self.wpe, self.wpe, Access::Write);
+        c.touch(
+            self.buf,
+            self.off + i as u64 * self.wpe,
+            self.wpe,
+            Access::Write,
+        );
         c.work(1);
         self.data[i] = v;
     }
@@ -68,7 +83,12 @@ impl<'a, T: Copy> Tracked<'a, T> {
     /// Reborrow as a shorter-lived tracked slice (same buffer identity).
     #[inline]
     pub fn borrow_mut(&mut self) -> Tracked<'_, T> {
-        Tracked { data: self.data, buf: self.buf, off: self.off, wpe: self.wpe }
+        Tracked {
+            data: self.data,
+            buf: self.buf,
+            off: self.off,
+            wpe: self.wpe,
+        }
     }
 
     /// Split into two disjoint tracked slices at `mid`.
@@ -76,7 +96,12 @@ impl<'a, T: Copy> Tracked<'a, T> {
     pub fn split_at_mut(&mut self, mid: usize) -> (Tracked<'_, T>, Tracked<'_, T>) {
         let (lo, hi) = self.data.split_at_mut(mid);
         (
-            Tracked { data: lo, buf: self.buf, off: self.off, wpe: self.wpe },
+            Tracked {
+                data: lo,
+                buf: self.buf,
+                off: self.off,
+                wpe: self.wpe,
+            },
             Tracked {
                 data: hi,
                 buf: self.buf,
@@ -107,7 +132,12 @@ impl<'a, T: Copy> Tracked<'a, T> {
         self.data
             .chunks_exact_mut(chunk)
             .enumerate()
-            .map(|(i, data)| Tracked { data, buf, off: off + (i * chunk) as u64 * wpe, wpe })
+            .map(|(i, data)| Tracked {
+                data,
+                buf,
+                off: off + (i * chunk) as u64 * wpe,
+                wpe,
+            })
             .collect()
     }
 
@@ -142,8 +172,18 @@ impl<'a, T: Copy> Tracked<'a, T> {
         if len == 0 {
             return;
         }
-        c.touch(src.buf, src.off + src_i as u64 * src.wpe, len as u64 * src.wpe, Access::Read);
-        c.touch(self.buf, self.off + dst_i as u64 * self.wpe, len as u64 * self.wpe, Access::Write);
+        c.touch(
+            src.buf,
+            src.off + src_i as u64 * src.wpe,
+            len as u64 * src.wpe,
+            Access::Read,
+        );
+        c.touch(
+            self.buf,
+            self.off + dst_i as u64 * self.wpe,
+            len as u64 * self.wpe,
+            Access::Write,
+        );
         c.work(len as u64);
         self.data[dst_i..dst_i + len].copy_from_slice(&src.data[src_i..src_i + len]);
     }
@@ -221,7 +261,12 @@ impl<T: Copy> RawTracked<T> {
     #[inline]
     pub unsafe fn get<C: Ctx>(&self, c: &C, i: usize) -> T {
         debug_assert!(i < self.len);
-        c.touch(self.buf, self.off + i as u64 * self.wpe, self.wpe, Access::Read);
+        c.touch(
+            self.buf,
+            self.off + i as u64 * self.wpe,
+            self.wpe,
+            Access::Read,
+        );
         c.work(1);
         *self.ptr.add(i)
     }
@@ -233,7 +278,12 @@ impl<T: Copy> RawTracked<T> {
     #[inline]
     pub unsafe fn set<C: Ctx>(&self, c: &C, i: usize, v: T) {
         debug_assert!(i < self.len);
-        c.touch(self.buf, self.off + i as u64 * self.wpe, self.wpe, Access::Write);
+        c.touch(
+            self.buf,
+            self.off + i as u64 * self.wpe,
+            self.wpe,
+            Access::Write,
+        );
         c.work(1);
         *self.ptr.add(i) = v;
     }
@@ -255,8 +305,18 @@ impl<T: Copy> RawTracked<T> {
             return;
         }
         debug_assert!(src_i + len <= src.len && dst_i + len <= self.len);
-        c.touch(src.buf, src.off + src_i as u64 * src.wpe, len as u64 * src.wpe, Access::Read);
-        c.touch(self.buf, self.off + dst_i as u64 * self.wpe, len as u64 * self.wpe, Access::Write);
+        c.touch(
+            src.buf,
+            src.off + src_i as u64 * src.wpe,
+            len as u64 * src.wpe,
+            Access::Read,
+        );
+        c.touch(
+            self.buf,
+            self.off + dst_i as u64 * self.wpe,
+            len as u64 * self.wpe,
+            Access::Write,
+        );
         c.work(len as u64);
         std::ptr::copy_nonoverlapping(src.ptr.add(src_i), self.ptr.add(dst_i), len);
     }
@@ -292,7 +352,10 @@ where
     T: Copy + Send,
     F: Fn(&C, usize, Tracked<'_, T>) + Sync,
 {
-    assert!(chunk > 0 && t.len().is_multiple_of(chunk), "chunk must divide length");
+    assert!(
+        chunk > 0 && t.len().is_multiple_of(chunk),
+        "chunk must divide length"
+    );
     let count = t.len() / chunk;
     if count == 0 {
         return;

@@ -135,7 +135,13 @@ fn resolve_conflicts<C: Ctx>(
             sl
         })
         .collect();
-    slots.resize(m, Slot { sk: u128::MAX, ..Slot::filler() });
+    slots.resize(
+        m,
+        Slot {
+            sk: u128::MAX,
+            ..Slot::filler()
+        },
+    );
 
     let mut t = Tracked::new(c, &mut slots);
     engine.sort_slots(c, &mut t);
@@ -159,7 +165,11 @@ fn resolve_conflicts<C: Ctx>(
         par_for(c, 0, m, grain_for(c), &|c, i| unsafe {
             // SAFETY: per-slot read-modify-write, no neighbour access.
             let mut sl = tr.get(c, i);
-            sl.item.val = if winner_ref[i] { sl.item.val } else { (DUMMY, 0) };
+            sl.item.val = if winner_ref[i] {
+                sl.item.val
+            } else {
+                (DUMMY, 0)
+            };
             tr.set(c, i, sl);
         });
     }
@@ -235,7 +245,10 @@ mod tests {
         };
         let a = run((0..32).map(|i| i % 8).collect());
         let b = run(vec![5; 32]);
-        assert_eq!(a, b, "oblivious PRAM simulation leaked data-dependent addresses");
+        assert_eq!(
+            a, b,
+            "oblivious PRAM simulation leaked data-dependent addresses"
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub struct OramConfig {
 
 impl Default for OramConfig {
     fn default() -> Self {
-        OramConfig { bucket: 5, stash: 96, layout: TreeLayout::Veb }
+        OramConfig {
+            bucket: 5,
+            stash: 96,
+            layout: TreeLayout::Veb,
+        }
     }
 }
 
@@ -142,7 +146,12 @@ impl TreeOram {
         }
 
         // Reinsert into the stash with the fresh leaf.
-        let fresh = OramSlot { full: true, addr, leaf: new_leaf, val: new_val(found) };
+        let fresh = OramSlot {
+            full: true,
+            addr,
+            leaf: new_leaf,
+            val: new_val(found),
+        };
         self.stash_insert(c, fresh);
 
         // Deterministic reverse-lexicographic eviction of two paths.
@@ -292,8 +301,17 @@ impl Opram {
         // The flat top covers the addresses of the deepest structure built.
         let covered: &TreeOram = maps.last().unwrap_or(&data);
         let top_len = if maps.is_empty() { s.max(1) } else { space * 2 };
-        let top: Vec<u64> = (0..top_len).map(|_| rng.gen_range(0..covered.leaves())).collect();
-        Opram { s, data, maps, top, rng, engine }
+        let top: Vec<u64> = (0..top_len)
+            .map(|_| rng.gen_range(0..covered.leaves()))
+            .collect();
+        Opram {
+            s,
+            data,
+            maps,
+            top,
+            rng,
+            engine,
+        }
     }
 
     /// Peak stash occupancy across all levels (monitoring).
@@ -314,8 +332,11 @@ impl Opram {
 
         // Top map: fixed full scan, fetching + remapping the deepest level.
         let top_addr = (addr >> levels) as usize;
-        let covered_leaves =
-            self.maps.last().map(|t| t.leaves()).unwrap_or_else(|| self.data.leaves());
+        let covered_leaves = self
+            .maps
+            .last()
+            .map(|t| t.leaves())
+            .unwrap_or_else(|| self.data.leaves());
         let new_top_leaf = self.rng.gen_range(0..covered_leaves);
         let mut leaf = 0u64;
         {
@@ -381,7 +402,13 @@ impl Opram {
                 sl
             })
             .collect();
-        slots.resize(m, Slot { sk: u128::MAX, ..Slot::filler() });
+        slots.resize(
+            m,
+            Slot {
+                sk: u128::MAX,
+                ..Slot::filler()
+            },
+        );
         {
             let mut t = Tracked::new(c, &mut slots);
             self.engine.sort_slots(c, &mut t);
@@ -393,7 +420,8 @@ impl Opram {
             if !sl.is_real() {
                 continue;
             }
-            let head = i == 0 || !slots[i - 1].is_real() || slots[i - 1].item.val.0 != sl.item.val.0;
+            let head =
+                i == 0 || !slots[i - 1].is_real() || slots[i - 1].item.val.0 != sl.item.val.0;
             if head {
                 let (a, w, has_w) = sl.item.val;
                 winners.push((a, has_w.then_some(w)));
@@ -462,7 +490,11 @@ mod tests {
                 reference.insert(addr, v);
             } else {
                 let got = o.access(&c, addr, None);
-                assert_eq!(got, reference.get(&addr).copied().unwrap_or(0), "addr {addr}");
+                assert_eq!(
+                    got,
+                    reference.get(&addr).copied().unwrap_or(0),
+                    "addr {addr}"
+                );
             }
         }
         assert!(o.max_stash() < 90, "stash peaked at {}", o.max_stash());
@@ -504,7 +536,10 @@ mod tests {
         // Same workload, tiny cache: vEB must miss less than level order.
         let workload = |layout: TreeLayout| {
             let (_, rep) = measure(CacheConfig::new(256, 8), TraceMode::Off, |c| {
-                let cfg = OramConfig { layout, ..OramConfig::default() };
+                let cfg = OramConfig {
+                    layout,
+                    ..OramConfig::default()
+                };
                 let mut o = Opram::new(2048, cfg, Engine::BitonicRec, 11);
                 for i in 0..64u64 {
                     o.access(c, (i * 37) % 2048, Some(i));
@@ -514,6 +549,9 @@ mod tests {
         };
         let veb = workload(TreeLayout::Veb);
         let lvl = workload(TreeLayout::Level);
-        assert!(veb < lvl, "vEB misses {veb} should undercut level-order {lvl}");
+        assert!(
+            veb < lvl,
+            "vEB misses {veb} should undercut level-order {lvl}"
+        );
     }
 }

@@ -17,7 +17,10 @@ impl MaxProgram {
     pub fn new(n: usize) -> Self {
         assert!(n >= 1);
         let steps = (usize::BITS - (n - 1).max(1).leading_zeros()) as usize;
-        MaxProgram { n, steps: steps.max(1) }
+        MaxProgram {
+            n,
+            steps: steps.max(1),
+        }
     }
 }
 
@@ -47,7 +50,13 @@ impl Program for MaxProgram {
         }
     }
 
-    fn compute(&self, t: usize, pid: usize, state: &mut u64, fetched: Option<u64>) -> Option<WriteReq> {
+    fn compute(
+        &self,
+        t: usize,
+        pid: usize,
+        state: &mut u64,
+        fetched: Option<u64>,
+    ) -> Option<WriteReq> {
         if t.is_multiple_of(2) {
             *state = fetched.unwrap_or(0);
             None
@@ -95,9 +104,18 @@ impl Program for HistogramProgram {
         Some(pid)
     }
 
-    fn compute(&self, _t: usize, pid: usize, _state: &mut u64, fetched: Option<u64>) -> Option<WriteReq> {
+    fn compute(
+        &self,
+        _t: usize,
+        pid: usize,
+        _state: &mut u64,
+        fetched: Option<u64>,
+    ) -> Option<WriteReq> {
         let v = fetched.unwrap_or(0) as usize % self.k;
-        Some(WriteReq { addr: self.n + v, val: pid as u64 })
+        Some(WriteReq {
+            addr: self.n + v,
+            val: pid as u64,
+        })
     }
 }
 
@@ -139,14 +157,23 @@ impl Program for PointerJumpProgram {
         }
     }
 
-    fn compute(&self, t: usize, pid: usize, state: &mut u64, fetched: Option<u64>) -> Option<WriteReq> {
+    fn compute(
+        &self,
+        t: usize,
+        pid: usize,
+        state: &mut u64,
+        fetched: Option<u64>,
+    ) -> Option<WriteReq> {
         if t.is_multiple_of(2) {
             *state = fetched.unwrap_or(0);
             None
         } else {
             let succ2 = fetched.unwrap_or(0);
             // Terminal nodes (self loops encoded as S[i] = i) stay put.
-            Some(WriteReq { addr: pid, val: succ2 })
+            Some(WriteReq {
+                addr: pid,
+                val: succ2,
+            })
         }
     }
 }
@@ -164,6 +191,9 @@ mod tests {
         let succ: Vec<u64> = vec![1, 2, 3, 4, 4];
         let prog = PointerJumpProgram::new(succ.len());
         let mem = run_direct(&c, &prog, &succ);
-        assert!(mem.iter().all(|&s| s == 4), "all nodes reach the terminal: {mem:?}");
+        assert!(
+            mem.iter().all(|&s| s == 4),
+            "all nodes reach the terminal: {mem:?}"
+        );
     }
 }

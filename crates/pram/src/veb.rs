@@ -111,14 +111,23 @@ mod tests {
         let b = 64;
         let leaves = 1usize << (h - 1);
         let sample: Vec<usize> = (0..64).map(|i| i * (leaves / 64)).collect();
-        let veb: usize = sample.iter().map(|&l| path_blocks(TreeLayout::Veb, h, l, b)).sum();
-        let lvl: usize = sample.iter().map(|&l| path_blocks(TreeLayout::Level, h, l, b)).sum();
+        let veb: usize = sample
+            .iter()
+            .map(|&l| path_blocks(TreeLayout::Veb, h, l, b))
+            .sum();
+        let lvl: usize = sample
+            .iter()
+            .map(|&l| path_blocks(TreeLayout::Level, h, l, b))
+            .sum();
         assert!(
             2 * veb < lvl,
             "vEB path blocks {veb} should be well under level-order {lvl}"
         );
         // And asymptotically: ~ log_B n blocks per path (≈ h/log2(b) + O(1)).
         let per_path = veb as f64 / sample.len() as f64;
-        assert!(per_path <= (h as f64 / (b as f64).log2()).ceil() + 2.0, "{per_path}");
+        assert!(
+            per_path <= (h as f64 / (b as f64).log2()).ceil() + 2.0,
+            "{per_path}"
+        );
     }
 }

@@ -1,0 +1,161 @@
+//! Minimal in-tree stand-in for the slice of `criterion` the workspace's
+//! benches use (see DESIGN.md §6). It runs each benchmark `sample_size`
+//! times around a single warm-up and prints mean wall-clock per iteration —
+//! no statistics, HTML reports, or outlier analysis. The bench *sources*
+//! are written against the real criterion API so they migrate unchanged
+//! when a registry is available.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Benchmark identifier (`criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing driver passed to benchmark closures (`criterion::Bencher`).
+pub struct Bencher {
+    samples: usize,
+    /// Mean nanoseconds per iteration, recorded by [`Bencher::iter`].
+    mean_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.samples.max(1) as f64;
+    }
+}
+
+/// Group of related benchmarks (`criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup {
+    group_name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        println!(
+            "bench {:<48} {:>14.1} ns/iter ({} samples)",
+            format!("{}/{}", self.group_name, name),
+            b.mean_ns,
+            self.sample_size
+        );
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.name.clone();
+        self.run_one(&name, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level driver (`criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            group_name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure_sample_size_plus_warmup_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        let mut count = 0u32;
+        g.bench_function("counter", |b| b.iter(|| count += 1));
+        g.finish();
+        assert_eq!(count, 6, "1 warm-up + 5 samples");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        let n = 21usize;
+        let mut seen = 0usize;
+        g.bench_with_input(BenchmarkId::new("double", n), &n, |b, &n| {
+            b.iter(|| {
+                seen = n * 2;
+                seen
+            })
+        });
+        g.finish();
+        assert_eq!(seen, 42);
+    }
+}

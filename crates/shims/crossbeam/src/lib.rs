@@ -1,0 +1,188 @@
+//! Minimal in-tree stand-in for the slice of `crossbeam` the workspace
+//! uses: `crossbeam::deque`'s work-stealing deques. The container this repo
+//! builds in has no crates.io access (see DESIGN.md §6), so the deques are
+//! implemented as mutex-protected `VecDeque`s with the same owner-LIFO /
+//! thief-FIFO semantics as the lock-free Chase–Lev originals. Correctness
+//! is identical; contention behavior is worse, which only shows up as
+//! scheduler overhead under heavy stealing. Swap the workspace dependency
+//! for the real crate when a registry is available.
+
+pub mod deque {
+    use parking_lot::Mutex;
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+
+    /// Outcome of a steal attempt; mirrors `crossbeam::deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        Empty,
+        Success(T),
+        /// Never produced by this implementation (locking cannot lose a
+        /// race), but kept so caller retry loops compile unchanged.
+        Retry,
+    }
+
+    /// Owner side of a work-stealing deque: LIFO push/pop at the back.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        pub fn push(&self, item: T) {
+            self.queue.lock().push_back(item);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().pop_back()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+    }
+
+    /// Thief side: steals the oldest item (front).
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// Global FIFO injector queue shared by all workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, item: T) {
+            self.queue.lock().push_back(item);
+        }
+
+        /// Pop one task for `_dest`'s owner. The real implementation moves a
+        /// batch into the destination deque first; taking a single task is a
+        /// legal (if less efficient) refinement of the same contract.
+        pub fn steal_batch_and_pop(&self, _dest: &Worker<T>) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().is_empty()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::*;
+
+    #[test]
+    fn worker_is_lifo_stealer_is_fifo() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3), "owner pops newest");
+        assert_eq!(s.steal(), Steal::Success(1), "thief steals oldest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj: Injector<u32> = Injector::new();
+        let w: Worker<u32> = Worker::new_lifo();
+        inj.push(10);
+        inj.push(20);
+        assert!(!inj.is_empty());
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(10));
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(20));
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Empty);
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_and_thieves_lose_nothing() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let w: Worker<u64> = Worker::new_lifo();
+        let total = Arc::new(AtomicU64::new(0));
+        let n = 10_000u64;
+        for i in 0..n {
+            w.push(i);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = w.stealer();
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || loop {
+                    match s.steal() {
+                        Steal::Success(v) => {
+                            total.fetch_add(v, Ordering::Relaxed);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+}

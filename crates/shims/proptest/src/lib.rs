@@ -1,0 +1,373 @@
+//! Minimal in-tree stand-in for the slice of `proptest` the workspace uses
+//! (see DESIGN.md §6): the `proptest!` macro, `prop_assert!`/
+//! `prop_assert_eq!`, `any`, integer-range and tuple strategies,
+//! `collection::{vec, hash_set}` and `option::of`.
+//!
+//! Differences from the real crate, by design:
+//! * **no shrinking** — a failing case panics with its inputs still bound,
+//!   but is not minimized;
+//! * **fixed derivation of case seeds** — deterministic per test name, so
+//!   failures reproduce across runs;
+//! * `PROPTEST_CASES` overrides the case count, like the real crate.
+//!
+//! Swap the workspace dependency for real proptest when a registry is
+//! available; the test sources need no changes.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    use super::*;
+
+    /// Stand-in for `proptest::test_runner::Config` (aka `ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// Case count after the `PROPTEST_CASES` env override.
+        pub fn resolved_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// The RNG handed to strategies.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Per-test driver: a deterministic RNG derived from the test's name.
+    pub struct TestRunner {
+        cases: u32,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: Config, name: &str) -> Self {
+            // FNV-1a of the test path: stable, collision-irrelevant here.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner {
+                cases: config.resolved_cases(),
+                rng: TestRng(StdRng::seed_from_u64(h)),
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        pub fn rng(&mut self) -> &mut TestRng {
+            &mut self.rng
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::{Rng, SampleUniform, Standard};
+    use std::ops::Range;
+
+    /// Value generator (the `proptest::strategy::Strategy` role, minus
+    /// shrinking).
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// `any::<T>()` strategy over a type's whole domain.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    pub fn any<T: Standard>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen()
+        }
+    }
+
+    impl<T: SampleUniform + Copy> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    /// Collection-size specifier: exact, half-open, or inclusive.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(*self.start()..*self.end() + 1)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy};
+    use super::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// `proptest::collection::hash_set`.
+    pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: SizeRange,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+        R: SizeRange,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = HashSet::with_capacity(target);
+            // Duplicates shrink the result below target, matching the real
+            // crate's "best effort within the size range" contract; the try
+            // budget bounds pathological element domains.
+            for _ in 0..10 * target.max(1) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of`: `None` with probability 1/2.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.5) {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Failing assertions panic immediately (no shrinking pass).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The `proptest!` test-definition macro: expands each `fn name(arg in
+/// strategy, ...) { body }` into a `#[test]` that redraws the bound values
+/// `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$attr:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    $cfg,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..runner.cases() {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            runner.rng(),
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::{Config, TestRunner};
+
+    #[test]
+    fn strategies_respect_bounds() {
+        let mut runner = TestRunner::new(Config::default(), "bounds");
+        for _ in 0..200 {
+            let v = (0u64..10).generate(runner.rng());
+            assert!(v < 10);
+            let t = (0usize..5, 100u64..200).generate(runner.rng());
+            assert!(t.0 < 5 && (100..200).contains(&t.1));
+            let xs = crate::collection::vec(any::<u32>(), 3usize..7).generate(runner.rng());
+            assert!((3..7).contains(&xs.len()));
+            let hs = crate::collection::hash_set(0u64..50, 0usize..10).generate(runner.rng());
+            assert!(hs.len() < 10);
+            let exact = crate::collection::vec(any::<bool>(), 4usize).generate(runner.rng());
+            assert_eq!(exact.len(), 4);
+        }
+    }
+
+    #[test]
+    fn option_of_produces_both_variants() {
+        let mut runner = TestRunner::new(Config::default(), "opts");
+        let strat = crate::option::of(0u64..100);
+        let vals: Vec<Option<u64>> = (0..200).map(|_| strat.generate(runner.rng())).collect();
+        assert!(vals.iter().any(|v| v.is_some()));
+        assert!(vals.iter().any(|v| v.is_none()));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0u64..100, b in 0usize..10) {
+            prop_assert!(a < 100);
+            prop_assert!(b < 10, "b = {}", b);
+            prop_assert_eq!(a + 1, 1 + a);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_uses_default(v in crate::collection::vec(any::<u64>(), 0..20)) {
+            prop_assert!(v.len() < 20);
+        }
+    }
+}

@@ -23,7 +23,10 @@ pub fn bitonic_sort_seq<C: Ctx, T: Copy>(
     if n <= 1 {
         return;
     }
-    assert!(n.is_power_of_two(), "bitonic sort requires power-of-two length, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic sort requires power-of-two length, got {n}"
+    );
     c.count(counters::SORTS, 1);
     let mut k = 2;
     while k <= n {
@@ -163,7 +166,7 @@ mod tests {
         expect.sort_unstable();
         pool.run(|p| {
             let mut t = Tracked::new(p, &mut v);
-            bitonic_sort_flat_par(p, &mut t, &key64, true, );
+            bitonic_sort_flat_par(p, &mut t, &key64, true);
         });
         assert_eq!(v, expect);
     }

@@ -82,16 +82,32 @@ pub fn bitonic_merge_rec<C: Ctx, T: Copy + Send>(
     // original layout, i.e. the butterflies of distance m/2 … C) becomes a
     // contiguous row, then merge the rows recursively.
     transpose(c, t, tmp, rdim, cdim, 1);
-    par_rows2(c, tmp.borrow_mut(), t.borrow_mut(), cdim, rdim, 0, &|c, _, mut row, mut scratch| {
-        bitonic_merge_rec(c, &mut row, &mut scratch, key, up);
-    });
+    par_rows2(
+        c,
+        tmp.borrow_mut(),
+        t.borrow_mut(),
+        cdim,
+        rdim,
+        0,
+        &|c, _, mut row, mut scratch| {
+            bitonic_merge_rec(c, &mut row, &mut scratch, key, up);
+        },
+    );
 
     // Stage 2: transpose back and merge the contiguous rows of length C
     // (butterflies of distance C/2 … 1).
     transpose(c, tmp, t, cdim, rdim, 1);
-    par_rows2(c, t.borrow_mut(), tmp.borrow_mut(), rdim, cdim, 0, &|c, _, mut row, mut scratch| {
-        bitonic_merge_rec(c, &mut row, &mut scratch, key, up);
-    });
+    par_rows2(
+        c,
+        t.borrow_mut(),
+        tmp.borrow_mut(),
+        rdim,
+        cdim,
+        0,
+        &|c, _, mut row, mut scratch| {
+            bitonic_merge_rec(c, &mut row, &mut scratch, key, up);
+        },
+    );
 }
 
 /// Cache-agnostic recursive bitonic sort (BITONIC-SORT of §E.1.1):
@@ -109,7 +125,10 @@ pub fn bitonic_sort_rec<C: Ctx, T: Copy + Send>(
     if n <= 1 {
         return;
     }
-    assert!(n.is_power_of_two(), "bitonic sort requires power-of-two length, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic sort requires power-of-two length, got {n}"
+    );
     if n <= BASE {
         bitonic_sort_seq(c, t, key, up);
         return;
@@ -158,7 +177,9 @@ mod tests {
     }
 
     fn scrambled(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 17).collect()
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 17)
+            .collect()
     }
 
     #[test]
@@ -240,7 +261,12 @@ mod tests {
             let mut v = scrambled(n);
             sort_slice_rec(c, &mut v, &key64, true);
         });
-        assert!(rec.span < flat.span, "rec span {} vs flat span {}", rec.span, flat.span);
+        assert!(
+            rec.span < flat.span,
+            "rec span {} vs flat span {}",
+            rec.span,
+            flat.span
+        );
         // Work should agree up to bookkeeping constants (same comparator
         // network evaluated in a different order).
         assert_eq!(rec.comparisons, flat.comparisons);

@@ -52,9 +52,15 @@ impl Network {
                     if l > i {
                         let asc = (i & k) == 0;
                         layer.push(if asc {
-                            Comparator { min_to: i as u32, max_to: l as u32 }
+                            Comparator {
+                                min_to: i as u32,
+                                max_to: l as u32,
+                            }
                         } else {
-                            Comparator { min_to: l as u32, max_to: i as u32 }
+                            Comparator {
+                                min_to: l as u32,
+                                max_to: i as u32,
+                            }
                         });
                     }
                 }
@@ -72,7 +78,10 @@ impl Network {
         assert!(n.is_power_of_two() && n >= 2);
         let mut seq: Vec<Comparator> = Vec::new();
         sort(&mut seq, 0, n);
-        return Network { n, layers: layerize(n, seq) };
+        return Network {
+            n,
+            layers: layerize(n, seq),
+        };
 
         fn sort(out: &mut Vec<Comparator>, lo: usize, n: usize) {
             if n <= 1 {
@@ -91,11 +100,17 @@ impl Network {
                 merge(out, lo + r, n, step);
                 let mut i = lo + r;
                 while i + r < lo + n {
-                    out.push(Comparator { min_to: i as u32, max_to: (i + r) as u32 });
+                    out.push(Comparator {
+                        min_to: i as u32,
+                        max_to: (i + r) as u32,
+                    });
                     i += step;
                 }
             } else {
-                out.push(Comparator { min_to: lo as u32, max_to: (lo + r) as u32 });
+                out.push(Comparator {
+                    min_to: lo as u32,
+                    max_to: (lo + r) as u32,
+                });
             }
         }
 
@@ -256,10 +271,16 @@ mod tests {
 
     #[test]
     fn comparator_orientation() {
-        let asc = Comparator { min_to: 2, max_to: 5 };
+        let asc = Comparator {
+            min_to: 2,
+            max_to: 5,
+        };
         assert!(asc.ascending());
         assert_eq!((asc.lo(), asc.hi()), (2, 5));
-        let desc = Comparator { min_to: 5, max_to: 2 };
+        let desc = Comparator {
+            min_to: 5,
+            max_to: 2,
+        };
         assert!(!desc.ascending());
         assert_eq!((desc.lo(), desc.hi()), (2, 5));
     }

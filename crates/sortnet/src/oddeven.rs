@@ -9,16 +9,15 @@ use metrics::{RawTracked, Tracked};
 /// Sort a power-of-two-length tracked slice with odd-even mergesort.
 /// Recursion forks the two half-sorts; merges fork their even/odd
 /// sub-merges (which interleave, hence the raw view).
-pub fn oddeven_sort<C: Ctx, T: Copy + Send>(
-    c: &C,
-    t: &mut Tracked<'_, T>,
-    key: &impl KeyFn<T>,
-) {
+pub fn oddeven_sort<C: Ctx, T: Copy + Send>(c: &C, t: &mut Tracked<'_, T>, key: &impl KeyFn<T>) {
     let n = t.len();
     if n <= 1 {
         return;
     }
-    assert!(n.is_power_of_two(), "odd-even mergesort requires power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "odd-even mergesort requires power-of-two length"
+    );
     c.count(counters::SORTS, 1);
     let raw = t.as_raw();
     // SAFETY: sort_rec partitions index ranges disjointly; merge_rec's
@@ -86,7 +85,9 @@ mod tests {
     #[test]
     fn sorts_scrambled() {
         let c = SeqCtx::new();
-        let mut v: Vec<u64> = (0..256u64).map(|i| i.wrapping_mul(2654435761) % 997).collect();
+        let mut v: Vec<u64> = (0..256u64)
+            .map(|i| i.wrapping_mul(2654435761) % 997)
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         let mut t = Tracked::new(&c, &mut v);
@@ -113,7 +114,9 @@ mod tests {
     #[test]
     fn parallel_matches() {
         let pool = Pool::new(4);
-        let mut v: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(48271) % 65537).collect();
+        let mut v: Vec<u64> = (0..4096u64)
+            .map(|i| i.wrapping_mul(48271) % 65537)
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         pool.run(|p| {

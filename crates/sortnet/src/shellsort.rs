@@ -119,7 +119,10 @@ pub fn randomized_shellsort<C: Ctx, T: Copy + Send>(
     if n <= 1 {
         return 1;
     }
-    assert!(n.is_power_of_two(), "randomized shellsort requires power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "randomized shellsort requires power-of-two length"
+    );
     c.count(counters::SORTS, 1);
     let mut rng = StdRng::seed_from_u64(seed);
     for attempt in 1..=64 {
@@ -148,8 +151,9 @@ mod tests {
     fn sorts_scrambled_inputs() {
         let c = SeqCtx::new();
         for n in [2usize, 8, 64, 256, 1024] {
-            let mut v: Vec<u64> =
-                (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 13).collect();
+            let mut v: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 13)
+                .collect();
             let mut expect = v.clone();
             expect.sort_unstable();
             let mut t = Tracked::new(&c, &mut v);
@@ -167,7 +171,9 @@ mod tests {
             (0..n as u64).rev().collect(),
             (0..n as u64).map(|i| i % 2).collect(),
             vec![7; n],
-            (0..n as u64).map(|i| if i < (n / 2) as u64 { i + 1000 } else { i }).collect(),
+            (0..n as u64)
+                .map(|i| if i < (n / 2) as u64 { i + 1000 } else { i })
+                .collect(),
         ];
         for (k, p) in patterns.into_iter().enumerate() {
             let mut v = p;
@@ -191,7 +197,10 @@ mod tests {
         });
         let nlogn = (n as f64) * (n as f64).log2();
         let cmp = rep.comparisons as f64;
-        assert!(cmp < 40.0 * nlogn, "comparisons {cmp} not O(n log n) ({nlogn})");
+        assert!(
+            cmp < 40.0 * nlogn,
+            "comparisons {cmp} not O(n log n) ({nlogn})"
+        );
         assert!(cmp > nlogn, "suspiciously few comparisons {cmp}");
     }
 

@@ -55,7 +55,13 @@ fn rec<C: Ctx, T: Copy + Send>(
             for col in c0..c1 {
                 // SAFETY: in-bounds by construction; disjointness per above.
                 unsafe {
-                    dst.copy_from(c, src, (r * cols + col) * chunk, (col * rows + r) * chunk, chunk);
+                    dst.copy_from(
+                        c,
+                        src,
+                        (r * cols + col) * chunk,
+                        (col * rows + r) * chunk,
+                        chunk,
+                    );
                 }
             }
         }

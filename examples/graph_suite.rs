@@ -1,10 +1,10 @@
-//! The §5 application suite on one random graph/tree family: oblivious
-//! connected components, minimum spanning forest, list ranking, rooted-tree
-//! statistics, and tree contraction.
-//!
-//! ```sh
-//! cargo run --release --example graph_suite
-//! ```
+// The §5 application suite on one random graph/tree family: oblivious
+// connected components, minimum spanning forest, list ranking, rooted-tree
+// statistics, and tree contraction.
+//
+// ```sh
+// cargo run --release --example graph_suite
+// ```
 
 use dob::prelude::*;
 use graphs::{
@@ -17,11 +17,16 @@ fn main() {
     let pool = Pool::with_default_threads();
 
     // Connected components on a sparse random graph.
-    let n = 512;
+    let n = dob::env_size("DOB_GRAPH_N", 512);
     let edges = random_graph(n, n + n / 2, 42);
     let labels = pool.run(|c| connected_components(c, n, &edges, Engine::BitonicRec));
     let comps: std::collections::HashSet<u64> = labels.iter().copied().collect();
-    println!("CC: {} vertices, {} edges -> {} components", n, edges.len(), comps.len());
+    println!(
+        "CC: {} vertices, {} edges -> {} components",
+        n,
+        edges.len(),
+        comps.len()
+    );
 
     // Minimum spanning forest on a weighted graph.
     let wedges = random_weighted_graph(n, 3 * n, 7);
@@ -36,12 +41,16 @@ fn main() {
     assert_eq!(result.total_weight, oracle);
 
     // List ranking.
-    let (succ, _) = random_list(2048, 3);
+    let ln = dob::env_size("DOB_GRAPH_LIST_N", 2048);
+    let (succ, _) = random_list(ln, 3);
     let ranks = pool.run(|c| list_rank_oblivious_unit(c, &succ, 5));
-    println!("LR: 2048-node list ranked; head has rank {}", ranks.iter().max().unwrap());
+    println!(
+        "LR: {ln}-node list ranked; head has rank {}",
+        ranks.iter().max().unwrap()
+    );
 
     // Rooted-tree statistics via Euler tour.
-    let tn = 256;
+    let tn = dob::env_size("DOB_GRAPH_TREE_N", 256);
     let tree = random_tree(tn, 9);
     let stats = pool.run(|c| rooted_tree_stats(c, tn, &tree, 0, Engine::BitonicRec, 4));
     println!(
@@ -52,8 +61,12 @@ fn main() {
     );
 
     // Tree contraction: evaluate a random arithmetic expression.
-    let expr = random_expr_tree(128, 11);
+    let leaves = dob::env_size("DOB_GRAPH_EXPR_LEAVES", 128);
+    let expr = random_expr_tree(leaves, 11);
     let value = pool.run(|c| contract_eval(c, &expr, Engine::BitonicRec, 13));
-    println!("TC: expression over 128 leaves evaluates to {value} (oracle {})", expr.eval());
+    println!(
+        "TC: expression over {leaves} leaves evaluates to {value} (oracle {})",
+        expr.eval()
+    );
     assert_eq!(value, expr.eval());
 }

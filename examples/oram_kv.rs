@@ -1,22 +1,26 @@
-//! An oblivious key-value store: the Theorem 4.2 substrate (recursive tree
-//! ORAM with batched access) used directly as a privacy-preserving KV map.
-//!
-//! ```sh
-//! cargo run --release --example oram_kv
-//! ```
+// An oblivious key-value store: the Theorem 4.2 substrate (recursive tree
+// ORAM with batched access) used directly as a privacy-preserving KV map.
+//
+// ```sh
+// cargo run --release --example oram_kv
+// ```
 
 use dob::prelude::*;
 use pram::TreeLayout;
 
 fn main() {
     let c = SeqCtx::new();
-    let space = 4096usize;
-    let cfg = OramConfig { layout: TreeLayout::Veb, ..OramConfig::default() };
+    let space = dob::env_size("DOB_ORAM_SPACE", 4096);
+    let cfg = OramConfig {
+        layout: TreeLayout::Veb,
+        ..OramConfig::default()
+    };
     let mut store = Opram::new(space, cfg, obliv_core::Engine::BitonicRec, 0xD1CE);
 
     // Load a batch of writes (one simulated PRAM write step).
-    let writes: Vec<(u64, Option<u64>)> =
-        (0..64u64).map(|i| (i * 61 % space as u64, Some(1000 + i))).collect();
+    let writes: Vec<(u64, Option<u64>)> = (0..64u64)
+        .map(|i| (i * 61 % space as u64, Some(1000 + i)))
+        .collect();
     store.access_batch(&c, &writes);
     println!("wrote {} keys in one oblivious batch", writes.len());
 

@@ -1,17 +1,19 @@
-//! Compiling a CRCW PRAM program to a data-oblivious binary fork-join
-//! program (Theorem 4.1): run a concurrent-write histogram both ways and
-//! compare results and leakage.
-//!
-//! ```sh
-//! cargo run --release --example pram_compile
-//! ```
+// Compiling a CRCW PRAM program to a data-oblivious binary fork-join
+// program (Theorem 4.1): run a concurrent-write histogram both ways and
+// compare results and leakage.
+//
+// ```sh
+// cargo run --release --example pram_compile
+// ```
 
 use dob::prelude::*;
 use pram::HistogramProgram;
 
 fn main() {
-    let p = 128usize;
-    let secret_values: Vec<u64> = (0..p as u64).map(|i| i.wrapping_mul(2654435761) % 8).collect();
+    let p = dob::env_size("DOB_PRAM_P", 128);
+    let secret_values: Vec<u64> = (0..p as u64)
+        .map(|i| i.wrapping_mul(2654435761) % 8)
+        .collect();
     let prog = HistogramProgram::new(p, 8);
 
     let pool = Pool::with_default_threads();
@@ -21,9 +23,8 @@ fn main() {
 
     // Oblivious simulation: each PRAM step becomes O(1) oblivious sorts and
     // send-receives; host addresses depend only on (p, s, steps).
-    let obliv = pool.run(|c| {
-        run_oblivious_sb(c, &prog, &secret_values, obliv_core::Engine::BitonicRec)
-    });
+    let obliv =
+        pool.run(|c| run_oblivious_sb(c, &prog, &secret_values, obliv_core::Engine::BitonicRec));
     assert_eq!(direct, obliv);
     println!("direct and oblivious executions agree; histogram buckets (lowest writer pid):");
     println!("  {:?}", &obliv[p..p + 8]);

@@ -1,14 +1,14 @@
-//! Private analytics on an untrusted cloud — the paper's §1 scenario.
-//!
-//! A client outsources encrypted salary records to a multicore enclave.
-//! The enclave computes order statistics and per-department totals; the
-//! host (adversary) sees only memory addresses. Every step below is
-//! data-oblivious, so two entirely different datasets generate identical
-//! address traces.
-//!
-//! ```sh
-//! cargo run --release --example private_analytics
-//! ```
+// Private analytics on an untrusted cloud — the paper's §1 scenario.
+//
+// A client outsources encrypted salary records to a multicore enclave.
+// The enclave computes order statistics and per-department totals; the
+// host (adversary) sees only memory addresses. Every step below is
+// data-oblivious, so two entirely different datasets generate identical
+// address traces.
+//
+// ```sh
+// cargo run --release --example private_analytics
+// ```
 
 use dob::prelude::*;
 use metrics::Tracked;
@@ -16,6 +16,7 @@ use obliv_core::scan::{seg_sum_right, Schedule, Seg};
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Employee {
+    #[allow(dead_code)] // part of the record schema; analytics key off dept/salary
     id: u64,
     dept: u64,
     salary: u64,
@@ -24,8 +25,10 @@ struct Employee {
 fn analytics<C: Ctx>(c: &C, staff: &[Employee]) -> (u64, Vec<(u64, u64)>) {
     let n = staff.len();
     // Obliviously sort by (dept, salary) — one pipeline, composite keys.
-    let mut recs: Vec<(u64, Employee)> =
-        staff.iter().map(|e| ((e.dept << 32) | e.salary, *e)).collect();
+    let mut recs: Vec<(u64, Employee)> = staff
+        .iter()
+        .map(|e| ((e.dept << 32) | e.salary, *e))
+        .collect();
     oblivious_sort(c, &mut recs, OSortParams::practical(n), 0xC0FFEE);
 
     // Median salary = element at rank n/2 of a salary-sorted copy.
@@ -52,7 +55,7 @@ fn analytics<C: Ctx>(c: &C, staff: &[Employee]) -> (u64, Vec<(u64, u64)>) {
 }
 
 fn main() {
-    let n = 4096usize;
+    let n = dob::env_size("DOB_ANALYTICS_N", 4096);
     let staff: Vec<Employee> = (0..n as u64)
         .map(|i| Employee {
             id: i,
@@ -72,13 +75,16 @@ fn main() {
     // What does the host see? Run the same pipeline on a totally different
     // company and compare the adversary traces.
     let other: Vec<Employee> = (0..n as u64)
-        .map(|i| Employee { id: i, dept: i % 8, salary: 90_000 + i })
+        .map(|i| Employee {
+            id: i,
+            dept: i % 8,
+            salary: 90_000 + i,
+        })
         .collect();
     let trace_of = |staff: Vec<Employee>| {
-        let (_, rep) =
-            measure(CacheConfig::default(), TraceMode::Hash, |c| {
-                analytics(c, &staff);
-            });
+        let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+            analytics(c, &staff);
+        });
         (rep.trace_hash, rep.trace_len)
     };
     let ta = trace_of(staff);
@@ -93,5 +99,8 @@ fn main() {
     // the hidden permutation is simulatable — the paper's §C.4/§5.1
     // composition argument. The trace LENGTH is input-independent:
     assert_eq!(ta.1, tb.1, "trace length must not leak the dataset");
-    println!("lengths identical: {} (contents simulatable, not equal)", ta.1 == tb.1);
+    println!(
+        "lengths identical: {} (contents simulatable, not equal)",
+        ta.1 == tb.1
+    );
 }

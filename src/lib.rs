@@ -21,6 +21,17 @@ pub use obliv_core;
 pub use pram;
 pub use sortnet;
 
+/// Read a workload size from the environment, falling back to `default`
+/// when the variable is unset or unparseable. The examples use this (and
+/// `tests/examples_smoke.rs` relies on it) to shrink their workloads via
+/// `DOB_*` knobs.
+pub fn env_size(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 /// The commonly used names, one `use` away.
 pub mod prelude {
     pub use fj::{par_for, Ctx, Pool, SeqCtx};

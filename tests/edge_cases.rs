@@ -55,7 +55,7 @@ fn send_receive_duplicate_requests_and_missing_keys() {
     let none = send_receive(
         &c,
         &sources,
-        &vec![999u64; 10],
+        &[999u64; 10],
         Engine::BitonicRec,
         obliv_core::Schedule::Tree,
     );
@@ -72,7 +72,11 @@ fn orp_with_hostile_parameters_fails_cleanly_or_succeeds() {
     // Z far below log² n: overflow is likely, never a panic, and success
     // still yields a correct permutation.
     let items: Vec<Item<u64>> = (0..512u64).map(|i| Item::new(i as u128, i)).collect();
-    let hostile = OrbaParams { z: 16, gamma: 4, engine: Engine::BitonicRec };
+    let hostile = OrbaParams {
+        z: 16,
+        gamma: 4,
+        engine: Engine::BitonicRec,
+    };
     let mut overflows = 0;
     let mut successes = 0;
     for seed in 0..20 {
@@ -94,9 +98,14 @@ fn orp_with_hostile_parameters_fails_cleanly_or_succeeds() {
 fn all_engines_drive_the_full_pipeline() {
     let c = SeqCtx::new();
     let n = 600usize;
-    for engine in [Engine::BitonicRec, Engine::OddEven, Engine::Shellsort { seed: 3 }] {
-        let mut v: Vec<u64> =
-            (0..n as u64).map(|i| i.wrapping_mul(2654435761) % 5000).collect();
+    for engine in [
+        Engine::BitonicRec,
+        Engine::OddEven,
+        Engine::Shellsort { seed: 3 },
+    ] {
+        let mut v: Vec<u64> = (0..n as u64)
+            .map(|i| i.wrapping_mul(2654435761) % 5000)
+            .collect();
         let mut expect = v.clone();
         expect.sort_unstable();
         let params = OSortParams {
@@ -156,8 +165,8 @@ fn star_graph_cc_and_parallel_edges() {
     let labels = connected_components(&c, n, &edges, Engine::BitonicRec);
     assert!(labels[..20].iter().all(|&l| l == 0));
     assert!(labels[20..30].iter().all(|&l| l == 20));
-    for v in 30..40 {
-        assert_eq!(labels[v], v as u64, "isolated vertex {v}");
+    for (v, &label) in labels.iter().enumerate().take(40).skip(30) {
+        assert_eq!(label, v as u64, "isolated vertex {v}");
     }
 }
 
@@ -210,7 +219,10 @@ fn cache_misses_monotone_in_block_size_for_scans() {
     };
     let q8 = scan_q(8);
     let q32 = scan_q(32);
-    assert!(q32 * 3 < q8, "B=32 misses {q32} should be ~4x below B=8 misses {q8}");
+    assert!(
+        q32 * 3 < q8,
+        "B=32 misses {q32} should be ~4x below B=8 misses {q8}"
+    );
 }
 
 #[test]

@@ -1,0 +1,58 @@
+//! Smoke-runs every file in `examples/` so the quickstart and demo code
+//! can never rot: each example source is compiled into this test binary
+//! (via `include!`) and its `main` executed end to end at sizes shrunk
+//! through the `DOB_*` environment knobs the examples expose. The
+//! examples' own asserts (sortedness, oracle agreement, trace equality)
+//! run as part of each test.
+
+macro_rules! example_mod {
+    ($name:ident, $file:literal) => {
+        mod $name {
+            include!($file);
+
+            pub fn run() {
+                main()
+            }
+        }
+    };
+}
+
+example_mod!(quickstart_ex, "../examples/quickstart.rs");
+example_mod!(oram_kv_ex, "../examples/oram_kv.rs");
+example_mod!(graph_suite_ex, "../examples/graph_suite.rs");
+example_mod!(pram_compile_ex, "../examples/pram_compile.rs");
+example_mod!(private_analytics_ex, "../examples/private_analytics.rs");
+
+#[test]
+fn quickstart_example_runs() {
+    std::env::set_var("DOB_QUICKSTART_N", "2000");
+    std::env::set_var("DOB_QUICKSTART_M", "512");
+    quickstart_ex::run();
+}
+
+#[test]
+fn oram_kv_example_runs() {
+    std::env::set_var("DOB_ORAM_SPACE", "512");
+    oram_kv_ex::run();
+}
+
+#[test]
+fn graph_suite_example_runs() {
+    std::env::set_var("DOB_GRAPH_N", "64");
+    std::env::set_var("DOB_GRAPH_LIST_N", "128");
+    std::env::set_var("DOB_GRAPH_TREE_N", "48");
+    std::env::set_var("DOB_GRAPH_EXPR_LEAVES", "16");
+    graph_suite_ex::run();
+}
+
+#[test]
+fn pram_compile_example_runs() {
+    std::env::set_var("DOB_PRAM_P", "32");
+    pram_compile_ex::run();
+}
+
+#[test]
+fn private_analytics_example_runs() {
+    std::env::set_var("DOB_ANALYTICS_N", "512");
+    private_analytics_ex::run();
+}

@@ -64,8 +64,10 @@ fn orp_trace_hides_values_and_reveals_only_loads() {
     let n = 600usize;
     let run = |vals: Vec<u64>| {
         trace(|c| {
-            let items: Vec<obliv_core::Item<u64>> =
-                vals.iter().map(|&v| obliv_core::Item::new(v as u128, v)).collect();
+            let items: Vec<obliv_core::Item<u64>> = vals
+                .iter()
+                .map(|&v| obliv_core::Item::new(v as u128, v))
+                .collect();
             let _ = obliv_core::orp_once(c, &items, OrbaParams::for_n(n), 31337);
         })
     };
@@ -79,8 +81,9 @@ fn different_seeds_give_different_traces() {
     let n = 600usize;
     let run = |seed: u64| {
         trace(|c| {
-            let items: Vec<obliv_core::Item<u64>> =
-                (0..n as u64).map(|v| obliv_core::Item::new(v as u128, v)).collect();
+            let items: Vec<obliv_core::Item<u64>> = (0..n as u64)
+                .map(|v| obliv_core::Item::new(v as u128, v))
+                .collect();
             let _ = obliv_core::orp_once(c, &items, OrbaParams::for_n(n), seed);
         })
     };

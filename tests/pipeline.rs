@@ -10,7 +10,9 @@ use pram::HistogramProgram;
 fn oblivious_sort_on_real_pool_at_scale() {
     let n = 50_000usize;
     let pool = Pool::new(4);
-    let mut v: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let mut v: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
     let mut expect = v.clone();
     expect.sort_unstable();
     pool.run(|c| oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 42));
@@ -35,7 +37,10 @@ fn sort_span_is_polylog_while_work_is_quasilinear() {
     let (s2, w2, p2) = span_work(1 << 13);
     assert!(w1 > (4096.0) * 12.0, "work at least n log n");
     assert!(w2 / w1 > 1.8, "work should roughly double: {w1} -> {w2}");
-    assert!(s2 / s1 < 1.6, "span must grow polylog, not linearly: {s1} -> {s2}");
+    assert!(
+        s2 / s1 < 1.6,
+        "span must grow polylog, not linearly: {s1} -> {s2}"
+    );
     assert!(p1 > 50.0 && p2 > 50.0, "parallelism {p1:.0}, {p2:.0}");
     // Generous absolute cap: span within a constant of log³ n.
     let lg = 12.0f64;
@@ -105,11 +110,11 @@ fn send_receive_roundtrip_through_orp() {
     // Permute records obliviously, then route them home by key.
     let c = SeqCtx::new();
     let n = 500usize;
-    let items: Vec<obliv_core::Item<u64>> =
-        (0..n as u64).map(|i| obliv_core::Item::new(i as u128, i * 3)).collect();
+    let items: Vec<obliv_core::Item<u64>> = (0..n as u64)
+        .map(|i| obliv_core::Item::new(i as u128, i * 3))
+        .collect();
     let (permuted, _) = orp(&c, &items, OrbaParams::for_n(n), 9);
-    let sources: Vec<(u64, u64)> =
-        permuted.iter().map(|it| (it.key as u64, it.val)).collect();
+    let sources: Vec<(u64, u64)> = permuted.iter().map(|it| (it.key as u64, it.val)).collect();
     let dests: Vec<u64> = (0..n as u64).collect();
     let routed = send_receive(
         &c,
@@ -136,5 +141,8 @@ fn cache_scaling_behaves_like_the_model() {
     };
     let small = q_at(1 << 10);
     let big = q_at(1 << 16);
-    assert!(big < small, "Q(M=2^16) = {big} should be below Q(M=2^10) = {small}");
+    assert!(
+        big < small,
+        "Q(M=2^16) = {big} should be below Q(M=2^10) = {small}"
+    );
 }
