@@ -7,37 +7,38 @@ use graphs::{
     list_rank_oblivious_unit, msf, random_expr_tree, random_graph, random_list, random_tree,
     random_weighted_graph, rooted_tree_stats,
 };
-use obliv_core::Engine;
+use obliv_core::{Engine, ScratchPool};
 
 fn bench_apps(cr: &mut Criterion) {
     let pool = Pool::with_default_threads();
+    let scratch = ScratchPool::new();
     let mut g = cr.benchmark_group("apps");
     g.sample_size(10);
 
     let n = 1usize << 12;
     let (succ, _) = random_list(n, 3);
     g.bench_function("lr_oblivious_4096", |b| {
-        b.iter(|| pool.run(|c| list_rank_oblivious_unit(c, &succ, 7)))
+        b.iter(|| pool.run(|c| list_rank_oblivious_unit(c, &scratch, &succ, 7)))
     });
     g.bench_function("lr_insecure_4096", |b| {
-        b.iter(|| pool.run(|c| list_rank_insecure_unit(c, &succ)))
+        b.iter(|| pool.run(|c| list_rank_insecure_unit(c, &scratch, &succ)))
     });
 
     let tn = 1usize << 9;
     let tree = random_tree(tn, 5);
     g.bench_function("et_stats_oblivious_512", |b| {
-        b.iter(|| pool.run(|c| rooted_tree_stats(c, tn, &tree, 0, Engine::BitonicRec, 5)))
+        b.iter(|| pool.run(|c| rooted_tree_stats(c, &scratch, tn, &tree, 0, Engine::BitonicRec, 5)))
     });
 
     let expr = random_expr_tree(256, 7);
     g.bench_function("tc_oblivious_256_leaves", |b| {
-        b.iter(|| pool.run(|c| contract_eval(c, &expr, Engine::BitonicRec, 11)))
+        b.iter(|| pool.run(|c| contract_eval(c, &scratch, &expr, Engine::BitonicRec, 11)))
     });
 
     let gn = 1usize << 8;
     let edges = random_graph(gn, 2 * gn, 9);
     g.bench_function("cc_oblivious_256v_512e", |b| {
-        b.iter(|| pool.run(|c| connected_components(c, gn, &edges, Engine::BitonicRec)))
+        b.iter(|| pool.run(|c| connected_components(c, &scratch, gn, &edges, Engine::BitonicRec)))
     });
     g.bench_function("cc_insecure_256v_512e", |b| {
         b.iter(|| pool.run(|c| connected_components_insecure(c, gn, &edges)))
@@ -45,7 +46,7 @@ fn bench_apps(cr: &mut Criterion) {
 
     let wedges = random_weighted_graph(gn, 2 * gn, 13);
     g.bench_function("msf_oblivious_256v_512e", |b| {
-        b.iter(|| pool.run(|c| msf(c, gn, &wedges, Engine::BitonicRec)))
+        b.iter(|| pool.run(|c| msf(c, &scratch, gn, &wedges, Engine::BitonicRec)))
     });
 
     g.finish();

@@ -4,11 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fj::Pool;
-use obliv_core::Engine;
+use obliv_core::{Engine, ScratchPool};
 use pram::{run_direct, run_oblivious_sb, HistogramProgram, MaxProgram, Opram, OramConfig};
 
 fn bench_pram(cr: &mut Criterion) {
     let pool = Pool::with_default_threads();
+    let scratch = ScratchPool::new();
     let mut g = cr.benchmark_group("pram");
     g.sample_size(10);
 
@@ -20,12 +21,12 @@ fn bench_pram(cr: &mut Criterion) {
         b.iter(|| pool.run(|c| run_direct(c, &hist, &vals)))
     });
     g.bench_function("oblivious_histogram_p256", |b| {
-        b.iter(|| pool.run(|c| run_oblivious_sb(c, &hist, &vals, Engine::BitonicRec)))
+        b.iter(|| pool.run(|c| run_oblivious_sb(c, &scratch, &hist, &vals, Engine::BitonicRec)))
     });
 
     let maxp = MaxProgram::new(p);
     g.bench_function("oblivious_max_p256", |b| {
-        b.iter(|| pool.run(|c| run_oblivious_sb(c, &maxp, &vals, Engine::BitonicRec)))
+        b.iter(|| pool.run(|c| run_oblivious_sb(c, &scratch, &maxp, &vals, Engine::BitonicRec)))
     });
 
     g.bench_function("opram_batch32_s4096", |b| {

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fj::Pool;
 use obliv_core::{
     composite_key, oblivious_sort_u64, par_merge_sort, rec_sort_items, with_retries, Engine, Item,
-    OSortParams,
+    OSortParams, ScratchPool,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -20,6 +20,8 @@ fn scrambled(n: usize) -> Vec<u64> {
 
 fn bench_sorts(cr: &mut Criterion) {
     let pool = Pool::with_default_threads();
+    // Shared arena: iterations after the first run allocation-free.
+    let scratch = ScratchPool::new();
     let mut g = cr.benchmark_group("sort");
     g.sample_size(10);
 
@@ -29,7 +31,9 @@ fn bench_sorts(cr: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("oblivious_practical", n), &n, |b, _| {
             b.iter(|| {
                 let mut v = data.clone();
-                pool.run(|c| oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 42));
+                pool.run(|c| {
+                    oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(n), 42)
+                });
                 v
             })
         });
@@ -44,10 +48,14 @@ fn bench_sorts(cr: &mut Criterion) {
                 items.shuffle(&mut StdRng::seed_from_u64(1));
                 pool.run(|c| {
                     with_retries(16, |a| {
-                        let mut copy = items.clone();
-                        rec_sort_items(c, &mut copy, Engine::BitonicRec, 16, 5 + a as u64)?;
-                        items = copy;
-                        Ok(())
+                        rec_sort_items(
+                            c,
+                            &scratch,
+                            &mut items,
+                            Engine::BitonicRec,
+                            16,
+                            5 + a as u64,
+                        )
                     })
                 });
                 items

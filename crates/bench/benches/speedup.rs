@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fj::Pool;
-use obliv_core::{oblivious_sort_u64, OSortParams};
+use obliv_core::{oblivious_sort_u64, OSortParams, ScratchPool};
 
 fn bench_speedup(cr: &mut Criterion) {
     let mut g = cr.benchmark_group("speedup");
@@ -26,10 +26,13 @@ fn bench_speedup(cr: &mut Criterion) {
 
     for &p in &threads {
         let pool = Pool::new(p);
+        let scratch = ScratchPool::new();
         g.bench_with_input(BenchmarkId::new("oblivious_sort_32k", p), &p, |b, _| {
             b.iter(|| {
                 let mut v = data.clone();
-                pool.run(|c| oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 42));
+                pool.run(|c| {
+                    oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(n), 42)
+                });
                 v
             })
         });

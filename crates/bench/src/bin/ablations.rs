@@ -11,7 +11,7 @@
 use dob_bench::{header, lg, meter, meter_with, print_row, sweep_from_args, Row};
 use metrics::{CacheConfig, Tracked};
 use obliv_core::{
-    oblivious_sort_u64, rec_orba, with_retries, Engine, Item, OSortParams, OrbaParams,
+    oblivious_sort_u64, rec_orba, with_retries, Engine, Item, OSortParams, OrbaParams, ScratchPool,
 };
 use pram::{Opram, OramConfig, TreeLayout};
 use sortnet::{bitonic_sort_flat_par, sort_slice_rec};
@@ -27,6 +27,7 @@ fn key64(x: &u64) -> u128 {
 }
 
 fn main() {
+    let scratch = ScratchPool::new();
     println!("== E1: Theorem E.1 — recursive vs flat bitonic ==\n");
     header();
     for n in sweep_from_args(&[1 << 11, 1 << 12, 1 << 13, 1 << 14]) {
@@ -61,7 +62,7 @@ fn main() {
         let p = OrbaParams::for_n(n);
         let items: Vec<Item<u64>> = (0..n as u64).map(|i| Item::new(i as u128, i)).collect();
         let rep = meter(|c| {
-            let _ = with_retries(64, |a| rec_orba(c, &items, p, 77 + a as u64));
+            let _ = with_retries(64, |a| rec_orba(c, &scratch, &items, p, 77 + a as u64));
         });
         print_row(&Row {
             task: "E2",
@@ -92,7 +93,7 @@ fn main() {
         let mut max_load = 0usize;
         let c = fj::SeqCtx::new();
         for s in 0..trials {
-            match rec_orba(&c, &items, p, 1000 + s) {
+            match rec_orba(&c, &scratch, &items, p, 1000 + s) {
                 Ok(layout) => {
                     max_load = max_load.max(*layout.loads().iter().max().unwrap());
                 }
@@ -157,7 +158,7 @@ fn main() {
         ] {
             let rep = meter(|c| {
                 let mut v = scrambled(n);
-                oblivious_sort_u64(c, &mut v, params, 5);
+                oblivious_sort_u64(c, &scratch, &mut v, params, 5);
             });
             let cmp_per = rep.comparisons as f64 / (n as f64 * lg(n));
             print_row(&Row {

@@ -11,7 +11,7 @@ use metrics::{measure, CacheConfig, TraceMode};
 use obliv_core::scan::{seg_propagate, Schedule, Seg};
 use obliv_core::{
     bin_place, oblivious_sort_u64, orp_once, send_receive, Engine, Item, OSortParams, OrbaParams,
-    Slot,
+    ScratchPool, Slot,
 };
 use pram::{run_oblivious_sb, HistogramProgram};
 use sortnet::sort_slice_rec;
@@ -28,6 +28,7 @@ fn check(name: &str, traces: &[(u64, u64)]) -> bool {
 }
 
 fn main() {
+    let scratch = ScratchPool::new();
     println!("== E3: trace-equality checks (Definition 1, fixed coins) ==\n");
     let mut all_ok = true;
     let n = 512usize;
@@ -63,7 +64,7 @@ fn main() {
                     .collect();
                 slots.resize(16 * 64, Slot::filler());
                 let mut tr = metrics::Tracked::new(c, &mut slots);
-                let _ = bin_place(c, &mut tr, 16, 64, 0, Engine::BitonicRec);
+                let _ = bin_place(c, &scratch, &mut tr, 16, 64, 0, Engine::BitonicRec);
             })
         })
         .collect();
@@ -75,7 +76,7 @@ fn main() {
         .map(|v| {
             trace(|c| {
                 let items: Vec<Item<u64>> = v.iter().map(|&x| Item::new(x as u128, x)).collect();
-                let _ = orp_once(c, &items, OrbaParams::for_n(n), 1234);
+                let _ = orp_once(c, &scratch, &items, OrbaParams::for_n(n), 1234);
             })
         })
         .collect();
@@ -109,7 +110,14 @@ fn main() {
                     .map(|(i, &x)| (i as u64 * 3 + x % 2, x))
                     .collect();
                 let dests: Vec<u64> = v.iter().map(|&x| x % 600).collect();
-                send_receive(c, &sources, &dests, Engine::BitonicRec, Schedule::Tree);
+                send_receive(
+                    c,
+                    &scratch,
+                    &sources,
+                    &dests,
+                    Engine::BitonicRec,
+                    Schedule::Tree,
+                );
             })
         })
         .collect();
@@ -127,7 +135,7 @@ fn main() {
         .map(|v| {
             trace(|c| {
                 let mut v = v.clone();
-                oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 999);
+                oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(n), 999);
             })
         })
         .collect();
@@ -140,7 +148,7 @@ fn main() {
             trace(|c| {
                 let vals: Vec<u64> = v.iter().take(32).map(|&x| x % 8).collect();
                 let prog = HistogramProgram::new(vals.len(), 8);
-                run_oblivious_sb(c, &prog, &vals, Engine::BitonicRec);
+                run_oblivious_sb(c, &scratch, &prog, &vals, Engine::BitonicRec);
             })
         })
         .collect();

@@ -8,13 +8,15 @@
 //! columns between the oblivious algorithm and its baseline, and the span
 //! separations Table 1 claims. Run with `--full` for two more doublings.
 
-use dob_bench::{growth_exponent, header, lg, meter, print_row, sweep_from_args, Row};
+use dob_bench::{growth_exponent, header, lg, meter_timed, sweep_from_args, BenchSink, Row};
 use graphs::{
     connected_components, connected_components_insecure, contract_eval, list_rank_insecure_unit,
     list_rank_oblivious_unit, msf, random_expr_tree, random_list, random_tree,
     random_weighted_graph, rooted_tree_stats,
 };
-use obliv_core::{oblivious_sort_u64, rec_sort_items, with_retries, Engine, Item, OSortParams};
+use obliv_core::{
+    oblivious_sort_u64, rec_sort_items, with_retries, Engine, Item, OSortParams, ScratchPool,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -26,6 +28,8 @@ fn scrambled(n: usize) -> Vec<u64> {
 }
 
 fn main() {
+    let scratch = ScratchPool::new();
+    let mut sink = BenchSink::from_args("table1");
     println!("== Table 1: oblivious vs insecure, binary fork-join, cache-agnostic ==\n");
     header();
     let mut shapes: Vec<(&str, Vec<(usize, f64)>)> = Vec::new();
@@ -33,19 +37,22 @@ fn main() {
     // ---- Sort ----------------------------------------------------------
     let mut ours = Vec::new();
     for n in sweep_from_args(&[1 << 10, 1 << 11, 1 << 12, 1 << 13]) {
-        let rep = meter(|c| {
+        let (rep, wall) = meter_timed(|c| {
             let mut v = scrambled(n);
-            oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 42);
+            oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(n), 42);
         });
-        print_row(&Row {
-            task: "sort",
-            algo: "ours: oblivious practical",
-            n,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "sort",
+                algo: "ours: oblivious practical",
+                n,
+                rep,
+            },
+            wall,
+        );
         ours.push((n, rep.work as f64));
 
-        let rep = meter(|c| {
+        let (rep, wall) = meter_timed(|c| {
             // Insecure baseline: REC-SORT after a (free) random shuffle —
             // the SPMS substitute of DESIGN.md §4.
             let mut items: Vec<Item<u64>> = scrambled(n)
@@ -55,18 +62,25 @@ fn main() {
                 .collect();
             items.shuffle(&mut StdRng::seed_from_u64(1));
             with_retries(16, |a| {
-                let mut copy = items.clone();
-                rec_sort_items(c, &mut copy, Engine::BitonicRec, 16, 5 + a as u64)?;
-                items = copy;
-                Ok(())
+                rec_sort_items(
+                    c,
+                    &scratch,
+                    &mut items,
+                    Engine::BitonicRec,
+                    16,
+                    5 + a as u64,
+                )
             });
         });
-        print_row(&Row {
-            task: "sort",
-            algo: "insecure: rec-sort",
-            n,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "sort",
+                algo: "insecure: rec-sort",
+                n,
+                rep,
+            },
+            wall,
+        );
     }
     shapes.push(("sort work", ours));
 
@@ -74,118 +88,146 @@ fn main() {
     let mut ours = Vec::new();
     for n in sweep_from_args(&[1 << 10, 1 << 11, 1 << 12]) {
         let (succ, _) = random_list(n, n as u64);
-        let rep = meter(|c| {
-            list_rank_oblivious_unit(c, &succ, 7);
+        let (rep, wall) = meter_timed(|c| {
+            list_rank_oblivious_unit(c, &scratch, &succ, 7);
         });
-        print_row(&Row {
-            task: "LR",
-            algo: "ours: oblivious",
-            n,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "LR",
+                algo: "ours: oblivious",
+                n,
+                rep,
+            },
+            wall,
+        );
         ours.push((n, rep.work as f64));
-        let rep = meter(|c| {
-            list_rank_insecure_unit(c, &succ);
+        let (rep, wall) = meter_timed(|c| {
+            list_rank_insecure_unit(c, &scratch, &succ);
         });
-        print_row(&Row {
-            task: "LR",
-            algo: "insecure: pointer jumping",
-            n,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "LR",
+                algo: "insecure: pointer jumping",
+                n,
+                rep,
+            },
+            wall,
+        );
     }
     shapes.push(("LR work", ours));
 
     // ---- Euler tour / tree computations ---------------------------------
     for n in sweep_from_args(&[1 << 8, 1 << 9, 1 << 10]) {
         let edges = random_tree(n, 3);
-        let rep = meter(|c| {
-            rooted_tree_stats(c, n, &edges, 0, Engine::BitonicRec, 5);
+        let (rep, wall) = meter_timed(|c| {
+            rooted_tree_stats(c, &scratch, n, &edges, 0, Engine::BitonicRec, 5);
         });
-        print_row(&Row {
-            task: "ET-Tree",
-            algo: "ours: oblivious",
-            n,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "ET-Tree",
+                algo: "ours: oblivious",
+                n,
+                rep,
+            },
+            wall,
+        );
         let (succ, _) = random_list(2 * (n - 1), 4);
-        let rep = meter(|c| {
+        let (rep, wall) = meter_timed(|c| {
             // The insecure bound is dominated by list ranking the tour.
-            list_rank_insecure_unit(c, &succ);
+            list_rank_insecure_unit(c, &scratch, &succ);
         });
-        print_row(&Row {
-            task: "ET-Tree",
-            algo: "insecure: LR on tour",
-            n,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "ET-Tree",
+                algo: "insecure: LR on tour",
+                n,
+                rep,
+            },
+            wall,
+        );
     }
 
     // ---- Tree contraction -----------------------------------------------
     for leaves in sweep_from_args(&[1 << 6, 1 << 7, 1 << 8]) {
         let t = random_expr_tree(leaves, 5);
         let n = t.nodes.len();
-        let rep = meter(|c| {
-            contract_eval(c, &t, Engine::BitonicRec, 11);
+        let (rep, wall) = meter_timed(|c| {
+            contract_eval(c, &scratch, &t, Engine::BitonicRec, 11);
         });
-        print_row(&Row {
-            task: "TC",
-            algo: "ours: oblivious shunt",
-            n,
-            rep,
-        });
-        let rep = meter(|c| {
+        sink.record(
+            Row {
+                task: "TC",
+                algo: "ours: oblivious shunt",
+                n,
+                rep,
+            },
+            wall,
+        );
+        let (rep, wall) = meter_timed(|c| {
             // Prior-best schedule: the same contraction driven by the naive
             // flat network (the per-PRAM-step forking strawman).
-            contract_eval(c, &t, Engine::BitonicFlat, 11);
+            contract_eval(c, &scratch, &t, Engine::BitonicFlat, 11);
         });
-        print_row(&Row {
-            task: "TC",
-            algo: "naive: flat-network shunt",
-            n,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "TC",
+                algo: "naive: flat-network shunt",
+                n,
+                rep,
+            },
+            wall,
+        );
     }
 
     // ---- Connected components -------------------------------------------
     for n in sweep_from_args(&[1 << 7, 1 << 8, 1 << 9]) {
         let m = 2 * n;
         let edges = graphs::random_graph(n, m, 9);
-        let rep = meter(|c| {
-            connected_components(c, n, &edges, Engine::BitonicRec);
+        let (rep, wall) = meter_timed(|c| {
+            connected_components(c, &scratch, n, &edges, Engine::BitonicRec);
         });
-        print_row(&Row {
-            task: "CC",
-            algo: "ours: oblivious SV-style",
-            n: m,
-            rep,
-        });
-        let rep = meter(|c| {
+        sink.record(
+            Row {
+                task: "CC",
+                algo: "ours: oblivious SV-style",
+                n: m,
+                rep,
+            },
+            wall,
+        );
+        let (rep, wall) = meter_timed(|c| {
             connected_components_insecure(c, n, &edges);
         });
-        print_row(&Row {
-            task: "CC",
-            algo: "insecure: direct SV-style",
-            n: m,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "CC",
+                algo: "insecure: direct SV-style",
+                n: m,
+                rep,
+            },
+            wall,
+        );
     }
 
     // ---- Minimum spanning forest ----------------------------------------
     for n in sweep_from_args(&[1 << 6, 1 << 7, 1 << 8]) {
         let m = 2 * n;
         let edges = random_weighted_graph(n, m, 13);
-        let rep = meter(|c| {
-            msf(c, n, &edges, Engine::BitonicRec);
+        let (rep, wall) = meter_timed(|c| {
+            msf(c, &scratch, n, &edges, Engine::BitonicRec);
         });
-        print_row(&Row {
-            task: "MSF",
-            algo: "ours: oblivious Boruvka",
-            n: m,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "MSF",
+                algo: "ours: oblivious Boruvka",
+                n: m,
+                rep,
+            },
+            wall,
+        );
     }
 
+    sink.finish().expect("failed to write BENCH_table1.json");
     println!("\n== growth exponents (expect ≈1 for W = Θ(n·polylog)) ==");
     for (name, pts) in shapes {
         let norm: Vec<(usize, f64)> = pts

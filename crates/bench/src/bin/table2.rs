@@ -9,13 +9,15 @@
 //! * PRAM: per-step `O(sort(s))` via the space-bounded simulation, and the
 //!   `p log² s` OPRAM alternative that wins once `s ≫ p` (crossover).
 
-use dob_bench::{header, meter, print_row, sweep_from_args, Row};
-use metrics::Tracked;
-use obliv_core::scan::{seg_propagate, seg_sum_right, Schedule, Seg};
+use dob_bench::{header, meter_timed, sweep_from_args, BenchSink, Row};
+use metrics::{ScratchPool, Tracked};
+use obliv_core::scan::{seg_propagate_in, seg_sum_right_in, Schedule, Seg};
 use obliv_core::{send_receive, Engine};
 use pram::{run_oblivious_sb, HistogramProgram, Opram, OramConfig};
 
 fn main() {
+    let scratch = ScratchPool::new();
+    let mut sink = BenchSink::from_args("table2");
     println!("== Table 2: oblivious building blocks, ours vs naive-forked prior best ==\n");
     header();
 
@@ -25,19 +27,22 @@ fn main() {
             ("ours: tree schedule", Schedule::Tree),
             ("prior: level-by-level", Schedule::Levels),
         ] {
-            let rep = meter(|c| {
+            let (rep, wall) = meter_timed(|c| {
                 let mut v: Vec<Seg<u64>> = (0..n)
                     .map(|i| Seg::new(i % 8 == 7, (i % 5) as u64))
                     .collect();
                 let mut t = Tracked::new(c, &mut v);
-                seg_sum_right(c, &mut t, sched);
+                seg_sum_right_in(c, &scratch, &mut t, sched);
             });
-            print_row(&Row {
-                task: "Aggr",
-                algo,
-                n,
-                rep,
-            });
+            sink.record(
+                Row {
+                    task: "Aggr",
+                    algo,
+                    n,
+                    rep,
+                },
+                wall,
+            );
         }
     }
 
@@ -47,17 +52,20 @@ fn main() {
             ("ours: tree schedule", Schedule::Tree),
             ("prior: level-by-level", Schedule::Levels),
         ] {
-            let rep = meter(|c| {
+            let (rep, wall) = meter_timed(|c| {
                 let mut v: Vec<Seg<u64>> = (0..n).map(|i| Seg::new(i % 8 == 0, i as u64)).collect();
                 let mut t = Tracked::new(c, &mut v);
-                seg_propagate(c, &mut t, sched);
+                seg_propagate_in(c, &scratch, &mut t, sched);
             });
-            print_row(&Row {
-                task: "Prop",
-                algo,
-                n,
-                rep,
-            });
+            sink.record(
+                Row {
+                    task: "Prop",
+                    algo,
+                    n,
+                    rep,
+                },
+                wall,
+            );
         }
     }
 
@@ -77,15 +85,18 @@ fn main() {
                 Schedule::Levels,
             ),
         ] {
-            let rep = meter(|c| {
-                send_receive(c, &sources, &dests, engine, sched);
+            let (rep, wall) = meter_timed(|c| {
+                send_receive(c, &scratch, &sources, &dests, engine, sched);
             });
-            print_row(&Row {
-                task: "S-R",
-                algo,
-                n: 2 * n,
-                rep,
-            });
+            sink.record(
+                Row {
+                    task: "S-R",
+                    algo,
+                    n: 2 * n,
+                    rep,
+                },
+                wall,
+            );
         }
     }
 
@@ -99,15 +110,18 @@ fn main() {
             ("ours: Thm 4.1 (s≈p)", Engine::BitonicRec),
             ("prior: flat networks", Engine::BitonicFlat),
         ] {
-            let rep = meter(|c| {
-                run_oblivious_sb(c, &prog, &vals, engine);
+            let (rep, wall) = meter_timed(|c| {
+                run_oblivious_sb(c, &scratch, &prog, &vals, engine);
             });
-            print_row(&Row {
-                task: "PRAM",
-                algo,
-                n: p,
-                rep,
-            });
+            sink.record(
+                Row {
+                    task: "PRAM",
+                    algo,
+                    n: p,
+                    rep,
+                },
+                wall,
+            );
         }
     }
 
@@ -123,18 +137,27 @@ fn main() {
     let p = 32usize;
     for s in sweep_from_args(&[1 << 7, 1 << 9, 1 << 11]) {
         // One read step of p processors against s cells via Thm 4.1.
-        let sb = meter(|c| {
+        let (sb, sb_wall) = meter_timed(|c| {
             let sources: Vec<(u64, u64)> = (0..s as u64).map(|i| (i, i * 2)).collect();
             let dests: Vec<u64> = (0..p as u64).map(|i| (i * 37) % s as u64).collect();
-            send_receive(c, &sources, &dests, Engine::BitonicRec, Schedule::Tree);
+            send_receive(
+                c,
+                &scratch,
+                &sources,
+                &dests,
+                Engine::BitonicRec,
+                Schedule::Tree,
+            );
         });
         // The same batch through the recursive tree ORAM.
-        let op = meter(|c| {
+        let (op, op_wall) = meter_timed(|c| {
             let mut o = Opram::new(s, OramConfig::default(), Engine::BitonicRec, 7);
             let reqs: Vec<(u64, Option<u64>)> =
                 (0..p as u64).map(|i| ((i * 37) % s as u64, None)).collect();
             o.access_batch(c, &reqs);
         });
+        sink.rows_push_quiet("PRAM-xover", "space-bounded", s, sb, sb_wall);
+        sink.rows_push_quiet("PRAM-xover", "opram", s, op, op_wall);
         let winner = if op.work < sb.work {
             "opram"
         } else {
@@ -148,4 +171,5 @@ fn main() {
     println!("\n(expected: space-bounded wins at small s, opram wins once s ≫ p —");
     println!(" the Table 2 'PRAM' rows' two regimes; opram setup cost excluded in paper,");
     println!(" included here, shifting the crossover right)");
+    sink.finish().expect("failed to write BENCH_table2.json");
 }

@@ -23,6 +23,14 @@ pub fn meter<F: FnOnce(&MeterCtx)>(f: F) -> CostReport {
     measure(CacheConfig::default(), TraceMode::Off, f).1
 }
 
+/// [`meter`] plus host wall-clock time of the metered run (nanoseconds) —
+/// the raw material for the machine-readable `BENCH_*.json` artifacts.
+pub fn meter_timed<F: FnOnce(&MeterCtx)>(f: F) -> (CostReport, u128) {
+    let t0 = std::time::Instant::now();
+    let rep = meter(f);
+    (rep, t0.elapsed().as_nanos())
+}
+
 /// Measure under an explicit cache geometry.
 pub fn meter_with<F: FnOnce(&MeterCtx)>(cfg: CacheConfig, f: F) -> CostReport {
     measure(cfg, TraceMode::Off, f).1
@@ -66,6 +74,84 @@ pub fn print_row(r: &Row) {
         r.rep.span as f64 / log2sq,
         r.rep.cache_misses as f64 / q_sort_bound(r.n, &r.rep),
     );
+}
+
+/// Collects measured rows and, when `--json` was passed, writes them as a
+/// machine-readable `BENCH_<bin>.json` next to the working directory so CI
+/// can archive the perf trajectory of every push.
+pub struct BenchSink {
+    bin: &'static str,
+    rows: Vec<(Row, u128)>,
+    json: bool,
+}
+
+impl BenchSink {
+    /// `--json` on the command line enables the JSON artifact.
+    pub fn from_args(bin: &'static str) -> Self {
+        BenchSink {
+            bin,
+            rows: Vec::new(),
+            json: std::env::args().any(|a| a == "--json"),
+        }
+    }
+
+    /// Print the row (human table) and retain it for the JSON artifact.
+    /// `wall_ns` is the host wall-clock time of the measured closure.
+    pub fn record(&mut self, row: Row, wall_ns: u128) {
+        print_row(&row);
+        self.rows.push((row, wall_ns));
+    }
+
+    /// Retain a row for the JSON artifact without printing it — for
+    /// sections that render their own custom table.
+    pub fn rows_push_quiet(
+        &mut self,
+        task: &'static str,
+        algo: &'static str,
+        n: usize,
+        rep: CostReport,
+        wall_ns: u128,
+    ) {
+        self.rows.push((Row { task, algo, n, rep }, wall_ns));
+    }
+
+    /// Write `BENCH_<bin>.json` when `--json` was requested. Hand-rolled
+    /// serialization: every field is numeric or a plain string, and the
+    /// container has no serde.
+    pub fn finish(&self) -> std::io::Result<()> {
+        if !self.json {
+            return Ok(());
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bin\": \"{}\",\n  \"rows\": [\n", self.bin));
+        for (i, (r, wall_ns)) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"task\": {:?}, \"algo\": {:?}, \"n\": {}, \"work\": {}, \"span\": {}, \
+                 \"cache_misses\": {}, \"cache_accesses\": {}, \"comparisons\": {}, \
+                 \"moves\": {}, \"retries\": {}, \"m_words\": {}, \"b_words\": {}, \
+                 \"wall_ns\": {}}}{}\n",
+                r.task,
+                r.algo,
+                r.n,
+                r.rep.work,
+                r.rep.span,
+                r.rep.cache_misses,
+                r.rep.cache_accesses,
+                r.rep.comparisons,
+                r.rep.moves,
+                r.rep.retries,
+                r.rep.m_words,
+                r.rep.b_words,
+                wall_ns,
+                if i + 1 == self.rows.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        let path = format!("BENCH_{}.json", self.bin);
+        std::fs::write(&path, out)?;
+        eprintln!("wrote {path}");
+        Ok(())
+    }
 }
 
 /// Default sweep, doubled twice at the top with `--full`.

@@ -19,10 +19,10 @@
 
 use crate::engine::Engine;
 use crate::error::{OblivError, Result};
-use crate::scan::{seg_propagate, Schedule, Seg};
+use crate::scan::{seg_propagate_in, Schedule, Seg};
 use crate::slot::{flags, Slot, Val};
 use fj::{grain_for, par_for, Ctx};
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 
 /// Sort key: (group ‖ class) with fillers last. Class orders real < temp
 /// within a group.
@@ -67,6 +67,7 @@ fn key_final<V: Val>(s: &Slot<V>, shift: u32, nbins: u64) -> u128 {
 /// with `nbins` and `zcap` powers of two).
 pub fn bin_place<C: Ctx, V: Val>(
     c: &C,
+    scratch: &ScratchPool,
     io: &mut Tracked<'_, Slot<V>>,
     nbins: usize,
     zcap: usize,
@@ -78,8 +79,9 @@ pub fn bin_place<C: Ctx, V: Val>(
     assert!(nbins.is_power_of_two() && zcap.is_power_of_two());
     let nb64 = nbins as u64;
 
-    // Step 1: working array = input ++ Z temps per bin.
-    let mut w_store = vec![Slot::<V>::filler(); 2 * n_io];
+    // Step 1: working array = input ++ Z temps per bin (leased scratch:
+    // filled on lease, then every slot rewritten below anyway).
+    let mut w_store = scratch.lease(2 * n_io, Slot::<V>::filler());
     let mut w = Tracked::new(c, &mut w_store);
     {
         let wr = w.as_raw();
@@ -94,11 +96,11 @@ pub fn bin_place<C: Ctx, V: Val>(
 
     // Step 2: sort by (group, real-before-temp), fillers last.
     set_keys(c, &mut w, &|s| key_group_class(s, shift, nb64));
-    engine.sort_slots(c, &mut w);
+    engine.sort_slots(c, scratch, &mut w);
 
     // Step 3: offset within group via propagation of the leftmost index,
     // then tag offsets ≥ Z as excess. Overflow iff a *real* slot is excess.
-    let mut seg_store = vec![Seg::new(false, 0u64); 2 * n_io];
+    let mut seg_store = scratch.lease(2 * n_io, Seg::new(false, 0u64));
     let mut seg = Tracked::new(c, &mut seg_store);
     {
         let sr = seg.as_raw();
@@ -113,7 +115,7 @@ pub fn bin_place<C: Ctx, V: Val>(
             sr.set(c, i, Seg::new(head, i as u64));
         });
     }
-    seg_propagate(c, &mut seg, Schedule::Tree);
+    seg_propagate_in(c, scratch, &mut seg, Schedule::Tree);
     let overflow = {
         let sr = seg.as_raw();
         let wr = w.as_raw();
@@ -138,7 +140,7 @@ pub fn bin_place<C: Ctx, V: Val>(
 
     // Step 4: sort surviving slots by group; excess and fillers to the end.
     set_keys(c, &mut w, &|s| key_final(s, shift, nb64));
-    engine.sort_slots(c, &mut w);
+    engine.sort_slots(c, scratch, &mut w);
 
     // Steps 5–6: truncate to nbins·Z, convert temps to fillers, clear tags.
     {
@@ -197,9 +199,10 @@ mod tests {
 
     fn run(nbins: usize, zcap: usize, elems: &[(u64, u64)]) -> Result<Vec<Slot<u64>>> {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let mut v = input(nbins, zcap, elems);
         let mut t = Tracked::new(&c, &mut v);
-        bin_place(&c, &mut t, nbins, zcap, 0, Engine::BitonicRec)?;
+        bin_place(&c, &sp, &mut t, nbins, zcap, 0, Engine::BitonicRec)?;
         Ok(v)
     }
 
@@ -257,8 +260,9 @@ mod tests {
         let mut v = input(2, 4, &[]);
         v[0] = Slot::real(Item::new(1, 1u64), 0b10);
         v[1] = Slot::real(Item::new(2, 2u64), 0b00);
+        let sp = ScratchPool::new();
         let mut t = Tracked::new(&c, &mut v);
-        bin_place(&c, &mut t, 2, 4, 1, Engine::BitonicRec).unwrap();
+        bin_place(&c, &sp, &mut t, 2, 4, 1, Engine::BitonicRec).unwrap();
         assert!(v[0..4].iter().any(|s| s.is_real() && s.item.val == 2));
         assert!(v[4..8].iter().any(|s| s.is_real() && s.item.val == 1));
     }
@@ -339,8 +343,9 @@ mod tests {
         let run_trace = |elems: Vec<(u64, u64)>| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
                 let mut v = input(8, 8, &elems);
+                let sp = ScratchPool::new();
                 let mut t = Tracked::new(c, &mut v);
-                let _ = bin_place(c, &mut t, 8, 8, 0, Engine::BitonicRec);
+                let _ = bin_place(c, &sp, &mut t, 8, 8, 0, Engine::BitonicRec);
             });
             (rep.trace_hash, rep.trace_len)
         };
@@ -357,8 +362,9 @@ mod tests {
         let run_trace = |elems: Vec<(u64, u64)>| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
                 let mut v = input(4, 4, &elems);
+                let sp = ScratchPool::new();
                 let mut t = Tracked::new(c, &mut v);
-                let _ = bin_place(c, &mut t, 4, 4, 0, Engine::BitonicRec);
+                let _ = bin_place(c, &sp, &mut t, 4, 4, 0, Engine::BitonicRec);
             });
             (rep.trace_hash, rep.trace_len)
         };

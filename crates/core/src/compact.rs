@@ -11,39 +11,40 @@ use crate::binplace::set_keys;
 use crate::engine::Engine;
 use crate::slot::{Item, Slot, Val};
 use fj::Ctx;
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 
 /// Stable oblivious compaction: returns the values flagged `true`, in
 /// input order. The access pattern depends only on `flagged.len()`.
-pub fn oblivious_compact<C: Ctx, V: Val>(c: &C, flagged: &[(bool, V)], engine: Engine) -> Vec<V> {
+pub fn oblivious_compact<C: Ctx, V: Val>(
+    c: &C,
+    scratch: &ScratchPool,
+    flagged: &[(bool, V)],
+    engine: Engine,
+) -> Vec<V> {
     let n = flagged.len();
     if n == 0 {
         return Vec::new();
     }
     let m = n.next_power_of_two();
-    let mut slots: Vec<Slot<V>> = flagged
-        .iter()
-        .enumerate()
-        .map(|(i, &(keep, v))| {
-            let mut s = Slot::real(Item::new(i as u128, v), keep as u64);
-            // Kept elements sort by position; dropped ones sink to the end.
-            s.sk = if keep { i as u128 } else { u128::MAX };
-            s
-        })
-        .collect();
-    slots.resize(
+    let mut slots = scratch.lease(
         m,
         Slot {
             sk: u128::MAX,
-            ..Slot::filler()
+            ..Slot::<V>::filler()
         },
     );
+    for (s, (i, &(keep, v))) in slots.iter_mut().zip(flagged.iter().enumerate()) {
+        *s = Slot::real(Item::new(i as u128, v), keep as u64);
+        // Kept elements sort by position; dropped ones sink to the end.
+        s.sk = if keep { i as u128 } else { u128::MAX };
+    }
+    c.charge_par(n as u64);
 
     let mut t = Tracked::new(c, &mut slots);
     set_keys(c, &mut t, &|s: &Slot<V>| {
         s.sk.max(if s.is_filler() { u128::MAX } else { 0 })
     });
-    engine.sort_slots(c, &mut t);
+    engine.sort_slots(c, scratch, &mut t);
 
     // Fixed-pattern count, then reveal exactly the kept prefix.
     let mut kept = 0usize;
@@ -65,6 +66,7 @@ mod tests {
     #[test]
     fn keeps_marked_in_order() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let input: Vec<(bool, u64)> = vec![
             (true, 1),
             (false, 2),
@@ -74,7 +76,7 @@ mod tests {
             (true, 6),
         ];
         assert_eq!(
-            oblivious_compact(&c, &input, Engine::BitonicRec),
+            oblivious_compact(&c, &sp, &input, Engine::BitonicRec),
             vec![1, 3, 4, 6]
         );
     }
@@ -82,11 +84,12 @@ mod tests {
     #[test]
     fn all_dropped_and_all_kept() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let none: Vec<(bool, u64)> = (0..10).map(|i| (false, i)).collect();
-        assert!(oblivious_compact(&c, &none, Engine::BitonicRec).is_empty());
+        assert!(oblivious_compact(&c, &sp, &none, Engine::BitonicRec).is_empty());
         let all: Vec<(bool, u64)> = (0..10).map(|i| (true, i)).collect();
         assert_eq!(
-            oblivious_compact(&c, &all, Engine::BitonicRec),
+            oblivious_compact(&c, &sp, &all, Engine::BitonicRec),
             (0..10).collect::<Vec<_>>()
         );
     }
@@ -102,7 +105,7 @@ mod tests {
                     .enumerate()
                     .map(|(i, &f)| (f, i as u64))
                     .collect();
-                oblivious_compact(c, &input, Engine::BitonicRec);
+                oblivious_compact(c, &ScratchPool::new(), &input, Engine::BitonicRec);
             });
             (rep.trace_hash, rep.trace_len)
         };
@@ -114,20 +117,21 @@ mod tests {
     #[test]
     fn compact_degenerate_sizes() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         // n = 0.
-        assert!(oblivious_compact::<_, u64>(&c, &[], Engine::BitonicRec).is_empty());
+        assert!(oblivious_compact::<_, u64>(&c, &sp, &[], Engine::BitonicRec).is_empty());
         // n = 1, both flag values.
         assert_eq!(
-            oblivious_compact(&c, &[(true, 7u64)], Engine::BitonicRec),
+            oblivious_compact(&c, &sp, &[(true, 7u64)], Engine::BitonicRec),
             vec![7]
         );
-        assert!(oblivious_compact(&c, &[(false, 7u64)], Engine::BitonicRec).is_empty());
+        assert!(oblivious_compact(&c, &sp, &[(false, 7u64)], Engine::BitonicRec).is_empty());
         // n = 2, every flag pattern.
         for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
             let input = vec![(a, 1u64), (b, 2u64)];
             let expect: Vec<u64> = input.iter().filter(|&&(f, _)| f).map(|&(_, v)| v).collect();
             assert_eq!(
-                oblivious_compact(&c, &input, Engine::BitonicRec),
+                oblivious_compact(&c, &sp, &input, Engine::BitonicRec),
                 expect,
                 "flags ({a}, {b})"
             );
@@ -138,10 +142,11 @@ mod tests {
     fn compact_n_1000_preserves_multiset_and_order() {
         // 1000 is not a power of two, so the sort pads to 1024 fillers.
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let input: Vec<(bool, u64)> = (0..1000u64)
             .map(|i| (i % 3 == 0, i.wrapping_mul(2654435761)))
             .collect();
-        let got = oblivious_compact(&c, &input, Engine::BitonicRec);
+        let got = oblivious_compact(&c, &sp, &input, Engine::BitonicRec);
         let expect: Vec<u64> = input.iter().filter(|&&(f, _)| f).map(|&(_, v)| v).collect();
         assert_eq!(got, expect, "kept values in input order");
         // Multiset check against the input (order-insensitive).
@@ -157,9 +162,10 @@ mod tests {
         // Sorted-oracle check: kept elements carry their input index, so the
         // compacted output must be strictly increasing.
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         for n in [2usize, 37, 1000] {
             let input: Vec<(bool, u64)> = (0..n as u64).map(|i| (i % 2 == 1, i)).collect();
-            let got = oblivious_compact(&c, &input, Engine::BitonicRec);
+            let got = oblivious_compact(&c, &sp, &input, Engine::BitonicRec);
             assert!(got.windows(2).all(|w| w[0] < w[1]), "n = {n}: {got:?}");
             assert_eq!(got.len(), n / 2, "n = {n}");
         }
@@ -169,11 +175,12 @@ mod tests {
         #[test]
         fn prop_matches_filter(flags in proptest::collection::vec(any::<bool>(), 0..200)) {
             let c = SeqCtx::new();
+            let sp = ScratchPool::new();
             let input: Vec<(bool, u64)> =
                 flags.iter().enumerate().map(|(i, &f)| (f, i as u64)).collect();
             let expect: Vec<u64> =
                 input.iter().filter(|&&(f, _)| f).map(|&(_, v)| v).collect();
-            prop_assert_eq!(oblivious_compact(&c, &input, Engine::BitonicRec), expect);
+            prop_assert_eq!(oblivious_compact(&c, &sp, &input, Engine::BitonicRec), expect);
         }
     }
 }

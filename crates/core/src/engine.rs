@@ -14,7 +14,7 @@
 
 use crate::slot::{sk_of, Slot, Val};
 use fj::Ctx;
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 use sortnet::{bitonic_sort_flat_par, bitonic_sort_rec, oddeven_sort, randomized_shellsort};
 
 /// Selects the data-oblivious network used for small sorts.
@@ -35,11 +35,20 @@ pub enum Engine {
 impl Engine {
     /// Sort `t` ascending by the slots' scratch key `sk`. Length must be a
     /// power of two (callers pad with fillers whose `sk` is `u128::MAX`).
-    pub fn sort_slots<C: Ctx, V: Val>(&self, c: &C, t: &mut Tracked<'_, Slot<V>>) {
+    ///
+    /// Merge scratch is leased from `scratch` rather than allocated; lease
+    /// contents start dirty at the byte level but are filled before use,
+    /// and the networks write every scratch position before reading it.
+    pub fn sort_slots<C: Ctx, V: Val>(
+        &self,
+        c: &C,
+        scratch: &ScratchPool,
+        t: &mut Tracked<'_, Slot<V>>,
+    ) {
         match *self {
             Engine::BitonicRec => {
-                let mut scratch = vec![Slot::<V>::filler(); t.len()];
-                let mut tmp = Tracked::new(c, &mut scratch);
+                let mut lease = scratch.lease(t.len(), Slot::<V>::filler());
+                let mut tmp = Tracked::new(c, &mut lease);
                 bitonic_sort_rec(c, t, &mut tmp, &sk_of, true);
             }
             Engine::BitonicFlat => bitonic_sort_flat_par(c, t, &sk_of, true),
@@ -47,7 +56,13 @@ impl Engine {
             Engine::Shellsort { seed } => {
                 // Mix in the length so different call sites draw different
                 // coins while staying deterministic per (seed, n).
-                randomized_shellsort(c, t, &sk_of, seed ^ (t.len() as u64).wrapping_mul(0x9E37));
+                randomized_shellsort(
+                    c,
+                    scratch,
+                    t,
+                    &sk_of,
+                    seed ^ (t.len() as u64).wrapping_mul(0x9E37),
+                );
             }
         }
     }
@@ -72,6 +87,7 @@ mod tests {
     #[test]
     fn all_engines_sort_by_sk() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let keys: Vec<u64> = (0..128u64)
             .map(|i| i.wrapping_mul(2654435761) % 251)
             .collect();
@@ -85,7 +101,7 @@ mod tests {
         ] {
             let mut slots = slots_with_keys(&keys);
             let mut t = Tracked::new(&c, &mut slots);
-            engine.sort_slots(&c, &mut t);
+            engine.sort_slots(&c, &sp, &mut t);
             let got: Vec<u64> = slots.iter().map(|s| s.sk as u64).collect();
             assert_eq!(got, expect, "engine {engine:?}");
         }

@@ -42,10 +42,14 @@ pub use compact::oblivious_compact;
 pub use engine::Engine;
 pub use error::{with_retries, OblivError, Result};
 pub use meta_orba::meta_orba;
-pub use orp::{orp, orp_once};
+pub use metrics::{ScratchGuard, ScratchPool};
+pub use orp::{orp, orp_into, orp_once, orp_once_into};
 pub use osort::{oblivious_sort, oblivious_sort_u64, FinalSorter, OSortParams, SortOutcome};
-pub use rec_orba::{bins_for, rec_orba, BinLayout, OrbaParams};
+pub use rec_orba::{bins_for, rec_orba, rec_orba_into, BinLayout, OrbaParams};
 pub use rec_sort::rec_sort_items;
-pub use scan::{prefix_sum, scan, seg_propagate, seg_sum_right, Schedule, Seg};
+pub use scan::{
+    prefix_sum, prefix_sum_in, scan, scan_in, seg_propagate, seg_propagate_in, seg_sum_right,
+    seg_sum_right_in, Schedule, Seg,
+};
 pub use sendrecv::send_receive;
 pub use slot::{composite_key, flags, Item, Slot, Val};

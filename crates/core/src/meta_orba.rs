@@ -16,7 +16,7 @@ use crate::error::{OblivError, Result};
 use crate::rec_orba::{bins_for, BinLayout, OrbaParams};
 use crate::slot::{Item, Slot, Val};
 use fj::{grain_for, par_for, Ctx};
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// contract) as [`crate::rec_orba::rec_orba`].
 pub fn meta_orba<C: Ctx, V: Val>(
     c: &C,
+    scratch: &ScratchPool,
     items: &[Item<V>],
     p: OrbaParams,
     seed: u64,
@@ -52,7 +53,9 @@ pub fn meta_orba<C: Ctx, V: Val>(
         let mut s = 0u32; // label bits consumed so far (LSB-first)
         while s < total_bits {
             let g_bits = (total_bits - s).min(p.gamma.trailing_zeros().max(1));
-            level(c, &mut t, nbins, p.z, s, g_bits, p.engine, &overflow);
+            level(
+                c, scratch, &mut t, nbins, p.z, s, g_bits, p.engine, &overflow,
+            );
             s += g_bits;
         }
     }
@@ -72,6 +75,7 @@ pub fn meta_orba<C: Ctx, V: Val>(
 #[allow(clippy::too_many_arguments)]
 fn level<C: Ctx, V: Val>(
     c: &C,
+    scratch: &ScratchPool,
     t: &mut Tracked<'_, Slot<V>>,
     nbins: usize,
     z: usize,
@@ -90,8 +94,10 @@ fn level<C: Ctx, V: Val>(
         let high = gi / stride;
         let base = high * (stride << g_bits) + low;
 
-        // Gather the γ member bins (stride 2^s apart) into scratch.
-        let mut buf = vec![Slot::<V>::filler(); g * z];
+        // Gather the γ member bins (stride 2^s apart) into leased scratch
+        // (concurrent leases from worker threads are fine: the pool is
+        // Sync, and every gathered slot is written before it is read).
+        let mut buf = scratch.lease(g * z, Slot::<V>::filler());
         let mut local = Tracked::new(c, &mut buf);
         {
             let lr = local.as_raw();
@@ -101,7 +107,7 @@ fn level<C: Ctx, V: Val>(
                 unsafe { lr.copy_from(c, &tr, bin * z, k * z, z) };
             }
         }
-        if bin_place(c, &mut local, g, z, s, engine).is_err() {
+        if bin_place(c, scratch, &mut local, g, z, s, engine).is_err() {
             overflow.store(true, Ordering::Relaxed);
         }
         // Scatter back.
@@ -133,7 +139,8 @@ mod tests {
             engine: Engine::BitonicRec,
         };
         let its = items(120);
-        let (layout, _) = with_retries(64, |a| meta_orba(&c, &its, p, 10 + a as u64));
+        let sp = ScratchPool::new();
+        let (layout, _) = with_retries(64, |a| meta_orba(&c, &sp, &its, p, 10 + a as u64));
         for (b, bin) in layout.slots.chunks(layout.z).enumerate() {
             for s in bin.iter().filter(|s| s.is_real()) {
                 assert_eq!(s.label as usize, b);
@@ -153,9 +160,10 @@ mod tests {
             engine: Engine::BitonicRec,
         };
         let its = items(90);
+        let sp = ScratchPool::new();
         for seed in [3u64, 17, 2024] {
-            let m = meta_orba(&c, &its, p, seed);
-            let r = crate::rec_orba::rec_orba(&c, &its, p, seed);
+            let m = meta_orba(&c, &sp, &its, p, seed);
+            let r = crate::rec_orba::rec_orba(&c, &sp, &its, p, seed);
             match (m, r) {
                 (Ok(m), Ok(r)) => {
                     for b in 0..m.nbins {
@@ -192,7 +200,8 @@ mod tests {
             engine: Engine::BitonicRec,
         };
         let its = items(200);
-        let (layout, _) = with_retries(64, |a| meta_orba(&c, &its, p, 5 + a as u64));
+        let sp = ScratchPool::new();
+        let (layout, _) = with_retries(64, |a| meta_orba(&c, &sp, &its, p, 5 + a as u64));
         assert_eq!(layout.nbins, 32);
         let total: usize = layout.loads().iter().sum();
         assert_eq!(total, 200);

@@ -14,11 +14,11 @@
 
 use crate::binplace::set_keys;
 use crate::error::{with_retries, OblivError, Result};
-use crate::rec_orba::{rec_orba, OrbaParams};
-use crate::scan::{prefix_sum, Schedule};
+use crate::rec_orba::{bins_for, rec_orba_into, OrbaParams};
+use crate::scan::{prefix_sum_in, Schedule};
 use crate::slot::{Item, Slot, Val};
 use fj::{grain_for, par_for, Ctx};
-use metrics::{par_tracked_chunks, Tracked};
+use metrics::{par_tracked_chunks, ScratchPool, Tracked};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,21 +28,45 @@ const PERM_SALT: u64 = 0x5bd1_e995_7b93_babd;
 /// One attempt at an oblivious random permutation of `items`.
 pub fn orp_once<C: Ctx, V: Val>(
     c: &C,
+    scratch: &ScratchPool,
     items: &[Item<V>],
     p: OrbaParams,
     seed: u64,
 ) -> Result<Vec<Item<V>>> {
-    let mut layout = rec_orba(c, items, p, seed)?;
-    let nbins = layout.nbins;
-    let z = layout.z;
+    let mut out = vec![Item::<V>::default(); items.len()];
+    orp_once_into(c, scratch, items, p, seed, &mut out)?;
+    Ok(out)
+}
+
+/// [`orp_once`] writing the permuted items into caller-provided storage
+/// (typically a [`ScratchPool`] lease); every intermediate — the bin
+/// layout, butterfly scratch, permutation labels, loads — is leased, so a
+/// warm pool makes the whole attempt allocation-free.
+pub fn orp_once_into<C: Ctx, V: Val>(
+    c: &C,
+    scratch: &ScratchPool,
+    items: &[Item<V>],
+    p: OrbaParams,
+    seed: u64,
+    out: &mut [Item<V>],
+) -> Result<()> {
+    assert_eq!(out.len(), items.len());
+    let nbins = bins_for(items.len(), p.z);
+    let z = p.z;
+    let mut slots = scratch.lease(nbins * z, Slot::<V>::filler());
+    rec_orba_into(c, scratch, items, p, seed, &mut slots)?;
 
     // Fresh permutation labels for every slot; the draw order is fixed, so
     // the stream depends only on (n, seed). Fillers are forced to MAX.
     let mut rng = StdRng::seed_from_u64(seed ^ PERM_SALT);
-    let perm_labels: Vec<u64> = (0..layout.slots.len()).map(|_| rng.gen()).collect();
-    let mut t = Tracked::new(c, &mut layout.slots);
+    let mut perm_labels = scratch.lease(nbins * z, 0u64);
+    for l in perm_labels.iter_mut() {
+        *l = rng.gen();
+    }
+    let mut t = Tracked::new(c, &mut slots);
     {
         let tr = t.as_raw();
+        let perm_labels = &*perm_labels;
         par_for(c, 0, tr.len(), grain_for(c), &|c, i| unsafe {
             let mut s = tr.get(c, i);
             let lbl = if s.is_real() {
@@ -65,7 +89,7 @@ pub fn orp_once<C: Ctx, V: Val>(
     // Sort each bin by permutation label (fillers sink to the end).
     let engine = p.engine;
     par_tracked_chunks(c, t.borrow_mut(), z, &|c, _, mut bin| {
-        engine.sort_slots(c, &mut bin);
+        engine.sort_slots(c, scratch, &mut bin);
     });
 
     // Detect label collisions among adjacent reals (fixed-pattern scan).
@@ -90,9 +114,11 @@ pub fn orp_once<C: Ctx, V: Val>(
 
     // Remove fillers. This step may be non-oblivious: per-bin loads are
     // public. Loads -> exclusive prefix sum -> parallel bin copy-out.
-    let mut loads: Vec<u64> = {
+    let mut loads = scratch.lease(nbins, 0u64);
+    {
         let tr = t.as_raw();
-        metrics::par_collect(c, nbins, &|c, b| {
+        let mut lt = Tracked::new(c, &mut loads);
+        metrics::par_fill(c, &mut lt, &|c, b| {
             (0..z)
                 .map(|i| {
                     // SAFETY: read-only phase.
@@ -100,17 +126,18 @@ pub fn orp_once<C: Ctx, V: Val>(
                     u64::from(s.is_real())
                 })
                 .sum()
-        })
-    };
+        });
+    }
     let total: u64 = loads.iter().sum();
     debug_assert_eq!(total as usize, items.len());
-    let mut offsets = Tracked::new(c, &mut loads);
-    prefix_sum(c, &mut offsets, false, Schedule::Tree);
-    let offsets: Vec<u64> = offsets.raw().to_vec();
-
-    let mut out = vec![Item::<V>::default(); items.len()];
     {
-        let mut out_t = Tracked::new(c, &mut out);
+        let mut offsets = Tracked::new(c, &mut loads);
+        prefix_sum_in(c, scratch, &mut offsets, false, Schedule::Tree);
+    }
+    let offsets = &*loads;
+
+    {
+        let mut out_t = Tracked::new(c, out);
         let or = out_t.as_raw();
         let tr = t.as_raw();
         par_for(c, 0, nbins, grain_for(c), &|c, b| {
@@ -126,7 +153,7 @@ pub fn orp_once<C: Ctx, V: Val>(
             }
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Oblivious random permutation with the retry loop: returns the permuted
@@ -134,16 +161,41 @@ pub fn orp_once<C: Ctx, V: Val>(
 /// paper's parameters).
 pub fn orp<C: Ctx, V: Val>(
     c: &C,
+    scratch: &ScratchPool,
     items: &[Item<V>],
     p: OrbaParams,
     seed: u64,
 ) -> (Vec<Item<V>>, u32) {
-    with_retries(64, |attempt| {
+    let mut out = vec![Item::<V>::default(); items.len()];
+    let attempts = orp_into(c, scratch, items, p, seed, &mut out);
+    (out, attempts)
+}
+
+/// [`orp`] writing into caller-provided storage; retries share one output
+/// buffer, so the retry loop itself allocates nothing. Returns the number
+/// of attempts.
+pub fn orp_into<C: Ctx, V: Val>(
+    c: &C,
+    scratch: &ScratchPool,
+    items: &[Item<V>],
+    p: OrbaParams,
+    seed: u64,
+    out: &mut [Item<V>],
+) -> u32 {
+    let ((), attempts) = with_retries(64, |attempt| {
         if attempt > 0 {
             c.count(fj::counters::RETRIES, 1);
         }
-        orp_once(c, items, p, seed.wrapping_add(0x9E37_79B9 * attempt as u64))
-    })
+        orp_once_into(
+            c,
+            scratch,
+            items,
+            p,
+            seed.wrapping_add(0x9E37_79B9 * attempt as u64),
+            out,
+        )
+    });
+    attempts
 }
 
 #[cfg(test)]
@@ -169,8 +221,9 @@ mod tests {
     #[test]
     fn output_is_a_permutation() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         for n in [1usize, 2, 10, 100, 500] {
-            let (out, _) = orp(&c, &items(n), small_params(), 77);
+            let (out, _) = orp(&c, &sp, &items(n), small_params(), 77);
             assert_eq!(out.len(), n);
             let mut vals: Vec<u64> = out.iter().map(|i| i.val).collect();
             vals.sort_unstable();
@@ -181,9 +234,10 @@ mod tests {
     #[test]
     fn different_seeds_give_different_permutations() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let its = items(64);
-        let (a, _) = orp(&c, &its, small_params(), 1);
-        let (b, _) = orp(&c, &its, small_params(), 2);
+        let (a, _) = orp(&c, &sp, &its, small_params(), 1);
+        let (b, _) = orp(&c, &sp, &its, small_params(), 2);
         assert_ne!(
             a.iter().map(|i| i.val).collect::<Vec<_>>(),
             b.iter().map(|i| i.val).collect::<Vec<_>>()
@@ -195,12 +249,13 @@ mod tests {
         // Element 0's final position should be close to uniform over [0, n).
         // χ²-style sanity check with generous tolerance.
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let n = 16;
         let trials = 2000;
         let its = items(n);
         let mut counts = vec![0usize; n];
         for s in 0..trials {
-            let (out, _) = orp(&c, &its, small_params(), 10_000 + s as u64);
+            let (out, _) = orp(&c, &sp, &its, small_params(), 10_000 + s as u64);
             let pos = out.iter().position(|i| i.val == 0).unwrap();
             counts[pos] += 1;
         }
@@ -220,7 +275,8 @@ mod tests {
         let run = |vals: Vec<u64>| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
                 let its: Vec<Item<u64>> = vals.iter().map(|&v| Item::new(v as u128, v)).collect();
-                let _ = orp_once(c, &its, small_params(), 4242);
+                let sp = ScratchPool::new();
+                let _ = orp_once(c, &sp, &its, small_params(), 4242);
             });
             (rep.trace_hash, rep.trace_len)
         };
@@ -235,7 +291,8 @@ mod tests {
     fn parallel_orp_is_a_permutation() {
         let pool = Pool::new(4);
         let its = items(300);
-        let (out, _) = pool.run(|c| orp(c, &its, small_params(), 5));
+        let sp = ScratchPool::new();
+        let (out, _) = pool.run(|c| orp(c, &sp, &its, small_params(), 5));
         let mut vals: Vec<u64> = out.iter().map(|i| i.val).collect();
         vals.sort_unstable();
         assert_eq!(vals, (0..300).collect::<Vec<_>>());
@@ -244,7 +301,8 @@ mod tests {
     #[test]
     fn no_duplicate_outputs_across_bins() {
         let c = SeqCtx::new();
-        let (out, _) = orp(&c, &items(200), small_params(), 31);
+        let sp = ScratchPool::new();
+        let (out, _) = orp(&c, &sp, &items(200), small_params(), 31);
         let mut seen = HashMap::new();
         for i in &out {
             *seen.entry(i.val).or_insert(0) += 1;

@@ -19,11 +19,12 @@
 use crate::baseline::par_merge_sort;
 use crate::engine::Engine;
 use crate::error::with_retries;
-use crate::orp::orp;
+use crate::orp::orp_into;
 use crate::rec_orba::OrbaParams;
 use crate::rec_sort::rec_sort_items;
 use crate::slot::{composite_key, Item, Val};
 use fj::Ctx;
+use metrics::ScratchPool;
 
 /// Which comparison sort runs on the permuted array.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,21 +75,26 @@ pub struct SortOutcome {
 /// equal keys keep their input order, thanks to the index tiebreak).
 ///
 /// This is Theorem 3.2 instantiated with the substitutions of DESIGN.md §4.
+/// All working storage is leased from `scratch`: after one warm-up call on
+/// a given pool the steady state performs an order of magnitude fewer heap
+/// allocations (enforced by `tests/alloc_gate.rs`).
 pub fn oblivious_sort<C: Ctx, V: Val>(
     c: &C,
+    scratch: &ScratchPool,
     data: &mut [(u64, V)],
     p: OSortParams,
     seed: u64,
 ) -> SortOutcome {
     // Composite keys (key ‖ input index): strict total order for REC-SORT's
     // load balance and stability for callers.
-    let items: Vec<Item<(u64, V)>> = data
-        .iter()
-        .enumerate()
-        .map(|(i, &(k, v))| Item::new(composite_key(k, i as u64), (k, v)))
-        .collect();
+    let mut items = scratch.lease(data.len(), Item::<(u64, V)>::default());
+    for (it, (i, &(k, v))) in items.iter_mut().zip(data.iter().enumerate()) {
+        *it = Item::new(composite_key(k, i as u64), (k, v));
+    }
+    c.charge_par(data.len() as u64);
 
-    let (mut permuted, orp_attempts) = orp(c, &items, p.orba, seed);
+    let mut permuted = scratch.lease(data.len(), Item::<(u64, V)>::default());
+    let orp_attempts = orp_into(c, scratch, &items, p.orba, seed, &mut permuted);
 
     let sort_attempts = match p.final_sorter {
         FinalSorter::MergeSort => {
@@ -96,20 +102,20 @@ pub fn oblivious_sort<C: Ctx, V: Val>(
             1
         }
         FinalSorter::RecSort => {
+            // REC-SORT leaves its input untouched on pivot overflow, so the
+            // retry loop sorts in place — no per-attempt clone.
             let (_, attempts) = with_retries(64, |a| {
                 if a > 0 {
                     c.count(fj::counters::RETRIES, 1);
                 }
-                let mut copy = permuted.clone();
                 rec_sort_items(
                     c,
-                    &mut copy,
+                    scratch,
+                    &mut permuted,
                     p.orba.engine,
                     p.orba.gamma,
                     seed ^ 0xfeed_beef_u64.wrapping_add(a as u64),
-                )?;
-                permuted = copy;
-                Ok(())
+                )
             });
             attempts
         }
@@ -118,6 +124,7 @@ pub fn oblivious_sort<C: Ctx, V: Val>(
     for (out, it) in data.iter_mut().zip(permuted.iter()) {
         *out = it.val;
     }
+    c.charge_par(data.len() as u64);
     SortOutcome {
         orp_attempts,
         sort_attempts,
@@ -127,12 +134,16 @@ pub fn oblivious_sort<C: Ctx, V: Val>(
 /// Convenience: obliviously sort plain `u64` keys.
 pub fn oblivious_sort_u64<C: Ctx>(
     c: &C,
+    scratch: &ScratchPool,
     keys: &mut [u64],
     p: OSortParams,
     seed: u64,
 ) -> SortOutcome {
-    let mut data: Vec<(u64, ())> = keys.iter().map(|&k| (k, ())).collect();
-    let outcome = oblivious_sort(c, &mut data, p, seed);
+    let mut data = scratch.lease(keys.len(), (0u64, ()));
+    for (d, &k) in data.iter_mut().zip(keys.iter()) {
+        *d = (k, ());
+    }
+    let outcome = oblivious_sort(c, scratch, &mut data, p, seed);
     for (k, (nk, ())) in keys.iter_mut().zip(data.iter()) {
         *k = *nk;
     }
@@ -155,11 +166,12 @@ mod tests {
     #[test]
     fn practical_variant_sorts() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         for n in [0usize, 1, 2, 100, 1000, 5000] {
             let mut v = scrambled(n);
             let mut expect = v.clone();
             expect.sort_unstable();
-            oblivious_sort_u64(&c, &mut v, OSortParams::practical(n), 42);
+            oblivious_sort_u64(&c, &sp, &mut v, OSortParams::practical(n), 42);
             assert_eq!(v, expect, "n = {n}");
         }
     }
@@ -171,7 +183,8 @@ mod tests {
         let mut v = scrambled(n);
         let mut expect = v.clone();
         expect.sort_unstable();
-        oblivious_sort_u64(&c, &mut v, OSortParams::theory(n), 7);
+        let sp = ScratchPool::new();
+        oblivious_sort_u64(&c, &sp, &mut v, OSortParams::theory(n), 7);
         assert_eq!(v, expect);
     }
 
@@ -179,8 +192,9 @@ mod tests {
     fn is_stable_on_duplicate_keys() {
         let c = SeqCtx::new();
         let n = 2000usize;
+        let sp = ScratchPool::new();
         let mut data: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 8, i)).collect();
-        oblivious_sort(&c, &mut data, OSortParams::practical(n), 3);
+        oblivious_sort(&c, &sp, &mut data, OSortParams::practical(n), 3);
         assert!(data
             .windows(2)
             .all(|w| w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1)));
@@ -193,7 +207,8 @@ mod tests {
         let mut v = scrambled(n);
         let mut expect = v.clone();
         expect.sort_unstable();
-        pool.run(|c| oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 11));
+        let sp = ScratchPool::new();
+        pool.run(|c| oblivious_sort_u64(c, &sp, &mut v, OSortParams::practical(n), 11));
         assert_eq!(v, expect);
     }
 
@@ -208,8 +223,9 @@ mod tests {
         let n = 1500;
         let run = |keys: Vec<u64>| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+                let sp = ScratchPool::new();
                 let mut v = keys.clone();
-                oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 999);
+                oblivious_sort_u64(c, &sp, &mut v, OSortParams::practical(n), 999);
             });
             (rep.trace_hash, rep.trace_len)
         };
@@ -229,8 +245,9 @@ mod tests {
             let mut v = keys.clone();
             let mut expect = keys;
             expect.sort_unstable();
+            let sp = ScratchPool::new();
             let params = OSortParams::practical(v.len());
-            oblivious_sort_u64(&c, &mut v, params, 17);
+            oblivious_sort_u64(&c, &sp, &mut v, params, 17);
             prop_assert_eq!(v, expect);
         }
     }

@@ -20,7 +20,7 @@ use crate::engine::Engine;
 use crate::error::{OblivError, Result};
 use crate::slot::{Item, Slot, Val};
 use fj::{grain_for, par_for, Ctx};
-use metrics::{RawTracked, Tracked};
+use metrics::{RawTracked, ScratchPool, Tracked};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sortnet::{par_rows2, transpose};
@@ -62,8 +62,14 @@ impl PivotView {
 /// Sort `items` ascending by key. Keys should be distinct (use
 /// [`crate::slot::composite_key`]); `items` should be in random order for
 /// the performance (and overflow) guarantees, per §E.2.
+///
+/// On `Err` (pivot overflow) `items` is left **unmodified** — the butterfly
+/// works entirely in leased scratch and only the final readout (which runs
+/// after the overflow check) writes back — so callers retry in place with
+/// fresh coins, no defensive clone needed.
 pub fn rec_sort_items<C: Ctx, V: Val>(
     c: &C,
+    scratch: &ScratchPool,
     items: &mut [Item<V>],
     engine: Engine,
     gamma: usize,
@@ -71,7 +77,7 @@ pub fn rec_sort_items<C: Ctx, V: Val>(
 ) -> Result<()> {
     let n = items.len();
     if n <= SMALL {
-        return sort_small(c, items, engine);
+        return sort_small(c, scratch, items, engine);
     }
     let lg = (usize::BITS - n.leading_zeros()) as usize;
 
@@ -84,7 +90,7 @@ pub fn rec_sort_items<C: Ctx, V: Val>(
         .copied()
         .collect();
     let mut sorted_sample = sample;
-    sort_small(c, &mut sorted_sample, engine)?;
+    sort_small(c, scratch, &mut sorted_sample, engine)?;
     let stride = lg * lg;
     let pivot_keys: Vec<u128> = sorted_sample
         .iter()
@@ -98,11 +104,11 @@ pub fn rec_sort_items<C: Ctx, V: Val>(
     let chunk = n.div_ceil(nbins);
     let cap = (4 * chunk).next_power_of_two().max(16);
 
-    let mut pivots_store = vec![u128::MAX; (nbins - 1).max(1)];
+    let mut pivots_store = scratch.lease((nbins - 1).max(1), u128::MAX);
     pivots_store[..pivot_keys.len()].copy_from_slice(&pivot_keys);
 
     // --- Build the bin layout: β bins of `cap`, input chunked across bins.
-    let mut slots = vec![filler_hi::<V>(); nbins * cap];
+    let mut slots = scratch.lease(nbins * cap, filler_hi::<V>());
     {
         let mut t = Tracked::new(c, &mut slots);
         let tr = t.as_raw();
@@ -121,12 +127,13 @@ pub fn rec_sort_items<C: Ctx, V: Val>(
         let mut pivots_t = Tracked::new(c, &mut pivots_store);
         let pv = pivots_t.as_raw();
         let mut t = Tracked::new(c, &mut slots);
-        let mut scratch_store = vec![filler_hi::<V>(); t.len()];
-        let mut scratch = Tracked::new(c, &mut scratch_store);
+        let mut scratch_store = scratch.lease(t.len(), filler_hi::<V>());
+        let mut tmp = Tracked::new(c, &mut scratch_store);
         rec(
             c,
+            scratch,
             t.borrow_mut(),
-            scratch.borrow_mut(),
+            tmp.borrow_mut(),
             nbins,
             cap,
             PivotView { r0: 0, stride: 1 },
@@ -145,17 +152,20 @@ pub fn rec_sort_items<C: Ctx, V: Val>(
     {
         let mut t = Tracked::new(c, &mut slots);
         let tr = t.as_raw();
-        let mut loads: Vec<u64> = metrics::par_collect(c, nbins, &|c, b| {
-            (0..cap)
-                .map(|i| {
-                    // SAFETY: read-only phase.
-                    u64::from(unsafe { tr.get(c, b * cap + i) }.is_real())
-                })
-                .sum()
-        });
-        let mut off_t = Tracked::new(c, &mut loads);
-        crate::scan::prefix_sum(c, &mut off_t, false, crate::scan::Schedule::Tree);
-        let offsets: Vec<u64> = off_t.raw().to_vec();
+        let mut loads = scratch.lease(nbins, 0u64);
+        {
+            let mut lt = Tracked::new(c, &mut loads);
+            metrics::par_fill(c, &mut lt, &|c, b| {
+                (0..cap)
+                    .map(|i| {
+                        // SAFETY: read-only phase.
+                        u64::from(unsafe { tr.get(c, b * cap + i) }.is_real())
+                    })
+                    .sum()
+            });
+            crate::scan::prefix_sum_in(c, scratch, &mut lt, false, crate::scan::Schedule::Tree);
+        }
+        let offsets = &*loads;
         let mut out_t = Tracked::new(c, items);
         let or = out_t.as_raw();
         par_for(c, 0, nbins, grain_for(c), &|c, b| {
@@ -174,13 +184,18 @@ pub fn rec_sort_items<C: Ctx, V: Val>(
 }
 
 /// Padded bitonic sort for small instances (and the pivot sample).
-fn sort_small<C: Ctx, V: Val>(c: &C, items: &mut [Item<V>], engine: Engine) -> Result<()> {
+fn sort_small<C: Ctx, V: Val>(
+    c: &C,
+    scratch: &ScratchPool,
+    items: &mut [Item<V>],
+    engine: Engine,
+) -> Result<()> {
     let n = items.len();
     if n <= 1 {
         return Ok(());
     }
     let m = n.next_power_of_two();
-    let mut slots = vec![filler_hi::<V>(); m];
+    let mut slots = scratch.lease(m, filler_hi::<V>());
     {
         let mut t = Tracked::new(c, &mut slots);
         let tr = t.as_raw();
@@ -198,7 +213,7 @@ fn sort_small<C: Ctx, V: Val>(c: &C, items: &mut [Item<V>], engine: Engine) -> R
                 )
             };
         });
-        engine.sort_slots(c, &mut t);
+        engine.sort_slots(c, scratch, &mut t);
         let tr = t.as_raw();
         let mut out_t = Tracked::new(c, items);
         let or = out_t.as_raw();
@@ -217,6 +232,7 @@ fn sort_small<C: Ctx, V: Val>(c: &C, items: &mut [Item<V>], engine: Engine) -> R
 #[allow(clippy::too_many_arguments)]
 fn rec<C: Ctx, V: Val>(
     c: &C,
+    pool: &ScratchPool,
     mut slots: Tracked<'_, Slot<V>>,
     mut scratch: Tracked<'_, Slot<V>>,
     nbins: usize,
@@ -230,6 +246,7 @@ fn rec<C: Ctx, V: Val>(
     if nbins <= gamma {
         base_case(
             c,
+            pool,
             &mut slots,
             &mut scratch,
             nbins,
@@ -258,6 +275,7 @@ fn rec<C: Ctx, V: Val>(
         &|c, _, s, tmp| {
             rec(
                 c,
+                pool,
                 s,
                 tmp,
                 b2,
@@ -288,6 +306,7 @@ fn rec<C: Ctx, V: Val>(
         &|c, q, s, tmp| {
             rec(
                 c,
+                pool,
                 s,
                 tmp,
                 b1,
@@ -319,6 +338,7 @@ fn rec<C: Ctx, V: Val>(
 #[allow(clippy::too_many_arguments)]
 fn base_case<C: Ctx, V: Val>(
     c: &C,
+    pool: &ScratchPool,
     slots: &mut Tracked<'_, Slot<V>>,
     scratch: &mut Tracked<'_, Slot<V>>,
     nbins: usize,
@@ -328,7 +348,7 @@ fn base_case<C: Ctx, V: Val>(
     engine: Engine,
     overflow: &AtomicBool,
 ) {
-    engine.sort_slots(c, slots);
+    engine.sort_slots(c, pool, slots);
     // Count reals: first index whose slot is a filler (sk = MAX sorts last;
     // real keys are < MAX by construction).
     let total = {
@@ -345,7 +365,7 @@ fn base_case<C: Ctx, V: Val>(
         lo
     };
     // Boundary positions via binary search (upper bound of each pivot key).
-    let mut pos = vec![0usize; nbins + 1];
+    let mut pos = pool.lease(nbins + 1, 0usize);
     pos[nbins] = total;
     for (t, p) in pos.iter_mut().enumerate().take(nbins).skip(1) {
         let key = view.boundary(c, pivots, t);
@@ -365,7 +385,7 @@ fn base_case<C: Ctx, V: Val>(
     {
         let sr = slots.as_raw();
         let dr = scratch.as_raw();
-        let pos = &pos;
+        let pos = &*pos;
         par_for(c, 0, nbins, grain_for(c), &|c, b| {
             let (lo, hi) = (pos[b], pos[b + 1]);
             let load = hi - lo;
@@ -414,9 +434,10 @@ mod tests {
     #[test]
     fn sorts_small_inputs() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         for n in [0usize, 1, 2, 17, 100, 1000, 2048] {
             let mut items = shuffled_items(n, 3);
-            rec_sort_items(&c, &mut items, Engine::BitonicRec, 16, 5).unwrap();
+            rec_sort_items(&c, &sp, &mut items, Engine::BitonicRec, 16, 5).unwrap();
             assert_sorted(&items);
             assert_eq!(items.len(), n);
         }
@@ -425,13 +446,12 @@ mod tests {
     #[test]
     fn sorts_large_input_through_butterfly() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let n = 40_000;
         let mut items = shuffled_items(n, 11);
+        // Retries sort in place: a failed attempt leaves `items` untouched.
         let (_, attempts) = with_retries(16, |a| {
-            let mut copy = items.clone();
-            rec_sort_items(&c, &mut copy, Engine::BitonicRec, 16, 100 + a as u64)?;
-            items = copy;
-            Ok(())
+            rec_sort_items(&c, &sp, &mut items, Engine::BitonicRec, 16, 100 + a as u64)
         });
         assert!(attempts <= 3, "needed {attempts} attempts");
         assert_sorted(&items);
@@ -443,14 +463,12 @@ mod tests {
     #[test]
     fn parallel_rec_sort() {
         let pool = Pool::new(4);
+        let sp = ScratchPool::new();
         let n = 30_000;
         let mut items = shuffled_items(n, 23);
         pool.run(|c| {
             with_retries(16, |a| {
-                let mut copy = items.clone();
-                rec_sort_items(c, &mut copy, Engine::BitonicRec, 16, 7 + a as u64)?;
-                items = copy;
-                Ok(())
+                rec_sort_items(c, &sp, &mut items, Engine::BitonicRec, 16, 7 + a as u64)
             })
         });
         assert_sorted(&items);
@@ -465,11 +483,9 @@ mod tests {
             .map(|i| Item::new(composite_key(i % 4, i), i))
             .collect();
         items.shuffle(&mut StdRng::seed_from_u64(9));
+        let sp = ScratchPool::new();
         let (_, _) = with_retries(16, |a| {
-            let mut copy = items.clone();
-            rec_sort_items(&c, &mut copy, Engine::BitonicRec, 16, 55 + a as u64)?;
-            items = copy;
-            Ok(())
+            rec_sort_items(&c, &sp, &mut items, Engine::BitonicRec, 16, 55 + a as u64)
         });
         assert_sorted(&items);
     }

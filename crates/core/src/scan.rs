@@ -18,7 +18,7 @@
 
 use crate::slot::Val;
 use fj::{grain_for, par_for, Ctx};
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 
 /// Which parallel schedule evaluates the scan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +50,27 @@ pub fn scan<C, S, OP>(
     S: Val,
     OP: Fn(S, S) -> S + Sync,
 {
+    let scratch = ScratchPool::new();
+    scan_in(c, &scratch, data, id, combine, inclusive, reverse, sched);
+}
+
+/// [`scan`] drawing its tree scratch from a [`ScratchPool`] lease instead
+/// of a fresh allocation — the variant every hot path uses.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_in<C, S, OP>(
+    c: &C,
+    scratch: &ScratchPool,
+    data: &mut Tracked<'_, S>,
+    id: S,
+    combine: &OP,
+    inclusive: bool,
+    reverse: bool,
+    sched: Schedule,
+) where
+    C: Ctx,
+    S: Val,
+    OP: Fn(S, S) -> S + Sync,
+{
     let n = data.len();
     if n == 0 {
         return;
@@ -58,7 +79,7 @@ pub fn scan<C, S, OP>(
 
     // Gather leaves (logical order: reversed for suffix scans) into a
     // padded scratch tree of size 2m; leaves live at [m, 2m).
-    let mut tree_store = vec![id; 2 * m];
+    let mut tree_store = scratch.lease(2 * m, id);
     let mut tree = Tracked::new(c, &mut tree_store);
     {
         let tr = tree.as_raw();
@@ -81,7 +102,9 @@ pub fn scan<C, S, OP>(
             down(c, &tr, &dr, combine, 1, m, n, id, inclusive, reverse);
         }
         Schedule::Levels => {
-            levels_scan(c, &mut tree, data, id, combine, inclusive, reverse, m, n);
+            levels_scan(
+                c, scratch, &mut tree, data, id, combine, inclusive, reverse, m, n,
+            );
         }
     }
 }
@@ -195,6 +218,7 @@ fn node_first_leaf(mut node: usize, m: usize) -> usize {
 #[allow(clippy::too_many_arguments)]
 fn levels_scan<C, S, OP>(
     c: &C,
+    scratch: &ScratchPool,
     tree: &mut Tracked<'_, S>,
     data: &mut Tracked<'_, S>,
     id: S,
@@ -210,7 +234,7 @@ fn levels_scan<C, S, OP>(
 {
     // Work on the leaf row [m, 2m) of the scratch; keep original leaves for
     // the inclusive fix-up.
-    let mut orig_store = vec![id; if inclusive { m } else { 0 }];
+    let mut orig_store = scratch.lease(if inclusive { m } else { 0 }, id);
     let mut orig = Tracked::new(c, &mut orig_store);
     if inclusive {
         let or = orig.as_raw();
@@ -284,8 +308,21 @@ fn levels_scan<C, S, OP>(
 
 /// In-place prefix sum over `u64` (wrapping).
 pub fn prefix_sum<C: Ctx>(c: &C, t: &mut Tracked<'_, u64>, inclusive: bool, sched: Schedule) {
-    scan(
+    let scratch = ScratchPool::new();
+    prefix_sum_in(c, &scratch, t, inclusive, sched);
+}
+
+/// [`prefix_sum`] with pooled scratch.
+pub fn prefix_sum_in<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    t: &mut Tracked<'_, u64>,
+    inclusive: bool,
+    sched: Schedule,
+) {
+    scan_in(
         c,
+        scratch,
         t,
         0u64,
         &|a, b| a.wrapping_add(b),
@@ -335,14 +372,26 @@ fn seg_combine<V: Val, OP: Fn(V, V) -> V + Sync>(
 ///
 /// `O(n)` work, `O(n/B)` cache, span `O(log n)` with [`Schedule::Tree`].
 pub fn seg_propagate<C: Ctx, V: Val>(c: &C, t: &mut Tracked<'_, Seg<V>>, sched: Schedule) {
+    let scratch = ScratchPool::new();
+    seg_propagate_in(c, &scratch, t, sched);
+}
+
+/// [`seg_propagate`] with pooled scratch.
+pub fn seg_propagate_in<C: Ctx, V: Val>(
+    c: &C,
+    scratch: &ScratchPool,
+    t: &mut Tracked<'_, Seg<V>>,
+    sched: Schedule,
+) {
     debug_assert!(
         t.is_empty() || t.get(c, 0).head,
         "element 0 must head a segment"
     );
     // Left projection is associative and right-identity for any id value,
     // which is all `scan` requires (identity only pads on the right).
-    scan(
+    scan_in(
         c,
+        scratch,
         t,
         Seg::new(false, V::default()),
         &seg_combine(&|a, _b| a),
@@ -357,8 +406,20 @@ pub fn seg_propagate<C: Ctx, V: Val>(c: &C, t: &mut Tracked<'_, Seg<V>>, sched: 
 /// mark each segment's *last* element (the first in right-to-left scan
 /// order).
 pub fn seg_sum_right<C: Ctx>(c: &C, t: &mut Tracked<'_, Seg<u64>>, sched: Schedule) {
-    scan(
+    let scratch = ScratchPool::new();
+    seg_sum_right_in(c, &scratch, t, sched);
+}
+
+/// [`seg_sum_right`] with pooled scratch.
+pub fn seg_sum_right_in<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    t: &mut Tracked<'_, Seg<u64>>,
+    sched: Schedule,
+) {
+    scan_in(
         c,
+        scratch,
         t,
         Seg::new(false, 0u64),
         &seg_combine(&|a: u64, b: u64| a.wrapping_add(b)),

@@ -12,10 +12,10 @@
 
 use crate::binplace::set_keys;
 use crate::engine::Engine;
-use crate::scan::{seg_propagate, Schedule, Seg};
+use crate::scan::{seg_propagate_in, Schedule, Seg};
 use crate::slot::{Item, Slot, Val};
 use fj::{grain_for, par_for, Ctx};
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 
 /// Record carried through the routing network.
 #[derive(Clone, Copy, Debug, Default)]
@@ -46,6 +46,7 @@ struct Head<V> {
 /// the paper's `O(m log m)`-work sorting bound (Table 2 row "S-R").
 pub fn send_receive<C: Ctx, V: Val>(
     c: &C,
+    scratch: &ScratchPool,
     sources: &[(u64, V)],
     dests: &[u64],
     engine: Engine,
@@ -57,9 +58,9 @@ pub fn send_receive<C: Ctx, V: Val>(
     }
     let m = total.next_power_of_two();
 
-    // Build the combined slot array (fillers pad to a power of two).
-    let mut slots: Vec<Slot<Route<V>>> = Vec::with_capacity(m);
-    for &(k, v) in sources {
+    // Build the combined slot array (filler-filled lease, prefix rewritten).
+    let mut slots = scratch.lease(m, Slot::<Route<V>>::filler());
+    for (slot, &(k, v)) in slots.iter_mut().zip(sources.iter()) {
         let r = Route {
             key: k,
             val: v,
@@ -67,9 +68,12 @@ pub fn send_receive<C: Ctx, V: Val>(
             tag: 0,
             found: false,
         };
-        slots.push(Slot::real(Item::new(0, r), k));
+        *slot = Slot::real(Item::new(0, r), k);
     }
-    for (j, &k) in dests.iter().enumerate() {
+    for (slot, (j, &k)) in slots[sources.len()..]
+        .iter_mut()
+        .zip(dests.iter().enumerate())
+    {
         let r = Route {
             key: k,
             val: V::default(),
@@ -77,9 +81,9 @@ pub fn send_receive<C: Ctx, V: Val>(
             tag: 1,
             found: false,
         };
-        slots.push(Slot::real(Item::new(0, r), k));
+        *slot = Slot::real(Item::new(0, r), k);
     }
-    slots.resize(m, Slot::filler());
+    c.charge_par(total as u64);
 
     let mut t = Tracked::new(c, &mut slots);
 
@@ -91,10 +95,10 @@ pub fn send_receive<C: Ctx, V: Val>(
             u128::MAX
         }
     });
-    engine.sort_slots(c, &mut t);
+    engine.sort_slots(c, scratch, &mut t);
 
     // Propagate each key-run's head to the whole run.
-    let mut seg_store = vec![Seg::<Head<V>>::default(); m];
+    let mut seg_store = scratch.lease(m, Seg::<Head<V>>::default());
     let mut seg = Tracked::new(c, &mut seg_store);
     {
         let sr = seg.as_raw();
@@ -116,7 +120,7 @@ pub fn send_receive<C: Ctx, V: Val>(
             sr.set(c, i, Seg::new(head, h));
         });
     }
-    seg_propagate(c, &mut seg, sched);
+    seg_propagate_in(c, scratch, &mut seg, sched);
 
     // Receivers compare the propagated head against their own key.
     {
@@ -141,7 +145,7 @@ pub fn send_receive<C: Ctx, V: Val>(
             u128::MAX
         }
     });
-    engine.sort_slots(c, &mut t);
+    engine.sort_slots(c, scratch, &mut t);
 
     // Parallel readout (keeps the span at O(log n)).
     let tr = t.as_raw();
@@ -180,7 +184,8 @@ mod tests {
 
     fn run_sr(sources: &[(u64, u64)], dests: &[u64]) -> Vec<Option<u64>> {
         let c = SeqCtx::new();
-        send_receive(&c, sources, dests, Engine::BitonicRec, Schedule::Tree)
+        let sp = ScratchPool::new();
+        send_receive(&c, &sp, sources, dests, Engine::BitonicRec, Schedule::Tree)
     }
 
     #[test]
@@ -216,8 +221,9 @@ mod tests {
         let sources: Vec<(u64, u64)> = (0..500).map(|i| (i * 3, i)).collect();
         let dests: Vec<u64> = (0..800).map(|j| (j * 7) % 1600).collect();
         let seq = run_sr(&sources, &dests);
-        let par =
-            pool.run(|c| send_receive(c, &sources, &dests, Engine::BitonicRec, Schedule::Tree));
+        let sp = ScratchPool::new();
+        let par = pool
+            .run(|c| send_receive(c, &sp, &sources, &dests, Engine::BitonicRec, Schedule::Tree));
         assert_eq!(seq, par);
     }
 
@@ -225,7 +231,8 @@ mod tests {
     fn trace_is_input_independent() {
         let run = |sources: Vec<(u64, u64)>, dests: Vec<u64>| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
-                send_receive(c, &sources, &dests, Engine::BitonicRec, Schedule::Tree);
+                let sp = ScratchPool::new();
+                send_receive(c, &sp, &sources, &dests, Engine::BitonicRec, Schedule::Tree);
             });
             (rep.trace_hash, rep.trace_len)
         };

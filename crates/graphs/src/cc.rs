@@ -21,7 +21,7 @@
 //! paths and cycles — the adversarial diameters).
 
 use fj::Ctx;
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
 use obliv_core::slot::{composite_key, Item, Slot};
 use obliv_core::{send_receive, Engine};
@@ -37,6 +37,7 @@ pub fn cc_rounds(n: usize) -> usize {
 /// vertex (the minimum vertex id in its component).
 pub fn connected_components<C: Ctx>(
     c: &C,
+    scratch: &ScratchPool,
     n: usize,
     edges: &[(usize, usize)],
     engine: Engine,
@@ -48,7 +49,7 @@ pub fn connected_components<C: Ctx>(
     for _round in 0..cc_rounds(n) {
         // Grand-labels rr[v] = D[D[v]].
         let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-        let rr: Vec<u64> = send_receive(c, &sources, &d, engine, Schedule::Tree)
+        let rr: Vec<u64> = send_receive(c, scratch, &sources, &d, engine, Schedule::Tree)
             .into_iter()
             .map(|o| o.expect("label in range"))
             .collect();
@@ -59,7 +60,7 @@ pub fn connected_components<C: Ctx>(
             .iter()
             .flat_map(|&(u, v)| [u as u64, v as u64])
             .collect();
-        let end_rr = send_receive(c, &rr_sources, &ends, engine, Schedule::Tree);
+        let end_rr = send_receive(c, scratch, &rr_sources, &ends, engine, Schedule::Tree);
 
         // Hook proposals: target = larger grand-label, value = smaller.
         let proposals: Vec<(u64, u64)> = (0..m)
@@ -78,10 +79,10 @@ pub fn connected_components<C: Ctx>(
         c.charge_par(m as u64);
 
         // Minimum per target via oblivious sort (head of each run wins).
-        let winners = min_per_target(c, &proposals, engine);
+        let winners = min_per_target(c, scratch, &proposals, engine);
 
         // Apply hooks: D[t] = min(D[t], proposal).
-        let hook_res = send_receive(c, &winners, &all_v, engine, Schedule::Tree);
+        let hook_res = send_receive(c, scratch, &winners, &all_v, engine, Schedule::Tree);
         {
             let mut dt = Tracked::new(c, &mut d);
             let dr = dt.as_raw();
@@ -97,7 +98,7 @@ pub fn connected_components<C: Ctx>(
         // Two shortcut (pointer-doubling) steps.
         for _ in 0..2 {
             let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-            d = send_receive(c, &sources, &d, engine, Schedule::Tree)
+            d = send_receive(c, scratch, &sources, &d, engine, Schedule::Tree)
                 .into_iter()
                 .map(|o| o.expect("label in range"))
                 .collect();
@@ -108,26 +109,27 @@ pub fn connected_components<C: Ctx>(
 
 /// Keep, for every distinct target, the minimum proposed value. Output has
 /// one entry per input (fixed size); losers are blinded to dummies.
-fn min_per_target<C: Ctx>(c: &C, proposals: &[(u64, u64)], engine: Engine) -> Vec<(u64, u64)> {
+fn min_per_target<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    proposals: &[(u64, u64)],
+    engine: Engine,
+) -> Vec<(u64, u64)> {
     let m = proposals.len().next_power_of_two().max(1);
-    let mut slots: Vec<Slot<(u64, u64)>> = proposals
-        .iter()
-        .map(|&(t, v)| {
-            let mut s = Slot::real(Item::new(0, (t, v)), 0);
-            s.sk = composite_key(t, v);
-            s
-        })
-        .collect();
-    slots.resize(
+    let mut slots = scratch.lease(
         m,
         Slot {
             sk: u128::MAX,
-            ..Slot::filler()
+            ..Slot::<(u64, u64)>::filler()
         },
     );
+    for (slot, &(t, v)) in slots.iter_mut().zip(proposals.iter()) {
+        *slot = Slot::real(Item::new(0, (t, v)), 0);
+        slot.sk = composite_key(t, v);
+    }
     {
         let mut t = Tracked::new(c, &mut slots);
-        engine.sort_slots(c, &mut t);
+        engine.sort_slots(c, scratch, &mut t);
     }
     let out: Vec<(u64, u64)> = (0..proposals.len())
         .map(|i| {
@@ -197,15 +199,16 @@ mod tests {
     #[test]
     fn handles_path_and_cycle_adversarial_diameter() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let n = 64;
         let path: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         assert_eq!(
-            connected_components(&c, n, &path, Engine::BitonicRec),
+            connected_components(&c, &sp, n, &path, Engine::BitonicRec),
             vec![0u64; n]
         );
         let cycle: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
         assert_eq!(
-            connected_components(&c, n, &cycle, Engine::BitonicRec),
+            connected_components(&c, &sp, n, &cycle, Engine::BitonicRec),
             vec![0u64; n]
         );
     }
@@ -213,6 +216,7 @@ mod tests {
     #[test]
     fn matches_union_find_on_random_graphs() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         for (n, m, seed) in [
             (20usize, 12usize, 1u64),
             (50, 40, 2),
@@ -220,7 +224,7 @@ mod tests {
             (64, 20, 4),
         ] {
             let edges = random_graph(n, m, seed);
-            let got = connected_components(&c, n, &edges, Engine::BitonicRec);
+            let got = connected_components(&c, &sp, n, &edges, Engine::BitonicRec);
             assert_eq!(got, oracle_labels(n, &edges), "n={n} m={m} seed={seed}");
         }
     }
@@ -238,7 +242,8 @@ mod tests {
     #[test]
     fn isolated_vertices_and_empty_graph() {
         let c = SeqCtx::new();
-        let got = connected_components(&c, 8, &[], Engine::BitonicRec);
+        let sp = ScratchPool::new();
+        let got = connected_components(&c, &sp, 8, &[], Engine::BitonicRec);
         assert_eq!(got, (0..8u64).collect::<Vec<_>>());
     }
 
@@ -246,8 +251,9 @@ mod tests {
     fn parallel_matches() {
         let pool = Pool::new(4);
         let edges = random_graph(120, 200, 9);
-        let seq = connected_components(&SeqCtx::new(), 120, &edges, Engine::BitonicRec);
-        let par = pool.run(|c| connected_components(c, 120, &edges, Engine::BitonicRec));
+        let sp = ScratchPool::new();
+        let seq = connected_components(&SeqCtx::new(), &sp, 120, &edges, Engine::BitonicRec);
+        let par = pool.run(|c| connected_components(c, &sp, 120, &edges, Engine::BitonicRec));
         assert_eq!(seq, par);
     }
 
@@ -256,7 +262,8 @@ mod tests {
         // Same (n, m): different topologies must give identical traces.
         let run = |edges: Vec<(usize, usize)>| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
-                connected_components(c, 32, &edges, Engine::BitonicRec);
+                let sp = ScratchPool::new();
+                connected_components(c, &sp, 32, &edges, Engine::BitonicRec);
             });
             (rep.trace_hash, rep.trace_len)
         };

@@ -25,7 +25,7 @@
 use crate::gen::{ExprNode, ExprTree};
 use crate::listrank::list_rank_oblivious;
 use fj::Ctx;
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
 use obliv_core::slot::{Item, Slot};
 use obliv_core::{send_receive, Engine, OrbaParams};
@@ -58,7 +58,13 @@ struct CNode {
 
 /// Obliviously evaluate `tree` (wrapping arithmetic). Matches
 /// [`ExprTree::eval`].
-pub fn contract_eval<C: Ctx>(c: &C, tree: &ExprTree, engine: Engine, seed: u64) -> u64 {
+pub fn contract_eval<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    tree: &ExprTree,
+    engine: Engine,
+    seed: u64,
+) -> u64 {
     let n = tree.nodes.len();
     if n == 1 {
         if let ExprNode::Leaf(v) = tree.nodes[0] {
@@ -106,7 +112,7 @@ pub fn contract_eval<C: Ctx>(c: &C, tree: &ExprTree, engine: Engine, seed: u64) 
     }
 
     // In-order leaf labels via a local-rule Euler tour + oblivious LR.
-    assign_leaf_labels(c, &mut nodes, engine, seed);
+    assign_leaf_labels(c, scratch, &mut nodes, engine, seed);
 
     let mut leaves = nodes.iter().filter(|r| r.is_leaf).count();
     let mut round = 0u64;
@@ -114,6 +120,7 @@ pub fn contract_eval<C: Ctx>(c: &C, tree: &ExprTree, engine: Engine, seed: u64) 
         for side in [0u8, 1] {
             rake_substep(
                 c,
+                scratch,
                 &mut nodes,
                 side,
                 engine,
@@ -130,7 +137,7 @@ pub fn contract_eval<C: Ctx>(c: &C, tree: &ExprTree, engine: Engine, seed: u64) 
         }
         c.charge_par(nodes.len() as u64);
         leaves /= 2;
-        compact_nodes(c, &mut nodes, 2 * leaves - 1, engine);
+        compact_nodes(c, scratch, &mut nodes, 2 * leaves - 1, engine);
         round += 1;
     }
 
@@ -144,29 +151,36 @@ pub fn contract_eval<C: Ctx>(c: &C, tree: &ExprTree, engine: Engine, seed: u64) 
 
 /// One rake substep: every live odd-labelled leaf on the given `side`
 /// shunts itself and its parent out of the tree.
-fn rake_substep<C: Ctx>(c: &C, nodes: &mut [CNode], side: u8, engine: Engine, _seed: u64) {
+fn rake_substep<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    nodes: &mut [CNode],
+    side: u8,
+    engine: Engine,
+    _seed: u64,
+) {
     let live = nodes.len();
 
-    // Fetch parent records.
-    let recs: Vec<(u64, CNode)> = nodes.iter().map(|r| (r.id, *r)).collect();
-    let parent_q: Vec<u64> = nodes
-        .iter()
-        .map(|r| {
-            if r.parent == NONE {
-                DUMMY + r.id
-            } else {
-                r.parent
-            }
-        })
-        .collect();
-    let parents = send_receive(c, &recs, &parent_q, engine, Schedule::Tree);
+    // Fetch parent records (all per-round working arrays are leased: the
+    // contraction performs O(log n) rounds and must not malloc per round).
+    let mut recs = scratch.lease(live, (0u64, CNode::default()));
+    let mut parent_q = scratch.lease(live, 0u64);
+    for (i, r) in nodes.iter().enumerate() {
+        recs[i] = (r.id, *r);
+        parent_q[i] = if r.parent == NONE {
+            DUMMY + r.id
+        } else {
+            r.parent
+        };
+    }
+    let parents = send_receive(c, scratch, &recs, &parent_q, engine, Schedule::Tree);
 
     // Decide rakes and emit the three update channels (dummies keep every
     // channel at the fixed size `live`).
-    let mut sib_src: Vec<(u64, (u64, u64, u64, u64))> = Vec::with_capacity(live);
-    let mut child_src: Vec<(u64, u64)> = Vec::with_capacity(live);
-    let mut kill_src: Vec<(u64, u64)> = Vec::with_capacity(live);
-    let mut self_rake = vec![false; live];
+    let mut sib_src = scratch.lease(live, (0u64, (0u64, 0u64, 0u64, 0u64)));
+    let mut child_src = scratch.lease(live, (0u64, 0u64));
+    let mut kill_src = scratch.lease(live, (0u64, 0u64));
+    let mut self_rake = scratch.lease(live, false);
 
     for (i, r) in nodes.iter().enumerate() {
         let mut sib = (DUMMY + r.id, (0, 0, 0, 0));
@@ -190,20 +204,25 @@ fn rake_substep<C: Ctx>(c: &C, nodes: &mut [CNode], side: u8, engine: Engine, _s
                 sib = (s_id, (c_val, p.op as u64, p.a, p.b));
             }
         }
-        sib_src.push(sib);
-        child_src.push(child);
-        kill_src.push(kill);
+        sib_src[i] = sib;
+        child_src[i] = child;
+        kill_src[i] = kill;
     }
     c.charge_par(live as u64);
 
     // Route the channels.
-    let ids: Vec<u64> = nodes.iter().map(|r| r.id).collect();
-    let sib_res = send_receive(c, &sib_src, &ids, engine, Schedule::Tree);
-    let left_q: Vec<u64> = nodes.iter().map(|r| r.id * 2).collect();
-    let right_q: Vec<u64> = nodes.iter().map(|r| r.id * 2 + 1).collect();
-    let left_res = send_receive(c, &child_src, &left_q, engine, Schedule::Tree);
-    let right_res = send_receive(c, &child_src, &right_q, engine, Schedule::Tree);
-    let kill_res = send_receive(c, &kill_src, &ids, engine, Schedule::Tree);
+    let mut ids = scratch.lease(live, 0u64);
+    let mut left_q = scratch.lease(live, 0u64);
+    let mut right_q = scratch.lease(live, 0u64);
+    for (i, r) in nodes.iter().enumerate() {
+        ids[i] = r.id;
+        left_q[i] = r.id * 2;
+        right_q[i] = r.id * 2 + 1;
+    }
+    let sib_res = send_receive(c, scratch, &sib_src, &ids, engine, Schedule::Tree);
+    let left_res = send_receive(c, scratch, &child_src, &left_q, engine, Schedule::Tree);
+    let right_res = send_receive(c, scratch, &child_src, &right_q, engine, Schedule::Tree);
+    let kill_res = send_receive(c, scratch, &kill_src, &ids, engine, Schedule::Tree);
 
     // Apply updates. The sibling channel carries (c_val, op, p.a, p.b) and
     // the new parent/side arrive via the parent record we already fetched.
@@ -246,27 +265,28 @@ fn rake_substep<C: Ctx>(c: &C, nodes: &mut [CNode], side: u8, engine: Engine, _s
 }
 
 /// Oblivious compaction of dead nodes down to `target` live records.
-fn compact_nodes<C: Ctx>(c: &C, nodes: &mut Vec<CNode>, target: usize, engine: Engine) {
+fn compact_nodes<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    nodes: &mut Vec<CNode>,
+    target: usize,
+    engine: Engine,
+) {
     let m = nodes.len().next_power_of_two();
-    let mut slots: Vec<Slot<CNode>> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, r)| {
-            let mut s = Slot::real(Item::new(0, *r), 0);
-            s.sk = if r.alive { i as u128 } else { u128::MAX - 1 };
-            s
-        })
-        .collect();
-    slots.resize(
+    let mut slots = scratch.lease(
         m,
         Slot {
             sk: u128::MAX,
-            ..Slot::filler()
+            ..Slot::<CNode>::filler()
         },
     );
+    for (slot, (i, r)) in slots.iter_mut().zip(nodes.iter().enumerate()) {
+        *slot = Slot::real(Item::new(0, *r), 0);
+        slot.sk = if r.alive { i as u128 } else { u128::MAX - 1 };
+    }
     {
         let mut t = Tracked::new(c, &mut slots);
-        engine.sort_slots(c, &mut t);
+        engine.sort_slots(c, scratch, &mut t);
     }
     let live: Vec<CNode> = slots[..target].iter().map(|s| s.item.val).collect();
     debug_assert!(live.iter().all(|r| r.alive), "compaction target too large");
@@ -276,10 +296,16 @@ fn compact_nodes<C: Ctx>(c: &C, nodes: &mut Vec<CNode>, target: usize, engine: E
 /// In-order leaf labels (1-based) via a local-rule Euler tour:
 /// `down(v) = 2v`, `up(v) = 2v+1`; successors follow the classic binary
 /// tree traversal rules, each computable from the node's own record.
-fn assign_leaf_labels<C: Ctx>(c: &C, nodes: &mut [CNode], engine: Engine, seed: u64) {
+fn assign_leaf_labels<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    nodes: &mut [CNode],
+    engine: Engine,
+    seed: u64,
+) {
     let n = nodes.len();
     let l = 2 * n;
-    let mut succ = vec![0usize; l];
+    let mut succ = scratch.lease(l, 0usize);
     for r in nodes.iter() {
         let v = r.id as usize;
         // down(v): enter v from its parent.
@@ -318,7 +344,7 @@ fn assign_leaf_labels<C: Ctx>(c: &C, nodes: &mut [CNode], engine: Engine, seed: 
             }
         })
         .collect();
-    let sib_res = send_receive(c, &sib_sources, &sib_q, engine, Schedule::Tree);
+    let sib_res = send_receive(c, scratch, &sib_sources, &sib_q, engine, Schedule::Tree);
     for (i, r) in nodes.iter().enumerate() {
         let v = r.id as usize;
         if succ[2 * v + 1] == usize::MAX {
@@ -329,7 +355,7 @@ fn assign_leaf_labels<C: Ctx>(c: &C, nodes: &mut [CNode], engine: Engine, seed: 
 
     // Rank the tour; smaller rank = later in the tour.
     let params = OrbaParams::for_n(l);
-    let rank = list_rank_oblivious(c, &succ, &vec![1u64; l], params, engine, seed);
+    let rank = list_rank_oblivious(c, scratch, &succ, &vec![1u64; l], params, engine, seed);
     let pos: Vec<u64> = rank
         .iter()
         .map(|&r| (l as u64 - 1).wrapping_sub(r))
@@ -337,28 +363,24 @@ fn assign_leaf_labels<C: Ctx>(c: &C, nodes: &mut [CNode], engine: Engine, seed: 
 
     // Leaves sorted by entry position get labels 1..L; route back by id.
     let m = n.next_power_of_two();
-    let mut slots: Vec<Slot<u64>> = nodes
-        .iter()
-        .map(|r| {
-            let mut s = Slot::real(Item::new(0, r.id), 0);
-            s.sk = if r.is_leaf {
-                pos[2 * r.id as usize] as u128
-            } else {
-                u128::MAX - 1
-            };
-            s
-        })
-        .collect();
-    slots.resize(
+    let mut slots = scratch.lease(
         m,
         Slot {
             sk: u128::MAX,
-            ..Slot::filler()
+            ..Slot::<u64>::filler()
         },
     );
+    for (slot, r) in slots.iter_mut().zip(nodes.iter()) {
+        *slot = Slot::real(Item::new(0, r.id), 0);
+        slot.sk = if r.is_leaf {
+            pos[2 * r.id as usize] as u128
+        } else {
+            u128::MAX - 1
+        };
+    }
     {
         let mut t = Tracked::new(c, &mut slots);
-        engine.sort_slots(c, &mut t);
+        engine.sort_slots(c, scratch, &mut t);
     }
     let label_sources: Vec<(u64, u64)> = slots
         .iter()
@@ -367,7 +389,7 @@ fn assign_leaf_labels<C: Ctx>(c: &C, nodes: &mut [CNode], engine: Engine, seed: 
         .map(|(k, s)| (s.item.val, k as u64 + 1))
         .collect();
     let ids: Vec<u64> = nodes.iter().map(|r| r.id).collect();
-    let labels = send_receive(c, &label_sources, &ids, engine, Schedule::Tree);
+    let labels = send_receive(c, scratch, &label_sources, &ids, engine, Schedule::Tree);
     let leaf_count = nodes.iter().filter(|r| r.is_leaf).count() as u64;
     for (i, r) in nodes.iter_mut().enumerate() {
         if r.is_leaf {
@@ -388,6 +410,7 @@ mod tests {
     #[test]
     fn evaluates_tiny_trees() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         // (2 + 3) * 4 = 20
         let t = ExprTree {
             nodes: vec![
@@ -399,21 +422,22 @@ mod tests {
             ],
             root: 4,
         };
-        assert_eq!(contract_eval(&c, &t, Engine::BitonicRec, 1), 20);
+        assert_eq!(contract_eval(&c, &sp, &t, Engine::BitonicRec, 1), 20);
         // Single leaf.
         let single = ExprTree {
             nodes: vec![ExprNode::Leaf(7)],
             root: 0,
         };
-        assert_eq!(contract_eval(&c, &single, Engine::BitonicRec, 1), 7);
+        assert_eq!(contract_eval(&c, &sp, &single, Engine::BitonicRec, 1), 7);
     }
 
     #[test]
     fn matches_direct_eval_on_random_trees() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         for (leaves, seed) in [(2usize, 1u64), (3, 2), (8, 3), (17, 4), (64, 5), (100, 6)] {
             let t = random_expr_tree(leaves, seed);
-            let got = contract_eval(&c, &t, Engine::BitonicRec, seed);
+            let got = contract_eval(&c, &sp, &t, Engine::BitonicRec, seed);
             assert_eq!(got, t.eval(), "leaves = {leaves}, seed = {seed}");
         }
     }
@@ -422,7 +446,8 @@ mod tests {
     fn parallel_matches() {
         let pool = Pool::new(4);
         let t = random_expr_tree(80, 11);
-        let got = pool.run(|c| contract_eval(c, &t, Engine::BitonicRec, 2));
+        let sp = ScratchPool::new();
+        let got = pool.run(|c| contract_eval(c, &sp, &t, Engine::BitonicRec, 2));
         assert_eq!(got, t.eval());
     }
 
@@ -436,7 +461,8 @@ mod tests {
         // influence the trace.
         let run = |t: &ExprTree, seed: u64| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
-                contract_eval(c, t, Engine::BitonicRec, seed);
+                let sp = ScratchPool::new();
+                contract_eval(c, &sp, t, Engine::BitonicRec, seed);
             });
             (rep.trace_hash, rep.trace_len)
         };

@@ -15,8 +15,8 @@
 
 use crate::listrank::list_rank_oblivious;
 use fj::Ctx;
-use metrics::Tracked;
-use obliv_core::scan::{seg_propagate, Schedule, Seg};
+use metrics::{ScratchPool, Tracked};
+use obliv_core::scan::{seg_propagate_in, Schedule, Seg};
 use obliv_core::slot::{Item, Slot};
 use obliv_core::{send_receive, Engine, OrbaParams};
 
@@ -33,31 +33,34 @@ pub struct EulerTour {
 }
 
 /// Build the Euler tour of the tree given by `edges`, obliviously.
-pub fn euler_tour<C: Ctx>(c: &C, edges: &[(usize, usize)], engine: Engine) -> EulerTour {
+pub fn euler_tour<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    edges: &[(usize, usize)],
+    engine: Engine,
+) -> EulerTour {
     let l = 2 * edges.len();
     assert!(l >= 2, "tree must have at least one edge");
     let m = l.next_power_of_two();
 
     // Both directions of every edge, as slots keyed by (tail, head).
-    let mut slots: Vec<Slot<(u32, u32)>> = edges
-        .iter()
-        .flat_map(|&(u, v)| [(u, v), (v, u)])
-        .map(|(u, v)| {
-            let mut s = Slot::real(Item::new(0, (u as u32, v as u32)), 0);
-            s.sk = arc_key(u, v) as u128;
-            s
-        })
-        .collect();
-    slots.resize(
+    let mut slots = scratch.lease(
         m,
         Slot {
             sk: u128::MAX,
-            ..Slot::filler()
+            ..Slot::<(u32, u32)>::filler()
         },
     );
+    for (slot, (u, v)) in slots
+        .iter_mut()
+        .zip(edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]))
+    {
+        *slot = Slot::real(Item::new(0, (u as u32, v as u32)), 0);
+        slot.sk = arc_key(u, v) as u128;
+    }
     {
         let mut t = Tracked::new(c, &mut slots);
-        engine.sort_slots(c, &mut t);
+        engine.sort_slots(c, scratch, &mut t);
     }
     let arcs: Vec<(u32, u32)> = slots[..l].iter().map(|s| s.item.val).collect();
 
@@ -71,7 +74,7 @@ pub fn euler_tour<C: Ctx>(c: &C, edges: &[(usize, usize)], engine: Engine) -> Eu
         .collect();
     {
         let mut t = Tracked::new(c, &mut heads);
-        seg_propagate(c, &mut t, Schedule::Tree);
+        seg_propagate_in(c, scratch, &mut t, Schedule::Tree);
     }
     let adj_succ: Vec<u64> = (0..l)
         .map(|i| {
@@ -93,7 +96,7 @@ pub fn euler_tour<C: Ctx>(c: &C, edges: &[(usize, usize)], engine: Engine) -> Eu
         .iter()
         .map(|&(u, v)| arc_key(v as usize, u as usize))
         .collect();
-    let succ = send_receive(c, &sources, &dests, engine, Schedule::Tree)
+    let succ = send_receive(c, scratch, &sources, &dests, engine, Schedule::Tree)
         .into_iter()
         .map(|o| o.expect("reverse arc exists in a tree") as usize)
         .collect();
@@ -120,6 +123,7 @@ pub struct TreeStats {
 /// (§5.2), all obliviously.
 pub fn rooted_tree_stats<C: Ctx>(
     c: &C,
+    scratch: &ScratchPool,
     n: usize,
     edges: &[(usize, usize)],
     root: usize,
@@ -127,7 +131,7 @@ pub fn rooted_tree_stats<C: Ctx>(
     seed: u64,
 ) -> TreeStats {
     assert_eq!(edges.len(), n - 1, "not a tree");
-    let tour = euler_tour(c, edges, engine);
+    let tour = euler_tour(c, scratch, edges, engine);
     let l = tour.arcs.len();
     let params = OrbaParams::for_n(l);
 
@@ -157,7 +161,7 @@ pub fn rooted_tree_stats<C: Ctx>(
 
     // Tour positions from an (unweighted) oblivious list ranking.
     let unit = vec![1u64; l];
-    let rank = list_rank_oblivious(c, &succ_list, &unit, params, engine, seed);
+    let rank = list_rank_oblivious(c, scratch, &succ_list, &unit, params, engine, seed);
     let pos: Vec<u64> = rank
         .iter()
         .map(|&r| (l as u64 - 1).wrapping_sub(r))
@@ -177,10 +181,11 @@ pub fn rooted_tree_stats<C: Ctx>(
         .iter()
         .map(|&(u, v)| arc_key(v as usize, u as usize))
         .collect();
-    let rev_pos: Vec<u64> = send_receive(c, &pos_sources, &rev_dests, engine, Schedule::Tree)
-        .into_iter()
-        .map(|o| o.expect("reverse arc"))
-        .collect();
+    let rev_pos: Vec<u64> =
+        send_receive(c, scratch, &pos_sources, &rev_dests, engine, Schedule::Tree)
+            .into_iter()
+            .map(|o| o.expect("reverse arc"))
+            .collect();
 
     // Advance arcs descend from parent to child.
     let advance: Vec<bool> = (0..l).map(|i| pos[i] < rev_pos[i]).collect();
@@ -193,9 +198,9 @@ pub fn rooted_tree_stats<C: Ctx>(
         .collect();
     let w_pre: Vec<u64> = advance.iter().map(|&a| a as u64).collect();
     let w_post: Vec<u64> = advance.iter().map(|&a| !a as u64).collect();
-    let r_depth = list_rank_oblivious(c, &succ_list, &w_depth, params, engine, seed ^ 1);
-    let r_pre = list_rank_oblivious(c, &succ_list, &w_pre, params, engine, seed ^ 2);
-    let r_post = list_rank_oblivious(c, &succ_list, &w_post, params, engine, seed ^ 3);
+    let r_depth = list_rank_oblivious(c, scratch, &succ_list, &w_depth, params, engine, seed ^ 1);
+    let r_pre = list_rank_oblivious(c, scratch, &succ_list, &w_pre, params, engine, seed ^ 2);
+    let r_post = list_rank_oblivious(c, scratch, &succ_list, &w_post, params, engine, seed ^ 3);
 
     // Per-arc prefix-inclusive values (totals minus strict suffixes; the
     // terminal arc is a retreat, so the +1/−1 total needs its weight back).
@@ -245,8 +250,22 @@ pub fn rooted_tree_stats<C: Ctx>(
         })
         .collect();
     let vert_dests: Vec<u64> = (0..n as u64).collect();
-    let results = send_receive(c, &vert_sources, &vert_dests, engine, Schedule::Tree);
-    let post_results = send_receive(c, &post_sources, &vert_dests, engine, Schedule::Tree);
+    let results = send_receive(
+        c,
+        scratch,
+        &vert_sources,
+        &vert_dests,
+        engine,
+        Schedule::Tree,
+    );
+    let post_results = send_receive(
+        c,
+        scratch,
+        &post_sources,
+        &vert_dests,
+        engine,
+        Schedule::Tree,
+    );
     for (v, res) in results.into_iter().enumerate() {
         if let Some((p, d, pre, size)) = res {
             parent[v] = p as usize;
@@ -348,8 +367,9 @@ mod tests {
     #[test]
     fn tour_is_a_single_cycle_visiting_every_arc() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let edges = random_tree(40, 8);
-        let tour = euler_tour(&c, &edges, Engine::BitonicRec);
+        let tour = euler_tour(&c, &sp, &edges, Engine::BitonicRec);
         let l = tour.arcs.len();
         assert_eq!(l, 2 * edges.len());
         let mut seen = vec![false; l];
@@ -366,14 +386,15 @@ mod tests {
     #[test]
     fn stats_match_dfs_on_path_and_star() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         // Path 0-1-2-3-4.
         let path: Vec<(usize, usize)> = (0..4).map(|i| (i, i + 1)).collect();
-        let got = rooted_tree_stats(&c, 5, &path, 0, Engine::BitonicRec, 3);
+        let got = rooted_tree_stats(&c, &sp, 5, &path, 0, Engine::BitonicRec, 3);
         let expect = tree_stats_dfs(5, &path, 0);
         assert_eq!(got, expect);
         // Star centered at 0.
         let star: Vec<(usize, usize)> = (1..6).map(|v| (0, v)).collect();
-        let got = rooted_tree_stats(&c, 6, &star, 0, Engine::BitonicRec, 4);
+        let got = rooted_tree_stats(&c, &sp, 6, &star, 0, Engine::BitonicRec, 4);
         let expect = tree_stats_dfs(6, &star, 0);
         assert_eq!(got, expect);
     }
@@ -381,10 +402,11 @@ mod tests {
     #[test]
     fn stats_match_dfs_on_random_trees() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         for (n, seed) in [(17usize, 1u64), (64, 2), (150, 3)] {
             let edges = random_tree(n, seed);
             let root = (seed as usize * 7) % n;
-            let got = rooted_tree_stats(&c, n, &edges, root, Engine::BitonicRec, seed);
+            let got = rooted_tree_stats(&c, &sp, n, &edges, root, Engine::BitonicRec, seed);
             let expect = tree_stats_dfs(n, &edges, root);
             assert_eq!(got.parent, expect.parent, "parent n={n}");
             assert_eq!(got.depth, expect.depth, "depth n={n}");

@@ -12,7 +12,7 @@
 //!   `O(n log n)` work, `O((n/B) log_M n)` cache, span `Õ(log² n)`.
 
 use fj::{grain_for, par_for, Ctx};
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
 use obliv_core::slot::Item;
 use obliv_core::{orp, send_receive, Engine, OrbaParams};
@@ -22,16 +22,23 @@ use obliv_core::{orp, send_receive, Engine, OrbaParams};
 /// of `weight[j]` over every `j` on the path from `i` (inclusive) to the
 /// terminal (exclusive of the terminal's self-loop repetition). With unit
 /// weights this is the distance to the terminal.
-pub fn list_rank_insecure<C: Ctx>(c: &C, succ: &[usize], weight: &[u64]) -> Vec<u64> {
+pub fn list_rank_insecure<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    succ: &[usize],
+    weight: &[u64],
+) -> Vec<u64> {
     let n = succ.len();
     assert_eq!(weight.len(), n);
-    let mut s: Vec<u64> = succ.iter().map(|&x| x as u64).collect();
-    let mut r: Vec<u64> = (0..n)
-        .map(|i| if succ[i] == i { 0 } else { weight[i] })
-        .collect();
+    let mut s = scratch.lease(n, 0u64);
+    let mut r = scratch.lease(n, 0u64);
+    for i in 0..n {
+        s[i] = succ[i] as u64;
+        r[i] = if succ[i] == i { 0 } else { weight[i] };
+    }
     let rounds = (usize::BITS - n.max(2).leading_zeros()) as usize;
-    let mut s2 = vec![0u64; n];
-    let mut r2 = vec![0u64; n];
+    let mut s2 = scratch.lease(n, 0u64);
+    let mut r2 = scratch.lease(n, 0u64);
     for _ in 0..rounds {
         {
             let mut st = Tracked::new(c, &mut s);
@@ -53,12 +60,12 @@ pub fn list_rank_insecure<C: Ctx>(c: &C, succ: &[usize], weight: &[u64]) -> Vec<
         std::mem::swap(&mut s, &mut s2);
         std::mem::swap(&mut r, &mut r2);
     }
-    r
+    r.to_vec()
 }
 
 /// Unit-weight convenience wrapper.
-pub fn list_rank_insecure_unit<C: Ctx>(c: &C, succ: &[usize]) -> Vec<u64> {
-    list_rank_insecure(c, succ, &vec![1u64; succ.len()])
+pub fn list_rank_insecure_unit<C: Ctx>(c: &C, scratch: &ScratchPool, succ: &[usize]) -> Vec<u64> {
+    list_rank_insecure(c, scratch, succ, &vec![1u64; succ.len()])
 }
 
 /// Entry carried through the oblivious pipeline.
@@ -72,6 +79,7 @@ struct Entry {
 /// Oblivious (weighted) list ranking per §5.1.
 pub fn list_rank_oblivious<C: Ctx>(
     c: &C,
+    scratch: &ScratchPool,
     succ: &[usize],
     weight: &[u64],
     params: OrbaParams,
@@ -97,7 +105,7 @@ pub fn list_rank_oblivious<C: Ctx>(
             )
         })
         .collect();
-    let (permuted, _) = orp(c, &items, params, seed);
+    let (permuted, _) = orp(c, scratch, &items, params, seed);
 
     // 2. Each entry learns its successor's permuted position via oblivious
     //    send-receive (sources: original id -> permuted position).
@@ -107,7 +115,7 @@ pub fn list_rank_oblivious<C: Ctx>(
         .map(|(j, it)| (it.val.orig, j as u64))
         .collect();
     let dests: Vec<u64> = permuted.iter().map(|it| it.val.succ).collect();
-    let succ_pos = send_receive(c, &sources, &dests, engine, Schedule::Tree);
+    let succ_pos = send_receive(c, scratch, &sources, &dests, engine, Schedule::Tree);
 
     // 3. Pointer jumping directly on the permuted array. The permutation is
     //    hidden and uniformly random, so these data-dependent accesses are
@@ -124,24 +132,37 @@ pub fn list_rank_oblivious<C: Ctx>(
         })
         .collect();
     let perm_weight: Vec<u64> = permuted.iter().map(|it| it.val.weight).collect();
-    let perm_rank = list_rank_insecure(c, &perm_succ, &perm_weight);
+    let perm_rank = list_rank_insecure(c, scratch, &perm_succ, &perm_weight);
 
     // 4. Route the answers back to original positions.
     let back_sources: Vec<(u64, u64)> = (0..n)
         .map(|j| (permuted[j].val.orig, perm_rank[j]))
         .collect();
     let back_dests: Vec<u64> = (0..n as u64).collect();
-    send_receive(c, &back_sources, &back_dests, engine, Schedule::Tree)
-        .into_iter()
-        .map(|o| o.expect("every node ranked"))
-        .collect()
+    send_receive(
+        c,
+        scratch,
+        &back_sources,
+        &back_dests,
+        engine,
+        Schedule::Tree,
+    )
+    .into_iter()
+    .map(|o| o.expect("every node ranked"))
+    .collect()
 }
 
 /// Unit-weight oblivious wrapper.
-pub fn list_rank_oblivious_unit<C: Ctx>(c: &C, succ: &[usize], seed: u64) -> Vec<u64> {
+pub fn list_rank_oblivious_unit<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    succ: &[usize],
+    seed: u64,
+) -> Vec<u64> {
     let params = OrbaParams::for_n(succ.len().max(2));
     list_rank_oblivious(
         c,
+        scratch,
         succ,
         &vec![1u64; succ.len()],
         params,
@@ -168,9 +189,10 @@ mod tests {
     #[test]
     fn insecure_matches_reference() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         for n in [1usize, 2, 3, 10, 257, 1000] {
             let (succ, order) = random_list(n, n as u64);
-            let got = list_rank_insecure_unit(&c, &succ);
+            let got = list_rank_insecure_unit(&c, &sp, &succ);
             assert_eq!(got, reference_ranks(&succ, &order), "n = {n}");
         }
     }
@@ -178,10 +200,11 @@ mod tests {
     #[test]
     fn oblivious_matches_insecure() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         for n in [1usize, 2, 50, 300, 1200] {
             let (succ, _) = random_list(n, 7 + n as u64);
-            let a = list_rank_insecure_unit(&c, &succ);
-            let b = list_rank_oblivious_unit(&c, &succ, 99);
+            let a = list_rank_insecure_unit(&c, &sp, &succ);
+            let b = list_rank_oblivious_unit(&c, &sp, &succ, 99);
             assert_eq!(a, b, "n = {n}");
         }
     }
@@ -191,8 +214,10 @@ mod tests {
         let c = SeqCtx::new();
         let (succ, order) = random_list(64, 3);
         let weight: Vec<u64> = (0..64u64).map(|i| i + 1).collect();
+        let sp = ScratchPool::new();
         let got = list_rank_oblivious(
             &c,
+            &sp,
             &succ,
             &weight,
             OrbaParams::for_n(64),
@@ -225,8 +250,9 @@ mod tests {
     fn parallel_matches() {
         let pool = Pool::new(4);
         let (succ, _) = random_list(2000, 21);
-        let seq = list_rank_insecure_unit(&SeqCtx::new(), &succ);
-        let par = pool.run(|c| list_rank_oblivious_unit(c, &succ, 13));
+        let sp = ScratchPool::new();
+        let seq = list_rank_insecure_unit(&SeqCtx::new(), &sp, &succ);
+        let par = pool.run(|c| list_rank_oblivious_unit(c, &sp, &succ, 13));
         assert_eq!(seq, par);
     }
 }

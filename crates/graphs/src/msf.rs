@@ -21,7 +21,7 @@
 //! engine's extra log, as everywhere).
 
 use fj::Ctx;
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
 use obliv_core::slot::{Item, Slot};
 use obliv_core::{send_receive, Engine};
@@ -40,7 +40,13 @@ pub struct MsfResult {
 }
 
 /// Oblivious Borůvka MSF over `(u, v, w)` edges.
-pub fn msf<C: Ctx>(c: &C, n: usize, edges: &[(usize, usize, u64)], engine: Engine) -> MsfResult {
+pub fn msf<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    n: usize,
+    edges: &[(usize, usize, u64)],
+    engine: Engine,
+) -> MsfResult {
     let m = edges.len();
     let lg = (usize::BITS - n.max(2).leading_zeros()) as usize;
     let mut d: Vec<u64> = (0..n as u64).collect();
@@ -52,7 +58,7 @@ pub fn msf<C: Ctx>(c: &C, n: usize, edges: &[(usize, usize, u64)], engine: Engin
         // 1. Flatten.
         for _ in 0..lg {
             let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-            d = send_receive(c, &sources, &d, engine, Schedule::Tree)
+            d = send_receive(c, scratch, &sources, &d, engine, Schedule::Tree)
                 .into_iter()
                 .map(|o| o.expect("label in range"))
                 .collect();
@@ -64,7 +70,7 @@ pub fn msf<C: Ctx>(c: &C, n: usize, edges: &[(usize, usize, u64)], engine: Engin
             .iter()
             .flat_map(|&(u, v, _)| [u as u64, v as u64])
             .collect();
-        let end_comp = send_receive(c, &comp_sources, &ends, engine, Schedule::Tree);
+        let end_comp = send_receive(c, scratch, &comp_sources, &ends, engine, Schedule::Tree);
 
         // 3. Per-component minimum incident edge: both half-edges propose.
         let mut proposals: Vec<Slot<(u64, u64, u64, u64)>> = Vec::with_capacity(2 * m);
@@ -94,7 +100,7 @@ pub fn msf<C: Ctx>(c: &C, n: usize, edges: &[(usize, usize, u64)], engine: Engin
         );
         {
             let mut t = Tracked::new(c, &mut proposals);
-            engine.sort_slots(c, &mut t);
+            engine.sort_slots(c, scratch, &mut t);
         }
 
         // Winners: head of each component run.
@@ -119,7 +125,7 @@ pub fn msf<C: Ctx>(c: &C, n: usize, edges: &[(usize, usize, u64)], engine: Engin
             .iter()
             .map(|&(comp, (_, other))| (comp, other))
             .collect();
-        let hooks = send_receive(c, &hook_sources, &all_v, engine, Schedule::Tree);
+        let hooks = send_receive(c, scratch, &hook_sources, &all_v, engine, Schedule::Tree);
         {
             let mut dt = Tracked::new(c, &mut d);
             let dr = dt.as_raw();
@@ -132,7 +138,7 @@ pub fn msf<C: Ctx>(c: &C, n: usize, edges: &[(usize, usize, u64)], engine: Engin
         }
         // Break 2-cycles: if D[D[v]] == v, the smaller id becomes root.
         let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-        let dd = send_receive(c, &sources, &d, engine, Schedule::Tree);
+        let dd = send_receive(c, scratch, &sources, &d, engine, Schedule::Tree);
         {
             let mut dt = Tracked::new(c, &mut d);
             let dr = dt.as_raw();
@@ -168,7 +174,7 @@ pub fn msf<C: Ctx>(c: &C, n: usize, edges: &[(usize, usize, u64)], engine: Engin
         );
         {
             let mut t = Tracked::new(c, &mut chosen);
-            engine.sort_slots(c, &mut t);
+            engine.sort_slots(c, scratch, &mut t);
         }
         let flag_sources: Vec<(u64, u64)> = (0..chosen.len())
             .map(|i| {
@@ -186,7 +192,7 @@ pub fn msf<C: Ctx>(c: &C, n: usize, edges: &[(usize, usize, u64)], engine: Engin
             .collect();
         c.charge_par(chosen.len() as u64);
         let edge_ids: Vec<u64> = (0..m as u64).collect();
-        let flags = send_receive(c, &flag_sources, &edge_ids, engine, Schedule::Tree);
+        let flags = send_receive(c, scratch, &flag_sources, &edge_ids, engine, Schedule::Tree);
         for e in 0..m {
             let newly = flags[e].is_some() && !in_forest[e];
             in_forest[e] |= newly;
@@ -198,7 +204,7 @@ pub fn msf<C: Ctx>(c: &C, n: usize, edges: &[(usize, usize, u64)], engine: Engin
     // Final flatten for clean component labels.
     for _ in 0..lg {
         let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-        d = send_receive(c, &sources, &d, engine, Schedule::Tree)
+        d = send_receive(c, scratch, &sources, &d, engine, Schedule::Tree)
             .into_iter()
             .map(|o| o.expect("label in range"))
             .collect();
@@ -218,7 +224,8 @@ mod tests {
 
     fn check(n: usize, edges: &[(usize, usize, u64)]) {
         let c = SeqCtx::new();
-        let res = msf(&c, n, edges, Engine::BitonicRec);
+        let sp = ScratchPool::new();
+        let res = msf(&c, &sp, n, edges, Engine::BitonicRec);
         assert_eq!(
             res.total_weight,
             kruskal_msf_weight(n, edges),
@@ -282,7 +289,8 @@ mod tests {
             .map(|i| (i, i + 1, (i * 7 % 13) as u64 + 1))
             .collect();
         let c = SeqCtx::new();
-        let res = msf(&c, n, &edges, Engine::BitonicRec);
+        let sp = ScratchPool::new();
+        let res = msf(&c, &sp, n, &edges, Engine::BitonicRec);
         assert!(
             res.in_forest.iter().all(|&b| b),
             "every path edge is in the MSF"
@@ -293,8 +301,9 @@ mod tests {
     fn parallel_matches() {
         let pool = Pool::new(4);
         let edges = random_weighted_graph(50, 100, 9);
-        let seq = msf(&SeqCtx::new(), 50, &edges, Engine::BitonicRec);
-        let par = pool.run(|c| msf(c, 50, &edges, Engine::BitonicRec));
+        let sp = ScratchPool::new();
+        let seq = msf(&SeqCtx::new(), &sp, 50, &edges, Engine::BitonicRec);
+        let par = pool.run(|c| msf(c, &sp, 50, &edges, Engine::BitonicRec));
         assert_eq!(seq.total_weight, par.total_weight);
         assert_eq!(seq.in_forest, par.in_forest);
     }

@@ -21,11 +21,13 @@
 mod cache;
 mod meter;
 mod report;
+pub mod scratch;
 mod trace;
 mod tracked;
 
 pub use cache::{CacheConfig, CacheSim};
 pub use meter::{measure, Counter, MeterCtx};
 pub use report::CostReport;
+pub use scratch::{ScratchGuard, ScratchPool};
 pub use trace::{TraceEvent, TraceMode, TraceRec};
-pub use tracked::{par_collect, par_tracked_chunks, words_per, RawTracked, Tracked};
+pub use tracked::{par_collect, par_fill, par_tracked_chunks, words_per, RawTracked, Tracked};

@@ -1,0 +1,293 @@
+//! Scratch arena: reusable, size-classed buffer leases for the oblivious
+//! kernels.
+//!
+//! The paper's cost model charges work, span, and cache misses — but a
+//! naive implementation pays a hidden fourth cost: heap allocation on every
+//! recursive call (a full oblivious sort performed hundreds of `malloc`s
+//! per invocation). Cole–Ramachandran's resource-oblivious line gets its
+//! cache bounds from disciplined reuse of a bounded scratch footprint;
+//! [`ScratchPool`] adopts the same discipline. Kernels lease buffers
+//! instead of allocating: a lease draws recycled backing storage from a
+//! size-classed freelist and returns it on drop ([`ScratchGuard`]).
+//!
+//! ## Memory discipline contract
+//!
+//! * **Leases are filled, not zeroed.** Every lease overwrites all `len`
+//!   elements with the caller's `fill` value before the buffer is visible,
+//!   so recycled *bytes* never reach safe code (some element types contain
+//!   `bool`s — handing out raw recycled bytes would be undefined
+//!   behavior). This is the same write the `vec![fill; n]` it replaces
+//!   performed; only the allocator round-trip disappears.
+//! * **Reuse is adversary-invisible.** The pool hands out *backing
+//!   storage*; the logical address space the paper's adversary observes is
+//!   defined by [`crate::Tracked::new`]'s registration order, which does
+//!   not depend on which physical buffer backs a lease. The trace-equality
+//!   tests (`tests/scratch_reuse.rs`) pin this down: a kernel run on a
+//!   fresh pool and on a dirty, heavily reused pool produces bit-identical
+//!   trace hashes.
+//! * **Bounded footprint.** Buffers are size-classed by power-of-two byte
+//!   size, so a pool retains at most one high-water-mark set of buffers
+//!   per class — the steady-state footprint of the largest kernel run
+//!   through it, mirroring the `O(n)`-words auxiliary-space bounds.
+//!
+//! The pool is `Sync`: kernels lease concurrently from worker threads
+//! under [`fj::Pool`] (per-class mutexes, uncontended in the common case).
+
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of power-of-two size classes. Class `k` holds buffers of
+/// `16 << k` bytes; class 47 tops out at 2 PiB, far beyond any real lease.
+const NCLASSES: usize = 48;
+
+/// Smallest class: one 16-byte word (keeps every class 16-byte aligned,
+/// the maximum alignment of the workspace's element types).
+const MIN_BYTES: usize = 16;
+
+/// Backing storage is `Vec<u128>` so every buffer is 16-byte aligned.
+type Backing = Vec<u128>;
+
+fn class_of(bytes: usize) -> usize {
+    let b = bytes.next_power_of_two().max(MIN_BYTES);
+    let class = b.trailing_zeros() as usize - MIN_BYTES.trailing_zeros() as usize;
+    assert!(class < NCLASSES, "scratch lease of {bytes} bytes too large");
+    class
+}
+
+const fn class_words(class: usize) -> usize {
+    (MIN_BYTES << class) / std::mem::size_of::<u128>()
+}
+
+/// A pool of reusable scratch buffers, size-classed by power-of-two byte
+/// size.
+///
+/// Create one per long-lived computation (a benchmark sweep, a server, a
+/// test) and thread `&ScratchPool` through the kernels; after a warm-up
+/// call the hot paths stop touching the global allocator entirely (see
+/// `tests/alloc_gate.rs` for the enforced budget).
+#[derive(Debug)]
+pub struct ScratchPool {
+    classes: [Mutex<Vec<Backing>>; NCLASSES],
+    leases: AtomicU64,
+    fresh: AtomicU64,
+    resident: AtomicU64,
+}
+
+impl Default for ScratchPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScratchPool {
+    pub fn new() -> Self {
+        ScratchPool {
+            classes: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            leases: AtomicU64::new(0),
+            fresh: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
+        }
+    }
+
+    /// Lease a buffer of `len` elements, every one initialized to `fill`.
+    ///
+    /// The *backing bytes* are recycled from earlier leases (dirty), but
+    /// the returned slice is always fully overwritten with `fill` first —
+    /// exactly the initialization `vec![fill; len]` would have performed.
+    /// The storage returns to the pool when the guard drops.
+    pub fn lease<T: Copy + Send>(&self, len: usize, fill: T) -> ScratchGuard<'_, T> {
+        assert!(
+            std::mem::align_of::<T>() <= MIN_BYTES,
+            "scratch elements must have alignment <= 16"
+        );
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("scratch lease size overflow")
+            .max(1);
+        let class = class_of(bytes);
+        let recycled = self.classes[class]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop();
+        let mut store = recycled.unwrap_or_else(|| {
+            self.fresh.fetch_add(1, Ordering::Relaxed);
+            self.resident
+                .fetch_add((MIN_BYTES << class) as u64, Ordering::Relaxed);
+            vec![0u128; class_words(class)]
+        });
+        self.leases.fetch_add(1, Ordering::Relaxed);
+        debug_assert_eq!(store.len(), class_words(class));
+        let ptr = store.as_mut_ptr().cast::<T>();
+        for i in 0..len {
+            // SAFETY: `len * size_of::<T>()` bytes fit in the class, the
+            // base pointer is 16-byte aligned, and `T: Copy` needs no drop.
+            unsafe { ptr.add(i).write(fill) };
+        }
+        ScratchGuard {
+            store,
+            len,
+            pool: self,
+            _elem: PhantomData,
+        }
+    }
+
+    /// Total leases served (diagnostics).
+    pub fn leases(&self) -> u64 {
+        self.leases.load(Ordering::Relaxed)
+    }
+
+    /// Leases that had to allocate fresh backing storage (pool misses).
+    /// In steady state this stops growing — the allocation-gate test
+    /// asserts exactly that.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of backing storage owned by this pool (leased or free).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    fn give_back(&self, store: Backing) {
+        if store.is_empty() {
+            return;
+        }
+        let class = class_of(store.len() * std::mem::size_of::<u128>());
+        self.classes[class]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(store);
+    }
+}
+
+/// An exclusive lease on a scratch buffer; derefs to `[T]` and returns the
+/// backing storage to its [`ScratchPool`] on drop.
+///
+/// Pass `&mut guard` anywhere a `&mut [T]` is expected — in particular to
+/// [`crate::Tracked::new`], which is how leased scratch enters the metered
+/// logical address space.
+pub struct ScratchGuard<'p, T: Copy + Send> {
+    store: Backing,
+    len: usize,
+    pool: &'p ScratchPool,
+    _elem: PhantomData<fn() -> T>,
+}
+
+impl<T: Copy + Send> Deref for ScratchGuard<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        // SAFETY: lease() initialized self.len elements of T at the base.
+        unsafe { std::slice::from_raw_parts(self.store.as_ptr().cast(), self.len) }
+    }
+}
+
+impl<T: Copy + Send> DerefMut for ScratchGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        // SAFETY: as in Deref; exclusivity via &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.store.as_mut_ptr().cast(), self.len) }
+    }
+}
+
+impl<T: Copy + Send> Drop for ScratchGuard<'_, T> {
+    fn drop(&mut self) {
+        self.pool.give_back(std::mem::take(&mut self.store));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_is_filled_and_sized() {
+        let sp = ScratchPool::new();
+        let g = sp.lease(100, 7u64);
+        assert_eq!(g.len(), 100);
+        assert!(g.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn storage_is_recycled_across_leases() {
+        let sp = ScratchPool::new();
+        {
+            let mut g = sp.lease(1000, 0u64);
+            g[0] = 0xDEAD;
+        }
+        assert_eq!(sp.fresh_allocs(), 1);
+        {
+            // Same size class: must reuse, and must be re-filled.
+            let g = sp.lease(1000, 5u64);
+            assert!(g.iter().all(|&x| x == 5));
+        }
+        assert_eq!(sp.fresh_allocs(), 1, "second lease must hit the pool");
+        assert_eq!(sp.leases(), 2);
+    }
+
+    #[test]
+    fn different_classes_do_not_alias() {
+        let sp = ScratchPool::new();
+        let a = sp.lease(10, 1u64); // 80 B -> 128 B class
+        let b = sp.lease(1000, 2u64); // 8 kB class
+        assert_eq!(sp.fresh_allocs(), 2);
+        assert!(a.iter().all(|&x| x == 1));
+        assert!(b.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn zero_length_lease_is_fine() {
+        let sp = ScratchPool::new();
+        let g = sp.lease(0, 0u8);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn wide_elements_are_aligned() {
+        #[derive(Clone, Copy, Default)]
+        struct Fat {
+            _a: u128,
+            _b: u64,
+        }
+        let sp = ScratchPool::new();
+        let g = sp.lease(33, Fat::default());
+        assert_eq!(g.as_ptr() as usize % std::mem::align_of::<Fat>(), 0);
+        assert_eq!(g.len(), 33);
+    }
+
+    #[test]
+    fn concurrent_leases_are_disjoint() {
+        use std::sync::Arc;
+        let sp = Arc::new(ScratchPool::new());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let sp = Arc::clone(&sp);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let mut g = sp.lease(64, t as u64);
+                        g[0] = t as u64 * 1000 + i;
+                        assert_eq!(g[0], t as u64 * 1000 + i);
+                        assert!(g[1..].iter().all(|&x| x == t as u64));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sp.leases(), 8 * 200);
+    }
+
+    #[test]
+    fn tracked_integration() {
+        use crate::Tracked;
+        use fj::SeqCtx;
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut g = sp.lease(16, 0u64);
+        let mut t = Tracked::new(&c, &mut g);
+        t.set(&c, 3, 42);
+        assert_eq!(t.get(&c, 3), 42);
+    }
+}

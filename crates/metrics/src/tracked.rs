@@ -334,13 +334,25 @@ where
     let mut out = vec![T::default(); len];
     {
         let mut t = Tracked::new(c, &mut out);
-        let r = t.as_raw();
-        fj::par_for(c, 0, len, fj::grain_for(c), &|c, i| {
-            // SAFETY: each index written exactly once.
-            unsafe { r.set(c, i, f(c, i)) };
-        });
+        par_fill(c, &mut t, f);
     }
     out
+}
+
+/// Fill an existing tracked slice in parallel, one tracked write per
+/// element — the allocation-free sibling of [`par_collect`] for buffers
+/// leased from a [`crate::ScratchPool`].
+pub fn par_fill<C, T, F>(c: &C, t: &mut Tracked<'_, T>, f: &F)
+where
+    C: Ctx,
+    T: Copy + Send,
+    F: Fn(&C, usize) -> T + Sync,
+{
+    let r = t.as_raw();
+    fj::par_for(c, 0, r.len(), fj::grain_for(c), &|c, i| {
+        // SAFETY: each index written exactly once.
+        unsafe { r.set(c, i, f(c, i)) };
+    });
 }
 
 /// Run `f(ctx, chunk_index, chunk)` over the `len/chunk` equal chunks of a

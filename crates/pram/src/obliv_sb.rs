@@ -20,7 +20,7 @@
 
 use crate::model::{Program, WriteReq};
 use fj::{grain_for, par_for, Ctx};
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
 use obliv_core::slot::{composite_key, Item, Slot};
 use obliv_core::{send_receive, Engine};
@@ -31,6 +31,7 @@ const DUMMY: u64 = u64::MAX;
 /// Obliviously execute `prog`; returns the final memory contents.
 pub fn run_oblivious_sb<C: Ctx, P: Program>(
     c: &C,
+    scratch: &ScratchPool,
     prog: &P,
     mem_init: &[u64],
     engine: Engine,
@@ -60,7 +61,7 @@ pub fn run_oblivious_sb<C: Ctx, P: Program>(
             });
         }
         let sources: Vec<(u64, u64)> = snapshot_memory(c, &mut mem);
-        let fetched = send_receive(c, &sources, &dests, engine, Schedule::Tree);
+        let fetched = send_receive(c, scratch, &sources, &dests, engine, Schedule::Tree);
 
         // --- Local compute.
         let mut writes: Vec<Option<WriteReq>> = vec![None; p];
@@ -80,8 +81,8 @@ pub fn run_oblivious_sb<C: Ctx, P: Program>(
         }
 
         // --- Write step: conflict resolution + memory update.
-        let winners = resolve_conflicts(c, &writes, engine);
-        let updates = send_receive(c, &winners, &all_addrs, engine, Schedule::Tree);
+        let winners = resolve_conflicts(c, scratch, &writes, engine);
+        let updates = send_receive(c, scratch, &winners, &all_addrs, engine, Schedule::Tree);
         {
             let mut mem_t = Tracked::new(c, &mut mem);
             let mr = mem_t.as_raw();
@@ -120,6 +121,7 @@ fn snapshot_memory<C: Ctx>(c: &C, mem: &mut [u64]) -> Vec<(u64, u64)> {
 /// distinct addresses.
 fn resolve_conflicts<C: Ctx>(
     c: &C,
+    scratch: &ScratchPool,
     writes: &[Option<WriteReq>],
     engine: Engine,
 ) -> Vec<(u64, u64)> {
@@ -144,7 +146,7 @@ fn resolve_conflicts<C: Ctx>(
     );
 
     let mut t = Tracked::new(c, &mut slots);
-    engine.sort_slots(c, &mut t);
+    engine.sort_slots(c, scratch, &mut t);
     // Two phases so neighbour reads never observe blinded slots (a fused
     // read-modify pass would let iteration i see i−1 already blinded and
     // mistake a run continuation for a head).
@@ -192,7 +194,7 @@ mod tests {
         let vals: Vec<u64> = (0..37).map(|i| (i * 2654435761u64) % 1000).collect();
         let prog = MaxProgram::new(vals.len());
         let direct = run_direct(&c, &prog, &vals);
-        let obliv = run_oblivious_sb(&c, &prog, &vals, Engine::BitonicRec);
+        let obliv = run_oblivious_sb(&c, &ScratchPool::new(), &prog, &vals, Engine::BitonicRec);
         assert_eq!(direct, obliv);
     }
 
@@ -202,7 +204,7 @@ mod tests {
         let vals: Vec<u64> = vec![2, 0, 2, 1, 0, 2, 3, 3, 1, 0];
         let prog = HistogramProgram::new(vals.len(), 4);
         let direct = run_direct(&c, &prog, &vals);
-        let obliv = run_oblivious_sb(&c, &prog, &vals, Engine::BitonicRec);
+        let obliv = run_oblivious_sb(&c, &ScratchPool::new(), &prog, &vals, Engine::BitonicRec);
         assert_eq!(direct, obliv, "priority conflict resolution must match");
     }
 
@@ -216,7 +218,7 @@ mod tests {
         let p = 128;
         let vals: Vec<u64> = (0..p as u64).map(|i| i % 8).collect();
         let prog = HistogramProgram::new(p, 8);
-        let obliv = run_oblivious_sb(&c, &prog, &vals, Engine::BitonicRec);
+        let obliv = run_oblivious_sb(&c, &ScratchPool::new(), &prog, &vals, Engine::BitonicRec);
         assert_eq!(&obliv[p..p + 8], &[0, 1, 2, 3, 4, 5, 6, 7]);
         let direct = run_direct(&c, &prog, &vals);
         assert_eq!(direct, obliv);
@@ -228,7 +230,7 @@ mod tests {
         let succ: Vec<u64> = vec![3, 0, 1, 5, 2, 5]; // chain ending at 5
         let prog = PointerJumpProgram::new(succ.len());
         let direct = run_direct(&c, &prog, &succ);
-        let obliv = run_oblivious_sb(&c, &prog, &succ, Engine::BitonicRec);
+        let obliv = run_oblivious_sb(&c, &ScratchPool::new(), &prog, &succ, Engine::BitonicRec);
         assert_eq!(direct, obliv);
     }
 
@@ -239,7 +241,7 @@ mod tests {
         let run = |vals: Vec<u64>| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
                 let prog = HistogramProgram::new(vals.len(), 8);
-                run_oblivious_sb(c, &prog, &vals, Engine::BitonicRec);
+                run_oblivious_sb(c, &ScratchPool::new(), &prog, &vals, Engine::BitonicRec);
             });
             (rep.trace_hash, rep.trace_len)
         };
@@ -256,8 +258,9 @@ mod tests {
         let pool = Pool::new(4);
         let vals: Vec<u64> = (0..64).map(|i| i * 31 % 257).collect();
         let prog = MaxProgram::new(vals.len());
-        let seq = run_oblivious_sb(&SeqCtx::new(), &prog, &vals, Engine::BitonicRec);
-        let par = pool.run(|c| run_oblivious_sb(c, &prog, &vals, Engine::BitonicRec));
+        let sp = ScratchPool::new();
+        let seq = run_oblivious_sb(&SeqCtx::new(), &sp, &prog, &vals, Engine::BitonicRec);
+        let par = pool.run(|c| run_oblivious_sb(c, &sp, &prog, &vals, Engine::BitonicRec));
         assert_eq!(seq, par);
     }
 }

@@ -23,7 +23,7 @@
 
 use crate::veb::{tree_nodes, TreeLayout};
 use fj::Ctx;
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
 use obliv_core::slot::{composite_key, Item, Slot};
 use obliv_core::{send_receive, Engine};
@@ -273,6 +273,9 @@ pub struct Opram {
     top: Vec<u64>,
     rng: StdRng,
     engine: Engine,
+    /// Private scratch arena: batched accesses reuse sort/routing buffers
+    /// across the ORAM's lifetime instead of allocating per batch.
+    scratch: ScratchPool,
 }
 
 fn pack(lo: u32, hi: u32) -> u64 {
@@ -311,6 +314,7 @@ impl Opram {
             top,
             rng,
             engine,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -411,7 +415,7 @@ impl Opram {
         );
         {
             let mut t = Tracked::new(c, &mut slots);
-            self.engine.sort_slots(c, &mut t);
+            self.engine.sort_slots(c, &self.scratch, &mut t);
         }
         let mut winners: Vec<(u64, Option<u64>)> = Vec::new();
         for i in 0..m {
@@ -438,10 +442,17 @@ impl Opram {
 
         // Broadcast results to every request via oblivious send-receive.
         let dests: Vec<u64> = reqs.iter().map(|&(a, _)| a).collect();
-        send_receive(c, &fetched, &dests, self.engine, Schedule::Tree)
-            .into_iter()
-            .map(|o| o.expect("every request address was served"))
-            .collect()
+        send_receive(
+            c,
+            &self.scratch,
+            &fetched,
+            &dests,
+            self.engine,
+            Schedule::Tree,
+        )
+        .into_iter()
+        .map(|o| o.expect("every request address was served"))
+        .collect()
     }
 }
 

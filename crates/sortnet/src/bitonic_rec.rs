@@ -152,16 +152,30 @@ pub fn bitonic_sort_rec<C: Ctx, T: Copy + Send>(
 }
 
 /// Convenience wrapper: sort a plain slice (power-of-two length) with the
-/// cache-agnostic recursive network, allocating scratch internally.
+/// cache-agnostic recursive network, allocating scratch internally. Hot
+/// paths should prefer [`sort_slice_rec_in`] with a shared pool.
 pub fn sort_slice_rec<C: Ctx, T: Copy + Send + Default>(
     c: &C,
     data: &mut [T],
     key: &impl KeyFn<T>,
     up: bool,
 ) {
-    let mut scratch = vec![T::default(); data.len()];
+    let scratch = metrics::ScratchPool::new();
+    sort_slice_rec_in(c, &scratch, data, key, up);
+}
+
+/// [`sort_slice_rec`] drawing its merge scratch from a [`ScratchPool`]
+/// lease instead of a fresh allocation.
+pub fn sort_slice_rec_in<C: Ctx, T: Copy + Send + Default>(
+    c: &C,
+    scratch: &metrics::ScratchPool,
+    data: &mut [T],
+    key: &impl KeyFn<T>,
+    up: bool,
+) {
+    let mut lease = scratch.lease(data.len(), T::default());
     let mut t = Tracked::new(c, data);
-    let mut tmp = Tracked::new(c, &mut scratch);
+    let mut tmp = Tracked::new(c, &mut lease);
     bitonic_sort_rec(c, &mut t, &mut tmp, key, up);
 }
 

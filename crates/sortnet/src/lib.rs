@@ -25,7 +25,9 @@ pub mod shellsort;
 pub mod transpose;
 
 pub use bitonic::{bitonic_merge_seq, bitonic_sort_flat_par, bitonic_sort_seq};
-pub use bitonic_rec::{bitonic_merge_rec, bitonic_sort_rec, par_rows2, sort_slice_rec};
+pub use bitonic_rec::{
+    bitonic_merge_rec, bitonic_sort_rec, par_rows2, sort_slice_rec, sort_slice_rec_in,
+};
 pub use cx::{cex, cex_raw, select_u128, select_u64, KeyFn};
 pub use network::{Comparator, Network};
 pub use oddeven::oddeven_sort;

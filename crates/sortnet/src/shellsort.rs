@@ -17,7 +17,7 @@
 
 use crate::cx::{cex_raw, KeyFn};
 use fj::{counters, grain_for, par_for, Ctx};
-use metrics::Tracked;
+use metrics::{ScratchPool, Tracked};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -29,6 +29,8 @@ const MATCHINGS: usize = 4;
 /// Compare-exchange a random matching between regions `[a, a+len)` and
 /// `[b, b+len)`, repeated [`MATCHINGS`] times. The comparators of one
 /// matching are wire-disjoint, so they evaluate as one parallel layer.
+/// `perm` is caller-provided scratch for the matching (length `len`).
+#[allow(clippy::too_many_arguments)]
 fn compare_regions<C: Ctx, T: Copy + Send>(
     c: &C,
     t: &mut Tracked<'_, T>,
@@ -37,12 +39,16 @@ fn compare_regions<C: Ctx, T: Copy + Send>(
     a: usize,
     b: usize,
     len: usize,
+    perm: &mut [usize],
 ) {
-    let mut perm: Vec<usize> = (0..len).collect();
+    let perm = &mut perm[..len];
+    for (k, p) in perm.iter_mut().enumerate() {
+        *p = k;
+    }
     let raw = t.as_raw();
     for _ in 0..MATCHINGS {
         perm.shuffle(rng);
-        let perm_ref = &perm;
+        let perm_ref = &*perm;
         par_for(c, 0, len, grain_for(c), &|c, k| {
             // SAFETY: π is a permutation, so the pairs (a+k, b+π(k)) are
             // pairwise disjoint within a matching.
@@ -56,32 +62,35 @@ fn compare_regions<C: Ctx, T: Copy + Send>(
 /// [`randomized_shellsort`] for the verified retry loop.
 fn shellsort_pass<C: Ctx, T: Copy + Send>(
     c: &C,
+    scratch: &ScratchPool,
     t: &mut Tracked<'_, T>,
     key: &impl KeyFn<T>,
     rng: &mut StdRng,
 ) {
     let n = t.len();
+    // One lease covers every matching in the pass (gap never exceeds n/2).
+    let mut perm = scratch.lease((n / 2).max(1), 0usize);
     let mut gap = n / 2;
     while gap >= 1 {
         let regions = n / gap;
         // Shaker pass: left-to-right then right-to-left over neighbours.
         for i in 0..regions.saturating_sub(1) {
-            compare_regions(c, t, key, rng, i * gap, (i + 1) * gap, gap);
+            compare_regions(c, t, key, rng, i * gap, (i + 1) * gap, gap, &mut perm);
         }
         for i in (0..regions.saturating_sub(1)).rev() {
-            compare_regions(c, t, key, rng, i * gap, (i + 1) * gap, gap);
+            compare_regions(c, t, key, rng, i * gap, (i + 1) * gap, gap, &mut perm);
         }
         // Extended brick passes: distances 3 and 2.
         for d in [3usize, 2] {
             for i in 0..regions.saturating_sub(d) {
-                compare_regions(c, t, key, rng, i * gap, (i + d) * gap, gap);
+                compare_regions(c, t, key, rng, i * gap, (i + d) * gap, gap, &mut perm);
             }
         }
         // Odd-even passes over neighbours.
         for parity in [1usize, 0] {
             let mut i = parity;
             while i + 1 < regions {
-                compare_regions(c, t, key, rng, i * gap, (i + 1) * gap, gap);
+                compare_regions(c, t, key, rng, i * gap, (i + 1) * gap, gap, &mut perm);
                 i += 2;
             }
         }
@@ -111,6 +120,7 @@ fn is_sorted_oblivious<C: Ctx, T: Copy + Send>(
 /// of attempts used (1 in essentially every run).
 pub fn randomized_shellsort<C: Ctx, T: Copy + Send>(
     c: &C,
+    scratch: &ScratchPool,
     t: &mut Tracked<'_, T>,
     key: &impl KeyFn<T>,
     seed: u64,
@@ -126,7 +136,7 @@ pub fn randomized_shellsort<C: Ctx, T: Copy + Send>(
     c.count(counters::SORTS, 1);
     let mut rng = StdRng::seed_from_u64(seed);
     for attempt in 1..=64 {
-        shellsort_pass(c, t, key, &mut rng);
+        shellsort_pass(c, scratch, t, key, &mut rng);
         if is_sorted_oblivious(c, t, key) {
             return attempt;
         }
@@ -150,6 +160,7 @@ mod tests {
     #[test]
     fn sorts_scrambled_inputs() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         for n in [2usize, 8, 64, 256, 1024] {
             let mut v: Vec<u64> = (0..n as u64)
                 .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 13)
@@ -157,7 +168,7 @@ mod tests {
             let mut expect = v.clone();
             expect.sort_unstable();
             let mut t = Tracked::new(&c, &mut v);
-            let attempts = randomized_shellsort(&c, &mut t, &key64, 42);
+            let attempts = randomized_shellsort(&c, &sp, &mut t, &key64, 42);
             assert_eq!(v, expect, "n = {n}");
             assert_eq!(attempts, 1, "n = {n} needed retries");
         }
@@ -166,6 +177,7 @@ mod tests {
     #[test]
     fn sorts_adversarial_patterns() {
         let c = SeqCtx::new();
+        let sp = ScratchPool::new();
         let n = 512;
         let patterns: Vec<Vec<u64>> = vec![
             (0..n as u64).rev().collect(),
@@ -180,7 +192,7 @@ mod tests {
             let mut expect = v.clone();
             expect.sort_unstable();
             let mut t = Tracked::new(&c, &mut v);
-            randomized_shellsort(&c, &mut t, &key64, 7 + k as u64);
+            randomized_shellsort(&c, &sp, &mut t, &key64, 7 + k as u64);
             assert_eq!(v, expect, "pattern {k}");
         }
     }
@@ -192,8 +204,9 @@ mod tests {
         let n = 1 << 12;
         let (_, rep) = measure(CacheConfig::default(), TraceMode::Off, |c| {
             let mut v: Vec<u64> = (0..n as u64).rev().collect();
+            let sp = ScratchPool::new();
             let mut t = Tracked::new(c, &mut v);
-            randomized_shellsort(c, &mut t, &key64, 3);
+            randomized_shellsort(c, &sp, &mut t, &key64, 3);
         });
         let nlogn = (n as f64) * (n as f64).log2();
         let cmp = rep.comparisons as f64;
@@ -210,8 +223,9 @@ mod tests {
         let run = |data: Vec<u64>| {
             let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
                 let mut v = data.clone();
+                let sp = ScratchPool::new();
                 let mut t = Tracked::new(c, &mut v);
-                randomized_shellsort(c, &mut t, &key64, 99);
+                randomized_shellsort(c, &sp, &mut t, &key64, 99);
             });
             (rep.trace_hash, rep.trace_len)
         };

@@ -15,11 +15,12 @@ use obliv_core::Engine;
 
 fn main() {
     let pool = Pool::with_default_threads();
+    let scratch = ScratchPool::new();
 
     // Connected components on a sparse random graph.
     let n = dob::env_size("DOB_GRAPH_N", 512);
     let edges = random_graph(n, n + n / 2, 42);
-    let labels = pool.run(|c| connected_components(c, n, &edges, Engine::BitonicRec));
+    let labels = pool.run(|c| connected_components(c, &scratch, n, &edges, Engine::BitonicRec));
     let comps: std::collections::HashSet<u64> = labels.iter().copied().collect();
     println!(
         "CC: {} vertices, {} edges -> {} components",
@@ -30,7 +31,7 @@ fn main() {
 
     // Minimum spanning forest on a weighted graph.
     let wedges = random_weighted_graph(n, 3 * n, 7);
-    let result = pool.run(|c| msf(c, n, &wedges, Engine::BitonicRec));
+    let result = pool.run(|c| msf(c, &scratch, n, &wedges, Engine::BitonicRec));
     let oracle = kruskal_msf_weight(n, &wedges);
     println!(
         "MSF: total weight {} (Kruskal oracle {}), {} forest edges",
@@ -43,7 +44,7 @@ fn main() {
     // List ranking.
     let ln = dob::env_size("DOB_GRAPH_LIST_N", 2048);
     let (succ, _) = random_list(ln, 3);
-    let ranks = pool.run(|c| list_rank_oblivious_unit(c, &succ, 5));
+    let ranks = pool.run(|c| list_rank_oblivious_unit(c, &scratch, &succ, 5));
     println!(
         "LR: {ln}-node list ranked; head has rank {}",
         ranks.iter().max().unwrap()
@@ -52,7 +53,7 @@ fn main() {
     // Rooted-tree statistics via Euler tour.
     let tn = dob::env_size("DOB_GRAPH_TREE_N", 256);
     let tree = random_tree(tn, 9);
-    let stats = pool.run(|c| rooted_tree_stats(c, tn, &tree, 0, Engine::BitonicRec, 4));
+    let stats = pool.run(|c| rooted_tree_stats(c, &scratch, tn, &tree, 0, Engine::BitonicRec, 4));
     println!(
         "ET-tree: {} nodes, height {} (max depth), root subtree size {}",
         tn,
@@ -63,7 +64,7 @@ fn main() {
     // Tree contraction: evaluate a random arithmetic expression.
     let leaves = dob::env_size("DOB_GRAPH_EXPR_LEAVES", 128);
     let expr = random_expr_tree(leaves, 11);
-    let value = pool.run(|c| contract_eval(c, &expr, Engine::BitonicRec, 13));
+    let value = pool.run(|c| contract_eval(c, &scratch, &expr, Engine::BitonicRec, 13));
     println!(
         "TC: expression over {leaves} leaves evaluates to {value} (oracle {})",
         expr.eval()

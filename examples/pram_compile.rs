@@ -17,14 +17,22 @@ fn main() {
     let prog = HistogramProgram::new(p, 8);
 
     let pool = Pool::with_default_threads();
+    let scratch = ScratchPool::new();
 
     // Direct CRCW execution: fast, but every write address = a secret value.
     let direct = pool.run(|c| run_direct(c, &prog, &secret_values));
 
     // Oblivious simulation: each PRAM step becomes O(1) oblivious sorts and
     // send-receives; host addresses depend only on (p, s, steps).
-    let obliv =
-        pool.run(|c| run_oblivious_sb(c, &prog, &secret_values, obliv_core::Engine::BitonicRec));
+    let obliv = pool.run(|c| {
+        run_oblivious_sb(
+            c,
+            &scratch,
+            &prog,
+            &secret_values,
+            obliv_core::Engine::BitonicRec,
+        )
+    });
     assert_eq!(direct, obliv);
     println!("direct and oblivious executions agree; histogram buckets (lowest writer pid):");
     println!("  {:?}", &obliv[p..p + 8]);
@@ -35,7 +43,13 @@ fn main() {
     })
     .1;
     let obliv_rep = measure(CacheConfig::default(), TraceMode::Off, |c| {
-        run_oblivious_sb(c, &prog, &secret_values, obliv_core::Engine::BitonicRec);
+        run_oblivious_sb(
+            c,
+            &ScratchPool::new(),
+            &prog,
+            &secret_values,
+            obliv_core::Engine::BitonicRec,
+        );
     })
     .1;
     println!("\nper-program cost (p = s = {p}, 1 CRCW step):");
@@ -55,7 +69,13 @@ fn main() {
     let t = |vals: &Vec<u64>, oblivious: bool| {
         let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
             if oblivious {
-                run_oblivious_sb(c, &jump, vals, obliv_core::Engine::BitonicRec);
+                run_oblivious_sb(
+                    c,
+                    &ScratchPool::new(),
+                    &jump,
+                    vals,
+                    obliv_core::Engine::BitonicRec,
+                );
             } else {
                 run_direct(c, &jump, vals);
             }

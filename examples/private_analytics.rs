@@ -12,7 +12,7 @@
 
 use dob::prelude::*;
 use metrics::Tracked;
-use obliv_core::scan::{seg_sum_right, Schedule, Seg};
+use obliv_core::scan::{seg_sum_right_in, Schedule, Seg};
 
 #[derive(Clone, Copy, Debug, Default)]
 struct Employee {
@@ -22,18 +22,24 @@ struct Employee {
     salary: u64,
 }
 
-fn analytics<C: Ctx>(c: &C, staff: &[Employee]) -> (u64, Vec<(u64, u64)>) {
+fn analytics<C: Ctx>(c: &C, scratch: &ScratchPool, staff: &[Employee]) -> (u64, Vec<(u64, u64)>) {
     let n = staff.len();
     // Obliviously sort by (dept, salary) — one pipeline, composite keys.
     let mut recs: Vec<(u64, Employee)> = staff
         .iter()
         .map(|e| ((e.dept << 32) | e.salary, *e))
         .collect();
-    oblivious_sort(c, &mut recs, OSortParams::practical(n), 0xC0FFEE);
+    oblivious_sort(c, scratch, &mut recs, OSortParams::practical(n), 0xC0FFEE);
 
     // Median salary = element at rank n/2 of a salary-sorted copy.
     let mut by_salary: Vec<(u64, Employee)> = staff.iter().map(|e| (e.salary, *e)).collect();
-    oblivious_sort(c, &mut by_salary, OSortParams::practical(n), 0xBEEF);
+    oblivious_sort(
+        c,
+        scratch,
+        &mut by_salary,
+        OSortParams::practical(n),
+        0xBEEF,
+    );
     let median = by_salary[n / 2].1.salary;
 
     // Per-department totals with one oblivious aggregation (§F): mark each
@@ -45,7 +51,7 @@ fn analytics<C: Ctx>(c: &C, staff: &[Employee]) -> (u64, Vec<(u64, u64)>) {
         })
         .collect();
     let mut t = Tracked::new(c, &mut segs);
-    seg_sum_right(c, &mut t, Schedule::Tree);
+    seg_sum_right_in(c, scratch, &mut t, Schedule::Tree);
     // The first record of each department now sees the department total.
     let totals: Vec<(u64, u64)> = (0..n)
         .filter(|&i| i == 0 || recs[i - 1].1.dept != recs[i].1.dept)
@@ -65,7 +71,8 @@ fn main() {
         .collect();
 
     let pool = Pool::with_default_threads();
-    let (median, totals) = pool.run(|c| analytics(c, &staff));
+    let scratch = ScratchPool::new();
+    let (median, totals) = pool.run(|c| analytics(c, &scratch, &staff));
     println!("median salary: {median}");
     println!("department totals:");
     for (dept, total) in &totals {
@@ -83,7 +90,7 @@ fn main() {
         .collect();
     let trace_of = |staff: Vec<Employee>| {
         let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
-            analytics(c, &staff);
+            analytics(c, &ScratchPool::new(), &staff);
         });
         (rep.trace_hash, rep.trace_len)
     };

@@ -11,12 +11,16 @@ fn main() {
     // 1. Real parallel execution: sort 100k records obliviously.
     let n = dob::env_size("DOB_QUICKSTART_N", 100_000);
     let pool = Pool::with_default_threads();
+    // One scratch arena for the whole process: every kernel below leases
+    // its working buffers from it instead of allocating.
+    let scratch = ScratchPool::new();
     let mut data: Vec<u64> = (0..n as u64)
         .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 16)
         .collect();
 
     let t0 = std::time::Instant::now();
-    let outcome = pool.run(|c| oblivious_sort_u64(c, &mut data, OSortParams::practical(n), 42));
+    let outcome =
+        pool.run(|c| oblivious_sort_u64(c, &scratch, &mut data, OSortParams::practical(n), 42));
     println!(
         "obliviously sorted {n} records in {:?} on {} threads (orp attempts {}, sort attempts {})",
         t0.elapsed(),
@@ -30,7 +34,7 @@ fn main() {
     let m = dob::env_size("DOB_QUICKSTART_M", 4096);
     let (_, report) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
         let mut v: Vec<u64> = (0..m as u64).rev().collect();
-        oblivious_sort_u64(c, &mut v, OSortParams::practical(m), 42);
+        oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(m), 42);
     });
     println!("\ncost model at n = {m}: {report}");
     println!("parallelism (W/T∞): {:.0}x", report.parallelism());
@@ -45,7 +49,7 @@ fn main() {
     let run = |input: Vec<u64>| {
         let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
             let mut v = input.clone();
-            oblivious_sort_u64(c, &mut v, OSortParams::practical(k), 7);
+            oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(k), 7);
         });
         (rep.trace_hash, rep.trace_len)
     };

@@ -9,8 +9,9 @@
 //! use dob::prelude::*;
 //!
 //! let pool = Pool::new(2);
+//! let scratch = ScratchPool::new();
 //! let mut data: Vec<u64> = (0..2000).rev().collect();
-//! pool.run(|c| oblivious_sort_u64(c, &mut data, OSortParams::practical(2000), 42));
+//! pool.run(|c| oblivious_sort_u64(c, &scratch, &mut data, OSortParams::practical(2000), 42));
 //! assert!(data.windows(2).all(|w| w[0] <= w[1]));
 //! ```
 
@@ -38,7 +39,9 @@ pub mod prelude {
     pub use graphs::{
         connected_components, contract_eval, list_rank_oblivious_unit, msf, rooted_tree_stats,
     };
-    pub use metrics::{measure, CacheConfig, CostReport, MeterCtx, TraceMode, Tracked};
+    pub use metrics::{
+        measure, CacheConfig, CostReport, MeterCtx, ScratchGuard, ScratchPool, TraceMode, Tracked,
+    };
     pub use obliv_core::{
         oblivious_sort, oblivious_sort_u64, orp, send_receive, Engine, Item, OSortParams,
         OrbaParams,

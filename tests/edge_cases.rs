@@ -12,11 +12,12 @@ use obliv_core::{orp_once, Engine, Item, OblivError};
 #[test]
 fn sort_handles_degenerate_sizes() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     for n in [0usize, 1, 2, 3] {
         let mut v: Vec<u64> = (0..n as u64).rev().collect();
         let mut expect = v.clone();
         expect.sort_unstable();
-        oblivious_sort_u64(&c, &mut v, OSortParams::practical(n.max(1)), 1);
+        oblivious_sort_u64(&c, &sp, &mut v, OSortParams::practical(n.max(1)), 1);
         assert_eq!(v, expect, "n = {n}");
     }
 }
@@ -24,9 +25,10 @@ fn sort_handles_degenerate_sizes() {
 #[test]
 fn sort_all_equal_keys_is_stable() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     let n = 700;
     let mut data: Vec<(u64, u64)> = (0..n).map(|i| (42, i)).collect();
-    oblivious_sort(&c, &mut data, OSortParams::practical(n as usize), 9);
+    oblivious_sort(&c, &sp, &mut data, OSortParams::practical(n as usize), 9);
     let vals: Vec<u64> = data.iter().map(|&(_, v)| v).collect();
     assert_eq!(vals, (0..n).collect::<Vec<_>>(), "stability on ties");
 }
@@ -34,18 +36,21 @@ fn sort_all_equal_keys_is_stable() {
 #[test]
 fn sort_extreme_values() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     let mut v = vec![u64::MAX, 0, u64::MAX - 1, 1, u64::MAX / 2];
-    oblivious_sort_u64(&c, &mut v, OSortParams::practical(5), 3);
+    oblivious_sort_u64(&c, &sp, &mut v, OSortParams::practical(5), 3);
     assert_eq!(v, vec![0, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX]);
 }
 
 #[test]
 fn send_receive_duplicate_requests_and_missing_keys() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     let sources = vec![(5u64, 50u64)];
     let dests = vec![5u64; 100];
     let got = send_receive(
         &c,
+        &sp,
         &sources,
         &dests,
         Engine::BitonicRec,
@@ -54,6 +59,7 @@ fn send_receive_duplicate_requests_and_missing_keys() {
     assert!(got.iter().all(|&o| o == Some(50)));
     let none = send_receive(
         &c,
+        &sp,
         &sources,
         &[999u64; 10],
         Engine::BitonicRec,
@@ -69,6 +75,7 @@ fn send_receive_duplicate_requests_and_missing_keys() {
 #[test]
 fn orp_with_hostile_parameters_fails_cleanly_or_succeeds() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     // Z far below log² n: overflow is likely, never a panic, and success
     // still yields a correct permutation.
     let items: Vec<Item<u64>> = (0..512u64).map(|i| Item::new(i as u128, i)).collect();
@@ -80,7 +87,7 @@ fn orp_with_hostile_parameters_fails_cleanly_or_succeeds() {
     let mut overflows = 0;
     let mut successes = 0;
     for seed in 0..20 {
-        match orp_once(&c, &items, hostile, seed) {
+        match orp_once(&c, &sp, &items, hostile, seed) {
             Ok(out) => {
                 successes += 1;
                 let mut vals: Vec<u64> = out.iter().map(|i| i.val).collect();
@@ -97,6 +104,7 @@ fn orp_with_hostile_parameters_fails_cleanly_or_succeeds() {
 #[test]
 fn all_engines_drive_the_full_pipeline() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     let n = 600usize;
     for engine in [
         Engine::BitonicRec,
@@ -112,7 +120,7 @@ fn all_engines_drive_the_full_pipeline() {
             orba: OrbaParams::for_n(n).with_engine(engine),
             final_sorter: obliv_core::FinalSorter::RecSort,
         };
-        oblivious_sort_u64(&c, &mut v, params, 11);
+        oblivious_sort_u64(&c, &sp, &mut v, params, 11);
         assert_eq!(v, expect, "engine {engine:?}");
     }
 }
@@ -124,6 +132,7 @@ fn all_engines_drive_the_full_pipeline() {
 #[test]
 fn caterpillar_and_broom_trees() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     // Caterpillar: a path with a leaf hanging off every spine vertex.
     let spine = 20usize;
     let mut edges = Vec::new();
@@ -134,7 +143,7 @@ fn caterpillar_and_broom_trees() {
         edges.push((i, spine + i));
     }
     let n = 2 * spine;
-    let got = rooted_tree_stats(&c, n, &edges, 0, Engine::BitonicRec, 5);
+    let got = rooted_tree_stats(&c, &sp, n, &edges, 0, Engine::BitonicRec, 5);
     let expect = tree_stats_dfs(n, &edges, 0);
     assert_eq!(got, expect);
 }
@@ -142,10 +151,11 @@ fn caterpillar_and_broom_trees() {
 #[test]
 fn deep_path_tree_stats() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     let n = 128;
     let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
     // Root in the middle: two long branches.
-    let got = rooted_tree_stats(&c, n, &edges, n / 2, Engine::BitonicRec, 7);
+    let got = rooted_tree_stats(&c, &sp, n, &edges, n / 2, Engine::BitonicRec, 7);
     let expect = tree_stats_dfs(n, &edges, n / 2);
     assert_eq!(got, expect);
 }
@@ -153,6 +163,7 @@ fn deep_path_tree_stats() {
 #[test]
 fn star_graph_cc_and_parallel_edges() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     let n = 40;
     // Star with duplicated (parallel) edges and a detached clique.
     let mut edges: Vec<(usize, usize)> = (1..20).map(|v| (0, v)).collect();
@@ -162,7 +173,7 @@ fn star_graph_cc_and_parallel_edges() {
             edges.push((u, v));
         }
     }
-    let labels = connected_components(&c, n, &edges, Engine::BitonicRec);
+    let labels = connected_components(&c, &sp, n, &edges, Engine::BitonicRec);
     assert!(labels[..20].iter().all(|&l| l == 0));
     assert!(labels[20..30].iter().all(|&l| l == 20));
     for (v, &label) in labels.iter().enumerate().take(40).skip(30) {
@@ -173,6 +184,7 @@ fn star_graph_cc_and_parallel_edges() {
 #[test]
 fn msf_with_duplicate_weights_is_still_a_valid_msf() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     let n = 24usize;
     // Complete-ish graph where many weights collide; tie-broken by edge id
     // identically in the oracle and the oblivious algorithm.
@@ -184,17 +196,18 @@ fn msf_with_duplicate_weights_is_still_a_valid_msf() {
             }
         }
     }
-    let res = msf(&c, n, &edges, Engine::BitonicRec);
+    let res = msf(&c, &sp, n, &edges, Engine::BitonicRec);
     assert_eq!(res.total_weight, graphs::kruskal_msf_weight(n, &edges));
 }
 
 #[test]
 fn random_tree_stats_across_many_roots() {
     let c = SeqCtx::new();
+    let sp = ScratchPool::new();
     let n = 60;
     let edges = random_tree(n, 17);
     for root in [0usize, 7, 31, 59] {
-        let got = rooted_tree_stats(&c, n, &edges, root, Engine::BitonicRec, 3);
+        let got = rooted_tree_stats(&c, &sp, n, &edges, root, Engine::BitonicRec, 3);
         let expect = tree_stats_dfs(n, &edges, root);
         assert_eq!(got, expect, "root {root}");
     }
@@ -231,7 +244,13 @@ fn tiny_cache_still_sound() {
     // still be correct.
     let (_, rep) = measure(CacheConfig::new(16, 16), TraceMode::Off, |c| {
         let mut v: Vec<u64> = (0..512).rev().collect();
-        oblivious_sort_u64(c, &mut v, OSortParams::practical(512), 3);
+        oblivious_sort_u64(
+            c,
+            &ScratchPool::new(),
+            &mut v,
+            OSortParams::practical(512),
+            3,
+        );
         assert!(v.windows(2).all(|w| w[0] <= w[1]));
     });
     assert!(rep.cache_misses > 0);

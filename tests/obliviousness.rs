@@ -18,7 +18,13 @@ fn full_sort_trace_identical_across_distinct_key_inputs() {
     let run = |keys: Vec<u64>| {
         trace(|c| {
             let mut v = keys.clone();
-            oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 2024);
+            oblivious_sort_u64(
+                c,
+                &ScratchPool::new(),
+                &mut v,
+                OSortParams::practical(n),
+                2024,
+            );
         })
     };
     let a = run((0..n as u64).collect());
@@ -34,7 +40,7 @@ fn cc_trace_identical_across_topologies() {
     let m = 60;
     let run = |edges: Vec<(usize, usize)>| {
         trace(|c| {
-            connected_components(c, n, &edges, Engine::BitonicRec);
+            connected_components(c, &ScratchPool::new(), n, &edges, Engine::BitonicRec);
         })
     };
     let a = run(random_graph(n, m, 1));
@@ -53,7 +59,7 @@ fn pram_histogram_trace_hides_values() {
     let run = |vals: Vec<u64>| {
         trace(|c| {
             let prog = HistogramProgram::new(p, 8);
-            run_oblivious_sb(c, &prog, &vals, Engine::BitonicRec);
+            run_oblivious_sb(c, &ScratchPool::new(), &prog, &vals, Engine::BitonicRec);
         })
     };
     assert_eq!(run(vec![0; p]), run((0..p as u64).map(|i| i % 8).collect()));
@@ -68,7 +74,8 @@ fn orp_trace_hides_values_and_reveals_only_loads() {
                 .iter()
                 .map(|&v| obliv_core::Item::new(v as u128, v))
                 .collect();
-            let _ = obliv_core::orp_once(c, &items, OrbaParams::for_n(n), 31337);
+            let _ =
+                obliv_core::orp_once(c, &ScratchPool::new(), &items, OrbaParams::for_n(n), 31337);
         })
     };
     assert_eq!(run(vec![1; n]), run((0..n as u64).collect()));
@@ -84,7 +91,8 @@ fn different_seeds_give_different_traces() {
             let items: Vec<obliv_core::Item<u64>> = (0..n as u64)
                 .map(|v| obliv_core::Item::new(v as u128, v))
                 .collect();
-            let _ = obliv_core::orp_once(c, &items, OrbaParams::for_n(n), seed);
+            let _ =
+                obliv_core::orp_once(c, &ScratchPool::new(), &items, OrbaParams::for_n(n), seed);
         })
     };
     assert_ne!(run(1), run(2));

@@ -10,12 +10,13 @@ use pram::HistogramProgram;
 fn oblivious_sort_on_real_pool_at_scale() {
     let n = 50_000usize;
     let pool = Pool::new(4);
+    let scratch = ScratchPool::new();
     let mut v: Vec<u64> = (0..n as u64)
         .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
         .collect();
     let mut expect = v.clone();
     expect.sort_unstable();
-    pool.run(|c| oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 42));
+    pool.run(|c| oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(n), 42));
     assert_eq!(v, expect);
 }
 
@@ -28,8 +29,9 @@ fn sort_span_is_polylog_while_work_is_quasilinear() {
     // (polylog growth: (13/12)² ≈ 1.17; linear span would double).
     let span_work = |n: usize| {
         let (_, rep) = measure(CacheConfig::default(), TraceMode::Off, |c| {
+            let scratch = ScratchPool::new();
             let mut v: Vec<u64> = (0..n as u64).rev().collect();
-            oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 1);
+            oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(n), 1);
         });
         (rep.span as f64, rep.work as f64, rep.parallelism())
     };
@@ -50,11 +52,12 @@ fn sort_span_is_polylog_while_work_is_quasilinear() {
 #[test]
 fn full_graph_pipeline_against_oracles() {
     let pool = Pool::new(4);
+    let scratch = ScratchPool::new();
     let n = 200;
     let edges = random_graph(n, 300, 5);
 
     // CC against union-find.
-    let labels = pool.run(|c| connected_components(c, n, &edges, Engine::BitonicRec));
+    let labels = pool.run(|c| connected_components(c, &scratch, n, &edges, Engine::BitonicRec));
     let mut uf = UnionFind::new(n);
     for &(u, v) in &edges {
         uf.union(u, v);
@@ -69,16 +72,17 @@ fn full_graph_pipeline_against_oracles() {
 
     // MSF against Kruskal.
     let wedges = random_weighted_graph(n, 400, 6);
-    let res = pool.run(|c| msf(c, n, &wedges, Engine::BitonicRec));
+    let res = pool.run(|c| msf(c, &scratch, n, &wedges, Engine::BitonicRec));
     assert_eq!(res.total_weight, kruskal_msf_weight(n, &wedges));
 }
 
 #[test]
 fn euler_tour_stats_compose_with_list_ranking() {
     let pool = Pool::new(4);
+    let scratch = ScratchPool::new();
     let n = 100;
     let edges = random_tree(n, 8);
-    let stats = pool.run(|c| rooted_tree_stats(c, n, &edges, 3, Engine::BitonicRec, 7));
+    let stats = pool.run(|c| rooted_tree_stats(c, &scratch, n, &edges, 3, Engine::BitonicRec, 7));
     let expect = graphs::tree_stats_dfs(n, &edges, 3);
     assert_eq!(stats.parent, expect.parent);
     assert_eq!(stats.depth, expect.depth);
@@ -96,12 +100,13 @@ fn pram_simulation_feeds_oblivious_sort() {
     // Compose two subsystems: histogram counts computed obliviously on the
     // PRAM simulator, then obliviously sorted.
     let c = SeqCtx::new();
+    let scratch = ScratchPool::new();
     let p = 64;
     let vals: Vec<u64> = (0..p as u64).map(|i| i % 4).collect();
     let prog = HistogramProgram::new(p, 4);
-    let mem = run_oblivious_sb(&c, &prog, &vals, Engine::BitonicRec);
+    let mem = run_oblivious_sb(&c, &scratch, &prog, &vals, Engine::BitonicRec);
     let mut buckets: Vec<u64> = mem[p..p + 4].to_vec();
-    oblivious_sort_u64(&c, &mut buckets, OSortParams::practical(4), 3);
+    oblivious_sort_u64(&c, &scratch, &mut buckets, OSortParams::practical(4), 3);
     assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
 }
 
@@ -113,11 +118,13 @@ fn send_receive_roundtrip_through_orp() {
     let items: Vec<obliv_core::Item<u64>> = (0..n as u64)
         .map(|i| obliv_core::Item::new(i as u128, i * 3))
         .collect();
-    let (permuted, _) = orp(&c, &items, OrbaParams::for_n(n), 9);
+    let scratch = ScratchPool::new();
+    let (permuted, _) = orp(&c, &scratch, &items, OrbaParams::for_n(n), 9);
     let sources: Vec<(u64, u64)> = permuted.iter().map(|it| (it.key as u64, it.val)).collect();
     let dests: Vec<u64> = (0..n as u64).collect();
     let routed = send_receive(
         &c,
+        &scratch,
         &sources,
         &dests,
         Engine::BitonicRec,
@@ -134,8 +141,9 @@ fn cache_scaling_behaves_like_the_model() {
     let n = 1 << 12;
     let q_at = |m: u64| {
         let (_, rep) = measure(CacheConfig::new(m, 16), TraceMode::Off, |c| {
+            let scratch = ScratchPool::new();
             let mut v: Vec<u64> = (0..n as u64).rev().collect();
-            oblivious_sort_u64(c, &mut v, OSortParams::practical(n), 4);
+            oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(n), 4);
         });
         rep.cache_misses
     };

@@ -16,8 +16,9 @@ proptest! {
         let c = SeqCtx::new();
         let mut data: Vec<(u64, u64)> =
             keys.iter().enumerate().map(|(i, &k)| (k, i as u64)).collect();
+        let sp = ScratchPool::new();
         let params = OSortParams::practical(data.len().max(1));
-        oblivious_sort(&c, &mut data, params, 5);
+        oblivious_sort(&c, &sp, &mut data, params, 5);
         prop_assert!(data.windows(2).all(|w| w[0].0 <= w[1].0));
         let mut got: Vec<u64> = data.iter().map(|&(k, _)| k).collect();
         let mut expect = keys;
@@ -34,7 +35,8 @@ proptest! {
         let c = SeqCtx::new();
         let items: Vec<obliv_core::Item<u64>> =
             (0..n as u64).map(|i| obliv_core::Item::new(i as u128, i)).collect();
-        let (out, attempts) = orp(&c, &items, OrbaParams::for_n(n), seed);
+        let sp = ScratchPool::new();
+        let (out, attempts) = orp(&c, &sp, &items, OrbaParams::for_n(n), seed);
         prop_assert!(attempts <= 8, "suspiciously many retries: {}", attempts);
         let mut vals: Vec<u64> = out.iter().map(|i| i.val).collect();
         vals.sort_unstable();
@@ -52,7 +54,8 @@ proptest! {
             .map(|&(a, b)| (a % n, b % n))
             .filter(|&(u, v)| u != v)
             .collect();
-        let labels = connected_components(&c, n, &edges, Engine::BitonicRec);
+        let sp = ScratchPool::new();
+        let labels = connected_components(&c, &sp, n, &edges, Engine::BitonicRec);
         let mut uf = UnionFind::new(n);
         for &(u, v) in &edges {
             uf.union(u, v);
@@ -79,7 +82,8 @@ proptest! {
             .map(|&(a, b, w)| (a % n, b % n, w))
             .filter(|&(u, v, _)| u != v)
             .collect();
-        let res = msf(&c, n, &edges, Engine::BitonicRec);
+        let sp = ScratchPool::new();
+        let res = msf(&c, &sp, n, &edges, Engine::BitonicRec);
         prop_assert_eq!(res.total_weight, kruskal_msf_weight(n, &edges));
     }
 
@@ -90,7 +94,8 @@ proptest! {
     ) {
         let c = SeqCtx::new();
         let (succ, order) = graphs::random_list(n, perm_seed);
-        let ranks = list_rank_oblivious_unit(&c, &succ, perm_seed ^ 0xA5A5);
+        let sp = ScratchPool::new();
+        let ranks = list_rank_oblivious_unit(&c, &sp, &succ, perm_seed ^ 0xA5A5);
         for (k, &node) in order.iter().enumerate() {
             prop_assert_eq!(ranks[node], (n - 1 - k) as u64);
         }
@@ -120,6 +125,7 @@ proptest! {
     ) {
         let c = SeqCtx::new();
         let t = graphs::random_expr_tree(leaves, seed);
-        prop_assert_eq!(contract_eval(&c, &t, Engine::BitonicRec, seed ^ 1), t.eval());
+        let sp = ScratchPool::new();
+        prop_assert_eq!(contract_eval(&c, &sp, &t, Engine::BitonicRec, seed ^ 1), t.eval());
     }
 }

@@ -1,0 +1,163 @@
+//! Obliviousness regression tests for the scratch arena: buffer reuse must
+//! be invisible to the paper's adversary (Definition 1) and to callers.
+//!
+//! The arena hands kernels recycled backing storage whose bytes are dirty
+//! with the previous lease's data. Two things must therefore hold:
+//!
+//! 1. **Trace equality** — for fixed coins and same-length inputs, a
+//!    kernel's adversary trace (address sequence, lengths, kinds) is
+//!    bit-identical whether it runs on a fresh pool or on a pool already
+//!    dirtied by *other* kernels. The trace is a function of the logical
+//!    address space (`Tracked` registration order), never of which
+//!    physical buffer backs a lease.
+//! 2. **Output equality** — results are byte-identical fresh-vs-reused,
+//!    under both the sequential executor and the work-stealing pool
+//!    (write-before-read discipline: no kernel ever observes stale bytes).
+
+use dob::prelude::*;
+use obliv_core::scan::Schedule;
+use obliv_core::{bin_place, orp_once, Item, Slot};
+
+/// Dirty a pool thoroughly: run several kernels of different shapes and
+/// element types through it so its freelists hold stale bytes of every
+/// size class the kernels under test will lease.
+fn dirty(pool: &ScratchPool) {
+    let c = SeqCtx::new();
+    let mut v: Vec<u64> = (0..1500u64).map(|i| i.wrapping_mul(0x9E37) | 1).collect();
+    let params = OSortParams::practical(v.len());
+    oblivious_sort_u64(&c, pool, &mut v, params, 0xD1D7);
+    let items: Vec<Item<u64>> = (0..700u64).map(|i| Item::new(i as u128, !i)).collect();
+    let _ = orp_once(&c, pool, &items, OrbaParams::for_n(700), 0xBADC0DE);
+    let sources: Vec<(u64, u64)> = (0..300).map(|i| (i * 3, i | 0xFF00)).collect();
+    let dests: Vec<u64> = (0..500).collect();
+    send_receive(
+        &c,
+        pool,
+        &sources,
+        &dests,
+        Engine::BitonicRec,
+        Schedule::Tree,
+    );
+}
+
+fn trace<F: FnOnce(&MeterCtx)>(f: F) -> (u64, u64) {
+    let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, f);
+    (rep.trace_hash, rep.trace_len)
+}
+
+#[test]
+fn trace_hashes_identical_on_fresh_vs_dirty_pool() {
+    let n = 900usize;
+    let keys: Vec<u64> = (0..n as u64).map(|i| i * 7 + 3).collect();
+
+    let run = |pool: &ScratchPool| {
+        trace(|c| {
+            let mut v = keys.clone();
+            oblivious_sort_u64(c, pool, &mut v, OSortParams::practical(n), 2025);
+        })
+    };
+
+    let fresh = ScratchPool::new();
+    let a = run(&fresh);
+
+    let reused = ScratchPool::new();
+    dirty(&reused);
+    assert!(reused.leases() > 0 && reused.fresh_allocs() > 0);
+    let b = run(&reused);
+    assert_eq!(a, b, "dirty pool changed the oblivious sort trace");
+
+    // Run again on the same (now even dirtier) pool: still identical.
+    let c3 = run(&reused);
+    assert_eq!(a, c3, "second reuse changed the trace");
+}
+
+#[test]
+fn kernel_matrix_traces_survive_reuse() {
+    // One fresh-vs-dirty trace check per kernel family.
+    let items: Vec<Item<u64>> = (0..400u64).map(|i| Item::new(i as u128, i)).collect();
+    let orp_run = |pool: &ScratchPool| {
+        trace(|c| {
+            let _ = orp_once(c, pool, &items, OrbaParams::for_n(400), 77);
+        })
+    };
+    let binplace_run = |pool: &ScratchPool| {
+        trace(|c| {
+            let mut slots: Vec<Slot<u64>> = (0..64u64)
+                .map(|i| Slot::real(Item::new(i as u128, i), i % 8))
+                .collect();
+            slots.resize(8 * 16, Slot::filler());
+            let mut t = Tracked::new(c, &mut slots);
+            let _ = bin_place(c, pool, &mut t, 8, 16, 0, Engine::BitonicRec);
+        })
+    };
+    let sr_run = |pool: &ScratchPool| {
+        trace(|c| {
+            let sources: Vec<(u64, u64)> = (0..128).map(|i| (i * 2, i)).collect();
+            let dests: Vec<u64> = (0..200).collect();
+            send_receive(
+                c,
+                pool,
+                &sources,
+                &dests,
+                Engine::BitonicRec,
+                Schedule::Tree,
+            );
+        })
+    };
+    let shellsort_run = |pool: &ScratchPool| {
+        trace(|c| {
+            let mut v: Vec<u64> = (0..256u64).rev().collect();
+            let mut t = Tracked::new(c, &mut v);
+            sortnet::randomized_shellsort(c, pool, &mut t, &|x: &u64| *x as u128, 9);
+        })
+    };
+
+    for (name, run) in [
+        ("orp_once", &orp_run as &dyn Fn(&ScratchPool) -> (u64, u64)),
+        ("bin_place", &binplace_run),
+        ("send_receive", &sr_run),
+        ("randomized_shellsort", &shellsort_run),
+    ] {
+        let fresh = ScratchPool::new();
+        let dirty_pool = ScratchPool::new();
+        dirty(&dirty_pool);
+        assert_eq!(
+            run(&fresh),
+            run(&dirty_pool),
+            "{name}: dirty pool changed the adversary trace"
+        );
+    }
+}
+
+#[test]
+fn outputs_identical_fresh_vs_reused_under_seq_and_pool() {
+    let n = 4000usize;
+    let keys: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 24)
+        .collect();
+
+    // SeqCtx: fresh pool vs heavily dirtied pool.
+    let c = SeqCtx::new();
+    let fresh = ScratchPool::new();
+    let mut a = keys.clone();
+    oblivious_sort_u64(&c, &fresh, &mut a, OSortParams::practical(n), 31);
+
+    let reused = ScratchPool::new();
+    dirty(&reused);
+    let mut b = keys.clone();
+    oblivious_sort_u64(&c, &reused, &mut b, OSortParams::practical(n), 31);
+    assert_eq!(a, b, "SeqCtx: reused pool changed the output");
+
+    // Pool executor: same check with concurrent leases from workers, and a
+    // second run on the same pool instance (steady state).
+    let exec = Pool::new(4);
+    let par_pool = ScratchPool::new();
+    dirty(&par_pool);
+    let mut p1 = keys.clone();
+    exec.run(|c| oblivious_sort_u64(c, &par_pool, &mut p1, OSortParams::practical(n), 31));
+    assert_eq!(a, p1, "Pool: reused pool changed the output");
+
+    let mut p2 = keys.clone();
+    exec.run(|c| oblivious_sort_u64(c, &par_pool, &mut p2, OSortParams::practical(n), 31));
+    assert_eq!(a, p2, "Pool: steady-state reuse changed the output");
+}
