@@ -1,0 +1,144 @@
+//! CI perf-regression gate: compare fresh `BENCH_*.json` artifacts against
+//! the committed baselines in `benches/baseline/`, write a markdown
+//! comparison table to `$GITHUB_STEP_SUMMARY` (stdout when unset), and
+//! exit non-zero on any >10% regression in a deterministic counter or any
+//! lost row.
+//!
+//! ```sh
+//! bench_diff [--baseline <dir>] [--fresh <dir>]
+//! ```
+//!
+//! To accept an intentional perf change, regenerate and commit the
+//! baseline: `cargo run --release -p dob-bench --bin <bin> -- --json &&
+//! cp BENCH_<bin>.json benches/baseline/`.
+
+use dob_bench::diff::{diff_benches, parse_bench_json};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+fn arg_value(args: &[String], flag: &str, default: &str) -> PathBuf {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(default))
+}
+
+fn load(path: &Path) -> Result<dob_bench::diff::BenchFile, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    parse_bench_json(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_dir = arg_value(&args, "--baseline", "benches/baseline");
+    let fresh_dir = arg_value(&args, "--fresh", ".");
+
+    let mut baselines: Vec<PathBuf> = std::fs::read_dir(&baseline_dir)
+        .unwrap_or_else(|e| panic!("read baseline dir {}: {e}", baseline_dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    baselines.sort();
+    assert!(
+        !baselines.is_empty(),
+        "no BENCH_*.json baselines in {}",
+        baseline_dir.display()
+    );
+
+    let mut summary = String::from("## Bench regression gate\n\n");
+    let mut failures: Vec<String> = Vec::new();
+
+    for base_path in &baselines {
+        let name = base_path.file_name().unwrap().to_str().unwrap();
+        let fresh_path = fresh_dir.join(name);
+        let base = match load(base_path) {
+            Ok(b) => b,
+            Err(e) => {
+                failures.push(e.clone());
+                summary.push_str(&format!("### `{name}`\n\n❌ {e}\n\n"));
+                continue;
+            }
+        };
+        if !fresh_path.exists() {
+            failures.push(format!(
+                "{name}: fresh artifact missing — bench bin not run?"
+            ));
+            summary.push_str(&format!(
+                "### `{}`\n\n❌ fresh artifact missing\n\n",
+                base.bin
+            ));
+            continue;
+        }
+        let fresh = match load(&fresh_path) {
+            Ok(f) => f,
+            Err(e) => {
+                failures.push(e.clone());
+                summary.push_str(&format!("### `{}`\n\n❌ {e}\n\n", base.bin));
+                continue;
+            }
+        };
+        let d = diff_benches(&base, &fresh);
+        summary.push_str(&d.markdown);
+        for r in &d.regressions {
+            failures.push(format!(
+                "{name}: {} — {} regressed {} → {} (>{:.0}%)",
+                r.row,
+                r.counter,
+                r.baseline,
+                r.fresh,
+                100.0 * dob_bench::diff::THRESHOLD,
+            ));
+        }
+        for m in &d.missing {
+            failures.push(format!("{name}: row lost from fresh run: {m}"));
+        }
+        for a in &d.added {
+            eprintln!("note: {name}: unbaselined new row: {a}");
+        }
+    }
+
+    if failures.is_empty() {
+        summary.push_str("**All deterministic counters within the gate.** ✅\n");
+    } else {
+        summary.push_str("**Regressions detected:**\n\n");
+        for f in &failures {
+            summary.push_str(&format!("- ❌ {f}\n"));
+        }
+        summary.push_str(
+            "\nIntentional? Regenerate with `--json` and commit the new \
+             baseline under `benches/baseline/`.\n",
+        );
+    }
+
+    match std::env::var("GITHUB_STEP_SUMMARY") {
+        Ok(path) => {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("open $GITHUB_STEP_SUMMARY {path}: {e}"));
+            f.write_all(summary.as_bytes()).expect("write step summary");
+            eprintln!("wrote comparison table to $GITHUB_STEP_SUMMARY");
+        }
+        Err(_) => print!("{summary}"),
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "bench_diff: {} artifact(s) within the {:.0}% gate",
+        baselines.len(),
+        100.0 * dob_bench::diff::THRESHOLD
+    );
+}

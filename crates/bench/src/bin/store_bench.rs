@@ -1,0 +1,128 @@
+//! `dob-store` throughput/complexity sweep: one row per (path, size
+//! class), measuring the model costs (work, span, cache) and host ops/s of
+//! whole epochs. With `--json`, writes `BENCH_store.json` for the CI
+//! perf-regression gate (`bench_diff`), including the scratch-arena
+//! fresh-allocation delta of every measured epoch.
+//!
+//! The merge and ORAM paths are reported at overlapping batch sizes so the
+//! crossover the size-class dispatcher exploits (per-op merge cost falls
+//! with batch size; per-op ORAM cost is flat) is visible in the table.
+
+use dob_bench::{header, meter_timed, sweep_from_args, BenchSink, Row};
+use fj::SeqCtx;
+use metrics::ScratchPool;
+use store::{Op, Store, StoreConfig};
+
+/// A deterministic mixed workload: ~half gets, ~3/8 puts, the rest
+/// deletes, with one aggregate, over a `key_space`-bounded key set.
+fn mixed_ops(n: usize, key_space: u64, salt: u64) -> Vec<Op> {
+    (0..n as u64)
+        .map(|i| {
+            let key = i.wrapping_mul(0x9E3779B9).wrapping_add(salt) % key_space;
+            match i % 8 {
+                0..=3 => Op::Get { key },
+                4..=6 => Op::Put { key, val: i * 10 },
+                7 if i % 16 == 7 => Op::Delete { key },
+                _ => Op::Aggregate,
+            }
+        })
+        .collect()
+}
+
+fn puts(n: usize, key_space: u64) -> Vec<Op> {
+    (0..n as u64)
+        .map(|i| Op::Put {
+            key: i.wrapping_mul(31) % key_space,
+            val: i,
+        })
+        .collect()
+}
+
+fn main() {
+    let scratch = ScratchPool::new();
+    let mut sink = BenchSink::from_args("store");
+    let mut rates: Vec<(&'static str, usize, f64)> = Vec::new();
+    println!("== dob-store: oblivious batched KV epochs, per size class ==\n");
+    header();
+
+    // ---- Merge path (arbitrary u64 keys, every epoch merges) -------------
+    for n in sweep_from_args(&[64, 256, 1024]) {
+        let key_space = (2 * n) as u64;
+        let mut store = Store::new(StoreConfig::default());
+        let load = puts(n, key_space);
+        let a0 = scratch.fresh_allocs();
+        let (rep, wall) = meter_timed(|c| {
+            store.execute_epoch(c, &scratch, &load);
+        });
+        sink.record_alloc(
+            Row {
+                task: "store",
+                algo: "merge: bulk load",
+                n,
+                rep,
+            },
+            wall,
+            scratch.fresh_allocs() - a0,
+        );
+        rates.push(("merge: bulk load", n, n as f64 * 1e9 / wall as f64));
+
+        let steady = mixed_ops(n, key_space, 7);
+        let a0 = scratch.fresh_allocs();
+        let (rep, wall) = meter_timed(|c| {
+            store.execute_epoch(c, &scratch, &steady);
+        });
+        sink.record_alloc(
+            Row {
+                task: "store",
+                algo: "merge: steady mixed",
+                n,
+                rep,
+            },
+            wall,
+            scratch.fresh_allocs() - a0,
+        );
+        rates.push(("merge: steady mixed", n, n as f64 * 1e9 / wall as f64));
+    }
+
+    // ---- ORAM path (bounded key space, sub-threshold batches) ------------
+    let key_space = 2048usize;
+    let mut cfg = StoreConfig::with_oram(key_space);
+    cfg.oram_threshold = 128;
+    cfg.pending_limit = 1 << 20; // keep the sweep on the ORAM path
+    let mut store = Store::new(cfg);
+    // Populate through one merge epoch (unmetered setup).
+    {
+        let c = SeqCtx::new();
+        store.execute_epoch(&c, &scratch, &puts(512, key_space as u64));
+    }
+    for n in [8usize, 16, 64] {
+        let steady = mixed_ops(n, key_space as u64, 13);
+        let a0 = scratch.fresh_allocs();
+        let (rep, wall) = meter_timed(|c| {
+            store.execute_epoch(c, &scratch, &steady);
+        });
+        sink.record_alloc(
+            Row {
+                task: "store",
+                algo: "oram: steady mixed",
+                n,
+                rep,
+            },
+            wall,
+            scratch.fresh_allocs() - a0,
+        );
+        rates.push(("oram: steady mixed", n, n as f64 * 1e9 / wall as f64));
+    }
+
+    sink.finish().expect("failed to write BENCH_store.json");
+
+    println!("\n== host throughput (ops per second, epoch wall-clock) ==");
+    for (algo, n, rate) in &rates {
+        println!("{algo:<22} n={n:<6} {rate:>12.0} ops/s");
+    }
+    println!(
+        "\ncrossover: compare per-op work of 'merge: steady mixed' vs \
+         'oram: steady mixed' at n=64 — the size-class dispatcher picks \
+         the cheaper side of this line."
+    );
+}

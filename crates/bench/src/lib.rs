@@ -9,6 +9,8 @@
 
 use metrics::{measure, CacheConfig, CostReport, MeterCtx, TraceMode};
 
+pub mod diff;
+
 /// One measured table row.
 #[derive(Clone, Debug)]
 pub struct Row {
@@ -81,7 +83,7 @@ pub fn print_row(r: &Row) {
 /// can archive the perf trajectory of every push.
 pub struct BenchSink {
     bin: &'static str,
-    rows: Vec<(Row, u128)>,
+    rows: Vec<(Row, u128, u64)>,
     json: bool,
 }
 
@@ -98,8 +100,15 @@ impl BenchSink {
     /// Print the row (human table) and retain it for the JSON artifact.
     /// `wall_ns` is the host wall-clock time of the measured closure.
     pub fn record(&mut self, row: Row, wall_ns: u128) {
+        self.record_alloc(row, wall_ns, 0);
+    }
+
+    /// [`BenchSink::record`] with an explicit fresh-allocation count (the
+    /// scratch-arena `fresh_allocs` delta of the measured closure) so the
+    /// CI regression gate can also watch allocator behaviour.
+    pub fn record_alloc(&mut self, row: Row, wall_ns: u128, allocs: u64) {
         print_row(&row);
-        self.rows.push((row, wall_ns));
+        self.rows.push((row, wall_ns, allocs));
     }
 
     /// Retain a row for the JSON artifact without printing it — for
@@ -112,7 +121,7 @@ impl BenchSink {
         rep: CostReport,
         wall_ns: u128,
     ) {
-        self.rows.push((Row { task, algo, n, rep }, wall_ns));
+        self.rows.push((Row { task, algo, n, rep }, wall_ns, 0));
     }
 
     /// Write `BENCH_<bin>.json` when `--json` was requested. Hand-rolled
@@ -124,12 +133,21 @@ impl BenchSink {
         }
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"bin\": \"{}\",\n  \"rows\": [\n", self.bin));
-        for (i, (r, wall_ns)) in self.rows.iter().enumerate() {
+        for (i, (r, wall_ns, allocs)) in self.rows.iter().enumerate() {
+            // The regression gate's parser (`diff::parse_bench_json`) reads
+            // plain quoted strings; keep names free of escape sequences so
+            // `{:?}` serialization stays a verbatim quote.
+            assert!(
+                !r.task.contains(['"', '\\']) && !r.algo.contains(['"', '\\']),
+                "bench row names must not contain quotes or backslashes: {:?}/{:?}",
+                r.task,
+                r.algo,
+            );
             out.push_str(&format!(
                 "    {{\"task\": {:?}, \"algo\": {:?}, \"n\": {}, \"work\": {}, \"span\": {}, \
                  \"cache_misses\": {}, \"cache_accesses\": {}, \"comparisons\": {}, \
-                 \"moves\": {}, \"retries\": {}, \"m_words\": {}, \"b_words\": {}, \
-                 \"wall_ns\": {}}}{}\n",
+                 \"moves\": {}, \"retries\": {}, \"allocs\": {}, \"m_words\": {}, \
+                 \"b_words\": {}, \"wall_ns\": {}}}{}\n",
                 r.task,
                 r.algo,
                 r.n,
@@ -140,6 +158,7 @@ impl BenchSink {
                 r.rep.comparisons,
                 r.rep.moves,
                 r.rep.retries,
+                allocs,
                 r.rep.m_words,
                 r.rep.b_words,
                 wall_ns,

@@ -165,8 +165,11 @@ pub fn bin_place<C: Ctx, V: Val>(
     }
 }
 
-/// Recompute every slot's scratch sort key with `f` (parallel map).
-pub(crate) fn set_keys<C: Ctx, V: Val>(
+/// Recompute every slot's scratch sort key in one fixed-pattern parallel
+/// pass — the standard prelude to each [`crate::engine::Engine::sort_slots`]
+/// call. Public because downstream subsystems (e.g. `dob-store`) drive the
+/// same sort-then-scan pipelines the core kernels use.
+pub fn set_keys<C: Ctx, V: Val>(
     c: &C,
     t: &mut Tracked<'_, Slot<V>>,
     f: &(impl Fn(&Slot<V>) -> u128 + Sync),

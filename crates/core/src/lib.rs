@@ -37,7 +37,7 @@ pub mod sendrecv;
 pub mod slot;
 
 pub use baseline::par_merge_sort;
-pub use binplace::bin_place;
+pub use binplace::{bin_place, set_keys};
 pub use compact::oblivious_compact;
 pub use engine::Engine;
 pub use error::{with_retries, OblivError, Result};

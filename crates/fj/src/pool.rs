@@ -370,11 +370,19 @@ impl Pool {
         }
     }
 
-    /// A pool sized to the machine (`available_parallelism`).
+    /// A pool sized by the `DOB_THREADS` environment variable when set (CI
+    /// runs the suite under a thread-count matrix through it), otherwise to
+    /// the machine (`available_parallelism`).
     pub fn with_default_threads() -> Self {
-        let n = thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let n = std::env::var("DOB_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n >= 1)
+            .unwrap_or_else(|| {
+                thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
         Pool::new(n)
     }
 
@@ -585,5 +593,20 @@ mod tests {
             let pool = Pool::new(2);
             assert_eq!(pool.join(|_| 1, |_| 2), (1, 2));
         }
+    }
+
+    #[test]
+    fn dob_threads_env_sizes_the_default_pool() {
+        // One test body for all three cases: env mutation is process-global
+        // and must not race a parallel test.
+        std::env::set_var("DOB_THREADS", "3");
+        assert_eq!(Pool::with_default_threads().num_threads(), 3);
+        std::env::set_var("DOB_THREADS", "not-a-number");
+        let fallback = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(Pool::with_default_threads().num_threads(), fallback);
+        std::env::remove_var("DOB_THREADS");
+        assert_eq!(Pool::with_default_threads().num_threads(), fallback);
     }
 }

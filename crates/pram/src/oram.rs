@@ -70,6 +70,12 @@ pub struct TreeOram {
     evict_ctr: u64,
     /// Peak stash occupancy observed (monitoring, §4.2 simplification).
     pub max_stash: usize,
+    /// Reusable eviction scratch (private, untraced memory): gathered
+    /// path∪stash slots, placement marks, and the staged bucket layout.
+    /// Field-held so steady-state accesses perform no heap allocation.
+    evict_pool: Vec<OramSlot>,
+    evict_used: Vec<bool>,
+    evict_layout: Vec<OramSlot>,
 }
 
 impl TreeOram {
@@ -86,6 +92,9 @@ impl TreeOram {
             stash: vec![OramSlot::default(); cfg.stash],
             evict_ctr: 0,
             max_stash: 0,
+            evict_pool: Vec::new(),
+            evict_used: Vec::new(),
+            evict_layout: Vec::new(),
         }
     }
 
@@ -181,68 +190,96 @@ impl TreeOram {
     /// Greedy write-back along the path to `leaf`: gather path ∪ stash,
     /// then refill buckets deepest-first with elements whose leaf shares
     /// the required prefix; leftovers return to the stash.
+    ///
+    /// The host-visible pattern is fixed for a given `(height, bucket,
+    /// stash, leaf)`: the gather reads every path/stash slot, the
+    /// placement is computed in untraced private memory, and the
+    /// write-back unconditionally rewrites every path bucket slot and
+    /// every stash slot — how many slots carry real elements never shows.
     fn evict_path<C: Ctx>(&mut self, c: &C, leaf: u64) {
         let height = self.height;
         let bucket = self.bucket;
-        let mut pool: Vec<OramSlot> = Vec::with_capacity(height * bucket + self.stash.len());
+        // Reusable scratch (taken out so `self`'s tracked slices can be
+        // borrowed alongside); no allocation once warm.
+        let mut pool = std::mem::take(&mut self.evict_pool);
+        let mut used = std::mem::take(&mut self.evict_used);
+        let mut layout = std::mem::take(&mut self.evict_layout);
+        pool.clear();
 
+        {
+            let st = Tracked::new(c, &mut self.store);
+            for d in 0..height {
+                let idx = (leaf >> (height - 1 - d)) as usize;
+                let base = self.layout.pos(height, d, idx) * bucket;
+                for k in 0..bucket {
+                    pool.push(st.get(c, base + k));
+                }
+            }
+        }
+        {
+            let st = Tracked::new(c, &mut self.stash);
+            for k in 0..st.len() {
+                pool.push(st.get(c, k));
+            }
+        }
+
+        // Deepest-first placement, staged in private memory.
+        used.clear();
+        used.resize(pool.len(), false);
+        layout.clear();
+        layout.resize(height * bucket, OramSlot::default());
+        for d in (0..height).rev() {
+            let mut filled = 0;
+            for (i, sl) in pool.iter().enumerate() {
+                if filled == bucket {
+                    break;
+                }
+                if used[i] || !sl.full {
+                    continue;
+                }
+                // Slot may live at depth d iff its leaf shares the top
+                // d+1-bit prefix with the eviction path.
+                let shift = height - 1 - d;
+                if (sl.leaf >> shift) == (leaf >> shift) {
+                    layout[d * bucket + filled] = *sl;
+                    used[i] = true;
+                    filled += 1;
+                }
+            }
+            c.work(pool.len() as u64);
+        }
+
+        // Fixed-pattern write-back: every path bucket slot, then every
+        // stash slot, written exactly once.
         {
             let mut st = Tracked::new(c, &mut self.store);
             for d in 0..height {
                 let idx = (leaf >> (height - 1 - d)) as usize;
                 let base = self.layout.pos(height, d, idx) * bucket;
                 for k in 0..bucket {
-                    let sl = st.get(c, base + k);
-                    pool.push(sl);
-                    st.set(c, base + k, OramSlot::default());
+                    st.set(c, base + k, layout[d * bucket + k]);
                 }
             }
         }
         {
             let mut st = Tracked::new(c, &mut self.stash);
+            let mut leftovers = pool
+                .iter()
+                .zip(used.iter())
+                .filter(|(sl, &u)| !u && sl.full)
+                .map(|(sl, _)| *sl);
             for k in 0..st.len() {
-                pool.push(st.get(c, k));
-                st.set(c, k, OramSlot::default());
+                st.set(c, k, leftovers.next().unwrap_or_default());
             }
+            assert!(
+                leftovers.next().is_none(),
+                "ORAM stash overflow during eviction"
+            );
         }
 
-        // Deepest-first placement.
-        let mut used = vec![false; pool.len()];
-        {
-            let mut st = Tracked::new(c, &mut self.store);
-            for d in (0..height).rev() {
-                let idx = (leaf >> (height - 1 - d)) as usize;
-                let base = self.layout.pos(height, d, idx) * bucket;
-                let mut filled = 0;
-                for (i, sl) in pool.iter().enumerate() {
-                    if filled == bucket {
-                        break;
-                    }
-                    if used[i] || !sl.full {
-                        continue;
-                    }
-                    // Slot may live at depth d iff its leaf shares the top
-                    // d+1-bit prefix with the eviction path.
-                    let shift = height - 1 - d;
-                    if (sl.leaf >> shift) == (leaf >> shift) {
-                        st.set(c, base + filled, *sl);
-                        used[i] = true;
-                        filled += 1;
-                    }
-                }
-                c.work(pool.len() as u64);
-            }
-        }
-        // Leftovers to the stash.
-        let mut st = Tracked::new(c, &mut self.stash);
-        let mut at = 0;
-        for (i, sl) in pool.iter().enumerate() {
-            if !used[i] && sl.full {
-                assert!(at < st.len(), "ORAM stash overflow during eviction");
-                st.set(c, at, *sl);
-                at += 1;
-            }
-        }
+        self.evict_pool = pool;
+        self.evict_used = used;
+        self.evict_layout = layout;
     }
 }
 

@@ -1,0 +1,44 @@
+//! # dob-store — an oblivious batched key-value store
+//!
+//! The paper's motivating scenario (§1) is private analytics on a secure
+//! processor: many clients' queries must be served without the host
+//! learning *which* records are touched. This crate turns the workspace's
+//! §F routing kernels into that system: clients submit
+//! [`Op::Get`]/[`Op::Put`]/[`Op::Delete`]/[`Op::Aggregate`] operations into
+//! an **epoch**; at epoch close the batch is padded to a public size class
+//! and resolved against the resident table with oblivious sorts and a
+//! segmented last-writer-wins scan (the send-receive pattern of §F), or —
+//! for sub-threshold batches over a bounded key space — with per-op
+//! recursive tree-ORAM point lookups (§4.2).
+//!
+//! **Leakage contract:** the client-visible access trace of every epoch is
+//! a function of *public* quantities only — the padded batch class, the
+//! (public) pending-log length, and the table capacity, all of which
+//! derive from the history of batch *sizes*. Keys, values, op kinds, hit
+//! rates, and duplicate structure are hidden. The merge path is exactly
+//! trace-equal across same-shape inputs; the ORAM path is trace-length
+//! invariant with contents fresh-coin simulatable (the classic tree-ORAM
+//! argument). See DESIGN.md §8 and `tests/store.rs`.
+//!
+//! ```
+//! use fj::SeqCtx;
+//! use metrics::ScratchPool;
+//! use store::{Op, Store, StoreConfig};
+//!
+//! let c = SeqCtx::new();
+//! let scratch = ScratchPool::new();
+//! let mut store = Store::new(StoreConfig::default());
+//! let mut epoch = store.epoch();
+//! epoch.submit(Op::Put { key: 7, val: 700 });
+//! let get = epoch.submit(Op::Get { key: 7 });
+//! let results = epoch.commit(&c, &scratch);
+//! assert_eq!(results[get].value(), Some(700));
+//! ```
+
+mod merge;
+mod op;
+mod store;
+
+pub use crate::store::{Epoch, Store, StoreConfig};
+pub use merge::Rec;
+pub use op::{size_class, EpochPath, Op, OpResult, StoreStats, MIN_CLASS};

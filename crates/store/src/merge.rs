@@ -1,0 +1,546 @@
+//! The batched §F merge path: one epoch's operations are resolved against
+//! the resident table with the paper's sort-and-scan routing pattern
+//! (Ramachandran & Shi §F; cf. [`obliv_core::send_receive`]).
+//!
+//! Pipeline, all fixed-pattern given the public shape `(cap, |pending|,
+//! |batch|)`:
+//!
+//! 1. concatenate table records, pending-log ops and the padded batch into
+//!    one slot array, keyed `(key ‖ seq)` — the record (seq 0) leads its
+//!    key-run, ops follow in submission order;
+//! 2. one oblivious sort groups each key's history contiguously;
+//! 3. a segmented *exclusive* scan with the last-writer-wins transformer
+//!    monoid hands every op the value state produced by the record and all
+//!    earlier writes of its run (sequential within-epoch semantics), and
+//!    every run-last element the key's final state;
+//! 4. one oblivious sort routes batch ops back to their submission slots
+//!    (the send-receive return trip) for a fixed-prefix readout;
+//! 5. one oblivious sort routes the surviving final states to the front,
+//!    rebuilding the resident table at its new public capacity.
+//!
+//! Because every comparator network, scan and parallel map above touches
+//! addresses that depend only on the public shape, two epochs with the
+//! same shape but different keys/values/op-kinds generate identical traces
+//! (`tests/store.rs`, `obliv_check`).
+
+use crate::op::{kind, FlatOp, OpResult, StoreStats};
+use fj::{grain_for, par_for, par_reduce, Ctx};
+use metrics::{ScratchPool, Tracked};
+use obliv_core::scan::{scan_in, Schedule};
+use obliv_core::{set_keys, Engine, Item, Slot};
+
+/// One resident-table slot. Absent slots are padding: the number of
+/// *present* records is secret, the physical length is public.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Rec {
+    pub present: bool,
+    pub key: u64,
+    pub val: u64,
+}
+
+/// Payload carried through the merge network.
+#[derive(Clone, Copy, Debug, Default)]
+struct MergeVal {
+    key: u64,
+    /// 0 = table record; `1..` = ops in submission order (pending first).
+    seq: u64,
+    /// [`kind`] op kinds, or [`REC_KIND`] for table records.
+    kind: u8,
+    /// Put/record value.
+    val: u64,
+    /// Op result: was a value present before this op?
+    res_found: bool,
+    res_val: u64,
+    /// Run-last elements whose final state is "present" become the new
+    /// table record for their key.
+    cand: bool,
+    cand_val: u64,
+}
+
+const REC_KIND: u8 = 255;
+
+/// Last-writer-wins transformer: what an element does to its key's value
+/// state. `KEEP` (gets, aggregates, padding) is the monoid identity.
+const T_KEEP: u8 = 0;
+const T_SET: u8 = 1;
+const T_CLEAR: u8 = 2;
+
+/// Scan element: segment head flag plus a value-state transformer. The
+/// combine below is the standard segmented-scan monoid over transformer
+/// composition (right transformer wins unless it is `KEEP`), so an
+/// exclusive scan yields, at every position, the composition of the run
+/// prefix before it.
+#[derive(Clone, Copy, Debug, Default)]
+struct Lww {
+    head: bool,
+    kind: u8,
+    val: u64,
+}
+
+#[inline]
+fn compose(a: Lww, b: Lww) -> (u8, u64) {
+    if b.kind == T_KEEP {
+        (a.kind, a.val)
+    } else {
+        (b.kind, b.val)
+    }
+}
+
+#[inline]
+fn lww_combine(a: Lww, b: Lww) -> Lww {
+    if b.head {
+        b
+    } else {
+        let (k, v) = compose(a, b);
+        Lww {
+            head: a.head,
+            kind: k,
+            val: v,
+        }
+    }
+}
+
+/// Head/last run boundaries, computed once from the sorted array.
+#[derive(Clone, Copy, Debug, Default)]
+struct Bounds {
+    head: bool,
+    last: bool,
+}
+
+#[inline]
+fn transformer_of(s: &Slot<MergeVal>) -> Lww {
+    if !s.is_real() {
+        return Lww::default();
+    }
+    let v = &s.item.val;
+    let (kind, val) = match v.kind {
+        REC_KIND | kind::PUT => (T_SET, v.val),
+        kind::DELETE => (T_CLEAR, 0),
+        _ => (T_KEEP, 0),
+    };
+    Lww {
+        head: false,
+        kind,
+        val,
+    }
+}
+
+/// Flat `Option<u64>`-plus-kind for the fixed-pattern result readout.
+#[derive(Clone, Copy, Default)]
+struct OutRes {
+    kind: u8,
+    found: bool,
+    val: u64,
+}
+
+/// Run one merge epoch. `table` holds the resident records sorted by key
+/// (padded, public length) and is rebuilt at public capacity `cap_new`;
+/// `pending` and `batch` are already padded to their public classes, with
+/// `n_results` real ops leading `batch`. Returns the batch results in
+/// submission order and the refreshed analytics snapshot. `stats_snapshot`
+/// (the pre-epoch snapshot) answers `Aggregate` ops.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_epoch<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    engine: Engine,
+    sched: Schedule,
+    table: &mut Vec<Rec>,
+    cap_new: usize,
+    pending: &[FlatOp],
+    batch: &[FlatOp],
+    n_results: usize,
+    stats_snapshot: StoreStats,
+) -> (Vec<OpResult>, StoreStats) {
+    let cap = table.len();
+    let p = pending.len();
+    let total = cap + p + batch.len();
+    let m = total.next_power_of_two();
+    debug_assert!(cap_new <= m, "new capacity must fit the merge array");
+
+    // 1. Concatenate: records (seq 0), pending ops, batch ops. Dummy ops
+    //    and absent table slots become fillers — every position is written
+    //    exactly once regardless of contents.
+    let mut slots = scratch.lease(m, Slot::<MergeVal>::filler());
+    for (slot, r) in slots.iter_mut().zip(table.iter()) {
+        *slot = if r.present {
+            Slot::real(
+                Item::new(
+                    0,
+                    MergeVal {
+                        key: r.key,
+                        seq: 0,
+                        kind: REC_KIND,
+                        val: r.val,
+                        ..MergeVal::default()
+                    },
+                ),
+                0,
+            )
+        } else {
+            Slot::filler()
+        };
+    }
+    for (j, (slot, f)) in slots[cap..]
+        .iter_mut()
+        .zip(pending.iter().chain(batch.iter()))
+        .enumerate()
+    {
+        *slot = if f.kind == kind::DUMMY {
+            Slot::filler()
+        } else {
+            Slot::real(
+                Item::new(
+                    0,
+                    MergeVal {
+                        key: f.key,
+                        seq: 1 + j as u64,
+                        kind: f.kind,
+                        val: f.val,
+                        ..MergeVal::default()
+                    },
+                ),
+                0,
+            )
+        };
+    }
+    c.charge_par(total as u64);
+
+    let mut t = Tracked::new(c, &mut slots);
+
+    // 2. Sort by (key, seq); fillers last. The record (seq 0) heads its
+    //    run, ops follow in submission order.
+    set_keys(c, &mut t, &|s: &Slot<MergeVal>| {
+        if s.is_real() {
+            ((s.item.val.key as u128) << 64) | s.item.val.seq as u128
+        } else {
+            u128::MAX
+        }
+    });
+    engine.sort_slots(c, scratch, &mut t);
+
+    // 3a. Mark run boundaries and gather the scan input (read-only over the
+    //     sorted slots; each output position written once).
+    let mut bounds_store = scratch.lease(m, Bounds::default());
+    let mut lww_store = scratch.lease(m, Lww::default());
+    {
+        let mut bounds = Tracked::new(c, &mut bounds_store);
+        let mut lww = Tracked::new(c, &mut lww_store);
+        let br = bounds.as_raw();
+        let lr = lww.as_raw();
+        let tr = t.as_raw();
+        par_for(c, 0, m, grain_for(c), &|c, i| unsafe {
+            let s = tr.get(c, i);
+            let head = if i == 0 {
+                true
+            } else {
+                let prev = tr.get(c, i - 1);
+                c.work(1);
+                prev.is_filler() != s.is_filler() || prev.item.val.key != s.item.val.key
+            };
+            let last = if i + 1 == m {
+                true
+            } else {
+                let next = tr.get(c, i + 1);
+                c.work(1);
+                next.is_filler() != s.is_filler() || next.item.val.key != s.item.val.key
+            };
+            br.set(c, i, Bounds { head, last });
+            let mut l = transformer_of(&s);
+            l.head = head;
+            lr.set(c, i, l);
+        });
+
+        // 3b. Segmented exclusive scan: position i receives the composed
+        //     state of its run's prefix [run start, i).
+        scan_in(
+            c,
+            scratch,
+            &mut lww,
+            Lww::default(),
+            &lww_combine,
+            false,
+            false,
+            sched,
+        );
+
+        // 3c. Fix-up: every op learns its pre-op state; every run-last
+        //     element learns its key's final state. Unconditional writes.
+        let lr = lww.as_raw();
+        par_for(c, 0, m, grain_for(c), &|c, i| unsafe {
+            let mut s = tr.get(c, i);
+            let b = br.get(c, i);
+            let scanned = lr.get(c, i);
+            // Run heads see the empty state no matter what the scan
+            // carried over from the previous run.
+            let pre = if b.head { Lww::default() } else { scanned };
+            let own = transformer_of(&s);
+            let (inc_kind, inc_val) = compose(pre, own);
+            s.item.val.res_found = pre.kind == T_SET;
+            s.item.val.res_val = if pre.kind == T_SET { pre.val } else { 0 };
+            s.item.val.cand = b.last && inc_kind == T_SET && s.is_real();
+            s.item.val.cand_val = inc_val;
+            tr.set(c, i, s);
+        });
+    }
+
+    // 4. Route batch ops back to submission order; fixed-prefix readout.
+    set_keys(c, &mut t, &|s: &Slot<MergeVal>| {
+        if s.is_real() && s.item.val.seq > p as u64 {
+            (s.item.val.seq - 1 - p as u64) as u128
+        } else {
+            u128::MAX
+        }
+    });
+    engine.sort_slots(c, scratch, &mut t);
+    // Fixed-pattern readout over the *whole padded batch prefix* — reading
+    // exactly `n_results` slots would leak the real op count within the
+    // size class. The padding suffix holds whatever sorted into the
+    // `u128::MAX` key region; those entries are dropped host-side below.
+    let outs: Vec<OutRes> = {
+        let tr = t.as_raw();
+        metrics::par_collect(c, batch.len(), &|c, j| {
+            // SAFETY: read-only phase.
+            let s = unsafe { tr.get(c, j) };
+            debug_assert!(j >= n_results || s.item.val.seq as usize == 1 + p + j);
+            OutRes {
+                kind: s.item.val.kind,
+                found: s.item.val.res_found,
+                val: s.item.val.res_val,
+            }
+        })
+    };
+
+    // 5. Route final states to the front and rebuild the table at its new
+    //    public capacity (records stay sorted by key).
+    set_keys(c, &mut t, &|s: &Slot<MergeVal>| {
+        if s.is_real() && s.item.val.cand {
+            s.item.val.key as u128
+        } else {
+            u128::MAX
+        }
+    });
+    engine.sort_slots(c, scratch, &mut t);
+
+    table.clear();
+    table.resize(cap_new, Rec::default());
+    let stats = {
+        let mut tt = Tracked::new(c, table.as_mut_slice());
+        let ttr = tt.as_raw();
+        let tr = t.as_raw();
+        par_for(c, 0, cap_new, grain_for(c), &|c, i| unsafe {
+            let s = tr.get(c, i);
+            let keep = s.is_real() && s.item.val.cand;
+            ttr.set(
+                c,
+                i,
+                Rec {
+                    present: keep,
+                    key: if keep { s.item.val.key } else { 0 },
+                    val: if keep { s.item.val.cand_val } else { 0 },
+                },
+            );
+        });
+        // Refresh the analytics snapshot with one reduce over the new table.
+        par_reduce(
+            c,
+            0,
+            cap_new,
+            grain_for(c),
+            &|c, i| {
+                // SAFETY: read-only phase over the freshly written table.
+                let r = unsafe { ttr.get(c, i) };
+                (r.present as u64, if r.present { r.val } else { 0 })
+            },
+            &|a, b| (a.0 + b.0, a.1.wrapping_add(b.1)),
+        )
+        .map(|(count, sum)| StoreStats { count, sum })
+        .unwrap_or_default()
+    };
+
+    let results = outs
+        .into_iter()
+        .take(n_results)
+        .map(|o| {
+            if o.kind == kind::AGG {
+                OpResult::Stats(stats_snapshot)
+            } else {
+                OpResult::Value(o.found.then_some(o.val))
+            }
+        })
+        .collect();
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use fj::SeqCtx;
+
+    fn run(
+        table: &mut Vec<Rec>,
+        cap_new: usize,
+        pending: &[FlatOp],
+        ops: &[Op],
+        pad_to: usize,
+    ) -> Vec<OpResult> {
+        let c = SeqCtx::new();
+        let scratch = ScratchPool::new();
+        let mut batch: Vec<FlatOp> = ops.iter().map(FlatOp::of).collect();
+        batch.resize(pad_to, FlatOp::dummy());
+        let (res, _) = merge_epoch(
+            &c,
+            &scratch,
+            Engine::BitonicRec,
+            Schedule::Tree,
+            table,
+            cap_new,
+            pending,
+            &batch,
+            ops.len(),
+            StoreStats::default(),
+        );
+        res
+    }
+
+    fn live(table: &[Rec]) -> Vec<(u64, u64)> {
+        table
+            .iter()
+            .filter(|r| r.present)
+            .map(|r| (r.key, r.val))
+            .collect()
+    }
+
+    #[test]
+    fn put_get_delete_sequential_semantics() {
+        let mut table = vec![Rec::default(); 8];
+        let ops = vec![
+            Op::Put { key: 5, val: 50 },
+            Op::Get { key: 5 },
+            Op::Put { key: 5, val: 51 },
+            Op::Get { key: 5 },
+            Op::Delete { key: 5 },
+            Op::Get { key: 5 },
+        ];
+        let res = run(&mut table, 8, &[], &ops, 8);
+        assert_eq!(
+            res,
+            vec![
+                OpResult::Value(None),
+                OpResult::Value(Some(50)),
+                OpResult::Value(Some(50)),
+                OpResult::Value(Some(51)),
+                OpResult::Value(Some(51)),
+                OpResult::Value(None),
+            ]
+        );
+        assert_eq!(live(&table), vec![]);
+    }
+
+    #[test]
+    fn table_records_head_their_runs() {
+        let mut table = vec![
+            Rec {
+                present: true,
+                key: 3,
+                val: 30,
+            },
+            Rec {
+                present: true,
+                key: 9,
+                val: 90,
+            },
+            Rec::default(),
+            Rec::default(),
+        ];
+        let ops = vec![
+            Op::Get { key: 3 },
+            Op::Delete { key: 9 },
+            Op::Put { key: 7, val: 70 },
+            Op::Get { key: 9 },
+        ];
+        let res = run(&mut table, 8, &[], &ops, 8);
+        assert_eq!(
+            res,
+            vec![
+                OpResult::Value(Some(30)),
+                OpResult::Value(Some(90)),
+                OpResult::Value(None),
+                OpResult::Value(None),
+            ]
+        );
+        assert_eq!(live(&table), vec![(3, 30), (7, 70)]);
+    }
+
+    #[test]
+    fn pending_ops_apply_before_batch() {
+        let mut table = vec![Rec::default(); 8];
+        let pending = vec![
+            FlatOp {
+                kind: kind::PUT,
+                key: 2,
+                val: 20,
+            },
+            FlatOp::dummy(),
+        ];
+        let ops = vec![Op::Get { key: 2 }, Op::Delete { key: 2 }];
+        let res = run(&mut table, 8, &pending, &ops, 8);
+        assert_eq!(
+            res,
+            vec![OpResult::Value(Some(20)), OpResult::Value(Some(20))]
+        );
+        assert_eq!(live(&table), vec![]);
+    }
+
+    #[test]
+    fn stats_reflect_new_table_and_aggregates_see_snapshot() {
+        let c = SeqCtx::new();
+        let scratch = ScratchPool::new();
+        let mut table = vec![Rec::default(); 8];
+        let batch: Vec<FlatOp> = [
+            Op::Put { key: 1, val: 10 },
+            Op::Put { key: 2, val: 5 },
+            Op::Aggregate,
+        ]
+        .iter()
+        .map(FlatOp::of)
+        .chain(std::iter::repeat_with(FlatOp::dummy))
+        .take(8)
+        .collect();
+        let snapshot = StoreStats { count: 9, sum: 99 };
+        let (res, stats) = merge_epoch(
+            &c,
+            &scratch,
+            Engine::BitonicRec,
+            Schedule::Tree,
+            &mut table,
+            8,
+            &[],
+            &batch,
+            3,
+            snapshot,
+        );
+        // Aggregates answer from the pre-epoch snapshot...
+        assert_eq!(res[2], OpResult::Stats(snapshot));
+        // ...while the refreshed snapshot covers the new table.
+        assert_eq!(stats, StoreStats { count: 2, sum: 15 });
+    }
+
+    #[test]
+    fn capacity_growth_keeps_records() {
+        let mut table = vec![Rec {
+            present: true,
+            key: 100,
+            val: 1,
+        }];
+        table.resize(8, Rec::default());
+        let ops: Vec<Op> = (0..12).map(|i| Op::Put { key: i, val: i }).collect();
+        let res = run(&mut table, 16, &[], &ops, 16);
+        assert!(res.iter().all(|r| *r == OpResult::Value(None)));
+        assert_eq!(table.len(), 16);
+        let mut want: Vec<(u64, u64)> = (0..12).map(|i| (i, i)).collect();
+        want.push((100, 1));
+        assert_eq!(live(&table), want);
+    }
+}

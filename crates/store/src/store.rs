@@ -1,0 +1,493 @@
+//! The [`Store`] facade: batched epochs over the merge path, with a
+//! tree-ORAM point-lookup path for sub-threshold batches.
+//!
+//! # State and path selection
+//!
+//! The authoritative state is the resident **table** (flat, key-sorted,
+//! padded to a public power-of-two capacity) — the §F merge path resolves
+//! whole epochs against it. When the key space is bounded
+//! ([`StoreConfig::oram_key_space`]), the store additionally keeps a
+//! recursive tree-ORAM **mirror** ([`pram::Opram`], §4.2) of the same
+//! key→value map, and epochs whose *public* padded size falls below
+//! [`StoreConfig::oram_threshold`] are served by per-op ORAM point lookups
+//! instead of paying a full merge.
+//!
+//! The two representations stay consistent LSM-style:
+//!
+//! * ORAM epochs apply their ops to the mirror immediately and append them
+//!   to a **pending log** (padded, public length);
+//! * merge epochs replay `pending ++ batch` against the table in one
+//!   oblivious pass, then write the batch through to the mirror.
+//!
+//! Path selection reads only public quantities (padded batch class,
+//! pending-log length), so the dispatch itself leaks nothing about the
+//! operations.
+
+use crate::merge::{merge_epoch, Rec};
+use crate::op::{kind, size_class, EpochPath, FlatOp, Op, OpResult, StoreStats};
+use fj::Ctx;
+use metrics::ScratchPool;
+use obliv_core::scan::Schedule;
+use obliv_core::Engine;
+use pram::{Opram, OramConfig};
+
+/// Tuning for a [`Store`].
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Sorting engine driving the merge path (and the ORAM's conflict
+    /// machinery).
+    pub engine: Engine,
+    /// Scan schedule for the merge path's LWW scan.
+    pub schedule: Schedule,
+    /// Bounded key space enabling the ORAM path: all keys must be
+    /// `< oram_key_space`. `None` disables the ORAM path (arbitrary `u64`
+    /// keys, every epoch merges).
+    pub oram_key_space: Option<usize>,
+    /// Epochs whose padded batch class is `>=` this merge; smaller ones
+    /// take the ORAM path (when enabled).
+    pub oram_threshold: usize,
+    /// A merge is forced once `pending + batch` would exceed this, bounding
+    /// the pending log.
+    pub pending_limit: usize,
+    /// Tree-ORAM tuning (bucket size, stash, layout).
+    pub oram: OramConfig,
+    /// Seed for the ORAM's position-map coins.
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            engine: Engine::BitonicRec,
+            schedule: Schedule::Tree,
+            oram_key_space: None,
+            oram_threshold: 64,
+            pending_limit: 512,
+            oram: OramConfig::default(),
+            seed: 0xD0B_5707,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Default config with the ORAM path enabled over `key_space` keys.
+    pub fn with_oram(key_space: usize) -> Self {
+        StoreConfig {
+            oram_key_space: Some(key_space),
+            ..StoreConfig::default()
+        }
+    }
+}
+
+/// An oblivious batched key-value / private-analytics store. See the
+/// [module docs](self) for the architecture.
+pub struct Store {
+    cfg: StoreConfig,
+    /// Resident records, key-sorted, padded to `size_class(live_upper)`.
+    table: Vec<Rec>,
+    /// Public upper bound on the number of distinct present keys.
+    live_upper: usize,
+    /// Ops applied to the ORAM mirror but not yet merged into the table.
+    pending: Vec<FlatOp>,
+    oram: Option<Opram>,
+    stats: StoreStats,
+    epochs: u64,
+    merges: u64,
+    last_path: Option<EpochPath>,
+}
+
+impl Store {
+    pub fn new(cfg: StoreConfig) -> Self {
+        let oram = cfg
+            .oram_key_space
+            .map(|s| Opram::new(s.max(1), cfg.oram, cfg.engine, cfg.seed));
+        Store {
+            cfg,
+            table: vec![Rec::default(); size_class(0)],
+            live_upper: 0,
+            pending: Vec::new(),
+            oram,
+            stats: StoreStats::default(),
+            epochs: 0,
+            merges: 0,
+            last_path: None,
+        }
+    }
+
+    /// The path an epoch of `n_ops` operations would take right now — a
+    /// public function of the padded class and the pending-log length.
+    pub fn epoch_path(&self, n_ops: usize) -> EpochPath {
+        let b = size_class(n_ops);
+        match self.oram {
+            None => EpochPath::Merge,
+            Some(_)
+                if b >= self.cfg.oram_threshold
+                    || self.pending.len() + b > self.cfg.pending_limit =>
+            {
+                EpochPath::Merge
+            }
+            Some(_) => EpochPath::Oram,
+        }
+    }
+
+    /// Execute one epoch: pad `ops` to its public size class, run the
+    /// selected pipeline, and return one result per op in submission order.
+    pub fn execute_epoch<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        ops: &[Op],
+    ) -> Vec<OpResult> {
+        if let Some(space) = self.cfg.oram_key_space {
+            for op in ops {
+                assert!(
+                    (op.key() as usize) < space.max(1),
+                    "key {} outside the configured ORAM key space {}",
+                    op.key(),
+                    space
+                );
+            }
+        }
+        for op in ops {
+            if let Op::Put { val, .. } = op {
+                assert!(*val < u64::MAX, "values must be < u64::MAX");
+            }
+        }
+
+        let b = size_class(ops.len());
+        let path = self.epoch_path(ops.len());
+        self.epochs += 1;
+        self.last_path = Some(path);
+
+        let batch: Vec<FlatOp> = ops
+            .iter()
+            .map(FlatOp::of)
+            .chain(std::iter::repeat_with(FlatOp::dummy))
+            .take(b)
+            .collect();
+
+        match path {
+            EpochPath::Oram => self.oram_epoch(c, &batch, ops.len()),
+            EpochPath::Merge => self.merge_epoch_inner(c, scratch, &batch, ops.len()),
+        }
+    }
+
+    /// Sub-threshold path: one fixed-pattern tree-ORAM access per padded
+    /// slot (dummies walk key 0), giving sequential semantics at
+    /// `O(b · polylog s)` instead of a full `O((cap + b) log² )` merge.
+    fn oram_epoch<C: Ctx>(&mut self, c: &C, batch: &[FlatOp], n_results: usize) -> Vec<OpResult> {
+        let oram = self.oram.as_mut().expect("ORAM path requires a mirror");
+        let mut results = Vec::with_capacity(n_results);
+        for (i, f) in batch.iter().enumerate() {
+            let prev = oram.access(c, f.key, f.oram_write());
+            if i < n_results {
+                results.push(if f.kind == kind::AGG {
+                    OpResult::Stats(self.stats)
+                } else {
+                    OpResult::Value(prev.checked_sub(1))
+                });
+            }
+        }
+        // The padded batch (dummies included: public length) joins the
+        // pending log for the next merge.
+        self.pending.extend_from_slice(batch);
+        results
+    }
+
+    /// Merge path: replay `pending ++ batch` against the table (see
+    /// [`crate::merge`]), then write the batch through to the ORAM mirror.
+    fn merge_epoch_inner<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        batch: &[FlatOp],
+        n_results: usize,
+    ) -> Vec<OpResult> {
+        // Every pending/batch op could be a put of a fresh key, so the
+        // public live-key bound grows by their count (clamped to the key
+        // space when one is configured).
+        let mut live_upper = self.live_upper + self.pending.len() + batch.len();
+        if let Some(space) = self.cfg.oram_key_space {
+            live_upper = live_upper.min(space.max(1));
+        }
+        let cap_new = size_class(live_upper);
+
+        let (results, stats) = merge_epoch(
+            c,
+            scratch,
+            self.cfg.engine,
+            self.cfg.schedule,
+            &mut self.table,
+            cap_new,
+            &self.pending,
+            batch,
+            n_results,
+            self.stats,
+        );
+        self.live_upper = live_upper;
+        self.stats = stats;
+        self.pending.clear();
+        self.merges += 1;
+
+        // Keep the ORAM mirror consistent: replay the batch (pending ops
+        // were applied at their own epochs). Results are discarded — the
+        // merge already produced them.
+        if let Some(oram) = self.oram.as_mut() {
+            for f in batch {
+                oram.access(c, f.key, f.oram_write());
+            }
+        }
+        results
+    }
+
+    /// Current analytics snapshot (as of the last merge epoch).
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Public physical capacity of the resident table.
+    pub fn capacity(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Public upper bound on distinct present keys.
+    pub fn live_upper_bound(&self) -> usize {
+        self.live_upper
+    }
+
+    /// Public length of the pending log awaiting the next merge.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Path the most recent epoch took.
+    pub fn last_path(&self) -> Option<EpochPath> {
+        self.last_path
+    }
+
+    /// Epochs executed (total, and merge epochs among them).
+    pub fn epoch_counts(&self) -> (u64, u64) {
+        (self.epochs, self.merges)
+    }
+
+    /// Start collecting an epoch's operations.
+    pub fn epoch(&mut self) -> Epoch<'_> {
+        Epoch {
+            store: self,
+            ops: Vec::new(),
+        }
+    }
+}
+
+/// Builder collecting one epoch's operations; [`Epoch::commit`] executes
+/// them as a single oblivious batch.
+pub struct Epoch<'s> {
+    store: &'s mut Store,
+    ops: Vec<Op>,
+}
+
+impl Epoch<'_> {
+    /// Queue an op; the returned ticket indexes its result in the slice
+    /// [`Epoch::commit`] returns.
+    pub fn submit(&mut self, op: Op) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Execute the collected ops as one epoch.
+    pub fn commit<C: Ctx>(self, c: &C, scratch: &ScratchPool) -> Vec<OpResult> {
+        self.store.execute_epoch(c, scratch, &self.ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj::SeqCtx;
+    use std::collections::HashMap;
+
+    fn merge_only() -> Store {
+        Store::new(StoreConfig::default())
+    }
+
+    #[test]
+    fn basic_crud_roundtrip() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut s = merge_only();
+        let res = s.execute_epoch(
+            &c,
+            &sp,
+            &[
+                Op::Put { key: 1, val: 11 },
+                Op::Put { key: 2, val: 22 },
+                Op::Get { key: 1 },
+            ],
+        );
+        assert_eq!(res[2], OpResult::Value(Some(11)));
+        let res = s.execute_epoch(
+            &c,
+            &sp,
+            &[
+                Op::Delete { key: 1 },
+                Op::Get { key: 1 },
+                Op::Get { key: 2 },
+            ],
+        );
+        assert_eq!(res[0], OpResult::Value(Some(11)));
+        assert_eq!(res[1], OpResult::Value(None));
+        assert_eq!(res[2], OpResult::Value(Some(22)));
+    }
+
+    #[test]
+    fn aggregate_sees_last_merge_snapshot() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut s = merge_only();
+        // Epoch 1 loads; its own aggregate still sees the empty snapshot.
+        let res = s.execute_epoch(
+            &c,
+            &sp,
+            &[
+                Op::Put { key: 1, val: 10 },
+                Op::Put { key: 2, val: 20 },
+                Op::Aggregate,
+            ],
+        );
+        assert_eq!(res[2], OpResult::Stats(StoreStats::default()));
+        // Epoch 2 sees epoch 1's merge.
+        let res = s.execute_epoch(&c, &sp, &[Op::Aggregate]);
+        assert_eq!(res[0], OpResult::Stats(StoreStats { count: 2, sum: 30 }));
+        assert_eq!(s.stats(), StoreStats { count: 2, sum: 30 });
+    }
+
+    #[test]
+    fn epoch_builder_tickets_index_results() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut s = merge_only();
+        let mut e = s.epoch();
+        let t0 = e.submit(Op::Put { key: 9, val: 90 });
+        let t1 = e.submit(Op::Get { key: 9 });
+        assert_eq!((t0, t1), (0, 1));
+        assert_eq!(e.len(), 2);
+        let res = e.commit(&c, &sp);
+        assert_eq!(res[t1], OpResult::Value(Some(90)));
+    }
+
+    #[test]
+    fn empty_epoch_is_a_public_heartbeat() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut s = merge_only();
+        let res = s.execute_epoch(&c, &sp, &[]);
+        assert!(res.is_empty());
+        assert_eq!(s.epoch_counts(), (1, 1));
+    }
+
+    #[test]
+    fn capacity_grows_by_public_classes_only() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut s = merge_only();
+        assert_eq!(s.capacity(), 8);
+        let ops: Vec<Op> = (0..20).map(|i| Op::Put { key: i, val: i }).collect();
+        s.execute_epoch(&c, &sp, &ops);
+        // live_upper = 32 (padded batch class), capacity = its class.
+        assert_eq!(s.capacity(), 32);
+        assert_eq!(s.live_upper_bound(), 32);
+    }
+
+    #[test]
+    fn hybrid_paths_stay_consistent() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut cfg = StoreConfig::with_oram(256);
+        cfg.oram_threshold = 32;
+        let mut s = Store::new(cfg);
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+
+        // Big load epoch → merge path.
+        let ops: Vec<Op> = (0..40)
+            .map(|i| Op::Put {
+                key: i,
+                val: 100 + i,
+            })
+            .collect();
+        assert_eq!(s.epoch_path(ops.len()), EpochPath::Merge);
+        s.execute_epoch(&c, &sp, &ops);
+        for i in 0..40 {
+            oracle.insert(i, 100 + i);
+        }
+
+        // Small epochs → ORAM path, fully consistent with the oracle.
+        for round in 0..4u64 {
+            let ops = vec![
+                Op::Get { key: round * 7 },
+                Op::Put {
+                    key: 200 + round,
+                    val: round,
+                },
+                Op::Delete { key: round },
+            ];
+            assert_eq!(s.epoch_path(ops.len()), EpochPath::Oram);
+            let res = s.execute_epoch(&c, &sp, &ops);
+            assert_eq!(res[0].value(), oracle.get(&(round * 7)).copied());
+            assert_eq!(res[1].value(), oracle.insert(200 + round, round));
+            assert_eq!(res[2].value(), oracle.remove(&round));
+        }
+        assert_eq!(s.last_path(), Some(EpochPath::Oram));
+        assert!(s.pending_len() > 0);
+
+        // Another big epoch merges the pending log back into the table.
+        let ops: Vec<Op> = (0..40)
+            .map(|i| Op::Get {
+                key: if i < 4 { 200 + i } else { i },
+            })
+            .collect();
+        assert_eq!(s.epoch_path(ops.len()), EpochPath::Merge);
+        let res = s.execute_epoch(&c, &sp, &ops);
+        for (i, r) in res.iter().enumerate() {
+            let key = if i < 4 { 200 + i as u64 } else { i as u64 };
+            assert_eq!(r.value(), oracle.get(&key).copied(), "key {key}");
+        }
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    fn pending_limit_forces_merge() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut cfg = StoreConfig::with_oram(64);
+        cfg.oram_threshold = 64;
+        cfg.pending_limit = 16;
+        let mut s = Store::new(cfg);
+        assert_eq!(s.epoch_path(1), EpochPath::Oram);
+        s.execute_epoch(&c, &sp, &[Op::Put { key: 1, val: 1 }]);
+        assert_eq!(s.pending_len(), 8);
+        s.execute_epoch(&c, &sp, &[Op::Put { key: 2, val: 2 }]);
+        assert_eq!(s.pending_len(), 16);
+        // 16 + 8 > 16 → merge.
+        assert_eq!(s.epoch_path(1), EpochPath::Merge);
+        let res = s.execute_epoch(&c, &sp, &[Op::Get { key: 1 }]);
+        assert_eq!(res[0], OpResult::Value(Some(1)));
+        assert_eq!(s.pending_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the configured ORAM key space")]
+    fn bounded_stores_reject_out_of_space_keys() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut s = Store::new(StoreConfig::with_oram(16));
+        s.execute_epoch(&c, &sp, &[Op::Get { key: 16 }]);
+    }
+}

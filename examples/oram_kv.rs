@@ -1,52 +1,93 @@
-// An oblivious key-value store: the Theorem 4.2 substrate (recursive tree
-// ORAM with batched access) used directly as a privacy-preserving KV map.
+// An oblivious key-value store: `dob-store`'s batched epoch engine with
+// the tree-ORAM point-lookup path (§4.2) enabled for small batches.
+//
+// Clients submit Get/Put/Delete/Aggregate ops into epochs; the path each
+// epoch takes — full §F merge against the resident table, or per-op ORAM
+// walks — is selected by the *public* padded batch size alone.
 //
 // ```sh
 // cargo run --release --example oram_kv
 // ```
 
 use dob::prelude::*;
-use pram::TreeLayout;
 
 fn main() {
     let c = SeqCtx::new();
     let space = dob::env_size("DOB_ORAM_SPACE", 4096);
-    let cfg = OramConfig {
-        layout: TreeLayout::Veb,
-        ..OramConfig::default()
-    };
-    let mut store = Opram::new(space, cfg, obliv_core::Engine::BitonicRec, 0xD1CE);
+    let scratch = ScratchPool::new();
+    let mut cfg = StoreConfig::with_oram(space);
+    cfg.oram_threshold = 64;
+    let mut store = Store::new(cfg);
 
-    // Load a batch of writes (one simulated PRAM write step).
-    let writes: Vec<(u64, Option<u64>)> = (0..64u64)
-        .map(|i| (i * 61 % space as u64, Some(1000 + i)))
-        .collect();
-    store.access_batch(&c, &writes);
-    println!("wrote {} keys in one oblivious batch", writes.len());
+    // Bulk load: a big batch takes the merge path. Keys may collide for
+    // small DOB_ORAM_SPACE values — last writer wins, like any KV map.
+    let load_keys: Vec<u64> = (0..128u64).map(|i| (i * 61) % space as u64).collect();
+    let distinct: std::collections::HashSet<u64> = load_keys.iter().copied().collect();
+    let mut epoch = store.epoch();
+    for (i, &key) in load_keys.iter().enumerate() {
+        epoch.submit(Op::Put {
+            key,
+            val: 1000 + i as u64,
+        });
+    }
+    let n = epoch.len();
+    epoch.commit(&c, &scratch);
+    assert_eq!(store.last_path(), Some(EpochPath::Merge));
+    println!(
+        "loaded {n} puts ({} distinct keys) in one merge epoch (capacity {})",
+        distinct.len(),
+        store.capacity()
+    );
 
-    // Mixed read/write batch with duplicate addresses (conflict-resolved
-    // obliviously, first request wins).
-    let reqs: Vec<(u64, Option<u64>)> = vec![
-        (61, None),
-        (122, None),
-        (61, None), // duplicate read
-        (183, Some(9999)),
+    // Point lookups: small batches walk the ORAM instead of merging.
+    let (k1, k2, k3) = (61 % space as u64, 122 % space as u64, 183 % space as u64);
+    let reqs = vec![
+        Op::Get { key: k1 },
+        Op::Get { key: k2 },
+        Op::Get { key: k1 }, // duplicate read
+        Op::Put { key: k3, val: 9999 },
+        Op::Get { key: k3 },
     ];
-    let vals = store.access_batch(&c, &reqs);
-    println!("batch read back: {vals:?}");
-    assert_eq!(vals[0], vals[2], "duplicate reads agree");
+    let res = store.execute_epoch(&c, &scratch, &reqs);
+    assert_eq!(store.last_path(), Some(EpochPath::Oram));
+    println!(
+        "oram-path batch read back: {:?}",
+        res.iter().map(|r| r.value()).collect::<Vec<_>>()
+    );
+    assert_eq!(res[0].value(), res[2].value(), "duplicate reads agree");
+    assert_eq!(res[4].value(), Some(9999), "read-your-own-epoch-write");
 
-    // Stash health (the monitored Circuit-OPRAM simplification).
-    println!("peak stash occupancy: {} slots", store.max_stash());
+    // Aggregates observe the analytics snapshot of the last merge.
+    let res = store.execute_epoch(&c, &scratch, &[Op::Aggregate]);
+    if let OpResult::Stats(stats) = res[0] {
+        println!(
+            "analytics snapshot: {} records, value sum {}",
+            stats.count, stats.sum
+        );
+        assert_eq!(stats.count, distinct.len() as u64);
+    }
 
-    // The access pattern hides *which* keys are touched: run a fixed
-    // workload against two different value sets and compare host traces.
+    // What does the host see? Fix the workload *shape*, swap the stored
+    // values, and compare the full traces: identical.
     let trace = |scale: u64| {
         let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
-            let mut o = Opram::new(space, cfg, obliv_core::Engine::BitonicRec, 5);
-            for i in 0..32u64 {
-                o.access(c, (i * 97) % space as u64, Some(scale * i));
-            }
+            let sp = ScratchPool::new();
+            let mut cfg = StoreConfig::with_oram(space);
+            cfg.oram_threshold = 64;
+            let mut s = Store::new(cfg);
+            let load: Vec<Op> = (0..96u64)
+                .map(|i| Op::Put {
+                    key: (i * 97) % space as u64,
+                    val: scale * i,
+                })
+                .collect();
+            s.execute_epoch(c, &sp, &load);
+            let gets: Vec<Op> = (0..8u64)
+                .map(|i| Op::Get {
+                    key: (i * 97) % space as u64,
+                })
+                .collect();
+            s.execute_epoch(c, &sp, &gets);
         });
         (rep.trace_hash, rep.trace_len)
     };

@@ -1,113 +1,106 @@
-// Private analytics on an untrusted cloud — the paper's §1 scenario.
-//
-// A client outsources encrypted salary records to a multicore enclave.
-// The enclave computes order statistics and per-department totals; the
-// host (adversary) sees only memory addresses. Every step below is
-// data-oblivious, so two entirely different datasets generate identical
-// address traces.
+// Private analytics on an untrusted cloud — the paper's §1 scenario, now
+// served by `dob-store`: many clients' queries arrive as epochs of
+// Get/Put/Delete/Aggregate ops whose keys, values, kinds and hit rates
+// are all hidden from the host; only padded batch sizes leak.
 //
 // ```sh
 // cargo run --release --example private_analytics
 // ```
 
 use dob::prelude::*;
-use metrics::Tracked;
-use obliv_core::scan::{seg_sum_right_in, Schedule, Seg};
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Employee {
-    #[allow(dead_code)] // part of the record schema; analytics key off dept/salary
-    id: u64,
-    dept: u64,
-    salary: u64,
-}
+/// One day of traffic against the salary store: an ingest epoch, a batch
+/// of point queries with updates mixed in, and an analytics epoch.
+fn run_day<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    store: &mut Store,
+    salaries: &[(u64, u64)],
+) -> (Vec<Option<u64>>, StoreStats) {
+    // Ingest: one oblivious merge epoch loads the whole payroll.
+    let mut ingest = store.epoch();
+    for &(id, salary) in salaries {
+        ingest.submit(Op::Put {
+            key: id,
+            val: salary,
+        });
+    }
+    ingest.commit(c, scratch);
 
-fn analytics<C: Ctx>(c: &C, scratch: &ScratchPool, staff: &[Employee]) -> (u64, Vec<(u64, u64)>) {
-    let n = staff.len();
-    // Obliviously sort by (dept, salary) — one pipeline, composite keys.
-    let mut recs: Vec<(u64, Employee)> = staff
-        .iter()
-        .map(|e| ((e.dept << 32) | e.salary, *e))
-        .collect();
-    oblivious_sort(c, scratch, &mut recs, OSortParams::practical(n), 0xC0FFEE);
-
-    // Median salary = element at rank n/2 of a salary-sorted copy.
-    let mut by_salary: Vec<(u64, Employee)> = staff.iter().map(|e| (e.salary, *e)).collect();
-    oblivious_sort(
-        c,
-        scratch,
-        &mut by_salary,
-        OSortParams::practical(n),
-        0xBEEF,
-    );
-    let median = by_salary[n / 2].1.salary;
-
-    // Per-department totals with one oblivious aggregation (§F): mark each
-    // department's last record, suffix-sum within departments.
-    let mut segs: Vec<Seg<u64>> = (0..n)
+    // Mixed query epoch: lookups, a raise, a departure.
+    let mut queries = store.epoch();
+    let lookups: Vec<usize> = (0..8)
         .map(|i| {
-            let last = i + 1 == n || recs[i + 1].1.dept != recs[i].1.dept;
-            Seg::new(last, recs[i].1.salary)
+            queries.submit(Op::Get {
+                key: salaries[(i * 7) % salaries.len()].0,
+            })
         })
         .collect();
-    let mut t = Tracked::new(c, &mut segs);
-    seg_sum_right_in(c, scratch, &mut t, Schedule::Tree);
-    // The first record of each department now sees the department total.
-    let totals: Vec<(u64, u64)> = (0..n)
-        .filter(|&i| i == 0 || recs[i - 1].1.dept != recs[i].1.dept)
-        .map(|i| (recs[i].1.dept, segs[i].v))
-        .collect();
-    (median, totals)
+    queries.submit(Op::Put {
+        key: salaries[0].0,
+        val: salaries[0].1 + 5_000,
+    });
+    queries.submit(Op::Delete {
+        key: salaries[salaries.len() - 1].0,
+    });
+    let res = queries.commit(c, scratch);
+    let looked_up: Vec<Option<u64>> = lookups.iter().map(|&t| res[t].value()).collect();
+
+    // Analytics epoch: the aggregate reads the snapshot of the last merge.
+    let res = store.execute_epoch(c, scratch, &[Op::Aggregate]);
+    let stats = match res[0] {
+        OpResult::Stats(s) => s,
+        _ => unreachable!(),
+    };
+    (looked_up, stats)
+}
+
+fn payroll(n: usize, dept_mix: u64, scale: u64) -> Vec<(u64, u64)> {
+    (0..n as u64)
+        .map(|i| {
+            (
+                i.wrapping_mul(dept_mix) % (2 * n as u64),
+                40_000 + (i.wrapping_mul(scale) >> 11) % 100_000,
+            )
+        })
+        .collect()
 }
 
 fn main() {
-    let n = dob::env_size("DOB_ANALYTICS_N", 4096);
-    let staff: Vec<Employee> = (0..n as u64)
-        .map(|i| Employee {
-            id: i,
-            dept: (i.wrapping_mul(2654435761) >> 7) % 8,
-            salary: 40_000 + (i.wrapping_mul(0x9E3779B9) >> 11) % 100_000,
-        })
-        .collect();
+    let n = dob::env_size("DOB_ANALYTICS_N", 2048);
+    let staff = payroll(n, 2654435761, 0x9E3779B9);
 
     let pool = Pool::with_default_threads();
     let scratch = ScratchPool::new();
-    let (median, totals) = pool.run(|c| analytics(c, &scratch, &staff));
-    println!("median salary: {median}");
-    println!("department totals:");
-    for (dept, total) in &totals {
-        println!("  dept {dept}: {total}");
-    }
+    let mut store = Store::new(StoreConfig::default());
+    let (looked_up, stats) = pool.run(|c| run_day(c, &scratch, &mut store, &staff));
 
-    // What does the host see? Run the same pipeline on a totally different
-    // company and compare the adversary traces.
-    let other: Vec<Employee> = (0..n as u64)
-        .map(|i| Employee {
-            id: i,
-            dept: i % 8,
-            salary: 90_000 + i,
-        })
-        .collect();
-    let trace_of = |staff: Vec<Employee>| {
+    println!("spot lookups: {looked_up:?}");
+    println!(
+        "analytics: {} employees on payroll, total salary {}, mean {}",
+        stats.count,
+        stats.sum,
+        stats.sum / stats.count.max(1)
+    );
+    assert!(
+        looked_up.iter().all(|v| v.is_some()),
+        "ingested ids resolve"
+    );
+
+    // What does the host see? Run the identical epoch *shapes* over a
+    // completely different company — ids, salaries, churn all changed —
+    // and compare adversary traces: bit-identical.
+    let trace_of = |staff: Vec<(u64, u64)>| {
         let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
-            analytics(c, &ScratchPool::new(), &staff);
+            let mut s = Store::new(StoreConfig::default());
+            run_day(c, &ScratchPool::new(), &mut s, &staff);
         });
         (rep.trace_hash, rep.trace_len)
     };
     let ta = trace_of(staff);
-    let tb = trace_of(other);
+    let tb = trace_of(payroll(n, 97, 31));
     println!("\nhost-visible trace: {} events (hash {:#x})", ta.1, ta.0);
-    println!("other dataset:      {} events (hash {:#x})", tb.1, tb.0);
-    // The ORP/network phases are trace-*identical* across inputs (see
-    // `obliv_check` and the test suite). The post-permutation comparison
-    // phase is oblivious in the *distributional* sense of Definition 1:
-    // with clustered keys (8 departments) the region-load profile differs
-    // per input, so individual traces differ while their distribution over
-    // the hidden permutation is simulatable — the paper's §C.4/§5.1
-    // composition argument. The trace LENGTH is input-independent:
-    assert_eq!(ta.1, tb.1, "trace length must not leak the dataset");
-    println!(
-        "lengths identical: {} (contents simulatable, not equal)",
-        ta.1 == tb.1
-    );
+    println!("other company:      {} events (hash {:#x})", tb.1, tb.0);
+    assert_eq!(ta, tb, "the day's trace must not depend on the dataset");
+    println!("traces identical: the host learns batch sizes, nothing else");
 }

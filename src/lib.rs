@@ -21,6 +21,7 @@ pub use metrics;
 pub use obliv_core;
 pub use pram;
 pub use sortnet;
+pub use store;
 
 /// Read a workload size from the environment, falling back to `default`
 /// when the variable is unset or unparseable. The examples use this (and
@@ -48,4 +49,5 @@ pub mod prelude {
     };
     pub use pram::{run_direct, run_oblivious_sb, Opram, OramConfig};
     pub use sortnet::{sort_slice_rec, Network};
+    pub use store::{EpochPath, Op, OpResult, Store, StoreConfig, StoreStats};
 }

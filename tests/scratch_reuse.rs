@@ -18,27 +18,8 @@ use dob::prelude::*;
 use obliv_core::scan::Schedule;
 use obliv_core::{bin_place, orp_once, Item, Slot};
 
-/// Dirty a pool thoroughly: run several kernels of different shapes and
-/// element types through it so its freelists hold stale bytes of every
-/// size class the kernels under test will lease.
-fn dirty(pool: &ScratchPool) {
-    let c = SeqCtx::new();
-    let mut v: Vec<u64> = (0..1500u64).map(|i| i.wrapping_mul(0x9E37) | 1).collect();
-    let params = OSortParams::practical(v.len());
-    oblivious_sort_u64(&c, pool, &mut v, params, 0xD1D7);
-    let items: Vec<Item<u64>> = (0..700u64).map(|i| Item::new(i as u128, !i)).collect();
-    let _ = orp_once(&c, pool, &items, OrbaParams::for_n(700), 0xBADC0DE);
-    let sources: Vec<(u64, u64)> = (0..300).map(|i| (i * 3, i | 0xFF00)).collect();
-    let dests: Vec<u64> = (0..500).collect();
-    send_receive(
-        &c,
-        pool,
-        &sources,
-        &dests,
-        Engine::BitonicRec,
-        Schedule::Tree,
-    );
-}
+mod common;
+use common::dirty;
 
 fn trace<F: FnOnce(&MeterCtx)>(f: F) -> (u64, u64) {
     let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, f);

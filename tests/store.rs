@@ -1,0 +1,262 @@
+//! `dob-store` integration suite: HashMap-oracle property tests for both
+//! epoch paths, and the Definition-1 obliviousness claims — two same-shape
+//! workloads with different keys/values/op-kinds must generate identical
+//! adversary traces on fresh *and* dirty scratch pools, with outputs
+//! identical under the sequential executor and the work-stealing pool.
+
+use dob::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Random flat ops over a small key universe (dense enough that gets hit,
+/// puts collide and deletes land).
+fn op_from(kind: u8, key: u64, val: u64) -> Op {
+    match kind % 4 {
+        0 => Op::Get { key },
+        1 => Op::Put { key, val },
+        2 => Op::Delete { key },
+        _ => Op::Aggregate,
+    }
+}
+
+/// Apply `op` to the oracle with the store's sequential within-epoch
+/// semantics, checking the store's answer. `snapshot` is what aggregates
+/// must see (the stats as of the last merge).
+fn check_against_oracle(
+    oracle: &mut HashMap<u64, u64>,
+    snapshot: StoreStats,
+    op: &Op,
+    got: &OpResult,
+) {
+    match *op {
+        Op::Get { key } => assert_eq!(got.value(), oracle.get(&key).copied(), "get {key}"),
+        Op::Put { key, val } => assert_eq!(got.value(), oracle.insert(key, val), "put {key}"),
+        Op::Delete { key } => assert_eq!(got.value(), oracle.remove(&key), "delete {key}"),
+        Op::Aggregate => assert_eq!(*got, OpResult::Stats(snapshot), "aggregate"),
+    }
+}
+
+fn stats_of(oracle: &HashMap<u64, u64>) -> StoreStats {
+    StoreStats {
+        count: oracle.len() as u64,
+        sum: oracle.values().fold(0u64, |a, &v| a.wrapping_add(v)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Merge path: random multi-epoch histories match the oracle exactly.
+    #[test]
+    fn merge_epochs_match_hashmap_oracle(
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((0u8..4, 0u64..48, 0u64..1000), 0..40),
+            1..5,
+        ),
+    ) {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut store = Store::new(StoreConfig::default());
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for raw in &epochs {
+            let ops: Vec<Op> = raw.iter().map(|&(k, key, val)| op_from(k, key, val)).collect();
+            let snapshot = store.stats();
+            let res = store.execute_epoch(&c, &sp, &ops);
+            prop_assert_eq!(res.len(), ops.len());
+            for (op, got) in ops.iter().zip(res.iter()) {
+                check_against_oracle(&mut oracle, snapshot, op, got);
+            }
+            // Merge epochs refresh the analytics snapshot to the live state.
+            prop_assert_eq!(store.stats(), stats_of(&oracle));
+        }
+    }
+
+    /// Hybrid store: histories that bounce between the ORAM and merge
+    /// paths stay consistent with the oracle and with each other.
+    #[test]
+    fn hybrid_epochs_match_hashmap_oracle(
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((0u8..4, 0u64..48, 0u64..1000), 0..40),
+            1..6,
+        ),
+    ) {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut cfg = StoreConfig::with_oram(48);
+        cfg.oram_threshold = 32;
+        cfg.pending_limit = 64;
+        let mut store = Store::new(cfg);
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        let mut snapshot = StoreStats::default();
+        for raw in &epochs {
+            let ops: Vec<Op> = raw.iter().map(|&(k, key, val)| op_from(k, key, val)).collect();
+            let merging = store.epoch_path(ops.len()) == EpochPath::Merge;
+            let res = store.execute_epoch(&c, &sp, &ops);
+            for (op, got) in ops.iter().zip(res.iter()) {
+                check_against_oracle(&mut oracle, snapshot, op, got);
+            }
+            if merging {
+                snapshot = stats_of(&oracle);
+                prop_assert_eq!(store.stats(), snapshot);
+                prop_assert_eq!(store.pending_len(), 0);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Definition-1 trace equality
+// ---------------------------------------------------------------------------
+
+/// A fixed-shape epoch history parameterized by the secret payload: same
+/// epoch count, same batch sizes, totally different keys/values/op-kinds.
+fn run_history<C: Ctx>(c: &C, sp: &ScratchPool, salt: u64) -> Vec<Vec<OpResult>> {
+    let mut store = Store::new(StoreConfig::default());
+    let mut out = Vec::new();
+    for (e, &size) in [40usize, 12, 28].iter().enumerate() {
+        let ops: Vec<Op> = (0..size as u64)
+            .map(|i| {
+                let key = i
+                    .wrapping_mul(salt.wrapping_mul(2654435761).wrapping_add(97))
+                    .wrapping_add(e as u64)
+                    % 512;
+                op_from((i.wrapping_add(salt) % 4) as u8, key, salt.wrapping_add(i))
+            })
+            .collect();
+        out.push(store.execute_epoch(c, sp, &ops));
+    }
+    out
+}
+
+mod common;
+use common::dirty;
+
+fn trace_history(sp: &ScratchPool, salt: u64) -> (u64, u64) {
+    let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+        run_history(c, sp, salt);
+    });
+    (rep.trace_hash, rep.trace_len)
+}
+
+#[test]
+fn merge_epoch_traces_are_shape_only_on_fresh_and_dirty_pools() {
+    // Two different secret workloads, fresh pools.
+    let fresh_a = ScratchPool::new();
+    let fresh_b = ScratchPool::new();
+    let a = trace_history(&fresh_a, 1);
+    let b = trace_history(&fresh_b, 0xDEAD_BEEF);
+    assert_eq!(a, b, "different data changed the epoch trace (fresh pools)");
+
+    // Same again on pools dirtied by unrelated kernels.
+    let dirty_a = ScratchPool::new();
+    dirty(&dirty_a);
+    assert!(dirty_a.leases() > 0 && dirty_a.fresh_allocs() > 0);
+    let da = trace_history(&dirty_a, 2025);
+    assert_eq!(a, da, "dirty pool changed the epoch trace");
+
+    // And steady-state reuse of the same pool.
+    let da2 = trace_history(&dirty_a, 31337);
+    assert_eq!(a, da2, "second reuse changed the epoch trace");
+}
+
+#[test]
+fn trace_depends_on_size_class_not_exact_op_count() {
+    // 5-op and 7-op epochs both pad to class 8: the adversary must not be
+    // able to tell them apart (regression test for a readout that traced
+    // exactly `n_results` slots). Crossing a class boundary is public.
+    let run = |n_ops: usize| {
+        let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+            let sp = ScratchPool::new();
+            let mut s = Store::new(StoreConfig::default());
+            let puts: Vec<Op> = (0..n_ops as u64)
+                .map(|i| Op::Put { key: i * 3, val: i })
+                .collect();
+            s.execute_epoch(c, &sp, &puts);
+            let gets: Vec<Op> = (0..n_ops as u64).map(|i| Op::Get { key: i }).collect();
+            s.execute_epoch(c, &sp, &gets);
+        });
+        (rep.trace_hash, rep.trace_len)
+    };
+    assert_eq!(run(5), run(7), "exact op count leaked within a size class");
+    assert_ne!(
+        run(5).1,
+        run(9).1,
+        "crossing a size class must change the public shape"
+    );
+}
+
+#[test]
+fn epoch_outputs_identical_under_seq_and_pool_fresh_and_dirty() {
+    let c = SeqCtx::new();
+    let fresh = ScratchPool::new();
+    let want = run_history(&c, &fresh, 77);
+
+    let reused = ScratchPool::new();
+    dirty(&reused);
+    assert_eq!(
+        run_history(&c, &reused, 77),
+        want,
+        "SeqCtx: dirty pool changed results"
+    );
+
+    let exec = Pool::new(4);
+    let par_pool = ScratchPool::new();
+    dirty(&par_pool);
+    let got = exec.run(|c| run_history(c, &par_pool, 77));
+    assert_eq!(got, want, "Pool: dirty pool changed results");
+    let got2 = exec.run(|c| run_history(c, &par_pool, 77));
+    assert_eq!(got2, want, "Pool: steady-state reuse changed results");
+}
+
+/// The ORAM path's bucket addresses depend on the position-map coins, so
+/// exact cross-key equality is a *distributional* claim there (DESIGN.md
+/// §8); the finite consequences that hold exactly: trace-length invariance
+/// across datasets, and exact equality when only the *values* change.
+#[test]
+fn hybrid_traces_length_invariant_and_value_independent() {
+    let history = |keys_salt: u64, val_scale: u64| {
+        let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+            let sp = ScratchPool::new();
+            let mut cfg = StoreConfig::with_oram(256);
+            cfg.oram_threshold = 64;
+            let mut store = Store::new(cfg);
+            // Merge-path load, then two ORAM-path epochs.
+            let load: Vec<Op> = (0..64u64)
+                .map(|i| Op::Put {
+                    key: i.wrapping_mul(keys_salt) % 256,
+                    val: i * val_scale,
+                })
+                .collect();
+            store.execute_epoch(c, &sp, &load);
+            for round in 0..2u64 {
+                let ops: Vec<Op> = (0..8u64)
+                    .map(|i| {
+                        let key = (i * 31 + round * keys_salt) % 256;
+                        if i % 2 == 0 {
+                            Op::Get { key }
+                        } else {
+                            Op::Put {
+                                key,
+                                val: i * val_scale,
+                            }
+                        }
+                    })
+                    .collect();
+                store.execute_epoch(c, &sp, &ops);
+            }
+        });
+        (rep.trace_hash, rep.trace_len)
+    };
+    // Different values, same addresses: exactly equal.
+    assert_eq!(
+        history(7, 1),
+        history(7, 1_000_003),
+        "values leaked into the hybrid trace"
+    );
+    // Different keys: length must not move (contents are coin-dependent).
+    assert_eq!(
+        history(7, 1).1,
+        history(97, 1).1,
+        "trace length leaked the key set"
+    );
+}
