@@ -15,7 +15,7 @@ use obliv_core::{
 };
 use pram::{run_oblivious_sb, HistogramProgram};
 use sortnet::sort_slice_rec;
-use store::{Op, Store, StoreConfig};
+use store::{Op, ShardConfig, ShardedStore, Store, StoreConfig};
 
 fn trace<F: FnOnce(&metrics::MeterCtx)>(f: F) -> (u64, u64) {
     let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, f);
@@ -177,6 +177,43 @@ fn main() {
         })
         .collect();
     all_ok &= check("oblivious KV store (batched epochs)", &t);
+
+    // Sharded store epochs: for fixed (batch size, shard count) the whole
+    // pipeline — oblivious routing, all four shard commits, result gather
+    // — must be byte-identical across distinct key/value workloads.
+    let t: Vec<_> = inputs
+        .iter()
+        .map(|v| {
+            trace(|c| {
+                let sp = ScratchPool::new();
+                let mut s = ShardedStore::new(ShardConfig::with_shards(4));
+                let e1: Vec<Op> = v
+                    .iter()
+                    .take(48)
+                    .enumerate()
+                    .map(|(i, &x)| match i % 3 {
+                        0 => Op::Put { key: x, val: x * 3 },
+                        1 => Op::Get { key: x / 2 },
+                        _ => Op::Delete { key: x },
+                    })
+                    .collect();
+                s.execute_epoch(c, &sp, &e1);
+                let e2: Vec<Op> = v
+                    .iter()
+                    .take(16)
+                    .map(|&x| {
+                        if x % 2 == 0 {
+                            Op::Get { key: x }
+                        } else {
+                            Op::Aggregate
+                        }
+                    })
+                    .collect();
+                s.execute_epoch(c, &sp, &e2);
+            })
+        })
+        .collect();
+    all_ok &= check("sharded-store (route + commits + gather)", &t);
 
     // PRAM simulation with data-dependent write addresses.
     let t: Vec<_> = inputs

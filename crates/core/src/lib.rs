@@ -16,6 +16,8 @@
 //!   (§F), with the paper's `O(log n)`-span schedule and the naive
 //!   `O(log² n)` baseline (Table 2);
 //! * [`sendrecv`] — oblivious send-receive / routing (§F);
+//! * [`scatter`] — padded multi-way oblivious scatter (stable §F routing
+//!   into fixed-capacity bins; the op→shard router of `dob-store`);
 //! * [`compact`] — sorting-based oblivious tight compaction;
 //! * [`baseline`] — insecure parallel mergesort (SPMS substitute).
 //!
@@ -33,6 +35,7 @@ pub mod osort;
 pub mod rec_orba;
 pub mod rec_sort;
 pub mod scan;
+pub mod scatter;
 pub mod sendrecv;
 pub mod slot;
 
@@ -51,5 +54,6 @@ pub use scan::{
     prefix_sum, prefix_sum_in, scan, scan_in, seg_propagate, seg_propagate_in, seg_sum_right,
     seg_sum_right_in, Schedule, Seg,
 };
+pub use scatter::oblivious_scatter;
 pub use sendrecv::send_receive;
 pub use slot::{composite_key, flags, Item, Slot, Val};

@@ -1,0 +1,287 @@
+//! Padded multi-way oblivious scatter — the §F routing step as a
+//! reusable kernel.
+//!
+//! Functionality: given up to `nbins · Z` slots whose real elements carry
+//! a destination bin in `label` (`0..nbins`), produce the concatenation of
+//! `nbins` bins of exactly `Z` slots, with every real element in its bin,
+//! reals packed in front, and fillers padding each bin to `Z`. Unlike
+//! [`crate::bin_place`], the placement is **stable**: within a bin, reals
+//! appear in ascending `item.key` order (callers use the input position as
+//! the key), which is what lets `dob-store` route operations to shards
+//! while preserving submission order — the sequential within-epoch
+//! semantics of its merge path depend on it.
+//!
+//! The algorithm is the Chan–Shi bin-placement pattern (§C.1) with
+//! order-carrying sort keys: append `Z` temp placeholders per bin, sort by
+//! `(bin, real-before-temp, item.key)`, compute each element's offset in
+//! its bin via oblivious propagation, tag offsets `≥ Z` as excess, sort
+//! again moving excess/fillers to the end, truncate. Every step is an
+//! oblivious sort, a fixed-pattern scan, or a parallel map, so the
+//! adversary trace is a function of `(|items|, nbins, Z)` only — in
+//! particular it does not depend on how full each bin is (the send-receive
+//! routing guarantee of §F).
+//!
+//! A real element tagged excess means some bin was wanted by more than `Z`
+//! elements. The pass still completes with its fixed trace and reports
+//! [`OblivError::BinOverflow`]; callers either provision `Z` so overflow
+//! is impossible (`Z ≥ |items|`) or treat the retry-with-larger-`Z` as a
+//! deliberate public signal (see `dob-store`'s routing fallback).
+
+use crate::binplace::set_keys;
+use crate::engine::Engine;
+use crate::error::{OblivError, Result};
+use crate::scan::{seg_propagate_in, Schedule, Seg};
+use crate::slot::{flags, Slot, Val};
+use fj::{grain_for, par_for, Ctx};
+use metrics::{ScratchPool, Tracked};
+
+/// Bin id used for ordering; fillers get the past-the-end bin.
+#[inline]
+fn bin_of<V: Val>(s: &Slot<V>, nbins: u64) -> u64 {
+    if s.is_filler() {
+        nbins
+    } else {
+        s.label & (nbins - 1)
+    }
+}
+
+/// Sort key `(bin ‖ real-before-temp ‖ stable tiebreak)`, fillers last.
+/// The tiebreak is the low 64 bits of `item.key`, so reals keep their
+/// caller-assigned order within a bin; temps carry tiebreak 0 but sort
+/// after every real of their bin via the class bit.
+#[inline]
+fn key_stable<V: Val>(s: &Slot<V>, nbins: u64) -> u128 {
+    if s.is_excess() {
+        u128::MAX - 1
+    } else if s.is_filler() {
+        u128::MAX
+    } else {
+        let tb = if s.is_temp() { 0 } else { s.item.key as u64 };
+        ((bin_of(s, nbins) as u128) << 65) | ((s.is_temp() as u128) << 64) | tb as u128
+    }
+}
+
+/// Padded multi-way oblivious scatter over `items` (at most `nbins · zcap`
+/// slots; `nbins` and `zcap` powers of two). Returns the `nbins · zcap`
+/// output array: bin `g` occupies `[g·zcap, (g+1)·zcap)`, reals first in
+/// ascending `item.key` order, fillers after.
+pub fn oblivious_scatter<C: Ctx, V: Val>(
+    c: &C,
+    scratch: &ScratchPool,
+    items: &[Slot<V>],
+    nbins: usize,
+    zcap: usize,
+    engine: Engine,
+) -> Result<Vec<Slot<V>>> {
+    assert!(nbins.is_power_of_two() && zcap.is_power_of_two());
+    let n_io = nbins * zcap;
+    assert!(items.len() <= n_io, "scatter input exceeds nbins * zcap");
+    let nb64 = nbins as u64;
+
+    // Step 1: working array = items ++ filler pad ++ Z temps per bin.
+    let mut w_store = scratch.lease(2 * n_io, Slot::<V>::filler());
+    let mut w = Tracked::new(c, &mut w_store);
+    {
+        let wr = w.as_raw();
+        par_for(c, 0, 2 * n_io, grain_for(c), &|c, i| unsafe {
+            // `items.len()` is public; the branch selects what to write,
+            // every slot is written exactly once.
+            let s = if i < items.len() {
+                items[i]
+            } else if i < n_io {
+                Slot::filler()
+            } else {
+                Slot::temp(((i - n_io) / zcap) as u64)
+            };
+            wr.set(c, i, s);
+        });
+    }
+
+    // Step 2: stable sort by (bin, real-before-temp, caller order).
+    set_keys(c, &mut w, &|s| key_stable(s, nb64));
+    engine.sort_slots(c, scratch, &mut w);
+
+    // Step 3: offset within bin via propagation of the leftmost index,
+    // then tag offsets ≥ Z as excess. Overflow iff a *real* slot is excess.
+    let mut seg_store = scratch.lease(2 * n_io, Seg::new(false, 0u64));
+    let mut seg = Tracked::new(c, &mut seg_store);
+    {
+        let sr = seg.as_raw();
+        let wr = w.as_raw();
+        par_for(c, 0, 2 * n_io, grain_for(c), &|c, i| unsafe {
+            let g = bin_of(&wr.get(c, i), nb64);
+            let head = if i == 0 {
+                true
+            } else {
+                g != bin_of(&wr.get(c, i - 1), nb64)
+            };
+            sr.set(c, i, Seg::new(head, i as u64));
+        });
+    }
+    seg_propagate_in(c, scratch, &mut seg, Schedule::Tree);
+    let overflow = {
+        let sr = seg.as_raw();
+        let wr = w.as_raw();
+        fj::par_reduce(
+            c,
+            0,
+            2 * n_io,
+            grain_for(c),
+            &|c, i| unsafe {
+                let start = sr.get(c, i).v;
+                let mut s = wr.get(c, i);
+                let excess = (i as u64 - start) >= zcap as u64;
+                s.flags |= flags::EXCESS * excess as u8;
+                wr.set(c, i, s);
+                s.is_real() && excess
+            },
+            &|a, b| a | b,
+        )
+        .unwrap_or(false)
+    };
+
+    // Step 4: sort survivors back by (bin, class, caller order); excess and
+    // fillers to the end. `key_stable` already routes them there.
+    set_keys(c, &mut w, &|s| key_stable(s, nb64));
+    engine.sort_slots(c, scratch, &mut w);
+
+    // Steps 5–6: truncate to nbins·Z, convert temps to fillers, clear tags.
+    let out = {
+        let wr = w.as_raw();
+        metrics::par_collect(c, n_io, &|c, i| {
+            // SAFETY: read-only phase.
+            let s = unsafe { wr.get(c, i) };
+            if s.is_real() && !s.is_excess() {
+                Slot { sk: 0, ..s }
+            } else {
+                Slot::filler()
+            }
+        })
+    };
+
+    if overflow {
+        Err(OblivError::BinOverflow)
+    } else {
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slot::Item;
+    use fj::{Pool, SeqCtx};
+    use metrics::{measure, CacheConfig, TraceMode};
+
+    /// Slots for the given (bin, value) pairs, keyed by input position.
+    fn input(elems: &[(u64, u64)]) -> Vec<Slot<u64>> {
+        elems
+            .iter()
+            .enumerate()
+            .map(|(i, &(g, v))| Slot::real(Item::new(i as u128, v), g))
+            .collect()
+    }
+
+    fn run(nbins: usize, zcap: usize, elems: &[(u64, u64)]) -> Result<Vec<Slot<u64>>> {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        oblivious_scatter(&c, &sp, &input(elems), nbins, zcap, Engine::BitonicRec)
+    }
+
+    #[test]
+    fn routes_to_bins_preserving_input_order() {
+        let elems: Vec<(u64, u64)> = vec![(3, 30), (1, 10), (0, 100), (1, 11), (1, 12), (0, 101)];
+        let out = run(4, 4, &elems).unwrap();
+        let bin = |b: usize| -> Vec<u64> {
+            out[b * 4..(b + 1) * 4]
+                .iter()
+                .filter(|s| s.is_real())
+                .map(|s| s.item.val)
+                .collect()
+        };
+        // Within each bin, values appear in submission order — not sorted,
+        // not shuffled.
+        assert_eq!(bin(0), vec![100, 101]);
+        assert_eq!(bin(1), vec![10, 11, 12]);
+        assert_eq!(bin(2), Vec::<u64>::new());
+        assert_eq!(bin(3), vec![30]);
+        // Reals packed before fillers in every bin.
+        for b in 0..4 {
+            let slots = &out[b * 4..(b + 1) * 4];
+            let first_filler = slots.iter().position(|s| !s.is_real()).unwrap_or(4);
+            assert!(slots[first_filler..].iter().all(|s| s.is_filler()));
+        }
+    }
+
+    #[test]
+    fn fillers_in_input_consume_no_capacity() {
+        // 4 reals for bin 0 (exactly Z) plus interleaved fillers: fits.
+        let mut items = input(&[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        items.insert(1, Slot::filler());
+        items.push(Slot::filler());
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let out = oblivious_scatter(&c, &sp, &items, 2, 4, Engine::BitonicRec).unwrap();
+        let vals: Vec<u64> = out[0..4].iter().map(|s| s.item.val).collect();
+        assert_eq!(vals, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let elems: Vec<(u64, u64)> = (0..5).map(|v| (0, v)).collect();
+        assert_eq!(run(2, 4, &elems).unwrap_err(), OblivError::BinOverflow);
+    }
+
+    #[test]
+    fn zcap_equal_to_input_len_never_overflows() {
+        // All elements to one bin with Z = |items|: the safe provisioning.
+        let elems: Vec<(u64, u64)> = (0..8).map(|v| (3, v)).collect();
+        let out = run(4, 8, &elems).unwrap();
+        let vals: Vec<u64> = out[24..32]
+            .iter()
+            .filter(|s| s.is_real())
+            .map(|s| s.item.val)
+            .collect();
+        assert_eq!(vals, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn no_temps_or_excess_survive() {
+        let out = run(4, 4, &[(0, 1), (3, 2)]).unwrap();
+        assert!(out.iter().all(|s| !s.is_temp() && !s.is_excess()));
+        assert_eq!(out.iter().filter(|s| s.is_real()).count(), 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let elems: Vec<(u64, u64)> = (0..300).map(|v| (v % 8, v * 7)).collect();
+        let seq = run(8, 64, &elems).unwrap();
+        let pool = Pool::new(4);
+        let sp = ScratchPool::new();
+        let par = pool
+            .run(|c| oblivious_scatter(c, &sp, &input(&elems), 8, 64, Engine::BitonicRec))
+            .unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!((a.is_real(), a.item.val), (b.is_real(), b.item.val));
+        }
+    }
+
+    #[test]
+    fn trace_is_input_independent() {
+        let run_trace = |elems: Vec<(u64, u64)>, n_items: usize| {
+            let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+                let sp = ScratchPool::new();
+                let mut items = input(&elems);
+                items.resize(n_items, Slot::filler());
+                let _ = oblivious_scatter(c, &sp, &items, 8, 8, Engine::BitonicRec);
+            });
+            (rep.trace_hash, rep.trace_len)
+        };
+        let spread = run_trace((0..32).map(|i| (i % 8, i)).collect(), 32);
+        let skewed = run_trace((0..32).map(|i| (0, i * 3)).collect(), 32);
+        let sparse = run_trace(vec![(7, 1)], 32);
+        assert_eq!(spread, skewed, "bin loads leaked into the scatter trace");
+        assert_eq!(spread, sparse, "real count leaked into the scatter trace");
+    }
+}

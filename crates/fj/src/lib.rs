@@ -23,6 +23,6 @@ mod pool;
 mod seq;
 
 pub use ctx::{counters, grain_for, Access, BufId, Ctx, DEFAULT_GRAIN};
-pub use par::{par_chunks_mut, par_for, par_reduce};
+pub use par::{par_chunks_mut, par_for, par_reduce, par_zip_mut};
 pub use pool::Pool;
 pub use seq::SeqCtx;

@@ -110,6 +110,51 @@ where
     go(c, data, 0, nchunks, total, nchunks, f);
 }
 
+/// Scoped parallel-for over two equal-length slices: run
+/// `f(ctx, i, &mut a[i], &mut b[i])` for every `i`, forking in a balanced
+/// binary tree (one leaf per element). The zip lets a task own *two*
+/// pieces of per-index state — e.g. `dob-store` commits every shard in
+/// parallel by zipping `&mut [Shard]` with the routed per-shard batches.
+/// All borrows are plain slice splits, so the parallelism is scoped: the
+/// call returns only after every leaf has run.
+///
+/// Meant for *coarse* per-element tasks (each leaf here is a whole shard
+/// commit), so there is deliberately no grain: for fine-grained loops over
+/// many elements use [`par_for`]/[`par_chunks_mut`], which amortize task
+/// overhead with [`crate::grain_for`]-sized leaves.
+pub fn par_zip_mut<C: Ctx, A, B, F>(c: &C, a: &mut [A], b: &mut [B], f: &F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(&C, usize, &mut A, &mut B) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "par_zip_mut slices must zip exactly");
+
+    fn go<C: Ctx, A: Send, B: Send, F: Fn(&C, usize, &mut A, &mut B) + Sync>(
+        c: &C,
+        a: &mut [A],
+        b: &mut [B],
+        first: usize,
+        f: &F,
+    ) {
+        match a.len() {
+            0 => {}
+            1 => f(c, first, &mut a[0], &mut b[0]),
+            n => {
+                let mid = n / 2;
+                let (a0, a1) = a.split_at_mut(mid);
+                let (b0, b1) = b.split_at_mut(mid);
+                c.join(
+                    move |c| go(c, a0, b0, first, f),
+                    move |c| go(c, a1, b1, first + mid, f),
+                );
+            }
+        }
+    }
+
+    go(c, a, b, 0, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +235,45 @@ mod chunk_tests {
             });
         });
         assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn par_zip_mut_pairs_indices() {
+        let c = SeqCtx::new();
+        let mut a: Vec<u64> = (0..37).collect();
+        let mut b = vec![0u64; 37];
+        par_zip_mut(&c, &mut a, &mut b, &|_, i, x, y| {
+            *x += 1;
+            *y = i as u64 * 10;
+        });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+        assert!(b.iter().enumerate().all(|(i, &y)| y == i as u64 * 10));
+    }
+
+    #[test]
+    fn par_zip_mut_runs_on_the_pool() {
+        let pool = Pool::new(4);
+        let mut a = vec![1u64; 64];
+        let mut b: Vec<Vec<u64>> = (0..64).map(|i| vec![i]).collect();
+        pool.run(|p| {
+            par_zip_mut(p, &mut a, &mut b, &|_, i, x, ys| {
+                *x += ys[0];
+                ys.push(i as u64);
+            });
+        });
+        assert!(a.iter().enumerate().all(|(i, &x)| x == 1 + i as u64));
+        assert!(b
+            .iter()
+            .enumerate()
+            .all(|(i, ys)| ys == &[i as u64, i as u64]));
+    }
+
+    #[test]
+    fn par_zip_mut_empty_is_noop() {
+        let c = SeqCtx::new();
+        let mut a: Vec<u8> = vec![];
+        let mut b: Vec<u8> = vec![];
+        par_zip_mut(&c, &mut a, &mut b, &|_, _, _, _| unreachable!());
     }
 
     #[test]

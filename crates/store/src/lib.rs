@@ -1,4 +1,4 @@
-//! # dob-store — an oblivious batched key-value store
+//! # dob-store — an oblivious batched key-value store, sharded
 //!
 //! The paper's motivating scenario (§1) is private analytics on a secure
 //! processor: many clients' queries must be served without the host
@@ -11,14 +11,26 @@
 //! for sub-threshold batches over a bounded key space — with per-op
 //! recursive tree-ORAM point lookups (§4.2).
 //!
+//! A [`ShardedStore`] scales the engine across shards: keys are assigned
+//! to shards by the public hash [`shard_of`], each epoch's ops are routed
+//! to their shards *obliviously* (every sub-batch padded to the same
+//! public class), all shards commit in parallel on the fork-join pool,
+//! and the results are obliviously routed back to submission order.
+//!
 //! **Leakage contract:** the client-visible access trace of every epoch is
 //! a function of *public* quantities only — the padded batch class, the
-//! (public) pending-log length, and the table capacity, all of which
-//! derive from the history of batch *sizes*. Keys, values, op kinds, hit
-//! rates, and duplicate structure are hidden. The merge path is exactly
-//! trace-equal across same-shape inputs; the ORAM path is trace-length
-//! invariant with contents fresh-coin simulatable (the classic tree-ORAM
-//! argument). See DESIGN.md §8 and `tests/store.rs`.
+//! shard count and per-shard class, the (public) pending-log length, and
+//! the table capacities, all of which derive from the history of batch
+//! *sizes* (plus, when a [`ShrinkPolicy`] is configured, the public merge
+//! counter). Keys, values, op kinds, hit rates, duplicate structure and
+//! per-shard load are hidden — with one opt-in exception: under scaled
+//! provisioning ([`ShardConfig::route_slack`] `>= 1`) an epoch whose key
+//! skew overflows a shard's sub-batch class publicly falls back to full
+//! provisioning, revealing one bit about the load distribution; the
+//! default (`route_slack = 0`) leaks nothing. The merge path is exactly trace-equal
+//! across same-shape workloads; the ORAM path is trace-length invariant
+//! with contents fresh-coin simulatable (the classic tree-ORAM argument).
+//! See DESIGN.md §8–§9 and `tests/store.rs` / `tests/sharded.rs`.
 //!
 //! ```
 //! use fj::SeqCtx;
@@ -31,14 +43,19 @@
 //! let mut epoch = store.epoch();
 //! epoch.submit(Op::Put { key: 7, val: 700 });
 //! let get = epoch.submit(Op::Get { key: 7 });
-//! let results = epoch.commit(&c, &scratch);
+//! let results = epoch.commit(&c, &scratch, &mut store);
 //! assert_eq!(results[get].value(), Some(700));
 //! ```
 
 mod merge;
 mod op;
+mod router;
+mod shard;
 mod store;
 
-pub use crate::store::{Epoch, Store, StoreConfig};
+pub use crate::store::{
+    Epoch, EpochTarget, ShardConfig, ShardedStore, ShrinkPolicy, Store, StoreConfig,
+};
 pub use merge::Rec;
 pub use op::{size_class, EpochPath, Op, OpResult, StoreStats, MIN_CLASS};
+pub use router::{shard_class, shard_of};

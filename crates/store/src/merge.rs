@@ -138,7 +138,9 @@ struct OutRes {
 /// `pending` and `batch` are already padded to their public classes, with
 /// `n_results` real ops leading `batch`. Returns the batch results in
 /// submission order and the refreshed analytics snapshot. `stats_snapshot`
-/// (the pre-epoch snapshot) answers `Aggregate` ops.
+/// (the pre-epoch snapshot) answers `Aggregate` ops. `enforce_live_bound`
+/// — a public config bit, set iff a shrink schedule is configured — adds
+/// the candidate-count guard pass before the rebuild.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn merge_epoch<C: Ctx>(
     c: &C,
@@ -151,6 +153,7 @@ pub(crate) fn merge_epoch<C: Ctx>(
     batch: &[FlatOp],
     n_results: usize,
     stats_snapshot: StoreStats,
+    enforce_live_bound: bool,
 ) -> (Vec<OpResult>, StoreStats) {
     let cap = table.len();
     let p = pending.len();
@@ -322,6 +325,36 @@ pub(crate) fn merge_epoch<C: Ctx>(
     });
     engine.sort_slots(c, scratch, &mut t);
 
+    // Guard the rebuild: the surviving final states must fit the new
+    // public capacity. Without a shrink schedule this holds by
+    // construction (`cap_new` ≥ the grown live bound), so the pass is
+    // skipped; with one it is the client's declared-bound contract, and
+    // violating it must fail loudly instead of silently dropping records.
+    // The count is a fixed-pattern reduce over the whole (public-length)
+    // array, gated only by the public config bit.
+    if enforce_live_bound {
+        let cand_total = {
+            let tr = t.as_raw();
+            par_reduce(
+                c,
+                0,
+                m,
+                grain_for(c),
+                &|c, i| unsafe {
+                    let s = tr.get(c, i);
+                    (s.is_real() && s.item.val.cand) as u64
+                },
+                &|a, b| a + b,
+            )
+            .unwrap_or(0)
+        };
+        assert!(
+            cand_total as usize <= cap_new,
+            "{cand_total} live records exceed the public capacity bound {cap_new} \
+             (shrink-policy contract violated)"
+        );
+    }
+
     table.clear();
     table.resize(cap_new, Rec::default());
     let stats = {
@@ -400,6 +433,7 @@ mod tests {
             &batch,
             ops.len(),
             StoreStats::default(),
+            true,
         );
         res
     }
@@ -520,6 +554,7 @@ mod tests {
             &batch,
             3,
             snapshot,
+            true,
         );
         // Aggregates answer from the pre-epoch snapshot...
         assert_eq!(res[2], OpResult::Stats(snapshot));

@@ -1,0 +1,264 @@
+//! Oblivious op→shard routing and the result return trip.
+//!
+//! Keys are assigned to shards by a **public hash** of the (private) key
+//! ([`shard_of`]): the mapping is a fixed, data-independent function, but
+//! *which* shard a given op lands on still depends on its secret key — so
+//! the routing itself must be oblivious. [`route_ops`] realizes it on
+//! [`obliv_core::oblivious_scatter`] (the §F send-receive pattern): every
+//! shard's sub-batch is padded to the same public class `zcap`
+//! ([`shard_class`]), so the adversary trace of the whole routing step is
+//! a function of `(batch class, shard count, zcap)` only. The scatter is
+//! *stable* (reals keep submission order inside each sub-batch), which is
+//! what preserves the store's sequential within-epoch semantics: two ops
+//! on the same key always share a shard and arrive in submission order.
+//!
+//! [`gather_results`] is the send-receive return trip: per-shard results,
+//! tagged with their submission index, flow through one oblivious sort
+//! back to submission order, followed by a fixed-prefix readout of the
+//! whole padded batch.
+
+use crate::op::{kind, FlatOp, MIN_CLASS};
+use fj::Ctx;
+use metrics::{ScratchPool, Tracked};
+use obliv_core::scatter::oblivious_scatter;
+use obliv_core::{set_keys, Engine, Item, Result, Slot};
+
+/// The public shard-assignment hash: a fixed multiplicative hash of the
+/// key, taking the top `log2(shards)` bits. Deterministic and publicly
+/// known — the secrecy of the routing comes from the oblivious scatter,
+/// not from the hash.
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    debug_assert!(shards.is_power_of_two());
+    if shards <= 1 {
+        return 0;
+    }
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - shards.trailing_zeros())) as usize
+}
+
+/// Public per-shard sub-batch class for a batch of (padded) class `b`:
+/// `slack = 0` provisions every shard for the full batch (`zcap = b`,
+/// routing can never overflow); `slack = k ≥ 1` provisions
+/// `size_class(k · b / shards)`, trading a public overflow-fallback signal
+/// on heavily skewed epochs for `shards/k`-fold smaller routed arrays.
+pub fn shard_class(b: usize, shards: usize, slack: usize) -> usize {
+    debug_assert!(b >= MIN_CLASS && b.is_power_of_two());
+    if slack == 0 || shards <= 1 {
+        return b;
+    }
+    crate::op::size_class((b * slack).div_ceil(shards).min(b))
+}
+
+/// One shard's routed sub-batch: `zcap` padded slots with the reals (in
+/// submission order) leading, each real's submission index alongside.
+pub(crate) struct SubBatch {
+    pub batch: Vec<FlatOp>,
+    /// Submission index per slot; `u64::MAX` for padding.
+    pub idx: Vec<u64>,
+    /// Number of real ops (host-private; the trace never reads it).
+    pub n_real: usize,
+    /// Filled by the shard commit.
+    pub results: Vec<OpResultSlot>,
+}
+
+/// Flat, `Copy` result representation carried through the gather network:
+/// `agg` marks aggregate answers (rewritten host-side with the global
+/// snapshot), otherwise `found`/`val` encode the `Option<u64>`.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct OpResultSlot {
+    pub agg: bool,
+    pub found: bool,
+    pub val: u64,
+}
+
+/// Obliviously scatter a padded batch into `shards` sub-batches of `zcap`
+/// slots each. Fails with `BinOverflow` (after completing its fixed-trace
+/// pass) when more than `zcap` ops hash to one shard; `zcap = b` never
+/// fails.
+pub(crate) fn route_ops<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    engine: Engine,
+    batch: &[FlatOp],
+    shards: usize,
+    zcap: usize,
+) -> Result<Vec<SubBatch>> {
+    // Dummies become fillers (they consume no shard capacity); every input
+    // slot is written exactly once either way. `item.key` carries the
+    // submission index — the scatter's stability tiebreak and the gather's
+    // routing key.
+    let slots: Vec<Slot<FlatOp>> = batch
+        .iter()
+        .enumerate()
+        .map(|(j, f)| {
+            if f.kind == kind::DUMMY {
+                Slot::filler()
+            } else {
+                Slot::real(Item::new(j as u128, *f), shard_of(f.key, shards) as u64)
+            }
+        })
+        .collect();
+    c.charge_par(batch.len() as u64);
+
+    let routed = oblivious_scatter(c, scratch, &slots, shards, zcap, engine)?;
+    Ok(routed
+        .chunks(zcap)
+        .map(|chunk| {
+            let mut batch = Vec::with_capacity(zcap);
+            let mut idx = Vec::with_capacity(zcap);
+            let mut n_real = 0;
+            for s in chunk {
+                // Reals are packed in front of each chunk (scatter
+                // contract), so the sub-batch keeps the merge path's
+                // reals-lead-the-batch shape.
+                if s.is_real() {
+                    batch.push(s.item.val);
+                    idx.push(s.item.key as u64);
+                    n_real += 1;
+                } else {
+                    batch.push(FlatOp::dummy());
+                    idx.push(u64::MAX);
+                }
+            }
+            SubBatch {
+                batch,
+                idx,
+                n_real,
+                results: Vec::new(),
+            }
+        })
+        .collect())
+}
+
+/// Route per-shard results back to submission order: one oblivious sort
+/// keyed by submission index (padding last), then a fixed-prefix readout
+/// of the whole padded batch class `b`. `entries` has public length
+/// `shards · zcap`.
+pub(crate) fn gather_results<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    engine: Engine,
+    entries: &[(u64, OpResultSlot)],
+    b: usize,
+) -> Vec<OpResultSlot> {
+    debug_assert!(entries.len() >= b);
+    let m = entries.len().next_power_of_two();
+    let mut slots = scratch.lease(m, Slot::<OpResultSlot>::filler());
+    for (slot, &(i, v)) in slots.iter_mut().zip(entries.iter()) {
+        *slot = if i == u64::MAX {
+            Slot::filler()
+        } else {
+            Slot::real(Item::new(i as u128, v), 0)
+        };
+    }
+    c.charge_par(entries.len() as u64);
+
+    let mut t = Tracked::new(c, &mut slots);
+    set_keys(c, &mut t, &|s: &Slot<OpResultSlot>| {
+        if s.is_real() {
+            s.item.key
+        } else {
+            u128::MAX
+        }
+    });
+    engine.sort_slots(c, scratch, &mut t);
+
+    // Fixed-pattern readout over the whole padded batch prefix — reading
+    // fewer slots would leak the real op count within the class.
+    let tr = t.as_raw();
+    metrics::par_collect(c, b, &|c, j| {
+        // SAFETY: read-only phase.
+        let s = unsafe { tr.get(c, j) };
+        debug_assert!(!s.is_real() || s.item.key as usize == j);
+        if s.is_real() {
+            s.item.val
+        } else {
+            OpResultSlot::default()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Op;
+    use fj::SeqCtx;
+
+    #[test]
+    fn shard_hash_is_total_and_stable() {
+        for shards in [1usize, 2, 4, 8] {
+            for key in (0..1000u64).chain([u64::MAX, u64::MAX - 7]) {
+                let s = shard_of(key, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(key, shards), "hash must be a function");
+            }
+        }
+        assert_eq!(shard_of(12345, 1), 0);
+    }
+
+    #[test]
+    fn shard_classes_are_public_and_clamped() {
+        // slack 0: always the full batch class.
+        assert_eq!(shard_class(64, 4, 0), 64);
+        // scaled: size class of slack*b/shards, floored at MIN_CLASS…
+        assert_eq!(shard_class(64, 4, 2), 32);
+        assert_eq!(shard_class(8, 8, 2), MIN_CLASS);
+        // …and clamped to the batch class itself.
+        assert_eq!(shard_class(64, 2, 2), 64);
+        assert_eq!(shard_class(64, 1, 3), 64);
+    }
+
+    #[test]
+    fn routing_preserves_submission_order_within_shards() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let ops: Vec<FlatOp> = (0..13u64)
+            .map(|i| FlatOp::of(&Op::Put { key: i % 5, val: i }))
+            .chain(std::iter::repeat_with(FlatOp::dummy))
+            .take(16)
+            .collect();
+        let subs = route_ops(&c, &sp, Engine::BitonicRec, &ops, 4, 16).unwrap();
+        assert_eq!(subs.len(), 4);
+        let mut seen = 0;
+        for (s, sub) in subs.iter().enumerate() {
+            assert_eq!(sub.batch.len(), 16);
+            // Each real op landed on its hash shard, in ascending
+            // submission order.
+            let idxs: Vec<u64> = sub.idx[..sub.n_real].to_vec();
+            assert!(idxs.windows(2).all(|w| w[0] < w[1]), "shard {s}: {idxs:?}");
+            for (z, f) in sub.batch[..sub.n_real].iter().enumerate() {
+                assert_eq!(shard_of(f.key, 4), s);
+                assert_eq!(f.val, idxs[z], "payload rides along");
+            }
+            seen += sub.n_real;
+        }
+        assert_eq!(seen, 13, "every real op routed exactly once");
+    }
+
+    #[test]
+    fn gather_returns_submission_order() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        // 2 shards × 4 slots, 5 real results scattered across them.
+        let mk = |v: u64| OpResultSlot {
+            agg: false,
+            found: true,
+            val: v,
+        };
+        let entries = vec![
+            (3, mk(30)),
+            (0, mk(0)),
+            (u64::MAX, OpResultSlot::default()),
+            (u64::MAX, OpResultSlot::default()),
+            (1, mk(10)),
+            (4, mk(40)),
+            (2, mk(20)),
+            (u64::MAX, OpResultSlot::default()),
+        ];
+        let out = gather_results(&c, &sp, Engine::BitonicRec, &entries, 8);
+        for (j, r) in out.iter().take(5).enumerate() {
+            assert!(r.found);
+            assert_eq!(r.val, j as u64 * 10);
+        }
+        assert!(out[5..].iter().all(|r| !r.found));
+    }
+}

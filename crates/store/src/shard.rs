@@ -1,0 +1,182 @@
+//! One shard of the epoch engine: the resident table, pending log,
+//! optional tree-ORAM mirror and analytics snapshot for a slice of the key
+//! space, plus the per-shard epoch pipelines.
+//!
+//! A [`Shard`] is the unit of commit parallelism: `ShardedStore` routes
+//! every epoch's operations to shards obliviously and then commits all
+//! shards concurrently on the fork-join pool — each shard's
+//! [`merge_epoch`](crate::merge) takes the shard's table by `&mut`, leases
+//! its scratch from the shared (thread-safe) [`ScratchPool`], and touches
+//! no state outside the shard, so commits are fully independent. A plain
+//! [`crate::Store`] is exactly the 1-shard special case.
+
+use crate::merge::{merge_epoch, Rec};
+use crate::op::{kind, size_class, EpochPath, FlatOp, OpResult, StoreStats};
+use crate::store::StoreConfig;
+use fj::Ctx;
+use metrics::ScratchPool;
+use pram::Opram;
+
+/// Table/pending/ORAM/analytics state for one slice of the key space.
+pub(crate) struct Shard {
+    cfg: StoreConfig,
+    /// Resident records, key-sorted, padded to `size_class(live_upper)`.
+    table: Vec<Rec>,
+    /// Public upper bound on the number of distinct present keys.
+    live_upper: usize,
+    /// Ops applied to the ORAM mirror but not yet merged into the table.
+    pending: Vec<FlatOp>,
+    oram: Option<Opram>,
+    stats: StoreStats,
+    merges: u64,
+}
+
+impl Shard {
+    /// `salt` decorrelates the ORAM position-map coins of sibling shards.
+    pub fn new(cfg: StoreConfig, salt: u64) -> Self {
+        let oram = cfg.oram_key_space.map(|s| {
+            let seed = cfg.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Opram::new(s.max(1), cfg.oram, cfg.engine, seed)
+        });
+        Shard {
+            cfg,
+            table: vec![Rec::default(); size_class(0)],
+            live_upper: 0,
+            pending: Vec::new(),
+            oram,
+            stats: StoreStats::default(),
+            merges: 0,
+        }
+    }
+
+    /// The path a padded batch of class `b` would take right now — a public
+    /// function of the class and the (public) pending-log length.
+    pub fn epoch_path(&self, b: usize) -> EpochPath {
+        match self.oram {
+            None => EpochPath::Merge,
+            Some(_)
+                if b >= self.cfg.oram_threshold
+                    || self.pending.len() + b > self.cfg.pending_limit =>
+            {
+                EpochPath::Merge
+            }
+            Some(_) => EpochPath::Oram,
+        }
+    }
+
+    /// Run one epoch over an already padded `batch` whose `n_results`
+    /// leading slots are real ops, on the given (publicly selected) path.
+    pub fn execute<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        batch: &[FlatOp],
+        n_results: usize,
+        path: EpochPath,
+    ) -> Vec<OpResult> {
+        match path {
+            EpochPath::Oram => self.oram_epoch(c, batch, n_results),
+            EpochPath::Merge => self.merge_batch(c, scratch, batch, n_results),
+        }
+    }
+
+    /// Sub-threshold path: one fixed-pattern tree-ORAM access per padded
+    /// slot (dummies walk key 0), giving sequential semantics at
+    /// `O(b · polylog s)` instead of a full `O((cap + b) log² )` merge.
+    fn oram_epoch<C: Ctx>(&mut self, c: &C, batch: &[FlatOp], n_results: usize) -> Vec<OpResult> {
+        let oram = self.oram.as_mut().expect("ORAM path requires a mirror");
+        let mut results = Vec::with_capacity(n_results);
+        for (i, f) in batch.iter().enumerate() {
+            let prev = oram.access(c, f.key, f.oram_write());
+            if i < n_results {
+                results.push(if f.kind == kind::AGG {
+                    OpResult::Stats(self.stats)
+                } else {
+                    OpResult::Value(prev.checked_sub(1))
+                });
+            }
+        }
+        // The padded batch (dummies included: public length) joins the
+        // pending log for the next merge.
+        self.pending.extend_from_slice(batch);
+        results
+    }
+
+    /// Merge path: replay `pending ++ batch` against the table (see
+    /// [`crate::merge`]), then write the batch through to the ORAM mirror.
+    fn merge_batch<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        batch: &[FlatOp],
+        n_results: usize,
+    ) -> Vec<OpResult> {
+        // Every pending/batch op could be a put of a fresh key, so the
+        // public live-key bound grows by their count (clamped to the key
+        // space when one is configured).
+        let mut live_upper = self.live_upper + self.pending.len() + batch.len();
+        if let Some(space) = self.cfg.oram_key_space {
+            live_upper = live_upper.min(space.max(1));
+        }
+        // Public shrink schedule: every `every`-th merge compacts the
+        // table back to the configured live-key bound, so capacity is no
+        // longer monotone. The schedule reads only the merge counter and
+        // the policy — never the data; the client promises the bound holds
+        // (violations are caught by `merge_epoch`'s candidate-count
+        // assert, the same contract style as the key-space assert).
+        if let Some(pol) = self.cfg.shrink {
+            if pol.every > 0 && (self.merges + 1).is_multiple_of(pol.every) {
+                live_upper = live_upper.min(pol.live_bound.max(1));
+            }
+        }
+        let cap_new = size_class(live_upper);
+
+        let (results, stats) = merge_epoch(
+            c,
+            scratch,
+            self.cfg.engine,
+            self.cfg.schedule,
+            &mut self.table,
+            cap_new,
+            &self.pending,
+            batch,
+            n_results,
+            self.stats,
+            self.cfg.shrink.is_some(),
+        );
+        self.live_upper = live_upper;
+        self.stats = stats;
+        self.pending.clear();
+        self.merges += 1;
+
+        // Keep the ORAM mirror consistent: replay the batch (pending ops
+        // were applied at their own epochs). Results are discarded — the
+        // merge already produced them.
+        if let Some(oram) = self.oram.as_mut() {
+            for f in batch {
+                oram.access(c, f.key, f.oram_write());
+            }
+        }
+        results
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn live_upper(&self) -> usize {
+        self.live_upper
+    }
+
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+}

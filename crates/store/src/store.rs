@@ -1,37 +1,57 @@
-//! The [`Store`] facade: batched epochs over the merge path, with a
-//! tree-ORAM point-lookup path for sub-threshold batches.
+//! The store front ends: [`Store`] (one shard) and [`ShardedStore`]
+//! (oblivious routing + parallel per-shard commits), sharing the
+//! [`Epoch`] batch builder.
 //!
 //! # State and path selection
 //!
-//! The authoritative state is the resident **table** (flat, key-sorted,
-//! padded to a public power-of-two capacity) — the §F merge path resolves
-//! whole epochs against it. When the key space is bounded
-//! ([`StoreConfig::oram_key_space`]), the store additionally keeps a
+//! The authoritative state of each shard is its resident **table** (flat,
+//! key-sorted, padded to a public power-of-two capacity) — the §F merge
+//! path resolves whole epochs against it. When the key space is bounded
+//! ([`StoreConfig::oram_key_space`]), a 1-shard store additionally keeps a
 //! recursive tree-ORAM **mirror** ([`pram::Opram`], §4.2) of the same
 //! key→value map, and epochs whose *public* padded size falls below
 //! [`StoreConfig::oram_threshold`] are served by per-op ORAM point lookups
-//! instead of paying a full merge.
+//! instead of paying a full merge. The two representations stay consistent
+//! LSM-style (see [`crate::shard`]). Path selection reads only public
+//! quantities (padded batch class, pending-log length), so the dispatch
+//! itself leaks nothing about the operations.
 //!
-//! The two representations stay consistent LSM-style:
+//! # Sharded epochs
 //!
-//! * ORAM epochs apply their ops to the mirror immediately and append them
-//!   to a **pending log** (padded, public length);
-//! * merge epochs replay `pending ++ batch` against the table in one
-//!   oblivious pass, then write the batch through to the mirror.
-//!
-//! Path selection reads only public quantities (padded batch class,
-//! pending-log length), so the dispatch itself leaks nothing about the
-//! operations.
+//! A [`ShardedStore`] partitions the key space across `shards` shards by
+//! the public hash [`shard_of`](crate::shard_of). Each epoch is routed
+//! obliviously (every shard's sub-batch padded to the same public class),
+//! committed on all shards in parallel via [`fj::par_zip_mut`], and the
+//! results are obliviously routed back to submission order — the
+//! adversary trace of the whole epoch is a function of `(batch class,
+//! shard count, capacity history)` only. See DESIGN.md §9.
 
-use crate::merge::{merge_epoch, Rec};
-use crate::op::{kind, size_class, EpochPath, FlatOp, Op, OpResult, StoreStats};
-use fj::Ctx;
+use crate::op::{size_class, EpochPath, FlatOp, Op, OpResult, StoreStats};
+use crate::router::{gather_results, route_ops, shard_class, OpResultSlot};
+use crate::shard::Shard;
+use fj::{par_zip_mut, Ctx};
 use metrics::ScratchPool;
 use obliv_core::scan::Schedule;
 use obliv_core::Engine;
-use pram::{Opram, OramConfig};
+use pram::OramConfig;
 
-/// Tuning for a [`Store`].
+/// Public compaction schedule: every [`every`](ShrinkPolicy::every)-th
+/// merge, a shard's capacity is obliviously compacted back to the size
+/// class of [`live_bound`](ShrinkPolicy::live_bound) instead of growing
+/// monotonically. The schedule is a function of the merge counter only;
+/// `live_bound` is a *client-declared public bound* on the number of
+/// distinct live keys (per shard, for sharded stores) — exceeding it is a
+/// contract violation caught by the merge's candidate-count assert, in
+/// the same style as the key-space assert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShrinkPolicy {
+    /// Compact every `every` merges (`0` disables the schedule).
+    pub every: u64,
+    /// Public upper bound on distinct live keys at compaction points.
+    pub live_bound: usize,
+}
+
+/// Tuning for a [`Store`] (or for each shard of a [`ShardedStore`]).
 #[derive(Clone, Copy, Debug)]
 pub struct StoreConfig {
     /// Sorting engine driving the merge path (and the ORAM's conflict
@@ -53,6 +73,8 @@ pub struct StoreConfig {
     pub oram: OramConfig,
     /// Seed for the ORAM's position-map coins.
     pub seed: u64,
+    /// Optional public shrink schedule (capacity compaction).
+    pub shrink: Option<ShrinkPolicy>,
 }
 
 impl Default for StoreConfig {
@@ -65,6 +87,7 @@ impl Default for StoreConfig {
             pending_limit: 512,
             oram: OramConfig::default(),
             seed: 0xD0B_5707,
+            shrink: None,
         }
     }
 }
@@ -79,37 +102,46 @@ impl StoreConfig {
     }
 }
 
+/// Check the epoch-wide client contracts and pad the batch to its public
+/// size class. Shared by both front ends.
+fn validate_and_pad(cfg: &StoreConfig, ops: &[Op]) -> Vec<FlatOp> {
+    if let Some(space) = cfg.oram_key_space {
+        for op in ops {
+            assert!(
+                (op.key() as usize) < space.max(1),
+                "key {} outside the configured ORAM key space {}",
+                op.key(),
+                space
+            );
+        }
+    }
+    for op in ops {
+        if let Op::Put { val, .. } = op {
+            assert!(*val < u64::MAX, "values must be < u64::MAX");
+        }
+    }
+    ops.iter()
+        .map(FlatOp::of)
+        .chain(std::iter::repeat_with(FlatOp::dummy))
+        .take(size_class(ops.len()))
+        .collect()
+}
+
 /// An oblivious batched key-value / private-analytics store. See the
 /// [module docs](self) for the architecture.
 pub struct Store {
     cfg: StoreConfig,
-    /// Resident records, key-sorted, padded to `size_class(live_upper)`.
-    table: Vec<Rec>,
-    /// Public upper bound on the number of distinct present keys.
-    live_upper: usize,
-    /// Ops applied to the ORAM mirror but not yet merged into the table.
-    pending: Vec<FlatOp>,
-    oram: Option<Opram>,
-    stats: StoreStats,
+    shard: Shard,
     epochs: u64,
-    merges: u64,
     last_path: Option<EpochPath>,
 }
 
 impl Store {
     pub fn new(cfg: StoreConfig) -> Self {
-        let oram = cfg
-            .oram_key_space
-            .map(|s| Opram::new(s.max(1), cfg.oram, cfg.engine, cfg.seed));
         Store {
             cfg,
-            table: vec![Rec::default(); size_class(0)],
-            live_upper: 0,
-            pending: Vec::new(),
-            oram,
-            stats: StoreStats::default(),
+            shard: Shard::new(cfg, 0),
             epochs: 0,
-            merges: 0,
             last_path: None,
         }
     }
@@ -117,17 +149,7 @@ impl Store {
     /// The path an epoch of `n_ops` operations would take right now — a
     /// public function of the padded class and the pending-log length.
     pub fn epoch_path(&self, n_ops: usize) -> EpochPath {
-        let b = size_class(n_ops);
-        match self.oram {
-            None => EpochPath::Merge,
-            Some(_)
-                if b >= self.cfg.oram_threshold
-                    || self.pending.len() + b > self.cfg.pending_limit =>
-            {
-                EpochPath::Merge
-            }
-            Some(_) => EpochPath::Oram,
-        }
+        self.shard.epoch_path(size_class(n_ops))
     }
 
     /// Execute one epoch: pad `ops` to its public size class, run the
@@ -138,126 +160,31 @@ impl Store {
         scratch: &ScratchPool,
         ops: &[Op],
     ) -> Vec<OpResult> {
-        if let Some(space) = self.cfg.oram_key_space {
-            for op in ops {
-                assert!(
-                    (op.key() as usize) < space.max(1),
-                    "key {} outside the configured ORAM key space {}",
-                    op.key(),
-                    space
-                );
-            }
-        }
-        for op in ops {
-            if let Op::Put { val, .. } = op {
-                assert!(*val < u64::MAX, "values must be < u64::MAX");
-            }
-        }
-
-        let b = size_class(ops.len());
-        let path = self.epoch_path(ops.len());
+        let batch = validate_and_pad(&self.cfg, ops);
+        let path = self.shard.epoch_path(batch.len());
         self.epochs += 1;
         self.last_path = Some(path);
-
-        let batch: Vec<FlatOp> = ops
-            .iter()
-            .map(FlatOp::of)
-            .chain(std::iter::repeat_with(FlatOp::dummy))
-            .take(b)
-            .collect();
-
-        match path {
-            EpochPath::Oram => self.oram_epoch(c, &batch, ops.len()),
-            EpochPath::Merge => self.merge_epoch_inner(c, scratch, &batch, ops.len()),
-        }
-    }
-
-    /// Sub-threshold path: one fixed-pattern tree-ORAM access per padded
-    /// slot (dummies walk key 0), giving sequential semantics at
-    /// `O(b · polylog s)` instead of a full `O((cap + b) log² )` merge.
-    fn oram_epoch<C: Ctx>(&mut self, c: &C, batch: &[FlatOp], n_results: usize) -> Vec<OpResult> {
-        let oram = self.oram.as_mut().expect("ORAM path requires a mirror");
-        let mut results = Vec::with_capacity(n_results);
-        for (i, f) in batch.iter().enumerate() {
-            let prev = oram.access(c, f.key, f.oram_write());
-            if i < n_results {
-                results.push(if f.kind == kind::AGG {
-                    OpResult::Stats(self.stats)
-                } else {
-                    OpResult::Value(prev.checked_sub(1))
-                });
-            }
-        }
-        // The padded batch (dummies included: public length) joins the
-        // pending log for the next merge.
-        self.pending.extend_from_slice(batch);
-        results
-    }
-
-    /// Merge path: replay `pending ++ batch` against the table (see
-    /// [`crate::merge`]), then write the batch through to the ORAM mirror.
-    fn merge_epoch_inner<C: Ctx>(
-        &mut self,
-        c: &C,
-        scratch: &ScratchPool,
-        batch: &[FlatOp],
-        n_results: usize,
-    ) -> Vec<OpResult> {
-        // Every pending/batch op could be a put of a fresh key, so the
-        // public live-key bound grows by their count (clamped to the key
-        // space when one is configured).
-        let mut live_upper = self.live_upper + self.pending.len() + batch.len();
-        if let Some(space) = self.cfg.oram_key_space {
-            live_upper = live_upper.min(space.max(1));
-        }
-        let cap_new = size_class(live_upper);
-
-        let (results, stats) = merge_epoch(
-            c,
-            scratch,
-            self.cfg.engine,
-            self.cfg.schedule,
-            &mut self.table,
-            cap_new,
-            &self.pending,
-            batch,
-            n_results,
-            self.stats,
-        );
-        self.live_upper = live_upper;
-        self.stats = stats;
-        self.pending.clear();
-        self.merges += 1;
-
-        // Keep the ORAM mirror consistent: replay the batch (pending ops
-        // were applied at their own epochs). Results are discarded — the
-        // merge already produced them.
-        if let Some(oram) = self.oram.as_mut() {
-            for f in batch {
-                oram.access(c, f.key, f.oram_write());
-            }
-        }
-        results
+        self.shard.execute(c, scratch, &batch, ops.len(), path)
     }
 
     /// Current analytics snapshot (as of the last merge epoch).
     pub fn stats(&self) -> StoreStats {
-        self.stats
+        self.shard.stats()
     }
 
     /// Public physical capacity of the resident table.
     pub fn capacity(&self) -> usize {
-        self.table.len()
+        self.shard.capacity()
     }
 
     /// Public upper bound on distinct present keys.
     pub fn live_upper_bound(&self) -> usize {
-        self.live_upper
+        self.shard.live_upper()
     }
 
     /// Public length of the pending log awaiting the next merge.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.shard.pending_len()
     }
 
     /// Path the most recent epoch took.
@@ -267,26 +194,53 @@ impl Store {
 
     /// Epochs executed (total, and merge epochs among them).
     pub fn epoch_counts(&self) -> (u64, u64) {
-        (self.epochs, self.merges)
+        (self.epochs, self.shard.merges())
     }
 
-    /// Start collecting an epoch's operations.
-    pub fn epoch(&mut self) -> Epoch<'_> {
-        Epoch {
-            store: self,
-            ops: Vec::new(),
-        }
+    /// Start collecting an epoch's operations. The builder is detached —
+    /// it holds only its own op log, so the store stays readable
+    /// ([`Store::stats`], [`Store::last_path`], …) while the epoch is
+    /// open; pass the store back at [`Epoch::commit`] time.
+    pub fn epoch(&self) -> Epoch {
+        Epoch::new()
+    }
+}
+
+/// Anything an [`Epoch`] can commit to.
+pub trait EpochTarget {
+    /// Execute one epoch of `ops`, returning one result per op in
+    /// submission order.
+    fn run_epoch<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) -> Vec<OpResult>;
+}
+
+impl EpochTarget for Store {
+    fn run_epoch<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) -> Vec<OpResult> {
+        self.execute_epoch(c, scratch, ops)
+    }
+}
+
+impl EpochTarget for ShardedStore {
+    fn run_epoch<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) -> Vec<OpResult> {
+        self.execute_epoch(c, scratch, ops)
     }
 }
 
 /// Builder collecting one epoch's operations; [`Epoch::commit`] executes
-/// them as a single oblivious batch.
-pub struct Epoch<'s> {
-    store: &'s mut Store,
+/// them as a single oblivious batch against any [`EpochTarget`].
+///
+/// The builder owns its op log and holds **no borrow of the store** (a
+/// historical version did, which made `stats()`/`last_path()` unreadable
+/// while an epoch was being assembled).
+#[derive(Default)]
+pub struct Epoch {
     ops: Vec<Op>,
 }
 
-impl Epoch<'_> {
+impl Epoch {
+    pub fn new() -> Self {
+        Epoch { ops: Vec::new() }
+    }
+
     /// Queue an op; the returned ticket indexes its result in the slice
     /// [`Epoch::commit`] returns.
     pub fn submit(&mut self, op: Op) -> usize {
@@ -302,9 +256,270 @@ impl Epoch<'_> {
         self.ops.is_empty()
     }
 
-    /// Execute the collected ops as one epoch.
-    pub fn commit<C: Ctx>(self, c: &C, scratch: &ScratchPool) -> Vec<OpResult> {
-        self.store.execute_epoch(c, scratch, &self.ops)
+    /// Execute the collected ops as one epoch against `store`.
+    pub fn commit<C: Ctx, T: EpochTarget>(
+        self,
+        c: &C,
+        scratch: &ScratchPool,
+        store: &mut T,
+    ) -> Vec<OpResult> {
+        store.run_epoch(c, scratch, &self.ops)
+    }
+}
+
+/// Tuning for a [`ShardedStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of shards (a power of two). `1` routes nothing and behaves
+    /// exactly like a [`Store`].
+    pub shards: usize,
+    /// Per-shard sub-batch provisioning (see
+    /// [`shard_class`](crate::shard_class)): `0` pads every shard to the
+    /// full batch class — routing can never overflow and the epoch trace
+    /// is *unconditionally* shape-only; `k ≥ 1` pads to
+    /// `size_class(k·b/shards)`, and an epoch whose key skew overflows a
+    /// shard publicly falls back to full provisioning (the fallback — one
+    /// bit per epoch — is the only data-dependent signal, and only under
+    /// this opt-in policy).
+    pub route_slack: usize,
+    /// Per-shard configuration. The ORAM path requires `shards == 1`;
+    /// multi-shard stores are merge-only. A configured
+    /// [`StoreConfig::shrink`] bound applies *per shard*.
+    pub store: StoreConfig,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            route_slack: 0,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Default config with `shards` shards.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardConfig {
+            shards,
+            ..ShardConfig::default()
+        }
+    }
+}
+
+/// The sharded epoch engine: oblivious op routing across shards, parallel
+/// per-shard commits, oblivious result gather.
+///
+/// ```
+/// use fj::SeqCtx;
+/// use metrics::ScratchPool;
+/// use store::{Op, ShardConfig, ShardedStore};
+///
+/// let c = SeqCtx::new();
+/// let scratch = ScratchPool::new();
+/// let mut store = ShardedStore::new(ShardConfig::with_shards(4));
+/// let mut epoch = store.epoch();
+/// epoch.submit(Op::Put { key: 7, val: 700 });
+/// let get = epoch.submit(Op::Get { key: 7 });
+/// let results = epoch.commit(&c, &scratch, &mut store);
+/// assert_eq!(results[get].value(), Some(700));
+/// ```
+pub struct ShardedStore {
+    cfg: ShardConfig,
+    shards: Vec<Shard>,
+    /// Global analytics snapshot (sum of shard snapshots) as of the last
+    /// epoch close; what `Aggregate` ops observe.
+    snapshot: StoreStats,
+    epochs: u64,
+    merges: u64,
+    fallbacks: u64,
+    last_path: Option<EpochPath>,
+}
+
+impl ShardedStore {
+    pub fn new(cfg: ShardConfig) -> Self {
+        assert!(
+            cfg.shards >= 1 && cfg.shards.is_power_of_two(),
+            "shard count must be a power of two"
+        );
+        assert!(
+            cfg.store.oram_key_space.is_none() || cfg.shards == 1,
+            "the ORAM path requires a single shard (sharded stores are merge-only)"
+        );
+        let shards = (0..cfg.shards)
+            .map(|i| Shard::new(cfg.store, i as u64))
+            .collect();
+        ShardedStore {
+            cfg,
+            shards,
+            snapshot: StoreStats::default(),
+            epochs: 0,
+            merges: 0,
+            fallbacks: 0,
+            last_path: None,
+        }
+    }
+
+    /// Execute one epoch: pad to the public batch class, route ops to
+    /// shards obliviously, commit every shard in parallel, and obliviously
+    /// gather the results back to submission order.
+    pub fn execute_epoch<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        ops: &[Op],
+    ) -> Vec<OpResult> {
+        let batch = validate_and_pad(&self.cfg.store, ops);
+        let b = batch.len();
+        self.epochs += 1;
+
+        if self.shards.len() == 1 {
+            // Public fast path: one shard needs no routing; this is the
+            // plain-`Store` pipeline.
+            let path = self.shards[0].epoch_path(b);
+            self.last_path = Some(path);
+            if path == EpochPath::Merge {
+                self.merges += 1;
+            }
+            let res = self.shards[0].execute(c, scratch, &batch, ops.len(), path);
+            self.snapshot = self.shards[0].stats();
+            return res;
+        }
+
+        let engine = self.cfg.store.engine;
+        let shards = self.shards.len();
+        let zcap = shard_class(b, shards, self.cfg.route_slack);
+
+        // Oblivious routing: pad every shard's sub-batch to the public
+        // class `zcap`. Under scaled provisioning a heavily skewed epoch
+        // can overflow a shard; the fixed-trace pass reports it and we
+        // publicly fall back to full provisioning for this epoch.
+        let (mut jobs, zcap) = if zcap < b {
+            match route_ops(c, scratch, engine, &batch, shards, zcap) {
+                Ok(jobs) => (jobs, zcap),
+                Err(_) => {
+                    self.fallbacks += 1;
+                    let jobs = route_ops(c, scratch, engine, &batch, shards, b)
+                        .expect("full provisioning cannot overflow");
+                    (jobs, b)
+                }
+            }
+        } else {
+            let jobs = route_ops(c, scratch, engine, &batch, shards, b)
+                .expect("full provisioning cannot overflow");
+            (jobs, b)
+        };
+
+        // Parallel per-shard commits: every shard owns its table and
+        // leases scratch from the shared pool, so the commits are
+        // independent fork-join tasks.
+        let snap = self.snapshot;
+        par_zip_mut(c, &mut self.shards, &mut jobs, &|c, _s, shard, job| {
+            let res = shard.execute(c, scratch, &job.batch, job.n_real, EpochPath::Merge);
+            job.results = res
+                .into_iter()
+                .map(|r| match r {
+                    OpResult::Value(v) => OpResultSlot {
+                        agg: false,
+                        found: v.is_some(),
+                        val: v.unwrap_or(0),
+                    },
+                    OpResult::Stats(_) => OpResultSlot {
+                        agg: true,
+                        ..OpResultSlot::default()
+                    },
+                })
+                .collect();
+        });
+
+        // Oblivious result gather back to submission order.
+        let entries: Vec<(u64, OpResultSlot)> = jobs
+            .iter()
+            .flat_map(|job| {
+                (0..zcap).map(move |z| {
+                    if z < job.n_real {
+                        (job.idx[z], job.results[z])
+                    } else {
+                        (u64::MAX, OpResultSlot::default())
+                    }
+                })
+            })
+            .collect();
+        let gathered = gather_results(c, scratch, engine, &entries, b);
+
+        self.merges += 1;
+        self.last_path = Some(EpochPath::Merge);
+        self.snapshot = self
+            .shards
+            .iter()
+            .fold(StoreStats::default(), |acc, s| StoreStats {
+                count: acc.count + s.stats().count,
+                sum: acc.sum.wrapping_add(s.stats().sum),
+            });
+
+        gathered
+            .into_iter()
+            .take(ops.len())
+            .map(|r| {
+                if r.agg {
+                    // Aggregates observe the pre-epoch global snapshot
+                    // (each shard only knows its own slice).
+                    OpResult::Stats(snap)
+                } else {
+                    OpResult::Value(r.found.then_some(r.val))
+                }
+            })
+            .collect()
+    }
+
+    /// Start collecting an epoch's operations (detached builder; commit
+    /// with [`Epoch::commit`]).
+    pub fn epoch(&self) -> Epoch {
+        Epoch::new()
+    }
+
+    /// Global analytics snapshot as of the last epoch close.
+    pub fn stats(&self) -> StoreStats {
+        self.snapshot
+    }
+
+    /// Number of shards (public).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total public physical capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.capacity()).sum()
+    }
+
+    /// Sum of the shards' public live-key upper bounds.
+    pub fn live_upper_bound(&self) -> usize {
+        self.shards.iter().map(|s| s.live_upper()).sum()
+    }
+
+    /// Total public pending-log length (nonzero only for 1-shard stores
+    /// with the ORAM path enabled).
+    pub fn pending_len(&self) -> usize {
+        self.shards.iter().map(|s| s.pending_len()).sum()
+    }
+
+    /// Path the most recent epoch took.
+    pub fn last_path(&self) -> Option<EpochPath> {
+        self.last_path
+    }
+
+    /// Epochs executed (total, and merge epochs among them).
+    pub fn epoch_counts(&self) -> (u64, u64) {
+        (self.epochs, self.merges)
+    }
+
+    /// Epochs that publicly fell back to full per-shard provisioning
+    /// because the scaled class overflowed (always 0 with
+    /// [`ShardConfig::route_slack`] `= 0`).
+    pub fn routing_fallbacks(&self) -> u64 {
+        self.fallbacks
     }
 }
 
@@ -379,8 +594,27 @@ mod tests {
         let t1 = e.submit(Op::Get { key: 9 });
         assert_eq!((t0, t1), (0, 1));
         assert_eq!(e.len(), 2);
-        let res = e.commit(&c, &sp);
+        let res = e.commit(&c, &sp, &mut s);
         assert_eq!(res[t1], OpResult::Value(Some(90)));
+    }
+
+    #[test]
+    fn store_stays_readable_while_an_epoch_is_open() {
+        // Regression: the builder used to hold `&mut Store`, which made
+        // every read accessor unusable between `epoch()` and `commit()`.
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut s = merge_only();
+        s.execute_epoch(&c, &sp, &[Op::Put { key: 1, val: 5 }]);
+        let mut e = s.epoch();
+        e.submit(Op::Get { key: 1 });
+        // All of these read the store while the epoch is open.
+        assert_eq!(s.stats(), StoreStats { count: 1, sum: 5 });
+        assert_eq!(s.last_path(), Some(EpochPath::Merge));
+        assert_eq!(s.pending_len(), 0);
+        assert!(s.capacity() >= 8);
+        let res = e.commit(&c, &sp, &mut s);
+        assert_eq!(res[0], OpResult::Value(Some(5)));
     }
 
     #[test]
@@ -404,6 +638,30 @@ mod tests {
         // live_upper = 32 (padded batch class), capacity = its class.
         assert_eq!(s.capacity(), 32);
         assert_eq!(s.live_upper_bound(), 32);
+    }
+
+    #[test]
+    fn shrink_schedule_compacts_on_public_cadence() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let cfg = StoreConfig {
+            shrink: Some(ShrinkPolicy {
+                every: 2,
+                live_bound: 8,
+            }),
+            ..StoreConfig::default()
+        };
+        let mut s = Store::new(cfg);
+        // Merge 1 (unscheduled): capacity grows with the padded batch.
+        let ops: Vec<Op> = (0..20).map(|i| Op::Put { key: i % 8, val: i }).collect();
+        s.execute_epoch(&c, &sp, &ops);
+        assert_eq!(s.capacity(), 32);
+        // Merge 2 (scheduled): compacts back to the declared bound's class.
+        s.execute_epoch(&c, &sp, &[Op::Get { key: 0 }]);
+        assert_eq!(s.capacity(), 8, "live_upper is no longer monotone");
+        // Contents survive the compaction.
+        let res = s.execute_epoch(&c, &sp, &[Op::Get { key: 3 }]);
+        assert_eq!(res[0], OpResult::Value(Some(19)));
     }
 
     #[test]
@@ -489,5 +747,103 @@ mod tests {
         let sp = ScratchPool::new();
         let mut s = Store::new(StoreConfig::with_oram(16));
         s.execute_epoch(&c, &sp, &[Op::Get { key: 16 }]);
+    }
+
+    #[test]
+    fn sharded_crud_roundtrip_across_shards() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut s = ShardedStore::new(ShardConfig::with_shards(4));
+        // Keys chosen to spread over several shards; duplicates exercise
+        // the stable within-shard ordering.
+        let res = s.execute_epoch(
+            &c,
+            &sp,
+            &[
+                Op::Put { key: 3, val: 30 },
+                Op::Put { key: 11, val: 110 },
+                Op::Get { key: 3 },
+                Op::Put { key: 3, val: 31 },
+                Op::Get { key: 3 },
+                Op::Delete { key: 11 },
+                Op::Get { key: 11 },
+            ],
+        );
+        assert_eq!(res[2], OpResult::Value(Some(30)));
+        assert_eq!(res[4], OpResult::Value(Some(31)));
+        assert_eq!(res[5], OpResult::Value(Some(110)));
+        assert_eq!(res[6], OpResult::Value(None));
+        assert_eq!(s.epoch_counts(), (1, 1));
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.routing_fallbacks(), 0, "slack 0 never falls back");
+    }
+
+    #[test]
+    fn sharded_aggregates_see_the_global_snapshot() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut s = ShardedStore::new(ShardConfig::with_shards(4));
+        let load: Vec<Op> = (0..32).map(|i| Op::Put { key: i, val: i }).collect();
+        s.execute_epoch(&c, &sp, &load);
+        let want = StoreStats {
+            count: 32,
+            sum: (0..32).sum(),
+        };
+        assert_eq!(s.stats(), want, "snapshot sums all shards");
+        let res = s.execute_epoch(&c, &sp, &[Op::Aggregate]);
+        assert_eq!(res[0], OpResult::Stats(want));
+    }
+
+    #[test]
+    fn sharded_one_shard_matches_plain_store() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut plain = merge_only();
+        let mut one = ShardedStore::new(ShardConfig::with_shards(1));
+        for round in 0..3u64 {
+            let ops: Vec<Op> = (0..20)
+                .map(|i| match (i + round) % 3 {
+                    0 => Op::Put {
+                        key: i,
+                        val: i * round,
+                    },
+                    1 => Op::Get { key: i / 2 },
+                    _ => Op::Delete { key: i },
+                })
+                .collect();
+            assert_eq!(
+                plain.execute_epoch(&c, &sp, &ops),
+                one.execute_epoch(&c, &sp, &ops),
+                "round {round}"
+            );
+        }
+        assert_eq!(plain.stats(), one.stats());
+        assert_eq!(plain.capacity(), one.capacity());
+    }
+
+    #[test]
+    fn scaled_routing_falls_back_publicly_on_skew() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut cfg = ShardConfig::with_shards(4);
+        cfg.route_slack = 1;
+        let mut s = ShardedStore::new(cfg);
+        // 30 ops on one key: they all hash to one shard, overflowing the
+        // slack-1 class (8 of 32). The epoch must still be correct.
+        let ops: Vec<Op> = (0..30)
+            .map(|i| Op::Put { key: 7, val: i })
+            .chain([Op::Get { key: 7 }])
+            .collect();
+        let res = s.execute_epoch(&c, &sp, &ops);
+        assert_eq!(res[30], OpResult::Value(Some(29)));
+        assert_eq!(s.routing_fallbacks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "single shard")]
+    fn sharded_rejects_oram_configs() {
+        let mut cfg = ShardConfig::with_shards(4);
+        cfg.store = StoreConfig::with_oram(64);
+        ShardedStore::new(cfg);
     }
 }

@@ -31,7 +31,7 @@ fn main() {
         });
     }
     let n = epoch.len();
-    epoch.commit(&c, &scratch);
+    epoch.commit(&c, &scratch, &mut store);
     assert_eq!(store.last_path(), Some(EpochPath::Merge));
     println!(
         "loaded {n} puts ({} distinct keys) in one merge epoch (capacity {})",

@@ -25,7 +25,7 @@ fn run_day<C: Ctx>(
             val: salary,
         });
     }
-    ingest.commit(c, scratch);
+    ingest.commit(c, scratch, store);
 
     // Mixed query epoch: lookups, a raise, a departure.
     let mut queries = store.epoch();
@@ -43,7 +43,7 @@ fn run_day<C: Ctx>(
     queries.submit(Op::Delete {
         key: salaries[salaries.len() - 1].0,
     });
-    let res = queries.commit(c, scratch);
+    let res = queries.commit(c, scratch, store);
     let looked_up: Vec<Option<u64>> = lookups.iter().map(|&t| res[t].value()).collect();
 
     // Analytics epoch: the aggregate reads the snapshot of the last merge.

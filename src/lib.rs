@@ -49,5 +49,8 @@ pub mod prelude {
     };
     pub use pram::{run_direct, run_oblivious_sb, Opram, OramConfig};
     pub use sortnet::{sort_slice_rec, Network};
-    pub use store::{EpochPath, Op, OpResult, Store, StoreConfig, StoreStats};
+    pub use store::{
+        shard_of, Epoch, EpochPath, EpochTarget, Op, OpResult, ShardConfig, ShardedStore,
+        ShrinkPolicy, Store, StoreConfig, StoreStats,
+    };
 }

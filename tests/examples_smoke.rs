@@ -22,6 +22,7 @@ example_mod!(oram_kv_ex, "../examples/oram_kv.rs");
 example_mod!(graph_suite_ex, "../examples/graph_suite.rs");
 example_mod!(pram_compile_ex, "../examples/pram_compile.rs");
 example_mod!(private_analytics_ex, "../examples/private_analytics.rs");
+example_mod!(sharded_kv_ex, "../examples/sharded_kv.rs");
 
 #[test]
 fn quickstart_example_runs() {
@@ -55,4 +56,10 @@ fn pram_compile_example_runs() {
 fn private_analytics_example_runs() {
     std::env::set_var("DOB_ANALYTICS_N", "512");
     private_analytics_ex::run();
+}
+
+#[test]
+fn sharded_kv_example_runs() {
+    std::env::set_var("DOB_SHARDED_N", "128");
+    sharded_kv_ex::run();
 }

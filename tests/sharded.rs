@@ -1,0 +1,287 @@
+//! `ShardedStore` integration suite: HashMap-oracle property tests across
+//! shard counts, and the Definition-1 obliviousness claims for the full
+//! sharded epoch pipeline — routing, parallel per-shard commits, and the
+//! result gather must generate identical adversary traces for any two
+//! same-shape workloads, on fresh *and* dirty scratch pools, with outputs
+//! identical under the sequential executor and the work-stealing pool.
+
+use dob::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+mod common;
+use common::dirty;
+
+fn op_from(kind: u8, key: u64, val: u64) -> Op {
+    match kind % 4 {
+        0 => Op::Get { key },
+        1 => Op::Put { key, val },
+        2 => Op::Delete { key },
+        _ => Op::Aggregate,
+    }
+}
+
+fn stats_of(oracle: &HashMap<u64, u64>) -> StoreStats {
+    StoreStats {
+        count: oracle.len() as u64,
+        sum: oracle.values().fold(0u64, |a, &v| a.wrapping_add(v)),
+    }
+}
+
+fn check_epoch(oracle: &mut HashMap<u64, u64>, snapshot: StoreStats, ops: &[Op], res: &[OpResult]) {
+    assert_eq!(res.len(), ops.len());
+    for (op, got) in ops.iter().zip(res.iter()) {
+        match *op {
+            Op::Get { key } => assert_eq!(got.value(), oracle.get(&key).copied(), "get {key}"),
+            Op::Put { key, val } => assert_eq!(got.value(), oracle.insert(key, val), "put {key}"),
+            Op::Delete { key } => assert_eq!(got.value(), oracle.remove(&key), "delete {key}"),
+            Op::Aggregate => assert_eq!(*got, OpResult::Stats(snapshot), "aggregate"),
+        }
+    }
+}
+
+/// Shard count under test from `DOB_SHARDS` (the CI matrix sets 1 and 4),
+/// defaulting to 4.
+fn env_shards() -> usize {
+    std::env::var("DOB_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|n: &usize| n.is_power_of_two() && *n >= 1)
+        .unwrap_or(4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sharded epochs match the oracle exactly, at every shard count and
+    /// under both provisioning policies (full and scaled-with-fallback).
+    #[test]
+    fn sharded_epochs_match_hashmap_oracle(
+        epochs in proptest::collection::vec(
+            proptest::collection::vec((0u8..4, 0u64..48, 0u64..1000), 0..40),
+            1..5,
+        ),
+        slack in 0usize..3,
+    ) {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        for shards in [1usize, 2, 8] {
+            let mut cfg = ShardConfig::with_shards(shards);
+            cfg.route_slack = slack;
+            let mut store = ShardedStore::new(cfg);
+            let mut oracle: HashMap<u64, u64> = HashMap::new();
+            for raw in &epochs {
+                let ops: Vec<Op> =
+                    raw.iter().map(|&(k, key, val)| op_from(k, key, val)).collect();
+                let snapshot = store.stats();
+                let res = store.execute_epoch(&c, &sp, &ops);
+                check_epoch(&mut oracle, snapshot, &ops, &res);
+                prop_assert_eq!(store.stats(), stats_of(&oracle), "shards {}", shards);
+            }
+        }
+    }
+}
+
+#[test]
+fn env_selected_shard_count_matches_oracle() {
+    let c = SeqCtx::new();
+    let sp = ScratchPool::new();
+    let shards = env_shards();
+    let mut store = ShardedStore::new(ShardConfig::with_shards(shards));
+    assert_eq!(store.shard_count(), shards);
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    for round in 0..4u64 {
+        let ops: Vec<Op> = (0..24u64)
+            .map(|i| op_from((i + round) as u8, (i * 7 + round * 13) % 64, i * round))
+            .collect();
+        let snapshot = store.stats();
+        let res = store.execute_epoch(&c, &sp, &ops);
+        check_epoch(&mut oracle, snapshot, &ops, &res);
+    }
+    assert_eq!(store.stats(), stats_of(&oracle));
+}
+
+// ---------------------------------------------------------------------------
+// Definition-1 trace equality
+// ---------------------------------------------------------------------------
+
+/// A fixed-shape epoch history parameterized by the secret payload: same
+/// epoch count, same batch sizes, same shard count — totally different
+/// keys/values/op-kinds.
+fn run_history<C: Ctx>(
+    c: &C,
+    sp: &ScratchPool,
+    cfg: ShardConfig,
+    salt: u64,
+) -> (Vec<Vec<OpResult>>, u64) {
+    let mut store = ShardedStore::new(cfg);
+    let mut out = Vec::new();
+    for (e, &size) in [40usize, 12, 28].iter().enumerate() {
+        let ops: Vec<Op> = (0..size as u64)
+            .map(|i| {
+                let key = i
+                    .wrapping_mul(salt.wrapping_mul(2654435761).wrapping_add(97))
+                    .wrapping_add(e as u64)
+                    % 512;
+                op_from((i.wrapping_add(salt) % 4) as u8, key, salt.wrapping_add(i))
+            })
+            .collect();
+        out.push(store.execute_epoch(c, sp, &ops));
+    }
+    (out, store.routing_fallbacks())
+}
+
+fn trace_history(sp: &ScratchPool, cfg: ShardConfig, salt: u64) -> (u64, u64) {
+    let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+        run_history(c, sp, cfg, salt);
+    });
+    (rep.trace_hash, rep.trace_len)
+}
+
+#[test]
+fn sharded_epoch_traces_are_shape_only_on_fresh_and_dirty_pools() {
+    let cfg = ShardConfig::with_shards(4);
+    // Two different secret workloads, fresh pools.
+    let fresh_a = ScratchPool::new();
+    let fresh_b = ScratchPool::new();
+    let a = trace_history(&fresh_a, cfg, 1);
+    let b = trace_history(&fresh_b, cfg, 0xDEAD_BEEF);
+    assert_eq!(a, b, "different data changed the epoch trace (fresh pools)");
+
+    // Same again on pools dirtied by unrelated kernels.
+    let dirty_a = ScratchPool::new();
+    dirty(&dirty_a);
+    assert!(dirty_a.leases() > 0 && dirty_a.fresh_allocs() > 0);
+    let da = trace_history(&dirty_a, cfg, 2025);
+    assert_eq!(a, da, "dirty pool changed the epoch trace");
+
+    // And steady-state reuse of the same pool.
+    let da2 = trace_history(&dirty_a, cfg, 31337);
+    assert_eq!(a, da2, "second reuse changed the epoch trace");
+}
+
+#[test]
+fn sharded_traces_are_shape_only_under_scaled_provisioning() {
+    // With route_slack = 2 the per-shard class is b/2; these spread key
+    // distributions never overflow it, so the scaled path itself must be
+    // trace-equal. The fallback counters double-check that both runs
+    // exercised the scaled path (no public fallback fired).
+    let mut cfg = ShardConfig::with_shards(4);
+    cfg.route_slack = 2;
+    let sp = ScratchPool::new();
+    let c = SeqCtx::new();
+    for salt in [3, 0xFEED] {
+        let (_, fallbacks) = run_history(&c, &sp, cfg, salt);
+        assert_eq!(fallbacks, 0, "salt {salt} unexpectedly overflowed");
+    }
+    let a = trace_history(&sp, cfg, 3);
+    let b = trace_history(&sp, cfg, 0xFEED);
+    assert_eq!(a, b, "scaled routing leaked per-shard loads");
+}
+
+#[test]
+fn shard_count_is_public_shape() {
+    // Changing the shard count is a *public* configuration change and must
+    // move the trace; the trace at fixed (batch sizes, shard count) is the
+    // whole leakage.
+    let sp = ScratchPool::new();
+    let t1 = trace_history(&sp, ShardConfig::with_shards(2), 7);
+    let t4 = trace_history(&sp, ShardConfig::with_shards(4), 7);
+    assert_ne!(t1.1, t4.1, "shard count must be visible in the shape");
+}
+
+#[test]
+fn sharded_outputs_identical_under_seq_and_pool_fresh_and_dirty() {
+    let cfg = ShardConfig::with_shards(4);
+    let c = SeqCtx::new();
+    let fresh = ScratchPool::new();
+    let want = run_history(&c, &fresh, cfg, 77).0;
+
+    let reused = ScratchPool::new();
+    dirty(&reused);
+    assert_eq!(
+        run_history(&c, &reused, cfg, 77).0,
+        want,
+        "SeqCtx: dirty pool changed results"
+    );
+
+    let exec = Pool::new(4);
+    let par_pool = ScratchPool::new();
+    dirty(&par_pool);
+    let got = exec.run(|c| run_history(c, &par_pool, cfg, 77).0);
+    assert_eq!(got, want, "Pool: dirty pool changed results");
+    let got2 = exec.run(|c| run_history(c, &par_pool, cfg, 77).0);
+    assert_eq!(got2, want, "Pool: steady-state reuse changed results");
+}
+
+// ---------------------------------------------------------------------------
+// Public shrink schedule
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shrink_schedule_is_non_monotone_and_correct() {
+    let c = SeqCtx::new();
+    let sp = ScratchPool::new();
+    let mut cfg = ShardConfig::with_shards(4);
+    cfg.store.shrink = Some(ShrinkPolicy {
+        every: 2,
+        live_bound: 16, // per shard
+    });
+    let mut store = ShardedStore::new(cfg);
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    let mut caps = Vec::new();
+    for round in 0..6u64 {
+        // Bounded key universe so the per-shard declared bound holds.
+        let ops: Vec<Op> = (0..40u64)
+            .map(|i| op_from((i + round) as u8, (i * 3 + round) % 48, i + round))
+            .collect();
+        let snapshot = store.stats();
+        let res = store.execute_epoch(&c, &sp, &ops);
+        check_epoch(&mut oracle, snapshot, &ops, &res);
+        caps.push(store.capacity());
+    }
+    // Odd merges grow capacity, even merges compact it: non-monotone.
+    assert!(
+        caps.windows(2).any(|w| w[1] < w[0]),
+        "capacity never shrank: {caps:?}"
+    );
+    assert!(
+        caps.windows(2).any(|w| w[1] > w[0]),
+        "capacity never grew: {caps:?}"
+    );
+    // The compacted capacity is the declared bound's class, per shard.
+    assert_eq!(*caps.last().unwrap(), 4 * 16);
+}
+
+#[test]
+fn shrink_cadence_is_public_not_data_dependent() {
+    // Same shapes, different data, shrink enabled: traces still equal —
+    // the schedule reads only the merge counter.
+    let mut cfg = ShardConfig::with_shards(4);
+    cfg.store.shrink = Some(ShrinkPolicy {
+        every: 2,
+        live_bound: 64,
+    });
+    let sp = ScratchPool::new();
+    let a = trace_history(&sp, cfg, 11);
+    let b = trace_history(&sp, cfg, 0xC0FFEE);
+    assert_eq!(a, b, "shrink schedule leaked data");
+}
+
+#[test]
+#[should_panic(expected = "public capacity bound")]
+fn violating_the_declared_live_bound_fails_loudly() {
+    let c = SeqCtx::new();
+    let sp = ScratchPool::new();
+    let cfg = StoreConfig {
+        shrink: Some(ShrinkPolicy {
+            every: 1,
+            live_bound: 8,
+        }),
+        ..StoreConfig::default()
+    };
+    let mut store = Store::new(cfg);
+    // 100 distinct live keys can not fit the declared bound of 8.
+    let ops: Vec<Op> = (0..100).map(|i| Op::Put { key: i, val: i }).collect();
+    store.execute_epoch(&c, &sp, &ops);
+}
