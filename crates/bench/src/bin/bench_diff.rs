@@ -30,6 +30,36 @@ fn load(path: &Path) -> Result<dob_bench::diff::BenchFile, String> {
     parse_bench_json(&text).map_err(|e| format!("parse {}: {e}", path.display()))
 }
 
+/// The tag-vs-record ratio from the fresh ablation rows ("ours: tag-sort"
+/// vs "ours: record-sort" at the largest common `n`), rendered for the
+/// step summary. `None` when the rows are absent (older artifacts).
+fn tag_sort_headline(files: &[dob_bench::diff::BenchFile]) -> Option<String> {
+    let row = |algo: &str| {
+        files
+            .iter()
+            .flat_map(|f| f.rows.iter())
+            .filter(|r| r.algo == algo)
+            .max_by_key(|r| r.n)
+    };
+    let tag = row("ours: tag-sort")?;
+    let rec = row("ours: record-sort")?;
+    if tag.n != rec.n {
+        return None;
+    }
+    let ratio = |counter: &str| -> Option<f64> {
+        let t = *tag.counters.get(counter)?;
+        let r = *rec.counters.get(counter)?;
+        (t > 0).then(|| r as f64 / t as f64)
+    };
+    Some(format!(
+        "**Tag-sort headline** (n = {}): record-sort / tag-sort = {:.2}× cache misses, \
+         {:.2}× wall (same comparator schedule).",
+        tag.n,
+        ratio("cache_misses").unwrap_or(f64::NAN),
+        ratio("wall_ns").unwrap_or(f64::NAN),
+    ))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let baseline_dir = arg_value(&args, "--baseline", "benches/baseline");
@@ -54,6 +84,7 @@ fn main() {
 
     let mut summary = String::from("## Bench regression gate\n\n");
     let mut failures: Vec<String> = Vec::new();
+    let mut fresh_files: Vec<dob_bench::diff::BenchFile> = Vec::new();
 
     for base_path in &baselines {
         let name = base_path.file_name().unwrap().to_str().unwrap();
@@ -85,6 +116,7 @@ fn main() {
             }
         };
         let d = diff_benches(&base, &fresh);
+        fresh_files.push(fresh);
         summary.push_str(&d.markdown);
         for r in &d.regressions {
             failures.push(format!(
@@ -102,6 +134,14 @@ fn main() {
         for a in &d.added {
             eprintln!("note: {name}: unbaselined new row: {a}");
         }
+    }
+
+    // Tag-vs-record headline: the ablation rows measure the same records
+    // through the same comparator schedule, packed vs Slot-wrapped — the
+    // ratio is the tracked payoff of the tag-sort fast path.
+    if let Some(line) = tag_sort_headline(&fresh_files) {
+        summary.push_str(&format!("\n{line}\n\n"));
+        println!("{line}");
     }
 
     if failures.is_empty() {

@@ -10,8 +10,8 @@
 use metrics::{measure, CacheConfig, TraceMode};
 use obliv_core::scan::{seg_propagate, Schedule, Seg};
 use obliv_core::{
-    bin_place, oblivious_sort_u64, orp_once, send_receive, Engine, Item, OSortParams, OrbaParams,
-    ScratchPool, Slot,
+    bin_place, compact_cells, oblivious_sort_kv, oblivious_sort_u64, orp_once, send_receive,
+    Engine, Item, OSortParams, OrbaParams, ScratchPool, Slot, TagCell,
 };
 use pram::{run_oblivious_sb, HistogramProgram};
 use sortnet::sort_slice_rec;
@@ -123,6 +123,45 @@ fn main() {
         })
         .collect();
     all_ok &= check("oblivious send-receive", &t);
+
+    // Tag-sort fast path: a pure comparator network over packed cells, so
+    // — unlike the post-ORP phases below — equality holds unconditionally,
+    // duplicate keys included.
+    let t: Vec<_> = inputs
+        .iter()
+        .map(|v| {
+            trace(|c| {
+                let mut kv: Vec<(u64, u64)> =
+                    v.iter().enumerate().map(|(i, &x)| (x, i as u64)).collect();
+                oblivious_sort_kv(c, &scratch, &mut kv, Engine::BitonicRec);
+            })
+        })
+        .collect();
+    all_ok &= check("tag-sort (packed key-value cells)", &t);
+
+    // Tag-cell tight compaction: flag positions and flag count must both be
+    // invisible (the fixed shift schedule reads every level fully).
+    let t: Vec<_> = inputs
+        .iter()
+        .map(|v| {
+            trace(|c| {
+                let mut cells: Vec<TagCell> = v
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| {
+                        if x % 3 == 0 {
+                            TagCell::new(i as u128, x as u128)
+                        } else {
+                            TagCell::filler()
+                        }
+                    })
+                    .collect();
+                let mut tr = metrics::Tracked::new(c, &mut cells);
+                compact_cells(c, &scratch, &mut tr);
+            })
+        })
+        .collect();
+    all_ok &= check("tag-cell tight compaction", &t);
 
     // Full oblivious sort — distinct-key inputs (see DESIGN.md: the rank
     // pattern after ORP is seed-determined for distinct keys).

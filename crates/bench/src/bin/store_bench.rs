@@ -7,10 +7,16 @@
 //! The merge and ORAM paths are reported at overlapping batch sizes so the
 //! crossover the size-class dispatcher exploits (per-op merge cost falls
 //! with batch size; per-op ORAM cost is flat) is visible in the table.
+//!
+//! `DOB_BENCH_REPS` bounds the interleaved min-of-reps wall-clock loop of
+//! the sharded scenario (default 7; CI uses a smaller count to cut the
+//! bench job). Only host wall rows are affected — every gated
+//! deterministic counter comes from single metered runs.
 
 use dob_bench::{header, meter_timed, sweep_from_args, BenchSink, Row};
 use fj::{Pool, SeqCtx};
-use metrics::ScratchPool;
+use metrics::{ScratchPool, Tracked};
+use obliv_core::{composite_key, Engine, Item, Slot, TagCell};
 use store::{shard_of, Op, ShardConfig, ShardedStore, ShrinkPolicy, Store, StoreConfig};
 
 /// A deterministic mixed workload: ~half gets, ~3/8 puts, the rest
@@ -44,6 +50,48 @@ fn puts(n: usize, key_space: u64) -> Vec<Op> {
 const SHARD_TABLE: usize = 32768;
 /// Steady-epoch batch size of the sharded scenario.
 const SHARD_BATCH: usize = 1024;
+
+/// Interleaved wall-clock repetitions, overridable with `DOB_BENCH_REPS`
+/// (CI sets a smaller count to cut bench-job time; the deterministic
+/// counter rows are untouched — they come from single metered runs).
+fn reps_from_env() -> u64 {
+    std::env::var("DOB_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(7)
+}
+
+/// The ~96-byte payload shape the merge path's comparator layers carried
+/// before the tag-sort fast path (`Slot<[u64; 6]>` mirrors the retired
+/// `Slot<MergeVal>` footprint) — the record-sort side of the headline.
+type WideVal = [u64; 6];
+
+/// Headline, tag side: sort `m` packed 32-byte cells.
+fn headline_tag_sort<C: fj::Ctx>(c: &C, scratch: &ScratchPool, m: usize) {
+    let mut cells = scratch.lease(m, TagCell::filler());
+    for (i, cell) in cells.iter_mut().enumerate() {
+        let k = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 16;
+        *cell = TagCell::new(composite_key(k, i as u64), i as u128);
+    }
+    let mut t = Tracked::new(c, &mut cells);
+    Engine::BitonicRec.sort_cells(c, scratch, &mut t);
+}
+
+/// Headline, record side: the same keys through the same network wrapped
+/// in merge-record-sized slots.
+fn headline_record_sort<C: fj::Ctx>(c: &C, scratch: &ScratchPool, m: usize) {
+    let mut slots = scratch.lease(m, Slot::<WideVal>::filler());
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let k = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 16;
+        *slot = Slot {
+            sk: composite_key(k, i as u64),
+            ..Slot::real(Item::new(composite_key(k, i as u64), [i as u64; 6]), 0)
+        };
+    }
+    let mut t = Tracked::new(c, &mut slots);
+    Engine::BitonicRec.sort_slots(c, scratch, &mut t);
+}
 
 /// A key universe of `total` keys loading every one of `shards` shards
 /// with exactly `total / shards` keys, so the per-shard declared live
@@ -231,7 +279,7 @@ fn main() {
         pool.run(|c| st.execute_epoch(c, &scratch, &warm));
     }
     let mut wall_mins = [u128::MAX; 2];
-    for r in 0..7u64 {
+    for r in 0..reps_from_env() {
         let ops = sharded_mixed(&keys, SHARD_BATCH, 13 + r);
         for (k, st) in stores.iter_mut().enumerate() {
             let t0 = std::time::Instant::now();
@@ -252,7 +300,53 @@ fn main() {
         ));
     }
 
+    // ---- Tag-sort vs record-sort, on the merge path's working set --------
+    // The ablation behind the epoch rows above: one comparator network of
+    // the merge working-set size, once over packed 32-byte tag cells and
+    // once over the ~96-byte Slot records the pipeline used to push through
+    // every layer. Same schedule, same comparator count — the difference is
+    // pure data movement, which is exactly what the fast path removes.
+    // Counters are metered (gated); walls come from unmetered runs, since
+    // the simulator's per-access overhead is width-independent.
+    println!(
+        "\n== tag-sort vs record-sort ({} comparator slots) ==\n",
+        2 * SHARD_TABLE
+    );
+    header();
+    let m = 2 * SHARD_TABLE;
+    let (rep_tag, _) = meter_timed(|c| headline_tag_sort(c, &scratch, m));
+    let wall_tag = dob_bench::wall_unmetered(3, |c| headline_tag_sort(c, &scratch, m));
+    sink.record(
+        Row {
+            task: "store",
+            algo: "sort: tag cells",
+            n: m,
+            rep: rep_tag,
+        },
+        wall_tag,
+    );
+    let (rep_rec, _) = meter_timed(|c| headline_record_sort(c, &scratch, m));
+    let wall_rec = dob_bench::wall_unmetered(3, |c| headline_record_sort(c, &scratch, m));
+    sink.record(
+        Row {
+            task: "store",
+            algo: "sort: record slots",
+            n: m,
+            rep: rep_rec,
+        },
+        wall_rec,
+    );
+
     sink.finish().expect("failed to write BENCH_store.json");
+
+    println!(
+        "\ntag-sort vs record-sort headline ({} slots): {:.2}x wall, {:.2}x cache misses \
+         (identical {} comparators)",
+        m,
+        wall_rec as f64 / wall_tag.max(1) as f64,
+        rep_rec.cache_misses as f64 / rep_tag.cache_misses.max(1) as f64,
+        rep_tag.comparisons,
+    );
 
     println!("\n== host throughput (ops per second, epoch wall-clock) ==");
     for (algo, n, rate) in &rates {

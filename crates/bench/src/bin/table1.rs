@@ -8,14 +8,18 @@
 //! columns between the oblivious algorithm and its baseline, and the span
 //! separations Table 1 claims. Run with `--full` for two more doublings.
 
-use dob_bench::{growth_exponent, header, lg, meter_timed, sweep_from_args, BenchSink, Row};
+use dob_bench::{
+    growth_exponent, header, lg, meter_timed, sweep_from_args, wall_unmetered, BenchSink, Row,
+};
 use graphs::{
     connected_components, connected_components_insecure, contract_eval, list_rank_insecure_unit,
     list_rank_oblivious_unit, msf, random_expr_tree, random_list, random_tree,
     random_weighted_graph, rooted_tree_stats,
 };
+use metrics::Tracked;
 use obliv_core::{
-    oblivious_sort_u64, rec_sort_items, with_retries, Engine, Item, OSortParams, ScratchPool,
+    composite_key, oblivious_sort_kv, oblivious_sort_u64, rec_sort_items, with_retries, Engine,
+    Item, OSortParams, ScratchPool, Slot,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -25,6 +29,28 @@ fn scrambled(n: usize) -> Vec<u64> {
     (0..n as u64)
         .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15) >> 17)
         .collect()
+}
+
+/// Tag-sort side of the sort ablation: the records as packed 32-byte
+/// cells through `oblivious_sort_kv`.
+fn ablation_tag_sort<C: fj::Ctx>(c: &C, scratch: &ScratchPool, records: &[(u64, u64)]) {
+    let mut v = records.to_vec();
+    oblivious_sort_kv(c, scratch, &mut v, Engine::BitonicRec);
+}
+
+/// Record-sort side: the same records Slot-wrapped through the same
+/// BitonicRec schedule — how every sort site carried records before the
+/// tag-sort fast path landed.
+fn ablation_record_sort<C: fj::Ctx>(c: &C, scratch: &ScratchPool, records: &[(u64, u64)]) {
+    let mut slots = scratch.lease(records.len(), Slot::<(u64, u64)>::filler());
+    for (i, (slot, &(k, v))) in slots.iter_mut().zip(records.iter()).enumerate() {
+        *slot = Slot {
+            sk: composite_key(k, i as u64),
+            ..Slot::real(Item::new(composite_key(k, i as u64), (k, v)), 0)
+        };
+    }
+    let mut t = Tracked::new(c, &mut slots);
+    Engine::BitonicRec.sort_slots(c, scratch, &mut t);
 }
 
 fn main() {
@@ -83,6 +109,61 @@ fn main() {
         );
     }
     shapes.push(("sort work", ours));
+
+    // ---- Sort ablation: tag-sort vs record-sort --------------------------
+    // The same (u64 key, u64 val) records through the same BitonicRec
+    // comparator schedule, once as packed 32-byte tag cells
+    // (`oblivious_sort_kv`, the store's fast path) and once Slot-wrapped
+    // the way every sort site carried records before the fast path. Both
+    // are deterministic, so the gate tracks the gain row by row.
+    let mut tag_rows = Vec::new();
+    let mut rec_rows = Vec::new();
+    for n in sweep_from_args(&[1 << 10, 1 << 12, 1 << 14]) {
+        let records: Vec<(u64, u64)> = scrambled(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i as u64))
+            .collect();
+        // Counters come from one metered run; wall-clock from unmetered
+        // runs — the simulator's per-access overhead is width-independent
+        // and would mask exactly the movement win being measured.
+        let (rep, _) = meter_timed(|c| ablation_tag_sort(c, &scratch, &records));
+        let wall = wall_unmetered(3, |c| ablation_tag_sort(c, &scratch, &records));
+        sink.record(
+            Row {
+                task: "sort",
+                algo: "ours: tag-sort",
+                n,
+                rep,
+            },
+            wall,
+        );
+        tag_rows.push((rep, wall));
+
+        let (rep, _) = meter_timed(|c| ablation_record_sort(c, &scratch, &records));
+        let wall = wall_unmetered(3, |c| ablation_record_sort(c, &scratch, &records));
+        sink.record(
+            Row {
+                task: "sort",
+                algo: "ours: record-sort",
+                n,
+                rep,
+            },
+            wall,
+        );
+        rec_rows.push((rep, wall));
+    }
+    if let (Some(&(tag_rep, tag_wall)), Some(&(rec_rep, rec_wall))) =
+        (tag_rows.last(), rec_rows.last())
+    {
+        println!(
+            "tag-sort vs record-sort headline (largest n): {:.2}x wall, {:.2}x cache misses, \
+             same {} comparators",
+            rec_wall as f64 / tag_wall.max(1) as f64,
+            rec_rep.cache_misses as f64 / tag_rep.cache_misses.max(1) as f64,
+            tag_rep.comparisons,
+        );
+    }
 
     // ---- List ranking ----------------------------------------------------
     let mut ours = Vec::new();

@@ -38,6 +38,22 @@ pub fn meter_with<F: FnOnce(&MeterCtx)>(cfg: CacheConfig, f: F) -> CostReport {
     measure(cfg, TraceMode::Off, f).1
 }
 
+/// Host wall-clock (nanoseconds) of `f` run *unmetered* on the sequential
+/// executor — the min over `reps` runs. Use this for rows whose point is
+/// real data movement: under the metering executor the per-access
+/// simulation overhead is width-independent, so wall-clock there hides
+/// exactly the effect (e.g. tag cells vs wide records) being measured.
+pub fn wall_unmetered<F: FnMut(&fj::SeqCtx)>(reps: u32, mut f: F) -> u128 {
+    let c = fj::SeqCtx::new();
+    let mut best = u128::MAX;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        f(&c);
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    best
+}
+
 pub fn lg(n: usize) -> f64 {
     (n.max(2) as f64).log2()
 }

@@ -15,7 +15,10 @@
 use crate::slot::{sk_of, Slot, Val};
 use fj::Ctx;
 use metrics::{ScratchPool, Tracked};
-use sortnet::{bitonic_sort_flat_par, bitonic_sort_rec, oddeven_sort, randomized_shellsort};
+use sortnet::{
+    bitonic_sort_flat_par, bitonic_sort_rec, cells_merge_rec, cells_sort_rec, oddeven_sort,
+    randomized_shellsort, tag_of, TagCell,
+};
 
 /// Selects the data-oblivious network used for small sorts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -66,6 +69,53 @@ impl Engine {
             }
         }
     }
+
+    /// Sort packed [`TagCell`]s ascending by tag (the tag-sort fast path).
+    /// Length must be a power of two; callers pad with [`TagCell::filler`]
+    /// (tag `u128::MAX`, sorts last).
+    ///
+    /// The bitonic engines run the dedicated branchless cell network (same
+    /// comparator schedule, 32-byte elements, `select_u128` exchanges);
+    /// the remaining engines drive their generic networks with the cell's
+    /// tag extractor. Either way the trace is the engine's fixed function
+    /// of `n`.
+    pub fn sort_cells<C: Ctx>(&self, c: &C, scratch: &ScratchPool, t: &mut Tracked<'_, TagCell>) {
+        match *self {
+            Engine::BitonicRec => {
+                let mut lease = scratch.lease(t.len(), TagCell::filler());
+                let mut tmp = Tracked::new(c, &mut lease);
+                cells_sort_rec(c, t, &mut tmp, true);
+            }
+            Engine::BitonicFlat => bitonic_sort_flat_par(c, t, &tag_of, true),
+            Engine::OddEven => oddeven_sort(c, t, &tag_of),
+            Engine::Shellsort { seed } => {
+                randomized_shellsort(
+                    c,
+                    scratch,
+                    t,
+                    &tag_of,
+                    seed ^ (t.len() as u64).wrapping_mul(0x9E37),
+                );
+            }
+        }
+    }
+
+    /// Merge an already *bitonic* cell sequence (e.g. an ascending sorted
+    /// run followed by a descending one) into ascending order. With the
+    /// recursive bitonic engine this is one cache-blocked merge butterfly —
+    /// `O(n log n)` comparators instead of a full `O(n log² n)` sort; the
+    /// engines without a merge primitive publicly fall back to a full
+    /// [`Engine::sort_cells`] (correct on any input, merge included).
+    pub fn merge_cells<C: Ctx>(&self, c: &C, scratch: &ScratchPool, t: &mut Tracked<'_, TagCell>) {
+        match *self {
+            Engine::BitonicRec => {
+                let mut lease = scratch.lease(t.len(), TagCell::filler());
+                let mut tmp = Tracked::new(c, &mut lease);
+                cells_merge_rec(c, t, &mut tmp, true);
+            }
+            _ => self.sort_cells(c, scratch, t),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +132,58 @@ mod tests {
                 s
             })
             .collect()
+    }
+
+    #[test]
+    fn all_engines_sort_cells_by_tag() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let keys: Vec<u64> = (0..256u64)
+            .map(|i| i.wrapping_mul(2654435761) % 509)
+            .collect();
+        let mut expect: Vec<u64> = keys.clone();
+        expect.sort_unstable();
+        for engine in [
+            Engine::BitonicRec,
+            Engine::BitonicFlat,
+            Engine::OddEven,
+            Engine::Shellsort { seed: 11 },
+        ] {
+            let mut cells: Vec<TagCell> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| TagCell::new(((k as u128) << 64) | i as u128, k as u128))
+                .collect();
+            let mut t = Tracked::new(&c, &mut cells);
+            engine.sort_cells(&c, &sp, &mut t);
+            let got: Vec<u64> = cells.iter().map(|cell| (cell.tag >> 64) as u64).collect();
+            assert_eq!(got, expect, "engine {engine:?}");
+            // Payload lanes travel with their tags.
+            assert!(cells.iter().all(|cell| cell.aux == (cell.tag >> 64)));
+        }
+    }
+
+    #[test]
+    fn all_engines_merge_bitonic_cells() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        for engine in [
+            Engine::BitonicRec,
+            Engine::BitonicFlat,
+            Engine::OddEven,
+            Engine::Shellsort { seed: 3 },
+        ] {
+            let mut cells: Vec<TagCell> = (0..64u128)
+                .chain((0..64u128).rev())
+                .map(|k| TagCell::new(k, k))
+                .collect();
+            let mut t = Tracked::new(&c, &mut cells);
+            engine.merge_cells(&c, &sp, &mut t);
+            assert!(
+                cells.windows(2).all(|w| w[0].tag <= w[1].tag),
+                "engine {engine:?}"
+            );
+        }
     }
 
     #[test]

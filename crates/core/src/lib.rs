@@ -19,6 +19,8 @@
 //! * [`scatter`] — padded multi-way oblivious scatter (stable §F routing
 //!   into fixed-capacity bins; the op→shard router of `dob-store`);
 //! * [`compact`] — sorting-based oblivious tight compaction;
+//! * [`tag_sort`] — the tag-sort fast path: stable KV sorting and tight
+//!   compaction over packed 32-byte cells (the store's hot-path kernels);
 //! * [`baseline`] — insecure parallel mergesort (SPMS substitute).
 //!
 //! See DESIGN.md at the workspace root for the substitution ledger
@@ -38,6 +40,7 @@ pub mod scan;
 pub mod scatter;
 pub mod sendrecv;
 pub mod slot;
+pub mod tag_sort;
 
 pub use baseline::par_merge_sort;
 pub use binplace::{bin_place, set_keys};
@@ -57,3 +60,5 @@ pub use scan::{
 pub use scatter::oblivious_scatter;
 pub use sendrecv::send_receive;
 pub use slot::{composite_key, flags, Item, Slot, Val};
+pub use sortnet::TagCell;
+pub use tag_sort::{compact_cells, oblivious_sort_kv};

@@ -22,8 +22,10 @@ use fj::{counters, Ctx};
 use metrics::Tracked;
 
 /// Below this size, fall back to the sequential network (fits in any
-/// realistic cache line budget and keeps the recursion shallow).
-const BASE: usize = 32;
+/// realistic cache line budget and keeps the recursion shallow). Shared
+/// with the cell networks in [`crate::tag`], which must evaluate the
+/// *same* comparator schedule (enforced by a parity test there).
+pub(crate) const BASE: usize = 32;
 
 /// Run `f(row_index, a_row, b_row)` over matching length-`rowlen` rows of
 /// two equally sized tracked slices, forking in a balanced binary tree.

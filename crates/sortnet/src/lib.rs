@@ -13,6 +13,9 @@
 //! * [`shellsort`] — Goodrich's randomized Shellsort, the `O(n log n)`-
 //!   comparison stand-in for the AKS network (see DESIGN.md §4);
 //! * [`network`] — explicit layered networks, used to regenerate Figure 1;
+//! * [`tag`] — packed 32-byte tag cells (`key ‖ payload` lanes) and the
+//!   branchless recursive bitonic over them: the tag-sort fast path that
+//!   keeps wide records out of the comparator layers;
 //! * [`transpose`] — cache-agnostic parallel matrix transposition, the
 //!   shared skeleton of every recursive butterfly in the workspace.
 
@@ -22,6 +25,7 @@ pub mod cx;
 pub mod network;
 pub mod oddeven;
 pub mod shellsort;
+pub mod tag;
 pub mod transpose;
 
 pub use bitonic::{bitonic_merge_seq, bitonic_sort_flat_par, bitonic_sort_seq};
@@ -32,4 +36,5 @@ pub use cx::{cex, cex_raw, select_u128, select_u64, KeyFn};
 pub use network::{Comparator, Network};
 pub use oddeven::oddeven_sort;
 pub use shellsort::randomized_shellsort;
+pub use tag::{cells_merge_rec, cells_sort_rec, cex_cell, cex_cell_raw, tag_of, TagCell};
 pub use transpose::transpose;

@@ -1,33 +1,52 @@
 //! The batched §F merge path: one epoch's operations are resolved against
 //! the resident table with the paper's sort-and-scan routing pattern
-//! (Ramachandran & Shi §F; cf. [`obliv_core::send_receive`]).
+//! (Ramachandran & Shi §F; cf. [`obliv_core::send_receive`]), evaluated on
+//! the **tag-sort fast path** (DESIGN.md §10): every element is a packed
+//! 32-byte [`TagCell`] — a 16-byte `key ‖ seq` tag and a 16-byte payload
+//! lane — instead of the ~96-byte `Slot<MergeVal>` record a naive
+//! implementation would push through every comparator layer.
 //!
 //! Pipeline, all fixed-pattern given the public shape `(cap, |pending|,
 //! |batch|)`:
 //!
-//! 1. concatenate table records, pending-log ops and the padded batch into
-//!    one slot array, keyed `(key ‖ seq)` — the record (seq 0) leads its
-//!    key-run, ops follow in submission order;
-//! 2. one oblivious sort groups each key's history contiguously;
+//! 1. pack pending-log ops and the padded batch into cells keyed
+//!    `(key ‖ seq)` and sort them — the only full sort left, over the
+//!    small op class `b₂ = pow2(|pending| + |batch|)`;
+//! 2. lay out `[table ascending | fillers | sorted ops descending]` — a
+//!    bitonic sequence, because the resident table is key-sorted by the
+//!    previous rebuild — and run **one bitonic merge** (`O(m log m)`
+//!    comparators, not an `O(m log² m)` sort) to group each key's history
+//!    contiguously, the record (seq 0) leading its run;
 //! 3. a segmented *exclusive* scan with the last-writer-wins transformer
 //!    monoid hands every op the value state produced by the record and all
 //!    earlier writes of its run (sequential within-epoch semantics), and
 //!    every run-last element the key's final state;
-//! 4. one oblivious sort routes batch ops back to their submission slots
-//!    (the send-receive return trip) for a fixed-prefix readout;
-//! 5. one oblivious sort routes the surviving final states to the front,
-//!    rebuilding the resident table at its new public capacity.
+//! 4. the fix-up projects two fresh cell lanes from the (still key-sorted)
+//!    merged array: a *results* lane tagged by submission index and a
+//!    *candidates* lane tagged by key — the wide per-element state never
+//!    rides through another network;
+//! 5. results: one stable [`compact_cells`] pass moves the batch answers
+//!    to the front, then one small sort of the `|batch|`-cell window
+//!    restores submission order for the fixed-prefix readout;
+//! 6. rebuild: because the merged array kept key order, the candidates
+//!    lane is already key-sorted — one stable [`compact_cells`] pass (no
+//!    sort at all) rebuilds the resident table at its new public capacity.
 //!
-//! Because every comparator network, scan and parallel map above touches
-//! addresses that depend only on the public shape, two epochs with the
-//! same shape but different keys/values/op-kinds generate identical traces
-//! (`tests/store.rs`, `obliv_check`).
+//! Relative to the record-sort pipeline this replaces three full wide-slot
+//! sorts with one small sort + one merge + one small sort + two
+//! compactions over dense cells — several-fold less work and far less data
+//! through the cache (the `store_bench`/`bench_diff` rows gate both).
+//!
+//! Because every comparator network, compaction level, scan and parallel
+//! map above touches addresses that depend only on the public shape, two
+//! epochs with the same shape but different keys/values/op-kinds generate
+//! identical traces (`tests/store.rs`, `obliv_check`).
 
 use crate::op::{kind, FlatOp, OpResult, StoreStats};
 use fj::{grain_for, par_for, par_reduce, Ctx};
 use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::{scan_in, Schedule};
-use obliv_core::{set_keys, Engine, Item, Slot};
+use obliv_core::{compact_cells, Engine, TagCell};
 
 /// One resident-table slot. Absent slots are padding: the number of
 /// *present* records is secret, the physical length is public.
@@ -38,25 +57,8 @@ pub struct Rec {
     pub val: u64,
 }
 
-/// Payload carried through the merge network.
-#[derive(Clone, Copy, Debug, Default)]
-struct MergeVal {
-    key: u64,
-    /// 0 = table record; `1..` = ops in submission order (pending first).
-    seq: u64,
-    /// [`kind`] op kinds, or [`REC_KIND`] for table records.
-    kind: u8,
-    /// Put/record value.
-    val: u64,
-    /// Op result: was a value present before this op?
-    res_found: bool,
-    res_val: u64,
-    /// Run-last elements whose final state is "present" become the new
-    /// table record for their key.
-    cand: bool,
-    cand_val: u64,
-}
-
+/// Table records carry this pseudo-kind (they head their key run; every
+/// client op kind from [`kind`] is smaller).
 const REC_KIND: u8 = 255;
 
 /// Last-writer-wins transformer: what an element does to its key's value
@@ -64,6 +66,49 @@ const REC_KIND: u8 = 255;
 const T_KEEP: u8 = 0;
 const T_SET: u8 = 1;
 const T_CLEAR: u8 = 2;
+
+// --- Cell packing -----------------------------------------------------------
+//
+// Merge tag:  `(key << 64) | seq` for real elements, `u128::MAX` for
+// fillers (a real tag can never reach the all-ones pattern: seq ≤
+// |pending| + |batch| ≪ 2^64). Sorting by the tag groups runs by key with
+// the record (seq 0) first and ops in submission order — and keeps every
+// comparison strict, so the networks need no stability argument.
+//
+// Merge aux:  `(kind << 64) | val`.
+//
+// Results lane:    tag = submission index (batch ops only, else filler);
+//                  aux = `(kind << 72) | (found << 64) | prev_val`.
+// Candidates lane: tag = key (run-last surviving states only, else
+//                  filler); aux = final value.
+
+#[inline]
+fn op_cell(key: u64, seq: u64, op_kind: u8, val: u64) -> TagCell {
+    TagCell::new(
+        ((key as u128) << 64) | seq as u128,
+        ((op_kind as u128) << 64) | val as u128,
+    )
+}
+
+#[inline]
+fn cell_key(cell: &TagCell) -> u64 {
+    (cell.tag >> 64) as u64
+}
+
+#[inline]
+fn cell_kind(cell: &TagCell) -> u8 {
+    (cell.aux >> 64) as u8
+}
+
+#[inline]
+fn cell_val(cell: &TagCell) -> u64 {
+    cell.aux as u64
+}
+
+#[inline]
+fn cell_seq(cell: &TagCell) -> u64 {
+    cell.tag as u64
+}
 
 /// Scan element: segment head flag plus a value-state transformer. The
 /// combine below is the standard segmented-scan monoid over transformer
@@ -100,7 +145,7 @@ fn lww_combine(a: Lww, b: Lww) -> Lww {
     }
 }
 
-/// Head/last run boundaries, computed once from the sorted array.
+/// Head/last run boundaries, computed once from the merged array.
 #[derive(Clone, Copy, Debug, Default)]
 struct Bounds {
     head: bool,
@@ -108,13 +153,12 @@ struct Bounds {
 }
 
 #[inline]
-fn transformer_of(s: &Slot<MergeVal>) -> Lww {
-    if !s.is_real() {
+fn transformer_of(cell: &TagCell) -> Lww {
+    if cell.is_filler() {
         return Lww::default();
     }
-    let v = &s.item.val;
-    let (kind, val) = match v.kind {
-        REC_KIND | kind::PUT => (T_SET, v.val),
+    let (kind, val) = match cell_kind(cell) {
+        REC_KIND | kind::PUT => (T_SET, cell_val(cell)),
         kind::DELETE => (T_CLEAR, 0),
         _ => (T_KEEP, 0),
     };
@@ -157,76 +201,64 @@ pub(crate) fn merge_epoch<C: Ctx>(
 ) -> (Vec<OpResult>, StoreStats) {
     let cap = table.len();
     let p = pending.len();
-    let total = cap + p + batch.len();
-    let m = total.next_power_of_two();
+    let b = batch.len();
+    let b2 = (p + b).next_power_of_two();
+    let m = (cap + b2).next_power_of_two();
     debug_assert!(cap_new <= m, "new capacity must fit the merge array");
 
-    // 1. Concatenate: records (seq 0), pending ops, batch ops. Dummy ops
-    //    and absent table slots become fillers — every position is written
-    //    exactly once regardless of contents.
-    let mut slots = scratch.lease(m, Slot::<MergeVal>::filler());
-    for (slot, r) in slots.iter_mut().zip(table.iter()) {
-        *slot = if r.present {
-            Slot::real(
-                Item::new(
-                    0,
-                    MergeVal {
-                        key: r.key,
-                        seq: 0,
-                        kind: REC_KIND,
-                        val: r.val,
-                        ..MergeVal::default()
-                    },
-                ),
-                0,
-            )
-        } else {
-            Slot::filler()
-        };
-    }
-    for (j, (slot, f)) in slots[cap..]
+    // 1. Pack and sort the epoch's ops by (key, seq); dummies become
+    //    fillers — every position is written exactly once regardless of
+    //    contents, and the sort is over the small op class only.
+    let mut ops = scratch.lease(b2, TagCell::filler());
+    for (j, (cell, f)) in ops
         .iter_mut()
         .zip(pending.iter().chain(batch.iter()))
         .enumerate()
     {
-        *slot = if f.kind == kind::DUMMY {
-            Slot::filler()
+        *cell = if f.kind == kind::DUMMY {
+            TagCell::filler()
         } else {
-            Slot::real(
-                Item::new(
-                    0,
-                    MergeVal {
-                        key: f.key,
-                        seq: 1 + j as u64,
-                        kind: f.kind,
-                        val: f.val,
-                        ..MergeVal::default()
-                    },
-                ),
-                0,
-            )
+            op_cell(f.key, 1 + j as u64, f.kind, f.val)
         };
     }
-    c.charge_par(total as u64);
-
-    let mut t = Tracked::new(c, &mut slots);
-
-    // 2. Sort by (key, seq); fillers last. The record (seq 0) heads its
-    //    run, ops follow in submission order.
-    set_keys(c, &mut t, &|s: &Slot<MergeVal>| {
-        if s.is_real() {
-            ((s.item.val.key as u128) << 64) | s.item.val.seq as u128
-        } else {
-            u128::MAX
-        }
-    });
-    engine.sort_slots(c, scratch, &mut t);
-
-    // 3a. Mark run boundaries and gather the scan input (read-only over the
-    //     sorted slots; each output position written once).
-    let mut bounds_store = scratch.lease(m, Bounds::default());
-    let mut lww_store = scratch.lease(m, Lww::default());
+    c.charge_par(b2 as u64);
     {
+        let mut ot = Tracked::new(c, &mut ops);
+        engine.sort_cells(c, scratch, &mut ot);
+    }
+
+    // 2. Merged array: the resident table is key-sorted (reals ascending,
+    //    fillers last) by the previous rebuild, so `[table | fillers |
+    //    sorted ops reversed]` is a bitonic sequence — one merge butterfly
+    //    replaces the full sort of the concatenation.
+    let mut cells = scratch.lease(m, TagCell::filler());
+    for (i, cell) in cells.iter_mut().enumerate() {
+        *cell = if i < cap {
+            let r = table[i];
+            if r.present {
+                op_cell(r.key, 0, REC_KIND, r.val)
+            } else {
+                TagCell::filler()
+            }
+        } else if i >= m - b2 {
+            ops[m - 1 - i]
+        } else {
+            TagCell::filler()
+        };
+    }
+    c.charge_par(m as u64);
+
+    let mut t = Tracked::new(c, &mut cells);
+    engine.merge_cells(c, scratch, &mut t);
+
+    // 3. Mark run boundaries, run the segmented exclusive LWW scan, and
+    //    project the two output lanes — the merged array itself stays
+    //    key-sorted and is never sorted again.
+    let mut res_store = scratch.lease(m, TagCell::filler());
+    let mut cand_store = scratch.lease(m, TagCell::filler());
+    {
+        let mut bounds_store = scratch.lease(m, Bounds::default());
+        let mut lww_store = scratch.lease(m, Lww::default());
         let mut bounds = Tracked::new(c, &mut bounds_store);
         let mut lww = Tracked::new(c, &mut lww_store);
         let br = bounds.as_raw();
@@ -239,14 +271,14 @@ pub(crate) fn merge_epoch<C: Ctx>(
             } else {
                 let prev = tr.get(c, i - 1);
                 c.work(1);
-                prev.is_filler() != s.is_filler() || prev.item.val.key != s.item.val.key
+                prev.is_filler() != s.is_filler() || cell_key(&prev) != cell_key(&s)
             };
             let last = if i + 1 == m {
                 true
             } else {
                 let next = tr.get(c, i + 1);
                 c.work(1);
-                next.is_filler() != s.is_filler() || next.item.val.key != s.item.val.key
+                next.is_filler() != s.is_filler() || cell_key(&next) != cell_key(&s)
             };
             br.set(c, i, Bounds { head, last });
             let mut l = transformer_of(&s);
@@ -254,8 +286,8 @@ pub(crate) fn merge_epoch<C: Ctx>(
             lr.set(c, i, l);
         });
 
-        // 3b. Segmented exclusive scan: position i receives the composed
-        //     state of its run's prefix [run start, i).
+        // Segmented exclusive scan: position i receives the composed state
+        // of its run's prefix [run start, i).
         scan_in(
             c,
             scratch,
@@ -267,63 +299,86 @@ pub(crate) fn merge_epoch<C: Ctx>(
             sched,
         );
 
-        // 3c. Fix-up: every op learns its pre-op state; every run-last
-        //     element learns its key's final state. Unconditional writes.
+        // Fix-up: every op learns its pre-op state; every run-last element
+        // learns its key's final state. Both lanes written unconditionally
+        // at every position.
         let lr = lww.as_raw();
+        let mut res_t = Tracked::new(c, &mut res_store);
+        let mut cand_t = Tracked::new(c, &mut cand_store);
+        let rr = res_t.as_raw();
+        let cr = cand_t.as_raw();
         par_for(c, 0, m, grain_for(c), &|c, i| unsafe {
-            let mut s = tr.get(c, i);
-            let b = br.get(c, i);
+            let s = tr.get(c, i);
+            let bd = br.get(c, i);
             let scanned = lr.get(c, i);
             // Run heads see the empty state no matter what the scan
             // carried over from the previous run.
-            let pre = if b.head { Lww::default() } else { scanned };
+            let pre = if bd.head { Lww::default() } else { scanned };
             let own = transformer_of(&s);
             let (inc_kind, inc_val) = compose(pre, own);
-            s.item.val.res_found = pre.kind == T_SET;
-            s.item.val.res_val = if pre.kind == T_SET { pre.val } else { 0 };
-            s.item.val.cand = b.last && inc_kind == T_SET && s.is_real();
-            s.item.val.cand_val = inc_val;
-            tr.set(c, i, s);
+            let found = pre.kind == T_SET;
+            let prev_val = if found { pre.val } else { 0 };
+            let is_batch_op = !s.is_filler() && cell_seq(&s) > p as u64;
+            rr.set(
+                c,
+                i,
+                TagCell {
+                    tag: if is_batch_op {
+                        (cell_seq(&s) - 1 - p as u64) as u128
+                    } else {
+                        u128::MAX
+                    },
+                    aux: ((cell_kind(&s) as u128) << 72)
+                        | ((found as u128) << 64)
+                        | prev_val as u128,
+                },
+            );
+            let cand = bd.last && inc_kind == T_SET && !s.is_filler();
+            cr.set(
+                c,
+                i,
+                TagCell {
+                    tag: if cand {
+                        cell_key(&s) as u128
+                    } else {
+                        u128::MAX
+                    },
+                    aux: inc_val as u128,
+                },
+            );
         });
     }
 
-    // 4. Route batch ops back to submission order; fixed-prefix readout.
-    set_keys(c, &mut t, &|s: &Slot<MergeVal>| {
-        if s.is_real() && s.item.val.seq > p as u64 {
-            (s.item.val.seq - 1 - p as u64) as u128
-        } else {
-            u128::MAX
-        }
-    });
-    engine.sort_slots(c, scratch, &mut t);
-    // Fixed-pattern readout over the *whole padded batch prefix* — reading
-    // exactly `n_results` slots would leak the real op count within the
-    // size class. The padding suffix holds whatever sorted into the
-    // `u128::MAX` key region; those entries are dropped host-side below.
+    // 4. Results: stable-compact the batch answers to the front, then one
+    //    small sort of the padded-batch window restores submission order.
+    //    The readout covers the *whole padded batch prefix* — reading
+    //    exactly `n_results` slots would leak the real op count within the
+    //    size class; the padding suffix is dropped host-side below.
     let outs: Vec<OutRes> = {
-        let tr = t.as_raw();
-        metrics::par_collect(c, batch.len(), &|c, j| {
+        let mut res_t = Tracked::new(c, &mut res_store);
+        compact_cells(c, scratch, &mut res_t);
+        {
+            let mut win = res_t.range(0, b);
+            engine.sort_cells(c, scratch, &mut win);
+        }
+        let rr = res_t.as_raw();
+        metrics::par_collect(c, b, &|c, j| {
             // SAFETY: read-only phase.
-            let s = unsafe { tr.get(c, j) };
-            debug_assert!(j >= n_results || s.item.val.seq as usize == 1 + p + j);
+            let s = unsafe { rr.get(c, j) };
+            debug_assert!(j >= n_results || s.tag == j as u128);
             OutRes {
-                kind: s.item.val.kind,
-                found: s.item.val.res_found,
-                val: s.item.val.res_val,
+                kind: (s.aux >> 72) as u8,
+                found: (s.aux >> 64) & 1 == 1,
+                val: s.aux as u64,
             }
         })
     };
 
-    // 5. Route final states to the front and rebuild the table at its new
-    //    public capacity (records stay sorted by key).
-    set_keys(c, &mut t, &|s: &Slot<MergeVal>| {
-        if s.is_real() && s.item.val.cand {
-            s.item.val.key as u128
-        } else {
-            u128::MAX
-        }
-    });
-    engine.sort_slots(c, scratch, &mut t);
+    // 5. Rebuild: the candidates lane inherited key order from the merged
+    //    array, so one stable compaction (no sort) moves the surviving
+    //    final states to the front at the new public capacity.
+    let mut cand_t = Tracked::new(c, &mut cand_store);
+    compact_cells(c, scratch, &mut cand_t);
 
     // Guard the rebuild: the surviving final states must fit the new
     // public capacity. Without a shrink schedule this holds by
@@ -333,21 +388,16 @@ pub(crate) fn merge_epoch<C: Ctx>(
     // The count is a fixed-pattern reduce over the whole (public-length)
     // array, gated only by the public config bit.
     if enforce_live_bound {
-        let cand_total = {
-            let tr = t.as_raw();
-            par_reduce(
-                c,
-                0,
-                m,
-                grain_for(c),
-                &|c, i| unsafe {
-                    let s = tr.get(c, i);
-                    (s.is_real() && s.item.val.cand) as u64
-                },
-                &|a, b| a + b,
-            )
-            .unwrap_or(0)
-        };
+        let cr = cand_t.as_raw();
+        let cand_total = par_reduce(
+            c,
+            0,
+            m,
+            grain_for(c),
+            &|c, i| unsafe { !cr.get(c, i).is_filler() as u64 },
+            &|a, b| a + b,
+        )
+        .unwrap_or(0);
         assert!(
             cand_total as usize <= cap_new,
             "{cand_total} live records exceed the public capacity bound {cap_new} \
@@ -360,17 +410,17 @@ pub(crate) fn merge_epoch<C: Ctx>(
     let stats = {
         let mut tt = Tracked::new(c, table.as_mut_slice());
         let ttr = tt.as_raw();
-        let tr = t.as_raw();
+        let cr = cand_t.as_raw();
         par_for(c, 0, cap_new, grain_for(c), &|c, i| unsafe {
-            let s = tr.get(c, i);
-            let keep = s.is_real() && s.item.val.cand;
+            let s = cr.get(c, i);
+            let keep = !s.is_filler();
             ttr.set(
                 c,
                 i,
                 Rec {
                     present: keep,
-                    key: if keep { s.item.val.key } else { 0 },
-                    val: if keep { s.item.val.cand_val } else { 0 },
+                    key: if keep { s.tag as u64 } else { 0 },
+                    val: if keep { s.aux as u64 } else { 0 },
                 },
             );
         });
@@ -577,5 +627,43 @@ mod tests {
         let mut want: Vec<(u64, u64)> = (0..12).map(|i| (i, i)).collect();
         want.push((100, 1));
         assert_eq!(live(&table), want);
+    }
+
+    #[test]
+    fn rebuilt_table_is_key_sorted_with_reals_leading() {
+        // The bitonic-merge step relies on the rebuild invariant: present
+        // records ascending by key, fillers after.
+        let mut table = vec![Rec::default(); 8];
+        let ops: Vec<Op> = [9u64, 2, 7, 4]
+            .iter()
+            .map(|&k| Op::Put {
+                key: k,
+                val: k * 10,
+            })
+            .collect();
+        run(&mut table, 8, &[], &ops, 8);
+        let first_absent = table.iter().position(|r| !r.present).unwrap_or(8);
+        assert_eq!(first_absent, 4);
+        assert!(table[first_absent..].iter().all(|r| !r.present));
+        assert!(table[..first_absent]
+            .windows(2)
+            .all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn extreme_keys_do_not_collide_with_fillers() {
+        // key u64::MAX packs to a tag below u128::MAX (seq keeps it real).
+        let mut table = vec![Rec::default(); 8];
+        let ops = vec![
+            Op::Put {
+                key: u64::MAX,
+                val: 1,
+            },
+            Op::Get { key: u64::MAX },
+            Op::Put { key: 0, val: 2 },
+        ];
+        let res = run(&mut table, 8, &[], &ops, 8);
+        assert_eq!(res[1], OpResult::Value(Some(1)));
+        assert_eq!(live(&table), vec![(0, 2), (u64::MAX, 1)]);
     }
 }

@@ -15,13 +15,17 @@
 //! [`gather_results`] is the send-receive return trip: per-shard results,
 //! tagged with their submission index, flow through one oblivious sort
 //! back to submission order, followed by a fixed-prefix readout of the
-//! whole padded batch.
+//! whole padded batch. The gather rides the tag-sort fast path (DESIGN.md
+//! §10): each result packs into one 32-byte [`TagCell`] — submission index
+//! in the tag lane, `(agg ‖ found ‖ val)` in the payload lane — so the
+//! return-trip network moves dense cells instead of `Slot`-wrapped
+//! records.
 
 use crate::op::{kind, FlatOp, MIN_CLASS};
 use fj::Ctx;
 use metrics::{ScratchPool, Tracked};
 use obliv_core::scatter::oblivious_scatter;
-use obliv_core::{set_keys, Engine, Item, Result, Slot};
+use obliv_core::{Engine, Item, Result, Slot, TagCell};
 
 /// The public shard-assignment hash: a fixed multiplicative hash of the
 /// key, taking the top `log2(shards)` bits. Deterministic and publicly
@@ -142,25 +146,21 @@ pub(crate) fn gather_results<C: Ctx>(
 ) -> Vec<OpResultSlot> {
     debug_assert!(entries.len() >= b);
     let m = entries.len().next_power_of_two();
-    let mut slots = scratch.lease(m, Slot::<OpResultSlot>::filler());
-    for (slot, &(i, v)) in slots.iter_mut().zip(entries.iter()) {
-        *slot = if i == u64::MAX {
-            Slot::filler()
+    let mut cells = scratch.lease(m, TagCell::filler());
+    for (cell, &(i, v)) in cells.iter_mut().zip(entries.iter()) {
+        *cell = if i == u64::MAX {
+            TagCell::filler()
         } else {
-            Slot::real(Item::new(i as u128, v), 0)
+            TagCell::new(
+                i as u128,
+                ((v.agg as u128) << 65) | ((v.found as u128) << 64) | v.val as u128,
+            )
         };
     }
     c.charge_par(entries.len() as u64);
 
-    let mut t = Tracked::new(c, &mut slots);
-    set_keys(c, &mut t, &|s: &Slot<OpResultSlot>| {
-        if s.is_real() {
-            s.item.key
-        } else {
-            u128::MAX
-        }
-    });
-    engine.sort_slots(c, scratch, &mut t);
+    let mut t = Tracked::new(c, &mut cells);
+    engine.sort_cells(c, scratch, &mut t);
 
     // Fixed-pattern readout over the whole padded batch prefix — reading
     // fewer slots would leak the real op count within the class.
@@ -168,11 +168,15 @@ pub(crate) fn gather_results<C: Ctx>(
     metrics::par_collect(c, b, &|c, j| {
         // SAFETY: read-only phase.
         let s = unsafe { tr.get(c, j) };
-        debug_assert!(!s.is_real() || s.item.key as usize == j);
-        if s.is_real() {
-            s.item.val
-        } else {
+        debug_assert!(s.is_filler() || s.tag as usize == j);
+        if s.is_filler() {
             OpResultSlot::default()
+        } else {
+            OpResultSlot {
+                agg: (s.aux >> 65) & 1 == 1,
+                found: (s.aux >> 64) & 1 == 1,
+                val: s.aux as u64,
+            }
         }
     })
 }

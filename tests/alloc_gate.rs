@@ -1,9 +1,11 @@
 //! Allocation-count gate for the scratch-arena memory discipline.
 //!
-//! A counting global allocator measures how many heap allocations one
-//! steady-state `oblivious_sort_u64` performs. This file is its own
-//! integration-test binary, so the global allocator and the single test
-//! below own the whole process — no other test can pollute the counts.
+//! A counting global allocator measures how many heap allocations the
+//! steady-state hot paths perform (`oblivious_sort_u64`, the tag-sort
+//! fast path, and a full store merge epoch). This file is its own
+//! integration-test binary, so the global allocator and the tests below
+//! own the whole process — and the tests serialize on a mutex so no
+//! concurrent test pollutes another's counts.
 //!
 //! Measured history (SeqCtx, n = 20_000, practical params):
 //!
@@ -49,11 +51,16 @@ fn allocs_during<R>(f: impl FnOnce() -> R) -> (R, u64) {
     (r, ALLOCS.load(Ordering::Relaxed) - before)
 }
 
+/// The test harness runs tests on threads; counting is process-global, so
+/// every test takes this lock around its measured sections.
+static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn oblivious_sort_allocation_budget() {
     use fj::SeqCtx;
     use obliv_core::{oblivious_sort_u64, OSortParams, ScratchPool};
 
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
     let c = SeqCtx::new();
     let scratch = ScratchPool::new();
     let n = 20_000usize;
@@ -95,5 +102,98 @@ fn oblivious_sort_allocation_budget() {
         scratch.fresh_allocs(),
         fresh_after_warmup,
         "the steady-state call should reuse pooled buffers, not allocate new backing"
+    );
+}
+
+#[test]
+fn tag_sort_allocation_budget() {
+    use fj::SeqCtx;
+    use obliv_core::{oblivious_sort_kv, Engine, ScratchPool};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let c = SeqCtx::new();
+    let scratch = ScratchPool::new();
+    let n = 20_000usize;
+    let records: Vec<(u64, u64)> = (0..n as u64)
+        .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 20, i))
+        .collect();
+
+    // Warm-up call: populates the pool's cell classes.
+    let mut v = records.clone();
+    let (_, cold) = allocs_during(|| oblivious_sort_kv(&c, &scratch, &mut v, Engine::BitonicRec));
+    let fresh_after_warmup = scratch.fresh_allocs();
+
+    // Steady state: the tag buffer and the network's merge scratch are
+    // leases, so the whole sort must stay inside the sort budget (in
+    // practice it performs zero heap allocations).
+    let mut v2 = records.clone();
+    let (_, steady) =
+        allocs_during(|| oblivious_sort_kv(&c, &scratch, &mut v2, Engine::BitonicRec));
+
+    let mut expect = records;
+    expect.sort_by_key(|&(k, _)| k);
+    assert_eq!(v2, expect, "tag-sort must stay correct under the arena");
+    println!("tag-sort cold allocations:   {cold}");
+    println!("tag-sort steady allocations: {steady}");
+
+    assert!(
+        steady <= STEADY_BUDGET,
+        "steady-state oblivious_sort_kv performed {steady} heap allocations, \
+         budget is {STEADY_BUDGET}"
+    );
+    assert_eq!(
+        scratch.fresh_allocs(),
+        fresh_after_warmup,
+        "warm tag-sort calls must lease the tag buffer, not allocate backing"
+    );
+}
+
+#[test]
+fn merge_epoch_pool_stays_warm_on_tag_path() {
+    use fj::SeqCtx;
+    use obliv_core::ScratchPool;
+    use store::{Op, ShrinkPolicy, Store, StoreConfig};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let c = SeqCtx::new();
+    let scratch = ScratchPool::new();
+    // A shrink schedule pins the capacity, so steady epochs repeat the
+    // same public shape (and hence the same lease classes).
+    let cfg = StoreConfig {
+        shrink: Some(ShrinkPolicy {
+            every: 1,
+            live_bound: 64,
+        }),
+        ..StoreConfig::default()
+    };
+    let mut store = Store::new(cfg);
+    let epoch_ops = |salt: u64| -> Vec<Op> {
+        (0..64u64)
+            .map(|i| {
+                let key = i.wrapping_mul(31).wrapping_add(salt) % 64;
+                match i % 3 {
+                    0 => Op::Put { key, val: i + salt },
+                    1 => Op::Get { key },
+                    _ => Op::Delete { key },
+                }
+            })
+            .collect()
+    };
+    // Two warm-up epochs reach the steady capacity class and fill the pool.
+    store.execute_epoch(&c, &scratch, &epoch_ops(1));
+    store.execute_epoch(&c, &scratch, &epoch_ops(2));
+    let fresh_after_warmup = scratch.fresh_allocs();
+
+    // Steady epochs on the tag-sort merge path: zero pool growth — every
+    // cell lane (op sort, merge array, result/candidate lanes, compaction
+    // double buffers) is leased, never allocated per call.
+    for round in 3..6u64 {
+        store.execute_epoch(&c, &scratch, &epoch_ops(round));
+    }
+    assert_eq!(
+        scratch.fresh_allocs(),
+        fresh_after_warmup,
+        "steady merge epochs grew the scratch pool: a tag-sort lane is \
+         being allocated per call instead of leased"
     );
 }

@@ -16,7 +16,7 @@
 
 use dob::prelude::*;
 use obliv_core::scan::Schedule;
-use obliv_core::{bin_place, orp_once, Item, Slot};
+use obliv_core::{bin_place, compact_cells, oblivious_sort_kv, orp_once, Item, Slot, TagCell};
 
 mod common;
 use common::dirty;
@@ -92,12 +92,36 @@ fn kernel_matrix_traces_survive_reuse() {
             sortnet::randomized_shellsort(c, pool, &mut t, &|x: &u64| *x as u128, 9);
         })
     };
+    let tag_sort_run = |pool: &ScratchPool| {
+        trace(|c| {
+            let mut kv: Vec<(u64, u64)> =
+                (0..300u64).map(|i| (i.wrapping_mul(7) % 48, i)).collect();
+            oblivious_sort_kv(c, pool, &mut kv, Engine::BitonicRec);
+        })
+    };
+    let compact_run = |pool: &ScratchPool| {
+        trace(|c| {
+            let mut cells: Vec<TagCell> = (0..256u128)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        TagCell::new(i, i)
+                    } else {
+                        TagCell::filler()
+                    }
+                })
+                .collect();
+            let mut t = Tracked::new(c, &mut cells);
+            compact_cells(c, pool, &mut t);
+        })
+    };
 
     for (name, run) in [
         ("orp_once", &orp_run as &dyn Fn(&ScratchPool) -> (u64, u64)),
         ("bin_place", &binplace_run),
         ("send_receive", &sr_run),
         ("randomized_shellsort", &shellsort_run),
+        ("oblivious_sort_kv", &tag_sort_run),
+        ("compact_cells", &compact_run),
     ] {
         let fresh = ScratchPool::new();
         let dirty_pool = ScratchPool::new();
@@ -141,4 +165,59 @@ fn outputs_identical_fresh_vs_reused_under_seq_and_pool() {
     let mut p2 = keys.clone();
     exec.run(|c| oblivious_sort_u64(c, &par_pool, &mut p2, OSortParams::practical(n), 31));
     assert_eq!(a, p2, "Pool: steady-state reuse changed the output");
+}
+
+/// The tag-sort fast path under the same discipline: Definition-1 trace
+/// equality on fresh vs dirty pools, and byte-identical outputs under the
+/// sequential executor and the work-stealing pool (incl. steady-state
+/// reuse of one pool instance).
+#[test]
+fn tag_sort_trace_and_outputs_survive_reuse_under_seq_and_pool() {
+    let n = 5000usize;
+    let records: Vec<(u64, u64)> = (0..n as u64)
+        .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 24, i))
+        .collect();
+
+    // Trace equality, fresh vs dirty vs steady reuse.
+    let run_trace = |pool: &ScratchPool| {
+        trace(|c| {
+            let mut v = records.clone();
+            oblivious_sort_kv(c, pool, &mut v, Engine::BitonicRec);
+        })
+    };
+    let fresh = ScratchPool::new();
+    let a = run_trace(&fresh);
+    let reused = ScratchPool::new();
+    dirty(&reused);
+    assert_eq!(
+        a,
+        run_trace(&reused),
+        "dirty pool changed the tag-sort trace"
+    );
+    assert_eq!(
+        a,
+        run_trace(&reused),
+        "second reuse changed the tag-sort trace"
+    );
+
+    // Output equality under SeqCtx and Pool(4), fresh and dirty.
+    let c = SeqCtx::new();
+    let mut want = records.clone();
+    oblivious_sort_kv(&c, &ScratchPool::new(), &mut want, Engine::BitonicRec);
+
+    let seq_pool = ScratchPool::new();
+    dirty(&seq_pool);
+    let mut seq_out = records.clone();
+    oblivious_sort_kv(&c, &seq_pool, &mut seq_out, Engine::BitonicRec);
+    assert_eq!(seq_out, want, "SeqCtx: dirty pool changed tag-sort output");
+
+    let exec = Pool::new(4);
+    let par_pool = ScratchPool::new();
+    dirty(&par_pool);
+    let mut p1 = records.clone();
+    exec.run(|c| oblivious_sort_kv(c, &par_pool, &mut p1, Engine::BitonicRec));
+    assert_eq!(p1, want, "Pool: dirty pool changed tag-sort output");
+    let mut p2 = records.clone();
+    exec.run(|c| oblivious_sort_kv(c, &par_pool, &mut p2, Engine::BitonicRec));
+    assert_eq!(p2, want, "Pool: steady-state reuse changed tag-sort output");
 }
