@@ -7,8 +7,13 @@
 //! * `E4` — §4.2: van Emde Boas vs level-order ORAM tree layout;
 //! * `E6` — §3.4/§E: practical vs theory sorting variant constants
 //!   (comparisons per n·log n).
+//!
+//! With `--json`, writes the deterministic E1/E2/E6 rows to
+//! `BENCH_ablations.json` for the CI regression gate (`bench_diff`), so
+//! the separations the ablations demonstrate are pinned, not just
+//! printed.
 
-use dob_bench::{header, lg, meter, meter_with, print_row, sweep_from_args, Row};
+use dob_bench::{header, lg, meter, meter_with, sweep_from_args, BenchSink, Row};
 use metrics::{CacheConfig, Tracked};
 use obliv_core::{
     oblivious_sort_u64, rec_orba, with_retries, Engine, Item, OSortParams, OrbaParams, ScratchPool,
@@ -28,31 +33,40 @@ fn key64(x: &u64) -> u128 {
 
 fn main() {
     let scratch = ScratchPool::new();
+    let mut sink = BenchSink::from_args("ablations");
     println!("== E1: Theorem E.1 — recursive vs flat bitonic ==\n");
     header();
     for n in sweep_from_args(&[1 << 11, 1 << 12, 1 << 13, 1 << 14]) {
         let cfg = CacheConfig::new(1 << 10, 16); // small cache stresses Q
+        let t0 = std::time::Instant::now();
         let rep = meter_with(cfg, |c| {
             let mut v = scrambled(n);
             sort_slice_rec(c, &mut v, &key64, true);
         });
-        print_row(&Row {
-            task: "E1",
-            algo: "bitonic recursive (ours)",
-            n,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "E1",
+                algo: "bitonic recursive (ours)",
+                n,
+                rep,
+            },
+            t0.elapsed().as_nanos(),
+        );
+        let t0 = std::time::Instant::now();
         let rep = meter_with(cfg, |c| {
             let mut v = scrambled(n);
             let mut t = Tracked::new(c, &mut v);
             bitonic_sort_flat_par(c, &mut t, &key64, true);
         });
-        print_row(&Row {
-            task: "E1",
-            algo: "bitonic flat (naive)",
-            n,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "E1",
+                algo: "bitonic flat (naive)",
+                n,
+                rep,
+            },
+            t0.elapsed().as_nanos(),
+        );
     }
     println!("(same comparator count; recursive wins on span and on Q — Thm E.1)\n");
 
@@ -61,15 +75,19 @@ fn main() {
     for n in sweep_from_args(&[1 << 11, 1 << 12, 1 << 13]) {
         let p = OrbaParams::for_n(n);
         let items: Vec<Item<u64>> = (0..n as u64).map(|i| Item::new(i as u128, i)).collect();
+        let t0 = std::time::Instant::now();
         let rep = meter(|c| {
             let _ = with_retries(64, |a| rec_orba(c, &scratch, &items, p, 77 + a as u64));
         });
-        print_row(&Row {
-            task: "E2",
-            algo: "REC-ORBA (paper params)",
-            n,
-            rep,
-        });
+        sink.record(
+            Row {
+                task: "E2",
+                algo: "REC-ORBA (paper params)",
+                n,
+                rep,
+            },
+            t0.elapsed().as_nanos(),
+        );
     }
     // Load concentration & overflow frequency at paper vs aggressive Z.
     let n = 1 << 12;
@@ -156,19 +174,24 @@ fn main() {
             ("practical (bitonic+recsort)", OSortParams::practical(n)),
             ("theory (shellsort+merge)", OSortParams::theory(n)),
         ] {
+            let t0 = std::time::Instant::now();
             let rep = meter(|c| {
                 let mut v = scrambled(n);
                 oblivious_sort_u64(c, &scratch, &mut v, params, 5);
             });
             let cmp_per = rep.comparisons as f64 / (n as f64 * lg(n));
-            print_row(&Row {
-                task: "E6",
-                algo,
-                n,
-                rep,
-            });
+            sink.record(
+                Row {
+                    task: "E6",
+                    algo,
+                    n,
+                    rep,
+                },
+                t0.elapsed().as_nanos(),
+            );
             println!("    -> comparisons / (n log n) = {cmp_per:.2}");
         }
     }
     println!("(the practical variant trades a log log n work factor for small constants — §3.4)");
+    sink.finish().expect("failed to write BENCH_ablations.json");
 }

@@ -60,6 +60,33 @@ fn tag_sort_headline(files: &[dob_bench::diff::BenchFile]) -> Option<String> {
     ))
 }
 
+/// The pipelined-vs-synchronous stream throughput ratio from the fresh
+/// store rows, rendered for the step summary. `None` when the rows are
+/// absent (older artifacts).
+fn pipelined_headline(files: &[dob_bench::diff::BenchFile]) -> Option<String> {
+    let row = |algo: &str| {
+        files
+            .iter()
+            .flat_map(|f| f.rows.iter())
+            .find(|r| r.algo == algo)
+    };
+    let sync = row("sync: stream pool4 wall")?;
+    let pipe = row("pipelined: stream pool4 wall")?;
+    if sync.n != pipe.n {
+        return None;
+    }
+    let ws = *sync.counters.get("wall_ns")?;
+    let wp = *pipe.counters.get("wall_ns")?;
+    (wp > 0).then(|| {
+        format!(
+            "**Pipelined-epoch headline** (n = {}): pipelined / synchronous = {:.2}× \
+             client-batch throughput (double-buffered group commit, same padded shapes).",
+            sync.n,
+            ws as f64 / wp as f64,
+        )
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let baseline_dir = arg_value(&args, "--baseline", "benches/baseline");
@@ -140,6 +167,13 @@ fn main() {
     // through the same comparator schedule, packed vs Slot-wrapped — the
     // ratio is the tracked payoff of the tag-sort fast path.
     if let Some(line) = tag_sort_headline(&fresh_files) {
+        summary.push_str(&format!("\n{line}\n\n"));
+        println!("{line}");
+    }
+
+    // Pipelined-vs-synchronous headline: same client stream, double
+    // buffering turns per-batch merges into group commits.
+    if let Some(line) = pipelined_headline(&fresh_files) {
         summary.push_str(&format!("\n{line}\n\n"));
         println!("{line}");
     }

@@ -15,7 +15,7 @@ use obliv_core::{
 };
 use pram::{run_oblivious_sb, HistogramProgram};
 use sortnet::sort_slice_rec;
-use store::{Op, ShardConfig, ShardedStore, Store, StoreConfig};
+use store::{Op, PipelinedStore, ShardConfig, ShardedStore, Store, StoreConfig};
 
 fn trace<F: FnOnce(&metrics::MeterCtx)>(f: F) -> (u64, u64) {
     let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, f);
@@ -253,6 +253,44 @@ fn main() {
         })
         .collect();
     all_ok &= check("sharded-store (route + commits + gather)", &t);
+
+    // Pipelined store: the double-buffered front end. Handoff cadence,
+    // the in-flight epoch's padded log, and the read-your-writes consult
+    // must all be shape-only — same trace for same (epoch sizes, query
+    // count) across entirely different keys/values/op-kinds. Under the
+    // metered executor the detached merge resolves inline but stays "in
+    // flight" until joined, so the consult deterministically exercises
+    // the snapshot ++ in-flight-log ++ open-buffer path.
+    let t: Vec<_> = inputs
+        .iter()
+        .map(|v| {
+            trace(|c| {
+                let sp = std::sync::Arc::new(ScratchPool::new());
+                let mut p = PipelinedStore::with_scratch(Store::new(StoreConfig::default()), sp);
+                for (i, &x) in v.iter().take(48).enumerate() {
+                    p.submit(match i % 3 {
+                        0 => Op::Put { key: x, val: x * 3 },
+                        1 => Op::Get { key: x / 2 },
+                        _ => Op::Delete { key: x },
+                    });
+                }
+                let h = p.commit_async(c);
+                for &x in v.iter().take(16) {
+                    p.submit(if x % 2 == 0 {
+                        Op::Get { key: x }
+                    } else {
+                        Op::Put { key: x, val: x }
+                    });
+                }
+                let keys: Vec<u64> = v.iter().take(8).map(|&x| x / 3).collect();
+                let _ = p.read_now(c, &keys);
+                let _ = p.wait(&h);
+                let h2 = p.commit_async(c);
+                let _ = p.wait(&h2);
+            })
+        })
+        .collect();
+    all_ok &= check("pipelined store (handoff + consult)", &t);
 
     // PRAM simulation with data-dependent write addresses.
     let t: Vec<_> = inputs

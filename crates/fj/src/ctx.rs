@@ -17,6 +17,9 @@
 //! `work` and `touch` are deliberately no-ops on the non-metered executors
 //! so the abstraction costs nothing in release builds.
 
+use crate::task::Deferred;
+use std::panic::{self, AssertUnwindSafe};
+
 /// Identifier of a logical memory buffer registered with the context.
 ///
 /// The value is the buffer's base address in *words* inside the context's
@@ -83,6 +86,26 @@ pub trait Ctx: Sync {
     /// Bump a semantic counter (see [`counters`]). No-op unless metered.
     #[inline(always)]
     fn count(&self, _counter: usize, _n: u64) {}
+
+    /// Hand `f` to the executor as a **detached task** and return a
+    /// [`Deferred`] handle for its result; the caller keeps running.
+    ///
+    /// Unlike [`join`](Ctx::join), the task is decoupled from the
+    /// spawning frame (hence `'static`): it may still be running after
+    /// this call returns, and the handle may outlive the frame. The pool
+    /// executor queues the task for its workers; executors without
+    /// background workers (sequential, metered) run `f` inline and return
+    /// an already-resolved handle, so code written against this method
+    /// stays executable — and meterable, with a deterministic trace — on
+    /// every context. A panic inside `f` is captured and re-raised at
+    /// [`Deferred::join`], never at the spawn site.
+    fn spawn_detached<R, F>(&self, f: F) -> Deferred<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&Self) -> R + Send + 'static,
+    {
+        Deferred::ready_result(panic::catch_unwind(AssertUnwindSafe(|| f(self))))
+    }
 
     /// Account `n` units of work performed by an embarrassingly parallel
     /// map (cost shape of a balanced fork tree: `n` work, `O(log n)`

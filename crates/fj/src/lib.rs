@@ -21,8 +21,10 @@ mod ctx;
 pub mod par;
 mod pool;
 mod seq;
+mod task;
 
 pub use ctx::{counters, grain_for, Access, BufId, Ctx, DEFAULT_GRAIN};
 pub use par::{par_chunks_mut, par_for, par_reduce, par_zip_mut};
 pub use pool::Pool;
 pub use seq::SeqCtx;
+pub use task::Deferred;

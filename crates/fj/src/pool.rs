@@ -18,6 +18,7 @@
 //! `UnsafeCell` guarded by the latch's release/acquire pair.
 
 use crate::ctx::Ctx;
+use crate::task::{Deferred, TaskState};
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, UnsafeCell};
@@ -170,6 +171,22 @@ where
     }
 }
 
+/// A heap-owned job for detached tasks: unlike [`StackJob`], its lifetime
+/// is decoupled from any stack frame, so it can sit in the injector after
+/// the spawning call has returned.
+fn heap_job(f: Box<dyn FnOnce() + Send>) -> JobRef {
+    unsafe fn execute(data: *const ()) {
+        // SAFETY: `data` came from `Box::into_raw` below and each JobRef is
+        // executed exactly once, so reconstituting the box is sound.
+        let f = unsafe { Box::from_raw(data as *mut Box<dyn FnOnce() + Send>) };
+        f();
+    }
+    JobRef {
+        data: Box::into_raw(Box::new(f)) as *const (),
+        exec: execute,
+    }
+}
+
 // --------------------------------------------------------------------------
 // Sleep machinery
 // --------------------------------------------------------------------------
@@ -221,6 +238,10 @@ struct Registry {
     sleep: Sleep,
     terminate: AtomicBool,
     nthreads: usize,
+    /// Detached tasks spawned but not yet finished. The owning `Pool`'s
+    /// drop drains this to zero before telling workers to terminate, so a
+    /// queued detached job is never abandoned un-run.
+    detached: AtomicUsize,
 }
 
 struct WorkerThread {
@@ -338,6 +359,9 @@ fn worker_main(registry: Arc<Registry>, index: usize, deque: Deque<JobRef>) {
 pub struct Pool {
     registry: Arc<Registry>,
     handles: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Only the pool that spawned the workers tears them down; non-owning
+    /// handles (created for detached tasks) drop without side effects.
+    owner: bool,
 }
 
 impl Pool {
@@ -352,6 +376,7 @@ impl Pool {
             sleep: Sleep::new(),
             terminate: AtomicBool::new(false),
             nthreads,
+            detached: AtomicUsize::new(0),
         });
         let handles = deques
             .into_iter()
@@ -367,6 +392,20 @@ impl Pool {
         Pool {
             registry,
             handles: Mutex::new(handles),
+            owner: true,
+        }
+    }
+
+    /// A non-owning handle on the same registry: detached tasks receive
+    /// one as their `&Pool` context, so nested joins inside the task still
+    /// resolve [`current_worker`](Pool::current_worker) against the right
+    /// registry (the check is by registry pointer, which the handle
+    /// shares). Dropping a handle never terminates the workers.
+    fn handle(&self) -> Pool {
+        Pool {
+            registry: Arc::clone(&self.registry),
+            handles: Mutex::new(Vec::new()),
+            owner: false,
         }
     }
 
@@ -487,10 +526,50 @@ impl Ctx for Pool {
             None => self.run(move |p| p.join_worker(p.current_worker().unwrap(), a, b)),
         }
     }
+
+    /// Queue `f` for the workers and return immediately. The task runs
+    /// with a non-owning [`Pool::handle`] as its context, so it can fork
+    /// freely; its panic (if any) is captured into the [`Deferred`] and
+    /// re-raised at join.
+    fn spawn_detached<R, F>(&self, f: F) -> Deferred<R>
+    where
+        R: Send + 'static,
+        F: FnOnce(&Self) -> R + Send + 'static,
+    {
+        let state = Arc::new(TaskState::new());
+        let task_state = Arc::clone(&state);
+        let ctx = self.handle();
+        let registry = Arc::clone(&self.registry);
+        registry.detached.fetch_add(1, Ordering::SeqCst);
+        let job: Box<dyn FnOnce() + Send> = Box::new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+            // Publish the result before releasing the drop barrier: once
+            // `detached` hits zero the owner may tear the pool down, and
+            // joiners must already be able to observe completion.
+            task_state.complete(result);
+            let reg = &*ctx.registry;
+            reg.detached.fetch_sub(1, Ordering::SeqCst);
+            reg.sleep.notify();
+        });
+        self.registry.injector.push(heap_job(job));
+        self.registry.sleep.notify();
+        Deferred::from_task(state)
+    }
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
+        if !self.owner {
+            return;
+        }
+        // Drop barrier: let every spawned-but-unfinished detached task run
+        // to completion before workers terminate. Unjoined tasks are thus
+        // never silently dropped, and a `Deferred` held past the pool's
+        // life joins an already-completed slot.
+        while self.registry.detached.load(Ordering::SeqCst) > 0 {
+            self.registry.sleep.notify();
+            thread::yield_now();
+        }
         self.registry.terminate.store(true, Ordering::Release);
         let handles = std::mem::take(&mut *self.handles.lock());
         for h in handles {
@@ -593,6 +672,75 @@ mod tests {
             let pool = Pool::new(2);
             assert_eq!(pool.join(|_| 1, |_| 2), (1, 2));
         }
+    }
+
+    #[test]
+    fn spawn_detached_runs_and_joins() {
+        let pool = Pool::new(2);
+        let d = pool.spawn_detached(|c| fib(c, 20));
+        // The spawner is free to do other work while the task runs.
+        let inline = fib_seq(20);
+        assert_eq!(d.join(), inline);
+    }
+
+    #[test]
+    fn spawn_detached_panic_surfaces_at_join() {
+        let pool = Pool::new(2);
+        let d = pool.spawn_detached(|_| -> u64 { panic!("detached boom") });
+        assert!(panic::catch_unwind(AssertUnwindSafe(|| d.join())).is_err());
+        // The pool is still usable afterwards.
+        assert_eq!(pool.join(|_| 1, |_| 2), (1, 2));
+    }
+
+    #[test]
+    fn detached_task_can_fork_on_its_handle() {
+        let pool = Pool::new(4);
+        let d = pool.spawn_detached(|c| {
+            let (a, b) = c.join(|c| fib(c, 18), |c| fib(c, 16));
+            a + b
+        });
+        assert_eq!(d.join(), fib_seq(18) + fib_seq(16));
+    }
+
+    #[test]
+    fn drop_barrier_finishes_unjoined_tasks() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let d = {
+            let pool = Pool::new(2);
+            let hits = Arc::clone(&hits);
+            let d = pool.spawn_detached(move |_| {
+                thread::sleep(Duration::from_millis(10));
+                hits.fetch_add(1, Ordering::SeqCst);
+                7u64
+            });
+            // `pool` drops here with the task possibly still queued; drop
+            // must wait for it rather than abandon it.
+            d
+        };
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(d.is_done());
+        assert_eq!(d.join(), 7);
+    }
+
+    #[test]
+    fn is_done_eventually_flips_without_joining() {
+        let pool = Pool::new(1);
+        let d = pool.spawn_detached(|_| 1u64);
+        for _ in 0..10_000 {
+            if d.is_done() {
+                break;
+            }
+            thread::yield_now();
+        }
+        assert_eq!(d.join(), 1);
+    }
+
+    #[test]
+    fn seq_ctx_spawn_detached_resolves_inline() {
+        let c = crate::SeqCtx::new();
+        let d = c.spawn_detached(|_| 6 * 7);
+        assert!(d.is_done());
+        assert_eq!(d.join(), 42);
     }
 
     #[test]

@@ -32,6 +32,13 @@
 //! with contents fresh-coin simulatable (the classic tree-ORAM argument).
 //! See DESIGN.md §8–§9 and `tests/store.rs` / `tests/sharded.rs`.
 //!
+//! A [`PipelinedStore`] adds a double-buffered front end on top of either
+//! engine: ops for epoch N+1 are accepted while epoch N's merge runs as a
+//! detached fork-join task, with strict read-your-writes through an
+//! oblivious consult of the in-flight epoch's padded op log. Its handoff
+//! cadence and every consult shape are functions of batch sizes only —
+//! the same contract as above (DESIGN.md §11).
+//!
 //! ```
 //! use fj::SeqCtx;
 //! use metrics::ScratchPool;
@@ -49,6 +56,7 @@
 
 mod merge;
 mod op;
+mod pipeline;
 mod router;
 mod shard;
 mod store;
@@ -58,4 +66,5 @@ pub use crate::store::{
 };
 pub use merge::Rec;
 pub use op::{size_class, EpochPath, Op, OpResult, StoreStats, MIN_CLASS};
+pub use pipeline::{EpochHandle, PipelineTarget, PipelinedStore, Ticket};
 pub use router::{shard_class, shard_of};

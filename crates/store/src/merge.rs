@@ -435,7 +435,9 @@ pub(crate) fn merge_epoch<C: Ctx>(
                 let r = unsafe { ttr.get(c, i) };
                 (r.present as u64, if r.present { r.val } else { 0 })
             },
-            &|a, b| (a.0 + b.0, a.1.wrapping_add(b.1)),
+            // One overflow policy for both fields (see `StoreStats`):
+            // wrap, exactly like the cross-shard fold.
+            &|a, b| (a.0.wrapping_add(b.0), a.1.wrapping_add(b.1)),
         )
         .map(|(count, sum)| StoreStats { count, sum })
         .unwrap_or_default()

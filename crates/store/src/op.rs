@@ -54,12 +54,31 @@ impl OpResult {
 }
 
 /// Store-wide analytics snapshot, refreshed at each merge epoch.
+///
+/// **Overflow policy:** both fields wrap mod 2⁶⁴, everywhere they are
+/// folded — per-record reduces inside a merge and cross-shard folds alike
+/// ([`StoreStats::merged`] is the one sanctioned combiner). `sum` can
+/// overflow legitimately (it adds arbitrary `u64` client values); `count`
+/// cannot in practice, but it gets the same wrapping treatment so debug
+/// and release builds, and 1-shard and n-shard stores, agree bit-for-bit
+/// instead of debug-panicking on one path and wrapping on another.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Number of present records.
+    /// Number of present records (wrapping; see overflow policy above).
     pub count: u64,
     /// Wrapping sum of all present values.
     pub sum: u64,
+}
+
+impl StoreStats {
+    /// Fold another snapshot into this one under the store's wrapping
+    /// overflow policy (both fields wrap mod 2⁶⁴).
+    pub fn merged(self, other: StoreStats) -> StoreStats {
+        StoreStats {
+            count: self.count.wrapping_add(other.count),
+            sum: self.sum.wrapping_add(other.sum),
+        }
+    }
 }
 
 /// Which pipeline an epoch takes — a *public* function of batch size and
@@ -82,8 +101,11 @@ pub(crate) mod kind {
 }
 
 /// Flat, `Copy` encoding of an op (internal; also the pending-log entry).
+/// Nominally `pub` only because the sealed pipeline-source trait returns
+/// it; not re-exported, not API.
+#[doc(hidden)]
 #[derive(Clone, Copy, Debug, Default)]
-pub(crate) struct FlatOp {
+pub struct FlatOp {
     pub kind: u8,
     pub key: u64,
     pub val: u64,
@@ -156,6 +178,23 @@ mod tests {
         assert_eq!(size_class(8), 8);
         assert_eq!(size_class(9), 16);
         assert_eq!(size_class(1000), 1024);
+    }
+
+    #[test]
+    fn stats_fold_wraps_both_fields_near_u64_max() {
+        // Regression: the cross-shard fold used debug-panicking `+` for
+        // `count` but `wrapping_add` for `sum`. Both must wrap.
+        let a = StoreStats {
+            count: u64::MAX - 1,
+            sum: u64::MAX - 2,
+        };
+        let b = StoreStats { count: 3, sum: 7 };
+        let m = a.merged(b);
+        assert_eq!(m.count, 1);
+        assert_eq!(m.sum, 4);
+        // Identity and symmetry of the fold.
+        assert_eq!(a.merged(StoreStats::default()), a);
+        assert_eq!(a.merged(b), b.merged(a));
     }
 
     #[test]

@@ -1,0 +1,618 @@
+//! Pipelined epochs: a double-buffered front end that overlaps one
+//! epoch's merge with the next epoch's submission.
+//!
+//! [`PipelinedStore`] wraps a [`Store`] or [`ShardedStore`] and splits the
+//! synchronous `submit → commit → results` cycle into two buffers:
+//!
+//! * the **open epoch** — an op log accepting [`submit`]s at memory speed;
+//! * the **in-flight epoch** — at most one batch whose merge runs as a
+//!   detached fork-join task ([`Ctx::spawn_detached`]) while the open
+//!   epoch keeps filling.
+//!
+//! [`commit_async`] seals the open epoch and hands it to the engine,
+//! first joining the previous in-flight epoch (the **handoff**): merges
+//! are serialized through ownership of the wrapped store, so the engine
+//! sees exactly the synchronous epoch sequence — same results, same
+//! sequential consistency — only the *caller* stops waiting for it.
+//! [`try_commit`] is the opportunistic variant that skips the handoff
+//! while the engine is busy, which is what turns a stream of small client
+//! batches into fewer, larger merges (group commit).
+//!
+//! # Leakage
+//!
+//! The handoff schedule is **public**. Every quantity the cadence reads —
+//! open-buffer length, the [`open_limit`](PipelinedStore::open_limit),
+//! whether an epoch is in flight, and [`Deferred::is_done`] of a merge
+//! whose instruction and memory trace are data-independent by
+//! construction — is a function of batch *sizes* (plus machine
+//! scheduling), never of key contents. Likewise every padded shape below
+//! derives from public counts. See DESIGN.md §11.
+//!
+//! # Read-your-writes
+//!
+//! A `Get` submitted while its key's `Put` is still mid-merge must
+//! observe it. [`read_now`](PipelinedStore::read_now) therefore consults,
+//! obliviously, the **padded op logs** of the in-flight and open epochs
+//! against the handoff snapshot of the table, reusing the merge path's
+//! LWW-transformer scan — the consult's trace is a function of the
+//! snapshot capacity and the logs' public size classes only.
+//!
+//! [`submit`]: PipelinedStore::submit
+//! [`commit_async`]: PipelinedStore::commit_async
+//! [`try_commit`]: PipelinedStore::try_commit
+
+use crate::merge::{merge_epoch, Rec};
+use crate::op::{FlatOp, Op, OpResult, StoreStats};
+use crate::store::{validate_and_pad, EpochTarget, ShardedStore, Store, StoreConfig};
+use fj::{Ctx, Deferred};
+use metrics::{ScratchPool, Tracked};
+use obliv_core::scan::Schedule;
+use obliv_core::{Engine, TagCell};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+mod sealed {
+    use crate::merge::Rec;
+    use crate::op::FlatOp;
+    use crate::store::StoreConfig;
+
+    /// Snapshot surface the pipeline needs from a wrapped store. Sealed:
+    /// the methods traffic in crate-private types, and the consult's
+    /// correctness depends on invariants (`records` sortedness, pending
+    /// ordering) only the stores in this crate uphold.
+    pub trait Source {
+        fn config(&self) -> &StoreConfig;
+        /// Concatenated resident tables (public length).
+        fn records(&self) -> Vec<Rec>;
+        /// Un-merged pending ops, oldest first (public length).
+        fn pending(&self) -> Vec<FlatOp>;
+        /// True when `records` is key-sorted with reals leading (single
+        /// shard); multi-shard snapshots are sorted by the consult.
+        fn records_sorted(&self) -> bool;
+    }
+}
+
+impl sealed::Source for Store {
+    fn config(&self) -> &StoreConfig {
+        Store::config(self)
+    }
+    fn records(&self) -> Vec<Rec> {
+        self.snapshot_records()
+    }
+    fn pending(&self) -> Vec<FlatOp> {
+        self.snapshot_pending()
+    }
+    fn records_sorted(&self) -> bool {
+        true
+    }
+}
+
+impl sealed::Source for ShardedStore {
+    fn config(&self) -> &StoreConfig {
+        ShardedStore::config(self)
+    }
+    fn records(&self) -> Vec<Rec> {
+        self.snapshot_records()
+    }
+    fn pending(&self) -> Vec<FlatOp> {
+        self.snapshot_pending()
+    }
+    fn records_sorted(&self) -> bool {
+        self.shard_count() == 1
+    }
+}
+
+/// Epoch engines a [`PipelinedStore`] can drive: both store front ends.
+/// `Send + 'static` because the wrapped store travels into the detached
+/// merge task and back.
+pub trait PipelineTarget: EpochTarget + sealed::Source + Send + 'static {}
+
+impl PipelineTarget for Store {}
+impl PipelineTarget for ShardedStore {}
+
+/// Names one committed epoch; redeem it with
+/// [`PipelinedStore::wait`] for that epoch's results.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochHandle {
+    id: u64,
+}
+
+impl EpochHandle {
+    /// Sequence number of the epoch (0-based, public).
+    pub fn epoch(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Receipt for one submitted op: result `index` within epoch `epoch`'s
+/// result slice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ticket {
+    /// Epoch the op will commit in (matches [`EpochHandle::epoch`]).
+    pub epoch: u64,
+    /// Index of the op's result in that epoch's results.
+    pub index: usize,
+}
+
+struct InFlight<T> {
+    id: u64,
+    /// The epoch's op log, padded to its public size class — what
+    /// `read_now` consults while the merge is still running.
+    log: Vec<FlatOp>,
+    task: Deferred<(T, Vec<OpResult>)>,
+}
+
+/// Double-buffered epoch front end; see the [module docs](self).
+///
+/// ```
+/// use fj::SeqCtx;
+/// use store::{Op, PipelinedStore, Store, StoreConfig};
+///
+/// let c = SeqCtx::new();
+/// let mut p = PipelinedStore::new(Store::new(StoreConfig::default()));
+/// let put = p.submit(Op::Put { key: 7, val: 700 });
+/// let h = p.commit_async(&c);
+/// // The merge may still be running; reads consult its padded log.
+/// assert_eq!(p.read_now(&c, &[7]), vec![Some(700)]);
+/// assert_eq!(p.wait(&h)[put.index].value(), None); // first put: no prior value
+/// ```
+pub struct PipelinedStore<T: PipelineTarget> {
+    /// `None` exactly while an epoch is in flight (the store travels into
+    /// the detached task and comes back at the handoff).
+    store: Option<T>,
+    scratch: Arc<ScratchPool>,
+    cfg: StoreConfig,
+    engine: Engine,
+    schedule: Schedule,
+    /// Resident records as of the last handoff (see `sealed::Source`).
+    snapshot: Vec<Rec>,
+    /// Pre-handoff pending log (nonzero only for ORAM-path stores).
+    snapshot_pending: Vec<FlatOp>,
+    snapshot_sorted: bool,
+    open: Vec<Op>,
+    inflight: Option<InFlight<T>>,
+    /// Results of retired epochs awaiting [`wait`](PipelinedStore::wait).
+    done: VecDeque<(u64, Vec<OpResult>)>,
+    next_epoch: u64,
+    open_limit: usize,
+    started: u64,
+    retired: u64,
+}
+
+impl<T: PipelineTarget> PipelinedStore<T> {
+    /// Wrap `store` with a private scratch arena.
+    pub fn new(store: T) -> Self {
+        Self::with_scratch(store, Arc::new(ScratchPool::new()))
+    }
+
+    /// Wrap `store`, leasing consult/merge scratch from `scratch` (shared
+    /// arenas amortize across stores; the pool is thread-safe).
+    pub fn with_scratch(store: T, scratch: Arc<ScratchPool>) -> Self {
+        let cfg = *sealed::Source::config(&store);
+        PipelinedStore {
+            snapshot: store.records(),
+            snapshot_pending: store.pending(),
+            snapshot_sorted: store.records_sorted(),
+            cfg,
+            engine: cfg.engine,
+            schedule: cfg.schedule,
+            store: Some(store),
+            scratch,
+            open: Vec::new(),
+            inflight: None,
+            done: VecDeque::new(),
+            next_epoch: 0,
+            open_limit: usize::MAX,
+            started: 0,
+            retired: 0,
+        }
+    }
+
+    /// Cap the open buffer at `limit` ops (public): once reached,
+    /// [`try_commit`](PipelinedStore::try_commit) commits even if the
+    /// handoff must block. This bounds memory and is the knob that sets
+    /// the maximum group-commit batch.
+    pub fn with_open_limit(mut self, limit: usize) -> Self {
+        self.open_limit = limit.max(1);
+        self
+    }
+
+    /// Public open-buffer cap (see
+    /// [`with_open_limit`](PipelinedStore::with_open_limit)).
+    pub fn open_limit(&self) -> usize {
+        self.open_limit
+    }
+
+    /// Queue `op` into the open epoch. Never blocks, never runs engine
+    /// work; the returned ticket locates the op's result once its epoch
+    /// commits.
+    pub fn submit(&mut self, op: Op) -> Ticket {
+        self.open.push(op);
+        Ticket {
+            epoch: self.next_epoch,
+            index: self.open.len() - 1,
+        }
+    }
+
+    /// Number of ops in the open epoch (public).
+    pub fn open_len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// True while an epoch's merge is running (or queued) in the engine.
+    pub fn in_flight(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// True when [`commit_async`](PipelinedStore::commit_async) would
+    /// block on the handoff: an in-flight merge has not finished. Public:
+    /// the merge's running time is a function of its data-independent
+    /// trace (shapes), never of key contents.
+    pub fn handoff_would_block(&self) -> bool {
+        self.inflight.as_ref().is_some_and(|i| !i.task.is_done())
+    }
+
+    /// `(started, retired)` engine epochs: epochs handed off, and epochs
+    /// whose merge has been joined back. Empty commits are public no-ops
+    /// and counted in neither (mirroring [`Store::execute_epoch`]).
+    pub fn epoch_counts(&self) -> (u64, u64) {
+        (self.started, self.retired)
+    }
+
+    /// The wrapped store, available while no epoch is in flight (it
+    /// travels into the detached merge task otherwise).
+    pub fn inner(&self) -> Option<&T> {
+        self.store.as_ref()
+    }
+
+    /// Seal the open epoch and hand it to the engine as a detached task,
+    /// joining the previous in-flight epoch first (double buffer: at most
+    /// one epoch in flight). Returns immediately after the handoff; the
+    /// merge runs in the background on pool executors and inline on
+    /// sequential/metered ones.
+    ///
+    /// Committing an **empty** open epoch is a public no-op, exactly like
+    /// the synchronous engines: no handoff, no merge, no trace — the
+    /// returned handle redeems to an empty result slice.
+    pub fn commit_async<C: Ctx>(&mut self, c: &C) -> EpochHandle {
+        let id = self.next_epoch;
+        self.next_epoch += 1;
+        if self.open.is_empty() {
+            self.done.push_back((id, Vec::new()));
+            return EpochHandle { id };
+        }
+        self.join_inflight();
+        let store = self
+            .store
+            .take()
+            .expect("store present after joining the in-flight epoch");
+        // Pad the log to the epoch's public class *before* the handoff:
+        // this validates the batch on the caller's thread and is what
+        // `read_now` consults while the merge runs.
+        let ops = std::mem::take(&mut self.open);
+        let log = validate_and_pad(&self.cfg, &ops);
+        let scratch = Arc::clone(&self.scratch);
+        let task = c.spawn_detached(move |c| {
+            let mut store = store;
+            let results = store.run_epoch(c, &scratch, &ops);
+            (store, results)
+        });
+        self.inflight = Some(InFlight { id, log, task });
+        self.started += 1;
+        EpochHandle { id }
+    }
+
+    /// Commit the open epoch only if the handoff would not block (or the
+    /// open buffer hit [`open_limit`](PipelinedStore::open_limit), which
+    /// forces the commit). This is the group-commit cadence: while a
+    /// merge is in flight, client batches coalesce into the open epoch
+    /// and the engine runs fewer, larger merges. Returns `None` when
+    /// nothing was committed (empty buffer, or engine busy below the
+    /// cap).
+    pub fn try_commit<C: Ctx>(&mut self, c: &C) -> Option<EpochHandle> {
+        if self.open.is_empty() {
+            return None;
+        }
+        if self.handoff_would_block() && self.open.len() < self.open_limit {
+            return None;
+        }
+        Some(self.commit_async(c))
+    }
+
+    /// Block until epoch `h` has merged and take its results (one per
+    /// submitted op, in submission order). Panics if the handle's results
+    /// were already taken, or if the epoch's merge panicked.
+    pub fn wait(&mut self, h: &EpochHandle) -> Vec<OpResult> {
+        if self.inflight.as_ref().is_some_and(|i| i.id == h.id) {
+            self.join_inflight();
+        }
+        let pos = self
+            .done
+            .iter()
+            .position(|(id, _)| *id == h.id)
+            .unwrap_or_else(|| {
+                panic!(
+                    "epoch {} has no pending results (not committed, or already taken)",
+                    h.id
+                )
+            });
+        self.done.remove(pos).expect("position just found").1
+    }
+
+    /// Commit any open ops and retire the in-flight epoch. Afterwards
+    /// [`inner`](PipelinedStore::inner) is `Some` and every committed
+    /// handle is redeemable without blocking.
+    pub fn drain<C: Ctx>(&mut self, c: &C) {
+        if !self.open.is_empty() {
+            let _ = self.commit_async(c);
+        }
+        self.join_inflight();
+    }
+
+    /// Drain and unwrap the engine.
+    pub fn into_inner<C: Ctx>(mut self, c: &C) -> T {
+        self.drain(c);
+        self.store.take().expect("store present after drain")
+    }
+
+    fn join_inflight(&mut self) {
+        if let Some(inf) = self.inflight.take() {
+            let (store, results) = inf.task.join();
+            // Refresh the handoff snapshot: consults between now and the
+            // next handoff read the just-merged table (plus any pending
+            // log the epoch left behind on the ORAM path).
+            self.snapshot = store.records();
+            self.snapshot_pending = store.pending();
+            self.done.push_back((inf.id, results));
+            self.store = Some(store);
+            self.retired += 1;
+        }
+    }
+
+    /// Read `keys` **now**, observing the committed table, the in-flight
+    /// epoch and the open buffer — strict read-your-writes: a `Put`
+    /// submitted before this call is visible even while its merge is
+    /// still running. Results do not consume tickets; the keys' ops still
+    /// resolve normally in their epochs.
+    ///
+    /// Obliviously: the consult replays `pending ++ in-flight log ++
+    /// open` (each already padded to a public class) against a copy of
+    /// the handoff snapshot using the merge path's LWW machinery, so its
+    /// trace is a function of the snapshot capacity and those public
+    /// classes plus the query class — never of key contents. The copy is
+    /// discarded; the engine's state is untouched.
+    pub fn read_now<C: Ctx>(&self, c: &C, keys: &[u64]) -> Vec<Option<u64>> {
+        let c_ref = c;
+        let scratch = &*self.scratch;
+        // Queries as a padded Get batch (validates key-space contracts
+        // the same way a real epoch would).
+        let queries: Vec<Op> = keys.iter().map(|&key| Op::Get { key }).collect();
+        let batch = validate_and_pad(&self.cfg, &queries);
+
+        // 1. A discardable copy of the handoff snapshot; multi-shard
+        //    concatenations are key-sorted first (public branch: the
+        //    shard count is public).
+        let mut table = self.snapshot.clone();
+        if !self.snapshot_sorted {
+            sort_snapshot(c_ref, scratch, self.engine, &mut table);
+        }
+
+        // 2. The consult log: everything the engine has accepted but not
+        //    merged, oldest first. All three parts have public lengths.
+        let mut log = self.snapshot_pending.clone();
+        if let Some(inf) = &self.inflight {
+            log.extend_from_slice(&inf.log);
+        }
+        if !self.open.is_empty() {
+            log.extend(validate_and_pad(&self.cfg, &self.open));
+        }
+
+        // 3. One merge-path replay; capacity is unchanged (`cap_new =
+        //    cap`), the live bound is not enforced (the copy is never
+        //    rebuilt into the engine), and the refreshed stats are
+        //    discarded along with the table.
+        let cap = table.len();
+        let (results, _) = merge_epoch(
+            c_ref,
+            scratch,
+            self.engine,
+            self.schedule,
+            &mut table,
+            cap,
+            &log,
+            &batch,
+            keys.len(),
+            StoreStats::default(),
+            false,
+        );
+        results.into_iter().map(|r| r.value()).collect()
+    }
+}
+
+/// Key-sort a concatenated multi-shard snapshot (reals ascending by key,
+/// fillers to the back), padding to the next power of two. Keys are
+/// unique across shards, so the order is total.
+fn sort_snapshot<C: Ctx>(c: &C, scratch: &ScratchPool, engine: Engine, table: &mut Vec<Rec>) {
+    let m = table.len().next_power_of_two().max(1);
+    let mut cells = scratch.lease(m, TagCell::filler());
+    for (cell, r) in cells.iter_mut().zip(table.iter()) {
+        *cell = if r.present {
+            TagCell::new((r.key as u128) << 64, r.val as u128)
+        } else {
+            TagCell::filler()
+        };
+    }
+    c.charge_par(m as u64);
+    {
+        let mut t = Tracked::new(c, &mut cells);
+        engine.sort_cells(c, scratch, &mut t);
+    }
+    table.clear();
+    table.resize(m, Rec::default());
+    for (r, cell) in table.iter_mut().zip(cells.iter()) {
+        if !cell.is_filler() {
+            *r = Rec {
+                present: true,
+                key: (cell.tag >> 64) as u64,
+                val: cell.aux as u64,
+            };
+        }
+    }
+    c.charge_par(m as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{ShardConfig, ShrinkPolicy};
+    use fj::SeqCtx;
+
+    fn ops_mix(n: u64, salt: u64) -> Vec<Op> {
+        (0..n)
+            .map(|i| {
+                let key = (i * 7 + salt) % 37;
+                match i % 4 {
+                    0 | 1 => Op::Put {
+                        key,
+                        val: i * 100 + salt,
+                    },
+                    2 => Op::Get { key },
+                    _ => Op::Delete {
+                        key: (key + 5) % 37,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_matches_synchronous_store() {
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let mut sync = Store::new(StoreConfig::default());
+        let mut pipe = PipelinedStore::new(Store::new(StoreConfig::default()));
+
+        let mut handles = Vec::new();
+        let mut want = Vec::new();
+        for e in 0..5 {
+            let ops = ops_mix(24, e * 13);
+            want.push(sync.execute_epoch(&c, &sp, &ops));
+            for op in &ops {
+                pipe.submit(*op);
+            }
+            handles.push(pipe.commit_async(&c));
+        }
+        for (h, want) in handles.iter().zip(want) {
+            assert_eq!(pipe.wait(h), want);
+        }
+        let inner = pipe.into_inner(&c);
+        assert_eq!(inner.stats(), sync.stats());
+        assert_eq!(inner.epoch_counts(), sync.epoch_counts());
+    }
+
+    #[test]
+    fn read_now_sees_inflight_and_open_writes() {
+        let c = SeqCtx::new();
+        let mut p = PipelinedStore::new(Store::new(StoreConfig::default()));
+        p.submit(Op::Put { key: 1, val: 10 });
+        p.submit(Op::Put { key: 2, val: 20 });
+        let h = p.commit_async(&c);
+        // Put still "mid-merge" from the caller's perspective.
+        p.submit(Op::Put { key: 2, val: 21 }); // open overwrite
+        p.submit(Op::Delete { key: 1 }); // open delete
+        p.submit(Op::Put { key: 3, val: 30 });
+        assert_eq!(
+            p.read_now(&c, &[1, 2, 3, 4]),
+            vec![None, Some(21), Some(30), None]
+        );
+        let _ = p.wait(&h);
+        // After the handoff the snapshot serves the merged keys.
+        assert_eq!(p.read_now(&c, &[2]), vec![Some(21)]);
+        p.drain(&c);
+        assert_eq!(p.read_now(&c, &[1, 2, 3]), vec![None, Some(21), Some(30)]);
+    }
+
+    #[test]
+    fn read_now_on_sharded_store_sorts_the_snapshot() {
+        let c = SeqCtx::new();
+        let mut p = PipelinedStore::new(ShardedStore::new(ShardConfig::with_shards(4)));
+        for i in 0..32u64 {
+            p.submit(Op::Put {
+                key: i * 3,
+                val: i + 1,
+            });
+        }
+        let h = p.commit_async(&c);
+        let _ = p.wait(&h);
+        let keys: Vec<u64> = (0..32).map(|i| i * 3).collect();
+        let got = p.read_now(&c, &keys);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, Some(i as u64 + 1));
+        }
+        // And mid-flight on the sharded engine too.
+        p.submit(Op::Put { key: 3, val: 999 });
+        let h2 = p.commit_async(&c);
+        assert_eq!(p.read_now(&c, &[3, 6]), vec![Some(999), Some(3)]);
+        let _ = p.wait(&h2);
+    }
+
+    #[test]
+    fn empty_commit_is_a_public_noop() {
+        let c = SeqCtx::new();
+        let mut p = PipelinedStore::new(Store::new(StoreConfig::default()));
+        let h = p.commit_async(&c);
+        assert_eq!(p.epoch_counts(), (0, 0));
+        assert!(p.wait(&h).is_empty());
+        p.submit(Op::Put { key: 9, val: 90 });
+        let h2 = p.commit_async(&c);
+        let h3 = p.commit_async(&c); // empty again
+        assert_eq!(p.wait(&h2).len(), 1);
+        assert!(p.wait(&h3).is_empty());
+        assert_eq!(p.epoch_counts(), (1, 1));
+    }
+
+    #[test]
+    fn try_commit_coalesces_while_busy() {
+        // Under SeqCtx the spawn resolves inline, so the handoff never
+        // blocks and try_commit always commits; the cadence logic itself
+        // is driven by `handoff_would_block`, which is false here.
+        let c = SeqCtx::new();
+        let mut p = PipelinedStore::new(Store::new(StoreConfig::default())).with_open_limit(64);
+        for i in 0..10u64 {
+            p.submit(Op::Put { key: i, val: i });
+        }
+        assert!(p.try_commit(&c).is_some());
+        assert!(p.try_commit(&c).is_none(), "empty buffer must not commit");
+        p.drain(&c);
+        assert_eq!(p.epoch_counts(), (1, 1));
+    }
+
+    #[test]
+    fn shrink_pinned_store_pipelines_correctly() {
+        // The consult must also be right when capacity is pinned by a
+        // shrink schedule (cap_new == cap path in the replay).
+        let c = SeqCtx::new();
+        let cfg = StoreConfig {
+            shrink: Some(ShrinkPolicy {
+                every: 1,
+                live_bound: 64,
+            }),
+            ..StoreConfig::default()
+        };
+        let mut p = PipelinedStore::new(Store::new(cfg));
+        for round in 0..4u64 {
+            for i in 0..48u64 {
+                p.submit(Op::Put {
+                    key: i,
+                    val: round * 1000 + i,
+                });
+            }
+            let h = p.commit_async(&c);
+            assert_eq!(
+                p.read_now(&c, &[0, 47]),
+                vec![Some(round * 1000), Some(round * 1000 + 47)]
+            );
+            let _ = p.wait(&h);
+        }
+    }
+}

@@ -179,4 +179,19 @@ impl Shard {
     pub fn merges(&self) -> u64 {
         self.merges
     }
+
+    /// Copy of the resident table for a pipelined consult: key-sorted,
+    /// present records leading, padded to the public capacity. Public
+    /// length; contents stay host-side until the consult sorts/merges
+    /// them under tracked kernels.
+    pub fn records(&self) -> Vec<Rec> {
+        self.table.clone()
+    }
+
+    /// Copy of the pending log (ops applied to the ORAM mirror but not
+    /// yet merged). Public length: it is a concatenation of padded
+    /// batches.
+    pub fn pending_ops(&self) -> Vec<FlatOp> {
+        self.pending.clone()
+    }
 }

@@ -103,8 +103,9 @@ impl StoreConfig {
 }
 
 /// Check the epoch-wide client contracts and pad the batch to its public
-/// size class. Shared by both front ends.
-fn validate_and_pad(cfg: &StoreConfig, ops: &[Op]) -> Vec<FlatOp> {
+/// size class. Shared by both front ends (and by the pipelined wrapper's
+/// in-flight op log, which must be padded to the same public class).
+pub(crate) fn validate_and_pad(cfg: &StoreConfig, ops: &[Op]) -> Vec<FlatOp> {
     if let Some(space) = cfg.oram_key_space {
         for op in ops {
             assert!(
@@ -154,12 +155,21 @@ impl Store {
 
     /// Execute one epoch: pad `ops` to its public size class, run the
     /// selected pipeline, and return one result per op in submission order.
+    ///
+    /// An **empty epoch is a public no-op**: the batch length is public,
+    /// so branching on `ops.is_empty()` leaks nothing, and nothing runs —
+    /// no padding, no merge, no counter bump, no trace. (`Aggregate`
+    /// answers are defined against merge closes, so a no-op heartbeat
+    /// would have refreshed nothing anyway.)
     pub fn execute_epoch<C: Ctx>(
         &mut self,
         c: &C,
         scratch: &ScratchPool,
         ops: &[Op],
     ) -> Vec<OpResult> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
         let batch = validate_and_pad(&self.cfg, ops);
         let path = self.shard.epoch_path(batch.len());
         self.epochs += 1;
@@ -203,6 +213,18 @@ impl Store {
     /// open; pass the store back at [`Epoch::commit`] time.
     pub fn epoch(&self) -> Epoch {
         Epoch::new()
+    }
+
+    pub(crate) fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn snapshot_records(&self) -> Vec<crate::merge::Rec> {
+        self.shard.records()
+    }
+
+    pub(crate) fn snapshot_pending(&self) -> Vec<FlatOp> {
+        self.shard.pending_ops()
     }
 }
 
@@ -364,12 +386,29 @@ impl ShardedStore {
     /// Execute one epoch: pad to the public batch class, route ops to
     /// shards obliviously, commit every shard in parallel, and obliviously
     /// gather the results back to submission order.
+    ///
+    /// An **empty epoch is a public no-op** (batch length is public; see
+    /// [`Store::execute_epoch`]): nothing is padded, routed, merged or
+    /// counted.
+    ///
+    /// **Aggregate semantics (all shard counts):** an [`Op::Aggregate`]
+    /// observes the global snapshot as of the most recent merge-epoch
+    /// close *strictly before* this epoch, regardless of its position in
+    /// the batch — epoch-atomic, never sequential-within-the-epoch. A
+    /// 1-shard store answers from its single shard's pre-epoch snapshot
+    /// and an n-shard store from the pre-epoch sum over shards, which are
+    /// the same number for the same op history (the wrapping fold of
+    /// [`StoreStats::merged`] is associative), so answers are identical
+    /// across shard counts; `tests/sharded.rs` pins this cross-config.
     pub fn execute_epoch<C: Ctx>(
         &mut self,
         c: &C,
         scratch: &ScratchPool,
         ops: &[Op],
     ) -> Vec<OpResult> {
+        if ops.is_empty() {
+            return Vec::new();
+        }
         let batch = validate_and_pad(&self.cfg.store, ops);
         let b = batch.len();
         self.epochs += 1;
@@ -453,10 +492,7 @@ impl ShardedStore {
         self.snapshot = self
             .shards
             .iter()
-            .fold(StoreStats::default(), |acc, s| StoreStats {
-                count: acc.count + s.stats().count,
-                sum: acc.sum.wrapping_add(s.stats().sum),
-            });
+            .fold(StoreStats::default(), |acc, s| acc.merged(s.stats()));
 
         gathered
             .into_iter()
@@ -520,6 +556,21 @@ impl ShardedStore {
     /// [`ShardConfig::route_slack`] `= 0`).
     pub fn routing_fallbacks(&self) -> u64 {
         self.fallbacks
+    }
+
+    pub(crate) fn config(&self) -> &StoreConfig {
+        &self.cfg.store
+    }
+
+    /// Concatenated per-shard tables. Key-sorted only when there is a
+    /// single shard; a multi-shard consult re-sorts (publicly: the shard
+    /// count is public).
+    pub(crate) fn snapshot_records(&self) -> Vec<crate::merge::Rec> {
+        self.shards.iter().flat_map(|s| s.records()).collect()
+    }
+
+    pub(crate) fn snapshot_pending(&self) -> Vec<FlatOp> {
+        self.shards.iter().flat_map(|s| s.pending_ops()).collect()
     }
 }
 
@@ -618,13 +669,48 @@ mod tests {
     }
 
     #[test]
-    fn empty_epoch_is_a_public_heartbeat() {
-        let c = SeqCtx::new();
+    fn empty_epoch_is_a_public_noop() {
+        // Regression: an empty commit used to pad to the minimum class and
+        // run a full merge. The batch length is public, so skipping is a
+        // public branch — counters, capacity, pending and the adversary
+        // trace must all be untouched.
         let sp = ScratchPool::new();
         let mut s = merge_only();
-        let res = s.execute_epoch(&c, &sp, &[]);
-        assert!(res.is_empty());
+        let trace_of = |s: &mut Store, ops: &[Op]| {
+            let (_, rep) = metrics::measure(
+                metrics::CacheConfig::default(),
+                metrics::TraceMode::Hash,
+                |c| {
+                    let _ = s.execute_epoch(c, &sp, ops);
+                },
+            );
+            (rep.trace_hash, rep.trace_len)
+        };
+
+        let before = trace_of(&mut s, &[]);
+        assert_eq!(before.1, 0, "empty epoch must leave no trace");
+        assert_eq!(s.epoch_counts(), (0, 0));
+        let cap = s.capacity();
+
+        // Interleaving empty commits with a real one changes nothing: the
+        // real epoch's trace is identical with or without them, and only
+        // the real epoch is counted.
+        let real = trace_of(&mut s, &[Op::Put { key: 1, val: 10 }]);
+        let mut s2 = merge_only();
+        assert_eq!(trace_of(&mut s2, &[]).1, 0);
+        let real2 = trace_of(&mut s2, &[Op::Put { key: 1, val: 10 }]);
+        assert_eq!(trace_of(&mut s2, &[]).1, 0);
+        assert_eq!(real, real2, "empty commits perturbed the real trace");
         assert_eq!(s.epoch_counts(), (1, 1));
+        assert_eq!(s2.epoch_counts(), (1, 1));
+        assert_eq!(s.capacity(), s2.capacity());
+        assert!(cap <= s.capacity());
+
+        // Same discipline on the sharded front end.
+        let c = SeqCtx::new();
+        let mut sh = ShardedStore::new(ShardConfig::with_shards(4));
+        assert!(sh.execute_epoch(&c, &sp, &[]).is_empty());
+        assert_eq!(sh.epoch_counts(), (0, 0));
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub fn env_size(var: &str, default: usize) -> usize {
 
 /// The commonly used names, one `use` away.
 pub mod prelude {
-    pub use fj::{par_for, Ctx, Pool, SeqCtx};
+    pub use fj::{par_for, Ctx, Deferred, Pool, SeqCtx};
     pub use graphs::{
         connected_components, contract_eval, list_rank_oblivious_unit, msf, rooted_tree_stats,
     };
@@ -50,7 +50,8 @@ pub mod prelude {
     pub use pram::{run_direct, run_oblivious_sb, Opram, OramConfig};
     pub use sortnet::{sort_slice_rec, Network};
     pub use store::{
-        shard_of, Epoch, EpochPath, EpochTarget, Op, OpResult, ShardConfig, ShardedStore,
-        ShrinkPolicy, Store, StoreConfig, StoreStats,
+        shard_of, Epoch, EpochHandle, EpochPath, EpochTarget, Op, OpResult, PipelineTarget,
+        PipelinedStore, ShardConfig, ShardedStore, ShrinkPolicy, Store, StoreConfig, StoreStats,
+        Ticket,
     };
 }

@@ -23,6 +23,7 @@ example_mod!(graph_suite_ex, "../examples/graph_suite.rs");
 example_mod!(pram_compile_ex, "../examples/pram_compile.rs");
 example_mod!(private_analytics_ex, "../examples/private_analytics.rs");
 example_mod!(sharded_kv_ex, "../examples/sharded_kv.rs");
+example_mod!(pipelined_epochs_ex, "../examples/pipelined_epochs.rs");
 
 #[test]
 fn quickstart_example_runs() {
@@ -62,4 +63,11 @@ fn private_analytics_example_runs() {
 fn sharded_kv_example_runs() {
     std::env::set_var("DOB_SHARDED_N", "128");
     sharded_kv_ex::run();
+}
+
+#[test]
+fn pipelined_epochs_example_runs() {
+    std::env::set_var("DOB_PIPELINE_N", "64");
+    std::env::set_var("DOB_PIPELINE_ROUNDS", "6");
+    pipelined_epochs_ex::run();
 }

@@ -221,3 +221,45 @@ fn tag_sort_trace_and_outputs_survive_reuse_under_seq_and_pool() {
     exec.run(|c| oblivious_sort_kv(c, &par_pool, &mut p2, Engine::BitonicRec));
     assert_eq!(p2, want, "Pool: steady-state reuse changed tag-sort output");
 }
+
+/// The pipelined consult path (`PipelinedStore::read_now`) under the same
+/// discipline: with an epoch in flight *and* an open buffer, the consult
+/// replays padded logs against the snapshot — its Definition-1 trace must
+/// be identical on fresh and dirty scratch pools (and across repeats on
+/// the same pool), because it is a function of public shapes only.
+#[test]
+fn pipelined_consult_trace_survives_reuse() {
+    use std::sync::Arc;
+
+    let run = |pool: Arc<ScratchPool>| {
+        trace(|c| {
+            let store = Store::new(StoreConfig::default());
+            let mut p = PipelinedStore::with_scratch(store, pool);
+            for i in 0..48u64 {
+                p.submit(Op::Put {
+                    key: i * 3 % 53,
+                    val: i,
+                });
+            }
+            let h = p.commit_async(c); // inline under MeterCtx; stays "in flight"
+            for i in 0..16u64 {
+                p.submit(Op::Put { key: i, val: i + 9 });
+            }
+            let keys: Vec<u64> = (0..8u64).map(|i| i * 5 % 53).collect();
+            let _ = p.read_now(c, &keys);
+            let _ = p.wait(&h);
+            p.drain(c);
+        })
+    };
+
+    let fresh = Arc::new(ScratchPool::new());
+    let a = run(Arc::clone(&fresh));
+
+    let reused = Arc::new(ScratchPool::new());
+    dirty(&reused);
+    assert!(reused.leases() > 0 && reused.fresh_allocs() > 0);
+    let b = run(Arc::clone(&reused));
+    assert_eq!(a, b, "dirty pool changed the pipelined consult trace");
+    let c3 = run(reused);
+    assert_eq!(a, c3, "second reuse changed the pipelined consult trace");
+}

@@ -285,3 +285,63 @@ fn violating_the_declared_live_bound_fails_loudly() {
     let ops: Vec<Op> = (0..100).map(|i| Op::Put { key: i, val: i }).collect();
     store.execute_epoch(&c, &sp, &ops);
 }
+
+/// Aggregate answers are one documented semantic everywhere: the global
+/// snapshot as of the last merge close *strictly before* the epoch,
+/// regardless of the op's position in the batch and regardless of shard
+/// count. Same op sequence into shards ∈ {1, 4} (and a plain `Store`)
+/// must produce identical answers for every op — including aggregates
+/// placed before, between and after the epoch's writes.
+#[test]
+fn aggregate_semantics_identical_across_shard_counts() {
+    let c = SeqCtx::new();
+    let sp = ScratchPool::new();
+
+    // Aggregates at every position of a mixed epoch, over several epochs
+    // so later aggregates observe genuinely different snapshots.
+    let epochs: Vec<Vec<Op>> = (0..4u64)
+        .map(|e| {
+            let mut ops = vec![Op::Aggregate];
+            for i in 0..24u64 {
+                let key = (i * 5 + e) % 41;
+                ops.push(match i % 4 {
+                    0 | 1 => Op::Put {
+                        key,
+                        val: e * 1000 + i,
+                    },
+                    2 => Op::Get { key },
+                    _ => Op::Delete {
+                        key: (key + 7) % 41,
+                    },
+                });
+                if i == 11 {
+                    ops.push(Op::Aggregate);
+                }
+            }
+            ops.push(Op::Aggregate);
+            ops
+        })
+        .collect();
+
+    let mut plain = Store::new(StoreConfig::default());
+    let mut one = ShardedStore::new(ShardConfig::with_shards(1));
+    let mut four = ShardedStore::new(ShardConfig::with_shards(4));
+
+    for ops in &epochs {
+        let want = plain.execute_epoch(&c, &sp, ops);
+        let got1 = one.execute_epoch(&c, &sp, ops);
+        let got4 = four.execute_epoch(&c, &sp, ops);
+        assert_eq!(got1, want, "1-shard ShardedStore diverged from Store");
+        assert_eq!(got4, want, "4-shard ShardedStore diverged from Store");
+        // Every aggregate in the epoch observes the same pre-epoch
+        // snapshot (epoch-atomic, not sequential-within-the-epoch).
+        let aggs: Vec<&OpResult> = ops
+            .iter()
+            .zip(want.iter())
+            .filter(|(op, _)| matches!(op, Op::Aggregate))
+            .map(|(_, r)| r)
+            .collect();
+        assert!(aggs.windows(2).all(|w| w[0] == w[1]));
+    }
+    assert_eq!(plain.stats(), four.stats());
+}
