@@ -87,6 +87,63 @@ fn pipelined_headline(files: &[dob_bench::diff::BenchFile]) -> Option<String> {
     })
 }
 
+/// The pinned-vs-unpinned epoch wall ratio at the largest pool of the
+/// thread-scaling family, rendered for the step summary. `None` when the
+/// rows are absent (older artifacts).
+fn pinned_pool_headline(files: &[dob_bench::diff::BenchFile]) -> Option<String> {
+    let row = |algo: &str| {
+        files
+            .iter()
+            .flat_map(|f| f.rows.iter())
+            .find(|r| r.algo == algo)
+    };
+    let unpinned = row("scaling t=4 unpinned: epoch wall")?;
+    let pinned = row("scaling t=4 pinned: epoch wall")?;
+    if unpinned.n != pinned.n {
+        return None;
+    }
+    let wu = *unpinned.counters.get("wall_ns")?;
+    let wp = *pinned.counters.get("wall_ns")?;
+    (wp > 0).then(|| {
+        format!(
+            "**Pinned-pool headline** (n = {}, t = 4): unpinned / pinned = {:.2}× epoch wall \
+             (locality-aware pinned workers, same oblivious schedule; ≈1.0× on runners where \
+             pinning degrades).",
+            unpinned.n,
+            wu as f64 / wp as f64,
+        )
+    })
+}
+
+/// The graphs tag-cell-vs-record-slot ratio from the migrated CC min-hook
+/// sort site, rendered for the step summary. `None` when the rows are
+/// absent (older artifacts).
+fn graphs_cell_headline(files: &[dob_bench::diff::BenchFile]) -> Option<String> {
+    let row = |algo: &str| {
+        files
+            .iter()
+            .flat_map(|f| f.rows.iter())
+            .find(|r| r.algo == algo)
+    };
+    let tag = row("graphs cc: tag cells")?;
+    let slot = row("graphs cc: record slots")?;
+    if tag.n != slot.n {
+        return None;
+    }
+    let ratio = |counter: &str| -> Option<f64> {
+        let t = *tag.counters.get(counter)?;
+        let s = *slot.counters.get(counter)?;
+        (t > 0).then(|| s as f64 / t as f64)
+    };
+    Some(format!(
+        "**Graphs tag-cell headline** (CC min-hook sort, n = {}): record-slot / tag-cell = \
+         {:.2}× cache misses, {:.2}× wall (same comparator schedule).",
+        tag.n,
+        ratio("cache_misses").unwrap_or(f64::NAN),
+        ratio("wall_ns").unwrap_or(f64::NAN),
+    ))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let baseline_dir = arg_value(&args, "--baseline", "benches/baseline");
@@ -174,6 +231,20 @@ fn main() {
     // Pipelined-vs-synchronous headline: same client stream, double
     // buffering turns per-batch merges into group commits.
     if let Some(line) = pipelined_headline(&fresh_files) {
+        summary.push_str(&format!("\n{line}\n\n"));
+        println!("{line}");
+    }
+
+    // Pinned-pool headline: the hardware-shaped runtime's t=4 epoch wall,
+    // pinned vs unpinned workers on the same oblivious schedule.
+    if let Some(line) = pinned_pool_headline(&fresh_files) {
+        summary.push_str(&format!("\n{line}\n\n"));
+        println!("{line}");
+    }
+
+    // Graphs tag-cell headline: the migrated CC min-hook sort site, packed
+    // cells vs the retired record slots.
+    if let Some(line) = graphs_cell_headline(&fresh_files) {
         summary.push_str(&format!("\n{line}\n\n"));
         println!("{line}");
     }

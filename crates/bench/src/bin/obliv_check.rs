@@ -305,6 +305,164 @@ fn main() {
         .collect();
     all_ok &= check("oblivious PRAM step (Thm 4.1)", &t);
 
+    // --- Hardware-shaped runtime rows ---
+
+    // Pinned pool: the trace must be independent of the pin layout. Three
+    // executors (unpinned, pinned round-robin, pinned via an explicit
+    // affinity list) dirty three scratch pools with the same workload —
+    // their per-worker lanes end up holding different physical buffers —
+    // and the adversary trace of a sort + store epoch on each pool must be
+    // bit-identical.
+    {
+        use fj::{Pool, PoolConfig};
+        let layouts: Vec<Pool> = vec![
+            Pool::new(4),
+            Pool::with_config(PoolConfig {
+                threads: Some(4),
+                pin: true,
+                affinity: None,
+            }),
+            Pool::with_config(PoolConfig {
+                threads: Some(4),
+                pin: true,
+                affinity: Some(vec![0, 0, 0, 0]),
+            }),
+        ];
+        let t: Vec<_> = layouts
+            .iter()
+            .map(|exec| {
+                let sp = ScratchPool::new();
+                exec.run(|c| {
+                    let mut v: Vec<u64> =
+                        (0..1024u64).map(|i| i.wrapping_mul(0x9E37) | 1).collect();
+                    oblivious_sort_u64(c, &sp, &mut v, OSortParams::practical(1024), 7);
+                });
+                trace(|c| {
+                    let mut v: Vec<u64> = (0..n as u64).collect();
+                    oblivious_sort_u64(c, &sp, &mut v, OSortParams::practical(n), 999);
+                    let mut s = Store::new(StoreConfig::default());
+                    let ops: Vec<Op> = (0..32u64).map(|k| Op::Put { key: k, val: k }).collect();
+                    s.execute_epoch(c, &sp, &ops);
+                })
+            })
+            .collect();
+        all_ok &= check("pinned pool (pin-layout invariance)", &t);
+    }
+
+    // Cell send-receive (the u64 fast path): same shapes, different data.
+    let t: Vec<_> = inputs
+        .iter()
+        .map(|v| {
+            trace(|c| {
+                let sources: Vec<(u64, u64)> = v
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| (i as u64 * 3 + x % 2, x))
+                    .collect();
+                let dests: Vec<u64> = v.iter().map(|&x| x % 600).collect();
+                obliv_core::send_receive_u64(
+                    c,
+                    &scratch,
+                    &sources,
+                    &dests,
+                    Engine::BitonicRec,
+                    Schedule::Tree,
+                );
+            })
+        })
+        .collect();
+    all_ok &= check("cell send-receive (u64 fast path)", &t);
+
+    // List ranking on packed cells. The pointer-jumping phase walks the
+    // hidden random permutation (distributionally oblivious), so exact
+    // equality holds for *value*-independence: same list topology,
+    // different weights.
+    let (lr_succ, _) = graphs::random_list(96, 5);
+    let t: Vec<_> = (0..4u64)
+        .map(|salt| {
+            trace(|c| {
+                let weights: Vec<u64> = (0..96u64).map(|i| i * 31 + salt * 7 + 1).collect();
+                let _ = graphs::list_rank_oblivious(
+                    c,
+                    &scratch,
+                    &lr_succ,
+                    &weights,
+                    OrbaParams::for_n(96),
+                    Engine::BitonicRec,
+                    31,
+                );
+            })
+        })
+        .collect();
+    all_ok &= check("list ranking (packed cells, value-indep)", &t);
+
+    // ...and trace-*length* invariance across different list topologies.
+    let t: Vec<_> = (0..4u64)
+        .map(|seed| {
+            let (succ, _) = graphs::random_list(96, seed);
+            let (h, len) = trace(|c| {
+                let _ = graphs::list_rank_oblivious_unit(c, &scratch, &succ, 31);
+            });
+            let _ = h;
+            (0, len) // compare lengths only
+        })
+        .collect();
+    all_ok &= check("list ranking (packed cells, trace-len)", &t);
+
+    // Euler tour on packed arc cells: four random trees, same vertex count.
+    let t: Vec<_> = (0..4u64)
+        .map(|seed| {
+            trace(|c| {
+                let edges = graphs::random_tree(48, seed);
+                let _ = graphs::euler_tour(c, &scratch, &edges, Engine::BitonicRec);
+            })
+        })
+        .collect();
+    all_ok &= check("Euler tour (packed arc cells)", &t);
+
+    // CC min-hook on packed cells: same (n, m), different graphs.
+    let t: Vec<_> = (0..4u64)
+        .map(|seed| {
+            trace(|c| {
+                let edges = graphs::random_graph(40, 64, seed);
+                let _ = graphs::connected_components(c, &scratch, 40, &edges, Engine::BitonicRec);
+            })
+        })
+        .collect();
+    all_ok &= check("CC min-hook (packed cells)", &t);
+
+    // MSF proposal/chosen cells: same (n, m), different graphs/weights.
+    let t: Vec<_> = (0..4u64)
+        .map(|seed| {
+            trace(|c| {
+                let edges: Vec<(usize, usize, u64)> = graphs::random_graph(32, 48, seed)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (u, v))| (u, v, (i as u64 * 7 + seed) % 97 + 1))
+                    .collect();
+                let _ = graphs::msf(c, &scratch, 32, &edges, Engine::BitonicRec);
+            })
+        })
+        .collect();
+    all_ok &= check("MSF proposal/chosen cells", &t);
+
+    // ORAM batched fetch on packed cells. Tree walks follow random leaves
+    // (distributionally oblivious), so exact equality holds for value-
+    // independence: same address sequence, different written values.
+    let t: Vec<_> = (0..4u64)
+        .map(|salt| {
+            trace(|c| {
+                let mut o =
+                    pram::Opram::new(64, pram::OramConfig::default(), Engine::BitonicRec, 9);
+                let reqs: Vec<(u64, Option<u64>)> = (0..24u64)
+                    .map(|j| ((j * 13) % 64, (j % 2 == 0).then_some(j * 1000 + salt)))
+                    .collect();
+                let _ = o.access_batch(c, &reqs);
+            })
+        })
+        .collect();
+    all_ok &= check("ORAM batched fetch (packed cells)", &t);
+
     println!(
         "\n{}",
         if all_ok {

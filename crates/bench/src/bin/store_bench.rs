@@ -14,7 +14,7 @@
 //! deterministic counter comes from single metered runs.
 
 use dob_bench::{header, meter_timed, sweep_from_args, BenchSink, Row};
-use fj::{Pool, SeqCtx};
+use fj::{Pool, PoolConfig, SeqCtx};
 use metrics::{ScratchPool, Tracked};
 use obliv_core::{composite_key, Engine, Item, Slot, TagCell};
 use std::sync::Arc;
@@ -126,6 +126,46 @@ fn headline_record_sort<C: fj::Ctx>(c: &C, scratch: &ScratchPool, m: usize) {
     }
     let mut t = Tracked::new(c, &mut slots);
     Engine::BitonicRec.sort_slots(c, scratch, &mut t);
+}
+
+/// The thread-scaling family: every `DOB_THREADS ∈ {1,2,4}` pool size the
+/// CI test matrix exercises, unpinned and pinned. Names are static so the
+/// JSON rows keep stable identities for the regression gate.
+const SCALE_CONFIGS: [(usize, bool, &str); 6] = [
+    (1, false, "scaling t=1 unpinned: epoch wall"),
+    (1, true, "scaling t=1 pinned: epoch wall"),
+    (2, false, "scaling t=2 unpinned: epoch wall"),
+    (2, true, "scaling t=2 pinned: epoch wall"),
+    (4, false, "scaling t=4 unpinned: epoch wall"),
+    (4, true, "scaling t=4 pinned: epoch wall"),
+];
+
+/// Graphs headline, tag side: the CC min-hook proposal sort — per-edge
+/// `(target, value)` proposals ride as packed 32-byte cells with the
+/// composite pair in the tag, exactly as `min_per_target` packs them
+/// since the cell migration.
+fn graphs_cc_tag_sort<C: fj::Ctx>(c: &C, scratch: &ScratchPool, props: &[(u64, u64)]) {
+    let mut cells = scratch.lease(props.len(), TagCell::filler());
+    for (cell, &(t, v)) in cells.iter_mut().zip(props.iter()) {
+        *cell = TagCell::new(composite_key(t, v), 0);
+    }
+    let mut tr = Tracked::new(c, &mut cells);
+    Engine::BitonicRec.sort_cells(c, scratch, &mut tr);
+}
+
+/// Graphs headline, slot side: the same proposals Slot-wrapped through the
+/// same BitonicRec schedule — how `min_per_target` carried them before the
+/// migration.
+fn graphs_cc_slot_sort<C: fj::Ctx>(c: &C, scratch: &ScratchPool, props: &[(u64, u64)]) {
+    let mut slots = scratch.lease(props.len(), Slot::<(u64, u64)>::filler());
+    for (slot, &(t, v)) in slots.iter_mut().zip(props.iter()) {
+        *slot = Slot {
+            sk: composite_key(t, v),
+            ..Slot::real(Item::new(composite_key(t, v), (t, v)), 0)
+        };
+    }
+    let mut tr = Tracked::new(c, &mut slots);
+    Engine::BitonicRec.sort_slots(c, scratch, &mut tr);
 }
 
 /// A key universe of `total` keys loading every one of `shards` shards
@@ -495,6 +535,101 @@ fn main() {
         stream_ops as f64 * 1e9 / stream_mins[1] as f64,
     ));
 
+    // ---- Thread scaling: pool size x pinning on the steady epoch ---------
+    // The hardware-shaped runtime family: the same shrink-pinned steady
+    // epoch (PIPE_TABLE-key table, PIPE_BATCH mixed ops) under every
+    // DOB_THREADS ∈ {1,2,4} pool size, unpinned and pinned. The model
+    // counters are executor-independent by construction (the trace-equality
+    // suite asserts it), so one metered run backs every row of the family
+    // and is what the gate tracks; the per-config walls are interleaved
+    // min-of-reps host measurements.
+    println!("\n== thread scaling: {PIPE_TABLE}-key table, {PIPE_BATCH}-op epochs, t x pin ==\n");
+    header();
+    let mut scale_store = pipe_store(&scratch);
+    let steady = mixed_ops(PIPE_BATCH, PIPE_TABLE as u64, 29);
+    let a0 = scratch.fresh_allocs();
+    let (rep_scale, wall) = meter_timed(|c| {
+        scale_store.execute_epoch(c, &scratch, &steady);
+    });
+    sink.record_alloc(
+        Row {
+            task: "store",
+            algo: "scaling: steady mixed",
+            n: PIPE_BATCH,
+            rep: rep_scale,
+        },
+        wall,
+        scratch.fresh_allocs() - a0,
+    );
+
+    let scale_pools: Vec<Pool> = SCALE_CONFIGS
+        .iter()
+        .map(|&(threads, pin, _)| {
+            Pool::with_config(PoolConfig {
+                threads: Some(threads),
+                pin,
+                affinity: None,
+            })
+        })
+        .collect();
+    let mut scale_stores: Vec<Store> = SCALE_CONFIGS.iter().map(|_| pipe_store(&scratch)).collect();
+    // One warm epoch per config primes each pool's per-worker scratch lanes.
+    for (pool, st) in scale_pools.iter().zip(scale_stores.iter_mut()) {
+        let warm = mixed_ops(PIPE_BATCH, PIPE_TABLE as u64, 31);
+        pool.run(|c| st.execute_epoch(c, &scratch, &warm));
+    }
+    let mut scale_mins = [u128::MAX; SCALE_CONFIGS.len()];
+    for r in 0..reps_from_env() {
+        let ops = mixed_ops(PIPE_BATCH, PIPE_TABLE as u64, 37 + r);
+        for (k, (pool, st)) in scale_pools.iter().zip(scale_stores.iter_mut()).enumerate() {
+            let t0 = std::time::Instant::now();
+            pool.run(|c| {
+                st.execute_epoch(c, &scratch, &ops);
+            });
+            scale_mins[k] = scale_mins[k].min(t0.elapsed().as_nanos());
+        }
+    }
+    for (k, &(_, _, algo)) in SCALE_CONFIGS.iter().enumerate() {
+        sink.rows_push_quiet("store", algo, PIPE_BATCH, rep_scale, scale_mins[k]);
+        rates.push((
+            algo,
+            PIPE_BATCH,
+            PIPE_BATCH as f64 * 1e9 / scale_mins[k] as f64,
+        ));
+    }
+
+    // ---- Graphs kernel: tag cells vs record slots ------------------------
+    // The migrated-kernel ablation: the CC min-hook proposal sort at a
+    // graph-scale working set, packed 32-byte cells vs the Slot records
+    // the kernel carried before the migration. Same comparator schedule —
+    // the cache-miss ratio is the tracked payoff on the graphs side.
+    let gm = 8192usize;
+    let props: Vec<(u64, u64)> = (0..gm as u64)
+        .map(|i| (i.wrapping_mul(0x9E3779B9) % 1024, i))
+        .collect();
+    let (rep_gtag, _) = meter_timed(|c| graphs_cc_tag_sort(c, &scratch, &props));
+    let wall_gtag = dob_bench::wall_unmetered(3, |c| graphs_cc_tag_sort(c, &scratch, &props));
+    sink.record(
+        Row {
+            task: "store",
+            algo: "graphs cc: tag cells",
+            n: gm,
+            rep: rep_gtag,
+        },
+        wall_gtag,
+    );
+    let (rep_gslot, _) = meter_timed(|c| graphs_cc_slot_sort(c, &scratch, &props));
+    let wall_gslot = dob_bench::wall_unmetered(3, |c| graphs_cc_slot_sort(c, &scratch, &props));
+    sink.record(
+        Row {
+            task: "store",
+            algo: "graphs cc: record slots",
+            n: gm,
+            rep: rep_gslot,
+        },
+        wall_gslot,
+    );
+
     // ---- Tag-sort vs record-sort, on the merge path's working set --------
     // The ablation behind the epoch rows above: one comparator network of
     // the merge working-set size, once over packed 32-byte tag cells and
@@ -569,5 +704,25 @@ fn main() {
         stream_mins[0] as f64 / stream_mins[1] as f64,
         batches_per_sec(stream_mins[1]),
         batches_per_sec(stream_mins[0]),
+    );
+
+    // Pinned-vs-unpinned at the largest pool of the scaling family. On a
+    // CI runner without that many cores (or with pinning denied) the pool
+    // degrades to unpinned and this ratio reads ≈1.0 — the wall rows are
+    // context, never gated.
+    let unpinned4 = scale_mins[4];
+    let pinned4 = scale_mins[5];
+    println!(
+        "\npinned-pool headline ({PIPE_TABLE}-key table, n={PIPE_BATCH}, t=4): \
+         unpinned / pinned = {:.2}x epoch wall",
+        unpinned4 as f64 / pinned4 as f64,
+    );
+
+    println!(
+        "\ngraphs tag-cell headline (CC min-hook sort, {gm} proposals): {:.2}x wall, \
+         {:.2}x cache misses (identical {} comparators)",
+        wall_gslot as f64 / wall_gtag.max(1) as f64,
+        rep_gslot.cache_misses as f64 / rep_gtag.cache_misses.max(1) as f64,
+        rep_gtag.comparisons,
     );
 }

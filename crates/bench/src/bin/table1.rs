@@ -11,6 +11,7 @@
 use dob_bench::{
     growth_exponent, header, lg, meter_timed, sweep_from_args, wall_unmetered, BenchSink, Row,
 };
+use fj::{Pool, PoolConfig};
 use graphs::{
     connected_components, connected_components_insecure, contract_eval, list_rank_insecure_unit,
     list_rank_oblivious_unit, msf, random_expr_tree, random_list, random_tree,
@@ -163,6 +164,55 @@ fn main() {
             rec_rep.cache_misses as f64 / tag_rep.cache_misses.max(1) as f64,
             tag_rep.comparisons,
         );
+    }
+
+    // ---- Thread scaling: pool size x pinning on the sort -----------------
+    // The hardware-shaped runtime family: the practical oblivious sort
+    // under every DOB_THREADS ∈ {1,2,4} pool size, unpinned and pinned.
+    // The model counters are executor-independent (one metered run backs
+    // the whole family and is what the gate tracks); walls are interleaved
+    // min-of-3 host measurements per config.
+    const SORT_SCALE: [(usize, bool, &str); 6] = [
+        (1, false, "sort scaling t=1 unpinned wall"),
+        (1, true, "sort scaling t=1 pinned wall"),
+        (2, false, "sort scaling t=2 unpinned wall"),
+        (2, true, "sort scaling t=2 pinned wall"),
+        (4, false, "sort scaling t=4 unpinned wall"),
+        (4, true, "sort scaling t=4 pinned wall"),
+    ];
+    let scale_n = 1 << 12;
+    let (scale_rep, _) = meter_timed(|c| {
+        let mut v = scrambled(scale_n);
+        oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(scale_n), 42);
+    });
+    let scale_pools: Vec<Pool> = SORT_SCALE
+        .iter()
+        .map(|&(threads, pin, _)| {
+            Pool::with_config(PoolConfig {
+                threads: Some(threads),
+                pin,
+                affinity: None,
+            })
+        })
+        .collect();
+    // One warm run per pool primes its per-worker scratch lanes.
+    for pool in &scale_pools {
+        let mut v = scrambled(scale_n);
+        pool.run(|c| oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(scale_n), 42));
+    }
+    let mut scale_mins = [u128::MAX; SORT_SCALE.len()];
+    for _ in 0..3 {
+        for (k, pool) in scale_pools.iter().enumerate() {
+            let mut v = scrambled(scale_n);
+            let t0 = std::time::Instant::now();
+            pool.run(|c| {
+                oblivious_sort_u64(c, &scratch, &mut v, OSortParams::practical(scale_n), 42)
+            });
+            scale_mins[k] = scale_mins[k].min(t0.elapsed().as_nanos());
+        }
+    }
+    for (k, &(_, _, algo)) in SORT_SCALE.iter().enumerate() {
+        sink.rows_push_quiet("sort", algo, scale_n, scale_rep, scale_mins[k]);
     }
 
     // ---- List ranking ----------------------------------------------------

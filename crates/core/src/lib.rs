@@ -58,7 +58,7 @@ pub use scan::{
     seg_sum_right_in, Schedule, Seg,
 };
 pub use scatter::oblivious_scatter;
-pub use sendrecv::send_receive;
+pub use sendrecv::{send_receive, send_receive_u64};
 pub use slot::{composite_key, flags, Item, Slot, Val};
 pub use sortnet::TagCell;
 pub use tag_sort::{compact_cells, oblivious_sort_kv};

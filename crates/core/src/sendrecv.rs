@@ -174,6 +174,119 @@ struct OptSlot<V> {
     v: V,
 }
 
+/// [`send_receive`] specialized to `u64` values on packed [`TagCell`]s —
+/// the tag-sort fast path for the routing step that dominates the graph
+/// and PRAM kernels.
+///
+/// Identical phase structure and head-propagation as the generic path, but
+/// both sorts move 32-byte cells instead of ~96-byte `Slot<Route<u64>>`
+/// records. Packing (all lanes are functions of public position or ride
+/// the network unread):
+///
+/// * phase 1 — `tag = key·2 + (0 sender | 1 receiver)`, fillers
+///   `u128::MAX`; `aux = value` (senders) or input position (receivers);
+/// * phase 2 — one fixed pass re-tags receivers by input position while
+///   folding the propagated hit into `aux = found·2⁶⁴ | value`.
+///
+/// Equal phase-1 tags only arise between receivers requesting the same
+/// key; the phase-2 position sort makes their order canonical again, so
+/// the unstable cell network is safe here for the same reason it is in the
+/// generic path.
+pub fn send_receive_u64<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    sources: &[(u64, u64)],
+    dests: &[u64],
+    engine: Engine,
+    sched: Schedule,
+) -> Vec<Option<u64>> {
+    use sortnet::TagCell;
+
+    let total = sources.len() + dests.len();
+    if dests.is_empty() {
+        return Vec::new();
+    }
+    let m = total.next_power_of_two();
+
+    let mut cells = scratch.lease(m, TagCell::filler());
+    for (cell, &(k, v)) in cells.iter_mut().zip(sources.iter()) {
+        *cell = TagCell::new((k as u128) << 1, v as u128);
+    }
+    for (cell, (j, &k)) in cells[sources.len()..]
+        .iter_mut()
+        .zip(dests.iter().enumerate())
+    {
+        *cell = TagCell::new(((k as u128) << 1) | 1, j as u128);
+    }
+    c.charge_par(total as u64);
+
+    let mut t = Tracked::new(c, &mut cells);
+
+    // Sort by (key, sender-before-receiver); fillers last.
+    engine.sort_cells(c, scratch, &mut t);
+
+    // Propagate each key-run's head to the whole run.
+    let mut seg_store = scratch.lease(m, Seg::<Head<u64>>::default());
+    let mut seg = Tracked::new(c, &mut seg_store);
+    {
+        let sr = seg.as_raw();
+        let tr = t.as_raw();
+        par_for(c, 0, m, grain_for(c), &|c, i| unsafe {
+            let s = tr.get(c, i);
+            let head = if i == 0 {
+                true
+            } else {
+                let prev = tr.get(c, i - 1);
+                c.work(1);
+                prev.tag >> 1 != s.tag >> 1
+            };
+            let h = Head {
+                key: (s.tag >> 1) as u64,
+                is_sender: !s.is_filler() && s.tag & 1 == 0,
+                val: s.aux as u64,
+            };
+            sr.set(c, i, Seg::new(head, h));
+        });
+    }
+    seg_propagate_in(c, scratch, &mut seg, sched);
+
+    // One fixed pass: receivers compare the propagated head against their
+    // own key, fold the outcome into `aux`, and move their input position
+    // into the tag for the order-restoring sort. Writes are unconditional;
+    // only the selected *values* depend on the data.
+    {
+        let sr = seg.as_raw();
+        let tr = t.as_raw();
+        par_for(c, 0, m, grain_for(c), &|c, i| unsafe {
+            let s = tr.get(c, i);
+            let h = sr.get(c, i).v;
+            let is_recv = !s.is_filler() && s.tag & 1 == 1;
+            let hit = is_recv && h.is_sender && (h.key as u128) == s.tag >> 1;
+            let tag = if is_recv { s.aux } else { u128::MAX };
+            let aux = ((hit as u128) << 64) | if hit { h.val as u128 } else { 0 };
+            tr.set(c, i, TagCell::new(tag, aux));
+        });
+    }
+
+    // Sort receivers back to input order; everything else to the end.
+    engine.sort_cells(c, scratch, &mut t);
+
+    // Parallel readout (keeps the span at O(log n)).
+    let tr = t.as_raw();
+    metrics::par_collect(c, dests.len(), &|c, j| {
+        // SAFETY: read-only phase.
+        let s = unsafe { tr.get(c, j) };
+        debug_assert_eq!(s.tag, j as u128);
+        OptSlot {
+            some: s.aux >> 64 != 0,
+            v: s.aux as u64,
+        }
+    })
+    .into_iter()
+    .map(|o| o.some.then_some(o.v))
+    .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,8 +357,111 @@ mod tests {
         assert_eq!(a, b, "send-receive must not leak keys through its trace");
     }
 
+    #[test]
+    fn cell_path_matches_generic_path() {
+        let sources: Vec<(u64, u64)> = (0..300).map(|i| (i * 5 + 1, i * i)).collect();
+        let dests: Vec<u64> = (0..450).map(|j| (j * 11) % 1700).collect();
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let generic = send_receive(
+            &c,
+            &sp,
+            &sources,
+            &dests,
+            Engine::BitonicRec,
+            Schedule::Tree,
+        );
+        let cells = send_receive_u64(
+            &c,
+            &sp,
+            &sources,
+            &dests,
+            Engine::BitonicRec,
+            Schedule::Tree,
+        );
+        assert_eq!(generic, cells);
+    }
+
+    #[test]
+    fn cell_path_duplicate_receivers_and_missing_keys() {
+        let sources = vec![(10, 100u64), (u64::MAX, 7)];
+        let dests = vec![10, 10, 3, u64::MAX, 10];
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let got = send_receive_u64(
+            &c,
+            &sp,
+            &sources,
+            &dests,
+            Engine::BitonicRec,
+            Schedule::Tree,
+        );
+        assert_eq!(got, vec![Some(100), Some(100), None, Some(7), Some(100)]);
+    }
+
+    #[test]
+    fn cell_path_trace_is_input_independent() {
+        let run = |sources: Vec<(u64, u64)>, dests: Vec<u64>| {
+            let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+                let sp = ScratchPool::new();
+                send_receive_u64(c, &sp, &sources, &dests, Engine::BitonicRec, Schedule::Tree);
+            });
+            (rep.trace_hash, rep.trace_len)
+        };
+        let a = run((0..100).map(|i| (i, i)).collect(), (0..50).collect());
+        let b = run(
+            (0..100).map(|i| (i * 97, i + 4)).collect(),
+            (0..50).map(|j| j * 13).collect(),
+        );
+        assert_eq!(a, b, "cell send-receive must not leak keys via its trace");
+    }
+
+    #[test]
+    fn cell_path_parallel_matches_sequential() {
+        let pool = Pool::pinned(4);
+        let sources: Vec<(u64, u64)> = (0..500).map(|i| (i * 3, i)).collect();
+        let dests: Vec<u64> = (0..800).map(|j| (j * 7) % 1600).collect();
+        let c = SeqCtx::new();
+        let sp = ScratchPool::new();
+        let seq = send_receive_u64(
+            &c,
+            &sp,
+            &sources,
+            &dests,
+            Engine::BitonicRec,
+            Schedule::Tree,
+        );
+        let sp2 = ScratchPool::new();
+        let par = pool.run(|c| {
+            send_receive_u64(
+                c,
+                &sp2,
+                &sources,
+                &dests,
+                Engine::BitonicRec,
+                Schedule::Tree,
+            )
+        });
+        assert_eq!(seq, par);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn prop_cell_path_matches_hashmap_semantics(
+            src_keys in proptest::collection::hash_set(0u64..500, 0..40),
+            dests in proptest::collection::vec(0u64..500, 0..60),
+        ) {
+            let sources: Vec<(u64, u64)> =
+                src_keys.iter().map(|&k| (k, k.wrapping_mul(31))).collect();
+            let map: HashMap<u64, u64> = sources.iter().copied().collect();
+            let c = SeqCtx::new();
+            let sp = ScratchPool::new();
+            let got = send_receive_u64(&c, &sp, &sources, &dests, Engine::BitonicRec, Schedule::Tree);
+            let expect: Vec<Option<u64>> = dests.iter().map(|k| map.get(k).copied()).collect();
+            prop_assert_eq!(got, expect);
+        }
+
         #[test]
         fn prop_matches_hashmap_semantics(
             src_keys in proptest::collection::hash_set(0u64..500, 0..40),

@@ -13,7 +13,9 @@
 //!   is written against (fork-join plus cost-accounting hooks);
 //! * [`SeqCtx`] — sequential executor;
 //! * [`Pool`] — a work-stealing thread pool (Chase–Lev deques via
-//!   `crossbeam`, LIFO owner side, randomized victim selection);
+//!   `crossbeam`, LIFO owner side), hardware-shaped: optionally pinned
+//!   workers ([`topo`]), nearest-neighbor wake/steal order, and affine
+//!   inboxes behind [`Ctx::join_hint`];
 //! * [`par`] — parallel loop/reduce helpers that expand into balanced
 //!   binary fork trees.
 
@@ -22,9 +24,10 @@ pub mod par;
 mod pool;
 mod seq;
 mod task;
+pub mod topo;
 
 pub use ctx::{counters, grain_for, Access, BufId, Ctx, DEFAULT_GRAIN};
-pub use par::{par_chunks_mut, par_for, par_reduce, par_zip_mut};
-pub use pool::Pool;
+pub use par::{par_chunks_mut, par_for, par_reduce, par_zip_mut, par_zip_mut_affine};
+pub use pool::{current_worker_index, Pool, PoolConfig};
 pub use seq::SeqCtx;
 pub use task::Deferred;

@@ -1,12 +1,40 @@
-//! Work-stealing thread pool implementing the binary fork-join model.
+//! Work-stealing thread pool implementing the binary fork-join model,
+//! shaped to the hardware it runs on.
 //!
 //! The design follows the classic Cilk/rayon architecture the paper's model
 //! assumes (§A.2, [BL99]): each worker owns a LIFO deque of jobs; `join`
 //! pushes the second task, runs the first inline, and then either pops the
 //! second task back (the common, allocation-free fast path) or *steals other
-//! work* while waiting for a thief to finish it. Idle workers steal from
-//! victims in random order, which is exactly the randomized work-stealing
-//! scheduler whose `O(W/P + T∞)` execution-time bound the paper cites.
+//! work* while waiting for a thief to finish it. On top of that baseline the
+//! pool is **topology-aware** in the `sched-local` style:
+//!
+//! * **Pinned workers.** With [`PoolConfig::pin`] set, worker *i* pins
+//!   itself to core *i* (or to `affinity[i]`) via `sched_setaffinity`, so a
+//!   worker's L1/L2 contents survive across epochs instead of following the
+//!   OS scheduler around the die. Pinning is best-effort: failure degrades
+//!   to an unpinned worker with a one-time warning (see [`crate::topo`]).
+//! * **Locality-aware wake.** Every worker has its own sleep slot; a
+//!   notification wakes the *nearest sleeping neighbor* (smallest ring
+//!   distance from the notifier) rather than broadcasting to a global
+//!   condvar — on a pinned pool ring distance approximates cache distance.
+//! * **Nearest-first stealing.** An idle worker scans victims by increasing
+//!   ring distance (random side first at each distance) instead of in
+//!   uniformly random order, so spilled work is picked up by the core most
+//!   likely to share cache with the victim.
+//! * **Affine inboxes.** [`Ctx::join_hint`] routes tasks to a named
+//!   worker's inbox. Workers drain their inbox before touching the global
+//!   injector, and inboxes are stolen from only as a last resort, so a
+//!   hinted task runs on its target worker whenever that worker is live —
+//!   this is what keeps shard *i*'s table hot in core *i*'s cache across
+//!   `dob-store` epochs.
+//! * **Bounded local deques.** A deque that outgrows
+//!   [`LOCAL_QUEUE_CAP`] spills to the global injector, bounding the
+//!   worst-case burst a single victim has to serve.
+//!
+//! Every scheduling decision above is a function of worker indices, queue
+//! occupancy and public sizes — never of element *values* — so the
+//! schedule leaks nothing the fork structure itself does not (DESIGN.md
+//! §12 gives the full argument).
 //!
 //! # Safety
 //!
@@ -19,14 +47,20 @@
 
 use crate::ctx::Ctx;
 use crate::task::{Deferred, TaskState};
+use crate::topo;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 use std::cell::{Cell, UnsafeCell};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Once, OnceLock};
 use std::thread;
 use std::time::Duration;
+
+/// Local deque occupancy beyond which freshly forked jobs spill to the
+/// global injector. Fork trees are depth-bounded so this is rarely hit; it
+/// caps the burst a single victim can accumulate.
+const LOCAL_QUEUE_CAP: usize = 256;
 
 // --------------------------------------------------------------------------
 // Latches
@@ -188,42 +222,25 @@ fn heap_job(f: Box<dyn FnOnce() + Send>) -> JobRef {
 }
 
 // --------------------------------------------------------------------------
-// Sleep machinery
+// Sleep machinery: one slot per worker, nearest-neighbor wake
 // --------------------------------------------------------------------------
 
-struct Sleep {
-    mutex: Mutex<()>,
+/// Per-worker sleep slot. `asleep` is the cheap outside probe; the
+/// `pending` flag under the mutex closes the wake/sleep race (a wake that
+/// lands between the probe and the wait is not lost), and the 1 ms timeout
+/// bounds the damage of any remaining missed edge.
+struct Sleeper {
+    m: Mutex<bool>,
     cv: Condvar,
-    idlers: AtomicUsize,
+    asleep: AtomicBool,
 }
 
-impl Sleep {
+impl Sleeper {
     fn new() -> Self {
-        Sleep {
-            mutex: Mutex::new(()),
+        Sleeper {
+            m: Mutex::new(false),
             cv: Condvar::new(),
-            idlers: AtomicUsize::new(0),
-        }
-    }
-
-    /// Block until `has_work` might be true again. `has_work` is re-checked
-    /// under the lock so a concurrent `notify` cannot be lost; a timeout
-    /// bounds the damage of any missed edge case.
-    fn sleep(&self, has_work: impl Fn() -> bool) {
-        self.idlers.fetch_add(1, Ordering::SeqCst);
-        {
-            let mut guard = self.mutex.lock();
-            if !has_work() {
-                self.cv.wait_for(&mut guard, Duration::from_millis(1));
-            }
-        }
-        self.idlers.fetch_sub(1, Ordering::SeqCst);
-    }
-
-    fn notify(&self) {
-        if self.idlers.load(Ordering::SeqCst) > 0 {
-            let _guard = self.mutex.lock();
-            self.cv.notify_all();
+            asleep: AtomicBool::new(false),
         }
     }
 }
@@ -235,13 +252,76 @@ impl Sleep {
 struct Registry {
     injector: Injector<JobRef>,
     stealers: Vec<Stealer<JobRef>>,
-    sleep: Sleep,
+    /// Per-worker affine inboxes: tasks placed by [`Ctx::join_hint`].
+    /// Drained by their owner before the global injector; stolen by others
+    /// only as a last resort.
+    inboxes: Vec<Injector<JobRef>>,
+    sleepers: Vec<Sleeper>,
     terminate: AtomicBool,
     nthreads: usize,
+    /// Worker→CPU map; `None` entries run unpinned.
+    pin_map: Vec<Option<usize>>,
+    /// Workers whose `sched_setaffinity` actually succeeded (diagnostics).
+    pinned_ok: AtomicUsize,
     /// Detached tasks spawned but not yet finished. The owning `Pool`'s
     /// drop drains this to zero before telling workers to terminate, so a
     /// queued detached job is never abandoned un-run.
     detached: AtomicUsize,
+}
+
+impl Registry {
+    /// Wake worker `target` if it is asleep. Returns whether a wake was
+    /// delivered.
+    fn wake(&self, target: usize) -> bool {
+        let s = &self.sleepers[target];
+        if !s.asleep.load(Ordering::SeqCst) {
+            return false;
+        }
+        let mut pending = s.m.lock();
+        *pending = true;
+        s.cv.notify_one();
+        true
+    }
+
+    /// Wake the sleeping worker nearest to `origin` on the worker ring
+    /// (`origin` itself is probed first — free when the caller *is* that
+    /// worker, since it is awake). Ring distance approximates cache
+    /// distance on a pinned pool, so new work lands next to its producer.
+    fn notify_near(&self, origin: usize) {
+        let n = self.nthreads;
+        let origin = origin % n;
+        if self.wake(origin) {
+            return;
+        }
+        let mut d = 1;
+        while d <= n / 2 {
+            if self.wake((origin + d) % n) || self.wake((origin + n - d) % n) {
+                return;
+            }
+            d += 1;
+        }
+    }
+
+    fn notify_all(&self) {
+        for i in 0..self.nthreads {
+            self.wake(i);
+        }
+    }
+
+    /// Put worker `me` to sleep until woken or until `has_work` might be
+    /// true again (re-checked under the lock; 1 ms timeout as backstop).
+    fn sleep_worker(&self, me: usize, has_work: impl Fn() -> bool) {
+        let s = &self.sleepers[me];
+        s.asleep.store(true, Ordering::SeqCst);
+        {
+            let mut pending = s.m.lock();
+            if !*pending && !has_work() {
+                s.cv.wait_for(&mut pending, Duration::from_millis(1));
+            }
+            *pending = false;
+        }
+        s.asleep.store(false, Ordering::SeqCst);
+    }
 }
 
 struct WorkerThread {
@@ -255,6 +335,18 @@ thread_local! {
     static WORKER: Cell<*const WorkerThread> = const { Cell::new(std::ptr::null()) };
 }
 
+/// Index of the pool worker running the current thread, if any.
+///
+/// This is what keys per-core resources *outside* the pool — most notably
+/// `metrics::ScratchPool`'s per-worker freelist lanes — so a worker keeps
+/// hitting the same lane (and on a pinned pool, the same core's cache)
+/// without threading the index through every call.
+pub fn current_worker_index() -> Option<usize> {
+    let wt = WorkerThread::current();
+    // SAFETY: non-null worker pointers are valid for the thread's life.
+    (!wt.is_null()).then(|| unsafe { (*wt).index })
+}
+
 impl WorkerThread {
     #[inline]
     fn current() -> *const WorkerThread {
@@ -262,7 +354,7 @@ impl WorkerThread {
     }
 
     fn next_rand(&self) -> u64 {
-        // xorshift64*: cheap, good-enough victim selection.
+        // xorshift64*: cheap, good-enough tie-breaking.
         let mut x = self.rng.get();
         x ^= x << 13;
         x ^= x >> 7;
@@ -277,10 +369,35 @@ impl WorkerThread {
         unsafe { &*self.registry }
     }
 
-    /// Steal one job: first from the global injector, then from victims in
-    /// random order.
+    fn try_steal(source: &Stealer<JobRef>) -> Option<JobRef> {
+        loop {
+            match source.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+    }
+
+    fn try_inbox(inbox: &Injector<JobRef>) -> Option<JobRef> {
+        loop {
+            match inbox.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+    }
+
+    /// Steal one job: own inbox (affine work addressed to us), then the
+    /// global injector, then victims' deques by increasing ring distance,
+    /// then — only if every deque is dry — victims' inboxes, so hinted
+    /// work migrates off its target core only when nothing else runs.
     fn steal(&self) -> Option<JobRef> {
         let reg = self.registry();
+        if let Some(job) = Self::try_inbox(&reg.inboxes[self.index]) {
+            return Some(job);
+        }
         loop {
             match reg.injector.steal_batch_and_pop(&self.deque) {
                 Steal::Success(job) => return Some(job),
@@ -289,21 +406,39 @@ impl WorkerThread {
             }
         }
         let n = reg.stealers.len();
-        let start = (self.next_rand() as usize) % n.max(1);
-        for i in 0..n {
-            let victim = (start + i) % n;
-            if victim == self.index {
-                continue;
+        for victim in self.victim_order(n) {
+            if let Some(job) = Self::try_steal(&reg.stealers[victim]) {
+                return Some(job);
             }
-            loop {
-                match reg.stealers[victim].steal() {
-                    Steal::Success(job) => return Some(job),
-                    Steal::Empty => break,
-                    Steal::Retry => continue,
-                }
+        }
+        for victim in self.victim_order(n) {
+            if let Some(job) = Self::try_inbox(&reg.inboxes[victim]) {
+                return Some(job);
             }
         }
         None
+    }
+
+    /// Victims ordered by increasing ring distance from this worker, the
+    /// side at each distance chosen by a coin flip (keeps symmetric
+    /// neighbors from always being raided in the same order).
+    fn victim_order(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        let me = self.index;
+        (1..=n / 2).flat_map(move |d| {
+            let (a, b) = ((me + d) % n, (me + n - d) % n);
+            let (first, second) = if self.next_rand() & 1 == 0 {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            [first, second]
+                .into_iter()
+                .filter(move |&v| v != me)
+                // The two sides coincide when 2d == n; visit once.
+                .enumerate()
+                .filter(move |&(i, v)| i == 0 || v != first)
+                .map(|(_, v)| v)
+        })
     }
 
     fn find_work(&self) -> Option<JobRef> {
@@ -312,6 +447,22 @@ impl WorkerThread {
 }
 
 fn worker_main(registry: Arc<Registry>, index: usize, deque: Deque<JobRef>) {
+    if let Some(cpu) = registry.pin_map[index] {
+        if topo::pin_current_thread(cpu).is_ok() {
+            if topo::supported() {
+                registry.pinned_ok.fetch_add(1, Ordering::SeqCst);
+            }
+        } else {
+            static PIN_WARN: Once = Once::new();
+            PIN_WARN.call_once(|| {
+                eprintln!(
+                    "fj: sched_setaffinity(cpu {cpu}) failed; \
+                     continuing with unpinned worker(s) (warned once)"
+                );
+            });
+        }
+    }
+
     let wt = WorkerThread {
         deque,
         index,
@@ -325,9 +476,10 @@ fn worker_main(registry: Arc<Registry>, index: usize, deque: Deque<JobRef>) {
             unsafe { (job.exec)(job.data) };
         } else {
             let reg = &*registry;
-            reg.sleep.sleep(|| {
+            reg.sleep_worker(index, || {
                 reg.terminate.load(Ordering::Acquire)
                     || !reg.injector.is_empty()
+                    || reg.inboxes.iter().any(|ib| !ib.is_empty())
                     || reg
                         .stealers
                         .iter()
@@ -344,7 +496,54 @@ fn worker_main(registry: Arc<Registry>, index: usize, deque: Deque<JobRef>) {
 // Pool
 // --------------------------------------------------------------------------
 
-/// A binary fork-join thread pool with randomized work stealing.
+/// How to build a [`Pool`]: thread count, pinning, and an explicit
+/// worker→CPU map. [`PoolConfig::from_env`] reads the `DOB_*` knobs.
+#[derive(Clone, Debug, Default)]
+pub struct PoolConfig {
+    /// Worker count; `None` = machine parallelism.
+    pub threads: Option<usize>,
+    /// Pin worker *i* to a core (see `affinity` for which).
+    pub pin: bool,
+    /// Explicit CPU list; worker *i* pins to `affinity[i % len]`. `None`
+    /// with `pin` set pins worker *i* to core `i % online_cpus`.
+    pub affinity: Option<Vec<usize>>,
+}
+
+impl PoolConfig {
+    /// Read the environment knobs:
+    ///
+    /// * `DOB_THREADS=<n>` — worker count (CI runs a thread matrix).
+    /// * `DOB_PIN=1|0` — pin workers to cores / force off.
+    /// * `DOB_AFFINITY=<c0,c1,…>` — explicit CPU list (implies pinning
+    ///   unless `DOB_PIN=0`).
+    pub fn from_env() -> Self {
+        let threads = std::env::var("DOB_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&n: &usize| n >= 1);
+        let affinity = std::env::var("DOB_AFFINITY").ok().and_then(|s| {
+            let cpus: Vec<usize> = s
+                .split(',')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .filter_map(|t| t.parse().ok())
+                .collect();
+            (!cpus.is_empty()).then_some(cpus)
+        });
+        let pin = match std::env::var("DOB_PIN").ok().as_deref() {
+            Some("0") => false,
+            Some(_) => true,
+            None => affinity.is_some(),
+        };
+        PoolConfig {
+            threads,
+            pin,
+            affinity,
+        }
+    }
+}
+
+/// A binary fork-join thread pool with locality-aware work stealing.
 ///
 /// `Pool` implements [`Ctx`], so any algorithm written against the context
 /// abstraction runs in parallel by passing `&pool`:
@@ -365,17 +564,49 @@ pub struct Pool {
 }
 
 impl Pool {
-    /// Spawn a pool with `nthreads` workers (at least 1).
+    /// Spawn an unpinned pool with `nthreads` workers (at least 1).
     pub fn new(nthreads: usize) -> Self {
-        let nthreads = nthreads.max(1);
+        Pool::with_config(PoolConfig {
+            threads: Some(nthreads),
+            ..PoolConfig::default()
+        })
+    }
+
+    /// Spawn a pool of `nthreads` workers with worker *i* pinned to core
+    /// `i % online_cpus` (best effort; see [`crate::topo`]).
+    pub fn pinned(nthreads: usize) -> Self {
+        Pool::with_config(PoolConfig {
+            threads: Some(nthreads),
+            pin: true,
+            affinity: None,
+        })
+    }
+
+    /// Spawn a pool from an explicit [`PoolConfig`].
+    pub fn with_config(cfg: PoolConfig) -> Self {
+        let nthreads = cfg.threads.unwrap_or_else(topo::online_cpus).max(1);
+        let pin_map: Vec<Option<usize>> = (0..nthreads)
+            .map(|i| {
+                if !cfg.pin {
+                    return None;
+                }
+                Some(match &cfg.affinity {
+                    Some(cpus) => cpus[i % cpus.len()] % topo::MAX_CPUS,
+                    None => i % topo::online_cpus(),
+                })
+            })
+            .collect();
         let deques: Vec<Deque<JobRef>> = (0..nthreads).map(|_| Deque::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         let registry = Arc::new(Registry {
             injector: Injector::new(),
             stealers,
-            sleep: Sleep::new(),
+            inboxes: (0..nthreads).map(|_| Injector::new()).collect(),
+            sleepers: (0..nthreads).map(|_| Sleeper::new()).collect(),
             terminate: AtomicBool::new(false),
             nthreads,
+            pin_map,
+            pinned_ok: AtomicUsize::new(0),
             detached: AtomicUsize::new(0),
         });
         let handles = deques
@@ -409,20 +640,13 @@ impl Pool {
         }
     }
 
-    /// A pool sized by the `DOB_THREADS` environment variable when set (CI
-    /// runs the suite under a thread-count matrix through it), otherwise to
-    /// the machine (`available_parallelism`).
+    /// A pool configured by the environment: `DOB_THREADS` sizes it (CI
+    /// runs the suite under a thread-count matrix through it), `DOB_PIN` /
+    /// `DOB_AFFINITY` control core pinning (see [`PoolConfig::from_env`]);
+    /// unset variables fall back to the machine (`available_parallelism`,
+    /// unpinned).
     pub fn with_default_threads() -> Self {
-        let n = std::env::var("DOB_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .filter(|&n: &usize| n >= 1)
-            .unwrap_or_else(|| {
-                thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        Pool::new(n)
+        Pool::with_config(PoolConfig::from_env())
     }
 
     /// Process-wide shared pool, created on first use.
@@ -434,6 +658,17 @@ impl Pool {
     /// Number of worker threads.
     pub fn num_threads(&self) -> usize {
         self.registry.nthreads
+    }
+
+    /// Whether this pool was configured to pin its workers.
+    pub fn is_pinned(&self) -> bool {
+        self.registry.pin_map.iter().any(Option::is_some)
+    }
+
+    /// Workers whose pin actually took effect (0 on unsupported platforms
+    /// or after graceful degradation).
+    pub fn pinned_workers(&self) -> usize {
+        self.registry.pinned_ok.load(Ordering::SeqCst)
     }
 
     #[inline]
@@ -458,32 +693,18 @@ impl Pool {
         // and is executed exactly once.
         let job_ref = unsafe { job.as_job_ref() };
         self.registry.injector.push(job_ref);
-        self.registry.sleep.notify();
+        self.registry.notify_near(0);
         job.latch.as_lock().wait();
         unsafe { job.take_result() }
     }
 
-    fn join_worker<RA, RB>(
-        &self,
-        wt: &WorkerThread,
-        a: impl FnOnce(&Self) -> RA + Send,
-        b: impl FnOnce(&Self) -> RB + Send,
-    ) -> (RA, RB)
+    /// The wait side of a join: keep executing available work until
+    /// `job_b`'s latch is set. `job_b` may sit in our deque, in a remote
+    /// inbox, or already be running on a thief — all cases converge here.
+    fn wait_for_job<F, R>(&self, wt: &WorkerThread, job_b: &StackJob<F, R>, job_ref: JobRef)
     where
-        RA: Send,
-        RB: Send,
+        F: FnOnce() -> R,
     {
-        let job_b = StackJob::new(|| b(self), JobLatch::Spin(SpinLatch::new()));
-        // SAFETY: this frame does not return before job_b has run (the wait
-        // loop below runs even when `a` panics), and job_b runs once: either
-        // popped back by us or stolen, never both (deque semantics).
-        let job_ref = unsafe { job_b.as_job_ref() };
-        wt.deque.push(job_ref);
-        self.registry.sleep.notify();
-
-        let ra = panic::catch_unwind(AssertUnwindSafe(|| a(self)));
-
-        // Retrieve b: pop it back, or steal other work while a thief runs it.
         let latch = job_b.latch.as_spin();
         while !latch.probe() {
             if let Some(job) = wt.deque.pop() {
@@ -500,12 +721,96 @@ impl Pool {
                 std::hint::spin_loop();
             }
         }
+    }
+
+    fn join_worker<RA, RB>(
+        &self,
+        wt: &WorkerThread,
+        a: impl FnOnce(&Self) -> RA + Send,
+        b: impl FnOnce(&Self) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        self.join_worker_to(wt, a, b, wt.index)
+    }
+
+    /// `join` with `b` placed at worker `target_b`: on our own deque when
+    /// `target_b` is us (the classic pop-back fast path), otherwise in the
+    /// target's affine inbox.
+    fn join_worker_to<RA, RB>(
+        &self,
+        wt: &WorkerThread,
+        a: impl FnOnce(&Self) -> RA + Send,
+        b: impl FnOnce(&Self) -> RB + Send,
+        target_b: usize,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let job_b = StackJob::new(|| b(self), JobLatch::Spin(SpinLatch::new()));
+        // SAFETY: this frame does not return before job_b has run (the wait
+        // loop runs even when `a` panics), and job_b runs once: popped back,
+        // stolen, or drained from an inbox — never twice (queue semantics).
+        let job_ref = unsafe { job_b.as_job_ref() };
+        if target_b != wt.index {
+            self.registry.inboxes[target_b].push(job_ref);
+        } else if wt.deque.len() >= LOCAL_QUEUE_CAP {
+            // Bounded local deque: spill the overflow to the injector.
+            self.registry.injector.push(job_ref);
+        } else {
+            wt.deque.push(job_ref);
+        }
+        self.registry.notify_near(target_b);
+
+        let ra = panic::catch_unwind(AssertUnwindSafe(|| a(self)));
+
+        self.wait_for_job(wt, &job_b, job_ref);
 
         let rb = unsafe { job_b.take_result() };
         match ra {
             Ok(ra) => (ra, rb),
             Err(payload) => panic::resume_unwind(payload),
         }
+    }
+
+    /// Both sides hinted away from this worker: ship both jobs to their
+    /// target inboxes and service other work until both complete.
+    fn join_both_shipped<RA, RB>(
+        &self,
+        wt: &WorkerThread,
+        target_a: usize,
+        a: impl FnOnce(&Self) -> RA + Send,
+        target_b: usize,
+        b: impl FnOnce(&Self) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let job_a = StackJob::new(|| a(self), JobLatch::Spin(SpinLatch::new()));
+        let job_b = StackJob::new(|| b(self), JobLatch::Spin(SpinLatch::new()));
+        // SAFETY: as in join_worker_to — this frame blocks below until both
+        // latches are set, and each job executes exactly once.
+        let ref_a = unsafe { job_a.as_job_ref() };
+        let ref_b = unsafe { job_b.as_job_ref() };
+        self.registry.inboxes[target_a].push(ref_a);
+        self.registry.notify_near(target_a);
+        self.registry.inboxes[target_b].push(ref_b);
+        self.registry.notify_near(target_b);
+
+        while !(job_a.latch.as_spin().probe() && job_b.latch.as_spin().probe()) {
+            if let Some(job) = wt.find_work() {
+                unsafe { (job.exec)(job.data) };
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // Both latches are set; panics (if any) re-raise here, after the
+        // stack frames they point into are no longer shared.
+        unsafe { (job_a.take_result(), job_b.take_result()) }
     }
 }
 
@@ -524,6 +829,48 @@ impl Ctx for Pool {
             // Calls from outside the pool enter it first; the nested join
             // then lands on a worker and takes the parallel path.
             None => self.run(move |p| p.join_worker(p.current_worker().unwrap(), a, b)),
+        }
+    }
+
+    /// [`join`](Ctx::join) routed by placement hints: each side prefers the
+    /// worker `hint % num_threads`. The side hinted at the current worker
+    /// (or an arbitrary one, when neither matches) runs inline; remote
+    /// sides go to their target's affine inbox.
+    fn join_hint<RA, RB>(
+        &self,
+        hint_a: usize,
+        hint_b: usize,
+        a: impl FnOnce(&Self) -> RA + Send,
+        b: impl FnOnce(&Self) -> RB + Send,
+    ) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+    {
+        let n = self.registry.nthreads;
+        let (ta, tb) = (hint_a % n, hint_b % n);
+        match self.current_worker() {
+            Some(wt) => {
+                if ta == wt.index || ta == tb || n == 1 {
+                    self.join_worker_to(wt, a, b, tb)
+                } else if tb == wt.index {
+                    let (rb, ra) = self.join_worker_to(wt, b, a, ta);
+                    (ra, rb)
+                } else {
+                    self.join_both_shipped(wt, ta, a, tb, b)
+                }
+            }
+            None => self.run(move |p| {
+                let wt = p.current_worker().unwrap();
+                if ta == wt.index || ta == tb || n == 1 {
+                    p.join_worker_to(wt, a, b, tb)
+                } else if tb == wt.index {
+                    let (rb, ra) = p.join_worker_to(wt, b, a, ta);
+                    (ra, rb)
+                } else {
+                    p.join_both_shipped(wt, ta, a, tb, b)
+                }
+            }),
         }
     }
 
@@ -549,10 +896,10 @@ impl Ctx for Pool {
             task_state.complete(result);
             let reg = &*ctx.registry;
             reg.detached.fetch_sub(1, Ordering::SeqCst);
-            reg.sleep.notify();
+            reg.notify_all();
         });
         self.registry.injector.push(heap_job(job));
-        self.registry.sleep.notify();
+        self.registry.notify_near(0);
         Deferred::from_task(state)
     }
 }
@@ -567,7 +914,7 @@ impl Drop for Pool {
         // never silently dropped, and a `Deferred` held past the pool's
         // life joins an already-completed slot.
         while self.registry.detached.load(Ordering::SeqCst) > 0 {
-            self.registry.sleep.notify();
+            self.registry.notify_all();
             thread::yield_now();
         }
         self.registry.terminate.store(true, Ordering::Release);
@@ -575,7 +922,7 @@ impl Drop for Pool {
         for h in handles {
             // Workers wake at least every millisecond, observe `terminate`,
             // and exit.
-            self.registry.sleep.notify();
+            self.registry.notify_all();
             let _ = h.join();
         }
     }
@@ -626,6 +973,69 @@ mod tests {
     }
 
     #[test]
+    fn pinned_pool_computes_correctly() {
+        let pool = Pool::pinned(4);
+        assert!(pool.is_pinned());
+        assert_eq!(fib(&pool, 22), fib_seq(22));
+        // Pinning is best-effort: on linux we normally expect success, but
+        // a restrictive cpuset may legally leave workers unpinned.
+        assert!(pool.pinned_workers() <= 4);
+    }
+
+    #[test]
+    fn affinity_list_wraps_over_workers() {
+        let pool = Pool::with_config(PoolConfig {
+            threads: Some(3),
+            pin: true,
+            affinity: Some(vec![0]),
+        });
+        assert!(pool.is_pinned());
+        assert_eq!(fib(&pool, 20), fib_seq(20));
+    }
+
+    #[test]
+    fn join_hint_routes_and_returns_in_order() {
+        let pool = Pool::new(4);
+        pool.run(|p| {
+            // All four placements: both local, a remote, b remote, both
+            // remote. Results must always come back in (a, b) order.
+            for (ha, hb) in [(0, 0), (1, 0), (0, 1), (2, 3)] {
+                let (a, b) = p.join_hint(ha, hb, |_| 10, |_| 20);
+                assert_eq!((a, b), (10, 20));
+            }
+        });
+    }
+
+    #[test]
+    fn join_hint_from_external_thread() {
+        let pool = Pool::new(2);
+        let (a, b) = pool.join_hint(0, 1, |c| fib(c, 16), |c| fib(c, 14));
+        assert_eq!((a, b), (fib_seq(16), fib_seq(14)));
+    }
+
+    #[test]
+    fn join_hint_is_just_advice_under_load() {
+        let pool = Pool::new(2);
+        pool.run(|p| {
+            let total: u64 = (0..64)
+                .map(|i| {
+                    let (a, b) = p.join_hint(i, i + 1, |_| 1u64, |_| 2u64);
+                    a + b
+                })
+                .sum();
+            assert_eq!(total, 64 * 3);
+        });
+    }
+
+    #[test]
+    fn current_worker_index_inside_and_outside() {
+        assert_eq!(current_worker_index(), None);
+        let pool = Pool::new(3);
+        let idx = pool.run(|_| current_worker_index());
+        assert!(matches!(idx, Some(i) if i < 3));
+    }
+
+    #[test]
     fn par_for_covers_every_index_once() {
         let pool = Pool::new(8);
         let n = 100_000;
@@ -664,6 +1074,16 @@ mod tests {
             pool.join(|_| 1, |_| -> i32 { panic!("boom-b") })
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn panic_under_join_hint_propagates() {
+        let pool = Pool::new(4);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|p| p.join_hint(1, 2, |_| 1, |_| -> i32 { panic!("boom-hint") }))
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.join(|_| 1, |_| 2), (1, 2));
     }
 
     #[test]
@@ -744,9 +1164,16 @@ mod tests {
     }
 
     #[test]
-    fn dob_threads_env_sizes_the_default_pool() {
-        // One test body for all three cases: env mutation is process-global
-        // and must not race a parallel test.
+    fn seq_ctx_join_hint_ignores_hints() {
+        let c = crate::SeqCtx::new();
+        let (a, b) = c.join_hint(17, 3, |_| 1, |_| 2);
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn dob_env_knobs_shape_the_default_pool() {
+        // One test body for all cases: env mutation is process-global and
+        // must not race a parallel test.
         std::env::set_var("DOB_THREADS", "3");
         assert_eq!(Pool::with_default_threads().num_threads(), 3);
         std::env::set_var("DOB_THREADS", "not-a-number");
@@ -756,5 +1183,30 @@ mod tests {
         assert_eq!(Pool::with_default_threads().num_threads(), fallback);
         std::env::remove_var("DOB_THREADS");
         assert_eq!(Pool::with_default_threads().num_threads(), fallback);
+
+        // DOB_PIN turns pinning on; DOB_PIN=0 overrides DOB_AFFINITY.
+        std::env::set_var("DOB_THREADS", "2");
+        std::env::set_var("DOB_PIN", "1");
+        let p = Pool::with_default_threads();
+        assert!(p.is_pinned());
+        assert_eq!(p.join(|_| 2, |_| 3), (2, 3));
+        drop(p);
+
+        std::env::set_var("DOB_AFFINITY", "0, 1");
+        std::env::set_var("DOB_PIN", "0");
+        assert!(!Pool::with_default_threads().is_pinned());
+
+        // DOB_AFFINITY alone implies pinning.
+        std::env::remove_var("DOB_PIN");
+        let p = Pool::with_default_threads();
+        assert!(p.is_pinned());
+        drop(p);
+
+        // Garbage affinity lists are ignored (no panic, no pin).
+        std::env::set_var("DOB_AFFINITY", ",,junk,");
+        assert!(!Pool::with_default_threads().is_pinned());
+
+        std::env::remove_var("DOB_AFFINITY");
+        std::env::remove_var("DOB_THREADS");
     }
 }

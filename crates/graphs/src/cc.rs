@@ -23,8 +23,8 @@
 use fj::Ctx;
 use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
-use obliv_core::slot::{composite_key, Item, Slot};
-use obliv_core::{send_receive, Engine};
+use obliv_core::slot::composite_key;
+use obliv_core::{send_receive_u64, Engine, TagCell};
 
 const DUMMY: u64 = u64::MAX;
 
@@ -49,7 +49,7 @@ pub fn connected_components<C: Ctx>(
     for _round in 0..cc_rounds(n) {
         // Grand-labels rr[v] = D[D[v]].
         let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-        let rr: Vec<u64> = send_receive(c, scratch, &sources, &d, engine, Schedule::Tree)
+        let rr: Vec<u64> = send_receive_u64(c, scratch, &sources, &d, engine, Schedule::Tree)
             .into_iter()
             .map(|o| o.expect("label in range"))
             .collect();
@@ -60,7 +60,7 @@ pub fn connected_components<C: Ctx>(
             .iter()
             .flat_map(|&(u, v)| [u as u64, v as u64])
             .collect();
-        let end_rr = send_receive(c, scratch, &rr_sources, &ends, engine, Schedule::Tree);
+        let end_rr = send_receive_u64(c, scratch, &rr_sources, &ends, engine, Schedule::Tree);
 
         // Hook proposals: target = larger grand-label, value = smaller.
         let proposals: Vec<(u64, u64)> = (0..m)
@@ -82,7 +82,7 @@ pub fn connected_components<C: Ctx>(
         let winners = min_per_target(c, scratch, &proposals, engine);
 
         // Apply hooks: D[t] = min(D[t], proposal).
-        let hook_res = send_receive(c, scratch, &winners, &all_v, engine, Schedule::Tree);
+        let hook_res = send_receive_u64(c, scratch, &winners, &all_v, engine, Schedule::Tree);
         {
             let mut dt = Tracked::new(c, &mut d);
             let dr = dt.as_raw();
@@ -98,7 +98,7 @@ pub fn connected_components<C: Ctx>(
         // Two shortcut (pointer-doubling) steps.
         for _ in 0..2 {
             let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-            d = send_receive(c, scratch, &sources, &d, engine, Schedule::Tree)
+            d = send_receive_u64(c, scratch, &sources, &d, engine, Schedule::Tree)
                 .into_iter()
                 .map(|o| o.expect("label in range"))
                 .collect();
@@ -116,27 +116,25 @@ fn min_per_target<C: Ctx>(
     engine: Engine,
 ) -> Vec<(u64, u64)> {
     let m = proposals.len().next_power_of_two().max(1);
-    let mut slots = scratch.lease(
-        m,
-        Slot {
-            sk: u128::MAX,
-            ..Slot::<(u64, u64)>::filler()
-        },
-    );
-    for (slot, &(t, v)) in slots.iter_mut().zip(proposals.iter()) {
-        *slot = Slot::real(Item::new(0, (t, v)), 0);
-        slot.sk = composite_key(t, v);
+    // The whole (target, value) pair fits in the 128-bit tag, so the sort
+    // moves packed 32-byte `TagCell`s instead of ~96-byte slots (the PR-5
+    // fast path). Fillers carry tag `u128::MAX`, strictly above every real
+    // composite key (values are labels `< n`), so reals occupy a prefix;
+    // equal tags are identical pairs, so the unstable network is safe.
+    let mut cells = scratch.lease(m, TagCell::filler());
+    for (cell, &(t, v)) in cells.iter_mut().zip(proposals.iter()) {
+        *cell = TagCell::new(composite_key(t, v), 0);
     }
     {
-        let mut t = Tracked::new(c, &mut slots);
-        engine.sort_slots(c, scratch, &mut t);
+        let mut t = Tracked::new(c, &mut cells);
+        engine.sort_cells(c, scratch, &mut t);
     }
     let out: Vec<(u64, u64)> = (0..proposals.len())
         .map(|i| {
-            let s = slots[i];
-            let head = i == 0 || slots[i - 1].item.val.0 != s.item.val.0;
-            if s.is_real() && head && s.item.val.0 != DUMMY {
-                s.item.val
+            let (t, v) = ((cells[i].tag >> 64) as u64, cells[i].tag as u64);
+            let head = i == 0 || (cells[i - 1].tag >> 64) as u64 != t;
+            if head && t != DUMMY {
+                (t, v)
             } else {
                 (DUMMY, 0)
             }

@@ -28,7 +28,7 @@ use fj::Ctx;
 use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
 use obliv_core::slot::{Item, Slot};
-use obliv_core::{send_receive, Engine, OrbaParams};
+use obliv_core::{send_receive, send_receive_u64, Engine, OrbaParams, TagCell};
 
 const NONE: u64 = u64::MAX;
 /// Dummy-key base for send-receive channels (above any node id).
@@ -220,9 +220,9 @@ fn rake_substep<C: Ctx>(
         right_q[i] = r.id * 2 + 1;
     }
     let sib_res = send_receive(c, scratch, &sib_src, &ids, engine, Schedule::Tree);
-    let left_res = send_receive(c, scratch, &child_src, &left_q, engine, Schedule::Tree);
-    let right_res = send_receive(c, scratch, &child_src, &right_q, engine, Schedule::Tree);
-    let kill_res = send_receive(c, scratch, &kill_src, &ids, engine, Schedule::Tree);
+    let left_res = send_receive_u64(c, scratch, &child_src, &left_q, engine, Schedule::Tree);
+    let right_res = send_receive_u64(c, scratch, &child_src, &right_q, engine, Schedule::Tree);
+    let kill_res = send_receive_u64(c, scratch, &kill_src, &ids, engine, Schedule::Tree);
 
     // Apply updates. The sibling channel carries (c_val, op, p.a, p.b) and
     // the new parent/side arrive via the parent record we already fetched.
@@ -344,7 +344,7 @@ fn assign_leaf_labels<C: Ctx>(
             }
         })
         .collect();
-    let sib_res = send_receive(c, scratch, &sib_sources, &sib_q, engine, Schedule::Tree);
+    let sib_res = send_receive_u64(c, scratch, &sib_sources, &sib_q, engine, Schedule::Tree);
     for (i, r) in nodes.iter().enumerate() {
         let v = r.id as usize;
         if succ[2 * v + 1] == usize::MAX {
@@ -362,34 +362,32 @@ fn assign_leaf_labels<C: Ctx>(
         .collect();
 
     // Leaves sorted by entry position get labels 1..L; route back by id.
+    // The sort rides in packed 32-byte `TagCell`s (the PR-5 fast path):
+    // tag = tour position for leaves (distinct) / `u128::MAX - 1` for
+    // internal nodes (order among them is irrelevant — their labels are
+    // never read), aux = node id.
     let m = n.next_power_of_two();
-    let mut slots = scratch.lease(
-        m,
-        Slot {
-            sk: u128::MAX,
-            ..Slot::<u64>::filler()
-        },
-    );
-    for (slot, r) in slots.iter_mut().zip(nodes.iter()) {
-        *slot = Slot::real(Item::new(0, r.id), 0);
-        slot.sk = if r.is_leaf {
+    let mut cells = scratch.lease(m, TagCell::filler());
+    for (cell, r) in cells.iter_mut().zip(nodes.iter()) {
+        let tag = if r.is_leaf {
             pos[2 * r.id as usize] as u128
         } else {
             u128::MAX - 1
         };
+        *cell = TagCell::new(tag, r.id as u128);
     }
     {
-        let mut t = Tracked::new(c, &mut slots);
-        engine.sort_slots(c, scratch, &mut t);
+        let mut t = Tracked::new(c, &mut cells);
+        engine.sort_cells(c, scratch, &mut t);
     }
-    let label_sources: Vec<(u64, u64)> = slots
+    let label_sources: Vec<(u64, u64)> = cells
         .iter()
         .take(n)
         .enumerate()
-        .map(|(k, s)| (s.item.val, k as u64 + 1))
+        .map(|(k, s)| (s.aux as u64, k as u64 + 1))
         .collect();
     let ids: Vec<u64> = nodes.iter().map(|r| r.id).collect();
-    let labels = send_receive(c, scratch, &label_sources, &ids, engine, Schedule::Tree);
+    let labels = send_receive_u64(c, scratch, &label_sources, &ids, engine, Schedule::Tree);
     let leaf_count = nodes.iter().filter(|r| r.is_leaf).count() as u64;
     for (i, r) in nodes.iter_mut().enumerate() {
         if r.is_leaf {

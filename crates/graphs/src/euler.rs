@@ -17,8 +17,7 @@ use crate::listrank::list_rank_oblivious;
 use fj::Ctx;
 use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::{seg_propagate_in, Schedule, Seg};
-use obliv_core::slot::{Item, Slot};
-use obliv_core::{send_receive, Engine, OrbaParams};
+use obliv_core::{send_receive, send_receive_u64, Engine, OrbaParams, TagCell};
 
 fn arc_key(u: usize, v: usize) -> u64 {
     ((u as u64) << 32) | v as u64
@@ -43,26 +42,26 @@ pub fn euler_tour<C: Ctx>(
     assert!(l >= 2, "tree must have at least one edge");
     let m = l.next_power_of_two();
 
-    // Both directions of every edge, as slots keyed by (tail, head).
-    let mut slots = scratch.lease(
-        m,
-        Slot {
-            sk: u128::MAX,
-            ..Slot::<(u32, u32)>::filler()
-        },
-    );
-    for (slot, (u, v)) in slots
+    // Both directions of every edge, as packed cells keyed by (tail, head):
+    // the arc fits the 16-byte aux lane, so the sort moves 32-byte
+    // `TagCell`s instead of ~96-byte slots (the PR-5 fast path, applied to
+    // the Euler-tour keys). Arc keys are distinct in a tree, so the
+    // unstable cell network needs no tiebreak.
+    let mut cells = scratch.lease(m, TagCell::filler());
+    for (cell, (u, v)) in cells
         .iter_mut()
         .zip(edges.iter().flat_map(|&(u, v)| [(u, v), (v, u)]))
     {
-        *slot = Slot::real(Item::new(0, (u as u32, v as u32)), 0);
-        slot.sk = arc_key(u, v) as u128;
+        *cell = TagCell::new(arc_key(u, v) as u128, ((u as u128) << 32) | v as u128);
     }
     {
-        let mut t = Tracked::new(c, &mut slots);
-        engine.sort_slots(c, scratch, &mut t);
+        let mut t = Tracked::new(c, &mut cells);
+        engine.sort_cells(c, scratch, &mut t);
     }
-    let arcs: Vec<(u32, u32)> = slots[..l].iter().map(|s| s.item.val).collect();
+    let arcs: Vec<(u32, u32)> = cells[..l]
+        .iter()
+        .map(|s| ((s.aux >> 32) as u32, s.aux as u32))
+        .collect();
 
     // Successor within each tail's circular adjacency list: next arc with
     // the same tail, wrapping to the group head (obliviously propagated).
@@ -96,7 +95,7 @@ pub fn euler_tour<C: Ctx>(
         .iter()
         .map(|&(u, v)| arc_key(v as usize, u as usize))
         .collect();
-    let succ = send_receive(c, scratch, &sources, &dests, engine, Schedule::Tree)
+    let succ = send_receive_u64(c, scratch, &sources, &dests, engine, Schedule::Tree)
         .into_iter()
         .map(|o| o.expect("reverse arc exists in a tree") as usize)
         .collect();
@@ -182,7 +181,7 @@ pub fn rooted_tree_stats<C: Ctx>(
         .map(|&(u, v)| arc_key(v as usize, u as usize))
         .collect();
     let rev_pos: Vec<u64> =
-        send_receive(c, scratch, &pos_sources, &rev_dests, engine, Schedule::Tree)
+        send_receive_u64(c, scratch, &pos_sources, &rev_dests, engine, Schedule::Tree)
             .into_iter()
             .map(|o| o.expect("reverse arc"))
             .collect();
@@ -258,7 +257,7 @@ pub fn rooted_tree_stats<C: Ctx>(
         engine,
         Schedule::Tree,
     );
-    let post_results = send_receive(
+    let post_results = send_receive_u64(
         c,
         scratch,
         &post_sources,

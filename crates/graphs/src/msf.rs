@@ -23,8 +23,7 @@
 use fj::Ctx;
 use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
-use obliv_core::slot::{Item, Slot};
-use obliv_core::{send_receive, Engine};
+use obliv_core::{send_receive_u64, Engine, TagCell};
 
 const DUMMY: u64 = u64::MAX;
 
@@ -58,7 +57,7 @@ pub fn msf<C: Ctx>(
         // 1. Flatten.
         for _ in 0..lg {
             let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-            d = send_receive(c, scratch, &sources, &d, engine, Schedule::Tree)
+            d = send_receive_u64(c, scratch, &sources, &d, engine, Schedule::Tree)
                 .into_iter()
                 .map(|o| o.expect("label in range"))
                 .collect();
@@ -70,37 +69,35 @@ pub fn msf<C: Ctx>(
             .iter()
             .flat_map(|&(u, v, _)| [u as u64, v as u64])
             .collect();
-        let end_comp = send_receive(c, scratch, &comp_sources, &ends, engine, Schedule::Tree);
+        let end_comp = send_receive_u64(c, scratch, &comp_sources, &ends, engine, Schedule::Tree);
 
         // 3. Per-component minimum incident edge: both half-edges propose.
-        let mut proposals: Vec<Slot<(u64, u64, u64, u64)>> = Vec::with_capacity(2 * m);
+        // Proposals ride in packed 32-byte `TagCell`s (the PR-5 fast path):
+        // the (component ‖ weight ‖ edge id) composite key is the tag, and
+        // (component ‖ other endpoint) packs into the 128-bit aux lane.
+        // Distinct edge ids make real tags distinct (same-edge non-cross
+        // duplicates are discarded regardless of order), so the unstable
+        // cell network is safe.
+        let p2 = (2 * m).next_power_of_two().max(1);
+        let mut proposals = scratch.lease(p2, TagCell::filler());
         for e in 0..m {
             let (cu, cv) = (
                 end_comp[2 * e].expect("endpoint"),
                 end_comp[2 * e + 1].expect("endpoint"),
             );
             let w = edges[e].2;
-            for &(mine, other) in &[(cu, cv), (cv, cu)] {
+            for (side, &(mine, other)) in [(cu, cv), (cv, cu)].iter().enumerate() {
                 let cross = cu != cv;
                 let comp = if cross { mine } else { DUMMY };
-                let mut s = Slot::real(Item::new(0, (comp, e as u64, other, w)), 0);
                 // (component ‖ weight ‖ edge id); weights and ids < 2^40.
-                s.sk = ((comp as u128) << 72) | ((w as u128) << 32) | e as u128;
-                proposals.push(s);
+                let tag = ((comp as u128) << 72) | ((w as u128) << 32) | e as u128;
+                proposals[2 * e + side] = TagCell::new(tag, ((comp as u128) << 64) | other as u128);
             }
         }
         c.charge_par(2 * m as u64);
-        let p2 = (2 * m).next_power_of_two().max(1);
-        proposals.resize(
-            p2,
-            Slot {
-                sk: u128::MAX,
-                ..Slot::filler()
-            },
-        );
         {
             let mut t = Tracked::new(c, &mut proposals);
-            engine.sort_slots(c, scratch, &mut t);
+            engine.sort_cells(c, scratch, &mut t);
         }
 
         // Winners: head of each component run.
@@ -110,9 +107,11 @@ pub fn msf<C: Ctx>(
                     return (DUMMY - 1, (0, 0));
                 }
                 let s = proposals[i];
-                let head = i == 0 || proposals[i - 1].item.val.0 != s.item.val.0;
-                if s.is_real() && head && s.item.val.0 != DUMMY {
-                    (s.item.val.0, (s.item.val.1, s.item.val.2)) // comp -> (eid, other)
+                let comp = (s.aux >> 64) as u64;
+                let head = i == 0 || (proposals[i - 1].aux >> 64) as u64 != comp;
+                if !s.is_filler() && head && comp != DUMMY {
+                    let (eid, other) = (s.tag as u32 as u64, s.aux as u64);
+                    (comp, (eid, other))
                 } else {
                     (DUMMY - 1 - i as u64, (0, 0)) // distinct dummies
                 }
@@ -125,7 +124,7 @@ pub fn msf<C: Ctx>(
             .iter()
             .map(|&(comp, (_, other))| (comp, other))
             .collect();
-        let hooks = send_receive(c, scratch, &hook_sources, &all_v, engine, Schedule::Tree);
+        let hooks = send_receive_u64(c, scratch, &hook_sources, &all_v, engine, Schedule::Tree);
         {
             let mut dt = Tracked::new(c, &mut d);
             let dr = dt.as_raw();
@@ -138,7 +137,7 @@ pub fn msf<C: Ctx>(
         }
         // Break 2-cycles: if D[D[v]] == v, the smaller id becomes root.
         let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-        let dd = send_receive(c, scratch, &sources, &d, engine, Schedule::Tree);
+        let dd = send_receive_u64(c, scratch, &sources, &d, engine, Schedule::Tree);
         {
             let mut dt = Tracked::new(c, &mut d);
             let dr = dt.as_raw();
@@ -156,35 +155,28 @@ pub fn msf<C: Ctx>(
         // 5. Deduplicate chosen edges (oblivious sort by edge id) and route
         // the selection flags back to the edges with send-receive, so the
         // forest bookkeeping never indexes memory by a secret edge id.
-        let mut chosen: Vec<Slot<u64>> = winners
-            .iter()
-            .map(|&(comp, (eid, _))| {
-                let real = comp < DUMMY - (2 * m.max(1)) as u64; // non-dummy winner
-                let mut s = Slot::real(Item::new(0, eid), real as u64);
-                s.sk = if real { eid as u128 } else { u128::MAX - 1 };
-                s
-            })
-            .collect();
-        chosen.resize(
-            p2,
-            Slot {
-                sk: u128::MAX,
-                ..Slot::filler()
-            },
-        );
+        // Chosen-edge dedup also rides in cells: tag = edge id for real
+        // winners (duplicates of the same eid are identical cells, so the
+        // unstable network is safe), `u128::MAX - 1` for non-winners, and
+        // the aux lane carries (real flag ‖ eid) for the readout.
+        let mut chosen = scratch.lease(p2, TagCell::filler());
+        for (cell, &(comp, (eid, _))) in chosen.iter_mut().zip(winners.iter()) {
+            let real = comp < DUMMY - (2 * m.max(1)) as u64; // non-dummy winner
+            let tag = if real { eid as u128 } else { u128::MAX - 1 };
+            *cell = TagCell::new(tag, ((real as u128) << 64) | eid as u128);
+        }
         {
             let mut t = Tracked::new(c, &mut chosen);
-            engine.sort_slots(c, scratch, &mut t);
+            engine.sort_cells(c, scratch, &mut t);
         }
         let flag_sources: Vec<(u64, u64)> = (0..chosen.len())
             .map(|i| {
                 let s = chosen[i];
-                let real = s.is_real() && s.label == 1;
-                let head = i == 0
-                    || chosen[i - 1].item.val != s.item.val
-                    || !(chosen[i - 1].is_real() && chosen[i - 1].label == 1);
+                let (real, eid) = ((s.aux >> 64) == 1, s.aux as u64);
+                let head =
+                    i == 0 || chosen[i - 1].aux as u64 != eid || (chosen[i - 1].aux >> 64) != 1;
                 if real && head {
-                    (s.item.val, 1)
+                    (eid, 1)
                 } else {
                     ((1u64 << 48) + i as u64, 0) // distinct dummy keys
                 }
@@ -192,7 +184,7 @@ pub fn msf<C: Ctx>(
             .collect();
         c.charge_par(chosen.len() as u64);
         let edge_ids: Vec<u64> = (0..m as u64).collect();
-        let flags = send_receive(c, scratch, &flag_sources, &edge_ids, engine, Schedule::Tree);
+        let flags = send_receive_u64(c, scratch, &flag_sources, &edge_ids, engine, Schedule::Tree);
         for e in 0..m {
             let newly = flags[e].is_some() && !in_forest[e];
             in_forest[e] |= newly;
@@ -204,7 +196,7 @@ pub fn msf<C: Ctx>(
     // Final flatten for clean component labels.
     for _ in 0..lg {
         let sources: Vec<(u64, u64)> = (0..n).map(|v| (v as u64, d[v])).collect();
-        d = send_receive(c, scratch, &sources, &d, engine, Schedule::Tree)
+        d = send_receive_u64(c, scratch, &sources, &d, engine, Schedule::Tree)
             .into_iter()
             .map(|o| o.expect("label in range"))
             .collect();

@@ -32,11 +32,34 @@
 //!
 //! The pool is `Sync`: kernels lease concurrently from worker threads
 //! under [`fj::Pool`] (per-class mutexes, uncontended in the common case).
+//!
+//! ## Per-core lanes
+//!
+//! On a multi-threaded pool the single shared freelist becomes a
+//! cross-core ping-pong point: worker A frees a buffer whose cache lines
+//! sit in A's L2, worker B leases it and pays the coherence misses. The
+//! pool therefore keeps **worker-indexed lanes** (one freelist set per
+//! [`fj::Pool`] worker index, resolved via [`fj::current_worker_index`]):
+//! a lease is served from the calling worker's own lane first, and a
+//! returned buffer goes back to the lane of whichever worker drops the
+//! guard — so in steady state a buffer circulates within one core. The
+//! shared freelist remains as the spill tier (non-worker threads, and
+//! lane misses), and a lease *steals from other lanes* before touching the
+//! allocator, which keeps [`fresh_allocs`](ScratchPool::fresh_allocs)
+//! exact: it grows only when no free buffer of the class exists anywhere
+//! in the pool — the invariant the zero-growth alloc-gate asserts, pinned
+//! or not. Lane residency affects only *backing identity*, which the
+//! adversary trace cannot see (the trace-equality tests cover the lane
+//! configuration too).
 
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Number of per-worker lanes; worker `i` uses lane `i % NLANES`. Sixteen
+/// covers every pool size the benches run; larger pools just share lanes.
+const NLANES: usize = 16;
 
 /// Number of power-of-two size classes. Class `k` holds buffers of
 /// `16 << k` bytes; class 47 tops out at 2 PiB, far beyond any real lease.
@@ -69,10 +92,15 @@ const fn class_words(class: usize) -> usize {
 /// `tests/alloc_gate.rs` for the enforced budget).
 #[derive(Debug)]
 pub struct ScratchPool {
+    /// Shared spill tier: non-worker threads, plus overflow from lanes.
     classes: [Mutex<Vec<Backing>>; NCLASSES],
+    /// Worker-indexed lanes (see module docs, "Per-core lanes").
+    lanes: Vec<[Mutex<Vec<Backing>>; NCLASSES]>,
     leases: AtomicU64,
     fresh: AtomicU64,
     resident: AtomicU64,
+    lane_hits: AtomicU64,
+    spills: AtomicU64,
 }
 
 impl Default for ScratchPool {
@@ -85,10 +113,56 @@ impl ScratchPool {
     pub fn new() -> Self {
         ScratchPool {
             classes: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            lanes: (0..NLANES)
+                .map(|_| std::array::from_fn(|_| Mutex::new(Vec::new())))
+                .collect(),
             leases: AtomicU64::new(0),
             fresh: AtomicU64::new(0),
             resident: AtomicU64::new(0),
+            lane_hits: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
         }
+    }
+
+    /// Lane of the calling thread: its pool worker index, if any.
+    fn lane_of_current() -> Option<usize> {
+        fj::current_worker_index().map(|w| w % NLANES)
+    }
+
+    fn pop_class(slot: &Mutex<Vec<Backing>>) -> Option<Backing> {
+        slot.lock().unwrap_or_else(|e| e.into_inner()).pop()
+    }
+
+    /// Find a recycled buffer of `class`: own lane, then the shared tier,
+    /// then — before ever touching the allocator — every other lane. The
+    /// full scan is what keeps `fresh_allocs` an exact "no free buffer of
+    /// this class existed anywhere" count even when leases and returns
+    /// happen on different workers.
+    fn recycle(&self, class: usize, lane: Option<usize>) -> Option<Backing> {
+        if let Some(l) = lane {
+            if let Some(b) = Self::pop_class(&self.lanes[l][class]) {
+                self.lane_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(b);
+            }
+        }
+        if let Some(b) = Self::pop_class(&self.classes[class]) {
+            if lane.is_some() {
+                self.spills.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(b);
+        }
+        for (l, other) in self.lanes.iter().enumerate() {
+            if Some(l) == lane {
+                continue;
+            }
+            if let Some(b) = Self::pop_class(&other[class]) {
+                if lane.is_some() {
+                    self.spills.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(b);
+            }
+        }
+        None
     }
 
     /// Lease a buffer of `len` elements, every one initialized to `fill`.
@@ -107,10 +181,7 @@ impl ScratchPool {
             .expect("scratch lease size overflow")
             .max(1);
         let class = class_of(bytes);
-        let recycled = self.classes[class]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop();
+        let recycled = self.recycle(class, Self::lane_of_current());
         let mut store = recycled.unwrap_or_else(|| {
             self.fresh.fetch_add(1, Ordering::Relaxed);
             self.resident
@@ -150,15 +221,31 @@ impl ScratchPool {
         self.resident.load(Ordering::Relaxed)
     }
 
+    /// Leases served from the calling worker's own lane (the no-bounce
+    /// fast path).
+    pub fn lane_hits(&self) -> u64 {
+        self.lane_hits.load(Ordering::Relaxed)
+    }
+
+    /// Worker leases served from the shared tier or a foreign lane —
+    /// recycled storage that crossed cores. Steady-state affine workloads
+    /// should hold this near zero; it never implies a fresh allocation.
+    pub fn spill_leases(&self) -> u64 {
+        self.spills.load(Ordering::Relaxed)
+    }
+
+    /// Returned buffers land in the lane of the worker that *drops* the
+    /// guard: the storage stays with the core whose cache last touched it.
     fn give_back(&self, store: Backing) {
         if store.is_empty() {
             return;
         }
         let class = class_of(store.len() * std::mem::size_of::<u128>());
-        self.classes[class]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(store);
+        let slot = match Self::lane_of_current() {
+            Some(l) => &self.lanes[l][class],
+            None => &self.classes[class],
+        };
+        slot.lock().unwrap_or_else(|e| e.into_inner()).push(store);
     }
 }
 
@@ -277,6 +364,62 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(sp.leases(), 8 * 200);
+    }
+
+    #[test]
+    fn worker_leases_use_lanes() {
+        use fj::Ctx;
+        let sp = ScratchPool::new();
+        let pool = fj::Pool::new(1);
+        // Warm: lease + drop on worker 0 leaves the buffer in lane 0.
+        pool.run(|_| {
+            let _g = sp.lease(100, 0u64);
+        });
+        assert_eq!(sp.fresh_allocs(), 1);
+        // Re-lease on the same worker: lane hit, no fresh alloc, no spill.
+        pool.run(|_| {
+            let g = sp.lease(100, 3u64);
+            assert!(g.iter().all(|&x| x == 3));
+        });
+        assert_eq!(sp.fresh_allocs(), 1);
+        assert!(sp.lane_hits() >= 1);
+        assert_eq!(sp.spill_leases(), 0);
+        let _ = pool.join(|_| (), |_| ());
+    }
+
+    #[test]
+    fn lane_residency_never_forces_a_fresh_alloc() {
+        // A buffer freed into worker 0's lane must still satisfy a lease
+        // from a non-worker thread (exact zero-growth accounting): the
+        // recycle path scans foreign lanes before allocating.
+        let sp = ScratchPool::new();
+        let pool = fj::Pool::new(1);
+        pool.run(|_| {
+            let _g = sp.lease(500, 7u64);
+        });
+        assert_eq!(sp.fresh_allocs(), 1);
+        drop(pool);
+        // Main thread has no lane; the buffer lives in lane 0.
+        let g = sp.lease(500, 9u64);
+        assert!(g.iter().all(|&x| x == 9));
+        assert_eq!(sp.fresh_allocs(), 1, "lane-resident buffer must be found");
+        assert_eq!(sp.spill_leases(), 0, "non-worker leases are not spills");
+    }
+
+    #[test]
+    fn cross_lane_steal_counts_as_spill() {
+        let sp = ScratchPool::new();
+        // Park a buffer in the shared tier from a non-worker thread.
+        drop(sp.lease(64, 0u64));
+        assert_eq!(sp.fresh_allocs(), 1);
+        // A worker lease missing its lane takes the shared buffer: spill.
+        let pool = fj::Pool::new(1);
+        pool.run(|_| {
+            let g = sp.lease(64, 1u64);
+            assert!(g.iter().all(|&x| x == 1));
+        });
+        assert_eq!(sp.fresh_allocs(), 1);
+        assert_eq!(sp.spill_leases(), 1);
     }
 
     #[test]

@@ -22,8 +22,8 @@ use crate::model::{Program, WriteReq};
 use fj::{grain_for, par_for, Ctx};
 use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
-use obliv_core::slot::{composite_key, Item, Slot};
-use obliv_core::{send_receive, Engine};
+use obliv_core::slot::composite_key;
+use obliv_core::{send_receive_u64, Engine, TagCell};
 
 /// Dummy key: no memory cell has this address (`s < 2⁶⁴`).
 const DUMMY: u64 = u64::MAX;
@@ -61,7 +61,7 @@ pub fn run_oblivious_sb<C: Ctx, P: Program>(
             });
         }
         let sources: Vec<(u64, u64)> = snapshot_memory(c, &mut mem);
-        let fetched = send_receive(c, scratch, &sources, &dests, engine, Schedule::Tree);
+        let fetched = send_receive_u64(c, scratch, &sources, &dests, engine, Schedule::Tree);
 
         // --- Local compute.
         let mut writes: Vec<Option<WriteReq>> = vec![None; p];
@@ -82,7 +82,7 @@ pub fn run_oblivious_sb<C: Ctx, P: Program>(
 
         // --- Write step: conflict resolution + memory update.
         let winners = resolve_conflicts(c, scratch, &writes, engine);
-        let updates = send_receive(c, scratch, &winners, &all_addrs, engine, Schedule::Tree);
+        let updates = send_receive_u64(c, scratch, &winners, &all_addrs, engine, Schedule::Tree);
         {
             let mut mem_t = Tracked::new(c, &mut mem);
             let mr = mem_t.as_raw();
@@ -127,26 +127,20 @@ fn resolve_conflicts<C: Ctx>(
 ) -> Vec<(u64, u64)> {
     let p = writes.len();
     let m = p.next_power_of_two();
-    let mut slots: Vec<Slot<(u64, u64)>> = writes
-        .iter()
-        .enumerate()
-        .map(|(pid, w)| {
-            let (addr, val) = w.map_or((DUMMY, 0), |w| (w.addr as u64, w.val));
-            let mut sl = Slot::real(Item::new(0, (addr, val)), 0);
-            sl.sk = composite_key(addr, pid as u64);
-            sl
-        })
-        .collect();
-    slots.resize(
-        m,
-        Slot {
-            sk: u128::MAX,
-            ..Slot::filler()
-        },
-    );
+    // Write requests ride in packed 32-byte `TagCell`s (the PR-5 fast
+    // path): tag = composite (addr ‖ processor id) — distinct, so the
+    // unstable cell network is safe — and aux = (addr ‖ value).
+    let mut cells = scratch.lease(m, TagCell::filler());
+    for (cell, (pid, w)) in cells.iter_mut().zip(writes.iter().enumerate()) {
+        let (addr, val) = w.map_or((DUMMY, 0), |w| (w.addr as u64, w.val));
+        *cell = TagCell::new(
+            composite_key(addr, pid as u64),
+            ((addr as u128) << 64) | val as u128,
+        );
+    }
 
-    let mut t = Tracked::new(c, &mut slots);
-    engine.sort_slots(c, scratch, &mut t);
+    let mut t = Tracked::new(c, &mut cells);
+    engine.sort_cells(c, scratch, &mut t);
     // Two phases so neighbour reads never observe blinded slots (a fused
     // read-modify pass would let iteration i see i−1 already blinded and
     // mistake a run continuation for a head).
@@ -155,10 +149,10 @@ fn resolve_conflicts<C: Ctx>(
         metrics::par_collect(c, m, &|c, i| {
             // SAFETY: read-only phase.
             let sl = unsafe { tr.get(c, i) };
-            let addr = sl.item.val.0;
-            let head = i == 0 || unsafe { tr.get(c, i - 1) }.item.val.0 != addr;
+            let addr = (sl.tag >> 64) as u64;
+            let head = i == 0 || (unsafe { tr.get(c, i - 1) }.tag >> 64) as u64 != addr;
             c.work(1);
-            sl.is_real() && head && addr != DUMMY
+            !sl.is_filler() && head && addr != DUMMY
         })
     };
     {
@@ -167,17 +161,20 @@ fn resolve_conflicts<C: Ctx>(
         par_for(c, 0, m, grain_for(c), &|c, i| unsafe {
             // SAFETY: per-slot read-modify-write, no neighbour access.
             let mut sl = tr.get(c, i);
-            sl.item.val = if winner_ref[i] {
-                sl.item.val
+            sl.aux = if winner_ref[i] {
+                sl.aux
             } else {
-                (DUMMY, 0)
+                (DUMMY as u128) << 64
             };
             tr.set(c, i, sl);
         });
     }
     let tr = t.as_raw();
     // SAFETY: read-only parallel readout.
-    metrics::par_collect(c, p, &|c, i| unsafe { tr.get(c, i) }.item.val)
+    metrics::par_collect(c, p, &|c, i| {
+        let sl = unsafe { tr.get(c, i) };
+        ((sl.aux >> 64) as u64, sl.aux as u64)
+    })
 }
 
 #[cfg(test)]

@@ -25,8 +25,8 @@ use crate::veb::{tree_nodes, TreeLayout};
 use fj::Ctx;
 use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::Schedule;
-use obliv_core::slot::{composite_key, Item, Slot};
-use obliv_core::{send_receive, Engine};
+use obliv_core::slot::composite_key;
+use obliv_core::{send_receive_u64, Engine, TagCell};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -433,41 +433,41 @@ impl Opram {
         }
         // Conflict resolution: sort by (addr, index); head of each run is
         // the representative (priority: earliest request's write wins).
+        // Requests ride in packed 32-byte `TagCell`s (the PR-5 fast path):
+        // tag = composite (addr ‖ request index) — distinct, so the
+        // unstable cell network is safe — and aux = (has-write ‖ value).
         let m = reqs.len().next_power_of_two();
-        let mut slots: Vec<Slot<(u64, u64, bool)>> = reqs
-            .iter()
-            .enumerate()
-            .map(|(j, &(a, w))| {
-                let mut sl = Slot::real(Item::new(0, (a, w.unwrap_or(0), w.is_some())), 0);
-                sl.sk = composite_key(a, j as u64);
-                sl
-            })
-            .collect();
-        slots.resize(
-            m,
-            Slot {
-                sk: u128::MAX,
-                ..Slot::filler()
-            },
-        );
-        {
-            let mut t = Tracked::new(c, &mut slots);
-            self.engine.sort_slots(c, &self.scratch, &mut t);
-        }
-        let mut winners: Vec<(u64, Option<u64>)> = Vec::new();
-        for i in 0..m {
-            let sl = slots[i];
-            c.work(1);
-            if !sl.is_real() {
-                continue;
+        let winners: Vec<(u64, Option<u64>)> = {
+            // Scoped so the scratch lease ends before the mutable tree
+            // walks below.
+            let mut cells = self.scratch.lease(m, TagCell::filler());
+            for (cell, (j, &(a, w))) in cells.iter_mut().zip(reqs.iter().enumerate()) {
+                *cell = TagCell::new(
+                    composite_key(a, j as u64),
+                    ((w.is_some() as u128) << 64) | w.unwrap_or(0) as u128,
+                );
             }
-            let head =
-                i == 0 || !slots[i - 1].is_real() || slots[i - 1].item.val.0 != sl.item.val.0;
-            if head {
-                let (a, w, has_w) = sl.item.val;
-                winners.push((a, has_w.then_some(w)));
+            {
+                let mut t = Tracked::new(c, &mut cells);
+                self.engine.sort_cells(c, &self.scratch, &mut t);
             }
-        }
+            let mut winners: Vec<(u64, Option<u64>)> = Vec::new();
+            for i in 0..m {
+                let sl = cells[i];
+                c.work(1);
+                if sl.is_filler() {
+                    continue;
+                }
+                let a = (sl.tag >> 64) as u64;
+                let head =
+                    i == 0 || cells[i - 1].is_filler() || (cells[i - 1].tag >> 64) as u64 != a;
+                if head {
+                    let (w, has_w) = (sl.aux as u64, (sl.aux >> 64) == 1);
+                    winners.push((a, has_w.then_some(w)));
+                }
+            }
+            winners
+        };
 
         // Serve distinct addresses (sequential tree walks, as in [CCS17]'s
         // level-sequential fetch phase).
@@ -479,7 +479,7 @@ impl Opram {
 
         // Broadcast results to every request via oblivious send-receive.
         let dests: Vec<u64> = reqs.iter().map(|&(a, _)| a).collect();
-        send_receive(
+        send_receive_u64(
             c,
             &self.scratch,
             &fetched,

@@ -51,6 +51,10 @@ pub mod deque {
         pub fn is_empty(&self) -> bool {
             self.queue.lock().is_empty()
         }
+
+        pub fn len(&self) -> usize {
+            self.queue.lock().len()
+        }
     }
 
     /// Thief side: steals the oldest item (front).

@@ -21,7 +21,9 @@
 //! A [`ShardedStore`] partitions the key space across `shards` shards by
 //! the public hash [`shard_of`](crate::shard_of). Each epoch is routed
 //! obliviously (every shard's sub-batch padded to the same public class),
-//! committed on all shards in parallel via [`fj::par_zip_mut`], and the
+//! committed on all shards in parallel via [`fj::par_zip_mut_affine`]
+//! (shard *i* hinted at worker *i*, so on a pinned pool each shard's
+//! table stays hot in the same core's cache across epochs), and the
 //! results are obliviously routed back to submission order — the
 //! adversary trace of the whole epoch is a function of `(batch class,
 //! shard count, capacity history)` only. See DESIGN.md §9.
@@ -29,7 +31,7 @@
 use crate::op::{size_class, EpochPath, FlatOp, Op, OpResult, StoreStats};
 use crate::router::{gather_results, route_ops, shard_class, OpResultSlot};
 use crate::shard::Shard;
-use fj::{par_zip_mut, Ctx};
+use fj::{par_zip_mut_affine, Ctx};
 use metrics::ScratchPool;
 use obliv_core::scan::Schedule;
 use obliv_core::Engine;
@@ -452,9 +454,12 @@ impl ShardedStore {
 
         // Parallel per-shard commits: every shard owns its table and
         // leases scratch from the shared pool, so the commits are
-        // independent fork-join tasks.
+        // independent fork-join tasks. The affine zip hints shard i at
+        // executor slot i — a public function of the shard index — so a
+        // pinned pool re-runs each shard's commit on the core whose cache
+        // already holds that shard's table.
         let snap = self.snapshot;
-        par_zip_mut(c, &mut self.shards, &mut jobs, &|c, _s, shard, job| {
+        par_zip_mut_affine(c, &mut self.shards, &mut jobs, &|c, _s, shard, job| {
             let res = shard.execute(c, scratch, &job.batch, job.n_real, EpochPath::Merge);
             job.results = res
                 .into_iter()

@@ -197,3 +197,82 @@ fn merge_epoch_pool_stays_warm_on_tag_path() {
          being allocated per call instead of leased"
     );
 }
+
+#[test]
+fn merge_epoch_pool_stays_warm_under_pinned_pool() {
+    use fj::{Pool, PoolConfig};
+    use obliv_core::ScratchPool;
+    use store::{Op, ShrinkPolicy, Store, StoreConfig};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let pool = Pool::with_config(PoolConfig {
+        threads: Some(4),
+        pin: true,
+        affinity: None,
+    });
+    let scratch = ScratchPool::new();
+    let cfg = StoreConfig {
+        shrink: Some(ShrinkPolicy {
+            every: 1,
+            live_bound: 64,
+        }),
+        ..StoreConfig::default()
+    };
+    let mut store = Store::new(cfg);
+    let epoch_ops = |salt: u64| -> Vec<Op> {
+        (0..64u64)
+            .map(|i| {
+                let key = i.wrapping_mul(31).wrapping_add(salt) % 64;
+                match i % 3 {
+                    0 => Op::Put { key, val: i + salt },
+                    1 => Op::Get { key },
+                    _ => Op::Delete { key },
+                }
+            })
+            .collect()
+    };
+
+    // Warm up until one whole epoch causes no pool growth: under a pinned
+    // Pool(4) the per-worker lanes populate as workers first touch each
+    // lease class, so the warm-up horizon is "until every lane is primed",
+    // not a fixed epoch count.
+    let mut fresh_after_warmup = u64::MAX;
+    for round in 0..8u64 {
+        let before = scratch.fresh_allocs();
+        pool.run(|c| store.execute_epoch(c, &scratch, &epoch_ops(round)));
+        fresh_after_warmup = scratch.fresh_allocs();
+        if fresh_after_warmup == before && round > 0 {
+            break;
+        }
+    }
+
+    // Steady state under the pinned pool: zero pool growth. The recycle
+    // path scans the leasing worker's own lane, then the shared pool, then
+    // every other lane (exact spill accounting), so a fresh backing alloc
+    // here would mean a buffer class is not being returned at all.
+    for round in 8..11u64 {
+        pool.run(|c| store.execute_epoch(c, &scratch, &epoch_ops(round)));
+    }
+    println!(
+        "pinned({} of 4 workers pinned): {} leases, {} lane hits, {} spills, {} fresh",
+        pool.pinned_workers(),
+        scratch.leases(),
+        scratch.lane_hits(),
+        scratch.spill_leases(),
+        scratch.fresh_allocs()
+    );
+    assert_eq!(
+        scratch.fresh_allocs(),
+        fresh_after_warmup,
+        "steady merge epochs under a pinned Pool(4) grew the scratch pool: \
+         per-core lanes must spill to the shared pool (and other lanes), \
+         not allocate fresh backing"
+    );
+    // Spill accounting is exact: every lease is a lane hit, a spill, or a
+    // fresh allocation (non-worker leases count in none of the first two,
+    // but this whole workload runs on pool workers).
+    assert!(
+        scratch.lane_hits() + scratch.spill_leases() + scratch.fresh_allocs() <= scratch.leases(),
+        "lane/spill/fresh accounting exceeded total leases"
+    );
+}

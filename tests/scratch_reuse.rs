@@ -263,3 +263,215 @@ fn pipelined_consult_trace_survives_reuse() {
     let c3 = run(reused);
     assert_eq!(a, c3, "second reuse changed the pipelined consult trace");
 }
+
+/// CPU pinning is invisible to the Definition-1 adversary. Scratch pools
+/// dirtied under a *pinned* Pool(4) and an *unpinned* Pool(4) end up with
+/// different physical lane residency (which worker leased which backing
+/// buffer), yet the adversary trace of the sort and store-epoch paths must
+/// be bit-identical across both — and identical to a fresh pool — because
+/// the trace is a function of the logical address space only.
+#[test]
+fn pinned_vs_unpinned_pools_leave_identical_traces() {
+    use fj::PoolConfig;
+
+    let dirty_under = |exec: &Pool, pool: &ScratchPool| {
+        exec.run(|c| {
+            let mut v: Vec<u64> = (0..1200u64).map(|i| i.wrapping_mul(0x9E37) | 1).collect();
+            let params = OSortParams::practical(v.len());
+            oblivious_sort_u64(c, pool, &mut v, params, 0xD1D7);
+            let sources: Vec<(u64, u64)> = (0..300).map(|i| (i * 3, i | 0xFF00)).collect();
+            let dests: Vec<u64> = (0..500).collect();
+            send_receive(
+                c,
+                pool,
+                &sources,
+                &dests,
+                Engine::BitonicRec,
+                Schedule::Tree,
+            );
+        });
+    };
+
+    let pinned_exec = Pool::with_config(PoolConfig {
+        threads: Some(4),
+        pin: true,
+        affinity: None,
+    });
+    let unpinned_exec = Pool::new(4);
+
+    let pinned_pool = ScratchPool::new();
+    dirty_under(&pinned_exec, &pinned_pool);
+    let unpinned_pool = ScratchPool::new();
+    dirty_under(&unpinned_exec, &unpinned_pool);
+    let fresh_pool = ScratchPool::new();
+
+    // Row 1: the oblivious-sort path.
+    let sort_row = |pool: &ScratchPool| {
+        trace(|c| {
+            let mut v: Vec<u64> = (0..900u64).map(|i| i * 7 + 3).collect();
+            oblivious_sort_u64(c, pool, &mut v, OSortParams::practical(900), 2025);
+        })
+    };
+    let a = sort_row(&fresh_pool);
+    assert_eq!(
+        a,
+        sort_row(&pinned_pool),
+        "sort trace depends on pinned-pool lane residency"
+    );
+    assert_eq!(
+        a,
+        sort_row(&unpinned_pool),
+        "sort trace depends on unpinned-pool lane residency"
+    );
+
+    // Row 2: the store-epoch path (op sort + merge + commit).
+    let epoch_row = |pool: &ScratchPool| {
+        trace(|c| {
+            let mut store = Store::new(StoreConfig::default());
+            let ops: Vec<Op> = (0..48u64)
+                .map(|i| Op::Put {
+                    key: i * 3 % 53,
+                    val: i,
+                })
+                .collect();
+            store.execute_epoch(c, pool, &ops);
+        })
+    };
+    let e = epoch_row(&fresh_pool);
+    assert_eq!(
+        e,
+        epoch_row(&pinned_pool),
+        "store-epoch trace depends on pinned-pool lane residency"
+    );
+    assert_eq!(
+        e,
+        epoch_row(&unpinned_pool),
+        "store-epoch trace depends on unpinned-pool lane residency"
+    );
+}
+
+/// Output equality for the tag-cell-migrated kernels: `SeqCtx` vs a
+/// *pinned* `Pool(4)` on randomized inputs. The migrated sorts (CC
+/// min-hook, MSF proposals/chosen, Euler arcs/leaf labels, ORAM conflict
+/// resolution, PRAM write resolution, cell send-receive) must produce
+/// byte-identical results regardless of executor and pin layout.
+mod pinned_output_equality {
+    use super::*;
+    use fj::PoolConfig;
+    use pram::HistogramProgram;
+    use proptest::prelude::*;
+
+    fn pinned4() -> Pool {
+        Pool::with_config(PoolConfig {
+            threads: Some(4),
+            pin: true,
+            affinity: None,
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn cc_matches_seq_under_pinned_pool(
+            n in 2usize..40,
+            raw in proptest::collection::vec((0u64..1000, 0u64..1000), 0..60),
+        ) {
+            let edges: Vec<(usize, usize)> = raw
+                .iter()
+                .map(|&(a, b)| ((a % n as u64) as usize, (b % n as u64) as usize))
+                .collect();
+            let seq = connected_components(
+                &SeqCtx::new(), &ScratchPool::new(), n, &edges, Engine::BitonicRec);
+            let par = pinned4().run(|c| connected_components(
+                c, &ScratchPool::new(), n, &edges, Engine::BitonicRec));
+            prop_assert_eq!(seq, par);
+        }
+
+        #[test]
+        fn msf_matches_seq_under_pinned_pool(
+            n in 2usize..30,
+            raw in proptest::collection::vec((0u64..1000, 0u64..1000, 1u64..100), 0..50),
+        ) {
+            let edges: Vec<(usize, usize, u64)> = raw
+                .iter()
+                .map(|&(a, b, w)| ((a % n as u64) as usize, (b % n as u64) as usize, w))
+                .collect();
+            let seq = msf(&SeqCtx::new(), &ScratchPool::new(), n, &edges, Engine::BitonicRec);
+            let par = pinned4().run(|c| msf(c, &ScratchPool::new(), n, &edges, Engine::BitonicRec));
+            prop_assert_eq!(seq.total_weight, par.total_weight);
+            prop_assert_eq!(seq.in_forest, par.in_forest);
+            prop_assert_eq!(seq.components, par.components);
+        }
+
+        #[test]
+        fn euler_tree_stats_match_seq_under_pinned_pool(
+            parents in proptest::collection::vec(0u64..1000, 1..24),
+            seed in 0u64..100,
+        ) {
+            // Random tree: vertex i+1 hangs off a vertex in 0..=i.
+            let n = parents.len() + 1;
+            let edges: Vec<(usize, usize)> = parents
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| ((p % (i as u64 + 1)) as usize, i + 1))
+                .collect();
+            let seq = rooted_tree_stats(
+                &SeqCtx::new(), &ScratchPool::new(), n, &edges, 0, Engine::BitonicRec, seed);
+            let par = pinned4().run(|c| rooted_tree_stats(
+                c, &ScratchPool::new(), n, &edges, 0, Engine::BitonicRec, seed));
+            prop_assert_eq!(seq, par);
+        }
+
+        #[test]
+        fn pram_histogram_matches_seq_under_pinned_pool(
+            vals in proptest::collection::vec(0u64..8, 2..40),
+        ) {
+            let prog = HistogramProgram::new(vals.len(), 8);
+            let seq = run_oblivious_sb(
+                &SeqCtx::new(), &ScratchPool::new(), &prog, &vals, Engine::BitonicRec);
+            let par = pinned4().run(|c| run_oblivious_sb(
+                c, &ScratchPool::new(), &prog, &vals, Engine::BitonicRec));
+            prop_assert_eq!(seq, par);
+        }
+
+        #[test]
+        fn oram_batch_matches_seq_under_pinned_pool(
+            reqs in proptest::collection::vec((0u64..32, proptest::option::of(0u64..1000)), 1..24),
+            seed in 0u64..100,
+        ) {
+            let run = |reqs: &[(u64, Option<u64>)]| {
+                let mut o = Opram::new(32, OramConfig::default(), Engine::BitonicRec, seed);
+                let warm: Vec<u64> = o.access_batch(&SeqCtx::new(), reqs);
+                (o, warm)
+            };
+            let (mut seq_o, seq_warm) = run(&reqs);
+            let (mut par_o, par_warm) = run(&reqs);
+            prop_assert_eq!(seq_warm, par_warm);
+            // Second batch: SeqCtx vs pinned Pool(4) on identically warmed ORAMs.
+            let seq = seq_o.access_batch(&SeqCtx::new(), &reqs);
+            let par = pinned4().run(|c| par_o.access_batch(c, &reqs));
+            prop_assert_eq!(seq, par);
+        }
+
+        #[test]
+        fn cell_send_receive_matches_seq_under_pinned_pool(
+            pairs in proptest::collection::vec((0u64..500, 0u64..1000), 0..80),
+            dests in proptest::collection::vec(0u64..600, 0..120),
+        ) {
+            // Sender keys must be distinct: keep first occurrence per key.
+            let mut seen = std::collections::HashSet::new();
+            let sources: Vec<(u64, u64)> = pairs
+                .into_iter()
+                .filter(|&(k, _)| seen.insert(k))
+                .collect();
+            let seq = obliv_core::send_receive_u64(
+                &SeqCtx::new(), &ScratchPool::new(), &sources, &dests,
+                Engine::BitonicRec, Schedule::Tree);
+            let par = pinned4().run(|c| obliv_core::send_receive_u64(
+                c, &ScratchPool::new(), &sources, &dests,
+                Engine::BitonicRec, Schedule::Tree));
+            prop_assert_eq!(seq, par);
+        }
+    }
+}
