@@ -144,6 +144,34 @@ fn graphs_cell_headline(files: &[dob_bench::diff::BenchFile]) -> Option<String> 
     ))
 }
 
+/// The durable-recovery cost at the largest snapshot of the recovery
+/// family, rendered for the step summary. `None` when the rows are absent
+/// (older artifacts).
+fn recovery_headline(files: &[dob_bench::diff::BenchFile]) -> Option<String> {
+    let recov = files
+        .iter()
+        .flat_map(|f| f.rows.iter())
+        .filter(|r| r.algo == "recovery: snapshot + replay")
+        .max_by_key(|r| r.n)?;
+    let snap = files
+        .iter()
+        .flat_map(|f| f.rows.iter())
+        .find(|r| r.algo == "recovery: checkpoint write" && r.n == recov.n)?;
+    let wr = *recov.counters.get("wall_ns")?;
+    let ws = *snap.counters.get("wall_ns")?;
+    (wr > 0).then(|| {
+        format!(
+            "**Recovery headline** (n = {}): snapshot load + 4×256-op WAL replay in \
+             {:.1} ms ({:.0} keys/s); checkpoint write {:.1} ms. Replay runs the \
+             normal merge path, so the recovered trace is the fresh-run trace.",
+            recov.n,
+            wr as f64 / 1e6,
+            recov.n as f64 * 1e9 / wr as f64,
+            ws as f64 / 1e6,
+        )
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let baseline_dir = arg_value(&args, "--baseline", "benches/baseline");
@@ -245,6 +273,13 @@ fn main() {
     // Graphs tag-cell headline: the migrated CC min-hook sort site, packed
     // cells vs the retired record slots.
     if let Some(line) = graphs_cell_headline(&fresh_files) {
+        summary.push_str(&format!("\n{line}\n\n"));
+        println!("{line}");
+    }
+
+    // Recovery headline: the durable store's crash-recovery cost at the
+    // largest snapshot of the family.
+    if let Some(line) = recovery_headline(&fresh_files) {
         summary.push_str(&format!("\n{line}\n\n"));
         println!("{line}");
     }

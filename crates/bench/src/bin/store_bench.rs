@@ -19,7 +19,8 @@ use metrics::{ScratchPool, Tracked};
 use obliv_core::{composite_key, Engine, Item, Slot, TagCell};
 use std::sync::Arc;
 use store::{
-    shard_of, Op, PipelinedStore, ShardConfig, ShardedStore, ShrinkPolicy, Store, StoreConfig,
+    shard_of, Durability, Op, PipelinedStore, ShardConfig, ShardedStore, ShrinkPolicy, Store,
+    StoreConfig,
 };
 
 /// A deterministic mixed workload: ~half gets, ~3/8 puts, the rest
@@ -73,6 +74,7 @@ fn pipe_store(scratch: &ScratchPool) -> Store {
         shrink: Some(ShrinkPolicy {
             every: 1,
             live_bound: PIPE_TABLE,
+            snapshot: 0,
         }),
         ..StoreConfig::default()
     };
@@ -309,6 +311,7 @@ fn main() {
             cfg.store.shrink = Some(ShrinkPolicy {
                 every: 1,
                 live_bound: SHARD_TABLE / shards,
+                snapshot: 0,
             });
             let mut st = ShardedStore::new(cfg);
             // Load the table (unmetered setup).
@@ -667,6 +670,72 @@ fn main() {
         wall_rec,
     );
 
+    // ---- Durable recovery: snapshot load + WAL replay --------------------
+    // The durability family: a shrink-pinned table checkpointed to disk,
+    // then four more merge epochs left in the WAL — exactly the crash
+    // image `Store::recover` is built for. The metered run is recovery
+    // itself: read the snapshot, rebuild the table, and replay the logged
+    // epochs through the normal merge path, so the gated counters are the
+    // same public function of the logged batch classes as a fresh run (the
+    // trace-equality suite asserts this). The checkpoint rows are host
+    // I/O only — their counters are zero by construction and the wall is
+    // the cost of writing `cap` packed cells plus the fsync.
+    println!("\n== durable recovery: snapshot + 4x256-op WAL replay ==\n");
+    header();
+    for size in [4096usize, 8192, 16384] {
+        let dir =
+            std::env::temp_dir().join(format!("dob_bench_recovery_{}_{size}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let seq = SeqCtx::new();
+        let cfg = StoreConfig {
+            durability: Durability::Epoch,
+            shrink: Some(ShrinkPolicy {
+                every: 1,
+                live_bound: size,
+                snapshot: 0,
+            }),
+            ..StoreConfig::default()
+        };
+        let mut st = Store::recover(&seq, &scratch, &dir, cfg).expect("open durable store");
+        for chunk in (0..size as u64).collect::<Vec<_>>().chunks(4096) {
+            let ops: Vec<Op> = chunk.iter().map(|&k| Op::Put { key: k, val: k }).collect();
+            st.execute_epoch(&seq, &scratch, &ops);
+        }
+        let (rep, wall) = meter_timed(|_| st.checkpoint().expect("checkpoint"));
+        sink.record(
+            Row {
+                task: "store",
+                algo: "recovery: checkpoint write",
+                n: size,
+                rep,
+            },
+            wall,
+        );
+        for r in 0..4u64 {
+            let ops = mixed_ops(256, size as u64, 41 + r);
+            st.execute_epoch(&seq, &scratch, &ops);
+        }
+        drop(st);
+        let (rep, wall) = meter_timed(|c| {
+            let _ = Store::recover(c, &scratch, &dir, cfg).expect("recover store");
+        });
+        sink.record(
+            Row {
+                task: "store",
+                algo: "recovery: snapshot + replay",
+                n: size,
+                rep,
+            },
+            wall,
+        );
+        rates.push((
+            "recovery: snap+replay",
+            size,
+            size as f64 * 1e9 / wall as f64,
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     sink.finish().expect("failed to write BENCH_store.json");
 
     println!(
@@ -725,4 +794,15 @@ fn main() {
         rep_gslot.cache_misses as f64 / rep_gtag.cache_misses.max(1) as f64,
         rep_gtag.comparisons,
     );
+
+    let recov = rates
+        .iter()
+        .filter(|&&(a, _, _)| a == "recovery: snap+replay")
+        .max_by_key(|&&(_, n, _)| n);
+    if let Some(&(_, n, rate)) = recov {
+        println!(
+            "\nrecovery headline ({n}-key snapshot + 4x256-op WAL replay): \
+             {rate:.0} recovered keys/s"
+        );
+    }
 }

@@ -1,6 +1,6 @@
 //! Insecure baseline: classic parallel mergesort (CLRS ch. 27 style).
 //!
-//! Stands in for SPMS [CR17b] as the comparison-based, non-oblivious sorter
+//! Stands in for SPMS \[CR17b\] as the comparison-based, non-oblivious sorter
 //! (see DESIGN.md §4): optimal `O(n log n)` work, polylog span (`O(log³ n)`
 //! vs SPMS's `Õ(log n)`), and `O((n/B)·log(n/M))` cache complexity. Every
 //! oblivious-vs-insecure comparison in the benches uses the same substitute

@@ -4,15 +4,15 @@
 //! (Ramachandran & Shi, SPAA 2021), cache-agnostically:
 //!
 //! * [`binplace`] — oblivious bin placement (§C.1);
-//! * [`meta_orba`] / [`rec_orba`] — oblivious random bin assignment, flat
+//! * [`meta_orba`](mod@meta_orba) / [`rec_orba`](mod@rec_orba) — oblivious random bin assignment, flat
 //!   meta-algorithm (§C.2) and the recursive cache-agnostic schedule
 //!   (§3.2, §D.1, Lemma 3.1);
-//! * [`orp`] — oblivious random permutation (§C.3, §D.2);
+//! * [`orp`](mod@orp) — oblivious random permutation (§C.3, §D.2);
 //! * [`rec_sort`] — REC-SORT, the pivot-routed butterfly sorter for
 //!   randomly permuted inputs (§E.2);
 //! * [`osort`] — the full oblivious sorting pipelines, practical (§3.4)
 //!   and theory (§3.3) variants (Theorem 3.2);
-//! * [`scan`] — prefix scans plus oblivious aggregation and propagation
+//! * [`scan`](mod@scan) — prefix scans plus oblivious aggregation and propagation
 //!   (§F), with the paper's `O(log n)`-span schedule and the naive
 //!   `O(log² n)` baseline (Table 2);
 //! * [`sendrecv`] — oblivious send-receive / routing (§F);

@@ -6,7 +6,7 @@
 //! group of `γ` bins into `γ` output bins using the next unconsumed
 //! `log₂ γ` label bits. It is work-optimal but — evaluated level by level —
 //! neither cache-efficient nor low-span; REC-ORBA (§D.1,
-//! [`crate::rec_orba`]) is the efficient schedule of the *same* butterfly.
+//! [`crate::rec_orba`](mod@crate::rec_orba)) is the efficient schedule of the *same* butterfly.
 //! We keep META-ORBA as the correctness reference, as the strawman for the
 //! scheduling ablations, and because the paper presents both.
 

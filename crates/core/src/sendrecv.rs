@@ -174,7 +174,7 @@ struct OptSlot<V> {
     v: V,
 }
 
-/// [`send_receive`] specialized to `u64` values on packed [`TagCell`]s —
+/// [`send_receive`] specialized to `u64` values on packed [`TagCell`](crate::TagCell)s —
 /// the tag-sort fast path for the routing step that dominates the graph
 /// and PRAM kernels.
 ///

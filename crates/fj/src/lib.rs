@@ -18,6 +18,13 @@
 //!   inboxes behind [`Ctx::join_hint`];
 //! * [`par`] — parallel loop/reduce helpers that expand into balanced
 //!   binary fork trees.
+//!
+//! Detached tasks ([`Ctx::spawn_detached`], joined through [`Deferred`])
+//! carry the store's pipelined epoch commits. Dropping a [`Pool`] is a
+//! barrier for them: every spawned-but-unfinished detached task runs to
+//! completion before the workers terminate, which is what lets a durable
+//! store acknowledge an epoch as soon as its WAL record is written (see
+//! `dob-store`'s durability docs).
 
 mod ctx;
 pub mod par;

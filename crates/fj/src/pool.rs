@@ -875,7 +875,7 @@ impl Ctx for Pool {
     }
 
     /// Queue `f` for the workers and return immediately. The task runs
-    /// with a non-owning [`Pool::handle`] as its context, so it can fork
+    /// with a non-owning pool handle as its context, so it can fork
     /// freely; its panic (if any) is captured into the [`Deferred`] and
     /// re-raised at join.
     fn spawn_detached<R, F>(&self, f: F) -> Deferred<R>
@@ -912,7 +912,12 @@ impl Drop for Pool {
         // Drop barrier: let every spawned-but-unfinished detached task run
         // to completion before workers terminate. Unjoined tasks are thus
         // never silently dropped, and a `Deferred` held past the pool's
-        // life joins an already-completed slot.
+        // life joins an already-completed slot. Durable stores lean on
+        // this: a `PipelinedStore` appends an epoch's WAL record *before*
+        // it spawns the detached commit task, and this barrier guarantees
+        // the in-flight merge itself also completes on a graceful drop —
+        // an acknowledged durable epoch is never lost to pool teardown
+        // (see `tests/durability.rs`).
         while self.registry.detached.load(Ordering::SeqCst) > 0 {
             self.registry.notify_all();
             thread::yield_now();

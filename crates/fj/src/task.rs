@@ -69,8 +69,8 @@ enum Inner<R> {
 /// [`Ctx::spawn_detached`](crate::Ctx::spawn_detached).
 ///
 /// [`join`](Deferred::join) blocks until the task finishes and returns its
-/// result, re-raising the task's panic if it had one. [`is_done`]
-/// (Deferred::is_done) is a non-blocking readiness probe — the epoch
+/// result, re-raising the task's panic if it had one.
+/// [`is_done`](Deferred::is_done) is a non-blocking readiness probe — the epoch
 /// pipeline uses it to decide (on public information only) whether a
 /// handoff would block. Dropping a `Deferred` without joining abandons
 /// the result; the task itself still runs to completion.

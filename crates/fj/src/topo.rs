@@ -32,7 +32,7 @@ impl std::error::Error for PinError {}
 
 #[cfg(target_os = "linux")]
 mod imp {
-    use super::{MAX_CPUS, PinError};
+    use super::{PinError, MAX_CPUS};
 
     // `std` links libc on linux; declaring the one prototype we need avoids
     // pulling in a `libc` crate the offline container does not have.

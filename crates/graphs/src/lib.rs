@@ -12,7 +12,7 @@
 //!   with geometrically shrinking compacted phases (Table 1 "TC†");
 //! * [`cc`] — connected components (Table 1 "CC†"): fixed-round
 //!   hook-to-minimum + pointer doubling, one oblivious sort per round;
-//! * [`msf`] — minimum spanning forest (Table 1 "MSF†"): oblivious
+//! * [`msf()`] — minimum spanning forest (Table 1 "MSF†"): oblivious
 //!   Borůvka;
 //! * [`gen`] — workload generators and oracles (union-find, Kruskal, DFS).
 

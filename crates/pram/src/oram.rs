@@ -1,7 +1,7 @@
 //! Batched recursive tree ORAM — the large-space simulation substrate of
 //! Theorem 4.2.
 //!
-//! Structural skeleton of Chan–Chung–Shi's Circuit OPRAM [CCS17] as the
+//! Structural skeleton of Chan–Chung–Shi's Circuit OPRAM \[CCS17\] as the
 //! paper uses it (see DESIGN.md §4 for the documented simplifications):
 //!
 //! * a binary **bucket tree** per recursion level, stored in a
@@ -13,7 +13,7 @@
 //!   eviction of two paths per access (overflow is monitored, not proven);
 //! * **batched accesses**: conflict resolution by oblivious sort, one tree
 //!   walk per distinct address, results broadcast back with oblivious
-//!   send-receive — the fetch/route structure of [CCS17]'s per-step
+//!   send-receive — the fetch/route structure of \[CCS17\]'s per-step
 //!   simulation.
 //!
 //! Path choices are fresh uniform leaves independent of the address
@@ -423,7 +423,7 @@ impl Opram {
         old_val
     }
 
-    /// Batched access (the per-PRAM-step fetch of [CCS17]): conflict
+    /// Batched access (the per-PRAM-step fetch of \[CCS17\]): conflict
     /// resolution by oblivious sort, one walk per distinct address, results
     /// broadcast with oblivious send-receive. `reqs[j] = (addr, write)`;
     /// returns the pre-step value of each request's address.

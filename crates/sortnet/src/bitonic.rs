@@ -1,4 +1,4 @@
-//! Batcher's bitonic sorting network [Bat68]: sequential evaluation and the
+//! Batcher's bitonic sorting network \[Bat68\]: sequential evaluation and the
 //! *naive* fork-join parallelization.
 //!
 //! The naive variant forks and joins the comparators of each of the

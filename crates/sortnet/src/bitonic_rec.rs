@@ -166,7 +166,7 @@ pub fn sort_slice_rec<C: Ctx, T: Copy + Send + Default>(
     sort_slice_rec_in(c, &scratch, data, key, up);
 }
 
-/// [`sort_slice_rec`] drawing its merge scratch from a [`ScratchPool`]
+/// [`sort_slice_rec`] drawing its merge scratch from a [`ScratchPool`](metrics::ScratchPool)
 /// lease instead of a fresh allocation.
 pub fn sort_slice_rec_in<C: Ctx, T: Copy + Send + Default>(
     c: &C,

@@ -16,7 +16,7 @@
 //! * [`tag`] — packed 32-byte tag cells (`key ‖ payload` lanes) and the
 //!   branchless recursive bitonic over them: the tag-sort fast path that
 //!   keeps wide records out of the comparator layers;
-//! * [`transpose`] — cache-agnostic parallel matrix transposition, the
+//! * [`transpose`](mod@transpose) — cache-agnostic parallel matrix transposition, the
 //!   shared skeleton of every recursive butterfly in the workspace.
 
 pub mod bitonic;

@@ -5,7 +5,7 @@
 //! ## Role in this reproduction
 //!
 //! The paper's asymptotically optimal variants invoke the AKS network
-//! [AKS83] on poly-log-sized instances. AKS has galactic constants and has
+//! \[AKS83\] on poly-log-sized instances. AKS has galactic constants and has
 //! never been practically implemented; the paper itself swaps it for
 //! bitonic sort in the practical variant (§3.4). We provide randomized
 //! Shellsort as an honest `O(n log n)`-comparison oblivious alternative:

@@ -39,6 +39,17 @@
 //! cadence and every consult shape are functions of batch sizes only —
 //! the same contract as above (DESIGN.md §11).
 //!
+//! **Durability** is opt-in: open a store with [`Store::recover`] (or
+//! [`ShardedStore::recover`]) under [`Durability::Epoch`] and every epoch
+//! is appended to a write-ahead log *before* its merge runs — one framed,
+//! checksummed record per epoch whose on-disk size is fixed by the public
+//! batch class. Snapshots of the packed table are written on the public
+//! [`ShrinkPolicy::snapshot`] cadence (or explicitly via
+//! [`Store::checkpoint`]), truncating the WAL. Recovery replays the
+//! logged batches through the normal epoch path, so the recovered trace —
+//! and the disk image itself — is the same public function of batch sizes
+//! as a fresh run (DESIGN.md §13, `tests/durability.rs`).
+//!
 //! ```
 //! use fj::SeqCtx;
 //! use metrics::ScratchPool;
@@ -57,9 +68,11 @@
 mod merge;
 mod op;
 mod pipeline;
+mod recovery;
 mod router;
 mod shard;
 mod store;
+mod wal;
 
 pub use crate::store::{
     Epoch, EpochTarget, ShardConfig, ShardedStore, ShrinkPolicy, Store, StoreConfig,
@@ -68,3 +81,4 @@ pub use merge::Rec;
 pub use op::{size_class, EpochPath, Op, OpResult, StoreStats, MIN_CLASS};
 pub use pipeline::{EpochHandle, PipelineTarget, PipelinedStore, Ticket};
 pub use router::{shard_class, shard_of};
+pub use wal::Durability;

@@ -37,6 +37,21 @@
 //! LWW-transformer scan — the consult's trace is a function of the
 //! snapshot capacity and the logs' public size classes only.
 //!
+//! # Durability and drop
+//!
+//! Wrapping a durable store (one opened via
+//! [`Store::recover`](crate::Store::recover) with
+//! [`Durability::Epoch`](crate::Durability::Epoch)) keeps the WAL-before-
+//! merge contract: [`commit_async`] appends and flushes the epoch's WAL
+//! record on the **caller's** thread *before* spawning the detached merge
+//! task, so an acknowledged commit is on disk even if the process dies
+//! while the merge is still in flight. Dropping a `PipelinedStore` with
+//! an epoch in flight is therefore safe on both axes: the epoch's record
+//! is already durable (a crash replays it), and the `fj` pool's drop
+//! barrier runs every spawned detached task to completion before the
+//! workers terminate (a graceful shutdown finishes the merge) — see
+//! [`fj::Pool`]'s drop documentation and `tests/durability.rs`.
+//!
 //! [`submit`]: PipelinedStore::submit
 //! [`commit_async`]: PipelinedStore::commit_async
 //! [`try_commit`]: PipelinedStore::try_commit
@@ -53,8 +68,10 @@ use std::sync::Arc;
 
 mod sealed {
     use crate::merge::Rec;
-    use crate::op::FlatOp;
+    use crate::op::{FlatOp, Op};
     use crate::store::StoreConfig;
+    use fj::Ctx;
+    use metrics::ScratchPool;
 
     /// Snapshot surface the pipeline needs from a wrapped store. Sealed:
     /// the methods traffic in crate-private types, and the consult's
@@ -69,6 +86,10 @@ mod sealed {
         /// True when `records` is key-sorted with reals leading (single
         /// shard); multi-shard snapshots are sorted by the consult.
         fn records_sorted(&self) -> bool;
+        /// Append the sealed epoch's padded batch to the store's WAL (a
+        /// no-op for non-durable stores) *before* the epoch is handed to
+        /// a detached task — the pipelined durability point.
+        fn wal_prelog<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]);
     }
 }
 
@@ -85,6 +106,9 @@ impl sealed::Source for Store {
     fn records_sorted(&self) -> bool {
         true
     }
+    fn wal_prelog<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) {
+        Store::wal_prelog(self, c, scratch, ops)
+    }
 }
 
 impl sealed::Source for ShardedStore {
@@ -99,6 +123,9 @@ impl sealed::Source for ShardedStore {
     }
     fn records_sorted(&self) -> bool {
         self.shard_count() == 1
+    }
+    fn wal_prelog<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) {
+        ShardedStore::wal_prelog(self, c, scratch, ops)
     }
 }
 
@@ -142,7 +169,8 @@ struct InFlight<T> {
     task: Deferred<(T, Vec<OpResult>)>,
 }
 
-/// Double-buffered epoch front end; see the [module docs](self).
+/// Double-buffered epoch front end; see the [crate docs](crate) for where
+/// it sits in the epoch engine.
 ///
 /// ```
 /// use fj::SeqCtx;
@@ -291,6 +319,13 @@ impl<T: PipelineTarget> PipelinedStore<T> {
         // `read_now` consults while the merge runs.
         let ops = std::mem::take(&mut self.open);
         let log = validate_and_pad(&self.cfg, &ops);
+        // Durability point (durable stores only): the epoch's WAL record
+        // is written and flushed on the *caller's* thread, before the
+        // merge is handed to a detached task. By the time this method
+        // returns — i.e. by the time the commit is acknowledged — the
+        // epoch is on disk, whatever the detached task's fate.
+        let mut store = store;
+        sealed::Source::wal_prelog(&mut store, c, &self.scratch, &ops);
         let scratch = Arc::clone(&self.scratch);
         let task = c.spawn_detached(move |c| {
             let mut store = store;
@@ -596,6 +631,7 @@ mod tests {
             shrink: Some(ShrinkPolicy {
                 every: 1,
                 live_bound: 64,
+                snapshot: 0,
             }),
             ..StoreConfig::default()
         };

@@ -1,0 +1,121 @@
+//! Crash recovery: rebuild a store from its snapshot + WAL directory by
+//! replaying logged epochs through the normal merge machinery.
+//!
+//! # Replay is the normal path
+//!
+//! Recovery does not interpret records with bespoke code: each WAL record
+//! holds an epoch's already padded batch, and replay feeds it straight
+//! into [`Shard::execute`] on the path [`Shard::epoch_path`] publicly
+//! selects for its class — exactly the calls the original epoch made. The
+//! recovered adversary trace is therefore the same public function of the
+//! logged batch classes as a fresh run of those epochs: recovery leaks
+//! nothing the original execution had not already leaked. (Replay passes
+//! `n_results = 0`; the result count only controls how many answers are
+//! copied out host-side and never touches the oblivious trace.)
+//!
+//! # The commit horizon
+//!
+//! A sharded store appends one record per shard per epoch, sequentially,
+//! before any shard merges. A crash mid-append can leave the files
+//! ragged: shard 0 holds epoch `e`'s record while shard 3 does not. An
+//! epoch counts as **committed** only when its record is on every shard's
+//! WAL (that is when `execute_epoch` — or the pipelined pre-log —
+//! returned to the caller), so recovery replays up to the horizon
+//! `min_i(next_seq_i + |records_i|)` and drops the ragged tail: exactly
+//! the unacknowledged epochs. Snapshots never raise a shard above the
+//! horizon, because a snapshot is only written after its epoch committed
+//! on all shards.
+
+use crate::op::EpochPath;
+use crate::shard::Shard;
+use crate::store::StoreConfig;
+use crate::wal;
+use fj::Ctx;
+use metrics::ScratchPool;
+use std::io;
+use std::path::Path;
+
+/// What [`recover_shards`] hands back to the front-end constructors.
+pub(crate) struct RecoveredState {
+    pub shards: Vec<Shard>,
+    /// Epochs applied (the next WAL sequence number).
+    pub epochs: u64,
+    /// Path of the last replayed epoch (`None` when nothing replayed —
+    /// a snapshot cannot remember the pre-crash value).
+    pub last_path: Option<EpochPath>,
+}
+
+/// Load `n_shards` shards from `dir`: per shard, restore the snapshot (if
+/// any), then replay the WAL records in `[next_seq, horizon)` through the
+/// normal epoch paths. Shared by [`crate::Store::recover`] and
+/// [`crate::ShardedStore::recover`].
+pub(crate) fn recover_shards<C: Ctx>(
+    c: &C,
+    scratch: &ScratchPool,
+    dir: &Path,
+    cfg: &StoreConfig,
+    n_shards: usize,
+) -> io::Result<RecoveredState> {
+    let mut snaps = Vec::with_capacity(n_shards);
+    let mut logs = Vec::with_capacity(n_shards);
+    for i in 0..n_shards {
+        let snap = wal::read_snapshot(dir, i)?;
+        let base = snap.as_ref().map_or(0, |(m, _)| m.next_seq);
+        // Keep only post-snapshot records; `read_wal` already guarantees a
+        // consecutive prefix, so what survives the filter is contiguous
+        // from `base`.
+        let records: Vec<_> = wal::read_wal(&wal::wal_path(dir, i))?
+            .into_iter()
+            .filter(|(seq, _)| *seq >= base)
+            .collect();
+        debug_assert!(records
+            .iter()
+            .enumerate()
+            .all(|(k, (s, _))| *s == base + k as u64));
+        snaps.push(snap);
+        logs.push(records);
+    }
+
+    // Commit horizon: the last epoch whose record reached *every* shard.
+    let horizon = (0..n_shards)
+        .map(|i| {
+            let base = snaps[i].as_ref().map_or(0, |(m, _)| m.next_seq);
+            base + logs[i].len() as u64
+        })
+        .min()
+        .unwrap_or(0);
+
+    let mut shards = Vec::with_capacity(n_shards);
+    let mut last_path = None;
+    for (i, (snap, records)) in snaps.into_iter().zip(logs).enumerate() {
+        let mut shard = match snap {
+            Some((meta, table)) => Shard::from_snapshot(
+                c,
+                *cfg,
+                i as u64,
+                table,
+                meta.live_upper as usize,
+                meta.merges,
+                meta.stats,
+            ),
+            None => Shard::new(*cfg, i as u64),
+        };
+        for (seq, batch) in &records {
+            if *seq >= horizon {
+                break;
+            }
+            let path = shard.epoch_path(batch.len());
+            shard.execute(c, scratch, batch, 0, path);
+            if i == 0 {
+                last_path = Some(path);
+            }
+        }
+        shards.push(shard);
+    }
+
+    Ok(RecoveredState {
+        shards,
+        epochs: horizon,
+        last_path,
+    })
+}

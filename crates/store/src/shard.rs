@@ -49,6 +49,40 @@ impl Shard {
         }
     }
 
+    /// Rebuild a shard from a durable snapshot: the packed table plus the
+    /// public counters, with the ORAM mirror (when configured) rebuilt by
+    /// one fixed-pattern access per public table slot. Snapshots are only
+    /// taken at merge closes, where the pending log is empty and the
+    /// mirror equals the table — so table + counters is the whole state.
+    pub fn from_snapshot<C: Ctx>(
+        c: &C,
+        cfg: StoreConfig,
+        salt: u64,
+        table: Vec<Rec>,
+        live_upper: usize,
+        merges: u64,
+        stats: StoreStats,
+    ) -> Self {
+        let mut shard = Shard::new(cfg, salt);
+        if let Some(oram) = shard.oram.as_mut() {
+            // One access per slot, real or filler (fillers walk key 0):
+            // the rebuild trace is a function of the public capacity only.
+            for r in &table {
+                let (key, write) = if r.present {
+                    (r.key, Some(r.val + 1))
+                } else {
+                    (0, None)
+                };
+                oram.access(c, key, write);
+            }
+        }
+        shard.table = table;
+        shard.live_upper = live_upper;
+        shard.merges = merges;
+        shard.stats = stats;
+        shard
+    }
+
     /// The path a padded batch of class `b` would take right now — a public
     /// function of the class and the (public) pending-log length.
     pub fn epoch_path(&self, b: usize) -> EpochPath {

@@ -29,13 +29,17 @@
 //! shard count, capacity history)` only. See DESIGN.md §9.
 
 use crate::op::{size_class, EpochPath, FlatOp, Op, OpResult, StoreStats};
-use crate::router::{gather_results, route_ops, shard_class, OpResultSlot};
+use crate::recovery::recover_shards;
+use crate::router::{gather_results, route_ops, shard_class, OpResultSlot, SubBatch};
 use crate::shard::Shard;
+use crate::wal::{self, Durability, SnapMeta, Wal};
 use fj::{par_zip_mut_affine, Ctx};
 use metrics::ScratchPool;
 use obliv_core::scan::Schedule;
 use obliv_core::Engine;
 use pram::OramConfig;
+use std::io;
+use std::path::{Path, PathBuf};
 
 /// Public compaction schedule: every [`every`](ShrinkPolicy::every)-th
 /// merge, a shard's capacity is obliviously compacted back to the size
@@ -51,6 +55,13 @@ pub struct ShrinkPolicy {
     pub every: u64,
     /// Public upper bound on distinct live keys at compaction points.
     pub live_bound: usize,
+    /// Snapshot cadence for [`Durability::Epoch`] stores: every
+    /// `snapshot`-th merge, write the packed table to disk and truncate
+    /// the WAL (`0` disables scheduled snapshots; see
+    /// [`Store::checkpoint`] for the explicit variant). Like `every`,
+    /// this reads only the public merge counter, so snapshot points — and
+    /// thus WAL file lengths — stay public functions of batch sizes.
+    pub snapshot: u64,
 }
 
 /// Tuning for a [`Store`] (or for each shard of a [`ShardedStore`]).
@@ -77,6 +88,11 @@ pub struct StoreConfig {
     pub seed: u64,
     /// Optional public shrink schedule (capacity compaction).
     pub shrink: Option<ShrinkPolicy>,
+    /// Durability mode. [`Durability::Epoch`] takes effect only through
+    /// [`Store::recover`] / [`ShardedStore::recover`], which bind the
+    /// store to an on-disk directory; the default keeps every path
+    /// in-memory and filesystem-free.
+    pub durability: Durability,
 }
 
 impl Default for StoreConfig {
@@ -90,6 +106,7 @@ impl Default for StoreConfig {
             oram: OramConfig::default(),
             seed: 0xD0B_5707,
             shrink: None,
+            durability: Durability::None,
         }
     }
 }
@@ -130,23 +147,81 @@ pub(crate) fn validate_and_pad(cfg: &StoreConfig, ops: &[Op]) -> Vec<FlatOp> {
         .collect()
 }
 
+/// Directory + append handle of a durable single-shard store.
+struct DurableLog {
+    dir: PathBuf,
+    wal: Wal,
+}
+
 /// An oblivious batched key-value / private-analytics store. See the
-/// [module docs](self) for the architecture.
+/// [crate docs](crate) for the architecture, and DESIGN.md §13 for the
+/// durability model behind [`Store::recover`] / [`Store::checkpoint`].
 pub struct Store {
     cfg: StoreConfig,
     shard: Shard,
     epochs: u64,
     last_path: Option<EpochPath>,
+    /// `Some` iff this store logs epochs (built via [`Store::recover`]
+    /// with [`Durability::Epoch`]).
+    durable: Option<DurableLog>,
+    /// Sequence number of an epoch already appended by the pipelined
+    /// pre-log; `execute_epoch` must not append it a second time.
+    prelogged: Option<u64>,
 }
 
 impl Store {
+    /// An in-memory store. [`StoreConfig::durability`] is ignored here —
+    /// there is no directory to log into; use [`Store::recover`] to open
+    /// (or create) a durable store.
     pub fn new(cfg: StoreConfig) -> Self {
         Store {
             cfg,
             shard: Shard::new(cfg, 0),
             epochs: 0,
             last_path: None,
+            durable: None,
+            prelogged: None,
         }
+    }
+
+    /// Open the store persisted in `dir`, creating the directory (and an
+    /// empty store) on first use: restore the latest snapshot, then
+    /// replay every committed WAL record since it through the normal
+    /// epoch paths, so the recovered table, counters, and adversary trace
+    /// are the same public functions of the logged batch classes as the
+    /// original run's (see DESIGN.md §13). A torn record at the WAL tail
+    /// — an epoch that crashed mid-append, hence was never acknowledged —
+    /// is dropped.
+    ///
+    /// With `cfg.durability == Durability::Epoch` the returned store
+    /// keeps logging into `dir`; with [`Durability::None`] it is a
+    /// read-only-ish revival — fully functional in memory, but new epochs
+    /// are not persisted and `dir` is left untouched.
+    pub fn recover<C: Ctx>(
+        c: &C,
+        scratch: &ScratchPool,
+        dir: impl AsRef<Path>,
+        cfg: StoreConfig,
+    ) -> io::Result<Store> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let state = recover_shards(c, scratch, dir, &cfg, 1)?;
+        let durable = match cfg.durability {
+            Durability::Epoch => Some(DurableLog {
+                dir: dir.to_path_buf(),
+                wal: Wal::open(&wal::wal_path(dir, 0))?,
+            }),
+            Durability::None => None,
+        };
+        let mut shards = state.shards;
+        Ok(Store {
+            cfg,
+            shard: shards.pop().expect("one shard requested"),
+            epochs: state.epochs,
+            last_path: state.last_path,
+            durable,
+            prelogged: None,
+        })
     }
 
     /// The path an epoch of `n_ops` operations would take right now — a
@@ -174,9 +249,85 @@ impl Store {
         }
         let batch = validate_and_pad(&self.cfg, ops);
         let path = self.shard.epoch_path(batch.len());
+        // WAL-before-merge: the padded batch is on disk before any state
+        // changes (unless the pipelined pre-log already wrote it).
+        if self.prelogged.take() != Some(self.epochs) {
+            if let Some(d) = self.durable.as_mut() {
+                d.wal
+                    .append(self.epochs, &batch)
+                    .expect("WAL append failed; cannot acknowledge the epoch");
+            }
+        }
         self.epochs += 1;
         self.last_path = Some(path);
-        self.shard.execute(c, scratch, &batch, ops.len(), path)
+        let res = self.shard.execute(c, scratch, &batch, ops.len(), path);
+        if path == EpochPath::Merge {
+            self.maybe_snapshot();
+        }
+        res
+    }
+
+    /// Scheduled snapshot: at every `snapshot`-th merge (a public cadence;
+    /// see [`ShrinkPolicy::snapshot`]) persist the packed table and
+    /// truncate the WAL. Only called at merge closes, where the pending
+    /// log is empty and the ORAM mirror equals the table.
+    fn maybe_snapshot(&mut self) {
+        let Some(pol) = self.cfg.shrink else { return };
+        if self.durable.is_none()
+            || pol.snapshot == 0
+            || !self.shard.merges().is_multiple_of(pol.snapshot)
+        {
+            return;
+        }
+        self.checkpoint()
+            .expect("snapshot write failed; WAL left intact");
+    }
+
+    /// Persist the current table as a snapshot and truncate the WAL, now.
+    /// An explicit, caller-scheduled snapshot point (the scheduled
+    /// variant is [`ShrinkPolicy::snapshot`]): calling it is a public
+    /// action, so invoke it on public schedule only. No-op (`Ok`) on
+    /// non-durable stores.
+    ///
+    /// # Panics
+    /// If the pending log is non-empty (the last epoch took the ORAM
+    /// path): snapshots only capture the table, so checkpoint after a
+    /// merge epoch.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        assert_eq!(
+            self.shard.pending_len(),
+            0,
+            "checkpoint requires an empty pending log (snapshot at a merge close)"
+        );
+        let meta = SnapMeta {
+            next_seq: self.epochs,
+            merges: self.shard.merges(),
+            live_upper: self.shard.live_upper() as u64,
+            stats: self.shard.stats(),
+        };
+        wal::write_snapshot(&d.dir, 0, &meta, &self.shard.records())?;
+        d.wal.truncate()
+    }
+
+    /// Append `ops` (padded to their public class) to the WAL *now*,
+    /// before the epoch itself runs — the pipelined front end's
+    /// durability point, invoked on the caller's thread before the merge
+    /// is handed to a detached task. The matching `execute_epoch` call
+    /// skips its own append. No-op on non-durable stores.
+    pub(crate) fn wal_prelog<C: Ctx>(&mut self, _c: &C, _scratch: &ScratchPool, ops: &[Op]) {
+        if ops.is_empty() {
+            return;
+        }
+        if let Some(d) = self.durable.as_mut() {
+            let batch = validate_and_pad(&self.cfg, ops);
+            d.wal
+                .append(self.epochs, &batch)
+                .expect("WAL append failed; cannot acknowledge the epoch");
+            self.prelogged = Some(self.epochs);
+        }
     }
 
     /// Current analytics snapshot (as of the last merge epoch).
@@ -359,10 +510,31 @@ pub struct ShardedStore {
     merges: u64,
     fallbacks: u64,
     last_path: Option<EpochPath>,
+    /// `Some` iff this store logs epochs — one WAL per shard, all
+    /// carrying the same epoch sequence numbers (built via
+    /// [`ShardedStore::recover`] with [`Durability::Epoch`]).
+    durable: Option<DurableLogs>,
+    /// An epoch the pipelined pre-log already routed and appended;
+    /// `execute_epoch` consumes the routed jobs instead of re-routing
+    /// (and skips its own appends).
+    prerouted: Option<PreRouted>,
+}
+
+/// Directory + per-shard append handles of a durable sharded store.
+struct DurableLogs {
+    dir: PathBuf,
+    wals: Vec<Wal>,
+}
+
+/// One epoch routed and logged ahead of its commit by the pipelined
+/// front end. `jobs` is `None` on the 1-shard fast path (nothing routes).
+struct PreRouted {
+    seq: u64,
+    jobs: Option<(Vec<SubBatch>, usize)>,
 }
 
 impl ShardedStore {
-    pub fn new(cfg: ShardConfig) -> Self {
+    fn validate_cfg(cfg: &ShardConfig) {
         assert!(
             cfg.shards >= 1 && cfg.shards.is_power_of_two(),
             "shard count must be a power of two"
@@ -371,6 +543,12 @@ impl ShardedStore {
             cfg.store.oram_key_space.is_none() || cfg.shards == 1,
             "the ORAM path requires a single shard (sharded stores are merge-only)"
         );
+    }
+
+    /// An in-memory sharded store ([`StoreConfig::durability`] is ignored
+    /// without a directory; see [`ShardedStore::recover`]).
+    pub fn new(cfg: ShardConfig) -> Self {
+        Self::validate_cfg(&cfg);
         let shards = (0..cfg.shards)
             .map(|i| Shard::new(cfg.store, i as u64))
             .collect();
@@ -382,7 +560,55 @@ impl ShardedStore {
             merges: 0,
             fallbacks: 0,
             last_path: None,
+            durable: None,
+            prerouted: None,
         }
+    }
+
+    /// Open the sharded store persisted in `dir` (creating it on first
+    /// use): per shard, restore the snapshot and replay committed WAL
+    /// records through the normal merge path — see [`Store::recover`] for
+    /// the contract. An epoch counts as committed only once its record is
+    /// on **every** shard's WAL; a crash mid-append leaves a ragged tail
+    /// that recovery uniformly drops, so shards never diverge.
+    ///
+    /// [`ShardedStore::routing_fallbacks`] restarts at 0: the fallback
+    /// count is diagnostic, not state, and is not persisted.
+    pub fn recover<C: Ctx>(
+        c: &C,
+        scratch: &ScratchPool,
+        dir: impl AsRef<Path>,
+        cfg: ShardConfig,
+    ) -> io::Result<ShardedStore> {
+        Self::validate_cfg(&cfg);
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let state = recover_shards(c, scratch, dir, &cfg.store, cfg.shards)?;
+        let durable = match cfg.store.durability {
+            Durability::Epoch => Some(DurableLogs {
+                dir: dir.to_path_buf(),
+                wals: (0..cfg.shards)
+                    .map(|i| Wal::open(&wal::wal_path(dir, i)))
+                    .collect::<io::Result<_>>()?,
+            }),
+            Durability::None => None,
+        };
+        let snapshot = state
+            .shards
+            .iter()
+            .fold(StoreStats::default(), |acc, s| acc.merged(s.stats()));
+        let merges = state.shards[0].merges();
+        Ok(ShardedStore {
+            cfg,
+            shards: state.shards,
+            snapshot,
+            epochs: state.epochs,
+            merges,
+            fallbacks: 0,
+            last_path: state.last_path,
+            durable,
+            prerouted: None,
+        })
     }
 
     /// Execute one epoch: pad to the public batch class, route ops to
@@ -413,43 +639,54 @@ impl ShardedStore {
         }
         let batch = validate_and_pad(&self.cfg.store, ops);
         let b = batch.len();
+        let seq = self.epochs;
+        let pre = self.prerouted.take().filter(|p| p.seq == seq);
         self.epochs += 1;
 
         if self.shards.len() == 1 {
             // Public fast path: one shard needs no routing; this is the
             // plain-`Store` pipeline.
             let path = self.shards[0].epoch_path(b);
+            if pre.is_none() {
+                if let Some(d) = self.durable.as_mut() {
+                    d.wals[0]
+                        .append(seq, &batch)
+                        .expect("WAL append failed; cannot acknowledge the epoch");
+                }
+            }
             self.last_path = Some(path);
             if path == EpochPath::Merge {
                 self.merges += 1;
             }
             let res = self.shards[0].execute(c, scratch, &batch, ops.len(), path);
             self.snapshot = self.shards[0].stats();
+            if path == EpochPath::Merge {
+                self.maybe_snapshot();
+            }
             return res;
         }
 
         let engine = self.cfg.store.engine;
-        let shards = self.shards.len();
-        let zcap = shard_class(b, shards, self.cfg.route_slack);
 
-        // Oblivious routing: pad every shard's sub-batch to the public
-        // class `zcap`. Under scaled provisioning a heavily skewed epoch
-        // can overflow a shard; the fixed-trace pass reports it and we
-        // publicly fall back to full provisioning for this epoch.
-        let (mut jobs, zcap) = if zcap < b {
-            match route_ops(c, scratch, engine, &batch, shards, zcap) {
-                Ok(jobs) => (jobs, zcap),
-                Err(_) => {
-                    self.fallbacks += 1;
-                    let jobs = route_ops(c, scratch, engine, &batch, shards, b)
-                        .expect("full provisioning cannot overflow");
-                    (jobs, b)
+        // Oblivious routing — or the pipelined pre-log's routed jobs,
+        // whose route already ran (with an identical trace) on the
+        // caller's thread at append time.
+        let (mut jobs, zcap) = match pre.and_then(|p| p.jobs) {
+            Some((jobs, zcap)) => (jobs, zcap),
+            None => {
+                let (jobs, zcap) = self.route_with_fallback(c, scratch, &batch);
+                // WAL-before-merge: every shard's routed, padded
+                // sub-batch is on disk under this epoch's sequence number
+                // before any shard merges.
+                if let Some(d) = self.durable.as_mut() {
+                    for (i, job) in jobs.iter().enumerate() {
+                        d.wals[i]
+                            .append(seq, &job.batch)
+                            .expect("WAL append failed; cannot acknowledge the epoch");
+                    }
                 }
+                (jobs, zcap)
             }
-        } else {
-            let jobs = route_ops(c, scratch, engine, &batch, shards, b)
-                .expect("full provisioning cannot overflow");
-            (jobs, b)
         };
 
         // Parallel per-shard commits: every shard owns its table and
@@ -498,6 +735,7 @@ impl ShardedStore {
             .shards
             .iter()
             .fold(StoreStats::default(), |acc, s| acc.merged(s.stats()));
+        self.maybe_snapshot();
 
         gathered
             .into_iter()
@@ -561,6 +799,112 @@ impl ShardedStore {
     /// [`ShardConfig::route_slack`] `= 0`).
     pub fn routing_fallbacks(&self) -> u64 {
         self.fallbacks
+    }
+
+    /// Oblivious routing: pad every shard's sub-batch to the public class
+    /// `zcap`. Under scaled provisioning a heavily skewed epoch can
+    /// overflow a shard; the fixed-trace pass reports it and we publicly
+    /// fall back to full provisioning for this epoch.
+    fn route_with_fallback<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        batch: &[FlatOp],
+    ) -> (Vec<SubBatch>, usize) {
+        let engine = self.cfg.store.engine;
+        let shards = self.shards.len();
+        let b = batch.len();
+        let zcap = shard_class(b, shards, self.cfg.route_slack);
+        if zcap < b {
+            match route_ops(c, scratch, engine, batch, shards, zcap) {
+                Ok(jobs) => (jobs, zcap),
+                Err(_) => {
+                    self.fallbacks += 1;
+                    let jobs = route_ops(c, scratch, engine, batch, shards, b)
+                        .expect("full provisioning cannot overflow");
+                    (jobs, b)
+                }
+            }
+        } else {
+            let jobs = route_ops(c, scratch, engine, batch, shards, b)
+                .expect("full provisioning cannot overflow");
+            (jobs, b)
+        }
+    }
+
+    /// Scheduled snapshot on the public [`ShrinkPolicy::snapshot`]
+    /// cadence; see [`Store::checkpoint`].
+    fn maybe_snapshot(&mut self) {
+        let Some(pol) = self.cfg.store.shrink else {
+            return;
+        };
+        if self.durable.is_none()
+            || pol.snapshot == 0
+            || !self.shards[0].merges().is_multiple_of(pol.snapshot)
+        {
+            return;
+        }
+        self.checkpoint()
+            .expect("snapshot write failed; WAL left intact");
+    }
+
+    /// Persist every shard's table as a snapshot and truncate its WAL —
+    /// the sharded [`Store::checkpoint`]. Shards are checkpointed one at
+    /// a time, snapshot-then-truncate; a crash anywhere in the loop
+    /// leaves each shard with either (old snapshot + full WAL) or (new
+    /// snapshot + empty WAL), both of which recover to the same horizon.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        assert_eq!(
+            self.shards.iter().map(|s| s.pending_len()).sum::<usize>(),
+            0,
+            "checkpoint requires an empty pending log (snapshot at a merge close)"
+        );
+        for (i, shard) in self.shards.iter().enumerate() {
+            let meta = SnapMeta {
+                next_seq: self.epochs,
+                merges: shard.merges(),
+                live_upper: shard.live_upper() as u64,
+                stats: shard.stats(),
+            };
+            wal::write_snapshot(&d.dir, i, &meta, &shard.records())?;
+            d.wals[i].truncate()?;
+        }
+        Ok(())
+    }
+
+    /// Pipelined pre-log (see [`Store::wal_prelog`]): route the epoch on
+    /// the caller's thread, append every shard's sub-batch, and stash the
+    /// routed jobs so the detached commit task neither re-routes nor
+    /// re-appends. The routing trace is identical to the synchronous
+    /// path's — it just runs at append time.
+    pub(crate) fn wal_prelog<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) {
+        if ops.is_empty() || self.durable.is_none() {
+            return;
+        }
+        let batch = validate_and_pad(&self.cfg.store, ops);
+        let seq = self.epochs;
+        if self.shards.len() == 1 {
+            let d = self.durable.as_mut().expect("checked above");
+            d.wals[0]
+                .append(seq, &batch)
+                .expect("WAL append failed; cannot acknowledge the epoch");
+            self.prerouted = Some(PreRouted { seq, jobs: None });
+            return;
+        }
+        let (jobs, zcap) = self.route_with_fallback(c, scratch, &batch);
+        let d = self.durable.as_mut().expect("checked above");
+        for (i, job) in jobs.iter().enumerate() {
+            d.wals[i]
+                .append(seq, &job.batch)
+                .expect("WAL append failed; cannot acknowledge the epoch");
+        }
+        self.prerouted = Some(PreRouted {
+            seq,
+            jobs: Some((jobs, zcap)),
+        });
     }
 
     pub(crate) fn config(&self) -> &StoreConfig {
@@ -739,6 +1083,7 @@ mod tests {
             shrink: Some(ShrinkPolicy {
                 every: 2,
                 live_bound: 8,
+                snapshot: 0,
             }),
             ..StoreConfig::default()
         };

@@ -163,6 +163,7 @@ fn merge_epoch_pool_stays_warm_on_tag_path() {
         shrink: Some(ShrinkPolicy {
             every: 1,
             live_bound: 64,
+            snapshot: 0,
         }),
         ..StoreConfig::default()
     };
@@ -215,6 +216,7 @@ fn merge_epoch_pool_stays_warm_under_pinned_pool() {
         shrink: Some(ShrinkPolicy {
             every: 1,
             live_bound: 64,
+            snapshot: 0,
         }),
         ..StoreConfig::default()
     };

@@ -226,6 +226,7 @@ fn shrink_schedule_is_non_monotone_and_correct() {
     cfg.store.shrink = Some(ShrinkPolicy {
         every: 2,
         live_bound: 16, // per shard
+        snapshot: 0,
     });
     let mut store = ShardedStore::new(cfg);
     let mut oracle: HashMap<u64, u64> = HashMap::new();
@@ -261,6 +262,7 @@ fn shrink_cadence_is_public_not_data_dependent() {
     cfg.store.shrink = Some(ShrinkPolicy {
         every: 2,
         live_bound: 64,
+        snapshot: 0,
     });
     let sp = ScratchPool::new();
     let a = trace_history(&sp, cfg, 11);
@@ -277,6 +279,7 @@ fn violating_the_declared_live_bound_fails_loudly() {
         shrink: Some(ShrinkPolicy {
             every: 1,
             live_bound: 8,
+            snapshot: 0,
         }),
         ..StoreConfig::default()
     };
