@@ -60,6 +60,38 @@ fn tag_sort_headline(files: &[dob_bench::diff::BenchFile]) -> Option<String> {
     ))
 }
 
+/// The SIMD-vs-scalar compare-exchange wall ratio from the fresh sort
+/// ablation rows ("sort: simd cells" vs "sort: scalar cells" at the
+/// largest common `n`), rendered for the step summary. The deterministic
+/// counters of the two rows are identical by construction (accounting
+/// replay); only the wall moves. `None` when the rows are absent (older
+/// artifacts).
+fn simd_cells_headline(files: &[dob_bench::diff::BenchFile]) -> Option<String> {
+    let row = |algo: &str| {
+        files
+            .iter()
+            .flat_map(|f| f.rows.iter())
+            .filter(|r| r.algo == algo)
+            .max_by_key(|r| r.n)
+    };
+    let simd = row("sort: simd cells")?;
+    let scalar = row("sort: scalar cells")?;
+    if simd.n != scalar.n {
+        return None;
+    }
+    let ws = *simd.counters.get("wall_ns")?;
+    let wc = *scalar.counters.get("wall_ns")?;
+    (ws > 0).then(|| {
+        format!(
+            "**SIMD-kernel headline** (n = {}): scalar / simd = {:.2}× wall on the packed-cell \
+             sort (batched AVX2 compare-exchange, identical comparator schedule, trace, and \
+             counters).",
+            simd.n,
+            wc as f64 / ws as f64,
+        )
+    })
+}
+
 /// The pipelined-vs-synchronous stream throughput ratio from the fresh
 /// store rows, rendered for the step summary. `None` when the rows are
 /// absent (older artifacts).
@@ -252,6 +284,14 @@ fn main() {
     // through the same comparator schedule, packed vs Slot-wrapped — the
     // ratio is the tracked payoff of the tag-sort fast path.
     if let Some(line) = tag_sort_headline(&fresh_files) {
+        summary.push_str(&format!("\n{line}\n\n"));
+        println!("{line}");
+    }
+
+    // SIMD-vs-scalar headline: the same cells, schedule, and trace —
+    // only the compare-exchange ALU width differs, so the wall ratio is
+    // the vectorization win in isolation.
+    if let Some(line) = simd_cells_headline(&fresh_files) {
         summary.push_str(&format!("\n{line}\n\n"));
         println!("{line}");
     }

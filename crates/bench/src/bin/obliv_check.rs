@@ -163,6 +163,30 @@ fn main() {
         .collect();
     all_ok &= check("tag-cell tight compaction", &t);
 
+    // Vectorized compare-exchange: the AVX2 backend must leave the very
+    // same trace as the scalar gates (accounting replay, DESIGN.md §14) —
+    // across backends AND across same-length inputs, so all 2×|inputs|
+    // traces collapse to one.
+    let t: Vec<_> = inputs
+        .iter()
+        .flat_map(|v| {
+            [sortnet::Backend::Scalar, sortnet::Backend::Avx2].map(|backend| {
+                trace(|c| {
+                    let mut cells: Vec<TagCell> = v
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &x)| TagCell::new(((x as u128) << 64) | i as u128, x as u128))
+                        .collect();
+                    let mut lease = scratch.lease(cells.len(), TagCell::filler());
+                    let mut tr = metrics::Tracked::new(c, &mut cells);
+                    let mut tmp = metrics::Tracked::new(c, &mut lease);
+                    sortnet::cells_sort_rec_with(backend, c, &mut tr, &mut tmp, true);
+                })
+            })
+        })
+        .collect();
+    all_ok &= check("vectorized compare-exchange (simd vs scalar)", &t);
+
     // Full oblivious sort — distinct-key inputs (see DESIGN.md: the rank
     // pattern after ORP is seed-determined for distinct keys).
     let distinct: Vec<Vec<u64>> = vec![
@@ -307,7 +331,7 @@ fn main() {
                 std::env::temp_dir().join(format!("dob_obliv_wal_{}_{k}", std::process::id()));
             let _ = std::fs::remove_dir_all(&dir);
             let cfg = StoreConfig {
-                durability: store::Durability::Epoch,
+                durability: store::Durability::epoch(),
                 ..StoreConfig::default()
             };
             let build = trace(|c| {

@@ -688,7 +688,7 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
         let seq = SeqCtx::new();
         let cfg = StoreConfig {
-            durability: Durability::Epoch,
+            durability: Durability::epoch(),
             shrink: Some(ShrinkPolicy {
                 every: 1,
                 live_bound: size,

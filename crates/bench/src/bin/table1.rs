@@ -25,6 +25,7 @@ use obliv_core::{
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use sortnet::{cells_sort_rec_with, Backend, TagCell};
 
 fn scrambled(n: usize) -> Vec<u64> {
     (0..n as u64)
@@ -163,6 +164,70 @@ fn main() {
             rec_wall as f64 / tag_wall.max(1) as f64,
             rec_rep.cache_misses as f64 / tag_rep.cache_misses.max(1) as f64,
             tag_rep.comparisons,
+        );
+    }
+
+    // ---- Sort ablation: SIMD vs scalar compare-exchange ------------------
+    // The same packed cells through the *identical* comparator schedule,
+    // trace, and counters (accounting replay, DESIGN.md §14) — only the
+    // compare-exchange ALU width differs. The gate pins the shared
+    // counters; the wall columns carry the measured vector win.
+    let mut simd_rows = Vec::new();
+    let mut scalar_rows = Vec::new();
+    for n in sweep_from_args(&[1 << 12, 1 << 14, 1 << 16]) {
+        let cells: Vec<TagCell> = scrambled(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| TagCell::new(((k as u128) << 64) | i as u128, i as u128))
+            .collect();
+        for (backend, algo, rows) in [
+            (Backend::Avx2, "sort: simd cells", &mut simd_rows),
+            (Backend::Scalar, "sort: scalar cells", &mut scalar_rows),
+        ] {
+            let (rep, _) = meter_timed(|c| {
+                let mut v = cells.clone();
+                let mut lease = scratch.lease(n, TagCell::filler());
+                let mut t = Tracked::new(c, &mut v);
+                let mut tmp = Tracked::new(c, &mut lease);
+                cells_sort_rec_with(backend, c, &mut t, &mut tmp, true);
+            });
+            let wall = wall_unmetered(3, |c| {
+                let mut v = cells.clone();
+                let mut lease = scratch.lease(n, TagCell::filler());
+                let mut t = Tracked::new(c, &mut v);
+                let mut tmp = Tracked::new(c, &mut lease);
+                cells_sort_rec_with(backend, c, &mut t, &mut tmp, true);
+            });
+            sink.record(
+                Row {
+                    task: "sort",
+                    algo,
+                    n,
+                    rep,
+                },
+                wall,
+            );
+            rows.push((rep, wall));
+        }
+    }
+    if let (Some(&(simd_rep, simd_wall)), Some(&(scalar_rep, scalar_wall))) =
+        (simd_rows.last(), scalar_rows.last())
+    {
+        assert_eq!(
+            (simd_rep.work, simd_rep.comparisons, simd_rep.trace_len),
+            (
+                scalar_rep.work,
+                scalar_rep.comparisons,
+                scalar_rep.trace_len
+            ),
+            "SIMD and scalar backends must share every deterministic counter"
+        );
+        println!(
+            "simd vs scalar cells headline (largest n): {:.2}x wall, identical {} comparators \
+             (backend: {})",
+            scalar_wall as f64 / simd_wall.max(1) as f64,
+            simd_rep.comparisons,
+            sortnet::active_backend().name(),
         );
     }
 

@@ -54,11 +54,11 @@ pub use osort::{oblivious_sort, oblivious_sort_u64, FinalSorter, OSortParams, So
 pub use rec_orba::{bins_for, rec_orba, rec_orba_into, BinLayout, OrbaParams};
 pub use rec_sort::rec_sort_items;
 pub use scan::{
-    prefix_sum, prefix_sum_in, scan, scan_in, seg_propagate, seg_propagate_in, seg_sum_right,
-    seg_sum_right_in, Schedule, Seg,
+    prefix_sum, prefix_sum_in, scan, scan_in, seg_combine_u64, seg_propagate, seg_propagate_in,
+    seg_sum_right, seg_sum_right_in, Schedule, Seg,
 };
 pub use scatter::oblivious_scatter;
 pub use sendrecv::{send_receive, send_receive_u64};
 pub use slot::{composite_key, flags, Item, Slot, Val};
-pub use sortnet::TagCell;
+pub use sortnet::{select_cell, select_u128, select_u64, TagCell};
 pub use tag_sort::{compact_cells, oblivious_sort_kv};

@@ -19,6 +19,7 @@
 use crate::slot::Val;
 use fj::{grain_for, par_for, Ctx};
 use metrics::{ScratchPool, Tracked};
+use sortnet::select_u64;
 
 /// Which parallel schedule evaluates the scan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -353,6 +354,13 @@ impl<V> Seg<V> {
 fn seg_combine<V: Val, OP: Fn(V, V) -> V + Sync>(
     op: &OP,
 ) -> impl Fn(Seg<V>, Seg<V>) -> Seg<V> + Sync + '_ {
+    // The head flags are secret-dependent values living in tracked
+    // memory; under Definition 1 only the *addresses* are observable, so
+    // this branch leaks nothing — the concrete `u64` scans below still
+    // route through word selects as best-effort hardening, matching the
+    // branchless discipline of the `sortnet::vec` kernel layer. The
+    // generic combine keeps the branch because `V` cannot be mask-selected
+    // generically.
     move |a, b| {
         if b.head {
             b
@@ -362,6 +370,21 @@ fn seg_combine<V: Val, OP: Fn(V, V) -> V + Sync>(
                 v: op(a.v, b.v),
             }
         }
+    }
+}
+
+/// Branchless segmented combine over `u64` values: the inner-loop gate of
+/// the store's segmented LWW/aggregation scans. `head` composes with
+/// boolean arithmetic and the value lane with a [`select_u64`] mask — no
+/// secret-dependent branch, and the compiler lowers the select to a
+/// conditional move / vector blend.
+#[inline(always)]
+pub fn seg_combine_u64(
+    op: impl Fn(u64, u64) -> u64 + Sync,
+) -> impl Fn(Seg<u64>, Seg<u64>) -> Seg<u64> + Sync {
+    move |a, b| Seg {
+        head: a.head | b.head,
+        v: select_u64(b.head, op(a.v, b.v), b.v),
     }
 }
 
@@ -422,7 +445,7 @@ pub fn seg_sum_right_in<C: Ctx>(
         scratch,
         t,
         Seg::new(false, 0u64),
-        &seg_combine(&|a: u64, b: u64| a.wrapping_add(b)),
+        &seg_combine_u64(|a, b| a.wrapping_add(b)),
         true,
         true,
         sched,

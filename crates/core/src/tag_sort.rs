@@ -30,7 +30,7 @@ use crate::scan::{prefix_sum_in, Schedule};
 use crate::slot::composite_key;
 use fj::{grain_for, par_for, Ctx};
 use metrics::{ScratchPool, Tracked};
-use sortnet::{select_u128, select_u64, TagCell};
+use sortnet::{select_cell, select_u64, TagCell};
 
 /// Stable, data-oblivious sort of `(key, val)` records ascending by key:
 /// one branchless cell network over `(key ‖ index, val)` tags.
@@ -168,18 +168,12 @@ pub fn compact_cells<C: Ctx>(c: &C, scratch: &ScratchPool, t: &mut Tracked<'_, T
                 let arrives = !inc.is_filler() && (inc_d >> k) & 1 == 1;
                 debug_assert!(!(stays && arrives), "compaction collision at {pos}");
                 // Branchless two-way select: arrival wins, else the stayer,
-                // else a canonical filler.
-                let keep_tag = select_u128(stays, u128::MAX, here.tag);
-                let keep_aux = select_u128(stays, 0, here.aux);
+                // else a canonical filler. Whole cells route through the
+                // vectorizable `select_cell`; the shift lane stays a word
+                // select.
+                let keep = select_cell(stays, TagCell::filler(), here);
                 let keep_d = select_u64(stays, 0, here_d);
-                dst.set(
-                    c,
-                    pos,
-                    TagCell {
-                        tag: select_u128(arrives, keep_tag, inc.tag),
-                        aux: select_u128(arrives, keep_aux, inc.aux),
-                    },
-                );
+                dst.set(c, pos, select_cell(arrives, keep, inc));
                 dst_s.set(c, pos, select_u64(arrives, keep_d, inc_d));
             });
         }

@@ -254,6 +254,36 @@ impl<T: Copy> RawTracked<T> {
         self.len == 0
     }
 
+    /// Buffer identity (for manual `touch` accounting in batched kernels).
+    #[inline]
+    pub fn buf(&self) -> BufId {
+        self.buf
+    }
+
+    /// Word offset of element 0 within the buffer.
+    #[inline]
+    pub fn off(&self) -> u64 {
+        self.off
+    }
+
+    /// Words per element.
+    #[inline]
+    pub fn wpe(&self) -> u64 {
+        self.wpe
+    }
+
+    /// The underlying pointer, for kernels that access several elements
+    /// per operation (e.g. vector compare-exchange). Callers doing so on
+    /// a metered run must replay the equivalent [`fj::Ctx::touch`] /
+    /// [`fj::Ctx::work`] accounting themselves.
+    ///
+    /// # Safety
+    /// Dereferencing inherits the [`RawTracked`] disjointness contract.
+    #[inline]
+    pub fn as_mut_ptr(&self) -> *mut T {
+        self.ptr
+    }
+
     /// Read element `i`.
     ///
     /// # Safety

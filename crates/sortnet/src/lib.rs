@@ -16,6 +16,10 @@
 //! * [`tag`] — packed 32-byte tag cells (`key ‖ payload` lanes) and the
 //!   branchless recursive bitonic over them: the tag-sort fast path that
 //!   keeps wide records out of the comparator layers;
+//! * [`vec`](mod@vec) — runtime-dispatched SIMD (AVX2) batched
+//!   compare-exchange for the cell comparator slabs, scalar fallback via
+//!   `DOB_NO_SIMD=1`, trace-identical to the scalar gates by accounting
+//!   replay (DESIGN.md §14);
 //! * [`transpose`](mod@transpose) — cache-agnostic parallel matrix transposition, the
 //!   shared skeleton of every recursive butterfly in the workspace.
 
@@ -27,6 +31,7 @@ pub mod oddeven;
 pub mod shellsort;
 pub mod tag;
 pub mod transpose;
+pub mod vec;
 
 pub use bitonic::{bitonic_merge_seq, bitonic_sort_flat_par, bitonic_sort_seq};
 pub use bitonic_rec::{
@@ -36,5 +41,9 @@ pub use cx::{cex, cex_raw, select_u128, select_u64, KeyFn};
 pub use network::{Comparator, Network};
 pub use oddeven::oddeven_sort;
 pub use shellsort::randomized_shellsort;
-pub use tag::{cells_merge_rec, cells_sort_rec, cex_cell, cex_cell_raw, tag_of, TagCell};
+pub use tag::{
+    cells_merge_rec, cells_merge_rec_with, cells_sort_rec, cells_sort_rec_with, cex_cell,
+    cex_cell_raw, tag_of, TagCell,
+};
 pub use transpose::transpose;
+pub use vec::{active_backend, cex_cells_slab, cex_cells_slab_with, select_cell, Backend};

@@ -31,11 +31,17 @@
 use crate::bitonic_rec::{par_rows2, BASE};
 use crate::cx::select_u128;
 use crate::transpose::transpose;
+use crate::vec::{active_backend, cex_cells_slab_with, Backend};
 use fj::{counters, Ctx};
 use metrics::{RawTracked, Tracked};
 
 /// A 32-byte comparator-network element: 16-byte sort tag, 16-byte payload.
+///
+/// `repr(C)` pins the lane layout (`tag` low, `aux` high) so the
+/// [`crate::vec`] kernels can treat a cell as one 256-bit vector of
+/// `[tag_lo, tag_hi, aux_lo, aux_hi]` u64 lanes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(C)]
 pub struct TagCell {
     /// The sort key. `u128::MAX` is reserved for fillers.
     pub tag: u128,
@@ -110,7 +116,23 @@ pub fn cex_cell<C: Ctx>(c: &C, t: &mut Tracked<'_, TagCell>, i: usize, j: usize,
 }
 
 /// Sequential bitonic sort of a power-of-two cell slice (the base case).
+///
+/// Each `(k, j)` level is walked as slabs of `j` consecutive pairs with a
+/// constant direction and handed to the batched compare-exchange kernel
+/// ([`crate::vec::cex_cells_slab`]), which visits the identical pair
+/// sequence the classic `i ^ j` loop visits — the slab decomposition
+/// only regroups it.
 pub fn cells_sort_seq<C: Ctx>(c: &C, t: &mut Tracked<'_, TagCell>, up: bool) {
+    cells_sort_seq_with(active_backend(), c, t, up)
+}
+
+/// [`cells_sort_seq`] with an explicit compare-exchange backend.
+pub fn cells_sort_seq_with<C: Ctx>(
+    backend: Backend,
+    c: &C,
+    t: &mut Tracked<'_, TagCell>,
+    up: bool,
+) {
     let n = t.len();
     if n <= 1 {
         return;
@@ -122,13 +144,17 @@ pub fn cells_sort_seq<C: Ctx>(c: &C, t: &mut Tracked<'_, TagCell>, up: bool) {
     while k <= n {
         let mut j = k / 2;
         while j >= 1 {
-            for i in 0..n {
-                let l = i ^ j;
-                if l > i {
-                    let dir = ((i & k) == 0) == up;
-                    // SAFETY: sequential evaluation.
-                    unsafe { cex_cell_raw(c, &raw, i, l, dir) };
-                }
+            // Level (k, j): pairs (i, i ^ j) for every i with bit j clear,
+            // i.e. slabs of j consecutive pairs starting at multiples of
+            // 2j. Within a slab the direction ((i & k) == 0) == up is
+            // constant because i & k is (k ≥ 2j, so bits below bit(j)
+            // cannot reach bit(k)).
+            let mut s = 0;
+            while s < n {
+                let dir = ((s & k) == 0) == up;
+                // SAFETY: sequential evaluation.
+                unsafe { cex_cells_slab_with(backend, c, &raw, s, j, dir) };
+                s += 2 * j;
             }
             j /= 2;
         }
@@ -136,8 +162,19 @@ pub fn cells_sort_seq<C: Ctx>(c: &C, t: &mut Tracked<'_, TagCell>, up: bool) {
     }
 }
 
-/// Sequential bitonic merge of a bitonic power-of-two cell slice.
+/// Sequential bitonic merge of a bitonic power-of-two cell slice. Like
+/// [`cells_sort_seq`], each halving level runs as batched slabs.
 pub fn cells_merge_seq<C: Ctx>(c: &C, t: &mut Tracked<'_, TagCell>, up: bool) {
+    cells_merge_seq_with(active_backend(), c, t, up)
+}
+
+/// [`cells_merge_seq`] with an explicit compare-exchange backend.
+pub fn cells_merge_seq_with<C: Ctx>(
+    backend: Backend,
+    c: &C,
+    t: &mut Tracked<'_, TagCell>,
+    up: bool,
+) {
     let m = t.len();
     if m <= 1 {
         return;
@@ -146,11 +183,11 @@ pub fn cells_merge_seq<C: Ctx>(c: &C, t: &mut Tracked<'_, TagCell>, up: bool) {
     let raw = t.as_raw();
     let mut d = m / 2;
     while d >= 1 {
-        for i in 0..m {
-            if i & d == 0 {
-                // SAFETY: sequential evaluation.
-                unsafe { cex_cell_raw(c, &raw, i, i + d, up) };
-            }
+        let mut s = 0;
+        while s < m {
+            // SAFETY: sequential evaluation.
+            unsafe { cex_cells_slab_with(backend, c, &raw, s, d, up) };
+            s += 2 * d;
         }
         d /= 2;
     }
@@ -166,10 +203,21 @@ pub fn cells_merge_rec<C: Ctx>(
     tmp: &mut Tracked<'_, TagCell>,
     up: bool,
 ) {
+    cells_merge_rec_with(active_backend(), c, t, tmp, up)
+}
+
+/// [`cells_merge_rec`] with an explicit compare-exchange backend.
+pub fn cells_merge_rec_with<C: Ctx>(
+    backend: Backend,
+    c: &C,
+    t: &mut Tracked<'_, TagCell>,
+    tmp: &mut Tracked<'_, TagCell>,
+    up: bool,
+) {
     let m = t.len();
     debug_assert_eq!(tmp.len(), m);
     if m <= BASE {
-        cells_merge_seq(c, t, up);
+        cells_merge_seq_with(backend, c, t, up);
         return;
     }
     debug_assert!(m.is_power_of_two());
@@ -186,7 +234,7 @@ pub fn cells_merge_rec<C: Ctx>(
         rdim,
         0,
         &|c, _, mut row, mut scratch| {
-            cells_merge_rec(c, &mut row, &mut scratch, up);
+            cells_merge_rec_with(backend, c, &mut row, &mut scratch, up);
         },
     );
 
@@ -199,7 +247,7 @@ pub fn cells_merge_rec<C: Ctx>(
         cdim,
         0,
         &|c, _, mut row, mut scratch| {
-            cells_merge_rec(c, &mut row, &mut scratch, up);
+            cells_merge_rec_with(backend, c, &mut row, &mut scratch, up);
         },
     );
 }
@@ -208,6 +256,17 @@ pub fn cells_merge_rec<C: Ctx>(
 /// representation): same schedule as [`crate::bitonic_sort_rec`], 32-byte
 /// elements, branchless exchanges.
 pub fn cells_sort_rec<C: Ctx>(
+    c: &C,
+    t: &mut Tracked<'_, TagCell>,
+    tmp: &mut Tracked<'_, TagCell>,
+    up: bool,
+) {
+    cells_sort_rec_with(active_backend(), c, t, tmp, up)
+}
+
+/// [`cells_sort_rec`] with an explicit compare-exchange backend.
+pub fn cells_sort_rec_with<C: Ctx>(
+    backend: Backend,
     c: &C,
     t: &mut Tracked<'_, TagCell>,
     tmp: &mut Tracked<'_, TagCell>,
@@ -223,7 +282,7 @@ pub fn cells_sort_rec<C: Ctx>(
         "bitonic cell sort requires power-of-two length, got {n}"
     );
     if n <= BASE {
-        cells_sort_seq(c, t, up);
+        cells_sort_seq_with(backend, c, t, up);
         return;
     }
     c.count(counters::SORTS, 1);
@@ -233,15 +292,15 @@ pub fn cells_sort_rec<C: Ctx>(
         c.join(
             move |c| {
                 let (mut t_lo, mut s_lo) = (t_lo, s_lo);
-                cells_sort_rec(c, &mut t_lo, &mut s_lo, up);
+                cells_sort_rec_with(backend, c, &mut t_lo, &mut s_lo, up);
             },
             move |c| {
                 let (mut t_hi, mut s_hi) = (t_hi, s_hi);
-                cells_sort_rec(c, &mut t_hi, &mut s_hi, !up);
+                cells_sort_rec_with(backend, c, &mut t_hi, &mut s_hi, !up);
             },
         );
     }
-    cells_merge_rec(c, t, tmp, up);
+    cells_merge_rec_with(backend, c, t, tmp, up);
 }
 
 #[cfg(test)]
@@ -365,6 +424,25 @@ mod tests {
             cells_sort_rec(c, &mut t, &mut s, true);
         });
         assert_eq!(cells, expect);
+    }
+
+    #[test]
+    fn backends_share_outputs_and_traces() {
+        // The vectorized sort must be bit-identical to the scalar one in
+        // both the sorted cells and the adversary trace.
+        let n = 1 << 9;
+        let keys: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(40503) >> 3).collect();
+        let run = |backend: Backend| {
+            let mut cs = cells_of(&keys);
+            let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
+                let mut tmp = vec![TagCell::filler(); n];
+                let mut t = Tracked::new(c, &mut cs);
+                let mut s = Tracked::new(c, &mut tmp);
+                cells_sort_rec_with(backend, c, &mut t, &mut s, true);
+            });
+            (cs, rep.trace_hash, rep.trace_len, rep.work, rep.comparisons)
+        };
+        assert_eq!(run(Backend::Scalar), run(Backend::Avx2));
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Vectorized oblivious kernels: runtime-dispatched SIMD batched
+//! compare-exchange for the comparator slabs, plus the branchless
+//! whole-cell selects the compaction/rewrite loops route through.
+//!
+//! # Dispatch model
+//!
+//! The backend is chosen **once per process** ([`active_backend`]):
+//! AVX2 when `is_x86_feature_detected!("avx2")` says the hardware has it
+//! and `DOB_NO_SIMD` is unset, scalar otherwise. Which backend runs is a
+//! public *hardware* fact — like the cache-line size or the core count,
+//! it is a property of the machine, not of the data — so dispatching on
+//! it leaks nothing under Definition 1. Every kernel also has a
+//! `_with(Backend, ..)` form so tests and benches can run both backends
+//! in one process and compare outputs and traces bit for bit.
+//!
+//! # Why the trace cannot change
+//!
+//! A batched kernel differs from its scalar twin only in ALU width. It
+//! first replays, pair by pair in the scalar order, the exact
+//! [`fj::Ctx::touch`]/[`fj::Ctx::work`]/[`fj::Ctx::count`] sequence the
+//! scalar gate emits (free on non-metering executors — the `Ctx` methods
+//! are inlined no-ops there), and only then moves the data with a
+//! branchless scalar tag verdict + 256-bit masked xor-swap. Same addresses
+//! in the same order, same work and comparator counters, no
+//! data-dependent branch: the adversary-visible trace and the gated cost
+//! model are *identical* across backends, on every input. DESIGN.md §14
+//! gives the full argument and the per-kernel coverage table.
+
+use crate::cx::select_u128;
+use crate::tag::{cex_cell_raw, TagCell};
+use fj::{counters, Access, Ctx};
+use metrics::RawTracked;
+use std::sync::OnceLock;
+
+/// How many independent cell pairs the AVX2 slab kernel retires per
+/// unrolled iteration (each 32-byte [`TagCell`] is one 256-bit vector).
+/// Shorter slabs still run vectorized — one pair is one vector — this
+/// only bounds the unroll.
+pub const LANES: usize = 4;
+
+/// The compare-exchange backend for the cell comparator slabs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Per-pair `select_u128` masks — the portable branchless gate.
+    Scalar,
+    /// Scalar tag verdict + 256-bit masked xor-swap of whole cells,
+    /// four independent pairs per unrolled iteration.
+    Avx2,
+}
+
+impl Backend {
+    /// Short name for bench rows and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+fn detect() -> Backend {
+    if std::env::var_os("DOB_NO_SIMD").is_some_and(|v| !v.is_empty() && v != "0") {
+        return Backend::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::is_x86_feature_detected!("avx2") {
+        return Backend::Avx2;
+    }
+    Backend::Scalar
+}
+
+/// The process-wide backend, detected once: AVX2 where the hardware has
+/// it, scalar otherwise or under `DOB_NO_SIMD=1`. A public hardware
+/// fact — see the module docs for why dispatching on it is oblivious.
+pub fn active_backend() -> Backend {
+    static ACTIVE: OnceLock<Backend> = OnceLock::new();
+    *ACTIVE.get_or_init(detect)
+}
+
+/// Replay the accounting of one scalar [`cex_cell_raw`] on `(i, j)`
+/// without touching the data: two reads, the comparator charge, two
+/// writes. Batched kernels call this per pair, in scalar order, before
+/// the vector data movement.
+#[inline(always)]
+fn account_cex<C: Ctx>(c: &C, t: &RawTracked<TagCell>, i: usize, j: usize) {
+    let (buf, off, wpe) = (t.buf(), t.off(), t.wpe());
+    c.touch(buf, off + i as u64 * wpe, wpe, Access::Read);
+    c.work(1);
+    c.touch(buf, off + j as u64 * wpe, wpe, Access::Read);
+    c.work(1);
+    c.work(1);
+    c.count(counters::COMPARISONS, 1);
+    c.touch(buf, off + i as u64 * wpe, wpe, Access::Write);
+    c.work(1);
+    c.touch(buf, off + j as u64 * wpe, wpe, Access::Write);
+    c.work(1);
+}
+
+/// Compare-exchange a bitonic-level slab: the `stride` independent pairs
+/// `(s + k, s + k + stride)` for `k in 0..stride`, all with direction
+/// `up`, exactly as the scalar level loop visits them. Dispatches on
+/// [`active_backend`].
+///
+/// # Safety
+/// As [`cex_cell_raw`]: no concurrent task may access `s..s + 2*stride`.
+#[inline]
+pub unsafe fn cex_cells_slab<C: Ctx>(
+    c: &C,
+    t: &RawTracked<TagCell>,
+    s: usize,
+    stride: usize,
+    up: bool,
+) {
+    cex_cells_slab_with(active_backend(), c, t, s, stride, up)
+}
+
+/// [`cex_cells_slab`] with an explicit backend — the hook equivalence
+/// tests and the simd-vs-scalar bench ablation drive both paths through.
+///
+/// # Safety
+/// As [`cex_cells_slab`].
+pub unsafe fn cex_cells_slab_with<C: Ctx>(
+    backend: Backend,
+    c: &C,
+    t: &RawTracked<TagCell>,
+    s: usize,
+    stride: usize,
+    up: bool,
+) {
+    debug_assert!(s + 2 * stride <= t.len());
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 {
+        for k in 0..stride {
+            account_cex(c, t, s + k, s + k + stride);
+        }
+        // SAFETY: backend is Avx2 only when detection succeeded; the
+        // index range is the caller's exclusive slab.
+        avx2::cex_slab(t.as_mut_ptr(), s, stride, up);
+        return;
+    }
+    let _ = backend; // non-x86_64 builds have exactly one backend
+    for k in 0..stride {
+        cex_cell_raw(c, t, s + k, s + k + stride, up);
+    }
+}
+
+/// Branchless whole-cell select: `b` if `cond` else `a`. Both lanes go
+/// through [`select_u128`] masks, which the compiler lowers to vector
+/// selects on SSE2+ targets — the rewrite loops (compaction shifts,
+/// merge fix-up, LWW projection) route every cell choice through here so
+/// no secret-dependent branch reappears at a call site.
+#[inline(always)]
+pub fn select_cell(cond: bool, a: TagCell, b: TagCell) -> TagCell {
+    TagCell {
+        tag: select_u128(cond, a.tag, b.tag),
+        aux: select_u128(cond, a.aux, b.aux),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::TagCell;
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    /// One branchless compare-exchange: `*pa`/`*pb` are 32-byte cells
+    /// handled as one 256-bit vector each. The tag verdict is computed
+    /// on the scalar side — a u128 compare is one `cmp`/`sbb` pair and
+    /// `-(swap as i64)` a flag materialization, all branchless — then
+    /// broadcast and applied as a vector masked xor-swap. Keeping the
+    /// verdict off the vector unit beats an all-SIMD compare chain: the
+    /// cross-lane verdict broadcast it needs is a latency-3,
+    /// port-5-only permute, while the scalar compare runs on the ports
+    /// the swap leaves idle. Two loads and two stores, exactly like the
+    /// scalar gate.
+    ///
+    /// # Safety
+    /// AVX2 must be available; `pa`/`pb` must be valid, disjoint cells.
+    #[inline(always)]
+    unsafe fn cex1(pa: *mut TagCell, pb: *mut TagCell, up: bool) {
+        let ta = (pa as *const u128).read_unaligned();
+        let tb = (pb as *const u128).read_unaligned();
+        let swap = (ta > tb) == up;
+        let m = _mm256_set1_epi64x(-(swap as i64));
+        let a = _mm256_loadu_si256(pa as *const __m256i);
+        let b = _mm256_loadu_si256(pb as *const __m256i);
+        let diff = _mm256_and_si256(_mm256_xor_si256(a, b), m);
+        _mm256_storeu_si256(pa as *mut __m256i, _mm256_xor_si256(a, diff));
+        _mm256_storeu_si256(pb as *mut __m256i, _mm256_xor_si256(b, diff));
+    }
+
+    /// The slab data movement: pairs `(s+k, s+k+stride)`, `k in
+    /// 0..stride`, direction `up`, four independent pairs per unrolled
+    /// iteration (the pairs of a bitonic level never overlap, so the CPU
+    /// pipelines them freely).
+    ///
+    /// # Safety
+    /// AVX2 must be available; `ptr[s..s + 2*stride]` must be valid and
+    /// exclusively owned by the caller.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn cex_slab(ptr: *mut TagCell, s: usize, stride: usize, up: bool) {
+        let lo = ptr.add(s);
+        let hi = ptr.add(s + stride);
+        let mut k = 0;
+        while k + 4 <= stride {
+            cex1(lo.add(k), hi.add(k), up);
+            cex1(lo.add(k + 1), hi.add(k + 1), up);
+            cex1(lo.add(k + 2), hi.add(k + 2), up);
+            cex1(lo.add(k + 3), hi.add(k + 3), up);
+            k += 4;
+        }
+        while k < stride {
+            cex1(lo.add(k), hi.add(k), up);
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fj::SeqCtx;
+    use metrics::Tracked;
+    use proptest::prelude::*;
+
+    fn run_slab(backend: Backend, cells: &mut [TagCell], stride: usize, up: bool) {
+        let c = SeqCtx::new();
+        let mut t = Tracked::new(&c, cells);
+        let raw = t.as_raw();
+        // SAFETY: exclusive access, sequential.
+        unsafe { cex_cells_slab_with(backend, &c, &raw, 0, stride, up) };
+        let _ = t;
+    }
+
+    #[test]
+    fn backends_agree_on_fixed_patterns() {
+        for stride in [1usize, 2, 4, 8, 16] {
+            for up in [true, false] {
+                let mk = |salt: u128| -> Vec<TagCell> {
+                    (0..2 * stride as u128)
+                        .map(|i| {
+                            TagCell::new((i * 0x9E37_79B9 + salt) % 7, i.wrapping_mul(salt | 1))
+                        })
+                        .collect()
+                };
+                for salt in [0u128, 1, u128::MAX >> 1, 42] {
+                    let mut a = mk(salt);
+                    let mut b = a.clone();
+                    run_slab(Backend::Scalar, &mut a, stride, up);
+                    run_slab(Backend::Avx2, &mut b, stride, up);
+                    assert_eq!(a, b, "stride {stride} up {up} salt {salt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filler_tags_compare_like_scalar() {
+        // u128::MAX tags (fillers) exercise the sign-biased unsigned
+        // compare at its edge.
+        for up in [true, false] {
+            let mut a = vec![
+                TagCell::filler(),
+                TagCell::new(3, 30),
+                TagCell::new(u128::MAX - 1, 1),
+                TagCell::filler(),
+                TagCell::new(0, 0),
+                TagCell::new(1 << 64, 2),
+                TagCell::filler(),
+                TagCell::new(1, 10),
+            ];
+            let mut b = a.clone();
+            run_slab(Backend::Scalar, &mut a, 4, up);
+            run_slab(Backend::Avx2, &mut b, 4, up);
+            assert_eq!(a, b, "up {up}");
+        }
+    }
+
+    #[test]
+    fn active_backend_is_stable() {
+        assert_eq!(active_backend(), active_backend());
+    }
+
+    #[test]
+    fn select_cell_routes_both_lanes() {
+        let a = TagCell::new(1, 2);
+        let b = TagCell::new(3, 4);
+        assert_eq!(select_cell(false, a, b), a);
+        assert_eq!(select_cell(true, a, b), b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_backends_bit_identical(
+            his in proptest::collection::vec(any::<u64>(), 32),
+            los in proptest::collection::vec(any::<u64>(), 32),
+            sel in any::<u64>(),
+        ) {
+            let up = sel & 1 == 0;
+            for stride in [4usize, 8, 16] {
+                let mut a: Vec<TagCell> = his[..2 * stride]
+                    .iter()
+                    .zip(&los)
+                    .map(|(&h, &l)| {
+                        // Collapse some high lanes to force equal-high ties
+                        // through the (hi_eq & lo_gt) path.
+                        let h = if sel & 2 == 0 { h % 3 } else { h };
+                        TagCell::new(
+                            ((h as u128) << 64) | l as u128,
+                            ((l as u128) << 64) | h as u128,
+                        )
+                    })
+                    .collect();
+                let mut b = a.clone();
+                run_slab(Backend::Scalar, &mut a, stride, up);
+                run_slab(Backend::Avx2, &mut b, stride, up);
+                prop_assert_eq!(&a, &b);
+            }
+        }
+    }
+}

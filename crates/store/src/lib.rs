@@ -43,7 +43,9 @@
 //! [`ShardedStore::recover`]) under [`Durability::Epoch`] and every epoch
 //! is appended to a write-ahead log *before* its merge runs — one framed,
 //! checksummed record per epoch whose on-disk size is fixed by the public
-//! batch class. Snapshots of the packed table are written on the public
+//! batch class. The `sync_every` knob group-commits the log: one `fsync`
+//! per `sync_every` appends, trading at most that many trailing
+//! un-acknowledged epochs on a crash for far fewer flushes. Snapshots of the packed table are written on the public
 //! [`ShrinkPolicy::snapshot`] cadence (or explicitly via
 //! [`Store::checkpoint`]), truncating the WAL. Recovery replays the
 //! logged batches through the normal epoch path, so the recovered trace —

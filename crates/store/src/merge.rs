@@ -46,7 +46,7 @@ use crate::op::{kind, FlatOp, OpResult, StoreStats};
 use fj::{grain_for, par_for, par_reduce, Ctx};
 use metrics::{ScratchPool, Tracked};
 use obliv_core::scan::{scan_in, Schedule};
-use obliv_core::{compact_cells, Engine, TagCell};
+use obliv_core::{compact_cells, select_u128, select_u64, Engine, TagCell};
 
 /// One resident-table slot. Absent slots are padding: the number of
 /// *present* records is secret, the physical length is public.
@@ -124,24 +124,23 @@ struct Lww {
 
 #[inline]
 fn compose(a: Lww, b: Lww) -> (u8, u64) {
-    if b.kind == T_KEEP {
-        (a.kind, a.val)
-    } else {
-        (b.kind, b.val)
-    }
+    // Branchless: transformer kinds are secret cell contents, so the
+    // right-wins-unless-KEEP rule goes through word selects, not control
+    // flow (DESIGN.md §14).
+    let keep = b.kind == T_KEEP;
+    (
+        select_u64(keep, b.kind as u64, a.kind as u64) as u8,
+        select_u64(keep, b.val, a.val),
+    )
 }
 
 #[inline]
 fn lww_combine(a: Lww, b: Lww) -> Lww {
-    if b.head {
-        b
-    } else {
-        let (k, v) = compose(a, b);
-        Lww {
-            head: a.head,
-            kind: k,
-            val: v,
-        }
+    let (k, v) = compose(a, b);
+    Lww {
+        head: a.head | b.head,
+        kind: select_u64(b.head, k as u64, b.kind as u64) as u8,
+        val: select_u64(b.head, v, b.val),
     }
 }
 
@@ -154,18 +153,21 @@ struct Bounds {
 
 #[inline]
 fn transformer_of(cell: &TagCell) -> Lww {
-    if cell.is_filler() {
-        return Lww::default();
-    }
-    let (kind, val) = match cell_kind(cell) {
-        REC_KIND | kind::PUT => (T_SET, cell_val(cell)),
-        kind::DELETE => (T_CLEAR, 0),
-        _ => (T_KEEP, 0),
-    };
+    // Branchless: filler-ness and op kind are secret; fold them through
+    // word selects. A filler's aux lane reads as `REC_KIND`, so every
+    // predicate is gated on `real`.
+    let real = !cell.is_filler();
+    let k = cell_kind(cell);
+    let is_set = real && (k == REC_KIND || k == kind::PUT);
+    let is_clear = real && k == kind::DELETE;
     Lww {
         head: false,
-        kind,
-        val,
+        kind: select_u64(
+            is_set,
+            select_u64(is_clear, T_KEEP as u64, T_CLEAR as u64),
+            T_SET as u64,
+        ) as u8,
+        val: select_u64(is_set, 0, cell_val(cell)),
     }
 }
 
@@ -312,22 +314,30 @@ pub(crate) fn merge_epoch<C: Ctx>(
             let bd = br.get(c, i);
             let scanned = lr.get(c, i);
             // Run heads see the empty state no matter what the scan
-            // carried over from the previous run.
-            let pre = if bd.head { Lww::default() } else { scanned };
+            // carried over from the previous run. Selected, not branched:
+            // the head flag derives from secret keys.
+            let pre = Lww {
+                head: !bd.head & scanned.head,
+                kind: select_u64(bd.head, scanned.kind as u64, T_KEEP as u64) as u8,
+                val: select_u64(bd.head, scanned.val, 0),
+            };
             let own = transformer_of(&s);
             let (inc_kind, inc_val) = compose(pre, own);
             let found = pre.kind == T_SET;
-            let prev_val = if found { pre.val } else { 0 };
+            let prev_val = select_u64(found, 0, pre.val);
             let is_batch_op = !s.is_filler() && cell_seq(&s) > p as u64;
+            // The submission index is computed unconditionally (wrapping:
+            // table records carry seq 0) and selected away for non-batch
+            // positions.
             rr.set(
                 c,
                 i,
                 TagCell {
-                    tag: if is_batch_op {
-                        (cell_seq(&s) - 1 - p as u64) as u128
-                    } else {
-                        u128::MAX
-                    },
+                    tag: select_u128(
+                        is_batch_op,
+                        u128::MAX,
+                        cell_seq(&s).wrapping_sub(1 + p as u64) as u128,
+                    ),
                     aux: ((cell_kind(&s) as u128) << 72)
                         | ((found as u128) << 64)
                         | prev_val as u128,
@@ -338,11 +348,7 @@ pub(crate) fn merge_epoch<C: Ctx>(
                 c,
                 i,
                 TagCell {
-                    tag: if cand {
-                        cell_key(&s) as u128
-                    } else {
-                        u128::MAX
-                    },
+                    tag: select_u128(cand, u128::MAX, cell_key(&s) as u128),
                     aux: inc_val as u128,
                 },
             );
@@ -419,8 +425,8 @@ pub(crate) fn merge_epoch<C: Ctx>(
                 i,
                 Rec {
                     present: keep,
-                    key: if keep { s.tag as u64 } else { 0 },
-                    val: if keep { s.aux as u64 } else { 0 },
+                    key: select_u64(keep, 0, s.tag as u64),
+                    val: select_u64(keep, 0, s.aux as u64),
                 },
             );
         });
@@ -433,7 +439,7 @@ pub(crate) fn merge_epoch<C: Ctx>(
             &|c, i| {
                 // SAFETY: read-only phase over the freshly written table.
                 let r = unsafe { ttr.get(c, i) };
-                (r.present as u64, if r.present { r.val } else { 0 })
+                (r.present as u64, select_u64(r.present, 0, r.val))
             },
             // One overflow policy for both fields (see `StoreStats`):
             // wrap, exactly like the cross-shard fold.

@@ -319,11 +319,15 @@ impl<T: PipelineTarget> PipelinedStore<T> {
         // `read_now` consults while the merge runs.
         let ops = std::mem::take(&mut self.open);
         let log = validate_and_pad(&self.cfg, &ops);
-        // Durability point (durable stores only): the epoch's WAL record
-        // is written and flushed on the *caller's* thread, before the
-        // merge is handed to a detached task. By the time this method
-        // returns — i.e. by the time the commit is acknowledged — the
-        // epoch is on disk, whatever the detached task's fate.
+        // Pre-log (durable stores only): the epoch's WAL record is
+        // written on the *caller's* thread, before the merge is handed to
+        // a detached task. With `sync_every == 1` that write is flushed
+        // and this method returning is the durability point; with group
+        // commit (`sync_every == k`) consecutive pre-logs share one
+        // `sync_data` per k appends, so the durability point is the
+        // append completing the group and a crash drops at most the
+        // k − 1 trailing un-synced epochs (a clean suffix — see
+        // `Durability::Epoch`).
         let mut store = store;
         sealed::Source::wal_prelog(&mut store, c, &self.scratch, &ops);
         let scratch = Arc::clone(&self.scratch);

@@ -207,9 +207,9 @@ impl Store {
         std::fs::create_dir_all(dir)?;
         let state = recover_shards(c, scratch, dir, &cfg, 1)?;
         let durable = match cfg.durability {
-            Durability::Epoch => Some(DurableLog {
+            Durability::Epoch { sync_every } => Some(DurableLog {
                 dir: dir.to_path_buf(),
-                wal: Wal::open(&wal::wal_path(dir, 0))?,
+                wal: Wal::open_with(&wal::wal_path(dir, 0), sync_every)?,
             }),
             Durability::None => None,
         };
@@ -249,8 +249,9 @@ impl Store {
         }
         let batch = validate_and_pad(&self.cfg, ops);
         let path = self.shard.epoch_path(batch.len());
-        // WAL-before-merge: the padded batch is on disk before any state
-        // changes (unless the pipelined pre-log already wrote it).
+        // WAL-before-merge: the padded batch is appended (and synced on
+        // the group-commit cadence) before any state changes — unless the
+        // pipelined pre-log already wrote it.
         if self.prelogged.take() != Some(self.epochs) {
             if let Some(d) = self.durable.as_mut() {
                 d.wal
@@ -585,10 +586,10 @@ impl ShardedStore {
         std::fs::create_dir_all(dir)?;
         let state = recover_shards(c, scratch, dir, &cfg.store, cfg.shards)?;
         let durable = match cfg.store.durability {
-            Durability::Epoch => Some(DurableLogs {
+            Durability::Epoch { sync_every } => Some(DurableLogs {
                 dir: dir.to_path_buf(),
                 wals: (0..cfg.shards)
-                    .map(|i| Wal::open(&wal::wal_path(dir, i)))
+                    .map(|i| Wal::open_with(&wal::wal_path(dir, i), sync_every))
                     .collect::<io::Result<_>>()?,
             }),
             Durability::None => None,

@@ -62,10 +62,36 @@ pub enum Durability {
     #[default]
     None,
     /// Epoch durability: each epoch's padded batch is appended to the WAL
-    /// and flushed *before* the merge runs (WAL-before-merge), so every
-    /// acknowledged epoch survives a crash; the table is snapshotted and
-    /// the WAL truncated on the public snapshot cadence.
-    Epoch,
+    /// *before* the merge runs (WAL-before-merge), and the file is
+    /// `fsync`ed every `sync_every`-th append (group commit). With
+    /// `sync_every == 1` every append is its own durability point: the
+    /// epoch survives a crash the moment its append returns. With
+    /// `sync_every == k > 1` up to `k − 1` trailing epochs may sit in the
+    /// OS page cache; a crash drops that un-synced suffix and recovery
+    /// replays the longest clean (synced) prefix — epochs are still never
+    /// reordered or partially applied. `sync_every` is public
+    /// configuration: flush points are a function of the append counter
+    /// alone, never of keys, values, or op kinds. The table is
+    /// snapshotted and the WAL truncated on the public snapshot cadence
+    /// regardless of the knob. A value of 0 is treated as 1.
+    Epoch {
+        /// `fsync` the WAL every this-many appends (group commit).
+        sync_every: u32,
+    },
+}
+
+impl Durability {
+    /// Epoch durability with the strictest setting: one `fsync` per
+    /// append (`sync_every = 1`).
+    pub const fn epoch() -> Durability {
+        Durability::Epoch { sync_every: 1 }
+    }
+
+    /// Epoch durability with group commit: one `fsync` per `sync_every`
+    /// appends.
+    pub const fn epoch_every(sync_every: u32) -> Durability {
+        Durability::Epoch { sync_every }
+    }
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -95,21 +121,39 @@ pub(crate) fn snapshot_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("snap-{shard}.bin"))
 }
 
-/// Append handle on one shard's WAL file.
+/// Append handle on one shard's WAL file, with group-commit `fsync`
+/// coalescing: one `sync_data` per `sync_every` appends.
 pub(crate) struct Wal {
     file: File,
+    sync_every: u32,
+    unsynced: u32,
 }
 
 impl Wal {
+    /// Open with the strictest cadence: `fsync` on every append.
+    #[cfg(test)]
     pub fn open(path: &Path) -> io::Result<Wal> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(Wal { file })
+        Self::open_with(path, 1)
     }
 
-    /// Append epoch `seq`'s padded batch as one framed record and flush it
-    /// to stable storage. This call returning is the durability point: the
-    /// epoch will be replayed by recovery even if the process dies before
-    /// (or during) its merge.
+    /// Open with a group-commit cadence of `sync_every` appends per
+    /// `fsync` (0 is treated as 1).
+    pub fn open_with(path: &Path, sync_every: u32) -> io::Result<Wal> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Wal {
+            file,
+            sync_every: sync_every.max(1),
+            unsynced: 0,
+        })
+    }
+
+    /// Append epoch `seq`'s padded batch as one framed record, flushing
+    /// to stable storage on every `sync_every`-th append. With
+    /// `sync_every == 1` this call returning *is* the durability point;
+    /// with a larger cadence the durability point is the append that
+    /// completes the group (or [`Wal::sync`]), and a crash drops at most
+    /// the `sync_every − 1` trailing un-synced epochs — always a clean
+    /// suffix, because records are written in sequence order.
     pub fn append(&mut self, seq: u64, batch: &[FlatOp]) -> io::Result<()> {
         let mut buf = Vec::with_capacity(record_size(batch.len()));
         buf.extend_from_slice(&seq.to_le_bytes());
@@ -121,13 +165,26 @@ impl Wal {
         }
         buf.extend_from_slice(&fnv1a(&buf).to_le_bytes());
         self.file.write_all(&buf)?;
-        self.file.sync_data()
+        self.unsynced += 1;
+        if self.unsynced >= self.sync_every {
+            return self.sync();
+        }
+        Ok(())
     }
 
-    /// Drop every record (the snapshot now covers them).
+    /// Force the durability point now: flush any appends still in the OS
+    /// page cache and reset the group counter.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Drop every record (the snapshot now covers them). Force-syncs, so
+    /// the truncation itself is durable and the group counter restarts.
     pub fn truncate(&mut self) -> io::Result<()> {
         self.file.set_len(0)?;
-        self.file.sync_data()
+        self.sync()
     }
 }
 
@@ -324,6 +381,27 @@ mod tests {
             std::fs::metadata(&path).unwrap().len(),
             (record_size(8) + record_size(16)) as u64
         );
+        w.truncate().unwrap();
+        assert!(read_wal(&path).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_appends_stay_readable() {
+        let dir = std::env::temp_dir().join(format!("dob_wal_group_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = wal_path(&dir, 0);
+        // Cadence 0 is clamped to 1; a cadence larger than the append
+        // count leaves records in the page cache but still readable.
+        let mut w = Wal::open_with(&path, 0).unwrap();
+        w.append(0, &batch(8)).unwrap();
+        drop(w);
+        let mut w = Wal::open_with(&path, 4).unwrap();
+        w.append(1, &batch(8)).unwrap();
+        w.append(2, &batch(8)).unwrap();
+        w.sync().unwrap();
+        assert_eq!(read_wal(&path).unwrap().len(), 3);
         w.truncate().unwrap();
         assert!(read_wal(&path).unwrap().is_empty());
         let _ = std::fs::remove_dir_all(&dir);

@@ -149,6 +149,62 @@ fn tag_sort_allocation_budget() {
 }
 
 #[test]
+fn simd_sort_steady_state_is_alloc_free() {
+    use fj::SeqCtx;
+    use metrics::Tracked;
+    use obliv_core::ScratchPool;
+    use sortnet::{cells_sort_rec_with, Backend, TagCell};
+
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    let c = SeqCtx::new();
+    let scratch = ScratchPool::new();
+    let n = 1usize << 14;
+    let cells: Vec<TagCell> = (0..n as u64)
+        .map(|i| {
+            let k = i.wrapping_mul(0x9E3779B97F4A7C15) >> 20;
+            TagCell::new(((k as u128) << 64) | i as u128, i as u128)
+        })
+        .collect();
+    let sort = |backend: Backend| {
+        let mut v = cells.clone();
+        let (_, allocs) = allocs_during(|| {
+            let mut lease = scratch.lease(n, TagCell::filler());
+            let mut t = Tracked::new(&c, v.as_mut_slice());
+            let mut tmp = Tracked::new(&c, &mut lease);
+            cells_sort_rec_with(backend, &c, &mut t, &mut tmp, true);
+        });
+        assert!(v.windows(2).all(|w| w[0].tag <= w[1].tag));
+        allocs
+    };
+
+    // Warm-up populates the pool's cell class (the clone above is outside
+    // the measured section).
+    sort(Backend::Avx2);
+    let fresh_after_warmup = scratch.fresh_allocs();
+
+    // Steady state: the SIMD slab path stages nothing on the heap — no
+    // gather buffers, no mask tables — so the whole sort is *zero*
+    // allocations, scalar and vector alike.
+    let steady_simd = sort(Backend::Avx2);
+    let steady_scalar = sort(Backend::Scalar);
+    println!("steady simd allocations:   {steady_simd}");
+    println!("steady scalar allocations: {steady_scalar}");
+    assert_eq!(
+        steady_simd, 0,
+        "steady-state SIMD cell sort must perform zero heap allocations"
+    );
+    assert_eq!(
+        steady_scalar, 0,
+        "steady-state scalar cell sort must perform zero heap allocations"
+    );
+    assert_eq!(
+        scratch.fresh_allocs(),
+        fresh_after_warmup,
+        "steady cell sorts grew the scratch pool"
+    );
+}
+
+#[test]
 fn merge_epoch_pool_stays_warm_on_tag_path() {
     use fj::SeqCtx;
     use obliv_core::ScratchPool;
