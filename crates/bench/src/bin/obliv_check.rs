@@ -28,6 +28,18 @@ fn check(name: &str, traces: &[(u64, u64)]) -> bool {
     ok
 }
 
+/// Durable-path results carry typed errors now; the check harness has no
+/// recovery story, so name the step and bail.
+fn or_die<T>(r: Result<T, store::StoreError>, what: &str) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obliv_check: {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let scratch = ScratchPool::new();
     println!("== E3: trace-equality checks (Definition 1, fixed coins) ==\n");
@@ -223,7 +235,7 @@ fn main() {
                         _ => Op::Delete { key: x },
                     })
                     .collect();
-                s.execute_epoch(c, &sp, &e1);
+                s.execute_epoch(c, &sp, &e1).unwrap();
                 let e2: Vec<Op> = v
                     .iter()
                     .take(16)
@@ -235,7 +247,7 @@ fn main() {
                         }
                     })
                     .collect();
-                s.execute_epoch(c, &sp, &e2);
+                s.execute_epoch(c, &sp, &e2).unwrap();
             })
         })
         .collect();
@@ -260,7 +272,7 @@ fn main() {
                         _ => Op::Delete { key: x },
                     })
                     .collect();
-                s.execute_epoch(c, &sp, &e1);
+                s.execute_epoch(c, &sp, &e1).unwrap();
                 let e2: Vec<Op> = v
                     .iter()
                     .take(16)
@@ -272,7 +284,7 @@ fn main() {
                         }
                     })
                     .collect();
-                s.execute_epoch(c, &sp, &e2);
+                s.execute_epoch(c, &sp, &e2).unwrap();
             })
         })
         .collect();
@@ -335,7 +347,7 @@ fn main() {
                 ..StoreConfig::default()
             };
             let build = trace(|c| {
-                let mut s = Store::recover(c, &scratch, &dir, cfg).expect("open durable store");
+                let mut s = or_die(Store::recover(c, &scratch, &dir, cfg), "open durable store");
                 for chunk in v.chunks(64) {
                     let ops: Vec<Op> = chunk
                         .iter()
@@ -344,18 +356,68 @@ fn main() {
                             val: x,
                         })
                         .collect();
-                    let _ = s.execute_epoch(c, &scratch, &ops);
+                    or_die(s.execute_epoch(c, &scratch, &ops), "durable epoch");
                 }
             });
             let replay = trace(|c| {
-                let _ = Store::recover(c, &scratch, &dir, StoreConfig::default())
-                    .expect("recover store");
+                or_die(
+                    Store::recover(c, &scratch, &dir, StoreConfig::default()),
+                    "recover store",
+                );
             });
             let _ = std::fs::remove_dir_all(&dir);
             (build.0 ^ replay.0.rotate_left(1), build.1 + replay.1)
         })
         .collect();
     all_ok &= check("WAL append + recovery replay", &t);
+
+    // Fault-injected WAL: now inject faults. Four different seeded fault
+    // schedules, four different datasets, one set of epoch shapes. Fault
+    // coins are a pure function of (seed, I/O-op index) and the retry
+    // policy consults only the I/O outcome, so the engine trace — which
+    // never sees host I/O — must stay bit-identical across both the
+    // schedule *and* the data. Every retry the faults provoke happens
+    // outside the metered address stream.
+    let t: Vec<_> = inputs
+        .iter()
+        .enumerate()
+        .map(|(k, v)| {
+            use std::sync::Arc;
+            let plan = store::vfs::FaultPlan {
+                seed: 0xFA17 + k as u64,
+                write_fault: 24,
+                torn: 128,
+                sync_fault: 24,
+                ..store::vfs::FaultPlan::default()
+            };
+            let cfg = StoreConfig {
+                durability: store::Durability::epoch(),
+                retry: store::RetryPolicy {
+                    attempts: 12,
+                    backoff: std::time::Duration::ZERO,
+                },
+                ..StoreConfig::default()
+            };
+            trace(|c| {
+                let vfs = Arc::new(store::vfs::FaultVfs::new(plan));
+                let mut s = or_die(
+                    Store::recover_with(c, &scratch, "/obliv/faulty", cfg, vfs),
+                    "open fault-injected store",
+                );
+                for chunk in v.chunks(64) {
+                    let ops: Vec<Op> = chunk
+                        .iter()
+                        .map(|&x| Op::Put {
+                            key: x % 97,
+                            val: x,
+                        })
+                        .collect();
+                    or_die(s.execute_epoch(c, &scratch, &ops), "fault-injected epoch");
+                }
+            })
+        })
+        .collect();
+    all_ok &= check("fault-injected WAL (schedule-public trace)", &t);
 
     // PRAM simulation with data-dependent write addresses.
     let t: Vec<_> = inputs
@@ -407,7 +469,7 @@ fn main() {
                     oblivious_sort_u64(c, &sp, &mut v, OSortParams::practical(n), 999);
                     let mut s = Store::new(StoreConfig::default());
                     let ops: Vec<Op> = (0..32u64).map(|k| Op::Put { key: k, val: k }).collect();
-                    s.execute_epoch(c, &sp, &ops);
+                    s.execute_epoch(c, &sp, &ops).unwrap();
                 })
             })
             .collect();

@@ -107,13 +107,22 @@ impl<R> Deferred<R> {
     /// Block until the task finishes and return its result, re-raising
     /// the task's panic if it had one.
     pub fn join(self) -> R {
-        let result = match self.0 {
-            Inner::Ready(r) => r.expect("detached task result taken twice"),
-            Inner::Task(t) => t.take_blocking(),
-        };
-        match result {
+        match self.try_join() {
             Ok(r) => r,
             Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    /// Block until the task finishes and return its outcome, handing a
+    /// panicking task's payload back as `Err` instead of re-raising it.
+    /// This is the error-propagation half of the detached-task contract:
+    /// a caller that owns state travelling through the task (the epoch
+    /// pipeline's store) can observe the failure, mark itself poisoned,
+    /// and surface a typed error instead of unwinding through the join.
+    pub fn try_join(self) -> thread::Result<R> {
+        match self.0 {
+            Inner::Ready(r) => r.expect("detached task result taken twice"),
+            Inner::Task(t) => t.take_blocking(),
         }
     }
 }
@@ -137,6 +146,15 @@ mod tests {
         let d = Deferred::ready_result(r);
         assert!(d.is_done());
         assert!(panic::catch_unwind(AssertUnwindSafe(|| d.join())).is_err());
+    }
+
+    #[test]
+    fn try_join_surfaces_the_panic_payload_without_unwinding() {
+        let r: thread::Result<u32> = panic::catch_unwind(AssertUnwindSafe(|| panic!("typed boom")));
+        let d = Deferred::ready_result(r);
+        let payload = d.try_join().expect_err("panic must surface as Err");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"typed boom"));
+        assert_eq!(Deferred::ready(9).try_join().ok(), Some(9));
     }
 
     #[test]

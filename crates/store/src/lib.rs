@@ -63,10 +63,20 @@
 //! let mut epoch = store.epoch();
 //! epoch.submit(Op::Put { key: 7, val: 700 });
 //! let get = epoch.submit(Op::Get { key: 7 });
-//! let results = epoch.commit(&c, &scratch, &mut store);
+//! let results = epoch.commit(&c, &scratch, &mut store).unwrap();
 //! assert_eq!(results[get].value(), Some(700));
 //! ```
+//!
+//! **Failure model** (DESIGN.md §15): every durable-path fault surfaces
+//! as a typed [`StoreError`], never a panic. Transient faults are retried
+//! under the configurable [`RetryPolicy`]; a terminal fault rejects the
+//! epoch *atomically* (merge effects apply only after the WAL durability
+//! point) and flips the store to a sticky [`Health::Degraded`] read-only
+//! mode. The [`vfs`] module's injectable filesystem ([`vfs::FaultVfs`])
+//! drives the crash-point chaos suite in `tests/fault_injection.rs` from
+//! seeded, *public* fault schedules.
 
+mod error;
 mod merge;
 mod op;
 mod pipeline;
@@ -74,11 +84,13 @@ mod recovery;
 mod router;
 mod shard;
 mod store;
+pub mod vfs;
 mod wal;
 
 pub use crate::store::{
     Epoch, EpochTarget, ShardConfig, ShardedStore, ShrinkPolicy, Store, StoreConfig,
 };
+pub use error::{Health, RetryPolicy, StoreError};
 pub use merge::Rec;
 pub use op::{size_class, EpochPath, Op, OpResult, StoreStats, MIN_CLASS};
 pub use pipeline::{EpochHandle, PipelineTarget, PipelinedStore, Ticket};

@@ -56,6 +56,7 @@
 //! [`commit_async`]: PipelinedStore::commit_async
 //! [`try_commit`]: PipelinedStore::try_commit
 
+use crate::error::{Health, StoreError};
 use crate::merge::{merge_epoch, Rec};
 use crate::op::{FlatOp, Op, OpResult, StoreStats};
 use crate::store::{validate_and_pad, EpochTarget, ShardedStore, Store, StoreConfig};
@@ -67,6 +68,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 mod sealed {
+    use crate::error::{Health, StoreError};
     use crate::merge::Rec;
     use crate::op::{FlatOp, Op};
     use crate::store::StoreConfig;
@@ -88,8 +90,16 @@ mod sealed {
         fn records_sorted(&self) -> bool;
         /// Append the sealed epoch's padded batch to the store's WAL (a
         /// no-op for non-durable stores) *before* the epoch is handed to
-        /// a detached task — the pipelined durability point.
-        fn wal_prelog<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]);
+        /// a detached task — the pipelined durability point. A terminal
+        /// fault rejects the epoch atomically and degrades the store.
+        fn wal_prelog<C: Ctx>(
+            &mut self,
+            c: &C,
+            scratch: &ScratchPool,
+            ops: &[Op],
+        ) -> Result<(), StoreError>;
+        /// The wrapped store's observable health.
+        fn health(&self) -> Health;
     }
 }
 
@@ -106,8 +116,16 @@ impl sealed::Source for Store {
     fn records_sorted(&self) -> bool {
         true
     }
-    fn wal_prelog<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) {
+    fn wal_prelog<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        ops: &[Op],
+    ) -> Result<(), StoreError> {
         Store::wal_prelog(self, c, scratch, ops)
+    }
+    fn health(&self) -> Health {
+        Store::health(self)
     }
 }
 
@@ -124,8 +142,16 @@ impl sealed::Source for ShardedStore {
     fn records_sorted(&self) -> bool {
         self.shard_count() == 1
     }
-    fn wal_prelog<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) {
+    fn wal_prelog<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        ops: &[Op],
+    ) -> Result<(), StoreError> {
         ShardedStore::wal_prelog(self, c, scratch, ops)
+    }
+    fn health(&self) -> Health {
+        ShardedStore::health(self)
     }
 }
 
@@ -166,7 +192,7 @@ struct InFlight<T> {
     /// The epoch's op log, padded to its public size class — what
     /// `read_now` consults while the merge is still running.
     log: Vec<FlatOp>,
-    task: Deferred<(T, Vec<OpResult>)>,
+    task: Deferred<(T, Result<Vec<OpResult>, StoreError>)>,
 }
 
 /// Double-buffered epoch front end; see the [crate docs](crate) for where
@@ -182,7 +208,8 @@ struct InFlight<T> {
 /// let h = p.commit_async(&c);
 /// // The merge may still be running; reads consult its padded log.
 /// assert_eq!(p.read_now(&c, &[7]), vec![Some(700)]);
-/// assert_eq!(p.wait(&h)[put.index].value(), None); // first put: no prior value
+/// let results = p.wait(&h).unwrap();
+/// assert_eq!(results[put.index].value(), None); // first put: no prior value
 /// ```
 pub struct PipelinedStore<T: PipelineTarget> {
     /// `None` exactly while an epoch is in flight (the store travels into
@@ -199,12 +226,18 @@ pub struct PipelinedStore<T: PipelineTarget> {
     snapshot_sorted: bool,
     open: Vec<Op>,
     inflight: Option<InFlight<T>>,
-    /// Results of retired epochs awaiting [`wait`](PipelinedStore::wait).
-    done: VecDeque<(u64, Vec<OpResult>)>,
+    /// Outcomes of retired epochs awaiting
+    /// [`wait`](PipelinedStore::wait) — a commit that failed its WAL
+    /// pre-log (or whose merge panicked) parks its error here under the
+    /// same handle.
+    done: VecDeque<(u64, Result<Vec<OpResult>, StoreError>)>,
     next_epoch: u64,
     open_limit: usize,
     started: u64,
     retired: u64,
+    /// A detached merge panicked and took the store with it: every later
+    /// commit is refused with [`StoreError::Poisoned`].
+    poisoned: bool,
 }
 
 impl<T: PipelineTarget> PipelinedStore<T> {
@@ -233,6 +266,7 @@ impl<T: PipelineTarget> PipelinedStore<T> {
             open_limit: usize::MAX,
             started: 0,
             retired: 0,
+            poisoned: false,
         }
     }
 
@@ -302,18 +336,26 @@ impl<T: PipelineTarget> PipelinedStore<T> {
     /// Committing an **empty** open epoch is a public no-op, exactly like
     /// the synchronous engines: no handoff, no merge, no trace — the
     /// returned handle redeems to an empty result slice.
+    ///
+    /// A commit that fails its durable pre-log does not panic and does
+    /// not merge: the epoch is rejected atomically and the typed error
+    /// is parked under the returned handle, surfacing at
+    /// [`wait`](PipelinedStore::wait).
     pub fn commit_async<C: Ctx>(&mut self, c: &C) -> EpochHandle {
         let id = self.next_epoch;
         self.next_epoch += 1;
         if self.open.is_empty() {
-            self.done.push_back((id, Vec::new()));
+            self.done.push_back((id, Ok(Vec::new())));
             return EpochHandle { id };
         }
         self.join_inflight();
-        let store = self
-            .store
-            .take()
-            .expect("store present after joining the in-flight epoch");
+        let Some(mut store) = self.store.take() else {
+            // A previous detached merge panicked and the store was lost
+            // with it; refuse (and drop) the batch rather than unwind.
+            self.open.clear();
+            self.done.push_back((id, Err(StoreError::Poisoned)));
+            return EpochHandle { id };
+        };
         // Pad the log to the epoch's public class *before* the handoff:
         // this validates the batch on the caller's thread and is what
         // `read_now` consults while the merge runs.
@@ -328,8 +370,14 @@ impl<T: PipelineTarget> PipelinedStore<T> {
         // append completing the group and a crash drops at most the
         // k − 1 trailing un-synced epochs (a clean suffix — see
         // `Durability::Epoch`).
-        let mut store = store;
-        sealed::Source::wal_prelog(&mut store, c, &self.scratch, &ops);
+        if let Err(e) = sealed::Source::wal_prelog(&mut store, c, &self.scratch, &ops) {
+            // The epoch never reached its durability point: nothing
+            // merged, nothing acknowledged. The (degraded) store stays
+            // here for reads and recovery.
+            self.store = Some(store);
+            self.done.push_back((id, Err(e)));
+            return EpochHandle { id };
+        }
         let scratch = Arc::clone(&self.scratch);
         let task = c.spawn_detached(move |c| {
             let mut store = store;
@@ -359,23 +407,25 @@ impl<T: PipelineTarget> PipelinedStore<T> {
     }
 
     /// Block until epoch `h` has merged and take its results (one per
-    /// submitted op, in submission order). Panics if the handle's results
-    /// were already taken, or if the epoch's merge panicked.
-    pub fn wait(&mut self, h: &EpochHandle) -> Vec<OpResult> {
+    /// submitted op, in submission order).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownEpoch`] for a handle this store never issued
+    /// or whose results were already taken; the commit's own error
+    /// ([`StoreError::RetriesExhausted`], [`StoreError::Io`]…) if its
+    /// WAL pre-log failed; [`StoreError::Poisoned`] if the epoch's
+    /// detached merge panicked (the panic is contained to the worker —
+    /// it does not unwind through `wait`).
+    pub fn wait(&mut self, h: &EpochHandle) -> Result<Vec<OpResult>, StoreError> {
         if self.inflight.as_ref().is_some_and(|i| i.id == h.id) {
             self.join_inflight();
         }
-        let pos = self
-            .done
-            .iter()
-            .position(|(id, _)| *id == h.id)
-            .unwrap_or_else(|| {
-                panic!(
-                    "epoch {} has no pending results (not committed, or already taken)",
-                    h.id
-                )
-            });
-        self.done.remove(pos).expect("position just found").1
+        let pos = self.done.iter().position(|(id, _)| *id == h.id);
+        match pos {
+            Some(pos) => self.done.remove(pos).expect("position just found").1,
+            None => Err(StoreError::UnknownEpoch { epoch: h.id }),
+        }
     }
 
     /// Commit any open ops and retire the in-flight epoch. Afterwards
@@ -388,23 +438,57 @@ impl<T: PipelineTarget> PipelinedStore<T> {
         self.join_inflight();
     }
 
-    /// Drain and unwrap the engine.
+    /// Drain and unwrap the engine. Panics only if a detached merge
+    /// panicked and the store was lost with it (see
+    /// [`health`](PipelinedStore::health)) — not on durable I/O faults,
+    /// which surface as typed errors at [`wait`](PipelinedStore::wait).
     pub fn into_inner<C: Ctx>(mut self, c: &C) -> T {
         self.drain(c);
-        self.store.take().expect("store present after drain")
+        self.store
+            .take()
+            .expect("store lost: a detached merge panicked")
+    }
+
+    /// Observable health of the pipeline and its wrapped store:
+    /// [`Health::Degraded`] once a durable path failed terminally or a
+    /// detached merge panicked. Degradation is sticky; later commits are
+    /// refused with [`StoreError::Poisoned`].
+    pub fn health(&self) -> Health {
+        if self.poisoned {
+            return Health::Degraded;
+        }
+        match &self.store {
+            Some(s) => sealed::Source::health(s),
+            // In flight: the store travels with the merge task; the
+            // pipeline itself is healthy.
+            None => Health::Ok,
+        }
     }
 
     fn join_inflight(&mut self) {
         if let Some(inf) = self.inflight.take() {
-            let (store, results) = inf.task.join();
-            // Refresh the handoff snapshot: consults between now and the
-            // next handoff read the just-merged table (plus any pending
-            // log the epoch left behind on the ORAM path).
-            self.snapshot = store.records();
-            self.snapshot_pending = store.pending();
-            self.done.push_back((inf.id, results));
-            self.store = Some(store);
-            self.retired += 1;
+            match inf.task.try_join() {
+                Ok((store, results)) => {
+                    // Refresh the handoff snapshot: consults between now
+                    // and the next handoff read the just-merged table
+                    // (plus any pending log the epoch left behind on the
+                    // ORAM path).
+                    self.snapshot = store.records();
+                    self.snapshot_pending = store.pending();
+                    self.done.push_back((inf.id, results));
+                    self.store = Some(store);
+                    self.retired += 1;
+                }
+                Err(_panic) => {
+                    // The merge panicked on a worker; the store moved
+                    // into the task and is gone. Contain the panic as a
+                    // typed error under the epoch's handle and poison
+                    // the pipeline.
+                    self.poisoned = true;
+                    self.done.push_back((inf.id, Err(StoreError::Poisoned)));
+                    self.retired += 1;
+                }
+            }
         }
     }
 
@@ -535,14 +619,14 @@ mod tests {
         let mut want = Vec::new();
         for e in 0..5 {
             let ops = ops_mix(24, e * 13);
-            want.push(sync.execute_epoch(&c, &sp, &ops));
+            want.push(sync.execute_epoch(&c, &sp, &ops).unwrap());
             for op in &ops {
                 pipe.submit(*op);
             }
             handles.push(pipe.commit_async(&c));
         }
         for (h, want) in handles.iter().zip(want) {
-            assert_eq!(pipe.wait(h), want);
+            assert_eq!(pipe.wait(h).unwrap(), want);
         }
         let inner = pipe.into_inner(&c);
         assert_eq!(inner.stats(), sync.stats());
@@ -564,7 +648,7 @@ mod tests {
             p.read_now(&c, &[1, 2, 3, 4]),
             vec![None, Some(21), Some(30), None]
         );
-        let _ = p.wait(&h);
+        let _ = p.wait(&h).unwrap();
         // After the handoff the snapshot serves the merged keys.
         assert_eq!(p.read_now(&c, &[2]), vec![Some(21)]);
         p.drain(&c);
@@ -582,7 +666,7 @@ mod tests {
             });
         }
         let h = p.commit_async(&c);
-        let _ = p.wait(&h);
+        let _ = p.wait(&h).unwrap();
         let keys: Vec<u64> = (0..32).map(|i| i * 3).collect();
         let got = p.read_now(&c, &keys);
         for (i, v) in got.iter().enumerate() {
@@ -592,7 +676,7 @@ mod tests {
         p.submit(Op::Put { key: 3, val: 999 });
         let h2 = p.commit_async(&c);
         assert_eq!(p.read_now(&c, &[3, 6]), vec![Some(999), Some(3)]);
-        let _ = p.wait(&h2);
+        let _ = p.wait(&h2).unwrap();
     }
 
     #[test]
@@ -601,12 +685,12 @@ mod tests {
         let mut p = PipelinedStore::new(Store::new(StoreConfig::default()));
         let h = p.commit_async(&c);
         assert_eq!(p.epoch_counts(), (0, 0));
-        assert!(p.wait(&h).is_empty());
+        assert!(p.wait(&h).unwrap().is_empty());
         p.submit(Op::Put { key: 9, val: 90 });
         let h2 = p.commit_async(&c);
         let h3 = p.commit_async(&c); // empty again
-        assert_eq!(p.wait(&h2).len(), 1);
-        assert!(p.wait(&h3).is_empty());
+        assert_eq!(p.wait(&h2).unwrap().len(), 1);
+        assert!(p.wait(&h3).unwrap().is_empty());
         assert_eq!(p.epoch_counts(), (1, 1));
     }
 
@@ -652,7 +736,67 @@ mod tests {
                 p.read_now(&c, &[0, 47]),
                 vec![Some(round * 1000), Some(round * 1000 + 47)]
             );
-            let _ = p.wait(&h);
+            let _ = p.wait(&h).unwrap();
         }
+    }
+
+    #[test]
+    fn unknown_and_spent_handles_return_typed_errors() {
+        // Regression: both used to panic inside `wait`.
+        let c = SeqCtx::new();
+        let mut p = PipelinedStore::new(Store::new(StoreConfig::default()));
+        p.submit(Op::Put { key: 1, val: 1 });
+        let h = p.commit_async(&c);
+        assert_eq!(p.wait(&h).unwrap().len(), 1);
+        // Already taken: the same handle no longer redeems.
+        assert!(matches!(
+            p.wait(&h),
+            Err(StoreError::UnknownEpoch { epoch }) if epoch == h.epoch()
+        ));
+        // Foreign handle: an epoch some *other* store committed.
+        let mut q = PipelinedStore::new(Store::new(StoreConfig::default()));
+        for i in 0..3u64 {
+            q.submit(Op::Put { key: i, val: i });
+            let _ = q.commit_async(&c);
+        }
+        q.submit(Op::Put { key: 9, val: 9 });
+        let foreign = q.commit_async(&c); // epoch 3: p never issued it
+        assert!(matches!(
+            p.wait(&foreign),
+            Err(StoreError::UnknownEpoch { epoch: 3 })
+        ));
+        // The error path consumed nothing: p keeps working.
+        p.submit(Op::Put { key: 2, val: 2 });
+        let h2 = p.commit_async(&c);
+        assert_eq!(p.wait(&h2).unwrap().len(), 1);
+        assert_eq!(p.health(), crate::Health::Ok);
+    }
+
+    #[test]
+    fn detached_merge_panic_is_contained_as_poisoned() {
+        // A shrink bound the epoch violates passes the caller-thread
+        // validation (it is checked inside the merge), so the panic
+        // strikes on the detached task — `wait` must hand back a typed
+        // error, not unwind through the join.
+        let c = SeqCtx::new();
+        let cfg = StoreConfig {
+            shrink: Some(ShrinkPolicy {
+                every: 1,
+                live_bound: 4,
+                snapshot: 0,
+            }),
+            ..StoreConfig::default()
+        };
+        let mut p = PipelinedStore::new(Store::new(cfg));
+        for i in 0..32u64 {
+            p.submit(Op::Put { key: i, val: i });
+        }
+        let h = p.commit_async(&c);
+        assert!(matches!(p.wait(&h), Err(StoreError::Poisoned)));
+        assert_eq!(p.health(), crate::Health::Degraded);
+        // Later commits are refused, not unwound.
+        p.submit(Op::Put { key: 1, val: 1 });
+        let h2 = p.commit_async(&c);
+        assert!(matches!(p.wait(&h2), Err(StoreError::Poisoned)));
     }
 }

@@ -25,14 +25,24 @@
 //! the unacknowledged epochs. Snapshots never raise a shard above the
 //! horizon, because a snapshot is only written after its epoch committed
 //! on all shards.
+//!
+//! # Typed failures
+//!
+//! Recovery refuses to guess. A WAL whose clean prefix starts *above* the
+//! snapshot's horizon — acknowledged records provably missing — is a hard
+//! [`StoreError::WalCorrupt`], and a present-but-corrupt snapshot is
+//! [`StoreError::SnapshotFailed`]: silently starting empty would lose
+//! acknowledged data. Torn or corrupt WAL *tails* stay benign (the
+//! crash artifact of an epoch that was never acknowledged).
 
+use crate::error::StoreError;
 use crate::op::EpochPath;
 use crate::shard::Shard;
 use crate::store::StoreConfig;
+use crate::vfs::Vfs;
 use crate::wal;
 use fj::Ctx;
 use metrics::ScratchPool;
-use std::io;
 use std::path::Path;
 
 /// What [`recover_shards`] hands back to the front-end constructors.
@@ -52,26 +62,59 @@ pub(crate) struct RecoveredState {
 pub(crate) fn recover_shards<C: Ctx>(
     c: &C,
     scratch: &ScratchPool,
+    vfs: &dyn Vfs,
     dir: &Path,
     cfg: &StoreConfig,
     n_shards: usize,
-) -> io::Result<RecoveredState> {
+) -> Result<RecoveredState, StoreError> {
     let mut snaps = Vec::with_capacity(n_shards);
     let mut logs = Vec::with_capacity(n_shards);
     for i in 0..n_shards {
-        let snap = wal::read_snapshot(dir, i)?;
+        let snap = wal::read_snapshot(vfs, dir, i).map_err(|source| {
+            if source.kind() == std::io::ErrorKind::InvalidData {
+                StoreError::SnapshotFailed { shard: i, source }
+            } else {
+                StoreError::Io {
+                    context: "snapshot read",
+                    source,
+                }
+            }
+        })?;
         let base = snap.as_ref().map_or(0, |(m, _)| m.next_seq);
-        // Keep only post-snapshot records; `read_wal` already guarantees a
-        // consecutive prefix, so what survives the filter is contiguous
+        let scan = wal::read_wal(vfs, &wal::wal_path(dir, i)).map_err(|source| StoreError::Io {
+            context: "wal read",
+            source,
+        })?;
+        // A clean prefix that *starts* above the snapshot horizon means
+        // acknowledged records are missing from the log: refuse rather
+        // than silently dropping committed epochs. (A prefix entirely
+        // below `base` is stale-but-harmless: the snapshot covers it.)
+        if let Some((first_seq, _)) = scan.records.first() {
+            if *first_seq > base {
+                return Err(StoreError::WalCorrupt {
+                    shard: i,
+                    detail: format!(
+                        "log resumes at epoch {first_seq} but the snapshot only covers \
+                         through {base}: acknowledged records are missing{}",
+                        scan.reject
+                            .as_ref()
+                            .map(|r| format!(
+                                " (scan stopped at offset {}: {})",
+                                r.offset, r.detail
+                            ))
+                            .unwrap_or_default()
+                    ),
+                });
+            }
+        }
+        // Keep only post-snapshot records; `read_wal` already guarantees
+        // a consecutive prefix, so what survives the filter is contiguous
         // from `base`.
-        let records: Vec<_> = wal::read_wal(&wal::wal_path(dir, i))?
+        let records: Vec<_> = scan
+            .records
             .into_iter()
             .filter(|(seq, _)| *seq >= base)
             .collect();
-        debug_assert!(records
-            .iter()
-            .enumerate()
-            .all(|(k, (s, _))| *s == base + k as u64));
         snaps.push(snap);
         logs.push(records);
     }

@@ -28,18 +28,20 @@
 //! adversary trace of the whole epoch is a function of `(batch class,
 //! shard count, capacity history)` only. See DESIGN.md §9.
 
+use crate::error::{Health, RetryPolicy, StoreError};
 use crate::op::{size_class, EpochPath, FlatOp, Op, OpResult, StoreStats};
 use crate::recovery::recover_shards;
 use crate::router::{gather_results, route_ops, shard_class, OpResultSlot, SubBatch};
 use crate::shard::Shard;
+use crate::vfs::{OsVfs, Vfs};
 use crate::wal::{self, Durability, SnapMeta, Wal};
 use fj::{par_zip_mut_affine, Ctx};
 use metrics::ScratchPool;
 use obliv_core::scan::Schedule;
 use obliv_core::Engine;
 use pram::OramConfig;
-use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Public compaction schedule: every [`every`](ShrinkPolicy::every)-th
 /// merge, a shard's capacity is obliviously compacted back to the size
@@ -93,6 +95,10 @@ pub struct StoreConfig {
     /// store to an on-disk directory; the default keeps every path
     /// in-memory and filesystem-free.
     pub durability: Durability,
+    /// Retry policy for transient durable-path faults (WAL appends and
+    /// syncs, snapshot writes). Irrelevant — and alloc-free — on
+    /// in-memory stores and on the durable no-fault path.
+    pub retry: RetryPolicy,
 }
 
 impl Default for StoreConfig {
@@ -107,6 +113,7 @@ impl Default for StoreConfig {
             seed: 0xD0B_5707,
             shrink: None,
             durability: Durability::None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -147,10 +154,12 @@ pub(crate) fn validate_and_pad(cfg: &StoreConfig, ops: &[Op]) -> Vec<FlatOp> {
         .collect()
 }
 
-/// Directory + append handle of a durable single-shard store.
+/// Directory + append handle of a durable single-shard store, plus the
+/// filesystem it writes through.
 struct DurableLog {
     dir: PathBuf,
     wal: Wal,
+    vfs: Arc<dyn Vfs>,
 }
 
 /// An oblivious batched key-value / private-analytics store. See the
@@ -167,6 +176,11 @@ pub struct Store {
     /// Sequence number of an epoch already appended by the pipelined
     /// pre-log; `execute_epoch` must not append it a second time.
     prelogged: Option<u64>,
+    /// Sticky durable health: [`Health::Degraded`] after a terminal
+    /// durable-path failure (reads keep working, commits are refused).
+    health: Health,
+    /// Display form of the fault that degraded the store.
+    fault: Option<String>,
 }
 
 impl Store {
@@ -181,6 +195,8 @@ impl Store {
             last_path: None,
             durable: None,
             prelogged: None,
+            health: Health::Ok,
+            fault: None,
         }
     }
 
@@ -202,14 +218,36 @@ impl Store {
         scratch: &ScratchPool,
         dir: impl AsRef<Path>,
         cfg: StoreConfig,
-    ) -> io::Result<Store> {
+    ) -> Result<Store, StoreError> {
+        Self::recover_with(c, scratch, dir, cfg, Arc::new(OsVfs))
+    }
+
+    /// [`Store::recover`] through an explicit [`Vfs`] — how the chaos
+    /// suite opens stores on a [`FaultVfs`](crate::vfs::FaultVfs); the
+    /// plain `recover` binds [`OsVfs`].
+    pub fn recover_with<C: Ctx>(
+        c: &C,
+        scratch: &ScratchPool,
+        dir: impl AsRef<Path>,
+        cfg: StoreConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Store, StoreError> {
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        let state = recover_shards(c, scratch, dir, &cfg, 1)?;
+        vfs.create_dir_all(dir).map_err(|source| StoreError::Io {
+            context: "store directory create",
+            source,
+        })?;
+        let state = recover_shards(c, scratch, &*vfs, dir, &cfg, 1)?;
         let durable = match cfg.durability {
             Durability::Epoch { sync_every } => Some(DurableLog {
                 dir: dir.to_path_buf(),
-                wal: Wal::open_with(&wal::wal_path(dir, 0), sync_every)?,
+                wal: Wal::open_with(&*vfs, &wal::wal_path(dir, 0), sync_every).map_err(
+                    |source| StoreError::Io {
+                        context: "wal open",
+                        source,
+                    },
+                )?,
+                vfs,
             }),
             Durability::None => None,
         };
@@ -221,6 +259,8 @@ impl Store {
             last_path: state.last_path,
             durable,
             prelogged: None,
+            health: Health::Ok,
+            fault: None,
         })
     }
 
@@ -238,14 +278,29 @@ impl Store {
     /// no padding, no merge, no counter bump, no trace. (`Aggregate`
     /// answers are defined against merge closes, so a no-op heartbeat
     /// would have refreshed nothing anyway.)
+    ///
+    /// # Errors
+    ///
+    /// `Ok(results)` *is* the acknowledgement: the epoch is durable (per
+    /// the configured cadence) and applied. On a durable store, a WAL
+    /// append that fails terminally (after [`StoreConfig::retry`])
+    /// rejects the epoch **atomically** — no counter, table, or log
+    /// mutation survives — and degrades the store ([`Store::health`]);
+    /// further commits return [`StoreError::Poisoned`]. A snapshot
+    /// failure *after* the epoch's durability point keeps the epoch
+    /// acknowledged (`Ok`) but likewise degrades the store, since the
+    /// next scheduled truncation cannot be trusted.
     pub fn execute_epoch<C: Ctx>(
         &mut self,
         c: &C,
         scratch: &ScratchPool,
         ops: &[Op],
-    ) -> Vec<OpResult> {
+    ) -> Result<Vec<OpResult>, StoreError> {
         if ops.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if self.health == Health::Degraded {
+            return Err(StoreError::Poisoned);
         }
         let batch = validate_and_pad(&self.cfg, ops);
         let path = self.shard.epoch_path(batch.len());
@@ -253,35 +308,44 @@ impl Store {
         // the group-commit cadence) before any state changes — unless the
         // pipelined pre-log already wrote it.
         if self.prelogged.take() != Some(self.epochs) {
-            if let Some(d) = self.durable.as_mut() {
-                d.wal
-                    .append(self.epochs, &batch)
-                    .expect("WAL append failed; cannot acknowledge the epoch");
+            let retry = self.cfg.retry;
+            let appended = match self.durable.as_mut() {
+                Some(d) => d.wal.append(retry, self.epochs, &batch),
+                None => Ok(()),
+            };
+            if let Err(f) = appended {
+                return Err(self.degrade(f.on("wal append")));
             }
         }
         self.epochs += 1;
         self.last_path = Some(path);
         let res = self.shard.execute(c, scratch, &batch, ops.len(), path);
         if path == EpochPath::Merge {
-            self.maybe_snapshot();
+            if let Err(e) = self.maybe_snapshot() {
+                // The epoch itself is acknowledged — its WAL record is
+                // durable and the merge applied — so the failure only
+                // degrades the *store* for future commits.
+                let _ = self.degrade(e);
+            }
         }
-        res
+        Ok(res)
     }
 
     /// Scheduled snapshot: at every `snapshot`-th merge (a public cadence;
     /// see [`ShrinkPolicy::snapshot`]) persist the packed table and
     /// truncate the WAL. Only called at merge closes, where the pending
     /// log is empty and the ORAM mirror equals the table.
-    fn maybe_snapshot(&mut self) {
-        let Some(pol) = self.cfg.shrink else { return };
+    fn maybe_snapshot(&mut self) -> Result<(), StoreError> {
+        let Some(pol) = self.cfg.shrink else {
+            return Ok(());
+        };
         if self.durable.is_none()
             || pol.snapshot == 0
             || !self.shard.merges().is_multiple_of(pol.snapshot)
         {
-            return;
+            return Ok(());
         }
         self.checkpoint()
-            .expect("snapshot write failed; WAL left intact");
     }
 
     /// Persist the current table as a snapshot and truncate the WAL, now.
@@ -290,14 +354,24 @@ impl Store {
     /// action, so invoke it on public schedule only. No-op (`Ok`) on
     /// non-durable stores.
     ///
+    /// # Errors
+    ///
+    /// A terminal snapshot-write or truncate failure (after retries)
+    /// returns [`StoreError::SnapshotFailed`] / [`StoreError::Io`] with
+    /// the WAL left intact — no acknowledged epoch is lost — and the
+    /// store degraded (re-open via [`Store::recover`] to resume).
+    ///
     /// # Panics
     /// If the pending log is non-empty (the last epoch took the ORAM
     /// path): snapshots only capture the table, so checkpoint after a
     /// merge epoch.
-    pub fn checkpoint(&mut self) -> io::Result<()> {
-        let Some(d) = self.durable.as_mut() else {
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        if self.health == Health::Degraded {
+            return Err(StoreError::Poisoned);
+        }
+        if self.durable.is_none() {
             return Ok(());
-        };
+        }
         assert_eq!(
             self.shard.pending_len(),
             0,
@@ -309,26 +383,77 @@ impl Store {
             live_upper: self.shard.live_upper() as u64,
             stats: self.shard.stats(),
         };
-        wal::write_snapshot(&d.dir, 0, &meta, &self.shard.records())?;
-        d.wal.truncate()
+        let records = self.shard.records();
+        let retry = self.cfg.retry;
+        let result = 'ck: {
+            let d = self.durable.as_mut().expect("checked durable above");
+            // Both steps are idempotent, so each retries wholesale; a
+            // crash or terminal fault between them is benign (recovery
+            // skips WAL records the new snapshot already covers).
+            if let Err(f) = retry.run(|| wal::write_snapshot(&*d.vfs, &d.dir, 0, &meta, &records)) {
+                break 'ck Err(f.snapshot(0));
+            }
+            if let Err(f) = retry.run(|| d.wal.truncate()) {
+                break 'ck Err(f.on("wal truncate"));
+            }
+            Ok(())
+        };
+        result.map_err(|e| self.degrade(e))
     }
 
     /// Append `ops` (padded to their public class) to the WAL *now*,
     /// before the epoch itself runs — the pipelined front end's
     /// durability point, invoked on the caller's thread before the merge
     /// is handed to a detached task. The matching `execute_epoch` call
-    /// skips its own append. No-op on non-durable stores.
-    pub(crate) fn wal_prelog<C: Ctx>(&mut self, _c: &C, _scratch: &ScratchPool, ops: &[Op]) {
+    /// skips its own append. No-op on non-durable stores. Error contract
+    /// as for [`Store::execute_epoch`]: a terminal append failure rejects
+    /// the epoch atomically and degrades the store.
+    pub(crate) fn wal_prelog<C: Ctx>(
+        &mut self,
+        _c: &C,
+        _scratch: &ScratchPool,
+        ops: &[Op],
+    ) -> Result<(), StoreError> {
         if ops.is_empty() {
-            return;
+            return Ok(());
         }
-        if let Some(d) = self.durable.as_mut() {
-            let batch = validate_and_pad(&self.cfg, ops);
-            d.wal
-                .append(self.epochs, &batch)
-                .expect("WAL append failed; cannot acknowledge the epoch");
-            self.prelogged = Some(self.epochs);
+        if self.health == Health::Degraded {
+            return Err(StoreError::Poisoned);
         }
+        let Some(d) = self.durable.as_mut() else {
+            return Ok(());
+        };
+        let batch = validate_and_pad(&self.cfg, ops);
+        let appended = d.wal.append(self.cfg.retry, self.epochs, &batch);
+        match appended {
+            Ok(()) => {
+                self.prelogged = Some(self.epochs);
+                Ok(())
+            }
+            Err(f) => Err(self.degrade(f.on("wal append"))),
+        }
+    }
+
+    /// Record a terminal durable-path failure: flip to
+    /// [`Health::Degraded`] (sticky) and remember the first fault.
+    fn degrade(&mut self, e: StoreError) -> StoreError {
+        self.health = Health::Degraded;
+        if self.fault.is_none() {
+            self.fault = Some(e.to_string());
+        }
+        e
+    }
+
+    /// Durable health: [`Health::Degraded`] after a terminal durable
+    /// failure (commits refused, reads fine). Always [`Health::Ok`] for
+    /// in-memory stores.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// The fault that degraded this store, if any (display form).
+    pub fn last_fault(&self) -> Option<&str> {
+        self.fault.as_deref()
     }
 
     /// Current analytics snapshot (as of the last merge epoch).
@@ -385,18 +510,35 @@ impl Store {
 /// Anything an [`Epoch`] can commit to.
 pub trait EpochTarget {
     /// Execute one epoch of `ops`, returning one result per op in
-    /// submission order.
-    fn run_epoch<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) -> Vec<OpResult>;
+    /// submission order. `Ok` is the acknowledgement; an `Err` means the
+    /// epoch was rejected atomically (see [`Store::execute_epoch`]) —
+    /// always `Ok` on in-memory stores.
+    fn run_epoch<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        ops: &[Op],
+    ) -> Result<Vec<OpResult>, StoreError>;
 }
 
 impl EpochTarget for Store {
-    fn run_epoch<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) -> Vec<OpResult> {
+    fn run_epoch<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        ops: &[Op],
+    ) -> Result<Vec<OpResult>, StoreError> {
         self.execute_epoch(c, scratch, ops)
     }
 }
 
 impl EpochTarget for ShardedStore {
-    fn run_epoch<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) -> Vec<OpResult> {
+    fn run_epoch<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        ops: &[Op],
+    ) -> Result<Vec<OpResult>, StoreError> {
         self.execute_epoch(c, scratch, ops)
     }
 }
@@ -432,13 +574,15 @@ impl Epoch {
         self.ops.is_empty()
     }
 
-    /// Execute the collected ops as one epoch against `store`.
+    /// Execute the collected ops as one epoch against `store`. `Ok` is
+    /// the durable acknowledgement (and always the outcome on in-memory
+    /// stores); see [`Store::execute_epoch`] for the error contract.
     pub fn commit<C: Ctx, T: EpochTarget>(
         self,
         c: &C,
         scratch: &ScratchPool,
         store: &mut T,
-    ) -> Vec<OpResult> {
+    ) -> Result<Vec<OpResult>, StoreError> {
         store.run_epoch(c, scratch, &self.ops)
     }
 }
@@ -498,7 +642,7 @@ impl ShardConfig {
 /// let mut epoch = store.epoch();
 /// epoch.submit(Op::Put { key: 7, val: 700 });
 /// let get = epoch.submit(Op::Get { key: 7 });
-/// let results = epoch.commit(&c, &scratch, &mut store);
+/// let results = epoch.commit(&c, &scratch, &mut store).unwrap();
 /// assert_eq!(results[get].value(), Some(700));
 /// ```
 pub struct ShardedStore {
@@ -519,12 +663,18 @@ pub struct ShardedStore {
     /// `execute_epoch` consumes the routed jobs instead of re-routing
     /// (and skips its own appends).
     prerouted: Option<PreRouted>,
+    /// Sticky durable health (see [`Store`]'s field of the same name).
+    health: Health,
+    /// Display form of the fault that degraded the store.
+    fault: Option<String>,
 }
 
-/// Directory + per-shard append handles of a durable sharded store.
+/// Directory + per-shard append handles of a durable sharded store, plus
+/// the filesystem they write through.
 struct DurableLogs {
     dir: PathBuf,
     wals: Vec<Wal>,
+    vfs: Arc<dyn Vfs>,
 }
 
 /// One epoch routed and logged ahead of its commit by the pipelined
@@ -563,6 +713,8 @@ impl ShardedStore {
             last_path: None,
             durable: None,
             prerouted: None,
+            health: Health::Ok,
+            fault: None,
         }
     }
 
@@ -580,17 +732,37 @@ impl ShardedStore {
         scratch: &ScratchPool,
         dir: impl AsRef<Path>,
         cfg: ShardConfig,
-    ) -> io::Result<ShardedStore> {
+    ) -> Result<ShardedStore, StoreError> {
+        Self::recover_with(c, scratch, dir, cfg, Arc::new(OsVfs))
+    }
+
+    /// [`ShardedStore::recover`] through an explicit [`Vfs`] (the chaos
+    /// suite's entry point; plain `recover` binds [`OsVfs`]).
+    pub fn recover_with<C: Ctx>(
+        c: &C,
+        scratch: &ScratchPool,
+        dir: impl AsRef<Path>,
+        cfg: ShardConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<ShardedStore, StoreError> {
         Self::validate_cfg(&cfg);
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir)?;
-        let state = recover_shards(c, scratch, dir, &cfg.store, cfg.shards)?;
+        vfs.create_dir_all(dir).map_err(|source| StoreError::Io {
+            context: "store directory create",
+            source,
+        })?;
+        let state = recover_shards(c, scratch, &*vfs, dir, &cfg.store, cfg.shards)?;
         let durable = match cfg.store.durability {
             Durability::Epoch { sync_every } => Some(DurableLogs {
                 dir: dir.to_path_buf(),
                 wals: (0..cfg.shards)
-                    .map(|i| Wal::open_with(&wal::wal_path(dir, i), sync_every))
-                    .collect::<io::Result<_>>()?,
+                    .map(|i| Wal::open_with(&*vfs, &wal::wal_path(dir, i), sync_every))
+                    .collect::<std::io::Result<_>>()
+                    .map_err(|source| StoreError::Io {
+                        context: "wal open",
+                        source,
+                    })?,
+                vfs,
             }),
             Durability::None => None,
         };
@@ -609,6 +781,8 @@ impl ShardedStore {
             last_path: state.last_path,
             durable,
             prerouted: None,
+            health: Health::Ok,
+            fault: None,
         })
     }
 
@@ -629,32 +803,46 @@ impl ShardedStore {
     /// the same number for the same op history (the wrapping fold of
     /// [`StoreStats::merged`] is associative), so answers are identical
     /// across shard counts; `tests/sharded.rs` pins this cross-config.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Store::execute_epoch`]: `Ok` is the
+    /// acknowledgement; a terminal WAL failure rejects the epoch
+    /// atomically (a partial per-shard append leaves only a ragged tail
+    /// below the commit horizon, which recovery uniformly drops) and
+    /// degrades the store.
     pub fn execute_epoch<C: Ctx>(
         &mut self,
         c: &C,
         scratch: &ScratchPool,
         ops: &[Op],
-    ) -> Vec<OpResult> {
+    ) -> Result<Vec<OpResult>, StoreError> {
         if ops.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
+        }
+        if self.health == Health::Degraded {
+            return Err(StoreError::Poisoned);
         }
         let batch = validate_and_pad(&self.cfg.store, ops);
         let b = batch.len();
         let seq = self.epochs;
+        let retry = self.cfg.store.retry;
         let pre = self.prerouted.take().filter(|p| p.seq == seq);
-        self.epochs += 1;
 
         if self.shards.len() == 1 {
             // Public fast path: one shard needs no routing; this is the
             // plain-`Store` pipeline.
             let path = self.shards[0].epoch_path(b);
             if pre.is_none() {
-                if let Some(d) = self.durable.as_mut() {
-                    d.wals[0]
-                        .append(seq, &batch)
-                        .expect("WAL append failed; cannot acknowledge the epoch");
+                let appended = match self.durable.as_mut() {
+                    Some(d) => d.wals[0].append(retry, seq, &batch),
+                    None => Ok(()),
+                };
+                if let Err(f) = appended {
+                    return Err(self.degrade(f.on("wal append")));
                 }
             }
+            self.epochs += 1;
             self.last_path = Some(path);
             if path == EpochPath::Merge {
                 self.merges += 1;
@@ -662,9 +850,13 @@ impl ShardedStore {
             let res = self.shards[0].execute(c, scratch, &batch, ops.len(), path);
             self.snapshot = self.shards[0].stats();
             if path == EpochPath::Merge {
-                self.maybe_snapshot();
+                if let Err(e) = self.maybe_snapshot() {
+                    // Acknowledged epoch, degraded store — see
+                    // `Store::execute_epoch`.
+                    let _ = self.degrade(e);
+                }
             }
-            return res;
+            return Ok(res);
         }
 
         let engine = self.cfg.store.engine;
@@ -678,17 +870,26 @@ impl ShardedStore {
                 let (jobs, zcap) = self.route_with_fallback(c, scratch, &batch);
                 // WAL-before-merge: every shard's routed, padded
                 // sub-batch is on disk under this epoch's sequence number
-                // before any shard merges.
+                // before any shard merges. A failure partway through the
+                // loop leaves a ragged tail strictly below the commit
+                // horizon — recovery drops it on every shard, so the
+                // rejection stays atomic.
                 if let Some(d) = self.durable.as_mut() {
+                    let mut failed = None;
                     for (i, job) in jobs.iter().enumerate() {
-                        d.wals[i]
-                            .append(seq, &job.batch)
-                            .expect("WAL append failed; cannot acknowledge the epoch");
+                        if let Err(f) = d.wals[i].append(retry, seq, &job.batch) {
+                            failed = Some(f);
+                            break;
+                        }
+                    }
+                    if let Some(f) = failed {
+                        return Err(self.degrade(f.on("wal append")));
                     }
                 }
                 (jobs, zcap)
             }
         };
+        self.epochs += 1;
 
         // Parallel per-shard commits: every shard owns its table and
         // leases scratch from the shared pool, so the commits are
@@ -736,9 +937,13 @@ impl ShardedStore {
             .shards
             .iter()
             .fold(StoreStats::default(), |acc, s| acc.merged(s.stats()));
-        self.maybe_snapshot();
+        if let Err(e) = self.maybe_snapshot() {
+            // Acknowledged epoch, degraded store — see
+            // `Store::execute_epoch`.
+            let _ = self.degrade(e);
+        }
 
-        gathered
+        Ok(gathered
             .into_iter()
             .take(ops.len())
             .map(|r| {
@@ -750,7 +955,7 @@ impl ShardedStore {
                     OpResult::Value(r.found.then_some(r.val))
                 }
             })
-            .collect()
+            .collect())
     }
 
     /// Start collecting an epoch's operations (detached builder; commit
@@ -835,18 +1040,17 @@ impl ShardedStore {
 
     /// Scheduled snapshot on the public [`ShrinkPolicy::snapshot`]
     /// cadence; see [`Store::checkpoint`].
-    fn maybe_snapshot(&mut self) {
+    fn maybe_snapshot(&mut self) -> Result<(), StoreError> {
         let Some(pol) = self.cfg.store.shrink else {
-            return;
+            return Ok(());
         };
         if self.durable.is_none()
             || pol.snapshot == 0
             || !self.shards[0].merges().is_multiple_of(pol.snapshot)
         {
-            return;
+            return Ok(());
         }
         self.checkpoint()
-            .expect("snapshot write failed; WAL left intact");
     }
 
     /// Persist every shard's table as a snapshot and truncate its WAL —
@@ -854,26 +1058,49 @@ impl ShardedStore {
     /// a time, snapshot-then-truncate; a crash anywhere in the loop
     /// leaves each shard with either (old snapshot + full WAL) or (new
     /// snapshot + empty WAL), both of which recover to the same horizon.
-    pub fn checkpoint(&mut self) -> io::Result<()> {
-        let Some(d) = self.durable.as_mut() else {
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::SnapshotFailed`] / [`StoreError::Io`] after the
+    /// retry budget; no acknowledged epoch is lost (each shard's WAL is
+    /// only truncated after its snapshot landed), but the store degrades.
+    /// [`StoreError::Poisoned`] if it already had.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        if self.health == Health::Degraded {
+            return Err(StoreError::Poisoned);
+        }
+        if self.durable.is_none() {
             return Ok(());
-        };
+        }
         assert_eq!(
             self.shards.iter().map(|s| s.pending_len()).sum::<usize>(),
             0,
             "checkpoint requires an empty pending log (snapshot at a merge close)"
         );
-        for (i, shard) in self.shards.iter().enumerate() {
-            let meta = SnapMeta {
-                next_seq: self.epochs,
-                merges: shard.merges(),
-                live_upper: shard.live_upper() as u64,
-                stats: shard.stats(),
-            };
-            wal::write_snapshot(&d.dir, i, &meta, &shard.records())?;
-            d.wals[i].truncate()?;
-        }
-        Ok(())
+        let retry = self.cfg.store.retry;
+        let epochs = self.epochs;
+        let result = 'ck: {
+            let d = self.durable.as_mut().expect("checked durable above");
+            for (i, shard) in self.shards.iter().enumerate() {
+                let meta = SnapMeta {
+                    next_seq: epochs,
+                    merges: shard.merges(),
+                    live_upper: shard.live_upper() as u64,
+                    stats: shard.stats(),
+                };
+                let records = shard.records();
+                if let Err(f) =
+                    retry.run(|| wal::write_snapshot(&*d.vfs, &d.dir, i, &meta, &records))
+                {
+                    break 'ck Err(f.snapshot(i));
+                }
+                if let Err(f) = retry.run(|| d.wals[i].truncate()) {
+                    break 'ck Err(f.on("wal truncate"));
+                }
+            }
+            Ok(())
+        };
+        result.map_err(|e| self.degrade(e))
     }
 
     /// Pipelined pre-log (see [`Store::wal_prelog`]): route the epoch on
@@ -881,31 +1108,75 @@ impl ShardedStore {
     /// routed jobs so the detached commit task neither re-routes nor
     /// re-appends. The routing trace is identical to the synchronous
     /// path's — it just runs at append time.
-    pub(crate) fn wal_prelog<C: Ctx>(&mut self, c: &C, scratch: &ScratchPool, ops: &[Op]) {
+    ///
+    /// # Errors
+    ///
+    /// Same contract as the synchronous append: a terminal failure
+    /// rejects the epoch atomically (nothing prerouted, nothing merged;
+    /// a ragged partial append sits below the commit horizon) and
+    /// degrades the store.
+    pub(crate) fn wal_prelog<C: Ctx>(
+        &mut self,
+        c: &C,
+        scratch: &ScratchPool,
+        ops: &[Op],
+    ) -> Result<(), StoreError> {
         if ops.is_empty() || self.durable.is_none() {
-            return;
+            return Ok(());
+        }
+        if self.health == Health::Degraded {
+            return Err(StoreError::Poisoned);
         }
         let batch = validate_and_pad(&self.cfg.store, ops);
         let seq = self.epochs;
+        let retry = self.cfg.store.retry;
         if self.shards.len() == 1 {
             let d = self.durable.as_mut().expect("checked above");
-            d.wals[0]
-                .append(seq, &batch)
-                .expect("WAL append failed; cannot acknowledge the epoch");
+            if let Err(f) = d.wals[0].append(retry, seq, &batch) {
+                return Err(self.degrade(f.on("wal append")));
+            }
             self.prerouted = Some(PreRouted { seq, jobs: None });
-            return;
+            return Ok(());
         }
         let (jobs, zcap) = self.route_with_fallback(c, scratch, &batch);
         let d = self.durable.as_mut().expect("checked above");
+        let mut failed = None;
         for (i, job) in jobs.iter().enumerate() {
-            d.wals[i]
-                .append(seq, &job.batch)
-                .expect("WAL append failed; cannot acknowledge the epoch");
+            if let Err(f) = d.wals[i].append(retry, seq, &job.batch) {
+                failed = Some(f);
+                break;
+            }
+        }
+        if let Some(f) = failed {
+            return Err(self.degrade(f.on("wal append")));
         }
         self.prerouted = Some(PreRouted {
             seq,
             jobs: Some((jobs, zcap)),
         });
+        Ok(())
+    }
+
+    /// Record a terminal durable-path failure: flip to
+    /// [`Health::Degraded`] (sticky) and remember the first fault.
+    fn degrade(&mut self, e: StoreError) -> StoreError {
+        self.health = Health::Degraded;
+        if self.fault.is_none() {
+            self.fault = Some(e.to_string());
+        }
+        e
+    }
+
+    /// Observable health; [`Health::Degraded`] once a durable path has
+    /// failed terminally (commits refused until re-opened via
+    /// [`ShardedStore::recover`]).
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// Description of the first terminal durable fault, if any.
+    pub fn last_fault(&self) -> Option<&str> {
+        self.fault.as_deref()
     }
 
     pub(crate) fn config(&self) -> &StoreConfig {
@@ -948,6 +1219,7 @@ mod tests {
                 Op::Get { key: 1 },
             ],
         );
+        let res = res.unwrap();
         assert_eq!(res[2], OpResult::Value(Some(11)));
         let res = s.execute_epoch(
             &c,
@@ -958,6 +1230,7 @@ mod tests {
                 Op::Get { key: 2 },
             ],
         );
+        let res = res.unwrap();
         assert_eq!(res[0], OpResult::Value(Some(11)));
         assert_eq!(res[1], OpResult::Value(None));
         assert_eq!(res[2], OpResult::Value(Some(22)));
@@ -978,9 +1251,10 @@ mod tests {
                 Op::Aggregate,
             ],
         );
+        let res = res.unwrap();
         assert_eq!(res[2], OpResult::Stats(StoreStats::default()));
         // Epoch 2 sees epoch 1's merge.
-        let res = s.execute_epoch(&c, &sp, &[Op::Aggregate]);
+        let res = s.execute_epoch(&c, &sp, &[Op::Aggregate]).unwrap();
         assert_eq!(res[0], OpResult::Stats(StoreStats { count: 2, sum: 30 }));
         assert_eq!(s.stats(), StoreStats { count: 2, sum: 30 });
     }
@@ -995,7 +1269,7 @@ mod tests {
         let t1 = e.submit(Op::Get { key: 9 });
         assert_eq!((t0, t1), (0, 1));
         assert_eq!(e.len(), 2);
-        let res = e.commit(&c, &sp, &mut s);
+        let res = e.commit(&c, &sp, &mut s).unwrap();
         assert_eq!(res[t1], OpResult::Value(Some(90)));
     }
 
@@ -1006,7 +1280,8 @@ mod tests {
         let c = SeqCtx::new();
         let sp = ScratchPool::new();
         let mut s = merge_only();
-        s.execute_epoch(&c, &sp, &[Op::Put { key: 1, val: 5 }]);
+        s.execute_epoch(&c, &sp, &[Op::Put { key: 1, val: 5 }])
+            .unwrap();
         let mut e = s.epoch();
         e.submit(Op::Get { key: 1 });
         // All of these read the store while the epoch is open.
@@ -1014,7 +1289,7 @@ mod tests {
         assert_eq!(s.last_path(), Some(EpochPath::Merge));
         assert_eq!(s.pending_len(), 0);
         assert!(s.capacity() >= 8);
-        let res = e.commit(&c, &sp, &mut s);
+        let res = e.commit(&c, &sp, &mut s).unwrap();
         assert_eq!(res[0], OpResult::Value(Some(5)));
     }
 
@@ -1059,7 +1334,7 @@ mod tests {
         // Same discipline on the sharded front end.
         let c = SeqCtx::new();
         let mut sh = ShardedStore::new(ShardConfig::with_shards(4));
-        assert!(sh.execute_epoch(&c, &sp, &[]).is_empty());
+        assert!(sh.execute_epoch(&c, &sp, &[]).unwrap().is_empty());
         assert_eq!(sh.epoch_counts(), (0, 0));
     }
 
@@ -1070,7 +1345,7 @@ mod tests {
         let mut s = merge_only();
         assert_eq!(s.capacity(), 8);
         let ops: Vec<Op> = (0..20).map(|i| Op::Put { key: i, val: i }).collect();
-        s.execute_epoch(&c, &sp, &ops);
+        s.execute_epoch(&c, &sp, &ops).unwrap();
         // live_upper = 32 (padded batch class), capacity = its class.
         assert_eq!(s.capacity(), 32);
         assert_eq!(s.live_upper_bound(), 32);
@@ -1091,13 +1366,13 @@ mod tests {
         let mut s = Store::new(cfg);
         // Merge 1 (unscheduled): capacity grows with the padded batch.
         let ops: Vec<Op> = (0..20).map(|i| Op::Put { key: i % 8, val: i }).collect();
-        s.execute_epoch(&c, &sp, &ops);
+        s.execute_epoch(&c, &sp, &ops).unwrap();
         assert_eq!(s.capacity(), 32);
         // Merge 2 (scheduled): compacts back to the declared bound's class.
-        s.execute_epoch(&c, &sp, &[Op::Get { key: 0 }]);
+        s.execute_epoch(&c, &sp, &[Op::Get { key: 0 }]).unwrap();
         assert_eq!(s.capacity(), 8, "live_upper is no longer monotone");
         // Contents survive the compaction.
-        let res = s.execute_epoch(&c, &sp, &[Op::Get { key: 3 }]);
+        let res = s.execute_epoch(&c, &sp, &[Op::Get { key: 3 }]).unwrap();
         assert_eq!(res[0], OpResult::Value(Some(19)));
     }
 
@@ -1118,7 +1393,7 @@ mod tests {
             })
             .collect();
         assert_eq!(s.epoch_path(ops.len()), EpochPath::Merge);
-        s.execute_epoch(&c, &sp, &ops);
+        s.execute_epoch(&c, &sp, &ops).unwrap();
         for i in 0..40 {
             oracle.insert(i, 100 + i);
         }
@@ -1134,7 +1409,7 @@ mod tests {
                 Op::Delete { key: round },
             ];
             assert_eq!(s.epoch_path(ops.len()), EpochPath::Oram);
-            let res = s.execute_epoch(&c, &sp, &ops);
+            let res = s.execute_epoch(&c, &sp, &ops).unwrap();
             assert_eq!(res[0].value(), oracle.get(&(round * 7)).copied());
             assert_eq!(res[1].value(), oracle.insert(200 + round, round));
             assert_eq!(res[2].value(), oracle.remove(&round));
@@ -1149,7 +1424,7 @@ mod tests {
             })
             .collect();
         assert_eq!(s.epoch_path(ops.len()), EpochPath::Merge);
-        let res = s.execute_epoch(&c, &sp, &ops);
+        let res = s.execute_epoch(&c, &sp, &ops).unwrap();
         for (i, r) in res.iter().enumerate() {
             let key = if i < 4 { 200 + i as u64 } else { i as u64 };
             assert_eq!(r.value(), oracle.get(&key).copied(), "key {key}");
@@ -1166,13 +1441,15 @@ mod tests {
         cfg.pending_limit = 16;
         let mut s = Store::new(cfg);
         assert_eq!(s.epoch_path(1), EpochPath::Oram);
-        s.execute_epoch(&c, &sp, &[Op::Put { key: 1, val: 1 }]);
+        s.execute_epoch(&c, &sp, &[Op::Put { key: 1, val: 1 }])
+            .unwrap();
         assert_eq!(s.pending_len(), 8);
-        s.execute_epoch(&c, &sp, &[Op::Put { key: 2, val: 2 }]);
+        s.execute_epoch(&c, &sp, &[Op::Put { key: 2, val: 2 }])
+            .unwrap();
         assert_eq!(s.pending_len(), 16);
         // 16 + 8 > 16 → merge.
         assert_eq!(s.epoch_path(1), EpochPath::Merge);
-        let res = s.execute_epoch(&c, &sp, &[Op::Get { key: 1 }]);
+        let res = s.execute_epoch(&c, &sp, &[Op::Get { key: 1 }]).unwrap();
         assert_eq!(res[0], OpResult::Value(Some(1)));
         assert_eq!(s.pending_len(), 0);
     }
@@ -1183,7 +1460,7 @@ mod tests {
         let c = SeqCtx::new();
         let sp = ScratchPool::new();
         let mut s = Store::new(StoreConfig::with_oram(16));
-        s.execute_epoch(&c, &sp, &[Op::Get { key: 16 }]);
+        let _ = s.execute_epoch(&c, &sp, &[Op::Get { key: 16 }]);
     }
 
     #[test]
@@ -1206,6 +1483,7 @@ mod tests {
                 Op::Get { key: 11 },
             ],
         );
+        let res = res.unwrap();
         assert_eq!(res[2], OpResult::Value(Some(30)));
         assert_eq!(res[4], OpResult::Value(Some(31)));
         assert_eq!(res[5], OpResult::Value(Some(110)));
@@ -1221,13 +1499,13 @@ mod tests {
         let sp = ScratchPool::new();
         let mut s = ShardedStore::new(ShardConfig::with_shards(4));
         let load: Vec<Op> = (0..32).map(|i| Op::Put { key: i, val: i }).collect();
-        s.execute_epoch(&c, &sp, &load);
+        s.execute_epoch(&c, &sp, &load).unwrap();
         let want = StoreStats {
             count: 32,
             sum: (0..32).sum(),
         };
         assert_eq!(s.stats(), want, "snapshot sums all shards");
-        let res = s.execute_epoch(&c, &sp, &[Op::Aggregate]);
+        let res = s.execute_epoch(&c, &sp, &[Op::Aggregate]).unwrap();
         assert_eq!(res[0], OpResult::Stats(want));
     }
 
@@ -1249,8 +1527,8 @@ mod tests {
                 })
                 .collect();
             assert_eq!(
-                plain.execute_epoch(&c, &sp, &ops),
-                one.execute_epoch(&c, &sp, &ops),
+                plain.execute_epoch(&c, &sp, &ops).unwrap(),
+                one.execute_epoch(&c, &sp, &ops).unwrap(),
                 "round {round}"
             );
         }
@@ -1271,7 +1549,7 @@ mod tests {
             .map(|i| Op::Put { key: 7, val: i })
             .chain([Op::Get { key: 7 }])
             .collect();
-        let res = s.execute_epoch(&c, &sp, &ops);
+        let res = s.execute_epoch(&c, &sp, &ops).unwrap();
         assert_eq!(res[30], OpResult::Value(Some(29)));
         assert_eq!(s.routing_fallbacks(), 1);
     }

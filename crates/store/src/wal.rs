@@ -20,6 +20,16 @@
 //! processor scenario both live outside the enclave and are encrypted at
 //! rest by the same layer; this module is about *shape*, not ciphers.
 //!
+//! # The filesystem is injectable
+//!
+//! All I/O goes through a [`Vfs`](crate::vfs::Vfs) handle — [`OsVfs`]
+//! (`std::fs`) in production, [`FaultVfs`](crate::vfs::FaultVfs) under
+//! the chaos suite — so every path below is exercised against injected
+//! EIO/ENOSPC, torn appends, lying syncs and crash points. Appends repair
+//! their own torn writes: a failed write truncates back to the record
+//! boundary before the error propagates, so a retry never buries an
+//! unreachable record behind a torn frame.
+//!
 //! # Snapshots and truncation
 //!
 //! A snapshot file holds the packed table of one shard — `capacity` cells
@@ -35,15 +45,20 @@
 //!
 //! # Torn tails
 //!
-//! [`read_wal`] accepts the longest clean prefix of the file: a record
-//! with a short body, an implausible class, a checksum mismatch, or a
-//! non-consecutive sequence number ends the scan. A crash mid-append thus
-//! silently drops only the epoch that was never acknowledged.
+//! [`read_wal`] accepts the longest clean prefix of the file and reports
+//! *why* it stopped, if it did: a record with a short header or body, an
+//! implausible class, a checksum mismatch, or a non-consecutive sequence
+//! number ends the scan with an explicit [`FrameReject`]. A crash
+//! mid-append thus silently drops only the epoch that was never
+//! acknowledged; recovery escalates a reject to
+//! [`StoreError::WalCorrupt`](crate::StoreError::WalCorrupt) only when it
+//! contradicts the snapshot horizon (acknowledged records missing).
 
+use crate::error::{RetryFailure, RetryPolicy};
 use crate::merge::Rec;
 use crate::op::{FlatOp, StoreStats};
-use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use crate::vfs::{Vfs, VfsFile};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Whether (and when) a store persists its epochs. The default is
@@ -124,7 +139,10 @@ pub(crate) fn snapshot_path(dir: &Path, shard: usize) -> PathBuf {
 /// Append handle on one shard's WAL file, with group-commit `fsync`
 /// coalescing: one `sync_data` per `sync_every` appends.
 pub(crate) struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
+    /// Clean length: the byte just past the last fully appended record.
+    /// Torn-write repair truncates back to this before a retry.
+    len: u64,
     sync_every: u32,
     unsynced: u32,
 }
@@ -132,16 +150,18 @@ pub(crate) struct Wal {
 impl Wal {
     /// Open with the strictest cadence: `fsync` on every append.
     #[cfg(test)]
-    pub fn open(path: &Path) -> io::Result<Wal> {
-        Self::open_with(path, 1)
+    pub fn open(vfs: &dyn Vfs, path: &Path) -> io::Result<Wal> {
+        Self::open_with(vfs, path, 1)
     }
 
     /// Open with a group-commit cadence of `sync_every` appends per
     /// `fsync` (0 is treated as 1).
-    pub fn open_with(path: &Path, sync_every: u32) -> io::Result<Wal> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
+    pub fn open_with(vfs: &dyn Vfs, path: &Path, sync_every: u32) -> io::Result<Wal> {
+        let file = vfs.open_append(path)?;
+        let len = file.size()?;
         Ok(Wal {
             file,
+            len,
             sync_every: sync_every.max(1),
             unsynced: 0,
         })
@@ -154,7 +174,20 @@ impl Wal {
     /// completes the group (or [`Wal::sync`]), and a crash drops at most
     /// the `sync_every − 1` trailing un-synced epochs — always a clean
     /// suffix, because records are written in sequence order.
-    pub fn append(&mut self, seq: u64, batch: &[FlatOp]) -> io::Result<()> {
+    ///
+    /// Transient faults are retried per `policy`, each phase separately
+    /// and idempotently: a failed *write* is repaired (the file truncated
+    /// back to the last record boundary) before the next attempt, so a
+    /// torn frame never buries a retried record; a failed *sync* retries
+    /// the flush alone, never duplicating the record. On terminal failure
+    /// the record is truncated off the live file — the epoch was never
+    /// acknowledged, so it must not resurface at recovery.
+    pub fn append(
+        &mut self,
+        policy: RetryPolicy,
+        seq: u64,
+        batch: &[FlatOp],
+    ) -> Result<(), RetryFailure> {
         let mut buf = Vec::with_capacity(record_size(batch.len()));
         buf.extend_from_slice(&seq.to_le_bytes());
         buf.extend_from_slice(&(batch.len() as u32).to_le_bytes());
@@ -164,75 +197,165 @@ impl Wal {
             buf.extend_from_slice(&f.val.to_le_bytes());
         }
         buf.extend_from_slice(&fnv1a(&buf).to_le_bytes());
-        self.file.write_all(&buf)?;
-        self.unsynced += 1;
-        if self.unsynced >= self.sync_every {
-            return self.sync();
+
+        // Write phase: torn-write repair between attempts.
+        let file = &mut self.file;
+        let base = self.len;
+        policy.run(|| match file.append(&buf) {
+            Ok(()) => Ok(()),
+            Err(e) => match file.set_len(base) {
+                Ok(()) => Err(e),
+                // An unrepairable torn write is permanent: retrying the
+                // append would bury the record behind the torn frame.
+                Err(e2) => Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("torn WAL append could not be repaired: {e}; truncate failed: {e2}"),
+                )),
+            },
+        })?;
+        let new_len = base + buf.len() as u64;
+
+        // Sync phase (group-commit cadence): retried alone — the record
+        // is already written, so attempts here never duplicate it.
+        if self.unsynced + 1 >= self.sync_every {
+            if let Err(f) = policy.run(|| self.file.sync()) {
+                // Unacknowledged epoch: truncate it off the live file
+                // (best-effort; the failed sync never made it durable).
+                let _ = self.file.set_len(base);
+                return Err(f);
+            }
+            self.unsynced = 0;
+        } else {
+            self.unsynced += 1;
         }
+        self.len = new_len;
         Ok(())
     }
 
     /// Force the durability point now: flush any appends still in the OS
     /// page cache and reset the group counter.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()?;
+        self.file.sync()?;
         self.unsynced = 0;
         Ok(())
     }
 
     /// Drop every record (the snapshot now covers them). Force-syncs, so
     /// the truncation itself is durable and the group counter restarts.
+    /// Idempotent: safe to retry wholesale.
     pub fn truncate(&mut self) -> io::Result<()> {
         self.file.set_len(0)?;
+        self.len = 0;
         self.sync()
     }
 }
 
-/// Read the longest clean prefix of a WAL file: consecutive, checksummed
-/// records. A missing file is an empty log; a torn or corrupt tail ends
-/// the scan without error (those epochs were never acknowledged).
-pub(crate) fn read_wal(path: &Path) -> io::Result<Vec<(u64, Vec<FlatOp>)>> {
-    let bytes = match std::fs::read(path) {
+/// Why a WAL scan stopped before end-of-file: the byte offset of the
+/// offending frame and a human-readable diagnosis. A reject at the tail
+/// is the normal crash artifact (the epoch was never acknowledged);
+/// recovery escalates it to a typed
+/// [`StoreError::WalCorrupt`](crate::StoreError::WalCorrupt) only when
+/// the snapshot horizon proves acknowledged records are missing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct FrameReject {
+    /// Byte offset of the rejected frame.
+    pub offset: usize,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+/// Outcome of scanning one WAL file: the longest clean prefix of
+/// consecutive, checksummed records, plus the explicit reason the scan
+/// stopped early (if it did).
+pub(crate) struct WalScan {
+    pub records: Vec<(u64, Vec<FlatOp>)>,
+    pub reject: Option<FrameReject>,
+}
+
+fn le_u64(bytes: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(bytes.get(at..at + 8)?.try_into().ok()?))
+}
+
+fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(bytes.get(at..at + 4)?.try_into().ok()?))
+}
+
+/// Read the longest clean prefix of a WAL file. A missing file is an
+/// empty log; a torn or corrupt tail ends the scan without error but
+/// with an explicit [`FrameReject`] naming the boundary.
+pub(crate) fn read_wal(vfs: &dyn Vfs, path: &Path) -> io::Result<WalScan> {
+    let bytes = match vfs.read(path) {
         Ok(b) => b,
-        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok(WalScan {
+                records: Vec::new(),
+                reject: None,
+            })
+        }
         Err(e) => return Err(e),
     };
     let mut records = Vec::new();
     let mut at = 0usize;
     let mut expected_seq: Option<u64> = None;
-    while bytes.len() - at >= record_size(0) {
-        let seq = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
-        let class = u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap()) as usize;
+    let reject = loop {
+        if at == bytes.len() {
+            break None;
+        }
+        let reject_here = |detail: String| FrameReject { offset: at, detail };
+        let (Some(seq), Some(class)) = (le_u64(&bytes, at), le_u32(&bytes, at + 8)) else {
+            break Some(reject_here(format!(
+                "truncated frame header: {} trailing bytes, header needs 12",
+                bytes.len() - at
+            )));
+        };
+        let class = class as usize;
         if class == 0 || class > MAX_CLASS || !class.is_power_of_two() {
-            break;
+            break Some(reject_here(format!("implausible class {class}")));
         }
         let size = record_size(class);
         if bytes.len() - at < size {
-            break;
+            break Some(reject_here(format!(
+                "truncated frame body: class {class} needs {size} bytes, {} remain",
+                bytes.len() - at
+            )));
         }
-        if fnv1a(&bytes[at..at + size - 8])
-            != u64::from_le_bytes(bytes[at + size - 8..at + size].try_into().unwrap())
-        {
-            break;
+        let Some(want) = le_u64(&bytes, at + size - 8) else {
+            break Some(reject_here("checksum unreadable".to_string()));
+        };
+        if fnv1a(&bytes[at..at + size - 8]) != want {
+            break Some(reject_here("checksum mismatch".to_string()));
         }
-        if expected_seq.is_some_and(|e| e != seq) {
-            break;
+        if let Some(e) = expected_seq {
+            if e != seq {
+                break Some(reject_here(format!(
+                    "non-consecutive sequence: expected {e}, found {seq}"
+                )));
+            }
         }
         expected_seq = Some(seq + 1);
         let mut batch = Vec::with_capacity(class);
         let mut o = at + 12;
         for _ in 0..class {
+            let (Some(key), Some(val)) = (le_u64(&bytes, o + 1), le_u64(&bytes, o + 9)) else {
+                // Unreachable after the length check above, but parse
+                // defensively: a short op is a rejected frame, never a
+                // panic.
+                break;
+            };
             batch.push(FlatOp {
                 kind: bytes[o],
-                key: u64::from_le_bytes(bytes[o + 1..o + 9].try_into().unwrap()),
-                val: u64::from_le_bytes(bytes[o + 9..o + 17].try_into().unwrap()),
+                key,
+                val,
             });
             o += 17;
         }
+        if batch.len() != class {
+            break Some(reject_here("short op block".to_string()));
+        }
         records.push((seq, batch));
         at += size;
-    }
-    Ok(records)
+    };
+    Ok(WalScan { records, reject })
 }
 
 /// Public counters a snapshot resumes: everything except the table cells.
@@ -254,8 +377,10 @@ const SNAP_MAGIC: u64 = 0x444F_4253_4E41_5031; // "DOBSNAP1"
 /// Write one shard's snapshot: meta + the packed table (32-byte cells,
 /// the merge path's `TagCell` layout: `tag = key << 64` for present slots,
 /// all-ones for fillers; `aux = val`). Temp-file + rename keeps the old
-/// snapshot intact if the process dies mid-write.
+/// snapshot intact if the process dies (or a fault fires) mid-write.
+/// Idempotent: safe to retry wholesale.
 pub(crate) fn write_snapshot(
+    vfs: &dyn Vfs,
     dir: &Path,
     shard: usize,
     meta: &SnapMeta,
@@ -282,18 +407,22 @@ pub(crate) fn write_snapshot(
 
     let tmp = dir.join(format!("snap-{shard}.tmp"));
     {
-        let mut f = File::create(&tmp)?;
-        f.write_all(&buf)?;
-        f.sync_all()?;
+        let mut f = vfs.open_truncate(&tmp)?;
+        f.append(&buf)?;
+        f.sync()?;
     }
-    std::fs::rename(&tmp, snapshot_path(dir, shard))
+    vfs.rename(&tmp, &snapshot_path(dir, shard))
 }
 
 /// Read one shard's snapshot; `Ok(None)` when the file does not exist. A
 /// present-but-corrupt snapshot is a hard error (its WAL prefix was
 /// already truncated, so silently starting empty would lose data).
-pub(crate) fn read_snapshot(dir: &Path, shard: usize) -> io::Result<Option<(SnapMeta, Vec<Rec>)>> {
-    let bytes = match std::fs::read(snapshot_path(dir, shard)) {
+pub(crate) fn read_snapshot(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    shard: usize,
+) -> io::Result<Option<(SnapMeta, Vec<Rec>)>> {
+    let bytes = match vfs.read(&snapshot_path(dir, shard)) {
         Ok(b) => b,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(e),
@@ -307,32 +436,44 @@ pub(crate) fn read_snapshot(dir: &Path, shard: usize) -> io::Result<Option<(Snap
     if bytes.len() < 8 * 8 {
         return Err(corrupt("too short"));
     }
-    let word = |i: usize| u64::from_le_bytes(bytes[8 * i..8 * (i + 1)].try_into().unwrap());
-    if word(0) != SNAP_MAGIC {
+    let word = |i: usize| le_u64(&bytes, 8 * i);
+    let (Some(magic), Some(cap)) = (word(0), word(6)) else {
+        return Err(corrupt("header unreadable"));
+    };
+    if magic != SNAP_MAGIC {
         return Err(corrupt("bad magic"));
     }
-    let cap = word(6) as usize;
+    let cap = cap as usize;
     let total = 8 * 7 + 32 * cap + 8;
     if cap > MAX_CLASS || bytes.len() != total {
         return Err(corrupt("bad length"));
     }
-    if fnv1a(&bytes[..total - 8]) != u64::from_le_bytes(bytes[total - 8..].try_into().unwrap()) {
-        return Err(corrupt("checksum mismatch"));
+    match le_u64(&bytes, total - 8) {
+        Some(want) if fnv1a(&bytes[..total - 8]) == want => {}
+        _ => return Err(corrupt("checksum mismatch")),
     }
     let meta = SnapMeta {
-        next_seq: word(1),
-        merges: word(2),
-        live_upper: word(3),
+        next_seq: word(1).unwrap_or(0),
+        merges: word(2).unwrap_or(0),
+        live_upper: word(3).unwrap_or(0),
         stats: StoreStats {
-            count: word(4),
-            sum: word(5),
+            count: word(4).unwrap_or(0),
+            sum: word(5).unwrap_or(0),
         },
     };
     let mut table = Vec::with_capacity(cap);
     let mut o = 8 * 7;
     for _ in 0..cap {
-        let tag = u128::from_le_bytes(bytes[o..o + 16].try_into().unwrap());
-        let aux = u128::from_le_bytes(bytes[o + 16..o + 32].try_into().unwrap());
+        let (Some(tag), Some(aux)) = (
+            bytes
+                .get(o..o + 16)
+                .map(|b| u128::from_le_bytes(b.try_into().expect("16-byte slice"))),
+            bytes
+                .get(o + 16..o + 32)
+                .map(|b| u128::from_le_bytes(b.try_into().expect("16-byte slice"))),
+        ) else {
+            return Err(corrupt("short cell block"));
+        };
         table.push(if tag == u128::MAX {
             Rec::default()
         } else {
@@ -351,6 +492,7 @@ pub(crate) fn read_snapshot(dir: &Path, shard: usize) -> io::Result<Option<(Snap
 mod tests {
     use super::*;
     use crate::op::kind;
+    use crate::vfs::{FaultPlan, FaultVfs, OsVfs};
 
     fn batch(n: u64) -> Vec<FlatOp> {
         (0..n)
@@ -362,80 +504,204 @@ mod tests {
             .collect()
     }
 
+    fn relaxed() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+
     #[test]
     fn wal_roundtrips_records() {
+        let vfs = OsVfs;
         let dir = std::env::temp_dir().join(format!("dob_wal_unit_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = wal_path(&dir, 0);
-        let mut w = Wal::open(&path).unwrap();
-        w.append(0, &batch(8)).unwrap();
-        w.append(1, &batch(16)).unwrap();
-        let recs = read_wal(&path).unwrap();
-        assert_eq!(recs.len(), 2);
-        assert_eq!(recs[0].0, 0);
-        assert_eq!(recs[1].1.len(), 16);
-        assert_eq!(recs[1].1[3].val, 30);
+        let mut w = Wal::open(&vfs, &path).unwrap();
+        w.append(relaxed(), 0, &batch(8)).unwrap();
+        w.append(relaxed(), 1, &batch(16)).unwrap();
+        let scan = read_wal(&vfs, &path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(scan.reject.is_none());
+        assert_eq!(scan.records[0].0, 0);
+        assert_eq!(scan.records[1].1.len(), 16);
+        assert_eq!(scan.records[1].1[3].val, 30);
         // Record sizes are a function of the class alone.
         assert_eq!(
             std::fs::metadata(&path).unwrap().len(),
             (record_size(8) + record_size(16)) as u64
         );
         w.truncate().unwrap();
-        assert!(read_wal(&path).unwrap().is_empty());
+        assert!(read_wal(&vfs, &path).unwrap().records.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn group_commit_appends_stay_readable() {
+        let vfs = OsVfs;
         let dir = std::env::temp_dir().join(format!("dob_wal_group_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = wal_path(&dir, 0);
         // Cadence 0 is clamped to 1; a cadence larger than the append
         // count leaves records in the page cache but still readable.
-        let mut w = Wal::open_with(&path, 0).unwrap();
-        w.append(0, &batch(8)).unwrap();
+        let mut w = Wal::open_with(&vfs, &path, 0).unwrap();
+        w.append(relaxed(), 0, &batch(8)).unwrap();
         drop(w);
-        let mut w = Wal::open_with(&path, 4).unwrap();
-        w.append(1, &batch(8)).unwrap();
-        w.append(2, &batch(8)).unwrap();
+        let mut w = Wal::open_with(&vfs, &path, 4).unwrap();
+        w.append(relaxed(), 1, &batch(8)).unwrap();
+        w.append(relaxed(), 2, &batch(8)).unwrap();
         w.sync().unwrap();
-        assert_eq!(read_wal(&path).unwrap().len(), 3);
+        assert_eq!(read_wal(&vfs, &path).unwrap().records.len(), 3);
         w.truncate().unwrap();
-        assert!(read_wal(&path).unwrap().is_empty());
+        assert!(read_wal(&vfs, &path).unwrap().records.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn torn_tail_is_dropped_cleanly() {
+        let vfs = OsVfs;
         let dir = std::env::temp_dir().join(format!("dob_wal_torn_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = wal_path(&dir, 0);
-        let mut w = Wal::open(&path).unwrap();
-        w.append(0, &batch(8)).unwrap();
-        w.append(1, &batch(8)).unwrap();
+        let mut w = Wal::open(&vfs, &path).unwrap();
+        w.append(relaxed(), 0, &batch(8)).unwrap();
+        w.append(relaxed(), 1, &batch(8)).unwrap();
         // Tear the second record mid-payload.
-        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
         f.set_len((record_size(8) + 30) as u64).unwrap();
-        let recs = read_wal(&path).unwrap();
-        assert_eq!(recs.len(), 1, "torn tail must be ignored");
+        let scan = read_wal(&vfs, &path).unwrap();
+        assert_eq!(scan.records.len(), 1, "torn tail must be ignored");
+        assert!(
+            scan.reject.unwrap().detail.contains("truncated frame"),
+            "the reject names the tear"
+        );
         // A flipped byte in the tail record is equally dropped.
         drop(f);
-        let mut w = Wal::open(&path).unwrap();
+        let mut w = Wal::open(&vfs, &path).unwrap();
         // Re-extend with a clean record, then corrupt its checksum region.
-        w.append(1, &batch(8)).unwrap();
+        w.append(relaxed(), 1, &batch(8)).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        assert_eq!(read_wal(&path).unwrap().len(), 1);
+        let scan = read_wal(&vfs, &path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.reject.unwrap().detail, "checksum mismatch");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
+    fn scan_boundaries_reject_explicitly() {
+        let vfs = FaultVfs::unfaulted();
+        let path = PathBuf::from("wal-0.log");
+
+        // Zero-length file: empty log, no reject.
+        {
+            let mut f = vfs.open_truncate(&path).unwrap();
+            f.sync().unwrap();
+        }
+        let scan = read_wal(&vfs, &path).unwrap();
+        assert!(scan.records.is_empty() && scan.reject.is_none());
+
+        // Header-only frame (12 bytes: seq + class, no body at all).
+        {
+            let mut f = vfs.open_truncate(&path).unwrap();
+            let mut hdr = Vec::new();
+            hdr.extend_from_slice(&0u64.to_le_bytes());
+            hdr.extend_from_slice(&8u32.to_le_bytes());
+            f.append(&hdr).unwrap();
+        }
+        let scan = read_wal(&vfs, &path).unwrap();
+        assert!(scan.records.is_empty());
+        let reject = scan.reject.unwrap();
+        assert_eq!(reject.offset, 0);
+        assert!(reject.detail.contains("truncated frame"), "{reject:?}");
+
+        // A clean record followed by a frame truncated exactly at the
+        // checksum (everything but the final 8 bytes present).
+        {
+            let mut w = Wal::open(&vfs, &path).unwrap();
+            // Rebuild from scratch: truncate then append two records.
+            w.truncate().unwrap();
+            w.append(relaxed(), 0, &batch(8)).unwrap();
+            w.append(relaxed(), 1, &batch(8)).unwrap();
+        }
+        let full = vfs.read(&path).unwrap();
+        {
+            let mut f = vfs.open_truncate(&path).unwrap();
+            f.append(&full[..2 * record_size(8) - 8]).unwrap();
+        }
+        let scan = read_wal(&vfs, &path).unwrap();
+        assert_eq!(scan.records.len(), 1, "the clean head record survives");
+        let reject = scan.reject.unwrap();
+        assert_eq!(reject.offset, record_size(8));
+        assert!(reject.detail.contains("truncated frame body"), "{reject:?}");
+
+        // Implausible class (not a power of two).
+        {
+            let mut f = vfs.open_truncate(&path).unwrap();
+            let mut hdr = Vec::new();
+            hdr.extend_from_slice(&0u64.to_le_bytes());
+            hdr.extend_from_slice(&9u32.to_le_bytes());
+            hdr.extend_from_slice(&[0u8; 64]);
+            f.append(&hdr).unwrap();
+        }
+        let scan = read_wal(&vfs, &path).unwrap();
+        assert!(scan.reject.unwrap().detail.contains("implausible class"));
+    }
+
+    #[test]
+    fn torn_append_is_repaired_before_retry() {
+        // Fault every append once (EIO with a torn prefix); the retry
+        // must land a clean record with no torn bytes buried mid-file.
+        let vfs = FaultVfs::new(FaultPlan {
+            seed: 11,
+            eio_write: Some(1),
+            torn: 255,
+            write_fault: 0,
+            ..FaultPlan::default()
+        });
+        let path = PathBuf::from("wal-0.log");
+        let mut w = Wal::open(&vfs, &path).unwrap();
+        let policy = RetryPolicy {
+            attempts: 3,
+            backoff: std::time::Duration::ZERO,
+        };
+        w.append(policy, 0, &batch(8)).unwrap();
+        w.append(policy, 1, &batch(8)).unwrap(); // faulted once, retried
+        let scan = read_wal(&vfs, &path).unwrap();
+        assert_eq!(scan.records.len(), 2, "retried record must be reachable");
+        assert!(scan.reject.is_none(), "no torn bytes may linger");
+        assert_eq!(
+            vfs.read(&path).unwrap().len(),
+            2 * record_size(8),
+            "repair truncated the torn prefix"
+        );
+    }
+
+    #[test]
+    fn terminally_failed_append_leaves_no_record() {
+        // ENOSPC on the second append: the epoch is rejected and its
+        // record must not survive to be recovered.
+        let vfs = FaultVfs::new(FaultPlan {
+            enospc_write: Some(1),
+            ..FaultPlan::default()
+        });
+        let path = PathBuf::from("wal-0.log");
+        let mut w = Wal::open(&vfs, &path).unwrap();
+        w.append(relaxed(), 0, &batch(8)).unwrap();
+        let err = w.append(relaxed(), 1, &batch(8)).unwrap_err();
+        assert!(!err.exhausted, "ENOSPC fails fast");
+        // A later successful append continues the clean sequence.
+        w.append(relaxed(), 1, &batch(8)).unwrap();
+        let scan = read_wal(&vfs, &path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert!(scan.reject.is_none());
+    }
+
+    #[test]
     fn snapshot_roundtrips_and_rejects_corruption() {
+        let vfs = OsVfs;
         let dir = std::env::temp_dir().join(format!("dob_snap_unit_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
@@ -453,19 +719,19 @@ mod tests {
             live_upper: 2,
             stats: StoreStats { count: 1, sum: 33 },
         };
-        write_snapshot(&dir, 0, &meta, &table).unwrap();
-        let (m, t) = read_snapshot(&dir, 0).unwrap().unwrap();
+        write_snapshot(&vfs, &dir, 0, &meta, &table).unwrap();
+        let (m, t) = read_snapshot(&vfs, &dir, 0).unwrap().unwrap();
         assert_eq!(m.next_seq, 5);
         assert_eq!(m.stats, meta.stats);
         assert!(t[0].present && t[0].key == 3 && t[0].val == 33);
         assert!(!t[1].present);
-        assert!(read_snapshot(&dir, 1).unwrap().is_none());
+        assert!(read_snapshot(&vfs, &dir, 1).unwrap().is_none());
         // Corruption is a hard error, never a silent empty store.
         let path = snapshot_path(&dir, 0);
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[20] ^= 0x01;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(read_snapshot(&dir, 0).is_err());
+        assert!(read_snapshot(&vfs, &dir, 0).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

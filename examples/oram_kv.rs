@@ -31,7 +31,9 @@ fn main() {
         });
     }
     let n = epoch.len();
-    epoch.commit(&c, &scratch, &mut store);
+    epoch
+        .commit(&c, &scratch, &mut store)
+        .expect("in-memory epoch cannot fail");
     assert_eq!(store.last_path(), Some(EpochPath::Merge));
     println!(
         "loaded {n} puts ({} distinct keys) in one merge epoch (capacity {})",
@@ -48,7 +50,9 @@ fn main() {
         Op::Put { key: k3, val: 9999 },
         Op::Get { key: k3 },
     ];
-    let res = store.execute_epoch(&c, &scratch, &reqs);
+    let res = store
+        .execute_epoch(&c, &scratch, &reqs)
+        .expect("in-memory epoch cannot fail");
     assert_eq!(store.last_path(), Some(EpochPath::Oram));
     println!(
         "oram-path batch read back: {:?}",
@@ -58,7 +62,9 @@ fn main() {
     assert_eq!(res[4].value(), Some(9999), "read-your-own-epoch-write");
 
     // Aggregates observe the analytics snapshot of the last merge.
-    let res = store.execute_epoch(&c, &scratch, &[Op::Aggregate]);
+    let res = store
+        .execute_epoch(&c, &scratch, &[Op::Aggregate])
+        .expect("in-memory epoch cannot fail");
     if let OpResult::Stats(stats) = res[0] {
         println!(
             "analytics snapshot: {} records, value sum {}",
@@ -81,13 +87,13 @@ fn main() {
                     val: scale * i,
                 })
                 .collect();
-            s.execute_epoch(c, &sp, &load);
+            s.execute_epoch(c, &sp, &load).unwrap();
             let gets: Vec<Op> = (0..8u64)
                 .map(|i| Op::Get {
                     key: (i * 97) % space as u64,
                 })
                 .collect();
-            s.execute_epoch(c, &sp, &gets);
+            s.execute_epoch(c, &sp, &gets).unwrap();
         });
         (rep.trace_hash, rep.trace_len)
     };

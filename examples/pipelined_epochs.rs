@@ -41,7 +41,9 @@ fn main() {
     let t0 = Instant::now();
     for round in 0..rounds {
         let ops = client_batch(n, round, universe);
-        let _ = pool.run(|c| sync.execute_epoch(c, &scratch, &ops));
+        let _ = pool
+            .run(|c| sync.execute_epoch(c, &scratch, &ops))
+            .expect("in-memory epoch cannot fail");
     }
     let sync_wall = t0.elapsed();
 
@@ -70,7 +72,7 @@ fn main() {
     p.drain(&pool);
     let pipe_wall = t0.elapsed();
     for h in &handles {
-        let _ = p.wait(h); // redeemable in any order after the drain
+        let _ = p.wait(h).expect("in-memory epoch cannot fail"); // redeemable in any order
     }
 
     let (started, retired) = p.epoch_counts();

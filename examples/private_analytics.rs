@@ -25,7 +25,9 @@ fn run_day<C: Ctx>(
             val: salary,
         });
     }
-    ingest.commit(c, scratch, store);
+    ingest
+        .commit(c, scratch, store)
+        .expect("in-memory epoch cannot fail");
 
     // Mixed query epoch: lookups, a raise, a departure.
     let mut queries = store.epoch();
@@ -43,11 +45,15 @@ fn run_day<C: Ctx>(
     queries.submit(Op::Delete {
         key: salaries[salaries.len() - 1].0,
     });
-    let res = queries.commit(c, scratch, store);
+    let res = queries
+        .commit(c, scratch, store)
+        .expect("in-memory epoch cannot fail");
     let looked_up: Vec<Option<u64>> = lookups.iter().map(|&t| res[t].value()).collect();
 
     // Analytics epoch: the aggregate reads the snapshot of the last merge.
-    let res = store.execute_epoch(c, scratch, &[Op::Aggregate]);
+    let res = store
+        .execute_epoch(c, scratch, &[Op::Aggregate])
+        .expect("in-memory epoch cannot fail");
     let stats = match res[0] {
         OpResult::Stats(s) => s,
         _ => unreachable!(),

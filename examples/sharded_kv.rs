@@ -44,7 +44,8 @@ fn main() {
             val: 1000 + i,
         })
         .collect();
-    pool.run(|c| store.execute_epoch(c, &scratch, &load));
+    pool.run(|c| store.execute_epoch(c, &scratch, &load))
+        .expect("in-memory epoch cannot fail");
     let spread: Vec<usize> = (0..4)
         .map(|s| (0..n as u64).filter(|&k| shard_of(k, 4) == s).count())
         .collect();
@@ -65,7 +66,9 @@ fn main() {
         "pre-commit snapshot: {} records (readable mid-epoch)",
         store.stats().count
     );
-    let res = pool.run(|c| epoch.commit(c, &scratch, &mut store));
+    let res = pool
+        .run(|c| epoch.commit(c, &scratch, &mut store))
+        .expect("in-memory epoch cannot fail");
     assert_eq!(res[t_get].value(), Some(1007));
     assert_eq!(res[t_reread].value(), Some(7777), "read-your-epoch-write");
     if let OpResult::Stats(stats) = res[t_agg] {
@@ -83,8 +86,10 @@ fn main() {
         let (_, rep) = measure(CacheConfig::default(), TraceMode::Hash, |c| {
             let sp = ScratchPool::new();
             let mut s = ShardedStore::new(ShardConfig::with_shards(4));
-            s.execute_epoch(c, &sp, &mixed_epoch(96, 4 * n as u64, salt));
-            s.execute_epoch(c, &sp, &mixed_epoch(24, 4 * n as u64, salt ^ 0xA5));
+            s.execute_epoch(c, &sp, &mixed_epoch(96, 4 * n as u64, salt))
+                .unwrap();
+            s.execute_epoch(c, &sp, &mixed_epoch(24, 4 * n as u64, salt ^ 0xA5))
+                .unwrap();
         });
         (rep.trace_hash, rep.trace_len)
     };

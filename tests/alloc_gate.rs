@@ -237,15 +237,17 @@ fn merge_epoch_pool_stays_warm_on_tag_path() {
             .collect()
     };
     // Two warm-up epochs reach the steady capacity class and fill the pool.
-    store.execute_epoch(&c, &scratch, &epoch_ops(1));
-    store.execute_epoch(&c, &scratch, &epoch_ops(2));
+    store.execute_epoch(&c, &scratch, &epoch_ops(1)).unwrap();
+    store.execute_epoch(&c, &scratch, &epoch_ops(2)).unwrap();
     let fresh_after_warmup = scratch.fresh_allocs();
 
     // Steady epochs on the tag-sort merge path: zero pool growth — every
     // cell lane (op sort, merge array, result/candidate lanes, compaction
     // double buffers) is leased, never allocated per call.
     for round in 3..6u64 {
-        store.execute_epoch(&c, &scratch, &epoch_ops(round));
+        store
+            .execute_epoch(&c, &scratch, &epoch_ops(round))
+            .unwrap();
     }
     assert_eq!(
         scratch.fresh_allocs(),
@@ -297,7 +299,8 @@ fn merge_epoch_pool_stays_warm_under_pinned_pool() {
     let mut fresh_after_warmup = u64::MAX;
     for round in 0..8u64 {
         let before = scratch.fresh_allocs();
-        pool.run(|c| store.execute_epoch(c, &scratch, &epoch_ops(round)));
+        pool.run(|c| store.execute_epoch(c, &scratch, &epoch_ops(round)))
+            .unwrap();
         fresh_after_warmup = scratch.fresh_allocs();
         if fresh_after_warmup == before && round > 0 {
             break;
@@ -309,7 +312,8 @@ fn merge_epoch_pool_stays_warm_under_pinned_pool() {
     // every other lane (exact spill accounting), so a fresh backing alloc
     // here would mean a buffer class is not being returned at all.
     for round in 8..11u64 {
-        pool.run(|c| store.execute_epoch(c, &scratch, &epoch_ops(round)));
+        pool.run(|c| store.execute_epoch(c, &scratch, &epoch_ops(round)))
+            .unwrap();
     }
     println!(
         "pinned({} of 4 workers pinned): {} leases, {} lane hits, {} spills, {} fresh",

@@ -61,7 +61,7 @@ fn assert_matches_oracle<C: Ctx>(
     oracle: &HashMap<u64, u64>,
 ) {
     let keys: Vec<Op> = (0..41).map(|key| Op::Get { key }).collect();
-    let res = store.execute_epoch(c, sp, &keys);
+    let res = store.execute_epoch(c, sp, &keys).unwrap();
     for (key, got) in (0..41u64).zip(&res) {
         assert_eq!(got.value(), oracle.get(&key).copied(), "key {key}");
     }
@@ -82,7 +82,7 @@ fn kill_and_recover_matches_oracle() {
         let mut s = Store::recover(&c, &sp, &dir, durable_cfg()).unwrap();
         for e in 0..6u64 {
             let ops = mixed_ops(24, e);
-            let res = s.execute_epoch(&c, &sp, &ops);
+            let res = s.execute_epoch(&c, &sp, &ops).unwrap();
             apply_to_oracle(&mut oracle, &ops, &res);
         }
         assert_eq!(s.epoch_counts().0, 6);
@@ -105,7 +105,7 @@ fn recover_under_pinned_pool_matches_seqctx() {
         let mut s = Store::recover(&c, &sp, &dir, durable_cfg()).unwrap();
         for e in 0..5u64 {
             let ops = mixed_ops(32, e + 7);
-            let res = s.execute_epoch(&c, &sp, &ops);
+            let res = s.execute_epoch(&c, &sp, &ops).unwrap();
             apply_to_oracle(&mut oracle, &ops, &res);
         }
     }
@@ -132,7 +132,7 @@ fn torn_tail_record_is_dropped() {
         let mut s = Store::recover(&c, &sp, &dir, durable_cfg()).unwrap();
         for e in 0..3u64 {
             let ops = mixed_ops(24, e);
-            let res = s.execute_epoch(&c, &sp, &ops);
+            let res = s.execute_epoch(&c, &sp, &ops).unwrap();
             if e < 2 {
                 apply_to_oracle(&mut oracle, &ops, &res);
             }
@@ -174,7 +174,7 @@ fn group_commit_crash_drops_only_the_unsynced_suffix() {
         let mut s = Store::recover(&c, &sp, &dir, cfg).unwrap();
         for e in 0..5u64 {
             let ops = mixed_ops(24, e);
-            let res = s.execute_epoch(&c, &sp, &ops);
+            let res = s.execute_epoch(&c, &sp, &ops).unwrap();
             if e < 3 {
                 apply_to_oracle(&mut oracle, &ops, &res);
             }
@@ -220,7 +220,7 @@ fn scheduled_snapshots_truncate_the_wal() {
         let mut s = Store::recover(&c, &sp, &dir, cfg).unwrap();
         for e in 0..4u64 {
             let ops = mixed_ops(24, e);
-            let res = s.execute_epoch(&c, &sp, &ops);
+            let res = s.execute_epoch(&c, &sp, &ops).unwrap();
             apply_to_oracle(&mut oracle, &ops, &res);
         }
         // Merge 4 snapshotted and truncated; the WAL holds nothing.
@@ -228,7 +228,7 @@ fn scheduled_snapshots_truncate_the_wal() {
         assert!(dir.join("snap-0.bin").exists());
         // One more epoch lands in the (now short) WAL.
         let ops = mixed_ops(24, 9);
-        let res = s.execute_epoch(&c, &sp, &ops);
+        let res = s.execute_epoch(&c, &sp, &ops).unwrap();
         apply_to_oracle(&mut oracle, &ops, &res);
         assert!(std::fs::metadata(dir.join("wal-0.log")).unwrap().len() > 0);
     }
@@ -257,7 +257,7 @@ fn explicit_checkpoint_and_oram_replay() {
         let mut s = Store::recover(&c, &sp, &dir, cfg).unwrap();
         // Big epoch: merge path. Then checkpoint at the merge close.
         let load: Vec<Op> = (0..40).map(|i| Op::Put { key: i, val: i + 1 }).collect();
-        let res = s.execute_epoch(&c, &sp, &load);
+        let res = s.execute_epoch(&c, &sp, &load).unwrap();
         apply_to_oracle(&mut oracle, &load, &res);
         s.checkpoint().unwrap();
         assert_eq!(std::fs::metadata(dir.join("wal-0.log")).unwrap().len(), 0);
@@ -272,7 +272,7 @@ fn explicit_checkpoint_and_oram_replay() {
                 Op::Delete { key: 30 + e },
             ];
             assert_eq!(s.epoch_path(ops.len()), EpochPath::Oram);
-            let res = s.execute_epoch(&c, &sp, &ops);
+            let res = s.execute_epoch(&c, &sp, &ops).unwrap();
             apply_to_oracle(&mut oracle, &ops, &res);
         }
         assert!(s.pending_len() > 0);
@@ -284,7 +284,7 @@ fn explicit_checkpoint_and_oram_replay() {
     // Probe through a merge epoch (41 keys ≥ threshold): consistency of
     // the recovered table + pending log + rebuilt ORAM mirror.
     let keys: Vec<Op> = (0..41).map(|key| Op::Get { key }).collect();
-    let res = r.execute_epoch(&c, &sp, &keys);
+    let res = r.execute_epoch(&c, &sp, &keys).unwrap();
     for (key, got) in (0..41u64).zip(&res) {
         assert_eq!(got.value(), oracle.get(&key).copied(), "key {key}");
     }
@@ -313,7 +313,7 @@ fn sharded_kill_and_recover_matches_oracle() {
         let mut s = ShardedStore::recover(&c, &sp, &dir, cfg).unwrap();
         for e in 0..5u64 {
             let ops = mixed_ops(32, e);
-            let res = s.execute_epoch(&c, &sp, &ops);
+            let res = s.execute_epoch(&c, &sp, &ops).unwrap();
             apply_to_oracle(&mut oracle, &ops, &res);
         }
         // The snapshot cadence fired at merge 3 on every shard.
@@ -324,7 +324,7 @@ fn sharded_kill_and_recover_matches_oracle() {
     let mut r = ShardedStore::recover(&c, &sp, &dir, cfg).unwrap();
     assert_eq!(r.epoch_counts(), (5, 5));
     let keys: Vec<Op> = (0..41).map(|key| Op::Get { key }).collect();
-    let res = r.execute_epoch(&c, &sp, &keys);
+    let res = r.execute_epoch(&c, &sp, &keys).unwrap();
     for (key, got) in (0..41u64).zip(&res) {
         assert_eq!(got.value(), oracle.get(&key).copied(), "key {key}");
     }
@@ -350,7 +350,7 @@ fn sharded_ragged_tail_drops_the_uncommitted_epoch() {
         let mut s = ShardedStore::recover(&c, &sp, &dir, cfg).unwrap();
         for e in 0..3u64 {
             let ops = mixed_ops(32, e);
-            let res = s.execute_epoch(&c, &sp, &ops);
+            let res = s.execute_epoch(&c, &sp, &ops).unwrap();
             if e < 2 {
                 apply_to_oracle(&mut oracle, &ops, &res);
             }
@@ -372,7 +372,7 @@ fn sharded_ragged_tail_drops_the_uncommitted_epoch() {
         "an epoch missing on any shard is dropped on all shards"
     );
     let keys: Vec<Op> = (0..41).map(|key| Op::Get { key }).collect();
-    let res = r.execute_epoch(&c, &sp, &keys);
+    let res = r.execute_epoch(&c, &sp, &keys).unwrap();
     for (key, got) in (0..41u64).zip(&res) {
         assert_eq!(got.value(), oracle.get(&key).copied(), "key {key}");
     }
@@ -408,7 +408,7 @@ fn pipelined_drop_with_inflight_epoch_loses_nothing() {
     }
     let mut r = Store::recover(&seq, &sp, &dir, StoreConfig::default()).unwrap();
     assert_eq!(r.epoch_counts().0, 1);
-    let res = r.execute_epoch(&seq, &sp, &[Op::Get { key: 23 }]);
+    let res = r.execute_epoch(&seq, &sp, &[Op::Get { key: 23 }]).unwrap();
     assert_eq!(res[0].value(), Some(123));
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -425,7 +425,7 @@ fn pipelined_durable_matches_sync_durable() {
         let mut pipe = PipelinedStore::new(Store::recover(&c, &sp, &db, durable_cfg()).unwrap());
         for e in 0..4u64 {
             let ops = mixed_ops(24, e);
-            sync.execute_epoch(&c, &sp, &ops);
+            sync.execute_epoch(&c, &sp, &ops).unwrap();
             for op in &ops {
                 pipe.submit(*op);
             }
@@ -462,7 +462,8 @@ fn replay_trace_is_oblivious_and_equals_a_fresh_run() {
     let build = |dir: &PathBuf, salt: u64| {
         let mut s = Store::recover(&c, &sp, dir, durable_cfg()).unwrap();
         for e in 0..4u64 {
-            s.execute_epoch(&c, &sp, &mixed_ops(24, e * 3 + salt));
+            s.execute_epoch(&c, &sp, &mixed_ops(24, e * 3 + salt))
+                .unwrap();
         }
     };
     let (da, db) = (tdir("trace_a"), tdir("trace_b"));
@@ -492,7 +493,7 @@ fn replay_trace_is_oblivious_and_equals_a_fresh_run() {
     let fresh_run = trace_of(|c| {
         let mut s = Store::new(StoreConfig::default());
         for e in 0..4u64 {
-            s.execute_epoch(c, &sp, &mixed_ops(24, e * 5 + 11));
+            s.execute_epoch(c, &sp, &mixed_ops(24, e * 5 + 11)).unwrap();
         }
     });
     assert_eq!(

@@ -102,7 +102,7 @@ fn pool4_interleaved_submissions_match_hashmap_oracle() {
             // ones are still in flight.
             if round % 3 == 2 && !unapplied.is_empty() {
                 let (h, ops) = unapplied.remove(0);
-                let res = p.wait(&h);
+                let res = p.wait(&h).unwrap();
                 apply_to_oracle(&mut oracle, &ops, &res);
             }
         }
@@ -113,7 +113,7 @@ fn pool4_interleaved_submissions_match_hashmap_oracle() {
             unapplied.push((h, std::mem::take(&mut open_ops)));
         }
         for (h, ops) in unapplied {
-            let res = p.wait(&h);
+            let res = p.wait(&h).unwrap();
             apply_to_oracle(&mut oracle, &ops, &res);
         }
 
@@ -144,7 +144,7 @@ fn handles_redeem_out_of_order_under_pool() {
     let mut want = Vec::new();
     for e in 0..6u64 {
         let ops = mixed_ops(20, e, 31);
-        want.push(sync.execute_epoch(&c, &sp, &ops));
+        want.push(sync.execute_epoch(&c, &sp, &ops).unwrap());
         for op in &ops {
             p.submit(*op);
         }
@@ -152,7 +152,7 @@ fn handles_redeem_out_of_order_under_pool() {
     }
     // Redeem evens first, then odds (odd order on purpose).
     for i in (0..6).step_by(2).chain((1..6).step_by(2)) {
-        assert_eq!(p.wait(&handles[i]), want[i], "epoch {i}");
+        assert_eq!(p.wait(&handles[i]).unwrap(), want[i], "epoch {i}");
     }
     assert_eq!(p.epoch_counts(), (6, 6));
 }

@@ -264,6 +264,60 @@ fn pipelined_consult_trace_survives_reuse() {
     assert_eq!(a, c3, "second reuse changed the pipelined consult trace");
 }
 
+/// The durable commit's retry path under the same discipline: a
+/// deterministic k-th-write EIO forces one WAL retry mid-epoch, and the
+/// adversary trace must be identical on fresh and dirty scratch pools —
+/// and identical to the *no-fault* trace, because the retry loop touches
+/// only host-side I/O, never the metered address space (DESIGN.md §15).
+#[test]
+fn durable_retry_path_trace_survives_reuse() {
+    use std::sync::Arc;
+    use std::time::Duration;
+    use store::vfs::{FaultPlan, FaultVfs};
+
+    let run = |pool: &ScratchPool, eio_write: Option<u64>| {
+        trace(|c| {
+            let cfg = StoreConfig {
+                durability: Durability::epoch(),
+                retry: RetryPolicy {
+                    attempts: 3,
+                    backoff: Duration::ZERO,
+                },
+                ..StoreConfig::default()
+            };
+            let vfs = Arc::new(FaultVfs::new(FaultPlan {
+                eio_write,
+                ..FaultPlan::default()
+            }));
+            let mut s = Store::recover_with(c, pool, "/scratch/retry", cfg, vfs).unwrap();
+            for e in 0..2u64 {
+                let ops: Vec<Op> = (0..48u64)
+                    .map(|i| Op::Put {
+                        key: (i * 3 + e) % 53,
+                        val: i,
+                    })
+                    .collect();
+                s.execute_epoch(c, pool, &ops).unwrap();
+            }
+        })
+    };
+
+    let fresh = ScratchPool::new();
+    let a = run(&fresh, Some(1)); // epoch 1's append fails once, retries
+    let reused = ScratchPool::new();
+    dirty(&reused);
+    assert!(reused.leases() > 0 && reused.fresh_allocs() > 0);
+    let b = run(&reused, Some(1));
+    assert_eq!(a, b, "dirty pool changed the retry-path trace");
+    let c3 = run(&reused, Some(1));
+    assert_eq!(a, c3, "second reuse changed the retry-path trace");
+    assert_eq!(
+        a,
+        run(&fresh, None),
+        "an injected-and-retried fault perturbed the adversary trace"
+    );
+}
+
 /// CPU pinning is invisible to the Definition-1 adversary. Scratch pools
 /// dirtied under a *pinned* Pool(4) and an *unpinned* Pool(4) end up with
 /// different physical lane residency (which worker leased which backing
@@ -334,7 +388,7 @@ fn pinned_vs_unpinned_pools_leave_identical_traces() {
                     val: i,
                 })
                 .collect();
-            store.execute_epoch(c, pool, &ops);
+            store.execute_epoch(c, pool, &ops).unwrap();
         })
     };
     let e = epoch_row(&fresh_pool);

@@ -74,7 +74,7 @@ proptest! {
                 let ops: Vec<Op> =
                     raw.iter().map(|&(k, key, val)| op_from(k, key, val)).collect();
                 let snapshot = store.stats();
-                let res = store.execute_epoch(&c, &sp, &ops);
+                let res = store.execute_epoch(&c, &sp, &ops).unwrap();
                 check_epoch(&mut oracle, snapshot, &ops, &res);
                 prop_assert_eq!(store.stats(), stats_of(&oracle), "shards {}", shards);
             }
@@ -95,7 +95,7 @@ fn env_selected_shard_count_matches_oracle() {
             .map(|i| op_from((i + round) as u8, (i * 7 + round * 13) % 64, i * round))
             .collect();
         let snapshot = store.stats();
-        let res = store.execute_epoch(&c, &sp, &ops);
+        let res = store.execute_epoch(&c, &sp, &ops).unwrap();
         check_epoch(&mut oracle, snapshot, &ops, &res);
     }
     assert_eq!(store.stats(), stats_of(&oracle));
@@ -126,7 +126,7 @@ fn run_history<C: Ctx>(
                 op_from((i.wrapping_add(salt) % 4) as u8, key, salt.wrapping_add(i))
             })
             .collect();
-        out.push(store.execute_epoch(c, sp, &ops));
+        out.push(store.execute_epoch(c, sp, &ops).unwrap());
     }
     (out, store.routing_fallbacks())
 }
@@ -237,7 +237,7 @@ fn shrink_schedule_is_non_monotone_and_correct() {
             .map(|i| op_from((i + round) as u8, (i * 3 + round) % 48, i + round))
             .collect();
         let snapshot = store.stats();
-        let res = store.execute_epoch(&c, &sp, &ops);
+        let res = store.execute_epoch(&c, &sp, &ops).unwrap();
         check_epoch(&mut oracle, snapshot, &ops, &res);
         caps.push(store.capacity());
     }
@@ -286,7 +286,7 @@ fn violating_the_declared_live_bound_fails_loudly() {
     let mut store = Store::new(cfg);
     // 100 distinct live keys can not fit the declared bound of 8.
     let ops: Vec<Op> = (0..100).map(|i| Op::Put { key: i, val: i }).collect();
-    store.execute_epoch(&c, &sp, &ops);
+    let _ = store.execute_epoch(&c, &sp, &ops);
 }
 
 /// Aggregate answers are one documented semantic everywhere: the global
@@ -331,9 +331,9 @@ fn aggregate_semantics_identical_across_shard_counts() {
     let mut four = ShardedStore::new(ShardConfig::with_shards(4));
 
     for ops in &epochs {
-        let want = plain.execute_epoch(&c, &sp, ops);
-        let got1 = one.execute_epoch(&c, &sp, ops);
-        let got4 = four.execute_epoch(&c, &sp, ops);
+        let want = plain.execute_epoch(&c, &sp, ops).unwrap();
+        let got1 = one.execute_epoch(&c, &sp, ops).unwrap();
+        let got4 = four.execute_epoch(&c, &sp, ops).unwrap();
         assert_eq!(got1, want, "1-shard ShardedStore diverged from Store");
         assert_eq!(got4, want, "4-shard ShardedStore diverged from Store");
         // Every aggregate in the epoch observes the same pre-epoch

@@ -61,7 +61,7 @@ proptest! {
         for raw in &epochs {
             let ops: Vec<Op> = raw.iter().map(|&(k, key, val)| op_from(k, key, val)).collect();
             let snapshot = store.stats();
-            let res = store.execute_epoch(&c, &sp, &ops);
+            let res = store.execute_epoch(&c, &sp, &ops).unwrap();
             prop_assert_eq!(res.len(), ops.len());
             for (op, got) in ops.iter().zip(res.iter()) {
                 check_against_oracle(&mut oracle, snapshot, op, got);
@@ -91,7 +91,7 @@ proptest! {
         for raw in &epochs {
             let ops: Vec<Op> = raw.iter().map(|&(k, key, val)| op_from(k, key, val)).collect();
             let merging = store.epoch_path(ops.len()) == EpochPath::Merge;
-            let res = store.execute_epoch(&c, &sp, &ops);
+            let res = store.execute_epoch(&c, &sp, &ops).unwrap();
             for (op, got) in ops.iter().zip(res.iter()) {
                 check_against_oracle(&mut oracle, snapshot, op, got);
             }
@@ -123,7 +123,7 @@ fn run_history<C: Ctx>(c: &C, sp: &ScratchPool, salt: u64) -> Vec<Vec<OpResult>>
                 op_from((i.wrapping_add(salt) % 4) as u8, key, salt.wrapping_add(i))
             })
             .collect();
-        out.push(store.execute_epoch(c, sp, &ops));
+        out.push(store.execute_epoch(c, sp, &ops).unwrap());
     }
     out
 }
@@ -171,9 +171,9 @@ fn trace_depends_on_size_class_not_exact_op_count() {
             let puts: Vec<Op> = (0..n_ops as u64)
                 .map(|i| Op::Put { key: i * 3, val: i })
                 .collect();
-            s.execute_epoch(c, &sp, &puts);
+            s.execute_epoch(c, &sp, &puts).unwrap();
             let gets: Vec<Op> = (0..n_ops as u64).map(|i| Op::Get { key: i }).collect();
-            s.execute_epoch(c, &sp, &gets);
+            s.execute_epoch(c, &sp, &gets).unwrap();
         });
         (rep.trace_hash, rep.trace_len)
     };
@@ -227,7 +227,7 @@ fn hybrid_traces_length_invariant_and_value_independent() {
                     val: i * val_scale,
                 })
                 .collect();
-            store.execute_epoch(c, &sp, &load);
+            store.execute_epoch(c, &sp, &load).unwrap();
             for round in 0..2u64 {
                 let ops: Vec<Op> = (0..8u64)
                     .map(|i| {
@@ -242,7 +242,7 @@ fn hybrid_traces_length_invariant_and_value_independent() {
                         }
                     })
                     .collect();
-                store.execute_epoch(c, &sp, &ops);
+                store.execute_epoch(c, &sp, &ops).unwrap();
             }
         });
         (rep.trace_hash, rep.trace_len)
